@@ -1,0 +1,143 @@
+//! Figure 14: CPI overhead over the NDRO baseline per benchmark.
+
+use hiperrf::delay::RfDesign;
+use sfq_cpu::{GateLevelCpu, PipelineConfig};
+use sfq_riscv::asm::assemble;
+use sfq_workloads::{suite, Workload, PASS};
+
+/// One benchmark's results across the four designs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure14Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Baseline CPI (gate cycles per instruction).
+    pub baseline_cpi: f64,
+    /// CPI overhead fractions over the baseline:
+    /// `[HiPerRF, dual-banked, dual-banked-ideal]`.
+    pub overhead: [f64; 3],
+}
+
+/// Paper-reported average overheads: HiPerRF 9.8%, dual-banked 3.6%,
+/// dual-banked ideal 2.3% (§VI-B).
+pub const PAPER_AVG_OVERHEAD: [f64; 3] = [0.098, 0.036, 0.023];
+
+/// Runs one workload across all four designs.
+///
+/// # Panics
+///
+/// Panics if a workload fails to assemble, faults, or fails its
+/// self-check — any of those is a bug in the reproduction, not a result.
+pub fn run_workload(w: &Workload) -> Figure14Row {
+    let prog =
+        assemble(&w.source, 0).unwrap_or_else(|e| panic!("{} failed to assemble: {e}", w.name));
+    let mut cpis = Vec::with_capacity(4);
+    for design in RfDesign::ALL {
+        let mut cpu = GateLevelCpu::new(design, PipelineConfig::sodor());
+        let out = cpu
+            .run(&prog, w.mem_size, w.budget)
+            .unwrap_or_else(|e| panic!("{} faulted on {design:?}: {e}", w.name));
+        assert_eq!(out.exit_code, PASS, "{} failed self-check on {design:?}", w.name);
+        cpis.push(out.stats.cpi());
+    }
+    Figure14Row {
+        name: w.name,
+        baseline_cpi: cpis[0],
+        overhead: [cpis[1] / cpis[0] - 1.0, cpis[2] / cpis[0] - 1.0, cpis[3] / cpis[0] - 1.0],
+    }
+}
+
+/// Runs the full Figure 14 suite.
+pub fn figure14() -> Vec<Figure14Row> {
+    suite().iter().map(run_workload).collect()
+}
+
+/// Arithmetic-mean overheads over a set of rows.
+pub fn average_overheads(rows: &[Figure14Row]) -> [f64; 3] {
+    let n = rows.len() as f64;
+    let mut avg = [0.0; 3];
+    for row in rows {
+        for (a, o) in avg.iter_mut().zip(row.overhead) {
+            *a += o / n;
+        }
+    }
+    avg
+}
+
+/// Renders the figure as a text table plus ASCII bars.
+pub fn render(rows: &[Figure14Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== Figure 14: CPI overhead over NDRO RF baseline ==");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>9} {:>9} {:>9}  overhead bars (each # = 0.5%)",
+        "benchmark", "base CPI", "HiPerRF", "dual", "ideal"
+    );
+    for row in rows {
+        let bars: String = row
+            .overhead
+            .iter()
+            .map(|o| format!("[{:<24}]", "#".repeat(((o * 200.0).round() as usize).min(24))))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9.2} {:>8.2}% {:>8.2}% {:>8.2}%  {bars}",
+            row.name,
+            row.baseline_cpi,
+            row.overhead[0] * 100.0,
+            row.overhead[1] * 100.0,
+            row.overhead[2] * 100.0,
+        );
+    }
+    let avg = average_overheads(rows);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>8.2}% {:>8.2}% {:>8.2}%   (paper: 9.80% / 3.60% / 2.30%)",
+        "AVERAGE",
+        "",
+        avg[0] * 100.0,
+        avg[1] * 100.0,
+        avg[2] * 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_workloads::kernels::vector::vvadd;
+
+    #[test]
+    fn single_workload_row_is_ordered() {
+        let row = run_workload(&vvadd());
+        // HiPerRF pays more than banked designs; everything is >= ~0.
+        assert!(row.overhead[0] > row.overhead[1]);
+        assert!(row.overhead[1] >= row.overhead[2]);
+        assert!(row.overhead[2] > -0.01);
+        assert!(row.baseline_cpi > 5.0);
+    }
+
+    #[test]
+    fn render_contains_average() {
+        let rows = vec![Figure14Row {
+            name: "x",
+            baseline_cpi: 30.0,
+            overhead: [0.1, 0.03, 0.02],
+        }];
+        let text = render(&rows);
+        assert!(text.contains("AVERAGE"));
+        assert!(text.contains("10.00%"));
+    }
+
+    #[test]
+    fn averages_are_means() {
+        let rows = vec![
+            Figure14Row { name: "a", baseline_cpi: 1.0, overhead: [0.1, 0.0, 0.0] },
+            Figure14Row { name: "b", baseline_cpi: 1.0, overhead: [0.3, 0.1, 0.0] },
+        ];
+        let avg = average_overheads(&rows);
+        assert!((avg[0] - 0.2).abs() < 1e-12);
+        assert!((avg[1] - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,255 @@
+//! Report builders for Tables I–IV: paper-vs-measured rows plus plain-text
+//! rendering.
+
+use hiperrf::budget::{dual_banked_budget, hiperrf_budget, ndro_rf_budget, paper as budget_paper};
+use hiperrf::config::RfGeometry;
+use hiperrf::delay::{paper as delay_paper, readout_delay_ps, RfDesign};
+use sfq_chip::pnr;
+
+/// A measured-vs-paper value for one design at one geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableCell {
+    /// Our model's value.
+    pub ours: f64,
+    /// The paper's reported value.
+    pub paper: f64,
+}
+
+impl TableCell {
+    /// Relative error of our value against the paper's.
+    pub fn rel_err(&self) -> f64 {
+        (self.ours - self.paper).abs() / self.paper
+    }
+}
+
+/// One row (one design) of a paper table across the three geometries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// Design name as printed in the paper.
+    pub design: &'static str,
+    /// Cells for 4×4, 16×16, 32×32.
+    pub cells: Vec<TableCell>,
+}
+
+fn render(title: &str, unit: &str, rows: &[TableRow], baseline_idx: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>10} {:>10}   {:>8} {:>8} {:>8}   {:>6}",
+        "design", "4x4", "16x16", "32x32", "p:4x4", "p:16x16", "p:32x32", "%base"
+    );
+    for row in rows {
+        let pct = 100.0 * row.cells[2].ours / rows[baseline_idx].cells[2].ours;
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10.2} {:>10.2} {:>10.2}   {:>8.2} {:>8.2} {:>8.2}   {:>5.1}%",
+            row.design,
+            row.cells[0].ours,
+            row.cells[1].ours,
+            row.cells[2].ours,
+            row.cells[0].paper,
+            row.cells[1].paper,
+            row.cells[2].paper,
+            pct
+        );
+    }
+    let _ = writeln!(out, "(values in {unit}; p: columns are the paper's Table values)");
+    out
+}
+
+/// A named per-geometry metric with its paper reference values.
+type JjRowSpec = (&'static str, fn(RfGeometry) -> u64, [u64; 3]);
+/// Floating-point variant of [`JjRowSpec`].
+type PowerRowSpec = (&'static str, fn(RfGeometry) -> f64, [f64; 3]);
+
+/// Table I: total JJ count per design and geometry.
+pub fn table1() -> Vec<TableRow> {
+    let sizes = RfGeometry::paper_sizes();
+    let builders: [JjRowSpec; 3] = [
+        (
+            "NDRO RF (Baseline Design)",
+            |g| ndro_rf_budget(g).jj_total(),
+            budget_paper::JJ_NDRO,
+        ),
+        ("HiPerRF", |g| hiperrf_budget(g).jj_total(), budget_paper::JJ_HIPERRF),
+        ("Dual-banked HiPerRF", |g| dual_banked_budget(g).jj_total(), budget_paper::JJ_DUAL),
+    ];
+    builders
+        .iter()
+        .map(|(name, f, paper)| TableRow {
+            design: name,
+            cells: sizes
+                .iter()
+                .zip(paper)
+                .map(|(g, &p)| TableCell { ours: f(*g) as f64, paper: p as f64 })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Table II: static power (µW) per design and geometry.
+pub fn table2() -> Vec<TableRow> {
+    let sizes = RfGeometry::paper_sizes();
+    let builders: [PowerRowSpec; 3] = [
+        (
+            "NDRO RF (Baseline Design)",
+            |g| ndro_rf_budget(g).static_power_uw(),
+            budget_paper::POWER_NDRO,
+        ),
+        ("HiPerRF", |g| hiperrf_budget(g).static_power_uw(), budget_paper::POWER_HIPERRF),
+        (
+            "Dual-banked HiPerRF",
+            |g| dual_banked_budget(g).static_power_uw(),
+            budget_paper::POWER_DUAL,
+        ),
+    ];
+    builders
+        .iter()
+        .map(|(name, f, paper)| TableRow {
+            design: name,
+            cells: sizes
+                .iter()
+                .zip(paper)
+                .map(|(g, &p)| TableCell { ours: f(*g), paper: p })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Table III: readout delay (ps) per design and geometry.
+pub fn table3() -> Vec<TableRow> {
+    let sizes = RfGeometry::paper_sizes();
+    let rows: [(&'static str, RfDesign, [f64; 3]); 3] = [
+        ("NDRO RF (Baseline Design)", RfDesign::NdroBaseline, delay_paper::READOUT_NDRO),
+        ("HiPerRF", RfDesign::HiPerRf, delay_paper::READOUT_HIPERRF),
+        ("Dual-banked HiPerRF", RfDesign::DualBanked, delay_paper::READOUT_DUAL),
+    ];
+    rows.iter()
+        .map(|(name, design, paper)| TableRow {
+            design: name,
+            cells: sizes
+                .iter()
+                .zip(paper)
+                .map(|(g, &p)| TableCell { ours: readout_delay_ps(*design, *g), paper: p })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders Table I as text.
+pub fn render_table1() -> String {
+    render("Table I: total JJ count", "JJs", &table1(), 0)
+}
+
+/// Renders Table II as text.
+pub fn render_table2() -> String {
+    render("Table II: static power", "µW", &table2(), 0)
+}
+
+/// Renders Table III as text.
+pub fn render_table3() -> String {
+    render("Table III: readout delay", "ps", &table3(), 0)
+}
+
+/// Renders Table IV (readout + loopback with PTL wires, 32×32) as text.
+pub fn table4_report() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table IV: delays with PTL wire delay (32x32) ==");
+    let rows = pnr::table4(RfGeometry::paper_32x32());
+    let paper_readout = delay_paper::READOUT_WIRES;
+    let paper_loopback = delay_paper::LOOPBACK_WIRES;
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>10} {:>14} {:>10}",
+        "design", "readout/ps", "paper", "loopback/ps", "paper"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let lb = r.loopback_ps.map_or("-".to_string(), |v| format!("{v:.1}"));
+        let lb_paper = if i == 0 { "-".to_string() } else { format!("{}", paper_loopback[i - 1]) };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.1} {:>10.1} {:>14} {:>10}",
+            r.design.name(),
+            r.readout_with_wires_ps,
+            paper_readout[i],
+            lb,
+            lb_paper
+        );
+    }
+    out
+}
+
+/// Per-section JJ breakdown of every design at 32×32: where the JJs go.
+pub fn budget_breakdown_report() -> String {
+    use hiperrf::budget::{multi_port_hiperrf_budget, RfBudget};
+    use hiperrf::shift_rf::shift_rf_budget;
+    use std::fmt::Write as _;
+    let g = RfGeometry::paper_32x32();
+    let budgets: Vec<RfBudget> = vec![
+        ndro_rf_budget(g),
+        hiperrf_budget(g),
+        dual_banked_budget(g),
+        shift_rf_budget(g),
+        multi_port_hiperrf_budget(g, 2),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "== JJ budget breakdown (32x32) ==");
+    for b in budgets {
+        let total = b.jj_total();
+        let _ = writeln!(out, "\n{} — {total} JJs, {:.1} µW", b.design, b.static_power_uw());
+        for section in &b.sections {
+            let jj = section.census.jj_total();
+            let _ = writeln!(
+                out,
+                "  {:<26} {:>8} JJs ({:>4.1}%)",
+                section.name,
+                jj,
+                100.0 * jj as f64 / total as f64
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_within_tolerance() {
+        for row in table1() {
+            for cell in &row.cells {
+                assert!(cell.rel_err() < 0.05, "{}: {:?}", row.design, cell);
+            }
+        }
+    }
+
+    #[test]
+    fn table3_exact() {
+        for row in table3() {
+            for cell in &row.cells {
+                assert!(cell.rel_err() < 0.001, "{}: {:?}", row.design, cell);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_breakdown_covers_all_designs() {
+        let r = budget_breakdown_report();
+        for needle in ["NDRO RF", "HiPerRF", "Dual-banked", "Shift-register", "Multi-ported"] {
+            assert!(r.contains(needle), "missing {needle} in:\n{r}");
+        }
+        assert!(r.contains("storage"));
+    }
+
+    #[test]
+    fn rendered_tables_contain_designs() {
+        for text in [render_table1(), render_table2(), render_table3(), table4_report()] {
+            assert!(text.contains("HiPerRF"), "{text}");
+            assert!(text.contains("Baseline"), "{text}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Ergonomic netlist construction.
+//!
+//! [`CircuitBuilder`] wraps a [`Netlist`] with labeled-instance helpers for
+//! every library cell plus the fan-out/fan-in tree builders that SFQ
+//! designs need everywhere (explicit splitters for fan-out, mergers for
+//! fan-in, paper §II-F).
+
+use std::collections::VecDeque;
+
+use sfq_sim::component::Component;
+use sfq_sim::netlist::{ComponentId, Netlist, Pin};
+use sfq_sim::time::Duration;
+
+use crate::counter::CounterBit;
+use crate::logic::{AndGate, Dand, NotGate};
+use crate::storage::{Dro, HcDro, Ndro, Ndroc};
+use crate::transport::{Jtl, Merger, Splitter};
+
+/// Builder over a netlist with a hierarchical label prefix.
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    netlist: Netlist,
+    prefix: Vec<String>,
+    counter: u64,
+}
+
+impl Default for CircuitBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CircuitBuilder {
+    /// Creates a builder over an empty netlist.
+    pub fn new() -> Self {
+        CircuitBuilder { netlist: Netlist::new(), prefix: Vec::new(), counter: 0 }
+    }
+
+    /// Finishes building and returns the netlist.
+    pub fn finish(self) -> Netlist {
+        self.netlist
+    }
+
+    /// Returns the netlist built so far.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Pushes a label scope (e.g. `"readport"`); labels of cells added
+    /// until the matching [`CircuitBuilder::pop_scope`] are prefixed.
+    pub fn push_scope(&mut self, scope: impl Into<String>) {
+        self.prefix.push(scope.into());
+    }
+
+    /// Pops the innermost label scope.
+    pub fn pop_scope(&mut self) {
+        self.prefix.pop();
+    }
+
+    /// Runs `f` inside a label scope.
+    pub fn scoped<R>(&mut self, scope: impl Into<String>, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.push_scope(scope);
+        let r = f(self);
+        self.pop_scope();
+        r
+    }
+
+    fn label(&mut self, kind: &str) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        if self.prefix.is_empty() {
+            format!("{kind}{n}")
+        } else {
+            format!("{}/{kind}{n}", self.prefix.join("/"))
+        }
+    }
+
+    /// Adds an arbitrary component.
+    pub fn add(&mut self, kind_label: &str, c: Box<dyn Component>) -> ComponentId {
+        let label = self.label(kind_label);
+        self.netlist.add(label, c)
+    }
+
+    /// Adds a nominal-delay JTL.
+    pub fn jtl(&mut self) -> ComponentId {
+        self.add("jtl", Box::new(Jtl::new()))
+    }
+
+    /// Adds a JTL tuned to `delay`.
+    pub fn jtl_with_delay(&mut self, delay: Duration) -> ComponentId {
+        self.add("jtl", Box::new(Jtl::with_delay(delay)))
+    }
+
+    /// Adds a splitter.
+    pub fn splitter(&mut self) -> ComponentId {
+        self.add("sp", Box::new(Splitter::new()))
+    }
+
+    /// Adds a merger.
+    pub fn merger(&mut self) -> ComponentId {
+        self.add("mg", Box::new(Merger::new()))
+    }
+
+    /// Adds a DRO cell.
+    pub fn dro(&mut self) -> ComponentId {
+        self.add("dro", Box::new(Dro::new()))
+    }
+
+    /// Adds a 2-bit HC-DRO cell.
+    pub fn hcdro(&mut self) -> ComponentId {
+        self.add("hcdro", Box::new(HcDro::new()))
+    }
+
+    /// Adds an HC-DRO cell with explicit fluxon capacity.
+    pub fn hcdro_with_capacity(&mut self, capacity: u8) -> ComponentId {
+        self.add("hcdro", Box::new(HcDro::with_capacity(capacity)))
+    }
+
+    /// Adds an NDRO cell.
+    pub fn ndro(&mut self) -> ComponentId {
+        self.add("ndro", Box::new(Ndro::new()))
+    }
+
+    /// Adds an NDROC (complementary-output) cell.
+    pub fn ndroc(&mut self) -> ComponentId {
+        self.add("ndroc", Box::new(Ndroc::new()))
+    }
+
+    /// Adds a dynamic AND gate.
+    pub fn dand(&mut self) -> ComponentId {
+        self.add("dand", Box::new(Dand::new()))
+    }
+
+    /// Adds a clocked AND gate.
+    pub fn and_gate(&mut self) -> ComponentId {
+        self.add("and", Box::new(AndGate::new()))
+    }
+
+    /// Adds a clocked NOT gate.
+    pub fn not_gate(&mut self) -> ComponentId {
+        self.add("not", Box::new(NotGate::new()))
+    }
+
+    /// Adds a counter bit.
+    pub fn counter_bit(&mut self) -> ComponentId {
+        self.add("cb", Box::new(CounterBit::new()))
+    }
+
+    /// Connects an output pin to an input pin with zero wire delay.
+    pub fn connect(&mut self, from: Pin, to: Pin) {
+        self.netlist.connect(from, to, Duration::ZERO);
+    }
+
+    /// Connects with an explicit wire delay (PTL segment).
+    pub fn connect_delayed(&mut self, from: Pin, to: Pin, delay: Duration) {
+        self.netlist.connect(from, to, delay);
+    }
+
+    /// Builds a balanced splitter tree from `root` (an output pin) to
+    /// `leaves` output pins. Uses `leaves - 1` splitters; with `leaves == 1`
+    /// the root is returned unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is zero.
+    pub fn splitter_tree(&mut self, root: Pin, leaves: usize) -> Vec<Pin> {
+        assert!(leaves > 0, "splitter tree needs at least one leaf");
+        let mut q: VecDeque<Pin> = VecDeque::from([root]);
+        while q.len() < leaves {
+            let src = q.pop_front().expect("queue never empty");
+            let s = self.splitter();
+            self.connect(src, Pin::new(s, Splitter::IN));
+            q.push_back(Pin::new(s, Splitter::OUT0));
+            q.push_back(Pin::new(s, Splitter::OUT1));
+        }
+        q.into_iter().collect()
+    }
+
+    /// Builds a balanced merger tree combining `inputs` (output pins of the
+    /// sources) into a single output pin. Uses `inputs.len() - 1` mergers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn merger_tree(&mut self, inputs: &[Pin]) -> Pin {
+        assert!(!inputs.is_empty(), "merger tree needs at least one input");
+        let mut level: Vec<Pin> = inputs.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.chunks(2);
+            for pair in &mut it {
+                match pair {
+                    [a, b] => {
+                        let m = self.merger();
+                        self.connect(*a, Pin::new(m, Merger::IN_A));
+                        self.connect(*b, Pin::new(m, Merger::IN_B));
+                        next.push(Pin::new(m, Merger::OUT));
+                    }
+                    [a] => next.push(*a),
+                    _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+                }
+            }
+            level = next;
+        }
+        level[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_sim::simulator::Simulator;
+    use sfq_sim::time::Time;
+
+    #[test]
+    fn splitter_tree_fans_out() {
+        let mut b = CircuitBuilder::new();
+        let src = b.jtl();
+        let leaves = b.splitter_tree(Pin::new(src, Jtl::OUT), 5);
+        assert_eq!(leaves.len(), 5);
+        // 4 splitters for 5 leaves.
+        let mut sim = Simulator::new(b.finish());
+        let probes: Vec<_> =
+            leaves.iter().map(|&p| sim.probe(p, format!("leaf{}", p.index))).collect();
+        sim.inject(Pin::new(src, Jtl::IN), Time::ZERO);
+        sim.run();
+        for p in probes {
+            assert_eq!(sim.probe_trace(p).len(), 1);
+        }
+    }
+
+    #[test]
+    fn splitter_tree_single_leaf_is_identity() {
+        let mut b = CircuitBuilder::new();
+        let src = b.jtl();
+        let leaves = b.splitter_tree(Pin::new(src, Jtl::OUT), 1);
+        assert_eq!(leaves, vec![Pin::new(src, Jtl::OUT)]);
+        assert_eq!(b.netlist().component_count(), 1);
+    }
+
+    #[test]
+    fn merger_tree_fans_in() {
+        let mut b = CircuitBuilder::new();
+        let srcs: Vec<_> = (0..7).map(|_| b.jtl()).collect();
+        let inputs: Vec<_> = srcs.iter().map(|&s| Pin::new(s, Jtl::OUT)).collect();
+        let out = b.merger_tree(&inputs);
+        let mut sim = Simulator::new(b.finish());
+        let p = sim.probe(out, "out");
+        // One pulse into a single source propagates to the root.
+        sim.inject(Pin::new(srcs[3], Jtl::IN), Time::ZERO);
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 1);
+    }
+
+    #[test]
+    fn tree_cell_counts() {
+        let mut b = CircuitBuilder::new();
+        let src = b.jtl();
+        let leaves = b.splitter_tree(Pin::new(src, Jtl::OUT), 32);
+        assert_eq!(leaves.len(), 32);
+        let n_before = b.netlist().component_count();
+        assert_eq!(n_before, 1 + 31); // jtl + 31 splitters
+        let out = b.merger_tree(&leaves);
+        assert_eq!(b.netlist().component_count(), n_before + 31); // 31 mergers
+        let _ = out;
+    }
+
+    #[test]
+    fn scoped_labels() {
+        let mut b = CircuitBuilder::new();
+        let id = b.scoped("rf", |b| b.scoped("readport", |b| b.ndroc()));
+        assert!(b.netlist().label(id).starts_with("rf/readport/ndroc"));
+    }
+}

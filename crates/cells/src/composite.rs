@@ -1,0 +1,275 @@
+//! Composite HC-DRO access circuits: HC-CLK, HC-WRITE, HC-READ.
+//!
+//! HC-DRO cells store two bits as 0–3 fluxons, so they are accessed by
+//! *serial pulse trains* with a 10 ps minimum separation (paper §IV-A):
+//!
+//! * **HC-CLK** turns one enable pulse into three pulses 10 ps apart, so a
+//!   single read/write enable can pop or gate all stored fluxons.
+//! * **HC-WRITE** encodes a parallel two-bit value into a train of
+//!   `value` pulses (0–3), 10 ps apart.
+//! * **HC-READ** decodes a train of 0–3 pulses back into two parallel bits
+//!   using a two-bit counter built from two one-bit counter stages.
+//!
+//! All three are clock-less: JTL delay elements create the required pulse
+//! spacing (Fig. 10 of the paper).
+
+use sfq_sim::netlist::Pin;
+use sfq_sim::time::Duration;
+
+use crate::builder::CircuitBuilder;
+use crate::counter::CounterBit;
+use crate::timing::{HCDRO_PULSE_SEP_PS, MERGER_DELAY_PS, SPLITTER_DELAY_PS};
+use crate::transport::{Jtl, Merger, Splitter};
+
+/// Ports of an HC-CLK pulse tripler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HcClkPorts {
+    /// Input pin: one enable pulse goes in here.
+    pub input: Pin,
+    /// Output pin: three pulses, [`HCDRO_PULSE_SEP_PS`] apart, come out.
+    pub output: Pin,
+    /// Latency from the input pulse to the *first* output pulse.
+    pub first_pulse_delay: Duration,
+}
+
+/// Builds an HC-CLK circuit (paper Fig. 10b): 1 pulse in → 3 pulses out,
+/// 10 ps apart.
+///
+/// Uses 2 splitters, 2 mergers and 2 JTLs.
+pub fn build_hc_clk(b: &mut CircuitBuilder) -> HcClkPorts {
+    b.scoped("hcclk", |b| {
+        let s1 = b.splitter();
+        let s2 = b.splitter();
+        let m_mid = b.merger();
+        let m_final = b.merger();
+        // Branch 1: straight to the final merger -> first pulse.
+        b.connect(Pin::new(s1, Splitter::OUT0), Pin::new(m_final, Merger::IN_A));
+        // Branch 2: +10 ps via tuned JTLs -> second and third pulses.
+        // Second pulse path adds (s2 + m_mid) stages relative to the first,
+        // so its JTL makes the net offset exactly one pulse separation.
+        let d2 = HCDRO_PULSE_SEP_PS - SPLITTER_DELAY_PS - MERGER_DELAY_PS;
+        let j1 = b.jtl_with_delay(Duration::from_ps(d2));
+        b.connect(Pin::new(s1, Splitter::OUT1), Pin::new(j1, Jtl::IN));
+        b.connect(Pin::new(j1, Jtl::OUT), Pin::new(s2, Splitter::IN));
+        b.connect(Pin::new(s2, Splitter::OUT0), Pin::new(m_mid, Merger::IN_A));
+        // Third pulse: one more full separation after the second.
+        let j2 = b.jtl_with_delay(Duration::from_ps(HCDRO_PULSE_SEP_PS));
+        b.connect(Pin::new(s2, Splitter::OUT1), Pin::new(j2, Jtl::IN));
+        b.connect(Pin::new(j2, Jtl::OUT), Pin::new(m_mid, Merger::IN_B));
+        b.connect(Pin::new(m_mid, Merger::OUT), Pin::new(m_final, Merger::IN_B));
+        HcClkPorts {
+            input: Pin::new(s1, Splitter::IN),
+            output: Pin::new(m_final, Merger::OUT),
+            first_pulse_delay: Duration::from_ps(SPLITTER_DELAY_PS + MERGER_DELAY_PS),
+        }
+    })
+}
+
+/// Ports of an HC-WRITE two-bit serializer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HcWritePorts {
+    /// LSB input pin (contributes one pulse).
+    pub b0: Pin,
+    /// MSB input pin (contributes two pulses).
+    pub b1: Pin,
+    /// Serial pulse-train output pin.
+    pub output: Pin,
+    /// Latency from an input pulse to the first output slot.
+    pub first_slot_delay: Duration,
+}
+
+/// Builds an HC-WRITE circuit (paper Fig. 10a): parallel bits `b1 b0` in →
+/// `2·b1 + b0` pulses out, 10 ps apart.
+///
+/// The pulse *count* equals the stored value, so writing `0b10` deposits
+/// two fluxons. Uses 1 splitter, 2 mergers and 3 JTLs. Inputs must be
+/// asserted simultaneously (both pulses at the same time).
+pub fn build_hc_write(b: &mut CircuitBuilder) -> HcWritePorts {
+    b.scoped("hcwrite", |b| {
+        let m1 = b.merger();
+        let m2 = b.merger();
+        let s = b.splitter();
+        // B0 -> slot 0 through both mergers.
+        let j0 = b.jtl_with_delay(Duration::from_ps(2.0));
+        b.connect(Pin::new(j0, Jtl::OUT), Pin::new(m1, Merger::IN_A));
+        b.connect(Pin::new(m1, Merger::OUT), Pin::new(m2, Merger::IN_A));
+        // slot0 latency from input: j0(2) + m1(5) + m2(5) = 12 ps.
+        let slot0 = 2.0 + 2.0 * MERGER_DELAY_PS;
+        // B1 -> slots 1 and 2.
+        // slot1: s(3) + j1 + m1(5) + m2(5) = slot0 + 10.
+        let j1 = b.jtl_with_delay(Duration::from_ps(
+            slot0 + HCDRO_PULSE_SEP_PS - SPLITTER_DELAY_PS - 2.0 * MERGER_DELAY_PS,
+        ));
+        b.connect(Pin::new(s, Splitter::OUT0), Pin::new(j1, Jtl::IN));
+        b.connect(Pin::new(j1, Jtl::OUT), Pin::new(m1, Merger::IN_B));
+        // slot2: s(3) + j2 + m2(5) = slot0 + 20.
+        let j2 = b.jtl_with_delay(Duration::from_ps(
+            slot0 + 2.0 * HCDRO_PULSE_SEP_PS - SPLITTER_DELAY_PS - MERGER_DELAY_PS,
+        ));
+        b.connect(Pin::new(s, Splitter::OUT1), Pin::new(j2, Jtl::IN));
+        b.connect(Pin::new(j2, Jtl::OUT), Pin::new(m2, Merger::IN_B));
+        HcWritePorts {
+            b0: Pin::new(j0, Jtl::IN),
+            b1: Pin::new(s, Splitter::IN),
+            output: Pin::new(m2, Merger::OUT),
+            first_slot_delay: Duration::from_ps(slot0),
+        }
+    })
+}
+
+/// Ports of an HC-READ pulse-train decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HcReadPorts {
+    /// Serial pulse-train input pin.
+    pub input: Pin,
+    /// Read-enable input pin (latches the counted value onto `b0`/`b1`).
+    pub read: Pin,
+    /// Reset input pin (clears the counter between operations).
+    pub reset: Pin,
+    /// LSB output pin.
+    pub b0: Pin,
+    /// MSB output pin.
+    pub b1: Pin,
+}
+
+/// Builds an HC-READ circuit (paper Fig. 10c/d): a two-bit counter from two
+/// one-bit counter stages. Counting 0–3 serial pulses and then asserting
+/// `read` produces the parallel bits.
+///
+/// Uses 2 counter bits and 2 splitters.
+pub fn build_hc_read(b: &mut CircuitBuilder) -> HcReadPorts {
+    b.scoped("hcread", |b| {
+        let cb0 = b.counter_bit();
+        let cb1 = b.counter_bit();
+        b.connect(Pin::new(cb0, CounterBit::CARRY), Pin::new(cb1, CounterBit::IN));
+        let s_read = b.splitter();
+        b.connect(Pin::new(s_read, Splitter::OUT0), Pin::new(cb0, CounterBit::READ));
+        b.connect(Pin::new(s_read, Splitter::OUT1), Pin::new(cb1, CounterBit::READ));
+        let s_reset = b.splitter();
+        b.connect(Pin::new(s_reset, Splitter::OUT0), Pin::new(cb0, CounterBit::RESET));
+        b.connect(Pin::new(s_reset, Splitter::OUT1), Pin::new(cb1, CounterBit::RESET));
+        HcReadPorts {
+            input: Pin::new(cb0, CounterBit::IN),
+            read: Pin::new(s_read, Splitter::IN),
+            reset: Pin::new(s_reset, Splitter::IN),
+            b0: Pin::new(cb0, CounterBit::VALUE),
+            b1: Pin::new(cb1, CounterBit::VALUE),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_sim::simulator::Simulator;
+    use sfq_sim::time::Time;
+
+    #[test]
+    fn hc_clk_triples_pulse() {
+        let mut b = CircuitBuilder::new();
+        let ports = build_hc_clk(&mut b);
+        let mut sim = Simulator::new(b.finish());
+        let p = sim.probe(ports.output, "out");
+        sim.inject(ports.input, Time::from_ps(100.0));
+        sim.run();
+        let pulses = sim.probe_trace(p).pulses().to_vec();
+        assert_eq!(pulses.len(), 3);
+        // Exactly 10 ps apart.
+        assert_eq!((pulses[1] - pulses[0]).as_ps(), HCDRO_PULSE_SEP_PS);
+        assert_eq!((pulses[2] - pulses[1]).as_ps(), HCDRO_PULSE_SEP_PS);
+        // First pulse at the documented latency.
+        assert_eq!(pulses[0], Time::from_ps(100.0) + ports.first_pulse_delay);
+        assert!(sim.violations().is_empty());
+    }
+
+    #[test]
+    fn hc_write_encodes_every_value() {
+        for value in 0u8..4 {
+            let mut b = CircuitBuilder::new();
+            let ports = build_hc_write(&mut b);
+            let mut sim = Simulator::new(b.finish());
+            let p = sim.probe(ports.output, "out");
+            let t = Time::from_ps(50.0);
+            if value & 1 != 0 {
+                sim.inject(ports.b0, t);
+            }
+            if value & 2 != 0 {
+                sim.inject(ports.b1, t);
+            }
+            sim.run();
+            let pulses = sim.probe_trace(p).pulses().to_vec();
+            assert_eq!(pulses.len() as u8, value, "value {value} must map to {value} pulses");
+            // All pulses land on 10 ps-separated slots.
+            for w in pulses.windows(2) {
+                assert_eq!((w[1] - w[0]).as_ps(), HCDRO_PULSE_SEP_PS);
+            }
+        }
+    }
+
+    #[test]
+    fn hc_read_decodes_every_count() {
+        for count in 0u8..4 {
+            let mut b = CircuitBuilder::new();
+            let ports = build_hc_read(&mut b);
+            let mut sim = Simulator::new(b.finish());
+            let p0 = sim.probe(ports.b0, "b0");
+            let p1 = sim.probe(ports.b1, "b1");
+            for i in 0..count {
+                sim.inject(ports.input, Time::from_ps(10.0 * i as f64));
+            }
+            sim.inject(ports.read, Time::from_ps(100.0));
+            sim.run();
+            let b0 = sim.probe_trace(p0).len() as u8;
+            let b1 = sim.probe_trace(p1).len() as u8;
+            assert_eq!(b0 + 2 * b1, count, "decoded value mismatch for count {count}");
+        }
+    }
+
+    #[test]
+    fn hc_read_reset_clears_counter() {
+        let mut b = CircuitBuilder::new();
+        let ports = build_hc_read(&mut b);
+        let mut sim = Simulator::new(b.finish());
+        let p0 = sim.probe(ports.b0, "b0");
+        let p1 = sim.probe(ports.b1, "b1");
+        sim.inject(ports.input, Time::from_ps(0.0));
+        sim.inject(ports.input, Time::from_ps(10.0));
+        sim.inject(ports.reset, Time::from_ps(50.0));
+        sim.inject(ports.read, Time::from_ps(100.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(p0).len() + sim.probe_trace(p1).len(), 0);
+    }
+
+    #[test]
+    fn write_then_clk_then_read_round_trip() {
+        // End-to-end: HC-WRITE -> HC-DRO -> (3×CLK via HC-CLK) -> HC-READ.
+        for value in 0u8..4 {
+            let mut b = CircuitBuilder::new();
+            let w = build_hc_write(&mut b);
+            let cell = b.hcdro();
+            let clk = build_hc_clk(&mut b);
+            let r = build_hc_read(&mut b);
+            b.connect(w.output, Pin::new(cell, crate::storage::HcDro::D));
+            b.connect(clk.output, Pin::new(cell, crate::storage::HcDro::CLK));
+            b.connect(Pin::new(cell, crate::storage::HcDro::Q), r.input);
+            let mut sim = Simulator::new(b.finish());
+            let p0 = sim.probe(r.b0, "b0");
+            let p1 = sim.probe(r.b1, "b1");
+            let t0 = Time::from_ps(0.0);
+            if value & 1 != 0 {
+                sim.inject(w.b0, t0);
+            }
+            if value & 2 != 0 {
+                sim.inject(w.b1, t0);
+            }
+            // Read the cell well after the write train has settled.
+            sim.inject(clk.input, Time::from_ps(100.0));
+            sim.inject(r.read, Time::from_ps(200.0));
+            sim.run();
+            let decoded =
+                sim.probe_trace(p0).len() as u8 + 2 * sim.probe_trace(p1).len() as u8;
+            assert_eq!(decoded, value, "round trip failed for {value}");
+            assert!(sim.violations().is_empty(), "round trip for {value} violated timing");
+        }
+    }
+}

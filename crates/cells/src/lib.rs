@@ -1,0 +1,54 @@
+//! # sfq-cells — behavioral SFQ cell library
+//!
+//! The cell library underneath the HiPerRF reproduction. Every cell of the
+//! paper's designs is modelled behaviorally on top of the `sfq-sim`
+//! event-driven pulse simulator, together with its Josephson-junction count
+//! and static-power specification:
+//!
+//! * transport: [`transport::Jtl`], [`transport::Splitter`],
+//!   [`transport::Merger`]
+//! * storage: [`storage::Dro`], [`storage::HcDro`] (the dual-bit
+//!   dense-storage cell), [`storage::Ndro`], [`storage::Ndroc`] (the demux
+//!   element)
+//! * logic: [`logic::Dand`] (dynamic AND), [`logic::AndGate`],
+//!   [`logic::NotGate`], [`logic::XorGate`]
+//! * counting: [`counter::CounterBit`]
+//! * composites: [`composite::build_hc_clk`], [`composite::build_hc_write`],
+//!   [`composite::build_hc_read`]
+//!
+//! The [`spec`] module carries the JJ/power database and a census over
+//! netlists; [`timing`] is the single source of truth for every delay.
+//!
+//! ## Example: storing a dual-bit value
+//!
+//! ```
+//! use sfq_cells::builder::CircuitBuilder;
+//! use sfq_cells::composite::build_hc_write;
+//! use sfq_cells::storage::HcDro;
+//! use sfq_sim::netlist::Pin;
+//! use sfq_sim::prelude::*;
+//!
+//! let mut b = CircuitBuilder::new();
+//! let write = build_hc_write(&mut b);
+//! let cell = b.hcdro();
+//! b.connect(write.output, Pin::new(cell, HcDro::D));
+//! let mut sim = Simulator::new(b.finish());
+//! // Write the value 0b11: both bit pulses at t = 0.
+//! sim.inject(write.b0, Time::ZERO);
+//! sim.inject(write.b1, Time::ZERO);
+//! sim.run();
+//! assert_eq!(sim.netlist().component(cell).stored(), Some(3));
+//! ```
+
+pub mod builder;
+pub mod composite;
+pub mod counter;
+pub mod logic;
+pub mod spec;
+pub mod sta;
+pub mod storage;
+pub mod timing;
+pub mod transport;
+
+pub use builder::CircuitBuilder;
+pub use spec::{CellKind, CellSpec, Census};

@@ -1,0 +1,375 @@
+//! Logic gates: dynamic AND (DAND) and clocked AND / NOT / XOR.
+//!
+//! SFQ logic gates are clocked at the gate level (paper §II-A): inputs are
+//! latched until a clock pulse evaluates them. The dynamic AND \[13\] is the
+//! exception the register-file write port exploits — it has no clock and
+//! instead fires only when both inputs coincide within a hold window
+//! (paper §III-C), which eliminates clock distribution in the port.
+
+use sfq_sim::component::{Component, PulseContext};
+use sfq_sim::time::{Duration, Time};
+
+use crate::timing::{DAND_DELAY_PS, DAND_WINDOW_PS};
+
+/// Per-gate propagation delay of clocked gates (CLK → OUT), ps.
+pub const CLOCKED_GATE_DELAY_PS: f64 = 6.0;
+
+/// Dynamic AND: fires iff both inputs arrive within the hold window.
+///
+/// Pins: input `A = 0`, `B = 1`; output `OUT = 0`. Each input pulse can
+/// pair with at most one pulse of the other input.
+#[derive(Debug, Clone, Default)]
+pub struct Dand {
+    pending_a: Option<Time>,
+    pending_b: Option<Time>,
+}
+
+impl Dand {
+    /// First input pin.
+    pub const A: u8 = 0;
+    /// Second input pin.
+    pub const B: u8 = 1;
+    /// Output pin.
+    pub const OUT: u8 = 0;
+
+    /// Creates a dynamic AND gate.
+    pub fn new() -> Self {
+        Dand::default()
+    }
+
+    fn try_fire(&mut self, now: Time, other: &mut Option<Time>, ctx: &mut PulseContext<'_>) -> bool {
+        if let Some(t) = *other {
+            if now.abs_diff(t) <= Duration::from_ps(DAND_WINDOW_PS) {
+                *other = None;
+                ctx.emit_after(Self::OUT, now, Duration::from_ps(DAND_DELAY_PS));
+                return true;
+            }
+            // The earlier pulse fell out of the window; it is lost.
+            *other = None;
+        }
+        false
+    }
+}
+
+impl Component for Dand {
+    fn kind(&self) -> &'static str {
+        "dand"
+    }
+
+    fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+        match pin {
+            Self::A => {
+                let mut b = self.pending_b.take();
+                let fired = self.try_fire(now, &mut b, ctx);
+                self.pending_b = b;
+                if !fired {
+                    self.pending_a = Some(now);
+                }
+            }
+            Self::B => {
+                let mut a = self.pending_a.take();
+                let fired = self.try_fire(now, &mut a, ctx);
+                self.pending_a = a;
+                if !fired {
+                    self.pending_b = Some(now);
+                }
+            }
+            other => ctx.violation(now, "pin", format!("dand has no input pin {other}")),
+        }
+    }
+
+    fn power_on_reset(&mut self) {
+        self.pending_a = None;
+        self.pending_b = None;
+    }
+
+    fn propagation_delay(&self) -> Option<Duration> {
+        Some(Duration::from_ps(DAND_DELAY_PS))
+    }
+}
+
+/// Clocked two-input gate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateFn {
+    And,
+    Xor,
+}
+
+/// Clocked AND gate: latches input pulses and evaluates on CLK
+/// (paper Fig. 5; costs 12 JJs).
+///
+/// Pins: input `A = 0`, `B = 1`, `CLK = 2`; output `OUT = 0`.
+#[derive(Debug, Clone)]
+pub struct AndGate {
+    a: bool,
+    b: bool,
+    f: GateFn,
+}
+
+impl AndGate {
+    /// First input pin.
+    pub const A: u8 = 0;
+    /// Second input pin.
+    pub const B: u8 = 1;
+    /// Clock pin.
+    pub const CLK: u8 = 2;
+    /// Output pin.
+    pub const OUT: u8 = 0;
+
+    /// Creates a clocked AND gate.
+    pub fn new() -> Self {
+        AndGate { a: false, b: false, f: GateFn::And }
+    }
+}
+
+impl Default for AndGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Component for AndGate {
+    fn kind(&self) -> &'static str {
+        match self.f {
+            GateFn::And => "and",
+            GateFn::Xor => "xor",
+        }
+    }
+
+    fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+        match pin {
+            Self::A => self.a = true,
+            Self::B => self.b = true,
+            Self::CLK => {
+                let fire = match self.f {
+                    GateFn::And => self.a && self.b,
+                    GateFn::Xor => self.a ^ self.b,
+                };
+                self.a = false;
+                self.b = false;
+                if fire {
+                    ctx.emit_after(Self::OUT, now, Duration::from_ps(CLOCKED_GATE_DELAY_PS));
+                }
+            }
+            other => ctx.violation(now, "pin", format!("gate has no input pin {other}")),
+        }
+    }
+
+    fn power_on_reset(&mut self) {
+        self.a = false;
+        self.b = false;
+    }
+
+    fn propagation_delay(&self) -> Option<Duration> {
+        Some(Duration::from_ps(CLOCKED_GATE_DELAY_PS))
+    }
+}
+
+/// Clocked XOR gate (same latching discipline as [`AndGate`]).
+#[derive(Debug, Clone)]
+pub struct XorGate(AndGate);
+
+impl XorGate {
+    /// First input pin.
+    pub const A: u8 = 0;
+    /// Second input pin.
+    pub const B: u8 = 1;
+    /// Clock pin.
+    pub const CLK: u8 = 2;
+    /// Output pin.
+    pub const OUT: u8 = 0;
+
+    /// Creates a clocked XOR gate.
+    pub fn new() -> Self {
+        XorGate(AndGate { a: false, b: false, f: GateFn::Xor })
+    }
+}
+
+impl Default for XorGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Component for XorGate {
+    fn kind(&self) -> &'static str {
+        "xor"
+    }
+    fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+        self.0.pulse(pin, now, ctx);
+    }
+    fn power_on_reset(&mut self) {
+        self.0.power_on_reset();
+    }
+
+    fn propagation_delay(&self) -> Option<Duration> {
+        self.0.propagation_delay()
+    }
+}
+
+/// Clocked NOT gate: emits on CLK iff no input pulse was latched
+/// (costs 10 JJs, paper §III-A).
+///
+/// Pins: input `A = 0`, `CLK = 1`; output `OUT = 0`.
+#[derive(Debug, Clone, Default)]
+pub struct NotGate {
+    a: bool,
+}
+
+impl NotGate {
+    /// Data input pin.
+    pub const A: u8 = 0;
+    /// Clock pin.
+    pub const CLK: u8 = 1;
+    /// Output pin.
+    pub const OUT: u8 = 0;
+
+    /// Creates a clocked NOT gate.
+    pub fn new() -> Self {
+        NotGate::default()
+    }
+}
+
+impl Component for NotGate {
+    fn kind(&self) -> &'static str {
+        "not"
+    }
+
+    fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+        match pin {
+            Self::A => self.a = true,
+            Self::CLK => {
+                if !self.a {
+                    ctx.emit_after(Self::OUT, now, Duration::from_ps(CLOCKED_GATE_DELAY_PS));
+                }
+                self.a = false;
+            }
+            other => ctx.violation(now, "pin", format!("not has no input pin {other}")),
+        }
+    }
+
+    fn power_on_reset(&mut self) {
+        self.a = false;
+    }
+
+    fn propagation_delay(&self) -> Option<Duration> {
+        Some(Duration::from_ps(CLOCKED_GATE_DELAY_PS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_sim::netlist::{Netlist, Pin};
+    use sfq_sim::simulator::Simulator;
+
+    fn single(cell: Box<dyn Component>) -> (Simulator, sfq_sim::netlist::ComponentId) {
+        let mut n = Netlist::new();
+        let id = n.add("g", cell);
+        (Simulator::new(n), id)
+    }
+
+    #[test]
+    fn dand_fires_on_coincidence() {
+        let (mut sim, id) = single(Box::new(Dand::new()));
+        let p = sim.probe(Pin::new(id, Dand::OUT), "out");
+        sim.inject(Pin::new(id, Dand::A), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, Dand::B), Time::from_ps(3.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(p).pulses(), &[Time::from_ps(3.0 + DAND_DELAY_PS)]);
+    }
+
+    #[test]
+    fn dand_misses_outside_window() {
+        let (mut sim, id) = single(Box::new(Dand::new()));
+        let p = sim.probe(Pin::new(id, Dand::OUT), "out");
+        sim.inject(Pin::new(id, Dand::A), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, Dand::B), Time::from_ps(20.0));
+        sim.run();
+        assert!(sim.probe_trace(p).is_empty());
+    }
+
+    #[test]
+    fn dand_pairs_each_pulse_once() {
+        let (mut sim, id) = single(Box::new(Dand::new()));
+        let p = sim.probe(Pin::new(id, Dand::OUT), "out");
+        // One A pulse, two B pulses nearby: only one output.
+        sim.inject(Pin::new(id, Dand::A), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, Dand::B), Time::from_ps(2.0));
+        sim.inject(Pin::new(id, Dand::B), Time::from_ps(5.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 1);
+    }
+
+    #[test]
+    fn dand_serial_train_gated() {
+        // Three aligned pulse pairs, 10 ps apart: three outputs — this is
+        // how the HiPerRF write port gates HC-DRO pulse trains.
+        let (mut sim, id) = single(Box::new(Dand::new()));
+        let p = sim.probe(Pin::new(id, Dand::OUT), "out");
+        for i in 0..3 {
+            let t = 10.0 * i as f64;
+            sim.inject(Pin::new(id, Dand::A), Time::from_ps(t));
+            sim.inject(Pin::new(id, Dand::B), Time::from_ps(t + 1.0));
+        }
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 3);
+    }
+
+    #[test]
+    fn and_gate_truth_table() {
+        let (mut sim, id) = single(Box::new(AndGate::new()));
+        let p = sim.probe(Pin::new(id, AndGate::OUT), "out");
+        // 1&1 -> 1
+        sim.inject(Pin::new(id, AndGate::A), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, AndGate::B), Time::from_ps(1.0));
+        sim.inject(Pin::new(id, AndGate::CLK), Time::from_ps(10.0));
+        // 1&0 -> 0
+        sim.inject(Pin::new(id, AndGate::A), Time::from_ps(20.0));
+        sim.inject(Pin::new(id, AndGate::CLK), Time::from_ps(30.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 1);
+    }
+
+    #[test]
+    fn xor_gate_truth_table() {
+        let (mut sim, id) = single(Box::new(XorGate::new()));
+        let p = sim.probe(Pin::new(id, XorGate::OUT), "out");
+        // 1^0 -> 1
+        sim.inject(Pin::new(id, XorGate::A), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, XorGate::CLK), Time::from_ps(10.0));
+        // 1^1 -> 0
+        sim.inject(Pin::new(id, XorGate::A), Time::from_ps(20.0));
+        sim.inject(Pin::new(id, XorGate::B), Time::from_ps(21.0));
+        sim.inject(Pin::new(id, XorGate::CLK), Time::from_ps(30.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 1);
+    }
+
+    #[test]
+    fn not_gate_inverts() {
+        let (mut sim, id) = single(Box::new(NotGate::new()));
+        let p = sim.probe(Pin::new(id, NotGate::OUT), "out");
+        // no input -> 1
+        sim.inject(Pin::new(id, NotGate::CLK), Time::from_ps(10.0));
+        // input -> 0
+        sim.inject(Pin::new(id, NotGate::A), Time::from_ps(20.0));
+        sim.inject(Pin::new(id, NotGate::CLK), Time::from_ps(30.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 1);
+        assert_eq!(sim.probe_trace(p).pulses()[0], Time::from_ps(10.0 + CLOCKED_GATE_DELAY_PS));
+    }
+
+    #[test]
+    fn gate_state_clears_after_clock() {
+        let (mut sim, id) = single(Box::new(AndGate::new()));
+        let p = sim.probe(Pin::new(id, AndGate::OUT), "out");
+        sim.inject(Pin::new(id, AndGate::A), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, AndGate::B), Time::from_ps(0.5));
+        sim.inject(Pin::new(id, AndGate::CLK), Time::from_ps(5.0));
+        // Latches were consumed; a bare clock produces nothing.
+        sim.inject(Pin::new(id, AndGate::CLK), Time::from_ps(15.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 1);
+    }
+}

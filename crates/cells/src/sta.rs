@@ -1,0 +1,252 @@
+//! Static timing analysis over netlists (the qSTA \[21\] stand-in).
+//!
+//! Computes worst-case arrival times from a set of start pins by
+//! longest-path relaxation over the component graph, using each cell's
+//! nominal [`propagation_delay`](sfq_sim::component::Component::propagation_delay)
+//! plus the wire delays. SFQ register files contain real feedback (the
+//! HiPerRF loopback), so the analysis takes an explicit set of *cut*
+//! components at which propagation stops; an uncut positive cycle is
+//! reported as an error rather than silently iterated.
+
+use std::collections::HashSet;
+
+use sfq_sim::netlist::{ComponentId, Netlist, Pin};
+
+/// Error from a timing analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaError {
+    /// The graph contains a cycle not covered by the cut set; arrival
+    /// times would be unbounded.
+    UncutCycle {
+        /// A component on the offending cycle.
+        witness: ComponentId,
+    },
+}
+
+impl std::fmt::Display for StaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StaError::UncutCycle { witness } => {
+                write!(f, "netlist cycle through {witness} not covered by the cut set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StaError {}
+
+/// Worst-case arrival times per component (input reference), in ps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTimes {
+    arrivals: Vec<Option<f64>>,
+}
+
+impl ArrivalTimes {
+    /// Arrival time at a component's inputs, if reachable.
+    pub fn at(&self, id: ComponentId) -> Option<f64> {
+        self.arrivals.get(id.index()).copied().flatten()
+    }
+
+    /// The overall critical-path delay (latest arrival anywhere).
+    pub fn critical_path_ps(&self) -> Option<f64> {
+        self.arrivals.iter().flatten().copied().fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.max(v)))
+        })
+    }
+
+    /// Components whose arrival equals the critical path (within 1 fs).
+    pub fn critical_endpoints(&self) -> Vec<ComponentId> {
+        let Some(cp) = self.critical_path_ps() else { return Vec::new() };
+        self.arrivals
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_some_and(|v| (v - cp).abs() < 1e-3))
+            .map(|(i, _)| ComponentId::from_index(i))
+            .collect()
+    }
+}
+
+/// Computes worst-case arrival times from `starts` (input pins injected at
+/// t = 0), stopping at components in `cuts`.
+///
+/// # Errors
+///
+/// [`StaError::UncutCycle`] if relaxation has not converged after `n`
+/// rounds, which implies a cycle outside the cut set.
+pub fn arrival_times(
+    netlist: &Netlist,
+    starts: &[Pin],
+    cuts: &HashSet<ComponentId>,
+) -> Result<ArrivalTimes, StaError> {
+    let n = netlist.component_count();
+    let mut arrivals: Vec<Option<f64>> = vec![None; n];
+    for pin in starts {
+        let slot = &mut arrivals[pin.component.index()];
+        *slot = Some(slot.unwrap_or(0.0).max(0.0));
+    }
+
+    // Collect edges once: (src component, dst component, delay ps).
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for (id, _, comp) in netlist.iter() {
+        let Some(cell_delay) = comp.propagation_delay() else { continue };
+        if cuts.contains(&id) {
+            continue;
+        }
+        // A component may emit on several output pins; enumerate the ones
+        // that have fanout (probe pins index space is small, scan 0..4).
+        for out_pin in 0..4u8 {
+            for &(to, wire) in netlist.fanout(Pin::new(id, out_pin)) {
+                edges.push((
+                    id.index(),
+                    to.component.index(),
+                    cell_delay.as_ps() + wire.as_ps(),
+                ));
+            }
+        }
+    }
+
+    // Longest-path relaxation; at most n rounds for an acyclic reachable
+    // subgraph.
+    for _round in 0..=n {
+        let mut changed = None;
+        for &(src, dst, delay) in &edges {
+            if let Some(a) = arrivals[src] {
+                let candidate = a + delay;
+                if arrivals[dst].is_none_or(|cur| candidate > cur + 1e-9) {
+                    arrivals[dst] = Some(candidate);
+                    changed = Some(dst);
+                }
+            }
+        }
+        if changed.is_none() {
+            return Ok(ArrivalTimes { arrivals });
+        }
+        if _round == n {
+            return Err(StaError::UncutCycle {
+                witness: ComponentId::from_index(changed.expect("changed in final round")),
+            });
+        }
+    }
+    Ok(ArrivalTimes { arrivals })
+}
+
+/// Convenience: the worst-case delay from `start` to a specific component.
+///
+/// # Errors
+///
+/// Propagates [`StaError`] from [`arrival_times`].
+pub fn path_delay_ps(
+    netlist: &Netlist,
+    start: Pin,
+    end: ComponentId,
+    cuts: &HashSet<ComponentId>,
+) -> Result<Option<f64>, StaError> {
+    Ok(arrival_times(netlist, &[start], cuts)?.at(end))
+}
+
+/// Checks that every NDROC in the netlist would see enable pulses no
+/// closer than the re-arm interval, given an operation issue period: the
+/// static analogue of the dynamic re-arm violation check.
+pub fn min_issue_period_ok(issue_period_ps: f64) -> bool {
+    issue_period_ps >= crate::timing::NDROC_REARM_PS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::transport::Jtl;
+    use sfq_sim::simulator::Simulator;
+    use sfq_sim::time::{Duration, Time};
+
+    #[test]
+    fn chain_arrival_matches_simulation() {
+        let mut b = CircuitBuilder::new();
+        let a = b.jtl_with_delay(Duration::from_ps(2.0));
+        let c = b.jtl_with_delay(Duration::from_ps(5.0));
+        let d = b.jtl_with_delay(Duration::from_ps(1.5));
+        b.connect_delayed(Pin::new(a, Jtl::OUT), Pin::new(c, Jtl::IN), Duration::from_ps(0.5));
+        b.connect(Pin::new(c, Jtl::OUT), Pin::new(d, Jtl::IN));
+        let netlist = b.finish();
+
+        let times =
+            arrival_times(&netlist, &[Pin::new(a, Jtl::IN)], &HashSet::new()).expect("acyclic");
+        assert_eq!(times.at(d), Some(7.5)); // 2 + 0.5 + 5
+
+        // Dynamic check: the pulse reaches d's input at the same time, so
+        // its output fires one instance delay later.
+        let mut sim = Simulator::new(netlist);
+        let p = sim.probe(Pin::new(d, Jtl::OUT), "end");
+        sim.inject(Pin::new(a, Jtl::IN), Time::ZERO);
+        sim.run();
+        assert_eq!(sim.probe_trace(p).pulses()[0], Time::from_ps(9.0)); // + d's own 1.5
+    }
+
+    #[test]
+    fn reconvergent_paths_take_the_longest() {
+        // a splits; one branch is slow; both merge at m.
+        let mut b = CircuitBuilder::new();
+        let s = b.splitter();
+        let fast = b.jtl_with_delay(Duration::from_ps(1.0));
+        let slow = b.jtl_with_delay(Duration::from_ps(9.0));
+        let m = b.merger();
+        b.connect(Pin::new(s, crate::transport::Splitter::OUT0), Pin::new(fast, Jtl::IN));
+        b.connect(Pin::new(s, crate::transport::Splitter::OUT1), Pin::new(slow, Jtl::IN));
+        b.connect(Pin::new(fast, Jtl::OUT), Pin::new(m, crate::transport::Merger::IN_A));
+        b.connect(Pin::new(slow, Jtl::OUT), Pin::new(m, crate::transport::Merger::IN_B));
+        let netlist = b.finish();
+        let times = arrival_times(
+            &netlist,
+            &[Pin::new(s, crate::transport::Splitter::IN)],
+            &HashSet::new(),
+        )
+        .expect("acyclic");
+        // splitter 3 + slow 9 = 12 at the merger input.
+        assert_eq!(times.at(m), Some(12.0));
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.jtl();
+        let c = b.jtl();
+        b.connect(Pin::new(a, Jtl::OUT), Pin::new(c, Jtl::IN));
+        b.connect(Pin::new(c, Jtl::OUT), Pin::new(a, Jtl::IN));
+        let netlist = b.finish();
+        let err = arrival_times(&netlist, &[Pin::new(a, Jtl::IN)], &HashSet::new()).unwrap_err();
+        assert!(matches!(err, StaError::UncutCycle { .. }));
+    }
+
+    #[test]
+    fn cuts_break_cycles() {
+        let mut b = CircuitBuilder::new();
+        let a = b.jtl();
+        let c = b.jtl();
+        b.connect(Pin::new(a, Jtl::OUT), Pin::new(c, Jtl::IN));
+        b.connect(Pin::new(c, Jtl::OUT), Pin::new(a, Jtl::IN));
+        let netlist = b.finish();
+        let cuts: HashSet<_> = [c].into_iter().collect();
+        let times = arrival_times(&netlist, &[Pin::new(a, Jtl::IN)], &cuts).expect("cut");
+        assert_eq!(times.at(c), Some(2.0));
+        assert_eq!(times.critical_path_ps(), Some(2.0));
+        assert_eq!(times.critical_endpoints(), vec![c]);
+    }
+
+    #[test]
+    fn unreachable_components_have_no_arrival() {
+        let mut b = CircuitBuilder::new();
+        let a = b.jtl();
+        let lonely = b.jtl();
+        let netlist = b.finish();
+        let times =
+            arrival_times(&netlist, &[Pin::new(a, Jtl::IN)], &HashSet::new()).expect("acyclic");
+        assert_eq!(times.at(lonely), None);
+        assert_eq!(times.at(a), Some(0.0));
+    }
+
+    #[test]
+    fn issue_period_check() {
+        assert!(min_issue_period_ok(53.0));
+        assert!(!min_issue_period_ok(40.0));
+    }
+}

@@ -1,0 +1,490 @@
+//! Storage cells: DRO, HC-DRO, NDRO, NDROC.
+//!
+//! These are the memory elements of SFQ technology (paper §II-C..§II-E):
+//!
+//! * **DRO** stores at most one fluxon; a clock pulse reads it out and
+//!   resets the loop (destructive read).
+//! * **HC-DRO** accumulates up to three fluxons in one loop — the paper's
+//!   dual-bit dense-storage cell. Each clock pulse pops one fluxon.
+//! * **NDRO** keeps its fluxon across reads; a separate RESET input clears
+//!   it.
+//! * **NDROC** is an NDRO with complementary outputs, used as the 1-to-2
+//!   demux element of the clock-less register-file ports (paper §III-A).
+
+use sfq_sim::component::{Component, PulseContext};
+use sfq_sim::time::{Duration, Time};
+
+use crate::timing::{
+    DRO_CLK_TO_OUT_PS, HCDRO_CAPACITY, HCDRO_CLK_TO_OUT_PS, HCDRO_PULSE_SEP_PS, NDRO_CLK_TO_OUT_PS,
+    NDROC_PROP_PS, NDROC_REARM_PS,
+};
+
+/// Destructive-readout cell (one fluxon).
+///
+/// Pins: input `D = 0`, `CLK = 1`; output `Q = 0`.
+#[derive(Debug, Clone, Default)]
+pub struct Dro {
+    stored: bool,
+}
+
+impl Dro {
+    /// Data input pin.
+    pub const D: u8 = 0;
+    /// Read (clock) input pin.
+    pub const CLK: u8 = 1;
+    /// Output pin.
+    pub const Q: u8 = 0;
+
+    /// Creates an empty DRO cell.
+    pub fn new() -> Self {
+        Dro::default()
+    }
+}
+
+impl Component for Dro {
+    fn kind(&self) -> &'static str {
+        "dro"
+    }
+
+    fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+        match pin {
+            Self::D => {
+                // A second incoming fluxon dissipates through the buffer
+                // junction J0 (paper §II-C).
+                self.stored = true;
+            }
+            Self::CLK => {
+                if self.stored {
+                    self.stored = false;
+                    ctx.emit_after(Self::Q, now, Duration::from_ps(DRO_CLK_TO_OUT_PS));
+                }
+            }
+            other => ctx.violation(now, "pin", format!("dro has no input pin {other}")),
+        }
+    }
+
+    fn power_on_reset(&mut self) {
+        self.stored = false;
+    }
+
+    fn stored(&self) -> Option<u8> {
+        Some(self.stored as u8)
+    }
+
+    fn propagation_delay(&self) -> Option<Duration> {
+        Some(Duration::from_ps(DRO_CLK_TO_OUT_PS))
+    }
+}
+
+/// High-capacity destructive-readout cell: up to [`HCDRO_CAPACITY`] fluxons
+/// in one storage loop, i.e. two bits per cell (paper §II-D).
+///
+/// Pins: input `D = 0`, `CLK = 1`; output `Q = 0`.
+///
+/// Successive pulses on either input must be separated by at least the
+/// HC-DRO setup/hold window (10 ps); closer spacing records a timing
+/// violation (the pulse is still counted, modelling marginal operation).
+#[derive(Debug, Clone)]
+pub struct HcDro {
+    count: u8,
+    capacity: u8,
+    last_d: Option<Time>,
+    last_clk: Option<Time>,
+}
+
+impl HcDro {
+    /// Data input pin.
+    pub const D: u8 = 0;
+    /// Read (clock) input pin.
+    pub const CLK: u8 = 1;
+    /// Output pin.
+    pub const Q: u8 = 0;
+
+    /// Creates an empty 2-bit HC-DRO cell (capacity 3 fluxons).
+    pub fn new() -> Self {
+        Self::with_capacity(HCDRO_CAPACITY)
+    }
+
+    /// Creates a cell with a non-standard fluxon capacity (for the
+    /// capacity-sweep ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: u8) -> Self {
+        assert!(capacity >= 1, "capacity must be at least one fluxon");
+        HcDro { count: 0, capacity, last_d: None, last_clk: None }
+    }
+
+    /// The fluxon capacity of this instance.
+    pub fn capacity(&self) -> u8 {
+        self.capacity
+    }
+
+    fn check_sep(last: &mut Option<Time>, now: Time, what: &str, ctx: &mut PulseContext<'_>) {
+        if let Some(prev) = *last {
+            let sep = now.abs_diff(prev);
+            if sep < Duration::from_ps(HCDRO_PULSE_SEP_PS) {
+                ctx.violation(
+                    now,
+                    "hold",
+                    format!("hc-dro {what} pulses {sep} apart, need {HCDRO_PULSE_SEP_PS}ps"),
+                );
+            }
+        }
+        *last = Some(now);
+    }
+}
+
+impl Default for HcDro {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Component for HcDro {
+    fn kind(&self) -> &'static str {
+        "hcdro"
+    }
+
+    fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+        match pin {
+            Self::D => {
+                Self::check_sep(&mut self.last_d, now, "write", ctx);
+                if self.count < self.capacity {
+                    self.count += 1;
+                } // else: dissipated, the loop is full.
+            }
+            Self::CLK => {
+                Self::check_sep(&mut self.last_clk, now, "read", ctx);
+                if self.count > 0 {
+                    self.count -= 1;
+                    ctx.emit_after(Self::Q, now, Duration::from_ps(HCDRO_CLK_TO_OUT_PS));
+                }
+            }
+            other => ctx.violation(now, "pin", format!("hcdro has no input pin {other}")),
+        }
+    }
+
+    fn power_on_reset(&mut self) {
+        self.count = 0;
+        self.last_d = None;
+        self.last_clk = None;
+    }
+
+    fn stored(&self) -> Option<u8> {
+        Some(self.count)
+    }
+
+    fn propagation_delay(&self) -> Option<Duration> {
+        Some(Duration::from_ps(HCDRO_CLK_TO_OUT_PS))
+    }
+}
+
+/// Non-destructive readout cell (paper §II-E).
+///
+/// Pins: input `SET = 0`, `RESET = 1`, `CLK = 2`; output `OUT = 0`.
+/// A CLK pulse emits an output pulse iff a fluxon is stored, and the fluxon
+/// stays.
+#[derive(Debug, Clone, Default)]
+pub struct Ndro {
+    stored: bool,
+}
+
+impl Ndro {
+    /// Set (data) input pin.
+    pub const SET: u8 = 0;
+    /// Reset input pin.
+    pub const RESET: u8 = 1;
+    /// Read (clock) input pin.
+    pub const CLK: u8 = 2;
+    /// Output pin.
+    pub const OUT: u8 = 0;
+
+    /// Creates an empty NDRO cell.
+    pub fn new() -> Self {
+        Ndro::default()
+    }
+
+    /// Creates an NDRO holding a fluxon (for driver initialization).
+    pub fn holding() -> Self {
+        Ndro { stored: true }
+    }
+}
+
+impl Component for Ndro {
+    fn kind(&self) -> &'static str {
+        "ndro"
+    }
+
+    fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+        match pin {
+            Self::SET => self.stored = true, // duplicate SET dissipates via J2
+            Self::RESET => self.stored = false, // empty RESET dissipates via J5
+            Self::CLK => {
+                if self.stored {
+                    ctx.emit_after(Self::OUT, now, Duration::from_ps(NDRO_CLK_TO_OUT_PS));
+                }
+            }
+            other => ctx.violation(now, "pin", format!("ndro has no input pin {other}")),
+        }
+    }
+
+    fn power_on_reset(&mut self) {
+        self.stored = false;
+    }
+
+    fn stored(&self) -> Option<u8> {
+        Some(self.stored as u8)
+    }
+
+    fn propagation_delay(&self) -> Option<Duration> {
+        Some(Duration::from_ps(NDRO_CLK_TO_OUT_PS))
+    }
+}
+
+/// NDRO with complementary outputs — the 1-to-2 demux element (paper §III-A).
+///
+/// Pins: input `SET = 0`, `RESET = 1`, `CLK = 2`; outputs `OUT0 = 0`
+/// (selected when a fluxon is stored) and `OUT1 = 1` (complement).
+///
+/// Successive CLK (enable) pulses must be at least the re-arm time apart
+/// (53 ps, paper §III-E); closer spacing records a `re-arm` violation.
+#[derive(Debug, Clone, Default)]
+pub struct Ndroc {
+    stored: bool,
+    last_clk: Option<Time>,
+}
+
+impl Ndroc {
+    /// Set (select) input pin.
+    pub const SET: u8 = 0;
+    /// Reset input pin.
+    pub const RESET: u8 = 1;
+    /// Enable (clock) input pin.
+    pub const CLK: u8 = 2;
+    /// Output taken when the select fluxon is present.
+    pub const OUT0: u8 = 0;
+    /// Complementary output (select fluxon absent).
+    pub const OUT1: u8 = 1;
+
+    /// Creates an unselected NDROC.
+    pub fn new() -> Self {
+        Ndroc::default()
+    }
+}
+
+impl Component for Ndroc {
+    fn kind(&self) -> &'static str {
+        "ndroc"
+    }
+
+    fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+        match pin {
+            Self::SET => self.stored = true,
+            Self::RESET => self.stored = false,
+            Self::CLK => {
+                if let Some(prev) = self.last_clk {
+                    let sep = now.abs_diff(prev);
+                    if sep < Duration::from_ps(NDROC_REARM_PS) {
+                        ctx.violation(
+                            now,
+                            "re-arm",
+                            format!("ndroc enables {sep} apart, need {NDROC_REARM_PS}ps"),
+                        );
+                    }
+                }
+                self.last_clk = Some(now);
+                let out = if self.stored { Self::OUT0 } else { Self::OUT1 };
+                ctx.emit_after(out, now, Duration::from_ps(NDROC_PROP_PS));
+            }
+            other => ctx.violation(now, "pin", format!("ndroc has no input pin {other}")),
+        }
+    }
+
+    fn power_on_reset(&mut self) {
+        self.stored = false;
+        self.last_clk = None;
+    }
+
+    fn stored(&self) -> Option<u8> {
+        Some(self.stored as u8)
+    }
+
+    fn propagation_delay(&self) -> Option<Duration> {
+        Some(Duration::from_ps(NDROC_PROP_PS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_sim::netlist::{Netlist, Pin};
+    use sfq_sim::simulator::Simulator;
+
+    fn single(cell: Box<dyn Component>) -> (Simulator, sfq_sim::netlist::ComponentId) {
+        let mut n = Netlist::new();
+        let id = n.add("cell", cell);
+        (Simulator::new(n), id)
+    }
+
+    #[test]
+    fn dro_read_is_destructive() {
+        let (mut sim, id) = single(Box::new(Dro::new()));
+        let p = sim.probe(Pin::new(id, Dro::Q), "q");
+        sim.inject(Pin::new(id, Dro::D), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, Dro::CLK), Time::from_ps(20.0));
+        sim.inject(Pin::new(id, Dro::CLK), Time::from_ps(40.0));
+        sim.run();
+        // Second read finds nothing.
+        assert_eq!(sim.probe_trace(p).len(), 1);
+    }
+
+    #[test]
+    fn dro_extra_write_dissipates() {
+        let (mut sim, id) = single(Box::new(Dro::new()));
+        let p = sim.probe(Pin::new(id, Dro::Q), "q");
+        sim.inject(Pin::new(id, Dro::D), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, Dro::D), Time::from_ps(15.0));
+        sim.inject(Pin::new(id, Dro::CLK), Time::from_ps(30.0));
+        sim.inject(Pin::new(id, Dro::CLK), Time::from_ps(90.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 1, "a DRO holds at most one fluxon");
+    }
+
+    #[test]
+    fn hcdro_stores_three_fluxons() {
+        let (mut sim, id) = single(Box::new(HcDro::new()));
+        let p = sim.probe(Pin::new(id, HcDro::Q), "q");
+        for i in 0..3 {
+            sim.inject(Pin::new(id, HcDro::D), Time::from_ps(10.0 * i as f64));
+        }
+        for i in 0..4 {
+            sim.inject(Pin::new(id, HcDro::CLK), Time::from_ps(100.0 + 10.0 * i as f64));
+        }
+        sim.run();
+        // Three pulses out; the fourth clock finds an empty loop.
+        assert_eq!(sim.probe_trace(p).len(), 3);
+        assert!(sim.violations().is_empty());
+    }
+
+    #[test]
+    fn hcdro_overflow_dissipates() {
+        let (mut sim, id) = single(Box::new(HcDro::new()));
+        let p = sim.probe(Pin::new(id, HcDro::Q), "q");
+        for i in 0..5 {
+            sim.inject(Pin::new(id, HcDro::D), Time::from_ps(10.0 * i as f64));
+        }
+        for i in 0..5 {
+            sim.inject(Pin::new(id, HcDro::CLK), Time::from_ps(200.0 + 10.0 * i as f64));
+        }
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 3, "capacity is three fluxons");
+    }
+
+    #[test]
+    fn hcdro_close_pulses_violate_hold() {
+        let (mut sim, id) = single(Box::new(HcDro::new()));
+        sim.inject(Pin::new(id, HcDro::D), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, HcDro::D), Time::from_ps(4.0));
+        sim.run();
+        assert_eq!(sim.violations().len(), 1);
+        assert_eq!(sim.violations()[0].kind, "hold");
+    }
+
+    #[test]
+    fn hcdro_capacity_one_behaves_like_dro() {
+        let (mut sim, id) = single(Box::new(HcDro::with_capacity(1)));
+        let p = sim.probe(Pin::new(id, HcDro::Q), "q");
+        sim.inject(Pin::new(id, HcDro::D), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, HcDro::D), Time::from_ps(20.0));
+        sim.inject(Pin::new(id, HcDro::CLK), Time::from_ps(50.0));
+        sim.inject(Pin::new(id, HcDro::CLK), Time::from_ps(70.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 1);
+    }
+
+    #[test]
+    fn ndro_read_is_non_destructive() {
+        let (mut sim, id) = single(Box::new(Ndro::new()));
+        let p = sim.probe(Pin::new(id, Ndro::OUT), "out");
+        sim.inject(Pin::new(id, Ndro::SET), Time::from_ps(0.0));
+        for i in 0..5 {
+            sim.inject(Pin::new(id, Ndro::CLK), Time::from_ps(20.0 + 60.0 * i as f64));
+        }
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 5);
+    }
+
+    #[test]
+    fn ndro_reset_clears() {
+        let (mut sim, id) = single(Box::new(Ndro::new()));
+        let p = sim.probe(Pin::new(id, Ndro::OUT), "out");
+        sim.inject(Pin::new(id, Ndro::SET), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, Ndro::RESET), Time::from_ps(10.0));
+        sim.inject(Pin::new(id, Ndro::CLK), Time::from_ps(20.0));
+        sim.run();
+        assert!(sim.probe_trace(p).is_empty());
+    }
+
+    #[test]
+    fn ndro_reset_on_empty_is_harmless() {
+        let (mut sim, id) = single(Box::new(Ndro::new()));
+        sim.inject(Pin::new(id, Ndro::RESET), Time::from_ps(0.0));
+        sim.run();
+        assert!(sim.violations().is_empty());
+    }
+
+    #[test]
+    fn ndroc_routes_by_select() {
+        let (mut sim, id) = single(Box::new(Ndroc::new()));
+        let p0 = sim.probe(Pin::new(id, Ndroc::OUT0), "o0");
+        let p1 = sim.probe(Pin::new(id, Ndroc::OUT1), "o1");
+        // Unselected: complement output.
+        sim.inject(Pin::new(id, Ndroc::CLK), Time::from_ps(0.0));
+        // Selected: primary output.
+        sim.inject(Pin::new(id, Ndroc::SET), Time::from_ps(30.0));
+        sim.inject(Pin::new(id, Ndroc::CLK), Time::from_ps(60.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(p0).len(), 1);
+        assert_eq!(sim.probe_trace(p1).len(), 1);
+        assert_eq!(
+            sim.probe_trace(p0).pulses()[0],
+            Time::from_ps(60.0 + NDROC_PROP_PS)
+        );
+    }
+
+    #[test]
+    fn ndroc_rearm_violation() {
+        let (mut sim, id) = single(Box::new(Ndroc::new()));
+        sim.inject(Pin::new(id, Ndroc::CLK), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, Ndroc::CLK), Time::from_ps(40.0));
+        sim.run();
+        assert_eq!(sim.violations().len(), 1);
+        assert_eq!(sim.violations()[0].kind, "re-arm");
+    }
+
+    #[test]
+    fn ndroc_retains_select_until_reset() {
+        let (mut sim, id) = single(Box::new(Ndroc::new()));
+        let p0 = sim.probe(Pin::new(id, Ndroc::OUT0), "o0");
+        sim.inject(Pin::new(id, Ndroc::SET), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, Ndroc::CLK), Time::from_ps(10.0));
+        sim.inject(Pin::new(id, Ndroc::CLK), Time::from_ps(70.0));
+        sim.inject(Pin::new(id, Ndroc::RESET), Time::from_ps(100.0));
+        sim.inject(Pin::new(id, Ndroc::CLK), Time::from_ps(130.0));
+        sim.run();
+        // Two selected reads, third goes to the complement.
+        assert_eq!(sim.probe_trace(p0).len(), 2);
+    }
+
+    #[test]
+    fn stored_peek() {
+        let mut h = HcDro::new();
+        assert_eq!(h.stored(), Some(0));
+        h.count = 2;
+        assert_eq!(h.stored(), Some(2));
+        h.power_on_reset();
+        assert_eq!(h.stored(), Some(0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Calibrated timing constants for the SFQ cell library.
+//!
+//! These are the single source of truth for every delay in the workspace.
+//! Values come from the HiPerRF paper (HPCA 2022) where stated, and from
+//! the paper's published design tables where they had to be inferred:
+//!
+//! * The NDROC demux element needs **53 ps** between successive enable
+//!   pulses (`Hold_RESET + Critical_RESET→SET + Setup_SET`), which sets the
+//!   register-file cycle time (paper §III-E).
+//! * NDROC propagation (IN→OUT) is **24 ps** (paper §III-E).
+//! * HC-DRO cells need **10 ps** separation between successive stored or
+//!   read pulses (setup/hold, paper §IV-A).
+//! * The critical time between a register RESET and the next data pulse is
+//!   **10 ps** (paper §III-E).
+//! * The mean placed-and-routed wire is **262 µm** of PTL at
+//!   **1 ps / 100 µm**, i.e. **2.62 ps per hop** (paper §VI-C).
+//! * The synthesized Sodor core has a worst-case gate-level cycle of
+//!   **28 ps**; each register-file cycle (53 ps) spans two gate cycles
+//!   (paper §VI-B).
+//!
+//! The remaining primitive delays (splitter, merger, JTL, cell read-out
+//! delays) are not individually printed in the paper; they are calibrated
+//! so that the composed read-path latency reproduces the paper's Table III
+//! readout delays *exactly* (see `hiperrf::delay` for the composition).
+
+use sfq_sim::time::Duration;
+
+/// Josephson transmission line default propagation delay (ps).
+pub const JTL_DELAY_PS: f64 = 2.0;
+/// Splitter propagation delay (ps).
+pub const SPLITTER_DELAY_PS: f64 = 3.0;
+/// Merger (confluence buffer) propagation delay (ps).
+pub const MERGER_DELAY_PS: f64 = 5.0;
+/// Merger dead time: a second pulse arriving within this window of the
+/// previous *output* is dissipated (paper §II-F).
+pub const MERGER_DEAD_PS: f64 = 3.0;
+
+/// NDROC (complementary-output NDRO demux element) propagation delay,
+/// IN → OUT (paper §III-E).
+pub const NDROC_PROP_PS: f64 = 24.0;
+/// Minimum separation of two successive NDROC enable pulses; this is the
+/// register-file cycle time (paper §III-E).
+pub const NDROC_REARM_PS: f64 = 53.0;
+
+/// NDRO cell CLK → OUT delay.
+pub const NDRO_CLK_TO_OUT_PS: f64 = 5.0;
+/// DRO cell CLK → OUT delay.
+pub const DRO_CLK_TO_OUT_PS: f64 = 4.0;
+/// HC-DRO cell CLK → OUT delay.
+pub const HCDRO_CLK_TO_OUT_PS: f64 = 5.0;
+/// Minimum separation between successive pulses written into or read out of
+/// an HC-DRO cell (setup/hold, paper §IV-A).
+pub const HCDRO_PULSE_SEP_PS: f64 = 10.0;
+/// Maximum fluxons a 2-bit HC-DRO cell can hold (paper §II-D).
+pub const HCDRO_CAPACITY: u8 = 3;
+
+/// Dynamic-AND coincidence window: both inputs must arrive within this hold
+/// window for an output pulse (paper §III-C, \[13\]).
+pub const DAND_WINDOW_PS: f64 = 8.0;
+/// Dynamic-AND propagation delay from the *later* input.
+pub const DAND_DELAY_PS: f64 = 4.0;
+
+/// Critical time from a register RESET pulse to the first data pulse on its
+/// input (paper §III-E).
+pub const RESET_TO_WRITE_PS: f64 = 10.0;
+
+/// Counter bit (T-flip-flop based, used by HC-READ) toggle → carry delay.
+pub const COUNTER_CARRY_PS: f64 = 4.0;
+/// Counter bit READ → VALUE delay.
+pub const COUNTER_READ_PS: f64 = 4.0;
+
+/// PTL propagation: 1 ps per 100 µm (paper §VI-C).
+pub const PTL_PS_PER_100UM: f64 = 1.0;
+/// Mean placed-and-routed wire length between two gates (µm, paper §VI-C).
+pub const MEAN_HOP_UM: f64 = 262.0;
+/// Mean PTL wire delay per gate-to-gate hop (ps).
+pub const PTL_HOP_PS: f64 = PTL_PS_PER_100UM * MEAN_HOP_UM / 100.0;
+
+/// Worst-case synthesized gate-level cycle time of the Sodor core (ps).
+pub const GATE_CYCLE_PS: f64 = 28.0;
+/// Register-file cycle time (ps); equals [`NDROC_REARM_PS`].
+pub const RF_CYCLE_PS: f64 = NDROC_REARM_PS;
+/// Gate cycles consumed by one register-file cycle (53 ps at 28 ps/gate
+/// rounds up to 2, paper §VI-B: "each read or write operation takes two
+/// cycles").
+pub const GATE_CYCLES_PER_RF_CYCLE: u64 = 2;
+
+/// [`Duration`] convenience constructors for the constants above.
+pub mod durations {
+    use super::*;
+
+    /// Minimum HC-DRO pulse separation as a [`Duration`].
+    pub fn hcdro_pulse_sep() -> Duration {
+        Duration::from_ps(HCDRO_PULSE_SEP_PS)
+    }
+
+    /// NDROC re-arm time (register-file cycle) as a [`Duration`].
+    pub fn rf_cycle() -> Duration {
+        Duration::from_ps(RF_CYCLE_PS)
+    }
+
+    /// Mean PTL hop delay as a [`Duration`].
+    pub fn ptl_hop() -> Duration {
+        Duration::from_ps(PTL_HOP_PS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptl_hop_matches_paper() {
+        // 262 µm at 1 ps / 100 µm = 2.62 ps (paper §VI-C).
+        assert!((PTL_HOP_PS - 2.62).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn rf_cycle_spans_two_gate_cycles() {
+        assert!(RF_CYCLE_PS <= GATE_CYCLE_PS * GATE_CYCLES_PER_RF_CYCLE as f64);
+        assert!(RF_CYCLE_PS > GATE_CYCLE_PS);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn merger_dead_time_passes_hc_pulse_trains() {
+        // Serial HC-DRO pulse trains are 10 ps apart and must survive mergers.
+        assert!(MERGER_DEAD_PS < HCDRO_PULSE_SEP_PS);
+    }
+
+    #[test]
+    fn duration_helpers() {
+        assert_eq!(durations::rf_cycle().as_ps(), 53.0);
+        assert_eq!(durations::hcdro_pulse_sep().as_ps(), 10.0);
+        assert!((durations::ptl_hop().as_ps() - 2.62).abs() < 1e-9);
+    }
+}

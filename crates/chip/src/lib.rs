@@ -1,0 +1,18 @@
+//! # sfq-chip — Sodor-core chip budget and place-and-route models
+//!
+//! The whole-chip side of the HiPerRF evaluation (paper §VI-A full-chip
+//! benefit and §VI-C wire-delay impact):
+//!
+//! * [`sodor`] — the five-component Sodor core JJ budget, regenerating the
+//!   paper's 139,801 → 117,039 JJ (−16.3%) headline when HiPerRF replaces
+//!   the baseline register file;
+//! * [`pnr`] — the placement statistics (262 µm mean PTL hop, 2.62 ps),
+//!   Table IV with wire delays, and the Fig. 15 stand-in loopback-path
+//!   report (longest loopback wire 4.6 ps).
+
+pub mod energy;
+pub mod pnr;
+pub mod sodor;
+
+pub use pnr::{loopback_path, table4, wire_stats};
+pub use sodor::{chip_budget, ChipBudget};

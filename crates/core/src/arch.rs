@@ -1,0 +1,253 @@
+//! Architectural (cycle-level) register-file models with hazard tracking.
+//!
+//! Where the structural models in [`crate::hiperrf_rf`] simulate every
+//! fluxon, these models operate at register-file-cycle granularity and are
+//! what the gate-level CPU simulator plugs in. They enforce the hazard
+//! rules of the paper:
+//!
+//! * reading a HiPerRF register *consumes* it; the value is back after the
+//!   loopback write completes (two RF cycles later, Fig. 11) — reading it
+//!   again earlier is the Read-After-Read hazard and must be satisfied by
+//!   duplicating the earlier readout, not by a second port access;
+//! * writing requires the erase read first, so a write also occupies the
+//!   loopback machinery.
+//!
+//! The models return [`HazardError`] instead of silently corrupting data,
+//! so schedulers are verified against the hardware's actual constraints.
+
+use std::fmt;
+
+use crate::config::RfGeometry;
+use crate::delay::RfDesign;
+
+/// RF cycles from a read until the loopback write has restored the value
+/// (read in cycle `k`, loopback write in `k + 1`, readable in `k + 2`).
+pub const LOOPBACK_RF_CYCLES: u64 = 2;
+
+/// A scheduling violation surfaced by an architectural model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HazardError {
+    /// The register is mid-loopback: its fluxons are in flight back to the
+    /// cell, so a port read would return zero (the paper's RAR hazard).
+    ReadDuringLoopback {
+        /// The register that was accessed too early.
+        reg: usize,
+        /// The cycle in which the register becomes readable again.
+        ready_at: u64,
+    },
+    /// Register index out of range.
+    OutOfRange {
+        /// The offending index.
+        reg: usize,
+    },
+}
+
+impl fmt::Display for HazardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HazardError::ReadDuringLoopback { reg, ready_at } => {
+                write!(f, "register x{reg} is mid-loopback, readable at cycle {ready_at}")
+            }
+            HazardError::OutOfRange { reg } => write!(f, "register index {reg} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for HazardError {}
+
+/// A cycle-level register file: values plus availability bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use hiperrf::arch::ArchRf;
+/// use hiperrf::config::RfGeometry;
+/// use hiperrf::delay::RfDesign;
+///
+/// let mut rf = ArchRf::new(RfDesign::HiPerRf, RfGeometry::paper_32x32());
+/// rf.write(5, 42)?;
+/// rf.advance(3);
+/// assert_eq!(rf.read(5)?, 42);
+/// # Ok::<(), hiperrf::arch::HazardError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArchRf {
+    design: RfDesign,
+    values: Vec<u64>,
+    /// Cycle at which each register becomes readable (loopback completion).
+    ready_at: Vec<u64>,
+    now: u64,
+}
+
+impl ArchRf {
+    /// Creates a zero-initialized register file at cycle 0.
+    pub fn new(design: RfDesign, geometry: RfGeometry) -> Self {
+        ArchRf {
+            design,
+            values: vec![0; geometry.registers()],
+            ready_at: vec![0; geometry.registers()],
+            now: 0,
+        }
+    }
+
+    /// The design this model follows.
+    pub fn design(&self) -> RfDesign {
+        self.design
+    }
+
+    /// The current RF cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the RF clock by `cycles`.
+    pub fn advance(&mut self, cycles: u64) {
+        self.now += cycles;
+    }
+
+    fn destructive(&self) -> bool {
+        !matches!(self.design, RfDesign::NdroBaseline)
+    }
+
+    fn check(&self, reg: usize) -> Result<(), HazardError> {
+        if reg >= self.values.len() {
+            return Err(HazardError::OutOfRange { reg });
+        }
+        Ok(())
+    }
+
+    /// Reads a register through the port.
+    ///
+    /// For the HC designs this consumes the value and starts the loopback
+    /// restore; the register is unreadable for [`LOOPBACK_RF_CYCLES`].
+    ///
+    /// # Errors
+    ///
+    /// [`HazardError::ReadDuringLoopback`] if the register is mid-restore,
+    /// [`HazardError::OutOfRange`] for a bad index.
+    pub fn read(&mut self, reg: usize) -> Result<u64, HazardError> {
+        self.check(reg)?;
+        if self.destructive() {
+            if self.now < self.ready_at[reg] {
+                return Err(HazardError::ReadDuringLoopback { reg, ready_at: self.ready_at[reg] });
+            }
+            self.ready_at[reg] = self.now + LOOPBACK_RF_CYCLES;
+        }
+        Ok(self.values[reg])
+    }
+
+    /// Returns the cycle at which `reg` becomes readable (`now` if it is
+    /// readable immediately).
+    pub fn readable_at(&self, reg: usize) -> u64 {
+        if self.destructive() {
+            self.ready_at[reg].max(self.now)
+        } else {
+            self.now
+        }
+    }
+
+    /// Writes a register. The HC designs first erase the register with a
+    /// LoopBuffer-blocked read, which also requires the register not to be
+    /// mid-loopback.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ArchRf::read`].
+    pub fn write(&mut self, reg: usize, value: u64) -> Result<(), HazardError> {
+        self.check(reg)?;
+        if self.destructive() {
+            if self.now < self.ready_at[reg] {
+                return Err(HazardError::ReadDuringLoopback { reg, ready_at: self.ready_at[reg] });
+            }
+            // Erase read occupies this cycle; the new value lands next cycle.
+            self.ready_at[reg] = self.now + 1;
+        }
+        self.values[reg] = value;
+        Ok(())
+    }
+
+    /// Peeks a register without port semantics (testing aid).
+    pub fn peek(&self, reg: usize) -> u64 {
+        self.values[reg]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hc() -> ArchRf {
+        ArchRf::new(RfDesign::HiPerRf, RfGeometry::paper_32x32())
+    }
+
+    #[test]
+    fn baseline_reads_repeatedly_same_cycle() {
+        let mut rf = ArchRf::new(RfDesign::NdroBaseline, RfGeometry::paper_32x32());
+        rf.write(3, 7).unwrap();
+        assert_eq!(rf.read(3).unwrap(), 7);
+        assert_eq!(rf.read(3).unwrap(), 7, "NDRO reads are non-destructive");
+    }
+
+    #[test]
+    fn hiperrf_rar_hazard_detected() {
+        let mut rf = hc();
+        rf.write(3, 9).unwrap();
+        rf.advance(2);
+        assert_eq!(rf.read(3).unwrap(), 9);
+        // Second read in the same cycle: fluxons are in flight.
+        let err = rf.read(3).unwrap_err();
+        assert!(matches!(err, HazardError::ReadDuringLoopback { reg: 3, ready_at }
+            if ready_at == rf.now() + LOOPBACK_RF_CYCLES));
+    }
+
+    #[test]
+    fn loopback_completes_after_two_cycles() {
+        let mut rf = hc();
+        rf.write(1, 5).unwrap();
+        rf.advance(2);
+        assert_eq!(rf.read(1).unwrap(), 5);
+        rf.advance(1);
+        assert!(rf.read(1).is_err(), "one cycle is not enough");
+        rf.advance(1);
+        assert_eq!(rf.read(1).unwrap(), 5, "restored after loopback");
+    }
+
+    #[test]
+    fn write_during_loopback_is_a_hazard() {
+        let mut rf = hc();
+        rf.write(2, 1).unwrap();
+        rf.advance(2);
+        let _ = rf.read(2).unwrap();
+        assert!(rf.write(2, 9).is_err(), "erase read collides with the loopback");
+        rf.advance(LOOPBACK_RF_CYCLES);
+        rf.write(2, 9).unwrap();
+        rf.advance(2);
+        assert_eq!(rf.read(2).unwrap(), 9);
+    }
+
+    #[test]
+    fn readable_at_reports_restore_time() {
+        let mut rf = hc();
+        rf.write(4, 3).unwrap();
+        rf.advance(2);
+        let t0 = rf.now();
+        let _ = rf.read(4).unwrap();
+        assert_eq!(rf.readable_at(4), t0 + LOOPBACK_RF_CYCLES);
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let mut rf = hc();
+        assert!(matches!(rf.read(99), Err(HazardError::OutOfRange { reg: 99 })));
+        assert!(rf.write(99, 0).is_err());
+    }
+
+    #[test]
+    fn banked_designs_share_destructive_semantics() {
+        let mut rf = ArchRf::new(RfDesign::DualBanked, RfGeometry::paper_32x32());
+        rf.write(6, 11).unwrap();
+        rf.advance(2);
+        let _ = rf.read(6).unwrap();
+        assert!(rf.read(6).is_err());
+    }
+}

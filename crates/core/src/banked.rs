@@ -1,0 +1,278 @@
+//! The dual-banked HiPerRF register file (paper §V, Fig. 13).
+//!
+//! Two half-size HiPerRF banks split by register-number parity (odd
+//! registers in bank 0, even in bank 1, per the paper), each with its own
+//! read, write, and output port. The bank interface adds data-bit splitters
+//! feeding both banks' HC-WRITE inputs (the per-bank write gates isolate
+//! the unselected bank) plus select/enable conditioning taps.
+//!
+//! Banking halves the demux depth and drops one merger and one splitter
+//! from the loopback path, which is where the dual-banked design's readout
+//! latency advantage in Table III comes from.
+
+use sfq_cells::transport::Splitter;
+use sfq_cells::{Census, CircuitBuilder};
+use sfq_sim::netlist::Pin;
+use sfq_sim::simulator::Simulator;
+use sfq_sim::time::{Duration, Time};
+use sfq_sim::violation::Violation;
+
+use crate::config::RfGeometry;
+use crate::hc_rf::{build_hc_rf, HcBank};
+
+/// Gap between driver operations (ps).
+const OP_GAP_PS: f64 = 400.0;
+
+/// Which bank a register lives in (paper §V-B: odd register numbers are
+/// bank 0).
+pub fn bank_of(reg: usize) -> usize {
+    if reg % 2 == 1 {
+        0
+    } else {
+        1
+    }
+}
+
+/// Index of a register within its bank.
+pub fn index_in_bank(reg: usize) -> usize {
+    reg / 2
+}
+
+/// A runnable dual-banked HiPerRF with its simulator.
+///
+/// # Examples
+///
+/// ```
+/// use hiperrf::banked::DualBankRf;
+/// use hiperrf::config::RfGeometry;
+///
+/// let mut rf = DualBankRf::new(RfGeometry::paper_4x4());
+/// rf.write(3, 0b0110);
+/// assert_eq!(rf.read(3), 0b0110);
+/// ```
+#[derive(Debug)]
+pub struct DualBankRf {
+    geometry: RfGeometry,
+    sim: Simulator,
+    banks: [HcBank; 2],
+    cursor: Time,
+}
+
+impl DualBankRf {
+    /// Builds the banked register file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has fewer than four registers (two per bank).
+    pub fn new(geometry: RfGeometry) -> Self {
+        let bank_geom = geometry
+            .bank_geometry()
+            .expect("dual-banked register file needs at least four registers");
+        let mut b = CircuitBuilder::new();
+        let mut ports0 = b.scoped("bank0", |b| build_hc_rf(b, bank_geom));
+        let mut ports1 = b.scoped("bank1", |b| build_hc_rf(b, bank_geom));
+
+        // Interface: W_DATA bit splitters feeding both banks' HC-WRITE
+        // inputs. The write gates of the unselected bank never fire, so the
+        // duplicated data train is dissipated there.
+        b.push_scope("interface".to_string());
+        let c = geometry.hc_columns();
+        let mut data_b0 = Vec::with_capacity(c);
+        let mut data_b1 = Vec::with_capacity(c);
+        for col in 0..c {
+            let s0 = b.splitter();
+            b.connect(Pin::new(s0, Splitter::OUT0), ports0.data_b0[col]);
+            b.connect(Pin::new(s0, Splitter::OUT1), ports1.data_b0[col]);
+            data_b0.push(Pin::new(s0, Splitter::IN));
+            let s1 = b.splitter();
+            b.connect(Pin::new(s1, Splitter::OUT0), ports0.data_b1[col]);
+            b.connect(Pin::new(s1, Splitter::OUT1), ports1.data_b1[col]);
+            data_b1.push(Pin::new(s1, Splitter::IN));
+        }
+        // Select-conditioning taps on the read-port select bits and enable
+        // taps on the read enables (monitor branch left open).
+        for ports in [&mut ports0, &mut ports1] {
+            for sel in &mut ports.read_sel {
+                let tap = b.splitter();
+                b.connect(Pin::new(tap, Splitter::OUT0), *sel);
+                *sel = Pin::new(tap, Splitter::IN);
+            }
+            let tap = b.splitter();
+            b.connect(Pin::new(tap, Splitter::OUT0), ports.read_enable);
+            ports.read_enable = Pin::new(tap, Splitter::IN);
+        }
+        b.pop_scope();
+
+        // Point both banks' data inputs at the shared interface splitters.
+        ports0.data_b0 = data_b0.clone();
+        ports0.data_b1 = data_b1.clone();
+        ports1.data_b0 = data_b0;
+        ports1.data_b1 = data_b1;
+
+        let mut sim = Simulator::new(b.finish());
+        let mut bank0 = HcBank::new(&mut sim, ports0);
+        let mut bank1 = HcBank::new(&mut sim, ports1);
+        // Interface delays: one splitter stage on the read-enable/select
+        // path and one on the data path.
+        for bank in [&mut bank0, &mut bank1] {
+            bank.extra_enable_ps = sfq_cells::timing::SPLITTER_DELAY_PS;
+            bank.extra_data_ps = sfq_cells::timing::SPLITTER_DELAY_PS;
+        }
+        DualBankRf { geometry, sim, banks: [bank0, bank1], cursor: Time::from_ps(10.0) }
+    }
+
+    /// The (whole-file) geometry.
+    pub fn geometry(&self) -> RfGeometry {
+        self.geometry
+    }
+
+    /// Cell census of the built netlist.
+    pub fn census(&self) -> Census {
+        Census::of(self.sim.netlist())
+    }
+
+    /// Timing violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        self.sim.violations()
+    }
+
+    fn advance(&mut self, bank: usize) {
+        self.banks[bank].finish_op(&mut self.sim);
+        self.cursor = self.sim.now() + Duration::from_ps(OP_GAP_PS);
+    }
+
+    /// Reads a register (restoring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range.
+    pub fn read(&mut self, reg: usize) -> u64 {
+        assert!(reg < self.geometry.registers(), "register {reg} out of range");
+        let bank = bank_of(reg);
+        let t = self.cursor;
+        let v = self.banks[bank].read_op(&mut self.sim, index_in_bank(reg), t);
+        self.advance(bank);
+        v
+    }
+
+    /// Reads two registers in *different banks* concurrently — the banked
+    /// design's two-port behaviour (paper §V-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registers are in the same bank or out of range.
+    pub fn read_pair(&mut self, reg_a: usize, reg_b: usize) -> (u64, u64) {
+        assert!(reg_a < self.geometry.registers() && reg_b < self.geometry.registers());
+        let (ba, bb) = (bank_of(reg_a), bank_of(reg_b));
+        assert_ne!(ba, bb, "read_pair needs registers in different banks");
+        let t = self.cursor;
+        // Fire both banks in the same operation window. Reads must be
+        // collected per bank because probes are shared per column set.
+        let va = self.banks[ba].read_op(&mut self.sim, index_in_bank(reg_a), t);
+        self.banks[ba].finish_op(&mut self.sim);
+        let t2 = self.sim.now() + Duration::from_ps(OP_GAP_PS);
+        let vb = self.banks[bb].read_op(&mut self.sim, index_in_bank(reg_b), t2);
+        self.advance(bb);
+        (va, vb)
+    }
+
+    /// Writes a register (erase read, then HC-WRITE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range or `value` does not fit the width.
+    pub fn write(&mut self, reg: usize, value: u64) {
+        let w = self.geometry.width();
+        assert!(reg < self.geometry.registers(), "register {reg} out of range");
+        assert!(w == 64 || value < (1u64 << w), "value {value:#x} exceeds {w}-bit width");
+        let bank = bank_of(reg);
+        let t = self.cursor;
+        self.banks[bank].erase_op(&mut self.sim, index_in_bank(reg), t);
+        self.advance(bank);
+        let t = self.cursor;
+        self.banks[bank].write_op(&mut self.sim, index_in_bank(reg), value, t);
+        self.advance(bank);
+    }
+
+    /// Peeks stored register contents without disturbing state.
+    pub fn peek(&self, reg: usize) -> u64 {
+        self.banks[bank_of(reg)].peek(&self.sim, index_in_bank(reg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_banking() {
+        assert_eq!(bank_of(1), 0);
+        assert_eq!(bank_of(3), 0);
+        assert_eq!(bank_of(0), 1);
+        assert_eq!(bank_of(2), 1);
+        assert_eq!(index_in_bank(5), 2);
+        assert_eq!(index_in_bank(4), 2);
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut rf = DualBankRf::new(RfGeometry::paper_4x4());
+        for reg in 0..4 {
+            rf.write(reg, (0b0110 + reg as u64) & 0xf);
+            assert_eq!(rf.read(reg), (0b0110 + reg as u64) & 0xf, "reg {reg}");
+        }
+        assert!(rf.violations().is_empty(), "violations: {:?}", rf.violations());
+    }
+
+    #[test]
+    fn read_restores_in_both_banks() {
+        let mut rf = DualBankRf::new(RfGeometry::paper_4x4());
+        rf.write(0, 0b1010); // bank 1
+        rf.write(1, 0b0101); // bank 0
+        for _ in 0..3 {
+            assert_eq!(rf.read(0), 0b1010);
+            assert_eq!(rf.read(1), 0b0101);
+        }
+        assert_eq!(rf.peek(0), 0b1010);
+        assert_eq!(rf.peek(1), 0b0101);
+    }
+
+    #[test]
+    fn read_pair_hits_both_banks() {
+        let mut rf = DualBankRf::new(RfGeometry::paper_4x4());
+        rf.write(2, 0b0011);
+        rf.write(3, 0b1100);
+        let (a, b) = rf.read_pair(3, 2);
+        assert_eq!((a, b), (0b1100, 0b0011));
+    }
+
+    #[test]
+    #[should_panic(expected = "different banks")]
+    fn read_pair_same_bank_panics() {
+        let mut rf = DualBankRf::new(RfGeometry::paper_4x4());
+        let _ = rf.read_pair(1, 3);
+    }
+
+    #[test]
+    fn overwrite_works_across_banks() {
+        let mut rf = DualBankRf::new(RfGeometry::paper_16x16());
+        for reg in 0..16 {
+            rf.write(reg, 0xffff);
+            rf.write(reg, reg as u64 * 3);
+        }
+        for reg in 0..16 {
+            assert_eq!(rf.read(reg), reg as u64 * 3, "reg {reg}");
+        }
+        assert!(rf.violations().is_empty());
+    }
+
+    #[test]
+    fn census_matches_budget() {
+        for g in [RfGeometry::paper_4x4(), RfGeometry::paper_16x16()] {
+            let rf = DualBankRf::new(g);
+            let structural = rf.census();
+            let budget = crate::budget::dual_banked_budget(g).census();
+            assert_eq!(structural, budget, "geometry {g}");
+        }
+    }
+}

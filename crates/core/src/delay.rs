@@ -1,0 +1,231 @@
+//! Readout-delay and loopback-latency models (paper Tables III and IV).
+//!
+//! The readout delay is the time from the decoder issuing a read enable to
+//! the operand bits being available to the ALU. It decomposes into named
+//! per-stage terms; the per-level term covers one NDROC demux stage plus
+//! one output-merger-tree stage plus the inter-stage link, and the constant
+//! tail covers the storage-cell pop and the output conditioning:
+//!
+//! * baseline NDRO RF: `L` levels × 33.5 ps + 10 ps tail,
+//! * HiPerRF: `L` levels × 32.5 ps + 57.8 ps tail (HC-CLK serialization,
+//!   LoopBuffer transit, HC-READ decode),
+//! * dual-banked: `L-1` levels (half-depth demux) × 32.5 ps + the HiPerRF
+//!   tail + a 4.5 ps bank-output stage.
+//!
+//! These compositions reproduce the paper's Table III **exactly** at all
+//! nine entries. Table IV adds place-and-route wire delay at 2.62 ps per
+//! gate-to-gate hop (262 µm mean PTL wire at 1 ps/100 µm, paper §VI-C).
+
+use sfq_cells::timing::{
+    HCDRO_CLK_TO_OUT_PS, HCDRO_PULSE_SEP_PS, MERGER_DELAY_PS, NDRO_CLK_TO_OUT_PS, NDROC_PROP_PS,
+    PTL_HOP_PS, RF_CYCLE_PS, SPLITTER_DELAY_PS,
+};
+
+use crate::config::RfGeometry;
+
+/// The three register-file designs of the evaluation, plus the compiler-
+/// ideal banked variant used in Figure 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RfDesign {
+    /// Baseline clock-less NDRO register file (paper §III).
+    NdroBaseline,
+    /// Single-bank HiPerRF (paper §IV).
+    HiPerRf,
+    /// Dual-banked HiPerRF (paper §V).
+    DualBanked,
+    /// Dual-banked HiPerRF with an ideal bank-aware compiler: every
+    /// instruction's two sources land in different banks (paper §VI-B).
+    DualBankedIdeal,
+}
+
+impl RfDesign {
+    /// All four designs in the paper's reporting order.
+    pub const ALL: [RfDesign; 4] =
+        [RfDesign::NdroBaseline, RfDesign::HiPerRf, RfDesign::DualBanked, RfDesign::DualBankedIdeal];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RfDesign::NdroBaseline => "NDRO RF (Baseline Design)",
+            RfDesign::HiPerRf => "HiPerRF",
+            RfDesign::DualBanked => "Dual-banked HiPerRF",
+            RfDesign::DualBankedIdeal => "Dual-banked HiPerRF (ideal)",
+        }
+    }
+}
+
+/// Per-demux-level latency on the baseline read path: NDROC propagation +
+/// one output-merger stage + inter-stage link.
+pub const NDRO_LEVEL_PS: f64 = NDROC_PROP_PS + MERGER_DELAY_PS + 4.5;
+/// Per-demux-level latency on the HC read path (narrower column fan gives
+/// a shorter link).
+pub const HC_LEVEL_PS: f64 = NDROC_PROP_PS + MERGER_DELAY_PS + 3.5;
+/// Constant tail of the baseline read path: NDRO pop + output conditioning.
+pub const NDRO_TAIL_PS: f64 = NDRO_CLK_TO_OUT_PS + 5.0;
+/// Constant tail of the HiPerRF read path: HC-CLK first pulse (8) + two
+/// further serial pulses (20) + HC-DRO pop (5) + LoopBuffer transit (5) +
+/// LoopBuffer output splitter (3) + HC-READ latch (4) + decode/conditioning
+/// tail (12.8).
+pub const HIPERRF_TAIL_PS: f64 = (SPLITTER_DELAY_PS + MERGER_DELAY_PS)
+    + 2.0 * HCDRO_PULSE_SEP_PS
+    + HCDRO_CLK_TO_OUT_PS
+    + NDRO_CLK_TO_OUT_PS
+    + SPLITTER_DELAY_PS
+    + 4.0
+    + 12.8;
+/// Extra output stage merging the two banks onto the operand bus.
+pub const BANK_OUTPUT_PS: f64 = 4.5;
+
+/// Post-place-and-route wire hop counts on the critical read path for the
+/// 32×32 configuration (paper §VI-C); scaled by demux level for other
+/// sizes.
+fn readout_hops(design: RfDesign, levels: usize) -> u32 {
+    match design {
+        RfDesign::NdroBaseline => (3 * levels) as u32, // 15 at L=5
+        RfDesign::HiPerRf => (3 * levels + 4) as u32,  // 19 at L=5
+        RfDesign::DualBanked | RfDesign::DualBankedIdeal => (3 * levels + 2) as u32, // 17
+    }
+}
+
+/// Readout delay excluding wire delay (paper Table III).
+pub fn readout_delay_ps(design: RfDesign, geometry: RfGeometry) -> f64 {
+    let levels = geometry.demux_levels() as f64;
+    match design {
+        RfDesign::NdroBaseline => levels * NDRO_LEVEL_PS + NDRO_TAIL_PS,
+        RfDesign::HiPerRf => levels * HC_LEVEL_PS + HIPERRF_TAIL_PS,
+        RfDesign::DualBanked | RfDesign::DualBankedIdeal => {
+            (levels - 1.0) * HC_LEVEL_PS + HIPERRF_TAIL_PS + BANK_OUTPUT_PS
+        }
+    }
+}
+
+/// Readout delay including PTL wire delay (paper Table IV).
+pub fn readout_delay_with_wires_ps(design: RfDesign, geometry: RfGeometry) -> f64 {
+    readout_delay_ps(design, geometry)
+        + readout_hops(design, geometry.demux_levels()) as f64 * PTL_HOP_PS
+}
+
+/// Loopback latency: time from a value leaving the LoopBuffer until it is
+/// rewritten into the source register, including the one-RF-cycle wait for
+/// the loopback write enable issued in the following cycle (paper Fig. 11)
+/// and PTL wire delay on the loopback path.
+///
+/// Returns `None` for the baseline design (no loopback).
+pub fn loopback_latency_ps(design: RfDesign, geometry: RfGeometry) -> Option<f64> {
+    let n = geometry.registers() as f64;
+    let data_tree = n.log2() * SPLITTER_DELAY_PS;
+    match design {
+        RfDesign::NdroBaseline => None,
+        RfDesign::HiPerRf => {
+            // LB pop + output splitter + loopback join merger + data fan +
+            // DAND + 9 wire hops + the next-cycle write enable.
+            let logical =
+                NDRO_CLK_TO_OUT_PS + SPLITTER_DELAY_PS + MERGER_DELAY_PS + data_tree + 4.0;
+            Some(logical + 9.0 * PTL_HOP_PS + RF_CYCLE_PS)
+        }
+        RfDesign::DualBanked | RfDesign::DualBankedIdeal => {
+            // Banking removes one merger and one splitter and three wire
+            // hops from the loopback path (paper §V: "about 10ps").
+            let half_tree = (n / 2.0).log2() * SPLITTER_DELAY_PS;
+            let logical = NDRO_CLK_TO_OUT_PS + MERGER_DELAY_PS + half_tree + 4.0;
+            Some(logical + 6.0 * PTL_HOP_PS + RF_CYCLE_PS)
+        }
+    }
+}
+
+/// Paper-reported reference values for Tables III and IV.
+pub mod paper {
+    /// Table III readout delay (ps) for (4×4, 16×16, 32×32).
+    pub const READOUT_NDRO: [f64; 3] = [77.0, 144.0, 177.5];
+    /// Table III HiPerRF readout delays (ps).
+    pub const READOUT_HIPERRF: [f64; 3] = [122.8, 187.8, 220.3];
+    /// Table III dual-banked readout delays (ps).
+    pub const READOUT_DUAL: [f64; 3] = [94.8, 159.8, 192.3];
+    /// Table IV readout delay with PTL wires at 32×32 (ps).
+    pub const READOUT_WIRES: [f64; 3] = [216.8, 270.1, 236.8];
+    /// Table IV loopback latency with PTL wires at 32×32 (ps):
+    /// (HiPerRF, dual-banked).
+    pub const LOOPBACK_WIRES: [f64; 2] = [108.4, 93.7];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_reproduced_exactly() {
+        for (i, g) in RfGeometry::paper_sizes().iter().enumerate() {
+            assert!(
+                (readout_delay_ps(RfDesign::NdroBaseline, *g) - paper::READOUT_NDRO[i]).abs()
+                    < 0.05,
+                "baseline {g}"
+            );
+            assert!(
+                (readout_delay_ps(RfDesign::HiPerRf, *g) - paper::READOUT_HIPERRF[i]).abs() < 0.05,
+                "hiperrf {g}: {}",
+                readout_delay_ps(RfDesign::HiPerRf, *g)
+            );
+            assert!(
+                (readout_delay_ps(RfDesign::DualBanked, *g) - paper::READOUT_DUAL[i]).abs() < 0.05,
+                "dual {g}: {}",
+                readout_delay_ps(RfDesign::DualBanked, *g)
+            );
+        }
+    }
+
+    #[test]
+    fn table4_readout_with_wires() {
+        let g = RfGeometry::paper_32x32();
+        let designs = [RfDesign::NdroBaseline, RfDesign::HiPerRf, RfDesign::DualBanked];
+        for (d, want) in designs.iter().zip(paper::READOUT_WIRES) {
+            let got = readout_delay_with_wires_ps(*d, g);
+            assert!((got - want).abs() < 0.1, "{d:?}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn table4_loopback_close_to_paper() {
+        let g = RfGeometry::paper_32x32();
+        let hi = loopback_latency_ps(RfDesign::HiPerRf, g).unwrap();
+        let dual = loopback_latency_ps(RfDesign::DualBanked, g).unwrap();
+        assert!((hi - paper::LOOPBACK_WIRES[0]).abs() / paper::LOOPBACK_WIRES[0] < 0.02, "{hi}");
+        assert!(
+            (dual - paper::LOOPBACK_WIRES[1]).abs() / paper::LOOPBACK_WIRES[1] < 0.02,
+            "{dual}"
+        );
+        assert!(loopback_latency_ps(RfDesign::NdroBaseline, g).is_none());
+    }
+
+    #[test]
+    fn delay_ordering_matches_paper() {
+        // baseline < dual-banked < HiPerRF at every size.
+        for g in RfGeometry::paper_sizes() {
+            let base = readout_delay_ps(RfDesign::NdroBaseline, g);
+            let dual = readout_delay_ps(RfDesign::DualBanked, g);
+            let hi = readout_delay_ps(RfDesign::HiPerRf, g);
+            assert!(base < dual && dual < hi, "{g}");
+        }
+    }
+
+    #[test]
+    fn overhead_shrinks_with_size() {
+        // Paper §VI-A: readout-delay overhead shrinks as the RF grows.
+        let mut prev = f64::INFINITY;
+        for regs in [4usize, 16, 32, 64, 128] {
+            let g = RfGeometry::new(regs, 32).unwrap();
+            let ratio = readout_delay_ps(RfDesign::HiPerRf, g)
+                / readout_delay_ps(RfDesign::NdroBaseline, g);
+            assert!(ratio < prev, "ratio {ratio} at {regs} regs");
+            prev = ratio;
+        }
+    }
+
+    #[test]
+    fn ideal_variant_shares_banked_timing() {
+        let g = RfGeometry::paper_32x32();
+        assert_eq!(
+            readout_delay_ps(RfDesign::DualBanked, g),
+            readout_delay_ps(RfDesign::DualBankedIdeal, g)
+        );
+    }
+}

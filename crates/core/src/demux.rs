@@ -1,0 +1,258 @@
+//! NDROC-tree demultiplexer (the clock-less address decoder, paper §III-A).
+//!
+//! A 1-to-2 demux built from combinational SFQ gates would cost ≈50 JJs
+//! and need clock distribution; the paper instead repurposes an NDROC
+//! (complementary-output NDRO) as the demux element at 33 JJs. A 1-to-n
+//! demux is a binary tree of NDROCs: select bits are loaded into the SET
+//! pins level by level, then a single enable pulse rides the tree to the
+//! selected output.
+
+use sfq_cells::storage::Ndroc;
+use sfq_cells::timing::{NDROC_PROP_PS, SPLITTER_DELAY_PS};
+use sfq_cells::CircuitBuilder;
+use sfq_sim::netlist::Pin;
+use sfq_sim::simulator::Simulator;
+use sfq_sim::time::{Duration, Time};
+
+/// Ports and select protocol of a built NDROC demux tree.
+#[derive(Debug, Clone)]
+pub struct Demux {
+    /// Enable input pin: the pulse that traverses the tree.
+    pub enable: Pin,
+    /// Per-level SET inputs (index 0 = root/MSB). Pulsing `sel_set[i]`
+    /// makes level `i` route toward the `1` branch.
+    pub sel_set: Vec<Pin>,
+    /// Broadcast RESET input clearing every NDROC in the tree.
+    pub reset: Pin,
+    /// Output pins, indexed by decoded address.
+    pub outputs: Vec<Pin>,
+    levels: usize,
+}
+
+impl Demux {
+    /// Number of tree levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Logical propagation delay of the enable through the tree (ps),
+    /// excluding wire delay.
+    pub fn traverse_ps(&self) -> f64 {
+        self.levels as f64 * NDROC_PROP_PS
+    }
+
+    /// Injects the select pattern for `addr` at `t_sel` and the enable at
+    /// `t_enable`.
+    ///
+    /// Address bits are consumed MSB-first (root level first). The caller
+    /// must leave enough margin for the SET pulses to reach the deepest
+    /// level before the enable does; the NDROC propagation per level
+    /// (24 ps) versus the splitter-tree fan (3 ps per stage) makes a
+    /// ~15 ps head start ample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range for the tree.
+    pub fn select_and_fire(&self, sim: &mut Simulator, addr: usize, t_sel: Time, t_enable: Time) {
+        assert!(addr < self.outputs.len(), "address {addr} out of range");
+        for (level, &set_pin) in self.sel_set.iter().enumerate() {
+            let bit = (addr >> (self.levels - 1 - level)) & 1;
+            if bit == 1 {
+                sim.inject(set_pin, t_sel);
+            }
+        }
+        sim.inject(self.enable, t_enable);
+    }
+
+    /// Injects the broadcast reset at `t`.
+    pub fn clear(&self, sim: &mut Simulator, t: Time) {
+        sim.inject(self.reset, t);
+    }
+}
+
+/// Builds a `levels`-deep NDROC demux tree with `2^levels` outputs.
+///
+/// Each level's shared select bit is distributed by a splitter tree, and a
+/// broadcast splitter tree carries RESET to every NDROC.
+///
+/// # Panics
+///
+/// Panics if `levels` is zero.
+pub fn build_demux(b: &mut CircuitBuilder, levels: usize) -> Demux {
+    assert!(levels >= 1, "demux needs at least one level");
+    b.scoped("demux", |b| {
+        // Create all NDROCs level by level: level i has 2^i nodes.
+        let mut level_nodes: Vec<Vec<_>> = Vec::with_capacity(levels);
+        for i in 0..levels {
+            level_nodes.push((0..1usize << i).map(|_| b.ndroc()).collect());
+        }
+
+        // Wire enables: root CLK is the external enable; node (i, j)'s
+        // OUT1 (bit 0) feeds child (i+1, 2j), OUT0 (bit 1) feeds
+        // (i+1, 2j+1).
+        for i in 0..levels - 1 {
+            for j in 0..level_nodes[i].len() {
+                let parent = level_nodes[i][j];
+                let kid0 = level_nodes[i + 1][2 * j];
+                let kid1 = level_nodes[i + 1][2 * j + 1];
+                b.connect(Pin::new(parent, Ndroc::OUT1), Pin::new(kid0, Ndroc::CLK));
+                b.connect(Pin::new(parent, Ndroc::OUT0), Pin::new(kid1, Ndroc::CLK));
+            }
+        }
+
+        // Leaf outputs, indexed by address (MSB at root, OUT0 = bit 1).
+        let last = &level_nodes[levels - 1];
+        let mut outputs = Vec::with_capacity(last.len() * 2);
+        for &node in last {
+            outputs.push(Pin::new(node, Ndroc::OUT1)); // bit 0
+            outputs.push(Pin::new(node, Ndroc::OUT0)); // bit 1
+        }
+
+        // SEL distribution: level 0 is a single NDROC (direct input);
+        // deeper levels use splitter trees. To expose a single input pin
+        // per level we root each tree at a JTL-free pin: for level 0 the
+        // SET pin itself, for level i >= 1 the splitter tree root input.
+        let mut sel_set = Vec::with_capacity(levels);
+        for (i, nodes) in level_nodes.iter().enumerate() {
+            if nodes.len() == 1 {
+                sel_set.push(Pin::new(nodes[0], Ndroc::SET));
+            } else {
+                // Build the tree below a synthetic root: use the first
+                // splitter's input as the level input.
+                let root_split = b.splitter();
+                let root_out0 = Pin::new(root_split, sfq_cells::transport::Splitter::OUT0);
+                let root_out1 = Pin::new(root_split, sfq_cells::transport::Splitter::OUT1);
+                let half = nodes.len() / 2;
+                let left = b.splitter_tree(root_out0, half);
+                let right = b.splitter_tree(root_out1, nodes.len() - half);
+                for (node, leaf) in nodes.iter().zip(left.into_iter().chain(right)) {
+                    b.connect(leaf, Pin::new(*node, Ndroc::SET));
+                }
+                sel_set.push(Pin::new(root_split, sfq_cells::transport::Splitter::IN));
+            }
+            let _ = i;
+        }
+
+        // Broadcast RESET to all NDROCs.
+        let all: Vec<_> = level_nodes.iter().flatten().copied().collect();
+        let reset = if all.len() == 1 {
+            Pin::new(all[0], Ndroc::RESET)
+        } else {
+            let root_split = b.splitter();
+            let root_out0 = Pin::new(root_split, sfq_cells::transport::Splitter::OUT0);
+            let root_out1 = Pin::new(root_split, sfq_cells::transport::Splitter::OUT1);
+            let half = all.len() / 2;
+            let left = b.splitter_tree(root_out0, half);
+            let right = b.splitter_tree(root_out1, all.len() - half);
+            for (node, leaf) in all.iter().zip(left.into_iter().chain(right)) {
+                b.connect(leaf, Pin::new(*node, Ndroc::RESET));
+            }
+            Pin::new(root_split, sfq_cells::transport::Splitter::IN)
+        };
+
+        Demux {
+            enable: Pin::new(level_nodes[0][0], Ndroc::CLK),
+            sel_set,
+            reset,
+            outputs,
+            levels,
+        }
+    })
+}
+
+/// Suggested SET-to-enable head start for drivers (ps): covers the deepest
+/// splitter-tree fan so select bits land before the enable arrives.
+pub fn sel_head_start_ps(levels: usize) -> f64 {
+    SPLITTER_DELAY_PS * (levels as f64 + 2.0) + 3.0
+}
+
+/// Suggested head start as a [`Duration`].
+pub fn sel_head_start(levels: usize) -> Duration {
+    Duration::from_ps(sel_head_start_ps(levels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::spec::{CellKind, Census};
+
+    fn demux_sim(levels: usize) -> (Simulator, Demux, Vec<sfq_sim::simulator::ProbeId>) {
+        let mut b = CircuitBuilder::new();
+        let d = build_demux(&mut b, levels);
+        let mut sim = Simulator::new(b.finish());
+        let probes: Vec<_> = d
+            .outputs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| sim.probe(p, format!("out{i}")))
+            .collect();
+        (sim, d, probes)
+    }
+
+    #[test]
+    fn routes_every_address() {
+        for levels in 1..=5 {
+            let (mut sim, d, probes) = demux_sim(levels);
+            let n = 1usize << levels;
+            let mut t = Time::from_ps(10.0);
+            for addr in 0..n {
+                sim.clear_all_probes();
+                d.select_and_fire(&mut sim, addr, t, t + sel_head_start(levels));
+                sim.run();
+                for (i, &p) in probes.iter().enumerate() {
+                    let hits = sim.probe_trace(p).len();
+                    assert_eq!(
+                        hits,
+                        (i == addr) as usize,
+                        "levels {levels} addr {addr} output {i}"
+                    );
+                }
+                let t_clear = sim.now() + Duration::from_ps(10.0);
+                d.clear(&mut sim, t_clear);
+                sim.run();
+                t = sim.now() + Duration::from_ps(300.0);
+            }
+            assert!(sim.violations().is_empty(), "levels {levels} had violations");
+        }
+    }
+
+    #[test]
+    fn cell_count_matches_budget_formula() {
+        for levels in 1..=5usize {
+            let n = 1usize << levels;
+            let mut b = CircuitBuilder::new();
+            let _ = build_demux(&mut b, levels);
+            let census = Census::of(b.netlist());
+            assert_eq!(census.count(CellKind::Ndroc), (n - 1) as u64);
+            let expected_splitters = (n - levels - 1) as u64 + (n - 2) as u64;
+            assert_eq!(
+                census.count(CellKind::Splitter),
+                expected_splitters,
+                "levels {levels}"
+            );
+        }
+    }
+
+    #[test]
+    fn enable_without_reset_reuses_selection() {
+        // NDROC state persists: firing twice without reselecting routes to
+        // the same output (the paper's reason a RESET port is required).
+        let (mut sim, d, probes) = demux_sim(2);
+        d.select_and_fire(&mut sim, 3, Time::from_ps(0.0), Time::from_ps(20.0));
+        sim.run();
+        sim.clear_all_probes();
+        // Fire again without new SEL: still address 3.
+        sim.inject(d.enable, sim.now() + Duration::from_ps(100.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(probes[3]).len(), 1);
+    }
+
+    #[test]
+    fn traverse_delay_is_level_proportional() {
+        let (mut sim, d, probes) = demux_sim(3);
+        d.select_and_fire(&mut sim, 0, Time::from_ps(0.0), Time::from_ps(20.0));
+        sim.run();
+        let out_t = sim.probe_trace(probes[0]).pulses()[0];
+        assert_eq!((out_t - Time::from_ps(20.0)).as_ps(), 3.0 * NDROC_PROP_PS);
+    }
+}

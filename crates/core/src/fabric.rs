@@ -1,0 +1,88 @@
+//! Small wiring helpers shared by the register-file builders.
+
+use sfq_cells::CircuitBuilder;
+use sfq_sim::netlist::Pin;
+
+/// Builds a splitter broadcast tree delivering one input pulse to every
+/// pin in `targets`, returning the external input pin.
+///
+/// Uses `targets.len() - 1` splitters; with a single target the target pin
+/// itself is returned (no cells).
+///
+/// # Panics
+///
+/// Panics if `targets` is empty.
+pub fn broadcast_to(b: &mut CircuitBuilder, targets: &[Pin]) -> Pin {
+    assert!(!targets.is_empty(), "broadcast needs at least one target");
+    match targets {
+        [single] => *single,
+        _ => {
+            let root = b.splitter();
+            let out0 = Pin::new(root, sfq_cells::transport::Splitter::OUT0);
+            let out1 = Pin::new(root, sfq_cells::transport::Splitter::OUT1);
+            let half = targets.len() / 2;
+            let left = b.splitter_tree(out0, half);
+            let right = b.splitter_tree(out1, targets.len() - half);
+            for (leaf, target) in left.into_iter().chain(right).zip(targets) {
+                b.connect(leaf, *target);
+            }
+            Pin::new(root, sfq_cells::transport::Splitter::IN)
+        }
+    }
+}
+
+/// Depth in splitter stages of a balanced broadcast over `leaves` targets
+/// (0 for a single target). Exact for powers of two, which is all the
+/// register-file builders use.
+pub fn broadcast_depth(leaves: usize) -> usize {
+    if leaves <= 1 {
+        0
+    } else {
+        (leaves as f64).log2().ceil() as usize
+    }
+}
+
+/// Depth in merger stages of a balanced merge tree over `inputs`.
+pub fn merge_depth(inputs: usize) -> usize {
+    broadcast_depth(inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::spec::{CellKind, Census};
+    use sfq_cells::transport::Jtl;
+    use sfq_sim::simulator::Simulator;
+    use sfq_sim::time::Time;
+
+    #[test]
+    fn broadcast_reaches_all_targets() {
+        for count in [1usize, 2, 3, 4, 8, 16] {
+            let mut b = CircuitBuilder::new();
+            let sinks: Vec<_> = (0..count).map(|_| b.jtl()).collect();
+            let targets: Vec<_> = sinks.iter().map(|&s| Pin::new(s, Jtl::IN)).collect();
+            let input = broadcast_to(&mut b, &targets);
+            let census = Census::of(b.netlist());
+            assert_eq!(census.count(CellKind::Splitter), (count - 1) as u64);
+            let mut sim = Simulator::new(b.finish());
+            let probes: Vec<_> = sinks
+                .iter()
+                .map(|&s| sim.probe(Pin::new(s, Jtl::OUT), "t"))
+                .collect();
+            sim.inject(input, Time::ZERO);
+            sim.run();
+            for p in probes {
+                assert_eq!(sim.probe_trace(p).len(), 1, "count {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn depths() {
+        assert_eq!(broadcast_depth(1), 0);
+        assert_eq!(broadcast_depth(2), 1);
+        assert_eq!(broadcast_depth(16), 4);
+        assert_eq!(broadcast_depth(32), 5);
+        assert_eq!(merge_depth(32), 5);
+    }
+}

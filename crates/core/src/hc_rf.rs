@@ -1,0 +1,378 @@
+//! Structural HiPerRF bank: HC-DRO storage with LoopBuffer loopback
+//! (paper §IV, Fig. 9).
+//!
+//! One bank contains:
+//!
+//! * `n × c` HC-DRO cells (`c = w/2` columns, two bits per cell);
+//! * a read-port NDROC demux whose outputs pass through per-register
+//!   **HC-CLK** pulse triplers (one enable → three pop pulses);
+//! * a write-port demux, also triplered, gating per-cell dynamic ANDs;
+//! * per-column **HC-WRITE** serializers merged with the **loopback**
+//!   branch, fanned out to every register's write gates;
+//! * per-column output merger trees feeding the **LoopBuffer** NDROs, whose
+//!   outputs split into the HC-READ decoders and the loopback path.
+//!
+//! Reading a register therefore *restores* it: the popped pulse train exits
+//! through the LoopBuffer (pre-set to 1), splits, and one branch re-enters
+//! the write port, which the driver re-arms at the source address. Erasure
+//! before a write is a read with the LoopBuffer reset to 0 — this is how
+//! the read port doubles as the reset port and the dedicated reset port of
+//! the baseline disappears (paper §IV-C).
+
+use sfq_cells::composite::{build_hc_clk, build_hc_read, build_hc_write};
+use sfq_cells::logic::Dand;
+use sfq_cells::storage::{HcDro, Ndro};
+use sfq_cells::timing::{
+    HCDRO_CLK_TO_OUT_PS, MERGER_DELAY_PS, NDRO_CLK_TO_OUT_PS, NDROC_PROP_PS, SPLITTER_DELAY_PS,
+};
+use sfq_cells::transport::Merger;
+use sfq_cells::CircuitBuilder;
+use sfq_sim::netlist::{ComponentId, Pin};
+use sfq_sim::simulator::{ProbeId, Simulator};
+use sfq_sim::time::{Duration, Time};
+
+use crate::config::RfGeometry;
+use crate::demux::{build_demux, sel_head_start_ps};
+use crate::fabric::{broadcast_depth, broadcast_to, merge_depth};
+
+/// Latency of HC-CLK from input to its first output pulse (ps).
+const HC_CLK_FIRST_PS: f64 = SPLITTER_DELAY_PS + MERGER_DELAY_PS;
+/// Latency of HC-WRITE from input to its first output slot (ps).
+const HC_WRITE_SLOT0_PS: f64 = 12.0;
+
+/// External ports of one structural HiPerRF bank.
+#[derive(Debug, Clone)]
+pub struct HcRfPorts {
+    /// Bank geometry.
+    pub geometry: RfGeometry,
+    /// Read-port select inputs (MSB first).
+    pub read_sel: Vec<Pin>,
+    /// Read-port enable input.
+    pub read_enable: Pin,
+    /// Read-demux NDROC reset broadcast.
+    pub read_clear: Pin,
+    /// Write-port select inputs (MSB first).
+    pub write_sel: Vec<Pin>,
+    /// Write-port enable input.
+    pub write_enable: Pin,
+    /// Write-demux NDROC reset broadcast.
+    pub write_clear: Pin,
+    /// LoopBuffer SET broadcast (arm for a restoring read).
+    pub lb_set: Pin,
+    /// LoopBuffer RESET broadcast (arm for an erase).
+    pub lb_reset: Pin,
+    /// HC-READ latch broadcast (sample the counted value).
+    pub hcread_read: Pin,
+    /// HC-READ counter reset broadcast.
+    pub hcread_reset: Pin,
+    /// Per-column HC-WRITE LSB inputs.
+    pub data_b0: Vec<Pin>,
+    /// Per-column HC-WRITE MSB inputs.
+    pub data_b1: Vec<Pin>,
+    /// Per-column HC-READ LSB outputs.
+    pub hcread_b0: Vec<Pin>,
+    /// Per-column HC-READ MSB outputs.
+    pub hcread_b1: Vec<Pin>,
+    /// Storage cells, `[register][column]`.
+    pub cells: Vec<Vec<ComponentId>>,
+}
+
+/// Builds one HiPerRF bank into `b`.
+pub fn build_hc_rf(b: &mut CircuitBuilder, geometry: RfGeometry) -> HcRfPorts {
+    let n = geometry.registers();
+    let c = geometry.hc_columns();
+    let levels = geometry.demux_levels();
+
+    // Storage.
+    let cells: Vec<Vec<ComponentId>> = (0..n)
+        .map(|r| b.scoped(format!("reg{r}"), |b| (0..c).map(|_| b.hcdro()).collect()))
+        .collect();
+
+    // Read port: demux -> HC-CLK per register -> column broadcast -> CLK.
+    let read_demux = b.scoped("read", |b| {
+        let d = build_demux(b, levels);
+        for (r, row) in cells.iter().enumerate() {
+            let clk = build_hc_clk(b);
+            b.connect(d.outputs[r], clk.input);
+            let targets: Vec<_> = row.iter().map(|&cell| Pin::new(cell, HcDro::CLK)).collect();
+            let fan = broadcast_to(b, &targets);
+            b.connect(clk.output, fan);
+        }
+        d
+    });
+
+    // Write port: demux -> HC-CLK per register -> DAND gate broadcast.
+    let (write_demux, dands) = b.scoped("write", |b| {
+        let d = build_demux(b, levels);
+        let dands: Vec<Vec<ComponentId>> =
+            (0..n).map(|_| (0..c).map(|_| b.dand()).collect()).collect();
+        for r in 0..n {
+            let clk = build_hc_clk(b);
+            b.connect(d.outputs[r], clk.input);
+            let gates: Vec<_> = dands[r].iter().map(|&g| Pin::new(g, Dand::A)).collect();
+            let fan = broadcast_to(b, &gates);
+            b.connect(clk.output, fan);
+            for (gate, cell) in dands[r].iter().zip(&cells[r]) {
+                b.connect(Pin::new(*gate, Dand::OUT), Pin::new(*cell, HcDro::D));
+            }
+        }
+        (d, dands)
+    });
+
+    // Data path per column: HC-WRITE -> join merger (with loopback) ->
+    // register broadcast -> DAND data inputs.
+    let mut data_b0 = Vec::with_capacity(c);
+    let mut data_b1 = Vec::with_capacity(c);
+    let mut join_loopback_in = Vec::with_capacity(c);
+    b.push_scope("datapath".to_string());
+    #[allow(clippy::needless_range_loop)] // col also indexes per-register gate rows
+    for col in 0..c {
+        let w = build_hc_write(b);
+        data_b0.push(w.b0);
+        data_b1.push(w.b1);
+        let join = b.merger();
+        b.connect(w.output, Pin::new(join, Merger::IN_A));
+        join_loopback_in.push(Pin::new(join, Merger::IN_B));
+        let targets: Vec<_> = (0..n).map(|r| Pin::new(dands[r][col], Dand::B)).collect();
+        let fan = broadcast_to(b, &targets);
+        b.connect(Pin::new(join, Merger::OUT), fan);
+    }
+    b.pop_scope();
+
+    // Output port: column merger trees -> LoopBuffer -> split into HC-READ
+    // and loopback.
+    let mut lb_set_pins = Vec::with_capacity(c);
+    let mut lb_reset_pins = Vec::with_capacity(c);
+    let mut hcread_read_pins = Vec::with_capacity(c);
+    let mut hcread_reset_pins = Vec::with_capacity(c);
+    let mut hcread_b0 = Vec::with_capacity(c);
+    let mut hcread_b1 = Vec::with_capacity(c);
+    b.push_scope("output".to_string());
+    for col in 0..c {
+        let inputs: Vec<_> = (0..n).map(|r| Pin::new(cells[r][col], HcDro::Q)).collect();
+        let merged = b.merger_tree(&inputs);
+        let lb = b.ndro();
+        b.connect(merged, Pin::new(lb, Ndro::CLK));
+        lb_set_pins.push(Pin::new(lb, Ndro::SET));
+        lb_reset_pins.push(Pin::new(lb, Ndro::RESET));
+        let split = b.splitter();
+        b.connect(Pin::new(lb, Ndro::OUT), Pin::new(split, sfq_cells::transport::Splitter::IN));
+        let reader = build_hc_read(b);
+        b.connect(Pin::new(split, sfq_cells::transport::Splitter::OUT0), reader.input);
+        b.connect(
+            Pin::new(split, sfq_cells::transport::Splitter::OUT1),
+            join_loopback_in[col],
+        );
+        hcread_read_pins.push(reader.read);
+        hcread_reset_pins.push(reader.reset);
+        hcread_b0.push(reader.b0);
+        hcread_b1.push(reader.b1);
+    }
+    let lb_set = broadcast_to(b, &lb_set_pins);
+    let lb_reset = broadcast_to(b, &lb_reset_pins);
+    let hcread_read = broadcast_to(b, &hcread_read_pins);
+    let hcread_reset = broadcast_to(b, &hcread_reset_pins);
+    b.pop_scope();
+
+    HcRfPorts {
+        geometry,
+        read_sel: read_demux.sel_set.clone(),
+        read_enable: read_demux.enable,
+        read_clear: read_demux.reset,
+        write_sel: write_demux.sel_set.clone(),
+        write_enable: write_demux.enable,
+        write_clear: write_demux.reset,
+        lb_set,
+        lb_reset,
+        hcread_read,
+        hcread_reset,
+        data_b0,
+        data_b1,
+        hcread_b0,
+        hcread_b1,
+        cells,
+    }
+}
+
+/// Driver state for one bank: probes plus the path-delay bookkeeping needed
+/// to align pulse trains at the dynamic-AND write gates.
+#[derive(Debug)]
+pub struct HcBank {
+    /// Bank ports (pins may be re-pointed at interface taps by the
+    /// dual-banked wrapper).
+    pub ports: HcRfPorts,
+    /// Per-column HC-READ LSB probes.
+    pub b0_probes: Vec<ProbeId>,
+    /// Per-column HC-READ MSB probes.
+    pub b1_probes: Vec<ProbeId>,
+    /// Extra delay on enable/select paths before the demux (interface taps).
+    pub extra_enable_ps: f64,
+    /// Extra delay on the data path before HC-WRITE (interface taps).
+    pub extra_data_ps: f64,
+}
+
+impl HcBank {
+    /// Creates the driver state, attaching HC-READ probes.
+    pub fn new(sim: &mut Simulator, ports: HcRfPorts) -> Self {
+        let b0_probes = ports
+            .hcread_b0
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| sim.probe(p, format!("B0[{i}]")))
+            .collect();
+        let b1_probes = ports
+            .hcread_b1
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| sim.probe(p, format!("B1[{i}]")))
+            .collect();
+        HcBank { ports, b0_probes, b1_probes, extra_enable_ps: 0.0, extra_data_ps: 0.0 }
+    }
+
+    fn levels(&self) -> usize {
+        self.ports.geometry.demux_levels()
+    }
+
+    fn head_start_ps(&self) -> f64 {
+        sel_head_start_ps(self.levels())
+    }
+
+    /// Enable-path latency from injection to the first pulse at a cell's
+    /// CLK (read port) or at the DAND gate input (write port) — the two
+    /// ports are structurally identical up to that point.
+    fn enable_to_cell_ps(&self) -> f64 {
+        self.extra_enable_ps
+            + self.levels() as f64 * NDROC_PROP_PS
+            + HC_CLK_FIRST_PS
+            + broadcast_depth(self.ports.geometry.hc_columns()) as f64 * SPLITTER_DELAY_PS
+    }
+
+    /// Latency from a cell's popped pulse to the DAND data input via the
+    /// LoopBuffer and loopback path.
+    fn cell_to_gate_loopback_ps(&self) -> f64 {
+        let n = self.ports.geometry.registers();
+        HCDRO_CLK_TO_OUT_PS
+            + merge_depth(n) as f64 * MERGER_DELAY_PS
+            + NDRO_CLK_TO_OUT_PS
+            + SPLITTER_DELAY_PS
+            + MERGER_DELAY_PS // loopback join
+            + broadcast_depth(n) as f64 * SPLITTER_DELAY_PS
+    }
+
+    /// Latency from a data injection to the DAND data input via HC-WRITE.
+    fn data_to_gate_ps(&self) -> f64 {
+        self.extra_data_ps
+            + HC_WRITE_SLOT0_PS
+            + MERGER_DELAY_PS
+            + broadcast_depth(self.ports.geometry.registers()) as f64 * SPLITTER_DELAY_PS
+    }
+
+    fn fire(&self, sim: &mut Simulator, sel: &[Pin], enable: Pin, addr: usize, t: Time) {
+        let levels = self.levels();
+        for (level, &pin) in sel.iter().enumerate() {
+            if (addr >> (levels - 1 - level)) & 1 == 1 {
+                sim.inject(pin, t);
+            }
+        }
+        sim.inject(enable, t + Duration::from_ps(self.head_start_ps()));
+    }
+
+    /// Performs a restoring read of `reg`, returning the register value.
+    /// `t` is the operation start; the caller runs the simulator and should
+    /// afterwards call [`HcBank::finish_op`].
+    pub fn read_op(&self, sim: &mut Simulator, reg: usize, t: Time) -> u64 {
+        sim.clear_all_probes();
+        // Arm the LoopBuffer for restoration.
+        sim.inject(self.ports.lb_set, t);
+        // Fire the read port.
+        self.fire(sim, &self.ports.read_sel.clone(), self.ports.read_enable, reg, t);
+        // Re-arm the write port at the same register so the loopback train
+        // meets the tripled write enable at the DAND gates. Both ports share
+        // the same enable-path latency, so the write enable simply lags the
+        // read enable by the cell-to-gate loopback latency.
+        let t_wen = t + Duration::from_ps(self.head_start_ps() + self.cell_to_gate_loopback_ps());
+        for (level, &pin) in self.ports.write_sel.clone().iter().enumerate() {
+            if (reg >> (self.levels() - 1 - level)) & 1 == 1 {
+                sim.inject(pin, t);
+            }
+        }
+        sim.inject(self.ports.write_enable, t_wen);
+        sim.run();
+
+        // Latch and read the HC-READ counters.
+        let t_latch = sim.now() + Duration::from_ps(20.0);
+        sim.inject(self.ports.hcread_read, t_latch);
+        sim.run();
+        let mut value = 0u64;
+        for col in 0..self.ports.geometry.hc_columns() {
+            let b0 = !sim.probe_trace(self.b0_probes[col]).is_empty() as u64;
+            let b1 = !sim.probe_trace(self.b1_probes[col]).is_empty() as u64;
+            value |= (b0 | (b1 << 1)) << (2 * col);
+        }
+        value
+    }
+
+    /// Erases `reg` by reading it out into a reset LoopBuffer (the paper's
+    /// reset-port-free erase, §IV-B "Write operation").
+    pub fn erase_op(&self, sim: &mut Simulator, reg: usize, t: Time) {
+        sim.inject(self.ports.lb_reset, t);
+        self.fire(sim, &self.ports.read_sel.clone(), self.ports.read_enable, reg, t);
+        sim.run();
+    }
+
+    /// Writes `value` into an (already erased) `reg` through HC-WRITE.
+    pub fn write_op(&self, sim: &mut Simulator, reg: usize, value: u64, t: Time) {
+        self.write_op_skewed(sim, reg, value, t, 0.0);
+    }
+
+    /// [`HcBank::write_op`] with a deliberate skew (ps, may be negative)
+    /// on the data injection relative to its nominal alignment — used by
+    /// the margin analysis to map the dynamic-AND coincidence window.
+    pub fn write_op_skewed(
+        &self,
+        sim: &mut Simulator,
+        reg: usize,
+        value: u64,
+        t: Time,
+        skew_ps: f64,
+    ) {
+        self.fire(sim, &self.ports.write_sel.clone(), self.ports.write_enable, reg, t);
+        // Align the HC-WRITE output train with the tripled write enable at
+        // the DAND gates.
+        let t_gate = t + Duration::from_ps(self.head_start_ps() + self.enable_to_cell_ps());
+        let t_data = if skew_ps >= 0.0 {
+            t_gate - Duration::from_ps(self.data_to_gate_ps()) + Duration::from_ps(skew_ps)
+        } else {
+            t_gate - Duration::from_ps(self.data_to_gate_ps()) - Duration::from_ps(-skew_ps)
+        };
+        for col in 0..self.ports.geometry.hc_columns() {
+            let pair = (value >> (2 * col)) & 0b11;
+            if pair & 1 != 0 {
+                sim.inject(self.ports.data_b0[col], t_data);
+            }
+            if pair & 2 != 0 {
+                sim.inject(self.ports.data_b1[col], t_data);
+            }
+        }
+        sim.run();
+    }
+
+    /// Clears demux state and HC-READ counters after an operation.
+    pub fn finish_op(&self, sim: &mut Simulator) {
+        let t = sim.now() + Duration::from_ps(20.0);
+        sim.inject(self.ports.read_clear, t);
+        sim.inject(self.ports.write_clear, t);
+        sim.inject(self.ports.hcread_reset, t);
+        sim.run();
+    }
+
+    /// Peeks the stored value of `reg` without disturbing state.
+    pub fn peek(&self, sim: &Simulator, reg: usize) -> u64 {
+        let mut v = 0u64;
+        for (col, &cell) in self.ports.cells[reg].iter().enumerate() {
+            let count = sim.netlist().component(cell).stored().unwrap_or(0) as u64;
+            v |= count << (2 * col);
+        }
+        v
+    }
+}

@@ -1,0 +1,183 @@
+//! The single-bank HiPerRF register file with its functional driver
+//! (paper §IV).
+
+use sfq_cells::{Census, CircuitBuilder};
+use sfq_sim::simulator::Simulator;
+use sfq_sim::time::{Duration, Time};
+use sfq_sim::violation::Violation;
+
+use crate::config::RfGeometry;
+use crate::hc_rf::{build_hc_rf, HcBank};
+
+/// Gap between driver operations (ps); see `ndro_rf` for rationale.
+const OP_GAP_PS: f64 = 400.0;
+
+/// A runnable HiPerRF register file with its simulator.
+///
+/// Reads are *restoring*: the destructive HC-DRO pop is recycled through
+/// the LoopBuffer back into the source register, so successive reads return
+/// the same value — the paper's central mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use hiperrf::config::RfGeometry;
+/// use hiperrf::hiperrf_rf::HiPerRf;
+///
+/// let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
+/// rf.write(1, 0b1001);
+/// assert_eq!(rf.read(1), 0b1001);
+/// assert_eq!(rf.read(1), 0b1001); // still there after the read
+/// ```
+#[derive(Debug)]
+pub struct HiPerRf {
+    geometry: RfGeometry,
+    sim: Simulator,
+    bank: HcBank,
+    cursor: Time,
+}
+
+impl HiPerRf {
+    /// Builds the register file and wraps it in a simulator.
+    pub fn new(geometry: RfGeometry) -> Self {
+        let mut b = CircuitBuilder::new();
+        let ports = build_hc_rf(&mut b, geometry);
+        let mut sim = Simulator::new(b.finish());
+        let bank = HcBank::new(&mut sim, ports);
+        HiPerRf { geometry, sim, bank, cursor: Time::from_ps(10.0) }
+    }
+
+    /// The geometry of this register file.
+    pub fn geometry(&self) -> RfGeometry {
+        self.geometry
+    }
+
+    /// Cell census of the built netlist.
+    pub fn census(&self) -> Census {
+        Census::of(self.sim.netlist())
+    }
+
+    /// Timing violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        self.sim.violations()
+    }
+
+    fn advance(&mut self) {
+        self.bank.finish_op(&mut self.sim);
+        self.cursor = self.sim.now() + Duration::from_ps(OP_GAP_PS);
+    }
+
+    /// Reads a register. The value is restored via the loopback write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range.
+    pub fn read(&mut self, reg: usize) -> u64 {
+        assert!(reg < self.geometry.registers(), "register {reg} out of range");
+        let t = self.cursor;
+        let v = self.bank.read_op(&mut self.sim, reg, t);
+        self.advance();
+        v
+    }
+
+    /// Writes a register: an erase read (LoopBuffer reset) followed by an
+    /// HC-WRITE of the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range or `value` does not fit the width.
+    pub fn write(&mut self, reg: usize, value: u64) {
+        let w = self.geometry.width();
+        assert!(reg < self.geometry.registers(), "register {reg} out of range");
+        assert!(w == 64 || value < (1u64 << w), "value {value:#x} exceeds {w}-bit width");
+        let t = self.cursor;
+        self.bank.erase_op(&mut self.sim, reg, t);
+        self.advance();
+        let t = self.cursor;
+        self.bank.write_op(&mut self.sim, reg, value, t);
+        self.advance();
+    }
+
+    /// Peeks stored register contents without disturbing state.
+    pub fn peek(&self, reg: usize) -> u64 {
+        self.bank.peek(&self.sim, reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
+        rf.write(2, 0b0110);
+        assert_eq!(rf.peek(2), 0b0110);
+        assert_eq!(rf.read(2), 0b0110);
+        assert!(rf.violations().is_empty(), "violations: {:?}", rf.violations());
+    }
+
+    #[test]
+    fn read_restores_via_loopback() {
+        // The destructive pop must be recycled: the register still holds
+        // its value after the read completes.
+        let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
+        rf.write(1, 0b1011);
+        for i in 0..5 {
+            assert_eq!(rf.read(1), 0b1011, "read {i}");
+            assert_eq!(rf.peek(1), 0b1011, "restore after read {i}");
+        }
+        assert!(rf.violations().is_empty());
+    }
+
+    #[test]
+    fn all_two_bit_patterns_round_trip() {
+        let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
+        for v in 0..16u64 {
+            rf.write(3, v);
+            assert_eq!(rf.read(3), v, "value {v:#06b}");
+            assert_eq!(rf.peek(3), v, "restore of {v:#06b}");
+        }
+    }
+
+    #[test]
+    fn overwrite_erases_old_value() {
+        // Without the erase read, fluxons would accumulate: 0b11 over 0b01
+        // would saturate. The erase must make overwrite exact.
+        let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
+        rf.write(0, 0b1111);
+        rf.write(0, 0b0101);
+        assert_eq!(rf.read(0), 0b0101);
+        rf.write(0, 0b0000);
+        assert_eq!(rf.read(0), 0b0000);
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut rf = HiPerRf::new(RfGeometry::paper_16x16());
+        for r in 0..16 {
+            rf.write(r, (r as u64 * 0x1357) & 0xffff);
+        }
+        for r in (0..16).rev() {
+            assert_eq!(rf.read(r), (r as u64 * 0x1357) & 0xffff, "register {r}");
+        }
+        assert!(rf.violations().is_empty());
+    }
+
+    #[test]
+    fn unwritten_registers_read_zero() {
+        let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
+        assert_eq!(rf.read(0), 0);
+        assert_eq!(rf.read(3), 0);
+    }
+
+    #[test]
+    fn census_matches_budget() {
+        for g in [RfGeometry::paper_4x4(), RfGeometry::paper_16x16()] {
+            let rf = HiPerRf::new(g);
+            let structural = rf.census();
+            let budget = crate::budget::hiperrf_budget(g).census();
+            assert_eq!(structural, budget, "geometry {g}");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # hiperrf — a dual-bit dense-storage SFQ register file
+//!
+//! From-scratch reproduction of *HiPerRF: A Dual-Bit Dense Storage SFQ
+//! Register File* (HPCA 2022). Single-flux-quantum memory cells are
+//! flip-flop-like and expensive in Josephson junctions; the paper's
+//! HC-DRO cell stores two bits as up to three fluxons in one 3-JJ loop —
+//! a 7.3× density win over the 11-JJ NDRO cell — but reads destructively.
+//! HiPerRF recovers the multi-read property a CPU register file needs by
+//! recycling each readout through a small NDRO **LoopBuffer** back into
+//! the source register (a "loopback write"), off the critical path.
+//!
+//! ## What this crate provides
+//!
+//! * **Structural models** — full pulse-level netlists built from the
+//!   `sfq-cells` library, runnable on the `sfq-sim` event simulator:
+//!   [`ndro_rf::NdroRf`] (the clock-less baseline of paper §III),
+//!   [`hiperrf_rf::HiPerRf`] (§IV), and [`banked::DualBankRf`] (§V).
+//!   Reads on the HC designs physically pop fluxons and restore them via
+//!   the loopback path.
+//! * **Closed-form budgets** — [`budget`] enumerates every cell of each
+//!   design and regenerates the paper's Table I (JJ count) and Table II
+//!   (static power); integration tests assert the structural netlists
+//!   instantiate *exactly* the budgeted cells.
+//! * **Delay models** — [`delay`] reproduces Table III (readout delay)
+//!   exactly and Table IV (post-place-and-route delays) within 2%.
+//! * **Scheduling** — [`schedule`] encodes the paper's static port
+//!   schedules (2/3/2-or-4 RF cycles per instruction) and [`arch`]
+//!   provides hazard-checked cycle-level register files for the CPU
+//!   simulator.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hiperrf::config::RfGeometry;
+//! use hiperrf::hiperrf_rf::HiPerRf;
+//!
+//! // A 4-register × 4-bit HiPerRF, simulated pulse by pulse.
+//! let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
+//! rf.write(1, 0b1001);
+//! assert_eq!(rf.read(1), 0b1001);
+//! // The read was destructive in the cells, but the loopback restored it:
+//! assert_eq!(rf.read(1), 0b1001);
+//! ```
+
+pub mod arch;
+pub mod banked;
+pub mod budget;
+pub mod capacity;
+pub mod config;
+pub mod delay;
+pub mod demux;
+pub mod fabric;
+pub mod hc_rf;
+pub mod hiperrf_rf;
+pub mod margins;
+pub mod ndro_rf;
+pub mod schedule;
+pub mod shift_rf;
+
+pub use arch::ArchRf;
+pub use banked::DualBankRf;
+pub use config::RfGeometry;
+pub use delay::RfDesign;
+pub use hiperrf_rf::HiPerRf;
+pub use ndro_rf::NdroRf;
+pub use schedule::RfSchedule;

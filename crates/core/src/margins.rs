@@ -1,0 +1,149 @@
+//! Timing-margin analysis of the HiPerRF write path.
+//!
+//! The paper (§II-D) argues HC-DRO cells can be built robustly with
+//! careful inductor sizing, and its clock-less port design leans on the
+//! dynamic-AND coincidence window to gate data into cells without a
+//! distributed clock. This module quantifies how much timing slack the
+//! design actually has:
+//!
+//! * [`write_skew_window`] sweeps a deliberate skew between the data train
+//!   and the tripled write enable at the DAND gates and reports the range
+//!   over which writes still land correctly — the usable coincidence
+//!   window (nominally ±[`DAND_WINDOW_PS`](sfq_cells::timing::DAND_WINDOW_PS)).
+//! * [`monte_carlo_jitter`] applies random per-operation injection jitter
+//!   and reports the pass fraction — a crude stand-in for the paper's
+//!   device-margin simulations in JoSim.
+
+use sfq_sim::time::{Duration, Time};
+
+use crate::config::RfGeometry;
+use crate::hc_rf::{build_hc_rf, HcBank};
+use sfq_cells::CircuitBuilder;
+use sfq_sim::simulator::Simulator;
+
+/// Result of a skew sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewWindow {
+    /// Most negative skew (ps) at which every write still succeeded.
+    pub min_ok_ps: f64,
+    /// Most positive skew (ps) at which every write still succeeded.
+    pub max_ok_ps: f64,
+    /// Sweep step (ps).
+    pub step_ps: f64,
+}
+
+impl SkewWindow {
+    /// Total usable window width (ps).
+    pub fn width_ps(&self) -> f64 {
+        self.max_ok_ps - self.min_ok_ps
+    }
+}
+
+fn skewed_write_succeeds(geometry: RfGeometry, skew_ps: f64) -> bool {
+    let mut b = CircuitBuilder::new();
+    let ports = build_hc_rf(&mut b, geometry);
+    let mut sim = Simulator::new(b.finish());
+    let bank = HcBank::new(&mut sim, ports);
+    let mut t = Time::from_ps(10.0);
+    // Write a worst-case pattern (all cells at value 3) with the skew and
+    // verify storage landed; then read it back cleanly.
+    let all_ones = if geometry.width() == 64 { u64::MAX } else { (1u64 << geometry.width()) - 1 };
+    bank.write_op_skewed(&mut sim, 1, all_ones, t, skew_ps);
+    bank.finish_op(&mut sim);
+    if bank.peek(&sim, 1) != all_ones {
+        return false;
+    }
+    t = sim.now() + Duration::from_ps(400.0);
+    let got = bank.read_op(&mut sim, 1, t);
+    bank.finish_op(&mut sim);
+    got == all_ones && sim.violations().is_empty()
+}
+
+/// Sweeps data-vs-enable skew over `[-limit, +limit]` ps in `step` steps
+/// and reports the contiguous window around zero where writes succeed.
+///
+/// # Panics
+///
+/// Panics if the nominal (zero-skew) write fails — that would be a design
+/// bug, not a margin result.
+pub fn write_skew_window(geometry: RfGeometry, limit_ps: f64, step_ps: f64) -> SkewWindow {
+    assert!(skewed_write_succeeds(geometry, 0.0), "nominal write must succeed");
+    let mut min_ok = 0.0;
+    let mut max_ok = 0.0;
+    let mut skew = step_ps;
+    while skew <= limit_ps && skewed_write_succeeds(geometry, skew) {
+        max_ok = skew;
+        skew += step_ps;
+    }
+    skew = step_ps;
+    while skew <= limit_ps && skewed_write_succeeds(geometry, -skew) {
+        min_ok = -skew;
+        skew += step_ps;
+    }
+    SkewWindow { min_ok_ps: min_ok, max_ok_ps: max_ok, step_ps }
+}
+
+/// Result of a jitter Monte Carlo.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterReport {
+    /// Trials run.
+    pub trials: u32,
+    /// Trials in which the write+read round trip stayed correct.
+    pub passed: u32,
+    /// Peak jitter magnitude applied (ps, uniform in `[-j, +j]`).
+    pub jitter_ps: f64,
+}
+
+impl JitterReport {
+    /// Pass fraction.
+    pub fn yield_fraction(&self) -> f64 {
+        f64::from(self.passed) / f64::from(self.trials)
+    }
+}
+
+/// Runs `trials` write+read round trips, each with an independent uniform
+/// skew in `[-jitter_ps, +jitter_ps]` drawn from a deterministic LCG.
+pub fn monte_carlo_jitter(geometry: RfGeometry, jitter_ps: f64, trials: u32) -> JitterReport {
+    let mut state = 0x2468_ace1u32;
+    let mut passed = 0;
+    for _ in 0..trials {
+        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        let unit = f64::from(state >> 8) / f64::from(1u32 << 24); // [0,1)
+        let skew = (unit * 2.0 - 1.0) * jitter_ps;
+        if skewed_write_succeeds(geometry, skew) {
+            passed += 1;
+        }
+    }
+    JitterReport { trials, passed, jitter_ps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::timing::DAND_WINDOW_PS;
+
+    #[test]
+    fn window_brackets_the_dand_spec() {
+        let w = write_skew_window(RfGeometry::paper_4x4(), 16.0, 1.0);
+        // The usable window must be positive on both sides and bounded by
+        // the DAND coincidence window (8 ps each way nominally; HC pulse
+        // trains shave the late side because a skewed pulse can pair with
+        // the wrong enable slot).
+        assert!(w.min_ok_ps <= -3.0, "{w:?}");
+        assert!(w.max_ok_ps >= 3.0, "{w:?}");
+        assert!(w.width_ps() <= 2.0 * DAND_WINDOW_PS + 2.0, "{w:?}");
+    }
+
+    #[test]
+    fn small_jitter_yields_fully() {
+        let r = monte_carlo_jitter(RfGeometry::paper_4x4(), 2.0, 20);
+        assert_eq!(r.yield_fraction(), 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn huge_jitter_fails_sometimes() {
+        let r = monte_carlo_jitter(RfGeometry::paper_4x4(), 30.0, 20);
+        assert!(r.yield_fraction() < 1.0, "{r:?}");
+        assert!(r.passed > 0, "some trials must still land near zero skew: {r:?}");
+    }
+}

@@ -1,0 +1,313 @@
+//! Structural model of the baseline clock-less NDRO register file
+//! (paper §III, Fig. 4).
+//!
+//! Three NDROC demux ports (read, reset, write), one NDRO cell per bit,
+//! dynamic-AND write gating, and per-bit-column output merger trees. No
+//! clock is distributed anywhere: the read/write/reset enable pulses act as
+//! triggers ("clock-follow-data", paper §II-B).
+
+use sfq_cells::logic::Dand;
+use sfq_cells::storage::Ndro;
+use sfq_cells::timing::{
+    DAND_DELAY_PS, MERGER_DELAY_PS, NDRO_CLK_TO_OUT_PS, NDROC_PROP_PS, SPLITTER_DELAY_PS,
+};
+use sfq_cells::{CircuitBuilder, Census};
+use sfq_sim::netlist::{ComponentId, Pin};
+use sfq_sim::simulator::{ProbeId, Simulator};
+use sfq_sim::time::{Duration, Time};
+use sfq_sim::violation::Violation;
+
+use crate::config::RfGeometry;
+use crate::demux::{build_demux, sel_head_start, Demux};
+use crate::fabric::{broadcast_depth, broadcast_to, merge_depth};
+
+/// Gap between driver operations (ps). Far above the 53 ps NDROC re-arm
+/// time: the functional driver runs operations to completion rather than
+/// pipelining them (pipelined scheduling is modelled architecturally in
+/// `schedule`).
+const OP_GAP_PS: f64 = 400.0;
+
+/// A runnable baseline NDRO register file with its simulator.
+#[derive(Debug)]
+pub struct NdroRf {
+    geometry: RfGeometry,
+    sim: Simulator,
+    read_demux: Demux,
+    reset_demux: Demux,
+    write_demux: Demux,
+    /// Per-bit W_DATA inputs.
+    data_in: Vec<Pin>,
+    /// Per-bit R_DATA probes.
+    out_probes: Vec<ProbeId>,
+    /// NDRO cells, `[register][bit]`.
+    cells: Vec<Vec<ComponentId>>,
+    cursor: Time,
+}
+
+impl NdroRf {
+    /// Builds the register file and wraps it in a simulator.
+    pub fn new(geometry: RfGeometry) -> Self {
+        let n = geometry.registers();
+        let w = geometry.width();
+        let levels = geometry.demux_levels();
+        let mut b = CircuitBuilder::new();
+
+        // Storage cells.
+        let cells: Vec<Vec<ComponentId>> = (0..n)
+            .map(|r| b.scoped(format!("reg{r}"), |b| (0..w).map(|_| b.ndro()).collect()))
+            .collect();
+
+        // Read port.
+        let read_demux = b.scoped("read", |b| {
+            let d = build_demux(b, levels);
+            for (r, row) in cells.iter().enumerate() {
+                let targets: Vec<_> = row.iter().map(|&c| Pin::new(c, Ndro::CLK)).collect();
+                let input = broadcast_to(b, &targets);
+                b.connect(d.outputs[r], input);
+            }
+            d
+        });
+
+        // Reset port (precedes every write, paper §III-B).
+        let reset_demux = b.scoped("reset", |b| {
+            let d = build_demux(b, levels);
+            for (r, row) in cells.iter().enumerate() {
+                let targets: Vec<_> = row.iter().map(|&c| Pin::new(c, Ndro::RESET)).collect();
+                let input = broadcast_to(b, &targets);
+                b.connect(d.outputs[r], input);
+            }
+            d
+        });
+
+        // Write port: demux-gated dynamic ANDs between W_DATA and SET pins.
+        let (write_demux, data_in) = b.scoped("write", |b| {
+            let d = build_demux(b, levels);
+            // One DAND per (register, bit).
+            let dands: Vec<Vec<ComponentId>> =
+                (0..n).map(|_| (0..w).map(|_| b.dand()).collect()).collect();
+            for r in 0..n {
+                let gates: Vec<_> = dands[r].iter().map(|&g| Pin::new(g, Dand::A)).collect();
+                let input = broadcast_to(b, &gates);
+                b.connect(d.outputs[r], input);
+                for bit in 0..w {
+                    b.connect(Pin::new(dands[r][bit], Dand::OUT), Pin::new(cells[r][bit], Ndro::SET));
+                }
+            }
+            // W_DATA fan-out: bit -> all registers' DAND B pins.
+            let data_in: Vec<Pin> = (0..w)
+                .map(|bit| {
+                    let targets: Vec<_> =
+                        (0..n).map(|r| Pin::new(dands[r][bit], Dand::B)).collect();
+                    broadcast_to(b, &targets)
+                })
+                .collect();
+            (d, data_in)
+        });
+
+        // Output port: per-bit merger tree.
+        let out_pins: Vec<Pin> = b.scoped("output", |b| {
+            (0..w)
+                .map(|bit| {
+                    let inputs: Vec<_> =
+                        (0..n).map(|r| Pin::new(cells[r][bit], Ndro::OUT)).collect();
+                    b.merger_tree(&inputs)
+                })
+                .collect()
+        });
+
+        let mut sim = Simulator::new(b.finish());
+        let out_probes = out_pins
+            .iter()
+            .enumerate()
+            .map(|(bit, &p)| sim.probe(p, format!("R_DATA[{bit}]")))
+            .collect();
+
+        NdroRf {
+            geometry,
+            sim,
+            read_demux,
+            reset_demux,
+            write_demux,
+            data_in,
+            out_probes,
+            cells,
+            cursor: Time::from_ps(10.0),
+        }
+    }
+
+    /// The geometry of this register file.
+    pub fn geometry(&self) -> RfGeometry {
+        self.geometry
+    }
+
+    /// Cell census of the built netlist.
+    pub fn census(&self) -> Census {
+        Census::of(self.sim.netlist())
+    }
+
+    /// Timing violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        self.sim.violations()
+    }
+
+    fn end_op(&mut self) {
+        let t = self.sim.now() + Duration::from_ps(20.0);
+        self.read_demux.clear(&mut self.sim, t);
+        self.reset_demux.clear(&mut self.sim, t);
+        self.write_demux.clear(&mut self.sim, t);
+        self.sim.run();
+        self.cursor = self.sim.now() + Duration::from_ps(OP_GAP_PS);
+    }
+
+    /// Reads a register (non-destructive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range.
+    pub fn read(&mut self, reg: usize) -> u64 {
+        assert!(reg < self.geometry.registers(), "register {reg} out of range");
+        self.sim.clear_all_probes();
+        let t = self.cursor;
+        let hs = sel_head_start(self.geometry.demux_levels());
+        self.read_demux.select_and_fire(&mut self.sim, reg, t, t + hs);
+        self.sim.run();
+        let mut value = 0u64;
+        for (bit, &p) in self.out_probes.iter().enumerate() {
+            if !self.sim.probe_trace(p).is_empty() {
+                value |= 1 << bit;
+            }
+        }
+        self.end_op();
+        value
+    }
+
+    /// Writes a register: a reset operation through the reset port followed
+    /// by a gated write through the write port (paper §III-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range or `value` does not fit the width.
+    pub fn write(&mut self, reg: usize, value: u64) {
+        let w = self.geometry.width();
+        assert!(reg < self.geometry.registers(), "register {reg} out of range");
+        assert!(w == 64 || value < (1u64 << w), "value {value:#x} exceeds {w}-bit width");
+
+        // Phase 1: reset the destination register.
+        let t = self.cursor;
+        let hs = sel_head_start(self.geometry.demux_levels());
+        self.reset_demux.select_and_fire(&mut self.sim, reg, t, t + hs);
+        self.sim.run();
+        self.end_op();
+
+        // Phase 2: write-enable + data, aligned at the DANDs.
+        let t = self.cursor;
+        self.write_demux.select_and_fire(&mut self.sim, reg, t, t + hs);
+        let t_wen_at_dand = t + hs + Duration::from_ps(self.enable_to_gate_ps());
+        let t_data = t_wen_at_dand - Duration::from_ps(self.data_to_gate_ps());
+        for (bit, &pin) in self.data_in.iter().enumerate() {
+            if value >> bit & 1 == 1 {
+                self.sim.inject(pin, t_data);
+            }
+        }
+        self.sim.run();
+        self.end_op();
+    }
+
+    /// Peeks stored register contents without a (state-disturbing) read.
+    pub fn peek(&self, reg: usize) -> u64 {
+        let mut v = 0u64;
+        for (bit, &cell) in self.cells[reg].iter().enumerate() {
+            if self.sim.netlist().component(cell).stored() == Some(1) {
+                v |= 1 << bit;
+            }
+        }
+        v
+    }
+
+    /// Enable-path latency from demux enable injection to the DAND gate
+    /// inputs (ps).
+    fn enable_to_gate_ps(&self) -> f64 {
+        self.geometry.demux_levels() as f64 * NDROC_PROP_PS
+            + broadcast_depth(self.geometry.width()) as f64 * SPLITTER_DELAY_PS
+    }
+
+    /// Data-path latency from a W_DATA pin to the DAND gate inputs (ps).
+    fn data_to_gate_ps(&self) -> f64 {
+        broadcast_depth(self.geometry.registers()) as f64 * SPLITTER_DELAY_PS
+    }
+
+    /// The modelled logical readout latency (ps): demux traverse + read
+    /// fan + cell readout + output merger tree. Matches the measured pulse
+    /// arrival in the structural simulation.
+    pub fn readout_path_ps(&self) -> f64 {
+        self.geometry.demux_levels() as f64 * NDROC_PROP_PS
+            + broadcast_depth(self.geometry.width()) as f64 * SPLITTER_DELAY_PS
+            + NDRO_CLK_TO_OUT_PS
+            + merge_depth(self.geometry.registers()) as f64 * MERGER_DELAY_PS
+    }
+
+    /// DAND gating slack available to the driver (ps) — documentation aid.
+    pub fn gate_window_ps(&self) -> f64 {
+        DAND_DELAY_PS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut rf = NdroRf::new(RfGeometry::paper_4x4());
+        rf.write(2, 0b1010);
+        assert_eq!(rf.peek(2), 0b1010);
+        assert_eq!(rf.read(2), 0b1010);
+        assert!(rf.violations().is_empty());
+    }
+
+    #[test]
+    fn read_is_non_destructive() {
+        let mut rf = NdroRf::new(RfGeometry::paper_4x4());
+        rf.write(1, 0b0110);
+        for _ in 0..4 {
+            assert_eq!(rf.read(1), 0b0110);
+        }
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let mut rf = NdroRf::new(RfGeometry::paper_4x4());
+        rf.write(3, 0b1111);
+        rf.write(3, 0b0001);
+        assert_eq!(rf.read(3), 0b0001, "reset port must clear stale bits");
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut rf = NdroRf::new(RfGeometry::paper_16x16());
+        for r in 0..16 {
+            rf.write(r, ((r as u64) * 0x101) & 0xffff);
+        }
+        for r in 0..16 {
+            assert_eq!(rf.read(r), ((r as u64) * 0x101) & 0xffff, "register {r}");
+        }
+        assert!(rf.violations().is_empty());
+    }
+
+    #[test]
+    fn unwritten_registers_read_zero() {
+        let mut rf = NdroRf::new(RfGeometry::paper_4x4());
+        assert_eq!(rf.read(0), 0);
+        assert_eq!(rf.read(3), 0);
+    }
+
+    #[test]
+    fn census_matches_budget() {
+        for g in [RfGeometry::paper_4x4(), RfGeometry::paper_16x16()] {
+            let rf = NdroRf::new(g);
+            let structural = rf.census();
+            let budget = crate::budget::ndro_rf_budget(g).census();
+            assert_eq!(structural, budget, "geometry {g}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Port-scheduling model: how many register-file cycles each instruction
+//! occupies, and how RF latencies translate into CPU gate cycles.
+//!
+//! The paper schedules register-file access statically (§IV-D, §V-B):
+//!
+//! * **baseline NDRO RF**: one instruction every **2** RF cycles — the two
+//!   source reads pipeline one per cycle, and the write-back's RESET+WEN
+//!   overlaps an earlier instruction's read slot (Fig. 8). Internal
+//!   forwarding (write-before-read in the same cycle) is supported.
+//! * **HiPerRF**: one instruction every **3** RF cycles — one slot is
+//!   reserved for the write-back erase, and each source read's loopback
+//!   write occupies the write port in the following cycle (Fig. 11). No
+//!   forwarding: a dependent instruction must do a full read.
+//! * **dual-banked HiPerRF**: **2** RF cycles when the two sources are in
+//!   different banks, **4** when they collide in one bank (Fig. 12);
+//!   reading the same register twice duplicates the first read.
+//! * **dual-banked ideal**: a bank-aware compiler keeps sources in
+//!   different banks — always 2 RF cycles.
+//!
+//! One RF cycle (53 ps NDROC re-arm) spans two 28 ps gate cycles of the
+//! synthesized Sodor pipeline (paper §VI-B).
+
+use sfq_cells::timing::{GATE_CYCLE_PS, GATE_CYCLES_PER_RF_CYCLE};
+
+use crate::banked::bank_of;
+use crate::config::RfGeometry;
+use crate::delay::{loopback_latency_ps, readout_delay_with_wires_ps, RfDesign};
+
+/// Static port schedule for one register-file design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfSchedule {
+    design: RfDesign,
+    geometry: RfGeometry,
+}
+
+impl RfSchedule {
+    /// Creates a schedule model.
+    pub fn new(design: RfDesign, geometry: RfGeometry) -> Self {
+        RfSchedule { design, geometry }
+    }
+
+    /// The design being scheduled.
+    pub fn design(&self) -> RfDesign {
+        self.design
+    }
+
+    /// The register-file geometry.
+    pub fn geometry(&self) -> RfGeometry {
+        self.geometry
+    }
+
+    /// RF cycles between successive instruction issues, given the
+    /// instruction's source registers (up to two; duplicates are read once).
+    pub fn issue_interval_rf_cycles(&self, sources: &[usize]) -> u64 {
+        match self.design {
+            RfDesign::NdroBaseline => 2,
+            RfDesign::HiPerRf => 3,
+            RfDesign::DualBankedIdeal => 2,
+            RfDesign::DualBanked => match sources {
+                [a, b] if a != b && bank_of(*a) == bank_of(*b) => 4,
+                _ => 2,
+            },
+        }
+    }
+
+    /// Same interval expressed in 28 ps gate cycles.
+    pub fn issue_interval_gate_cycles(&self, sources: &[usize]) -> u64 {
+        self.issue_interval_rf_cycles(sources) * GATE_CYCLES_PER_RF_CYCLE
+    }
+
+    /// Gate cycles from read enable to operand availability (post-P&R
+    /// readout delay of Table IV, rounded up to whole gate cycles).
+    pub fn readout_gate_cycles(&self) -> u64 {
+        (readout_delay_with_wires_ps(self.design, self.geometry) / GATE_CYCLE_PS).ceil() as u64
+    }
+
+    /// Gate cycles a just-read register stays unavailable while its
+    /// loopback write restores it (`None` for the baseline).
+    pub fn loopback_gate_cycles(&self) -> Option<u64> {
+        loopback_latency_ps(self.design, self.geometry)
+            .map(|ps| (ps / GATE_CYCLE_PS).ceil() as u64)
+    }
+
+    /// Whether the write port can internally forward a value to a read in
+    /// the same cycle (paper §III-E vs §IV-D).
+    pub fn supports_internal_forwarding(&self) -> bool {
+        matches!(self.design, RfDesign::NdroBaseline)
+    }
+
+    /// Gate cycles from an instruction's first RF slot to its *last*
+    /// source read, per the static schedules of Figs. 8, 11 and 12:
+    ///
+    /// * baseline: sources read in slots 0 and 1 → last read at slot
+    ///   `#srcs - 1`;
+    /// * HiPerRF: slot 0 is the write-back reset, sources in slots 1 and 2
+    ///   → last read at slot `#srcs`;
+    /// * dual-banked: different-bank sources are both read in the same
+    ///   slot (gather 0, the design's whole point); same-bank sources read
+    ///   two slots apart (Fig. 12).
+    pub fn operand_gather_gate_cycles(&self, sources: &[usize]) -> u64 {
+        let n = sources.len() as u64;
+        let last_slot = match self.design {
+            RfDesign::NdroBaseline => n.saturating_sub(1),
+            RfDesign::HiPerRf => n,
+            RfDesign::DualBankedIdeal => 0,
+            RfDesign::DualBanked => match sources {
+                [a, b] if a != b && bank_of(*a) == bank_of(*b) => 2,
+                _ => 0,
+            },
+        };
+        last_slot * GATE_CYCLES_PER_RF_CYCLE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> RfGeometry {
+        RfGeometry::paper_32x32()
+    }
+
+    #[test]
+    fn baseline_issues_every_two_cycles() {
+        let s = RfSchedule::new(RfDesign::NdroBaseline, g());
+        assert_eq!(s.issue_interval_rf_cycles(&[1, 2]), 2);
+        assert_eq!(s.issue_interval_rf_cycles(&[]), 2);
+        assert!(s.supports_internal_forwarding());
+        assert_eq!(s.loopback_gate_cycles(), None);
+    }
+
+    #[test]
+    fn hiperrf_issues_every_three_cycles() {
+        let s = RfSchedule::new(RfDesign::HiPerRf, g());
+        for srcs in [&[][..], &[1][..], &[1, 2][..], &[3, 3][..]] {
+            assert_eq!(s.issue_interval_rf_cycles(srcs), 3);
+        }
+        assert!(!s.supports_internal_forwarding());
+        assert!(s.loopback_gate_cycles().is_some());
+    }
+
+    #[test]
+    fn banked_depends_on_source_banks() {
+        let s = RfSchedule::new(RfDesign::DualBanked, g());
+        // 1 (bank 0) and 2 (bank 1): different banks.
+        assert_eq!(s.issue_interval_rf_cycles(&[1, 2]), 2);
+        // 1 and 3: both bank 0.
+        assert_eq!(s.issue_interval_rf_cycles(&[1, 3]), 4);
+        // 2 and 4: both bank 1.
+        assert_eq!(s.issue_interval_rf_cycles(&[2, 4]), 4);
+        // Same register twice: duplicated readout, no conflict.
+        assert_eq!(s.issue_interval_rf_cycles(&[3, 3]), 2);
+        // One or zero sources.
+        assert_eq!(s.issue_interval_rf_cycles(&[7]), 2);
+        assert_eq!(s.issue_interval_rf_cycles(&[]), 2);
+    }
+
+    #[test]
+    fn ideal_never_conflicts() {
+        let s = RfSchedule::new(RfDesign::DualBankedIdeal, g());
+        assert_eq!(s.issue_interval_rf_cycles(&[1, 3]), 2);
+    }
+
+    #[test]
+    fn readout_gate_cycles_ordering() {
+        let base = RfSchedule::new(RfDesign::NdroBaseline, g()).readout_gate_cycles();
+        let dual = RfSchedule::new(RfDesign::DualBanked, g()).readout_gate_cycles();
+        let hi = RfSchedule::new(RfDesign::HiPerRf, g()).readout_gate_cycles();
+        assert!(base <= dual && dual <= hi);
+        // 216.8/270.1/236.8 ps at 28 ps/gate: 8, 10, 9 cycles.
+        assert_eq!(base, 8);
+        assert_eq!(hi, 10);
+        assert_eq!(dual, 9);
+    }
+
+    #[test]
+    fn loopback_cycles() {
+        let hi = RfSchedule::new(RfDesign::HiPerRf, g()).loopback_gate_cycles().unwrap();
+        let dual = RfSchedule::new(RfDesign::DualBanked, g()).loopback_gate_cycles().unwrap();
+        assert_eq!(hi, 4); // 108.6 ps
+        assert_eq!(dual, 4); // 94.7 ps
+    }
+}

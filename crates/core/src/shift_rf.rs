@@ -1,0 +1,436 @@
+//! DRO shift-register register file — the related-work baseline
+//! (Fujiwara et al. \[11\], paper §VII).
+//!
+//! Each register is a rotating ring of DRO cells: a shift clock pops every
+//! cell into its successor, and the head recirculates to the tail through
+//! an NDRO pass gate (armed for reads, disarmed to flush before writes) —
+//! the same arm/disarm trick HiPerRF's LoopBuffer uses. One full rotation
+//! streams the word out bit-serially *and* restores it.
+//!
+//! The design is denser than the NDRO baseline (DRO cells cost 6 JJs/bit
+//! versus 11) and even than HiPerRF at some sizes, but each access costs
+//! `w` demux-limited shift cycles (w × 53 ps — 1.7 ns for a 32-bit word)
+//! and the interface is bit-serial. This module quantifies the trade-off
+//! the paper argues qualitatively: shift registers win JJs and lose the
+//! architecture.
+
+use sfq_cells::logic::Dand;
+use sfq_cells::storage::{Dro, Ndro};
+use sfq_cells::timing::{
+    DRO_CLK_TO_OUT_PS, NDRO_CLK_TO_OUT_PS, NDROC_PROP_PS, RF_CYCLE_PS, SPLITTER_DELAY_PS,
+};
+use sfq_cells::transport::{Merger, Splitter};
+use sfq_cells::{CellKind, Census, CircuitBuilder};
+use sfq_sim::netlist::{ComponentId, Pin};
+use sfq_sim::simulator::{ProbeId, Simulator};
+use sfq_sim::time::{Duration, Time};
+use sfq_sim::violation::Violation;
+
+use crate::budget::{BudgetSection, RfBudget};
+use crate::config::RfGeometry;
+use crate::demux::{build_demux, sel_head_start, Demux};
+use crate::fabric::broadcast_to;
+
+/// Spacing between successive shift-clock pulses in the functional driver
+/// (ps). Must exceed the ring settle time (DRO pop, splitter, NDRO gate,
+/// merger: ~24 ps); the *hardware* burst rate through the NDROC demux is
+/// one pulse per 53 ps cycle, which is what the delay model charges.
+const SHIFT_STEP_PS: f64 = 30.0;
+
+/// Closed-form budget for an `n × w` shift-register file.
+///
+/// Sections: storage rings, ring plumbing (head splitter + recirculation
+/// NDRO gate + tail merger + clock broadcast per register), two clock-route
+/// demuxes (read/write), and the gated serial write-data distribution.
+pub fn shift_rf_budget(geometry: RfGeometry) -> RfBudget {
+    let n = geometry.registers();
+    let w = geometry.width();
+    let levels = geometry.demux_levels();
+
+    let mut storage = Census::default();
+    storage.add(CellKind::Dro, (n * w) as u64);
+
+    let mut ring = Census::default();
+    ring.add(CellKind::Splitter, (n * w) as u64); // head splitter + clock tree (w-1)
+    ring.add(CellKind::Ndro, n as u64); // recirculation gate
+    ring.add(CellKind::Merger, n as u64); // tail merger
+    ring.add(CellKind::Splitter, 2 * (n - 1) as u64); // gate SET/RESET broadcast
+
+    let mut ports = Census::default();
+    // Two demuxes route the shift-clock bursts (read and write paths).
+    ports.add(CellKind::Ndroc, 2 * (n - 1) as u64);
+    ports.add(CellKind::Splitter, 2 * ((n - levels - 1) + (n - 2)) as u64);
+    // Serial write data: broadcast + per-register gating DAND.
+    ports.add(CellKind::Dand, n as u64);
+    ports.add(CellKind::Splitter, (n - 1) as u64);
+
+    RfBudget {
+        design: "Shift-register RF (Fujiwara-style)",
+        geometry,
+        sections: vec![
+            BudgetSection { name: "storage", census: storage },
+            BudgetSection { name: "ring plumbing", census: ring },
+            BudgetSection { name: "ports", census: ports },
+        ],
+    }
+}
+
+/// Readout delay model (ps): the demux traverse plus `w` shift cycles at
+/// the 53 ps NDROC-limited burst rate, plus the ring exit path.
+pub fn shift_rf_readout_ps(geometry: RfGeometry) -> f64 {
+    geometry.demux_levels() as f64 * NDROC_PROP_PS
+        + geometry.width() as f64 * RF_CYCLE_PS
+        + DRO_CLK_TO_OUT_PS
+        + SPLITTER_DELAY_PS
+        + NDRO_CLK_TO_OUT_PS
+}
+
+/// A runnable structural shift-register file.
+#[derive(Debug)]
+pub struct ShiftRegisterRf {
+    geometry: RfGeometry,
+    sim: Simulator,
+    clock_demux: Demux,
+    write_demux: Demux,
+    /// Per-register recirculation-gate SET/RESET broadcast inputs.
+    gate_set: Pin,
+    gate_reset: Pin,
+    /// Serial write-data input (broadcast to all tail DANDs).
+    data_in: Pin,
+    /// Serial output probes, one per register.
+    out_probes: Vec<ProbeId>,
+    /// Ring cells `[register][position]`; position `w-1` is the head.
+    cells: Vec<Vec<ComponentId>>,
+    cursor: Time,
+}
+
+impl ShiftRegisterRf {
+    /// Builds the register file.
+    pub fn new(geometry: RfGeometry) -> Self {
+        let n = geometry.registers();
+        let w = geometry.width();
+        let levels = geometry.demux_levels();
+        let mut b = CircuitBuilder::new();
+
+        let mut cells: Vec<Vec<ComponentId>> = Vec::with_capacity(n);
+        let mut gate_sets = Vec::with_capacity(n);
+        let mut gate_resets = Vec::with_capacity(n);
+        let mut out_pins = Vec::with_capacity(n);
+        let mut tail_data_ins = Vec::with_capacity(n);
+        let mut clock_roots = Vec::with_capacity(n);
+        let mut write_clock_gates = Vec::with_capacity(n);
+
+        for r in 0..n {
+            b.push_scope(format!("ring{r}"));
+            let ring: Vec<ComponentId> = (0..w).map(|_| b.dro()).collect();
+            // Shift chain: cell i -> cell i+1.
+            for i in 0..w - 1 {
+                b.connect(Pin::new(ring[i], Dro::Q), Pin::new(ring[i + 1], Dro::D));
+            }
+            // Head -> splitter -> (external out, recirculation gate).
+            let head_split = b.splitter();
+            b.connect(Pin::new(ring[w - 1], Dro::Q), Pin::new(head_split, Splitter::IN));
+            out_pins.push(Pin::new(head_split, Splitter::OUT0));
+            let gate = b.ndro();
+            b.connect(Pin::new(head_split, Splitter::OUT1), Pin::new(gate, Ndro::CLK));
+            gate_sets.push(Pin::new(gate, Ndro::SET));
+            gate_resets.push(Pin::new(gate, Ndro::RESET));
+            // Tail merger: recirculation | gated write data -> cell 0.
+            let tail = b.merger();
+            b.connect(Pin::new(gate, Ndro::OUT), Pin::new(tail, Merger::IN_A));
+            b.connect(Pin::new(tail, Merger::OUT), Pin::new(ring[0], Dro::D));
+            tail_data_ins.push(Pin::new(tail, Merger::IN_B));
+            // Clock broadcast across the ring.
+            let clk_targets: Vec<_> = ring.iter().map(|&c| Pin::new(c, Dro::CLK)).collect();
+            clock_roots.push(broadcast_to(&mut b, &clk_targets));
+            cells.push(ring);
+            b.pop_scope();
+        }
+
+        // Read-path clock demux: routes shift bursts to the selected ring.
+        let clock_demux = b.scoped("clock", |b| {
+            let d = build_demux(b, levels);
+            for (r, &root) in clock_roots.iter().enumerate() {
+                b.connect(d.outputs[r], root);
+            }
+            d
+        });
+        // Write-path demux: routes a write-enable burst that gates serial
+        // data into the selected ring's tail.
+        let write_demux = b.scoped("wdata", |b| {
+            let d = build_demux(b, levels);
+            for (r, &tail_in) in tail_data_ins.iter().enumerate() {
+                let g = b.dand();
+                write_clock_gates.push(Pin::new(g, Dand::A));
+                b.connect(d.outputs[r], Pin::new(g, Dand::A));
+                b.connect(Pin::new(g, Dand::OUT), tail_in);
+            }
+            d
+        });
+        // Serial data broadcast to every write gate's B input (same
+        // components as the A pins captured above).
+        let b_pins: Vec<_> = write_clock_gates
+            .iter()
+            .map(|p| Pin::new(p.component, Dand::B))
+            .collect();
+        let data_in = broadcast_to(&mut b, &b_pins);
+
+        let gate_set = broadcast_to(&mut b, &gate_sets);
+        let gate_reset = broadcast_to(&mut b, &gate_resets);
+
+        let mut sim = Simulator::new(b.finish());
+        let out_probes = out_pins
+            .iter()
+            .enumerate()
+            .map(|(r, &p)| sim.probe(p, format!("serial_out[{r}]")))
+            .collect();
+
+        ShiftRegisterRf {
+            geometry,
+            sim,
+            clock_demux,
+            write_demux,
+            gate_set,
+            gate_reset,
+            data_in,
+            out_probes,
+            cells,
+            cursor: Time::from_ps(10.0),
+        }
+    }
+
+    /// The geometry.
+    pub fn geometry(&self) -> RfGeometry {
+        self.geometry
+    }
+
+    /// Cell census of the netlist.
+    pub fn census(&self) -> Census {
+        Census::of(self.sim.netlist())
+    }
+
+    /// Timing violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        self.sim.violations()
+    }
+
+    /// Peeks the stored word (bit `i` in ring position `i`).
+    pub fn peek(&self, reg: usize) -> u64 {
+        let mut v = 0u64;
+        for (i, &cell) in self.cells[reg].iter().enumerate() {
+            if self.sim.netlist().component(cell).stored() == Some(1) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    fn finish(&mut self) {
+        let t = self.sim.now() + Duration::from_ps(20.0);
+        self.clock_demux.clear(&mut self.sim, t);
+        self.write_demux.clear(&mut self.sim, t);
+        self.sim.run();
+        self.cursor = self.sim.now() + Duration::from_ps(300.0);
+    }
+
+    /// Reads `reg` bit-serially over one full rotation (restoring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range.
+    pub fn read(&mut self, reg: usize) -> u64 {
+        assert!(reg < self.geometry.registers(), "register {reg} out of range");
+        let w = self.geometry.width();
+        self.sim.clear_all_probes();
+        let t = self.cursor;
+        // Arm recirculation.
+        self.sim.inject(self.gate_set, t);
+        // Route the clock burst to the selected ring.
+        let hs = sel_head_start(self.geometry.demux_levels());
+        for (level, &pin) in self.clock_demux.sel_set.clone().iter().enumerate() {
+            if (reg >> (self.geometry.demux_levels() - 1 - level)) & 1 == 1 {
+                self.sim.inject(pin, t);
+            }
+        }
+        let first_clk = t + hs;
+        for k in 0..w {
+            self.sim.inject(self.clock_demux.enable, first_clk + Duration::from_ps(SHIFT_STEP_PS * k as f64));
+        }
+        self.sim.run();
+        // Decode: shift k emits the head bit of rotation step k, i.e. bit
+        // w-1-k of the stored word. Pulses arrive one demux traverse +
+        // exit path after each clock.
+        let exit = Duration::from_ps(
+            self.geometry.demux_levels() as f64 * NDROC_PROP_PS
+                + self.clock_tree_depth_ps()
+                + DRO_CLK_TO_OUT_PS
+                + SPLITTER_DELAY_PS,
+        );
+        let mut value = 0u64;
+        let trace = self.sim.probe_trace(self.out_probes[reg]).clone();
+        for k in 0..w {
+            let slot = first_clk + Duration::from_ps(SHIFT_STEP_PS * k as f64) + exit;
+            let lo = slot - Duration::from_ps(SHIFT_STEP_PS / 2.0);
+            let hi = slot + Duration::from_ps(SHIFT_STEP_PS / 2.0);
+            if trace.count_in(lo, hi) > 0 {
+                value |= 1 << (w - 1 - k);
+            }
+        }
+        self.finish();
+        value
+    }
+
+    fn clock_tree_depth_ps(&self) -> f64 {
+        crate::fabric::broadcast_depth(self.geometry.width()) as f64 * SPLITTER_DELAY_PS
+    }
+
+    /// Writes `value`: flush (rotation with recirculation disarmed), then
+    /// shift the new bits in serially, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range or `value` does not fit.
+    pub fn write(&mut self, reg: usize, value: u64) {
+        let w = self.geometry.width();
+        assert!(reg < self.geometry.registers(), "register {reg} out of range");
+        assert!(w == 64 || value < (1u64 << w), "value {value:#x} exceeds {w}-bit width");
+
+        // Phase 1: flush — clock one rotation with the gate disarmed.
+        let t = self.cursor;
+        self.sim.inject(self.gate_reset, t);
+        let hs = sel_head_start(self.geometry.demux_levels());
+        let levels = self.geometry.demux_levels();
+        for (level, &pin) in self.clock_demux.sel_set.clone().iter().enumerate() {
+            if (reg >> (levels - 1 - level)) & 1 == 1 {
+                self.sim.inject(pin, t);
+            }
+        }
+        let first = t + hs;
+        for k in 0..w {
+            self.sim.inject(self.clock_demux.enable, first + Duration::from_ps(SHIFT_STEP_PS * k as f64));
+        }
+        self.sim.run();
+        self.finish();
+
+        // Phase 2: shift in the new word, MSB first, so after w shifts bit
+        // i sits in position i. Each injected bit needs a shift clock and
+        // a write-enable pulse through the write demux, aligned at the
+        // tail DAND.
+        let t = self.cursor;
+        for (level, &pin) in self.clock_demux.sel_set.clone().iter().enumerate() {
+            if (reg >> (levels - 1 - level)) & 1 == 1 {
+                self.sim.inject(pin, t);
+            }
+        }
+        for (level, &pin) in self.write_demux.sel_set.clone().iter().enumerate() {
+            if (reg >> (levels - 1 - level)) & 1 == 1 {
+                self.sim.inject(pin, t);
+            }
+        }
+        let first = t + hs;
+        // Data must land in the tail *between* shift clocks: inject the
+        // write-enable so the gated bit arrives half a step after each
+        // shift clock has moved the ring.
+        let wen_to_gate = levels as f64 * NDROC_PROP_PS;
+        let data_to_gate =
+            crate::fabric::broadcast_depth(self.geometry.registers()) as f64 * SPLITTER_DELAY_PS;
+        for k in 0..w {
+            let step = Duration::from_ps(SHIFT_STEP_PS * k as f64);
+            self.sim.inject(self.clock_demux.enable, first + step);
+            let t_gate = first + step + Duration::from_ps(wen_to_gate + SHIFT_STEP_PS / 2.0);
+            self.sim.inject(self.write_demux.enable, t_gate - Duration::from_ps(wen_to_gate));
+            if (value >> (w - 1 - k)) & 1 == 1 {
+                self.sim.inject(self.data_in, t_gate - Duration::from_ps(data_to_gate));
+            }
+        }
+        self.sim.run();
+        self.finish();
+    }
+}
+
+/// Paper-facing comparison row: the shift-register file versus HiPerRF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftVsHiPerRf {
+    /// Shift-register JJ total.
+    pub shift_jj: u64,
+    /// HiPerRF JJ total.
+    pub hiperrf_jj: u64,
+    /// Shift-register readout (ps).
+    pub shift_readout_ps: f64,
+    /// HiPerRF readout (ps).
+    pub hiperrf_readout_ps: f64,
+}
+
+/// Builds the comparison for a geometry.
+pub fn compare_with_hiperrf(geometry: RfGeometry) -> ShiftVsHiPerRf {
+    ShiftVsHiPerRf {
+        shift_jj: shift_rf_budget(geometry).jj_total(),
+        hiperrf_jj: crate::budget::hiperrf_budget(geometry).jj_total(),
+        shift_readout_ps: shift_rf_readout_ps(geometry),
+        hiperrf_readout_ps: crate::delay::readout_delay_ps(
+            crate::delay::RfDesign::HiPerRf,
+            geometry,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut rf = ShiftRegisterRf::new(RfGeometry::paper_4x4());
+        rf.write(2, 0b1010);
+        assert_eq!(rf.peek(2), 0b1010, "bits must land in ring positions");
+        assert_eq!(rf.read(2), 0b1010);
+    }
+
+    #[test]
+    fn read_is_restoring_via_recirculation() {
+        let mut rf = ShiftRegisterRf::new(RfGeometry::paper_4x4());
+        rf.write(1, 0b0111);
+        for i in 0..4 {
+            assert_eq!(rf.read(1), 0b0111, "rotation {i}");
+            assert_eq!(rf.peek(1), 0b0111, "ring restored after rotation {i}");
+        }
+    }
+
+    #[test]
+    fn overwrite_flushes_old_bits() {
+        let mut rf = ShiftRegisterRf::new(RfGeometry::paper_4x4());
+        rf.write(0, 0b1111);
+        rf.write(0, 0b0010);
+        assert_eq!(rf.read(0), 0b0010);
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut rf = ShiftRegisterRf::new(RfGeometry::paper_4x4());
+        for r in 0..4 {
+            rf.write(r, r as u64 + 1);
+        }
+        for r in 0..4 {
+            assert_eq!(rf.read(r), r as u64 + 1, "register {r}");
+        }
+    }
+
+    #[test]
+    fn census_matches_budget() {
+        for g in [RfGeometry::paper_4x4(), RfGeometry::new(8, 8).expect("valid")] {
+            let rf = ShiftRegisterRf::new(g);
+            assert_eq!(rf.census(), shift_rf_budget(g).census(), "{g}");
+        }
+    }
+
+    #[test]
+    fn denser_but_much_slower_than_hiperrf() {
+        // The related-work trade-off at the paper's 32×32 size.
+        let cmp = compare_with_hiperrf(RfGeometry::paper_32x32());
+        assert!(cmp.shift_jj < cmp.hiperrf_jj, "{cmp:?}");
+        assert!(
+            cmp.shift_readout_ps > 5.0 * cmp.hiperrf_readout_ps,
+            "serial access must be several times slower: {cmp:?}"
+        );
+    }
+}

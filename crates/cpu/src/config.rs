@@ -1,0 +1,83 @@
+//! Pipeline configuration: synthesized stage depths and latencies.
+//!
+//! The paper's simulator uses a macro clock for the fetch-decode-execute-
+//! writeback pipeline and micro clocks for gate-level pipelining (§VI-B).
+//! qPalace synthesis of the Sodor core gives a worst-case gate cycle of
+//! **28 ps** and an execute stage **28 gate-stages deep**; each register-
+//! file cycle (53 ps) spans two gate cycles. All times here are in gate
+//! cycles.
+
+use sfq_cells::timing::GATE_CYCLE_PS;
+
+/// Gate-cycle latencies of the pipeline model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Execute-stage depth (gate-level pipeline stages), from qPalace
+    /// synthesis of the Sodor core: 28.
+    pub ex_depth: u64,
+    /// Gate cycles from execute completion to the register-file write
+    /// landing (one RF cycle).
+    pub wb_gates: u64,
+    /// Extra gate cycles for a memory access to the external 77 K memory.
+    pub mem_latency: u64,
+    /// Gate cycles to redirect fetch after a control-flow instruction
+    /// resolves (the deep gate-level pipeline must refill).
+    pub redirect_gates: u64,
+    /// Extra gate cycles a dependent read must wait beyond the producer's
+    /// write-back when the register file cannot internally forward
+    /// (HC designs, paper §IV-D).
+    pub no_forward_penalty: u64,
+    /// Whether fetch speculates conditional branches as not-taken instead
+    /// of stalling until they resolve. The paper's in-order SFQ core has
+    /// no prediction; this switch exists for the ablation quantifying how
+    /// much of the baseline CPI is control stalls.
+    pub predict_not_taken: bool,
+}
+
+impl PipelineConfig {
+    /// The configuration matching the paper's synthesized Sodor core.
+    pub fn sodor() -> Self {
+        PipelineConfig {
+            ex_depth: 28,
+            wb_gates: 2,
+            mem_latency: 12,
+            redirect_gates: 4,
+            no_forward_penalty: 0,
+            predict_not_taken: false,
+        }
+    }
+
+    /// The Sodor configuration with not-taken branch prediction enabled.
+    pub fn sodor_with_prediction() -> Self {
+        PipelineConfig { predict_not_taken: true, ..Self::sodor() }
+    }
+
+    /// The modelled wall-clock duration of one run, in picoseconds.
+    pub fn ps_of(self, gate_cycles: u64) -> f64 {
+        gate_cycles as f64 * GATE_CYCLE_PS
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::sodor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sodor_defaults() {
+        let c = PipelineConfig::sodor();
+        assert_eq!(c.ex_depth, 28);
+        assert_eq!(c, PipelineConfig::default());
+    }
+
+    #[test]
+    fn ps_conversion() {
+        let c = PipelineConfig::sodor();
+        assert_eq!(c.ps_of(2), 56.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sfq-cpu — gate-level pipelined SFQ RISC-V CPU simulator
+//!
+//! The application-level evaluation substrate of the HiPerRF reproduction
+//! (paper §VI-B): an in-order RV32I core with gate-level pipeline timing
+//! (28 ps gate cycles, 28-deep execute stage, no branch prediction) whose
+//! register file is one of the four designs of the paper — the NDRO
+//! baseline, HiPerRF, dual-banked HiPerRF, or the compiler-ideal banked
+//! variant. Running the same workload across the designs and comparing
+//! CPI regenerates the paper's Figure 14.
+//!
+//! ## Example
+//!
+//! ```
+//! use hiperrf::delay::RfDesign;
+//! use sfq_cpu::config::PipelineConfig;
+//! use sfq_cpu::pipeline::GateLevelCpu;
+//! use sfq_riscv::asm::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let prog = assemble("li a0, 1\nli a7, 93\necall", 0)?;
+//! let mut cpu = GateLevelCpu::new(RfDesign::HiPerRf, PipelineConfig::sodor());
+//! let out = cpu.run(&prog, 4096, 1000)?;
+//! assert_eq!(out.exit_code, 1);
+//! assert!(out.stats.cpi() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bankalloc;
+pub mod config;
+pub mod pipeline;
+pub mod reorder;
+pub mod stats;
+
+pub use config::PipelineConfig;
+pub use pipeline::{GateLevelCpu, InstrTiming, RunError, RunOutcome};
+pub use stats::PipelineStats;

@@ -1,0 +1,101 @@
+//! Run statistics: CPI and stall attribution.
+
+use std::fmt;
+
+use sfq_cells::timing::GATE_CYCLE_PS;
+
+/// Why an instruction's register-file read was delayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallKind {
+    /// Waiting for a producer's write-back (read-after-write).
+    Raw,
+    /// Waiting for a loopback write to restore a just-read register.
+    Loopback,
+    /// Waiting for a register-file port slot (issue-interval contention).
+    Port,
+    /// Waiting for a control-flow instruction to resolve.
+    Control,
+}
+
+/// Aggregate statistics of one pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PipelineStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Total gate cycles from first issue to last write-back.
+    pub gate_cycles: u64,
+    /// Gate cycles lost to read-after-write waits.
+    pub raw_stall_cycles: u64,
+    /// Gate cycles lost waiting for loopback restores.
+    pub loopback_stall_cycles: u64,
+    /// Gate cycles lost to port contention (issue interval).
+    pub port_stall_cycles: u64,
+    /// Gate cycles lost to control-flow resolution.
+    pub control_stall_cycles: u64,
+    /// Dynamic count of instructions whose two sources collided in a bank
+    /// (dual-banked design only).
+    pub bank_conflicts: u64,
+    /// Dynamic count of same-register source pairs satisfied by readout
+    /// duplication (the RAR-hazard fast path).
+    pub rar_duplications: u64,
+}
+
+impl PipelineStats {
+    /// Cycles per instruction (gate cycles).
+    pub fn cpi(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.gate_cycles as f64 / self.retired as f64
+        }
+    }
+
+    /// Modelled wall-clock run time in nanoseconds.
+    pub fn wall_ns(&self) -> f64 {
+        self.gate_cycles as f64 * GATE_CYCLE_PS / 1000.0
+    }
+
+    /// CPI overhead of `self` relative to `baseline`, as a fraction
+    /// (0.098 = 9.8%).
+    pub fn cpi_overhead_vs(&self, baseline: &PipelineStats) -> f64 {
+        self.cpi() / baseline.cpi() - 1.0
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "retired             {:>12}", self.retired)?;
+        writeln!(f, "gate cycles         {:>12}", self.gate_cycles)?;
+        writeln!(f, "CPI                 {:>12.2}", self.cpi())?;
+        writeln!(f, "raw stalls          {:>12}", self.raw_stall_cycles)?;
+        writeln!(f, "loopback stalls     {:>12}", self.loopback_stall_cycles)?;
+        writeln!(f, "port stalls         {:>12}", self.port_stall_cycles)?;
+        writeln!(f, "control stalls      {:>12}", self.control_stall_cycles)?;
+        writeln!(f, "bank conflicts      {:>12}", self.bank_conflicts)?;
+        write!(f, "rar duplications    {:>12}", self.rar_duplications)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_math() {
+        let s = PipelineStats { retired: 10, gate_cycles: 300, ..Default::default() };
+        assert_eq!(s.cpi(), 30.0);
+        let b = PipelineStats { retired: 10, gate_cycles: 200, ..Default::default() };
+        assert!((s.cpi_overhead_vs(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_zero_cpi() {
+        assert_eq!(PipelineStats::default().cpi(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_cpi() {
+        let s = PipelineStats { retired: 4, gate_cycles: 100, ..Default::default() };
+        assert!(s.to_string().contains("25.00"));
+    }
+}

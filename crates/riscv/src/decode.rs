@@ -1,0 +1,218 @@
+//! Binary decoder: `u32` instruction words → [`Instr`].
+
+use std::fmt;
+
+use crate::isa::{AluImmOp, AluOp, BranchCond, Instr, LoadWidth, Reg, StoreWidth};
+
+/// Error decoding an instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+    /// The address it was fetched from, if known.
+    pub pc: Option<u32>,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(f, "cannot decode {:#010x} at pc {:#010x}", self.word, pc),
+            None => write!(f, "cannot decode {:#010x}", self.word),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(w: u32) -> Reg {
+    Reg::new((w >> 7 & 0x1f) as u8)
+}
+fn rs1(w: u32) -> Reg {
+    Reg::new((w >> 15 & 0x1f) as u8)
+}
+fn rs2(w: u32) -> Reg {
+    Reg::new((w >> 20 & 0x1f) as u8)
+}
+fn funct3(w: u32) -> u32 {
+    w >> 12 & 0x7
+}
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+fn imm_s(w: u32) -> i32 {
+    ((w & 0xfe00_0000) as i32 >> 20) | (w >> 7 & 0x1f) as i32
+}
+
+fn imm_b(w: u32) -> i32 {
+    ((w & 0x8000_0000) as i32 >> 19)
+        | ((w & 0x80) << 4) as i32
+        | (w >> 20 & 0x7e0) as i32
+        | (w >> 7 & 0x1e) as i32
+}
+
+fn imm_j(w: u32) -> i32 {
+    ((w & 0x8000_0000) as i32 >> 11)
+        | (w & 0xf_f000) as i32
+        | (w >> 9 & 0x800) as i32
+        | (w >> 20 & 0x7fe) as i32
+}
+
+/// Decodes one instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for any encoding outside the RV32I base set.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = || DecodeError { word, pc: None };
+    let opcode = word & 0x7f;
+    Ok(match opcode {
+        0b0110111 => Instr::Lui { rd: rd(word), imm: word & 0xffff_f000 },
+        0b0010111 => Instr::Auipc { rd: rd(word), imm: word & 0xffff_f000 },
+        0b1101111 => Instr::Jal { rd: rd(word), offset: imm_j(word) },
+        0b1100111 if funct3(word) == 0 => {
+            Instr::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        0b1100011 => {
+            let cond = match funct3(word) {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return Err(err()),
+            };
+            Instr::Branch { cond, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) }
+        }
+        0b0000011 => {
+            let width = match funct3(word) {
+                0b000 => LoadWidth::B,
+                0b001 => LoadWidth::H,
+                0b010 => LoadWidth::W,
+                0b100 => LoadWidth::Bu,
+                0b101 => LoadWidth::Hu,
+                _ => return Err(err()),
+            };
+            Instr::Load { width, rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        0b0100011 => {
+            let width = match funct3(word) {
+                0b000 => StoreWidth::B,
+                0b001 => StoreWidth::H,
+                0b010 => StoreWidth::W,
+                _ => return Err(err()),
+            };
+            Instr::Store { width, rs2: rs2(word), rs1: rs1(word), offset: imm_s(word) }
+        }
+        0b0010011 => {
+            let shamt = (word >> 20 & 0x1f) as i32;
+            let (op, imm) = match (funct3(word), funct7(word)) {
+                (0b000, _) => (AluImmOp::Addi, imm_i(word)),
+                (0b010, _) => (AluImmOp::Slti, imm_i(word)),
+                (0b011, _) => (AluImmOp::Sltiu, imm_i(word)),
+                (0b100, _) => (AluImmOp::Xori, imm_i(word)),
+                (0b110, _) => (AluImmOp::Ori, imm_i(word)),
+                (0b111, _) => (AluImmOp::Andi, imm_i(word)),
+                (0b001, 0b0000000) => (AluImmOp::Slli, shamt),
+                (0b101, 0b0000000) => (AluImmOp::Srli, shamt),
+                (0b101, 0b0100000) => (AluImmOp::Srai, shamt),
+                _ => return Err(err()),
+            };
+            Instr::AluImm { op, rd: rd(word), rs1: rs1(word), imm }
+        }
+        0b0110011 => {
+            let op = match (funct3(word), funct7(word)) {
+                (0b000, 0b0000000) => AluOp::Add,
+                (0b000, 0b0100000) => AluOp::Sub,
+                (0b001, 0b0000000) => AluOp::Sll,
+                (0b010, 0b0000000) => AluOp::Slt,
+                (0b011, 0b0000000) => AluOp::Sltu,
+                (0b100, 0b0000000) => AluOp::Xor,
+                (0b101, 0b0000000) => AluOp::Srl,
+                (0b101, 0b0100000) => AluOp::Sra,
+                (0b110, 0b0000000) => AluOp::Or,
+                (0b111, 0b0000000) => AluOp::And,
+                _ => return Err(err()),
+            };
+            Instr::Alu { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+        }
+        0b0001111 => Instr::Fence,
+        0b1110011 => match word {
+            0x0000_0073 => Instr::Ecall,
+            0x0010_0073 => Instr::Ebreak,
+            _ => return Err(err()),
+        },
+        _ => return Err(err()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_known_words() {
+        // addi x1, x0, 5
+        assert_eq!(
+            decode(0x0050_0093).unwrap(),
+            Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(1), rs1: Reg::ZERO, imm: 5 }
+        );
+        // add x3, x1, x2
+        assert_eq!(
+            decode(0x0020_81b3).unwrap(),
+            Instr::Alu { op: AluOp::Add, rd: Reg::new(3), rs1: Reg::new(1), rs2: Reg::new(2) }
+        );
+        // lui x5, 0x12345
+        assert_eq!(
+            decode(0x1234_52b7).unwrap(),
+            Instr::Lui { rd: Reg::new(5), imm: 0x1234_5000 }
+        );
+        // ecall
+        assert_eq!(decode(0x0000_0073).unwrap(), Instr::Ecall);
+        // ebreak
+        assert_eq!(decode(0x0010_0073).unwrap(), Instr::Ebreak);
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        // addi x1, x0, -1
+        assert_eq!(
+            decode(0xfff0_0093).unwrap(),
+            Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(1), rs1: Reg::ZERO, imm: -1 }
+        );
+        // lw x6, -8(x2)
+        assert_eq!(
+            decode(0xff81_2303).unwrap(),
+            Instr::Load { width: LoadWidth::W, rd: Reg::new(6), rs1: Reg::new(2), offset: -8 }
+        );
+    }
+
+    #[test]
+    fn branch_offsets_decode() {
+        // beq x1, x2, +8 : imm[12|10:5]=0 imm[4:1|11]=0b0100,0
+        let word = 0x0020_8463; // beq x1, x2, 8
+        assert_eq!(
+            decode(word).unwrap(),
+            Instr::Branch { cond: BranchCond::Eq, rs1: Reg::new(1), rs2: Reg::new(2), offset: 8 }
+        );
+    }
+
+    #[test]
+    fn jal_offset_decodes() {
+        // jal x0, -4 (an infinite-ish loop back one instruction)
+        let word = 0xffdf_f06f;
+        assert_eq!(decode(word).unwrap(), Instr::Jal { rd: Reg::ZERO, offset: -4 });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0x0200_0033).is_err(), "mul (RV32M) is outside RV32I");
+    }
+}

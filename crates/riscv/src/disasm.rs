@@ -1,0 +1,144 @@
+//! Disassembler: [`Instr`] → assembly text that [`crate::asm`] accepts.
+//!
+//! Branch and jump targets are printed as numeric byte offsets, which the
+//! assembler also accepts, so `assemble(disassemble(p))` is a round trip
+//! for position-independent snippets.
+
+use std::fmt::Write as _;
+
+use crate::isa::{AluImmOp, AluOp, BranchCond, Instr, LoadWidth, StoreWidth};
+
+/// Renders one instruction in assembler syntax.
+pub fn disassemble(instr: Instr) -> String {
+    match instr {
+        Instr::Lui { rd, imm } => format!("lui {rd}, {:#x}", imm >> 12),
+        Instr::Auipc { rd, imm } => format!("auipc {rd}, {:#x}", imm >> 12),
+        Instr::Jal { rd, offset } => format!("jal {rd}, {offset}"),
+        Instr::Jalr { rd, rs1, offset } => format!("jalr {rd}, {rs1}, {offset}"),
+        Instr::Branch { cond, rs1, rs2, offset } => {
+            let m = match cond {
+                BranchCond::Eq => "beq",
+                BranchCond::Ne => "bne",
+                BranchCond::Lt => "blt",
+                BranchCond::Ge => "bge",
+                BranchCond::Ltu => "bltu",
+                BranchCond::Geu => "bgeu",
+            };
+            format!("{m} {rs1}, {rs2}, {offset}")
+        }
+        Instr::Load { width, rd, rs1, offset } => {
+            let m = match width {
+                LoadWidth::B => "lb",
+                LoadWidth::H => "lh",
+                LoadWidth::W => "lw",
+                LoadWidth::Bu => "lbu",
+                LoadWidth::Hu => "lhu",
+            };
+            format!("{m} {rd}, {offset}({rs1})")
+        }
+        Instr::Store { width, rs2, rs1, offset } => {
+            let m = match width {
+                StoreWidth::B => "sb",
+                StoreWidth::H => "sh",
+                StoreWidth::W => "sw",
+            };
+            format!("{m} {rs2}, {offset}({rs1})")
+        }
+        Instr::AluImm { op, rd, rs1, imm } => {
+            let m = match op {
+                AluImmOp::Addi => "addi",
+                AluImmOp::Slti => "slti",
+                AluImmOp::Sltiu => "sltiu",
+                AluImmOp::Xori => "xori",
+                AluImmOp::Ori => "ori",
+                AluImmOp::Andi => "andi",
+                AluImmOp::Slli => "slli",
+                AluImmOp::Srli => "srli",
+                AluImmOp::Srai => "srai",
+            };
+            format!("{m} {rd}, {rs1}, {imm}")
+        }
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            let m = match op {
+                AluOp::Add => "add",
+                AluOp::Sub => "sub",
+                AluOp::Sll => "sll",
+                AluOp::Slt => "slt",
+                AluOp::Sltu => "sltu",
+                AluOp::Xor => "xor",
+                AluOp::Srl => "srl",
+                AluOp::Sra => "sra",
+                AluOp::Or => "or",
+                AluOp::And => "and",
+            };
+            format!("{m} {rd}, {rs1}, {rs2}")
+        }
+        Instr::Fence => "fence".to_string(),
+        Instr::Ecall => "ecall".to_string(),
+        Instr::Ebreak => "ebreak".to_string(),
+    }
+}
+
+/// Disassembles a word image into a listing with addresses.
+pub fn disassemble_image(base: u32, words: &[u32]) -> String {
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        let pc = base + 4 * i as u32;
+        match crate::decode::decode(w) {
+            Ok(instr) => {
+                let _ = writeln!(out, "{pc:#010x}: {w:08x}  {}", disassemble(instr));
+            }
+            Err(_) => {
+                let _ = writeln!(out, "{pc:#010x}: {w:08x}  .word {w:#x}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::encode::encode;
+    use crate::isa::Reg;
+
+    #[test]
+    fn renders_common_forms() {
+        let i = Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(10), rs1: Reg::ZERO, imm: -5 };
+        assert_eq!(disassemble(i), "addi a0, zero, -5");
+        let i = Instr::Load { width: LoadWidth::W, rd: Reg::new(6), rs1: Reg::SP, offset: -8 };
+        assert_eq!(disassemble(i), "lw t1, -8(sp)");
+        let i = Instr::Lui { rd: Reg::new(5), imm: 0x1234_5000 };
+        assert_eq!(disassemble(i), "lui t0, 0x12345");
+    }
+
+    #[test]
+    fn assemble_of_disassembly_round_trips() {
+        let originals = [
+            Instr::Alu { op: AluOp::Sub, rd: Reg::new(3), rs1: Reg::new(4), rs2: Reg::new(5) },
+            Instr::Store { width: StoreWidth::H, rs2: Reg::new(7), rs1: Reg::new(8), offset: 20 },
+            Instr::Branch {
+                cond: BranchCond::Geu,
+                rs1: Reg::new(1),
+                rs2: Reg::new(2),
+                offset: -16,
+            },
+            Instr::Jalr { rd: Reg::RA, rs1: Reg::new(9), offset: 4 },
+            Instr::Fence,
+        ];
+        for original in originals {
+            let text = disassemble(original);
+            let prog = assemble(&text, 0).unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            assert_eq!(prog.words, vec![encode(original)], "`{text}`");
+        }
+    }
+
+    #[test]
+    fn image_listing_marks_data_words() {
+        let listing = disassemble_image(0x100, &[encode(Instr::Ecall), 0xffff_ffff]);
+        assert!(listing.contains("ecall"));
+        assert!(listing.contains(".word 0xffffffff"));
+        assert!(listing.contains("0x00000104"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Binary encoder: [`Instr`] → `u32` instruction words.
+//!
+//! The inverse of [`crate::decode`]; property tests assert the round trip.
+
+use crate::isa::{AluImmOp, AluOp, BranchCond, Instr, LoadWidth, Reg, StoreWidth};
+
+fn rd(r: Reg) -> u32 {
+    (r.index() as u32) << 7
+}
+fn rs1(r: Reg) -> u32 {
+    (r.index() as u32) << 15
+}
+fn rs2(r: Reg) -> u32 {
+    (r.index() as u32) << 20
+}
+fn f3(v: u32) -> u32 {
+    v << 12
+}
+fn f7(v: u32) -> u32 {
+    v << 25
+}
+
+fn enc_i(imm: i32) -> u32 {
+    ((imm as u32) & 0xfff) << 20
+}
+
+fn enc_s(imm: i32) -> u32 {
+    let imm = imm as u32;
+    ((imm & 0xfe0) << 20) | ((imm & 0x1f) << 7)
+}
+
+fn enc_b(offset: i32) -> u32 {
+    let o = offset as u32;
+    ((o & 0x1000) << 19) | ((o & 0x7e0) << 20) | ((o & 0x1e) << 7) | ((o & 0x800) >> 4)
+}
+
+fn enc_j(offset: i32) -> u32 {
+    let o = offset as u32;
+    ((o & 0x10_0000) << 11) | (o & 0xf_f000) | ((o & 0x800) << 9) | ((o & 0x7fe) << 20)
+}
+
+/// Encodes one instruction into its RV32I word.
+pub fn encode(instr: Instr) -> u32 {
+    match instr {
+        Instr::Lui { rd: d, imm } => 0b0110111 | rd(d) | imm,
+        Instr::Auipc { rd: d, imm } => 0b0010111 | rd(d) | imm,
+        Instr::Jal { rd: d, offset } => 0b1101111 | rd(d) | enc_j(offset),
+        Instr::Jalr { rd: d, rs1: s1, offset } => 0b1100111 | rd(d) | rs1(s1) | enc_i(offset),
+        Instr::Branch { cond, rs1: s1, rs2: s2, offset } => {
+            let f = match cond {
+                BranchCond::Eq => 0b000,
+                BranchCond::Ne => 0b001,
+                BranchCond::Lt => 0b100,
+                BranchCond::Ge => 0b101,
+                BranchCond::Ltu => 0b110,
+                BranchCond::Geu => 0b111,
+            };
+            0b1100011 | f3(f) | rs1(s1) | rs2(s2) | enc_b(offset)
+        }
+        Instr::Load { width, rd: d, rs1: s1, offset } => {
+            let f = match width {
+                LoadWidth::B => 0b000,
+                LoadWidth::H => 0b001,
+                LoadWidth::W => 0b010,
+                LoadWidth::Bu => 0b100,
+                LoadWidth::Hu => 0b101,
+            };
+            0b0000011 | f3(f) | rd(d) | rs1(s1) | enc_i(offset)
+        }
+        Instr::Store { width, rs2: s2, rs1: s1, offset } => {
+            let f = match width {
+                StoreWidth::B => 0b000,
+                StoreWidth::H => 0b001,
+                StoreWidth::W => 0b010,
+            };
+            0b0100011 | f3(f) | rs1(s1) | rs2(s2) | enc_s(offset)
+        }
+        Instr::AluImm { op, rd: d, rs1: s1, imm } => {
+            let (f, word_imm) = match op {
+                AluImmOp::Addi => (0b000, enc_i(imm)),
+                AluImmOp::Slti => (0b010, enc_i(imm)),
+                AluImmOp::Sltiu => (0b011, enc_i(imm)),
+                AluImmOp::Xori => (0b100, enc_i(imm)),
+                AluImmOp::Ori => (0b110, enc_i(imm)),
+                AluImmOp::Andi => (0b111, enc_i(imm)),
+                AluImmOp::Slli => (0b001, enc_i(imm & 0x1f)),
+                AluImmOp::Srli => (0b101, enc_i(imm & 0x1f)),
+                AluImmOp::Srai => (0b101, enc_i(imm & 0x1f) | f7(0b0100000)),
+            };
+            0b0010011 | f3(f) | rd(d) | rs1(s1) | word_imm
+        }
+        Instr::Alu { op, rd: d, rs1: s1, rs2: s2 } => {
+            let (f, top) = match op {
+                AluOp::Add => (0b000, 0),
+                AluOp::Sub => (0b000, f7(0b0100000)),
+                AluOp::Sll => (0b001, 0),
+                AluOp::Slt => (0b010, 0),
+                AluOp::Sltu => (0b011, 0),
+                AluOp::Xor => (0b100, 0),
+                AluOp::Srl => (0b101, 0),
+                AluOp::Sra => (0b101, f7(0b0100000)),
+                AluOp::Or => (0b110, 0),
+                AluOp::And => (0b111, 0),
+            };
+            0b0110011 | f3(f) | rd(d) | rs1(s1) | rs2(s2) | top
+        }
+        Instr::Fence => 0x0000_000f,
+        Instr::Ecall => 0x0000_0073,
+        Instr::Ebreak => 0x0010_0073,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn encode_matches_known_words() {
+        let i = Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(1), rs1: Reg::ZERO, imm: 5 };
+        assert_eq!(encode(i), 0x0050_0093);
+        let i = Instr::Alu { op: AluOp::Add, rd: Reg::new(3), rs1: Reg::new(1), rs2: Reg::new(2) };
+        assert_eq!(encode(i), 0x0020_81b3);
+    }
+
+    #[test]
+    fn round_trip_representative_sample() {
+        let sample = [
+            Instr::Lui { rd: Reg::new(7), imm: 0xdead_b000 },
+            Instr::Auipc { rd: Reg::new(9), imm: 0x1_2000 },
+            Instr::Jal { rd: Reg::RA, offset: -2048 },
+            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 },
+            Instr::Branch {
+                cond: BranchCond::Geu,
+                rs1: Reg::new(4),
+                rs2: Reg::new(5),
+                offset: -4096,
+            },
+            Instr::Branch { cond: BranchCond::Lt, rs1: Reg::new(4), rs2: Reg::new(5), offset: 4094 },
+            Instr::Load { width: LoadWidth::Hu, rd: Reg::new(11), rs1: Reg::SP, offset: 2047 },
+            Instr::Store { width: StoreWidth::B, rs2: Reg::new(12), rs1: Reg::SP, offset: -2048 },
+            Instr::AluImm { op: AluImmOp::Srai, rd: Reg::new(13), rs1: Reg::new(14), imm: 31 },
+            Instr::Alu { op: AluOp::Sub, rd: Reg::new(15), rs1: Reg::new(16), rs2: Reg::new(17) },
+            Instr::Fence,
+            Instr::Ecall,
+            Instr::Ebreak,
+        ];
+        for i in sample {
+            assert_eq!(decode(encode(i)).unwrap(), i, "{i:?}");
+        }
+    }
+}

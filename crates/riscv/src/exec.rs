@@ -1,0 +1,352 @@
+//! Functional RV32I executor (the golden model, playing the role Spike
+//! plays in the paper's simulator).
+
+use std::fmt;
+
+use crate::decode::{decode, DecodeError};
+use crate::isa::{AluImmOp, AluOp, BranchCond, Instr, LoadWidth, Reg, StoreWidth};
+use crate::mem::{MemFault, Memory};
+
+/// Linux-like exit syscall number used by our programs (`a7 = 93`).
+pub const SYSCALL_EXIT: u32 = 93;
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An instruction word failed to decode.
+    Decode(DecodeError),
+    /// A memory access faulted.
+    Mem(MemFault),
+    /// An `ecall` with an unsupported syscall number.
+    UnknownSyscall {
+        /// The value of `a7`.
+        number: u32,
+        /// Faulting pc.
+        pc: u32,
+    },
+    /// Instruction budget exhausted (runaway program guard).
+    Timeout {
+        /// Number of instructions executed before giving up.
+        executed: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Decode(e) => write!(f, "{e}"),
+            ExecError::Mem(e) => write!(f, "{e}"),
+            ExecError::UnknownSyscall { number, pc } => {
+                write!(f, "unknown syscall {number} at pc {pc:#010x}")
+            }
+            ExecError::Timeout { executed } => {
+                write!(f, "instruction budget exhausted after {executed} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<DecodeError> for ExecError {
+    fn from(e: DecodeError) -> Self {
+        ExecError::Decode(e)
+    }
+}
+
+impl From<MemFault> for ExecError {
+    fn from(e: MemFault) -> Self {
+        ExecError::Mem(e)
+    }
+}
+
+/// Result of one [`Cpu::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The instruction retired; execution continues.
+    Retired(Instr),
+    /// The program exited via `ecall` (a7 = 93) or `ebreak`; carries the
+    /// exit code from `a0`.
+    Halted(u32),
+}
+
+/// Architectural CPU state.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Register file (`x0` kept zero by construction).
+    regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Retired-instruction count.
+    pub retired: u64,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl Cpu {
+    /// Creates a CPU with zeroed registers starting at `pc`.
+    pub fn new(pc: u32) -> Self {
+        Cpu { regs: [0; 32], pc, retired: 0 }
+    }
+
+    /// Reads a register (`x0` reads zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (`x0` writes are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Fetches, decodes, and executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors, memory faults, and unknown syscalls.
+    pub fn step(&mut self, mem: &mut Memory) -> Result<StepOutcome, ExecError> {
+        let word = mem.load_u32(self.pc)?;
+        let instr = decode(word).map_err(|e| DecodeError { pc: Some(self.pc), ..e })?;
+        let mut next_pc = self.pc.wrapping_add(4);
+        match instr {
+            Instr::Lui { rd, imm } => self.set_reg(rd, imm),
+            Instr::Auipc { rd, imm } => self.set_reg(rd, self.pc.wrapping_add(imm)),
+            Instr::Jal { rd, offset } => {
+                self.set_reg(rd, self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(offset as u32);
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.set_reg(rd, self.pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Instr::Branch { cond, rs1, rs2, offset } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i32) < (b as i32),
+                    BranchCond::Ge => (a as i32) >= (b as i32),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = self.pc.wrapping_add(offset as u32);
+                }
+            }
+            Instr::Load { width, rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = match width {
+                    LoadWidth::B => mem.load_u8(addr)? as i8 as i32 as u32,
+                    LoadWidth::Bu => mem.load_u8(addr)? as u32,
+                    LoadWidth::H => mem.load_u16(addr)? as i16 as i32 as u32,
+                    LoadWidth::Hu => mem.load_u16(addr)? as u32,
+                    LoadWidth::W => mem.load_u32(addr)?,
+                };
+                self.set_reg(rd, v);
+            }
+            Instr::Store { width, rs2, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = self.reg(rs2);
+                match width {
+                    StoreWidth::B => mem.store_u8(addr, v as u8)?,
+                    StoreWidth::H => mem.store_u16(addr, v as u16)?,
+                    StoreWidth::W => mem.store_u32(addr, v)?,
+                }
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let a = self.reg(rs1);
+                let v = match op {
+                    AluImmOp::Addi => a.wrapping_add(imm as u32),
+                    AluImmOp::Slti => ((a as i32) < imm) as u32,
+                    AluImmOp::Sltiu => (a < imm as u32) as u32,
+                    AluImmOp::Xori => a ^ imm as u32,
+                    AluImmOp::Ori => a | imm as u32,
+                    AluImmOp::Andi => a & imm as u32,
+                    AluImmOp::Slli => a << (imm & 0x1f),
+                    AluImmOp::Srli => a >> (imm & 0x1f),
+                    AluImmOp::Srai => ((a as i32) >> (imm & 0x1f)) as u32,
+                };
+                self.set_reg(rd, v);
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Sll => a << (b & 0x1f),
+                    AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+                    AluOp::Sltu => (a < b) as u32,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Srl => a >> (b & 0x1f),
+                    AluOp::Sra => ((a as i32) >> (b & 0x1f)) as u32,
+                    AluOp::Or => a | b,
+                    AluOp::And => a & b,
+                };
+                self.set_reg(rd, v);
+            }
+            Instr::Fence => {}
+            Instr::Ecall => {
+                let number = self.reg(Reg::new(17)); // a7
+                if number == SYSCALL_EXIT {
+                    self.retired += 1;
+                    return Ok(StepOutcome::Halted(self.reg(Reg::new(10))));
+                }
+                return Err(ExecError::UnknownSyscall { number, pc: self.pc });
+            }
+            Instr::Ebreak => {
+                self.retired += 1;
+                return Ok(StepOutcome::Halted(self.reg(Reg::new(10))));
+            }
+        }
+        self.pc = next_pc;
+        self.retired += 1;
+        Ok(StepOutcome::Retired(instr))
+    }
+
+    /// Runs until halt or `budget` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Cpu::step`] errors; returns [`ExecError::Timeout`] if
+    /// the budget is exhausted.
+    pub fn run(&mut self, mem: &mut Memory, budget: u64) -> Result<u32, ExecError> {
+        for _ in 0..budget {
+            if let StepOutcome::Halted(code) = self.step(mem)? {
+                return Ok(code);
+            }
+        }
+        Err(ExecError::Timeout { executed: budget })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn run_words(words: &[Instr]) -> (Cpu, Memory) {
+        let mut mem = Memory::new(4096);
+        let encoded: Vec<u32> = words.iter().map(|&i| encode(i)).collect();
+        mem.load_image(0, &encoded);
+        let mut cpu = Cpu::new(0);
+        cpu.run(&mut mem, 10_000).unwrap();
+        (cpu, mem)
+    }
+
+    fn addi(rd: u8, rs1: u8, imm: i32) -> Instr {
+        Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(rd), rs1: Reg::new(rs1), imm }
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (cpu, _) = run_words(&[
+            addi(1, 0, 20),
+            addi(2, 0, 22),
+            Instr::Alu { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::new(1), rs2: Reg::new(2) },
+            addi(17, 0, 93),
+            Instr::Ecall,
+        ]);
+        assert_eq!(cpu.reg(Reg::new(10)), 42);
+        assert_eq!(cpu.retired, 5);
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let (cpu, _) = run_words(&[addi(0, 0, 99), addi(17, 0, 93), Instr::Ecall]);
+        assert_eq!(cpu.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn branch_loop_counts() {
+        // x1 = 0; for x2 in 0..5 { x1 += 2 }
+        let (cpu, _) = run_words(&[
+            addi(1, 0, 0),
+            addi(2, 0, 0),
+            addi(3, 0, 5),
+            // loop:
+            addi(1, 1, 2),
+            addi(2, 2, 1),
+            Instr::Branch {
+                cond: BranchCond::Lt,
+                rs1: Reg::new(2),
+                rs2: Reg::new(3),
+                offset: -8,
+            },
+            addi(10, 1, 0),
+            addi(17, 0, 93),
+            Instr::Ecall,
+        ]);
+        assert_eq!(cpu.reg(Reg::new(10)), 10);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let (_, mem) = run_words(&[
+            addi(1, 0, -1),
+            Instr::Store { width: StoreWidth::W, rs2: Reg::new(1), rs1: Reg::ZERO, offset: 100 },
+            Instr::Load { width: LoadWidth::Bu, rd: Reg::new(2), rs1: Reg::ZERO, offset: 100 },
+            Instr::Store { width: StoreWidth::H, rs2: Reg::new(2), rs1: Reg::ZERO, offset: 104 },
+            addi(17, 0, 93),
+            Instr::Ecall,
+        ]);
+        assert_eq!(mem.load_u32(100).unwrap(), 0xffff_ffff);
+        assert_eq!(mem.load_u16(104).unwrap(), 0x00ff);
+    }
+
+    #[test]
+    fn signed_load_extends() {
+        let (cpu, _) = run_words(&[
+            addi(1, 0, -128),
+            Instr::Store { width: StoreWidth::B, rs2: Reg::new(1), rs1: Reg::ZERO, offset: 64 },
+            Instr::Load { width: LoadWidth::B, rd: Reg::new(2), rs1: Reg::ZERO, offset: 64 },
+            addi(17, 0, 93),
+            Instr::Ecall,
+        ]);
+        assert_eq!(cpu.reg(Reg::new(2)) as i32, -128);
+    }
+
+    #[test]
+    fn jal_and_jalr() {
+        let (cpu, _) = run_words(&[
+            Instr::Jal { rd: Reg::RA, offset: 16 }, // pc 0 -> pc 16, ra = 4
+            addi(17, 0, 93),                        // pc 4 (return target)
+            Instr::Ecall,                           // pc 8
+            addi(5, 0, 111),                        // pc 12: never runs
+            addi(6, 0, 7),                          // pc 16
+            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }, // back to pc 4
+        ]);
+        assert_eq!(cpu.reg(Reg::new(5)), 0, "skipped instruction must not run");
+        assert_eq!(cpu.reg(Reg::new(6)), 7);
+        assert_eq!(cpu.reg(Reg::RA), 4);
+    }
+
+    #[test]
+    fn shifts_behave() {
+        let (cpu, _) = run_words(&[
+            addi(1, 0, -16),
+            Instr::AluImm { op: AluImmOp::Srai, rd: Reg::new(2), rs1: Reg::new(1), imm: 2 },
+            Instr::AluImm { op: AluImmOp::Srli, rd: Reg::new(3), rs1: Reg::new(1), imm: 28 },
+            Instr::AluImm { op: AluImmOp::Slli, rd: Reg::new(4), rs1: Reg::new(1), imm: 1 },
+            addi(17, 0, 93),
+            Instr::Ecall,
+        ]);
+        assert_eq!(cpu.reg(Reg::new(2)) as i32, -4);
+        assert_eq!(cpu.reg(Reg::new(3)), 0xf);
+        assert_eq!(cpu.reg(Reg::new(4)), (-32i32) as u32);
+    }
+
+    #[test]
+    fn timeout_detected() {
+        let mut mem = Memory::new(64);
+        mem.load_image(0, &[encode(Instr::Jal { rd: Reg::ZERO, offset: 0 })]);
+        let mut cpu = Cpu::new(0);
+        assert!(matches!(cpu.run(&mut mem, 100), Err(ExecError::Timeout { executed: 100 })));
+    }
+}

@@ -1,0 +1,346 @@
+//! RV32I instruction set: registers and instruction forms.
+
+use std::fmt;
+
+/// An architectural register `x0`–`x31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address (`x1`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer (`x2`).
+    pub const SP: Reg = Reg(2);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register index (0–31).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Parses an ABI or numeric register name (`a0`, `t3`, `x17`, `fp`…).
+    pub fn parse(name: &str) -> Option<Reg> {
+        let idx: u8 = match name {
+            "zero" => 0,
+            "ra" => 1,
+            "sp" => 2,
+            "gp" => 3,
+            "tp" => 4,
+            "t0" => 5,
+            "t1" => 6,
+            "t2" => 7,
+            "s0" | "fp" => 8,
+            "s1" => 9,
+            _ => {
+                if let Some(n) = name.strip_prefix('x') {
+                    n.parse().ok().filter(|&n| n < 32)?
+                } else if let Some(n) = name.strip_prefix('a') {
+                    let n: u8 = n.parse().ok()?;
+                    (n <= 7).then_some(10 + n)?
+                } else if let Some(n) = name.strip_prefix('s') {
+                    let n: u8 = n.parse().ok()?;
+                    (2..=11).contains(&n).then_some(16 + n)?
+                } else if let Some(n) = name.strip_prefix('t') {
+                    let n: u8 = n.parse().ok()?;
+                    (3..=6).contains(&n).then_some(25 + n)?
+                } else {
+                    return None;
+                }
+            }
+        };
+        Some(Reg(idx))
+    }
+
+    /// The canonical ABI name.
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.index()]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+/// Register–register ALU operations (`OP` major opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+}
+
+/// Register–immediate ALU operations (`OP-IMM` major opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluImmOp {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+/// Load widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum LoadWidth {
+    B,
+    H,
+    W,
+    Bu,
+    Hu,
+}
+
+/// Store widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum StoreWidth {
+    B,
+    H,
+    W,
+}
+
+/// A decoded RV32I instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Load upper immediate.
+    Lui {
+        /// Destination.
+        rd: Reg,
+        /// Upper 20 bits (already shifted into bits 31:12).
+        imm: u32,
+    },
+    /// Add upper immediate to PC.
+    Auipc {
+        /// Destination.
+        rd: Reg,
+        /// Upper 20 bits (already shifted).
+        imm: u32,
+    },
+    /// Jump and link.
+    Jal {
+        /// Link register.
+        rd: Reg,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// Jump and link register.
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// Memory load.
+    Load {
+        /// Width/signedness.
+        width: LoadWidth,
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Memory store.
+    Store {
+        /// Width.
+        width: StoreWidth,
+        /// Value source.
+        rs2: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Register–immediate ALU operation.
+    AluImm {
+        /// Operation.
+        op: AluImmOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Sign-extended immediate (shift amount for shifts).
+        imm: i32,
+    },
+    /// Register–register ALU operation.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// Memory ordering fence (a no-op in this model).
+    Fence,
+    /// Environment call.
+    Ecall,
+    /// Environment break.
+    Ebreak,
+}
+
+impl Instr {
+    /// Destination register, if the instruction writes one (writes to `x0`
+    /// are reported as `None` — they are architectural no-ops).
+    pub fn rd(&self) -> Option<Reg> {
+        let rd = match *self {
+            Instr::Lui { rd, .. }
+            | Instr::Auipc { rd, .. }
+            | Instr::Jal { rd, .. }
+            | Instr::Jalr { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::Alu { rd, .. } => rd,
+            _ => return None,
+        };
+        (rd != Reg::ZERO).then_some(rd)
+    }
+
+    /// Source registers read through the register file (excluding `x0`,
+    /// which is free in SFQ — absence of pulses).
+    pub fn sources(&self) -> Vec<Reg> {
+        let raw: &[Reg] = match self {
+            Instr::Jalr { rs1, .. } | Instr::Load { rs1, .. } | Instr::AluImm { rs1, .. } => {
+                &[*rs1]
+            }
+            Instr::Branch { rs1, rs2, .. }
+            | Instr::Store { rs1, rs2, .. }
+            | Instr::Alu { rs1, rs2, .. } => &[*rs1, *rs2],
+            _ => &[],
+        };
+        raw.iter().copied().filter(|&r| r != Reg::ZERO).collect()
+    }
+
+    /// Whether this is a control-flow instruction.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(self, Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. })
+    }
+
+    /// Whether this is a memory access.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_parse_abi_names() {
+        assert_eq!(Reg::parse("zero"), Some(Reg(0)));
+        assert_eq!(Reg::parse("ra"), Some(Reg(1)));
+        assert_eq!(Reg::parse("sp"), Some(Reg(2)));
+        assert_eq!(Reg::parse("fp"), Some(Reg(8)));
+        assert_eq!(Reg::parse("s0"), Some(Reg(8)));
+        assert_eq!(Reg::parse("s1"), Some(Reg(9)));
+        assert_eq!(Reg::parse("s2"), Some(Reg(18)));
+        assert_eq!(Reg::parse("s11"), Some(Reg(27)));
+        assert_eq!(Reg::parse("a0"), Some(Reg(10)));
+        assert_eq!(Reg::parse("a7"), Some(Reg(17)));
+        assert_eq!(Reg::parse("t0"), Some(Reg(5)));
+        assert_eq!(Reg::parse("t2"), Some(Reg(7)));
+        assert_eq!(Reg::parse("t3"), Some(Reg(28)));
+        assert_eq!(Reg::parse("t6"), Some(Reg(31)));
+        assert_eq!(Reg::parse("x17"), Some(Reg(17)));
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("q3"), None);
+        assert_eq!(Reg::parse("a9"), None);
+    }
+
+    #[test]
+    fn abi_name_round_trip() {
+        for i in 0..32 {
+            let r = Reg::new(i);
+            assert_eq!(Reg::parse(r.abi_name()), Some(r), "{}", r.abi_name());
+        }
+    }
+
+    #[test]
+    fn rd_hides_x0_writes() {
+        let i = Instr::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::new(1), imm: 0 };
+        assert_eq!(i.rd(), None);
+        let i = Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(3), rs1: Reg::new(1), imm: 0 };
+        assert_eq!(i.rd(), Some(Reg::new(3)));
+    }
+
+    #[test]
+    fn sources_exclude_x0() {
+        let i = Instr::Alu { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::ZERO, rs2: Reg::new(2) };
+        assert_eq!(i.sources(), vec![Reg::new(2)]);
+        let i = Instr::Lui { rd: Reg::new(1), imm: 0x1000 };
+        assert!(i.sources().is_empty());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Instr::Jal { rd: Reg::ZERO, offset: 8 }.is_control_flow());
+        assert!(Instr::Load {
+            width: LoadWidth::W,
+            rd: Reg::new(1),
+            rs1: Reg::SP,
+            offset: 0
+        }
+        .is_memory());
+        assert!(!Instr::Fence.is_memory());
+    }
+}

@@ -1,0 +1,44 @@
+//! # sfq-riscv — RV32I toolchain for the HiPerRF evaluation
+//!
+//! A self-contained RISC-V RV32I implementation playing the role the Spike
+//! ISA simulator and the RISC-V GNU toolchain play in the paper's
+//! evaluation: workload kernels are written in assembly, assembled by
+//! [`asm::assemble`], and executed functionally by [`exec::Cpu`] (the
+//! golden model the gate-level pipeline simulator in `sfq-cpu` checks
+//! against).
+//!
+//! * [`isa`] — registers and the [`isa::Instr`] instruction type
+//! * [`decode`] / [`encode`] — binary codec (round-trip tested)
+//! * [`asm`] — two-pass assembler with labels and pseudo-instructions
+//! * [`exec`] — functional executor with an exit-syscall convention
+//! * [`mem`] — flat little-endian memory
+//!
+//! ## Example
+//!
+//! ```
+//! use sfq_riscv::asm::assemble;
+//! use sfq_riscv::exec::Cpu;
+//! use sfq_riscv::mem::Memory;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let prog = assemble("li a0, 41\naddi a0, a0, 1\nli a7, 93\necall", 0)?;
+//! let mut mem = Memory::new(4096);
+//! mem.load_image(0, &prog.words);
+//! let mut cpu = Cpu::new(0);
+//! assert_eq!(cpu.run(&mut mem, 1000)?, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod exec;
+pub mod isa;
+pub mod mem;
+
+pub use asm::{assemble, Program, WordKind};
+pub use exec::{Cpu, StepOutcome};
+pub use isa::{Instr, Reg};
+pub use mem::Memory;

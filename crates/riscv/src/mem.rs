@@ -1,0 +1,162 @@
+//! Flat byte-addressed memory for the functional and pipeline simulators.
+//!
+//! Models the paper's external 77 K memory: every access is satisfied at a
+//! fixed latency (latency accounting lives in the CPU simulator; this type
+//! only stores bytes).
+
+use std::fmt;
+
+/// Access fault: address out of the configured memory range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting byte address.
+    pub addr: u32,
+    /// Access size in bytes.
+    pub size: u32,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory fault: {}-byte access at {:#010x}", self.size, self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Flat little-endian memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Memory { bytes: vec![0; size] }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, addr: u32, size: u32) -> Result<usize, MemFault> {
+        let a = addr as usize;
+        if a.checked_add(size as usize).is_none_or(|end| end > self.bytes.len()) {
+            return Err(MemFault { addr, size });
+        }
+        Ok(a)
+    }
+
+    /// Loads a byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] if the address is out of range.
+    pub fn load_u8(&self, addr: u32) -> Result<u8, MemFault> {
+        let a = self.check(addr, 1)?;
+        Ok(self.bytes[a])
+    }
+
+    /// Loads a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] if the range is out of bounds.
+    pub fn load_u16(&self, addr: u32) -> Result<u16, MemFault> {
+        let a = self.check(addr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]))
+    }
+
+    /// Loads a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] if the range is out of bounds.
+    pub fn load_u32(&self, addr: u32) -> Result<u32, MemFault> {
+        let a = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ]))
+    }
+
+    /// Stores a byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] if the address is out of range.
+    pub fn store_u8(&mut self, addr: u32, v: u8) -> Result<(), MemFault> {
+        let a = self.check(addr, 1)?;
+        self.bytes[a] = v;
+        Ok(())
+    }
+
+    /// Stores a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] if the range is out of bounds.
+    pub fn store_u16(&mut self, addr: u32, v: u16) -> Result<(), MemFault> {
+        let a = self.check(addr, 2)?;
+        self.bytes[a..a + 2].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Stores a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] if the range is out of bounds.
+    pub fn store_u32(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
+        let a = self.check(addr, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies a program image (instruction words) to `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit.
+    pub fn load_image(&mut self, base: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.store_u32(base + 4 * i as u32, w).expect("program image must fit in memory");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut m = Memory::new(64);
+        m.store_u32(0, 0xdead_beef).unwrap();
+        assert_eq!(m.load_u8(0).unwrap(), 0xef);
+        assert_eq!(m.load_u8(3).unwrap(), 0xde);
+        assert_eq!(m.load_u16(2).unwrap(), 0xdead);
+        assert_eq!(m.load_u32(0).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = Memory::new(8);
+        assert!(m.load_u32(5).is_err());
+        assert!(m.load_u32(u32::MAX).is_err());
+        assert!(m.store_u16(7, 1).is_err());
+        assert!(m.load_u8(8).is_err());
+        assert!(m.load_u8(7).is_ok());
+    }
+
+    #[test]
+    fn image_loading() {
+        let mut m = Memory::new(64);
+        m.load_image(8, &[0x1111_1111, 0x2222_2222]);
+        assert_eq!(m.load_u32(8).unwrap(), 0x1111_1111);
+        assert_eq!(m.load_u32(12).unwrap(), 0x2222_2222);
+    }
+}

@@ -1,0 +1,128 @@
+//! The [`Component`] trait implemented by every SFQ cell model.
+
+use std::fmt::Debug;
+
+use crate::time::{Duration, Time};
+use crate::violation::Violation;
+
+/// Context handed to a component while it processes an incoming pulse.
+///
+/// The component uses it to emit pulses on its own output pins (after an
+/// internal delay) and to report timing violations.
+#[derive(Debug)]
+pub struct PulseContext<'a> {
+    pub(crate) emitted: &'a mut Vec<(u8, Time)>,
+    pub(crate) violations: &'a mut Vec<Violation>,
+    pub(crate) component_label: &'a str,
+}
+
+impl<'a> PulseContext<'a> {
+    /// Emits a pulse on output pin `pin` at absolute time `at`.
+    ///
+    /// `at` is usually `now + internal_delay`.
+    pub fn emit(&mut self, pin: u8, at: Time) {
+        self.emitted.push((pin, at));
+    }
+
+    /// Emits a pulse on output pin `pin`, `delay` after `now`.
+    pub fn emit_after(&mut self, pin: u8, now: Time, delay: Duration) {
+        self.emit(pin, now + delay);
+    }
+
+    /// Records a timing violation observed by the cell.
+    pub fn violation(&mut self, now: Time, kind: &'static str, detail: String) {
+        self.violations.push(Violation {
+            at: now,
+            cell: self.component_label.to_string(),
+            kind,
+            detail,
+        });
+    }
+}
+
+/// A behavioral SFQ cell model.
+///
+/// Components receive fluxon pulses on input pins and may emit pulses on
+/// output pins. All state lives inside the component; the simulator calls
+/// [`Component::pulse`] in strict global time order, so implementations can
+/// track inter-pulse intervals with simple `Option<Time>` fields.
+///
+/// Pin numbering is per-component and documented by each cell type in
+/// `sfq-cells`.
+pub trait Component: Debug {
+    /// Static cell-kind name (e.g. `"ndro"`, `"jtl"`), used for census and
+    /// diagnostics.
+    fn kind(&self) -> &'static str;
+
+    /// Handles a pulse arriving at input pin `pin` at time `now`.
+    fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>);
+
+    /// Resets all internal state to power-on conditions.
+    fn power_on_reset(&mut self) {}
+
+    /// Returns an inspectable integer state, if the cell has one.
+    ///
+    /// Storage cells expose their stored fluxon count here (0 or 1 for
+    /// DRO/NDRO, 0–3 for HC-DRO) so tests and drivers can peek without
+    /// issuing destructive reads. Pure routing cells return `None`.
+    fn stored(&self) -> Option<u8> {
+        None
+    }
+
+    /// Nominal input-to-output propagation delay, for static timing
+    /// analysis. `None` means the component is not a timed cell (the
+    /// default for test doubles).
+    fn propagation_delay(&self) -> Option<Duration> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Echo;
+    impl Component for Echo {
+        fn kind(&self) -> &'static str {
+            "echo"
+        }
+        fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+            ctx.emit_after(pin, now, Duration::from_ps(1.0));
+        }
+    }
+
+    #[test]
+    fn context_emit_collects() {
+        let mut emitted = Vec::new();
+        let mut violations = Vec::new();
+        let mut ctx = PulseContext {
+            emitted: &mut emitted,
+            violations: &mut violations,
+            component_label: "e0",
+        };
+        Echo.pulse(2, Time::from_ps(5.0), &mut ctx);
+        assert_eq!(emitted, vec![(2, Time::from_ps(6.0))]);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn context_violation_records_label() {
+        let mut emitted = Vec::new();
+        let mut violations = Vec::new();
+        let mut ctx = PulseContext {
+            emitted: &mut emitted,
+            violations: &mut violations,
+            component_label: "cell7",
+        };
+        ctx.violation(Time::from_ps(1.0), "hold", "too close".to_string());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].cell, "cell7");
+        assert_eq!(violations[0].kind, "hold");
+    }
+
+    #[test]
+    fn default_stored_is_none() {
+        assert_eq!(Echo.stored(), None);
+    }
+}

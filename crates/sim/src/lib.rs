@@ -1,0 +1,54 @@
+//! # sfq-sim — event-driven pulse-level SFQ circuit simulator
+//!
+//! Single-flux-quantum (SFQ) logic computes with picosecond-scale fluxon
+//! pulses rather than voltage levels. This crate provides the simulation
+//! substrate used by the HiPerRF reproduction: a deterministic event-driven
+//! simulator in which components exchange timestamped pulses over delayed
+//! wires.
+//!
+//! The abstraction level matches the one the paper's own evaluation uses:
+//! devices are behavioral cells with calibrated propagation delays and
+//! setup/hold/critical-time windows (extracted in the paper from JoSim and
+//! the RSFQ cell library), not SPICE-level Josephson-junction dynamics.
+//!
+//! ## Layers
+//!
+//! - [`time`]: femtosecond-resolution [`Time`](time::Time) and
+//!   [`Duration`](time::Duration).
+//! - [`netlist`]: the circuit graph of components and delayed wires.
+//! - [`component`]: the [`Component`](component::Component) trait every cell
+//!   implements.
+//! - [`simulator`]: the event queue, stimulus injection, probes.
+//! - [`trace`]: pulse traces and ASCII waveform rendering.
+//! - [`violation`]: timing-violation records.
+//!
+//! ## Example
+//!
+//! ```
+//! use sfq_sim::prelude::*;
+//!
+//! // A netlist with no cells still runs (vacuously).
+//! let mut sim = Simulator::new(Netlist::new());
+//! assert_eq!(sim.run().delivered, 0);
+//! ```
+//!
+//! Concrete SFQ cells (DRO, HC-DRO, NDRO, NDROC, splitters, mergers, …)
+//! live in the `sfq-cells` crate, which builds on this one.
+
+pub mod component;
+pub mod netlist;
+pub mod simulator;
+pub mod time;
+pub mod trace;
+pub mod vcd;
+pub mod violation;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::component::{Component, PulseContext};
+    pub use crate::netlist::{ComponentId, Netlist, Pin, Wire};
+    pub use crate::simulator::{ProbeId, RunStats, Simulator};
+    pub use crate::time::{Duration, Time};
+    pub use crate::trace::PulseTrace;
+    pub use crate::violation::Violation;
+}

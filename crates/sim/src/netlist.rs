@@ -1,0 +1,231 @@
+//! Netlist graph: components, pins, and delayed wires.
+//!
+//! A [`Netlist`] owns a set of components (anything implementing
+//! [`crate::component::Component`]) and the wiring between their
+//! pins. Output pins fan out to any number of input pins, each connection
+//! carrying its own propagation delay (a Josephson transmission line or a
+//! passive transmission line segment). Note that *logical* fan-out in SFQ
+//! requires explicit splitter cells; the netlist permits electrical fan-out
+//! so that probes can observe a pin without perturbing the circuit, but the
+//! cell builders in `sfq-cells` always insert proper splitters.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::component::Component;
+use crate::time::Duration;
+
+/// Identifier of a component within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// Returns the raw index of the component.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from a raw index (for analyses that iterate
+    /// components by position; the caller is responsible for the index
+    /// belonging to the netlist it came from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn from_index(index: usize) -> Self {
+        ComponentId(u32::try_from(index).expect("component index fits u32"))
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A specific pin on a specific component.
+///
+/// Pins are plain indices; each component documents its own pin map
+/// (e.g. an NDRO cell uses `IN = 0`, `RESET = 1`, `CLK = 2` inputs and
+/// `OUT = 0` output). Input and output pins are separate namespaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pin {
+    /// The component the pin belongs to.
+    pub component: ComponentId,
+    /// The pin index within the component (input or output namespace
+    /// depending on context).
+    pub index: u8,
+}
+
+impl Pin {
+    /// Creates a pin reference.
+    pub fn new(component: ComponentId, index: u8) -> Self {
+        Pin { component, index }
+    }
+}
+
+impl fmt::Display for Pin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.component, self.index)
+    }
+}
+
+/// A directed, delayed connection from an output pin to an input pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wire {
+    /// Source output pin.
+    pub from: Pin,
+    /// Destination input pin.
+    pub to: Pin,
+    /// Propagation delay along the wire.
+    pub delay: Duration,
+}
+
+/// The circuit graph: components plus wiring.
+///
+/// # Examples
+///
+/// Building a trivial two-component chain is done through the component
+/// constructors of `sfq-cells`; at this layer the netlist only knows opaque
+/// boxed components:
+///
+/// ```
+/// use sfq_sim::netlist::Netlist;
+///
+/// let netlist = Netlist::new();
+/// assert_eq!(netlist.component_count(), 0);
+/// ```
+#[derive(Default)]
+pub struct Netlist {
+    components: Vec<Box<dyn Component>>,
+    labels: Vec<String>,
+    /// Fan-out adjacency: (component, output pin) -> destinations.
+    wires: HashMap<Pin, Vec<(Pin, Duration)>>,
+    wire_count: usize,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds a component with a human-readable instance label, returning its id.
+    pub fn add(&mut self, label: impl Into<String>, component: Box<dyn Component>) -> ComponentId {
+        let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
+        self.components.push(component);
+        self.labels.push(label.into());
+        id
+    }
+
+    /// Connects `from` (an output pin) to `to` (an input pin) with `delay`.
+    pub fn connect(&mut self, from: Pin, to: Pin, delay: Duration) {
+        self.wires.entry(from).or_default().push((to, delay));
+        self.wire_count += 1;
+    }
+
+    /// Returns the destinations of an output pin.
+    pub fn fanout(&self, from: Pin) -> &[(Pin, Duration)] {
+        self.wires.get(&from).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of components in the netlist.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of wires in the netlist.
+    pub fn wire_count(&self) -> usize {
+        self.wire_count
+    }
+
+    /// Returns the label of a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn label(&self, id: ComponentId) -> &str {
+        &self.labels[id.index()]
+    }
+
+    /// Returns a shared reference to a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn component(&self, id: ComponentId) -> &dyn Component {
+        self.components[id.index()].as_ref()
+    }
+
+    /// Returns an exclusive reference to a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn component_mut(&mut self, id: ComponentId) -> &mut dyn Component {
+        self.components[id.index()].as_mut()
+    }
+
+    /// Iterates over `(id, label, component)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ComponentId, &str, &dyn Component)> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ComponentId(i as u32), self.labels[i].as_str(), c.as_ref()))
+    }
+}
+
+impl fmt::Debug for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Netlist")
+            .field("components", &self.components.len())
+            .field("wires", &self.wire_count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Component, PulseContext};
+    use crate::time::Time;
+
+    #[derive(Debug)]
+    struct Dummy;
+    impl Component for Dummy {
+        fn kind(&self) -> &'static str {
+            "dummy"
+        }
+        fn pulse(&mut self, _pin: u8, _now: Time, _ctx: &mut PulseContext<'_>) {}
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut n = Netlist::new();
+        let a = n.add("a", Box::new(Dummy));
+        let b = n.add("b", Box::new(Dummy));
+        assert_eq!(n.component_count(), 2);
+        assert_eq!(n.label(a), "a");
+        assert_eq!(n.label(b), "b");
+        assert_eq!(n.component(a).kind(), "dummy");
+    }
+
+    #[test]
+    fn connect_and_fanout() {
+        let mut n = Netlist::new();
+        let a = n.add("a", Box::new(Dummy));
+        let b = n.add("b", Box::new(Dummy));
+        let from = Pin::new(a, 0);
+        n.connect(from, Pin::new(b, 0), Duration::from_ps(1.0));
+        n.connect(from, Pin::new(b, 1), Duration::from_ps(2.0));
+        assert_eq!(n.fanout(from).len(), 2);
+        assert_eq!(n.wire_count(), 2);
+        assert!(n.fanout(Pin::new(b, 0)).is_empty());
+    }
+
+    #[test]
+    fn pin_display() {
+        let p = Pin::new(ComponentId(3), 1);
+        assert_eq!(p.to_string(), "c3.1");
+    }
+}

@@ -1,0 +1,363 @@
+//! The event-driven pulse simulator.
+//!
+//! [`Simulator`] owns a [`Netlist`] and an event queue of in-flight pulses.
+//! External stimuli are injected with [`Simulator::inject`]; [`Simulator::run`]
+//! drains the queue in strict time order, delivering each pulse to its target
+//! component, which may emit further pulses. Probes attached to output pins
+//! record every pulse that passes them.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::component::PulseContext;
+use crate::netlist::{Netlist, Pin};
+use crate::time::{Duration, Time};
+use crate::trace::PulseTrace;
+use crate::violation::Violation;
+
+/// Identifier of a probe attached to an output pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProbeId(u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: Time,
+    seq: u64,
+    target: Pin,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Outcome summary of a [`Simulator::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Pulses delivered to component input pins.
+    pub delivered: u64,
+    /// Pulses emitted by components on output pins.
+    pub emitted: u64,
+    /// Time of the last processed event, if any event was processed.
+    pub last_event: Option<Time>,
+}
+
+/// Event-driven simulator over a [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use sfq_sim::netlist::Netlist;
+/// use sfq_sim::simulator::Simulator;
+///
+/// let mut sim = Simulator::new(Netlist::new());
+/// let stats = sim.run();
+/// assert_eq!(stats.delivered, 0);
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    netlist: Netlist,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: Time,
+    probes: HashMap<Pin, Vec<ProbeId>>,
+    probe_records: Vec<PulseTrace>,
+    violations: Vec<Violation>,
+    /// Hard cap on processed events per `run` to catch runaway feedback.
+    event_budget: u64,
+}
+
+impl Simulator {
+    /// Default maximum number of events processed by a single `run` call.
+    pub const DEFAULT_EVENT_BUDGET: u64 = 50_000_000;
+
+    /// Creates a simulator over a finished netlist.
+    pub fn new(netlist: Netlist) -> Self {
+        Simulator {
+            netlist,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            probes: HashMap::new(),
+            probe_records: Vec::new(),
+            violations: Vec::new(),
+            event_budget: Self::DEFAULT_EVENT_BUDGET,
+        }
+    }
+
+    /// Sets the per-run event budget (runaway-feedback guard).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Returns the netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Returns an exclusive reference to the netlist (for state pokes in tests).
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.netlist
+    }
+
+    /// The current simulation time (time of the last processed event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Attaches a probe to an *output* pin; every pulse emitted on that pin
+    /// is recorded with its timestamp.
+    pub fn probe(&mut self, pin: Pin, label: impl Into<String>) -> ProbeId {
+        let id = ProbeId(self.probe_records.len() as u32);
+        self.probes.entry(pin).or_default().push(id);
+        self.probe_records.push(PulseTrace::new(label));
+        id
+    }
+
+    /// Returns the pulses recorded by a probe so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this simulator's [`Simulator::probe`].
+    pub fn probe_trace(&self, id: ProbeId) -> &PulseTrace {
+        &self.probe_records[id.0 as usize]
+    }
+
+    /// Clears a probe's recorded pulses (between driver operations).
+    pub fn clear_probe(&mut self, id: ProbeId) {
+        self.probe_records[id.0 as usize].clear();
+    }
+
+    /// Clears every probe's recorded pulses.
+    pub fn clear_all_probes(&mut self) {
+        for p in &mut self.probe_records {
+            p.clear();
+        }
+    }
+
+    /// Injects an external stimulus pulse into an *input* pin at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time.
+    pub fn inject(&mut self, pin: Pin, at: Time) {
+        assert!(at >= self.now, "cannot inject into the past: {at} < {}", self.now);
+        let seq = self.next_seq();
+        self.push(Event { time: at, seq, target: pin });
+    }
+
+    /// Timing violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Drains recorded violations, returning them.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Runs until the event queue is empty. Returns run statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget is exhausted, which indicates an
+    /// oscillating feedback loop in the netlist.
+    pub fn run(&mut self) -> RunStats {
+        self.run_until(None)
+    }
+
+    /// Runs until the queue is empty or the next event is later than `deadline`.
+    pub fn run_for(&mut self, deadline: Time) -> RunStats {
+        self.run_until(Some(deadline))
+    }
+
+    fn run_until(&mut self, deadline: Option<Time>) -> RunStats {
+        let mut stats = RunStats::default();
+        let mut emitted_buf: Vec<(u8, Time)> = Vec::new();
+        let mut processed: u64 = 0;
+        while let Some(&Reverse(ev)) = self.queue.peek() {
+            if let Some(d) = deadline {
+                if ev.time > d {
+                    break;
+                }
+            }
+            self.queue.pop();
+            processed += 1;
+            assert!(
+                processed <= self.event_budget,
+                "event budget exhausted ({processed} events): runaway feedback loop?"
+            );
+            self.now = ev.time;
+            stats.delivered += 1;
+            stats.last_event = Some(ev.time);
+
+            emitted_buf.clear();
+            {
+                let label = &self.netlist.label(ev.target.component).to_string();
+                let mut ctx = PulseContext {
+                    emitted: &mut emitted_buf,
+                    violations: &mut self.violations,
+                    component_label: label,
+                };
+                self.netlist
+                    .component_mut(ev.target.component)
+                    .pulse(ev.target.index, ev.time, &mut ctx);
+            }
+
+            for &(out_pin, at) in emitted_buf.iter() {
+                stats.emitted += 1;
+                let source = Pin::new(ev.target.component, out_pin);
+                if let Some(ids) = self.probes.get(&source) {
+                    for &id in ids {
+                        self.probe_records[id.0 as usize].record(at);
+                    }
+                }
+                // Fan the pulse out along wires.
+                let dests: Vec<(Pin, Duration)> = self.netlist.fanout(source).to_vec();
+                for (to, delay) in dests {
+                    let seq = self.next_seq();
+                    self.push(Event { time: at + delay, seq, target: to });
+                }
+            }
+        }
+        stats
+    }
+
+    fn push(&mut self, ev: Event) {
+        self.queue.push(Reverse(ev));
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Component, PulseContext};
+    use crate::netlist::Netlist;
+
+    /// Repeats every input pulse on output pin 0 after 1 ps.
+    #[derive(Debug)]
+    struct Repeater;
+    impl Component for Repeater {
+        fn kind(&self) -> &'static str {
+            "repeater"
+        }
+        fn pulse(&mut self, _pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+            ctx.emit_after(0, now, Duration::from_ps(1.0));
+        }
+    }
+
+    /// Swallows pulses.
+    #[derive(Debug)]
+    struct Sink;
+    impl Component for Sink {
+        fn kind(&self) -> &'static str {
+            "sink"
+        }
+        fn pulse(&mut self, _pin: u8, _now: Time, _ctx: &mut PulseContext<'_>) {}
+    }
+
+    fn chain(len: usize) -> (Simulator, Pin, Pin) {
+        let mut n = Netlist::new();
+        let ids: Vec<_> = (0..len).map(|i| n.add(format!("r{i}"), Box::new(Repeater) as _)).collect();
+        for w in ids.windows(2) {
+            n.connect(Pin::new(w[0], 0), Pin::new(w[1], 0), Duration::from_ps(0.5));
+        }
+        let first = Pin::new(ids[0], 0);
+        let last = Pin::new(*ids.last().unwrap(), 0);
+        (Simulator::new(n), first, last)
+    }
+
+    #[test]
+    fn pulse_propagates_through_chain() {
+        let (mut sim, first, last) = chain(4);
+        let probe = sim.probe(last, "end");
+        sim.inject(first, Time::from_ps(0.0));
+        let stats = sim.run();
+        // 4 deliveries (one per repeater), 4 emissions.
+        assert_eq!(stats.delivered, 4);
+        assert_eq!(stats.emitted, 4);
+        let trace = sim.probe_trace(probe);
+        assert_eq!(trace.len(), 1);
+        // 4 internal 1ps delays + 3 wire 0.5ps delays.
+        assert_eq!(trace.pulses()[0], Time::from_ps(5.5));
+    }
+
+    #[test]
+    fn events_process_in_time_order() {
+        let mut n = Netlist::new();
+        let s = n.add("sink", Box::new(Sink) as _);
+        let mut sim = Simulator::new(n);
+        sim.inject(Pin::new(s, 0), Time::from_ps(5.0));
+        sim.inject(Pin::new(s, 0), Time::from_ps(1.0));
+        let stats = sim.run();
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(sim.now(), Time::from_ps(5.0));
+    }
+
+    #[test]
+    fn run_for_respects_deadline() {
+        let (mut sim, first, _last) = chain(10);
+        sim.inject(first, Time::from_ps(0.0));
+        let stats = sim.run_for(Time::from_ps(3.0));
+        assert!(stats.delivered < 10);
+        let rest = sim.run();
+        assert_eq!(stats.delivered + rest.delivered, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject into the past")]
+    fn injecting_into_past_panics() {
+        let (mut sim, first, _last) = chain(2);
+        sim.inject(first, Time::from_ps(10.0));
+        sim.run();
+        sim.inject(first, Time::from_ps(1.0));
+    }
+
+    #[test]
+    fn probe_clear() {
+        let (mut sim, first, last) = chain(2);
+        let probe = sim.probe(last, "end");
+        sim.inject(first, Time::from_ps(0.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(probe).len(), 1);
+        sim.clear_probe(probe);
+        assert_eq!(sim.probe_trace(probe).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget exhausted")]
+    fn feedback_loop_trips_budget() {
+        let mut n = Netlist::new();
+        let r = n.add("r", Box::new(Repeater) as _);
+        // Self-loop: output feeds back into input forever.
+        n.connect(Pin::new(r, 0), Pin::new(r, 0), Duration::from_ps(1.0));
+        let mut sim = Simulator::new(n);
+        sim.set_event_budget(1000);
+        sim.inject(Pin::new(r, 0), Time::ZERO);
+        sim.run();
+    }
+
+    #[test]
+    fn multiple_probes_on_same_pin() {
+        let (mut sim, first, last) = chain(2);
+        let p1 = sim.probe(last, "a");
+        let p2 = sim.probe(last, "b");
+        sim.inject(first, Time::ZERO);
+        sim.run();
+        assert_eq!(sim.probe_trace(p1).len(), 1);
+        assert_eq!(sim.probe_trace(p2).len(), 1);
+    }
+}

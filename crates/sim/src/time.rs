@@ -1,0 +1,237 @@
+//! Simulation time.
+//!
+//! SFQ circuit delays are specified in picoseconds with sub-picosecond
+//! precision (for example the 2.62 ps mean PTL hop delay of the paper's
+//! place-and-route model). To keep event ordering exact and deterministic
+//! the simulator stores time as an integer number of **femtoseconds**.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Number of femtoseconds in a picosecond.
+pub const FS_PER_PS: u64 = 1_000;
+
+/// An absolute simulation time (femtosecond resolution).
+///
+/// `Time` is an absolute instant; [`Duration`] is a difference between two
+/// instants. Both are thin integer newtypes, cheap to copy and exactly
+/// ordered.
+///
+/// # Examples
+///
+/// ```
+/// use sfq_sim::time::{Duration, Time};
+///
+/// let t = Time::ZERO + Duration::from_ps(53.0);
+/// assert_eq!(t.as_ps(), 53.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulation time (femtosecond resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The origin of simulation time.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from a femtosecond count.
+    pub const fn from_fs(fs: u64) -> Self {
+        Time(fs)
+    }
+
+    /// Creates a time from a picosecond value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` is negative or not finite.
+    pub fn from_ps(ps: f64) -> Self {
+        assert!(ps.is_finite() && ps >= 0.0, "time must be finite and non-negative: {ps}");
+        Time((ps * FS_PER_PS as f64).round() as u64)
+    }
+
+    /// Returns the raw femtosecond count.
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time in picoseconds.
+    pub fn as_ps(self) -> f64 {
+        self.0 as f64 / FS_PER_PS as f64
+    }
+
+    /// Returns the duration elapsed since `earlier`, or `None` if `earlier`
+    /// is in the future.
+    pub fn checked_since(self, earlier: Time) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration)
+    }
+
+    /// Returns the absolute difference between two instants.
+    pub fn abs_diff(self, other: Time) -> Duration {
+        Duration(self.0.abs_diff(other.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from a femtosecond count.
+    pub const fn from_fs(fs: u64) -> Self {
+        Duration(fs)
+    }
+
+    /// Creates a duration from a picosecond value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` is negative or not finite.
+    pub fn from_ps(ps: f64) -> Self {
+        assert!(ps.is_finite() && ps >= 0.0, "duration must be finite and non-negative: {ps}");
+        Duration((ps * FS_PER_PS as f64).round() as u64)
+    }
+
+    /// Returns the raw femtosecond count.
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in picoseconds.
+    pub fn as_ps(self) -> f64 {
+        self.0 as f64 / FS_PER_PS as f64
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn times(self, n: u64) -> Duration {
+        Duration(self.0 * n)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ps", self.as_ps())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ps", self.as_ps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_round_trip() {
+        let d = Duration::from_ps(53.0);
+        assert_eq!(d.as_fs(), 53_000);
+        assert_eq!(d.as_ps(), 53.0);
+    }
+
+    #[test]
+    fn sub_ps_precision() {
+        let d = Duration::from_ps(2.62);
+        assert_eq!(d.as_fs(), 2_620);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::from_ps(10.0) + Duration::from_ps(5.5);
+        assert_eq!(t.as_ps(), 15.5);
+        assert_eq!((t - Time::from_ps(10.0)).as_ps(), 5.5);
+    }
+
+    #[test]
+    fn checked_since_ordering() {
+        let a = Time::from_ps(5.0);
+        let b = Time::from_ps(7.0);
+        assert_eq!(b.checked_since(a), Some(Duration::from_ps(2.0)));
+        assert_eq!(a.checked_since(b), None);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = [1.0, 2.0, 3.5].iter().map(|&p| Duration::from_ps(p)).sum();
+        assert_eq!(total, Duration::from_ps(6.5));
+    }
+
+    #[test]
+    fn times_scales() {
+        assert_eq!(Duration::from_ps(10.0).times(3), Duration::from_ps(30.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_ps_panics() {
+        let _ = Duration::from_ps(-1.0);
+    }
+
+    #[test]
+    fn display_formats_ps() {
+        assert_eq!(Time::from_ps(53.0).to_string(), "53.000ps");
+        assert_eq!(Duration::from_ps(2.62).to_string(), "2.620ps");
+    }
+}

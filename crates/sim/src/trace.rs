@@ -1,0 +1,162 @@
+//! Pulse traces and ASCII waveform rendering.
+//!
+//! A [`PulseTrace`] is the record of pulses observed at one probe point.
+//! [`render_waveforms`] draws a set of traces as an ASCII timing diagram,
+//! which the `repro timing` harness uses to regenerate the paper's control
+//! timing figures (Figs. 8, 11, 12).
+
+use std::fmt::Write as _;
+
+use crate::time::{Duration, Time};
+
+/// A labeled sequence of pulse timestamps (monotonically non-decreasing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PulseTrace {
+    label: String,
+    pulses: Vec<Time>,
+}
+
+impl PulseTrace {
+    /// Creates an empty trace.
+    pub fn new(label: impl Into<String>) -> Self {
+        PulseTrace { label: label.into(), pulses: Vec::new() }
+    }
+
+    /// The trace label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a pulse at `at`.
+    pub fn record(&mut self, at: Time) {
+        self.pulses.push(at);
+        // Probes can observe pulses scheduled out of order within the same
+        // delivery batch; keep the trace sorted for consumers.
+        let n = self.pulses.len();
+        if n >= 2 && self.pulses[n - 2] > self.pulses[n - 1] {
+            self.pulses.sort();
+        }
+    }
+
+    /// Number of pulses recorded.
+    pub fn len(&self) -> usize {
+        self.pulses.len()
+    }
+
+    /// Returns `true` if no pulses were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pulses.is_empty()
+    }
+
+    /// The recorded pulse times.
+    pub fn pulses(&self) -> &[Time] {
+        &self.pulses
+    }
+
+    /// Pulses that fall in the half-open window `[from, to)`.
+    pub fn pulses_in(&self, from: Time, to: Time) -> impl Iterator<Item = Time> + '_ {
+        self.pulses.iter().copied().filter(move |&t| t >= from && t < to)
+    }
+
+    /// Number of pulses in `[from, to)`.
+    pub fn count_in(&self, from: Time, to: Time) -> usize {
+        self.pulses_in(from, to).count()
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.pulses.clear();
+    }
+}
+
+/// Renders traces as an ASCII timing diagram.
+///
+/// Each output row is `label |..|....|..` where `|` marks a pulse and `.` a
+/// quiet time bin of width `bin`. The diagram spans from `start` for `bins`
+/// bins.
+///
+/// # Examples
+///
+/// ```
+/// use sfq_sim::time::{Duration, Time};
+/// use sfq_sim::trace::{render_waveforms, PulseTrace};
+///
+/// let mut t = PulseTrace::new("REN");
+/// t.record(Time::from_ps(10.0));
+/// let art = render_waveforms(&[t], Time::ZERO, Duration::from_ps(5.0), 4);
+/// assert!(art.contains("REN"));
+/// ```
+pub fn render_waveforms(traces: &[PulseTrace], start: Time, bin: Duration, bins: usize) -> String {
+    let label_w = traces.iter().map(|t| t.label().len()).max().unwrap_or(0).max(4);
+    let mut out = String::new();
+    // Time ruler.
+    let _ = write!(out, "{:>label_w$} ", "t/ps");
+    for b in 0..bins {
+        let t = start + bin.times(b as u64);
+        if b % 10 == 0 {
+            let s = format!("{:<10}", format!("{:.0}", t.as_ps()));
+            out.push_str(&s[..s.len().min(10.min(bins - b))]);
+        }
+    }
+    out.push('\n');
+    for tr in traces {
+        let _ = write!(out, "{:>label_w$} ", tr.label());
+        for b in 0..bins {
+            let lo = start + bin.times(b as u64);
+            let hi = lo + bin;
+            let n = tr.count_in(lo, hi);
+            out.push(match n {
+                0 => '.',
+                1 => '|',
+                2 => '2',
+                3 => '3',
+                _ => '*',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut t = PulseTrace::new("x");
+        t.record(Time::from_ps(1.0));
+        t.record(Time::from_ps(5.0));
+        t.record(Time::from_ps(9.0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.count_in(Time::ZERO, Time::from_ps(6.0)), 2);
+        assert_eq!(t.count_in(Time::from_ps(5.0), Time::from_ps(5.1)), 1);
+    }
+
+    #[test]
+    fn out_of_order_records_are_sorted() {
+        let mut t = PulseTrace::new("x");
+        t.record(Time::from_ps(5.0));
+        t.record(Time::from_ps(1.0));
+        assert_eq!(t.pulses(), &[Time::from_ps(1.0), Time::from_ps(5.0)]);
+    }
+
+    #[test]
+    fn waveform_marks_pulse_bins() {
+        let mut t = PulseTrace::new("CLK");
+        t.record(Time::from_ps(0.0));
+        t.record(Time::from_ps(10.0));
+        t.record(Time::from_ps(10.5));
+        let art = render_waveforms(&[t], Time::ZERO, Duration::from_ps(5.0), 3);
+        let line = art.lines().nth(1).unwrap();
+        // bin 0 has one pulse, bin 1 none, bin 2 two pulses.
+        assert!(line.ends_with("|.2"), "got {line:?}");
+    }
+
+    #[test]
+    fn empty_trace_renders_quiet() {
+        let t = PulseTrace::new("W");
+        let art = render_waveforms(&[t], Time::ZERO, Duration::from_ps(1.0), 5);
+        assert!(art.lines().nth(1).unwrap().ends_with("....."));
+    }
+}

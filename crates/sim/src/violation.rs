@@ -1,0 +1,50 @@
+//! Timing-violation records.
+//!
+//! SFQ cells have setup, hold, and critical-time requirements (for example
+//! the NDROC demux element of the paper needs 53 ps between successive
+//! enable pulses, and HC-DRO cells need 10 ps between stored pulses). Cells
+//! report violations through
+//! [`PulseContext::violation`](crate::component::PulseContext::violation);
+//! the simulator collects them so drivers and tests can assert clean runs.
+
+use std::fmt;
+
+use crate::time::Time;
+
+/// A single recorded timing violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// When the violation was observed.
+    pub at: Time,
+    /// Instance label of the offending cell.
+    pub cell: String,
+    /// Short machine-readable kind, e.g. `"hold"`, `"setup"`, `"re-arm"`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} violation at {}: {}", self.cell, self.kind, self.at, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let v = Violation {
+            at: Time::from_ps(12.5),
+            cell: "ndroc3".to_string(),
+            kind: "re-arm",
+            detail: "enable pulses 40ps apart, need 53ps".to_string(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("ndroc3"));
+        assert!(s.contains("re-arm"));
+        assert!(s.contains("12.500ps"));
+    }
+}

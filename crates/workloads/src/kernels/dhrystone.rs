@@ -1,0 +1,131 @@
+//! `dhrystone`: a dhrystone-like mixed integer kernel.
+//!
+//! The original Dhrystone mixes record assignment, string comparison,
+//! integer arithmetic, and branchy procedure calls. This kernel reproduces
+//! that *mix* (load/store bursts, byte-string compares, call/return,
+//! data-dependent branches) without copying the original source.
+
+use crate::workload::{words, Lcg, Workload};
+
+/// Runs a fixed number of dhrystone-like iterations; the self-check is a
+/// checksum over the mutated record block.
+pub fn dhrystone() -> Workload {
+    const ITERS: u32 = 40;
+    const REC_WORDS: usize = 16;
+    let mut g = Lcg::new(0xd4);
+    let rec_init: Vec<u32> = (0..REC_WORDS).map(|_| g.next_below(1000)).collect();
+    let strings: Vec<u32> = (0..16).map(|_| g.next_below(26) + 97).collect(); // 'a'..'z'
+
+    // Golden model in Rust.
+    let mut rec = rec_init.clone();
+    let mut acc: u32 = 0;
+    for i in 0..ITERS {
+        // "Proc1": copy record fields with arithmetic.
+        for w in 0..REC_WORDS - 1 {
+            rec[w] = rec[w + 1].wrapping_add(i);
+        }
+        rec[REC_WORDS - 1] = rec[0] ^ i;
+        // "Func2": string-ish compare over the letters block.
+        let mut eq = 0u32;
+        for pair in strings.chunks(2) {
+            if pair[0] == pair[1] {
+                eq += 1;
+            }
+        }
+        acc = acc.wrapping_add(eq).wrapping_add(rec[3]);
+        // Branchy selection.
+        acc = if acc & 1 == 0 { acc.wrapping_add(7) } else { acc.wrapping_sub(3) };
+    }
+    let expected = acc.wrapping_add(rec.iter().fold(0u32, |s, &v| s.wrapping_add(v)));
+
+    let source = format!(
+        "_start:
+    li   sp, {sp_top}
+    li   s0, 0            # i
+    li   s1, 0            # acc
+main_loop:
+    # Proc1: shift record fields with arithmetic
+    la   t0, record
+    li   t1, {rec_shift}  # REC_WORDS - 1
+p1: lw   t2, 4(t0)
+    add  t2, t2, s0
+    sw   t2, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, p1
+    la   t0, record
+    lw   t2, 0(t0)
+    xor  t2, t2, s0
+    sw   t2, {last_off}(t0)
+    # Func2: compare adjacent letters
+    la   t0, letters
+    li   t1, 8            # pairs
+    li   t3, 0            # eq count
+f2: lw   t4, 0(t0)
+    lw   t5, 4(t0)
+    bne  t4, t5, f2n
+    addi t3, t3, 1
+f2n:
+    addi t0, t0, 8
+    addi t1, t1, -1
+    bnez t1, f2
+    add  s1, s1, t3
+    la   t0, record
+    lw   t2, 12(t0)       # rec[3]
+    add  s1, s1, t2
+    # branchy adjust
+    andi t2, s1, 1
+    bnez t2, odd
+    addi s1, s1, 7
+    j    cont
+odd:
+    addi s1, s1, -3
+cont:
+    addi s0, s0, 1
+    li   t0, {iters}
+    blt  s0, t0, main_loop
+    # checksum record
+    la   t0, record
+    li   t1, {rec_words}
+cks:
+    lw   t2, 0(t0)
+    add  s1, s1, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, cks
+    li   t0, {expected}
+    beq  s1, t0, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+record:
+{rec_words_data}
+letters:
+{letters_data}
+",
+        sp_top = 1 << 19,
+        rec_shift = REC_WORDS - 1,
+        last_off = (REC_WORDS - 1) * 4,
+        iters = ITERS,
+        rec_words = REC_WORDS,
+        expected = expected as i64,
+        rec_words_data = words(&rec_init),
+        letters_data = words(&strings),
+    );
+    Workload::new("dhrystone", source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_functional;
+
+    #[test]
+    fn dhrystone_passes_self_check() {
+        assert_eq!(run_functional(&dhrystone()), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! `median`: three-point median filter (riscv-tests style).
+
+use crate::workload::{words, Lcg, Workload};
+
+/// Computes the median of each sliding window of three elements and
+/// checksums the result.
+pub fn median() -> Workload {
+    const N: usize = 80;
+    let mut g = Lcg::new(0x3d1a);
+    let input: Vec<u32> = (0..N).map(|_| g.next_below(256)).collect();
+
+    // Golden result computed in Rust: out[i] = median(in[i-1], in[i], in[i+1]),
+    // edges copied through.
+    let mut out = input.clone();
+    for i in 1..N - 1 {
+        let mut w = [input[i - 1], input[i], input[i + 1]];
+        w.sort_unstable();
+        out[i] = w[1];
+    }
+    let expected = out.iter().fold(0u32, |s, &v| s.wrapping_add(v));
+
+    let source = format!(
+        "_start:
+    la   s0, med_in
+    la   s1, med_out
+    li   s2, {inner}        # number of interior points
+    # edges copy through
+    lw   t0, 0(s0)
+    sw   t0, 0(s1)
+    lw   t0, {last_off}(s0)
+    sw   t0, {last_off}(s1)
+    addi s0, s0, 4          # point at in[1]
+    addi s1, s1, 4
+loop:
+    lw   t0, -4(s0)         # a = in[i-1]
+    lw   t1, 0(s0)          # b = in[i]
+    lw   t2, 4(s0)          # c = in[i+1]
+    # median of three by explicit compares:
+    # if a > b swap(a,b); if b > c swap(b,c); if a > b swap(a,b) -> b
+    ble  t0, t1, m1
+    mv   t3, t0
+    mv   t0, t1
+    mv   t1, t3
+m1: ble  t1, t2, m2
+    mv   t3, t1
+    mv   t1, t2
+    mv   t2, t3
+m2: ble  t0, t1, m3
+    mv   t1, t0
+m3: sw   t1, 0(s1)
+    addi s0, s0, 4
+    addi s1, s1, 4
+    addi s2, s2, -1
+    bnez s2, loop
+    # checksum
+    la   s1, med_out
+    li   s2, {n}
+    li   a0, 0
+sum:
+    lw   t0, 0(s1)
+    add  a0, a0, t0
+    addi s1, s1, 4
+    addi s2, s2, -1
+    bnez s2, sum
+    li   t1, {expected}
+    beq  a0, t1, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+med_in:
+{in_words}
+med_out:
+    .space {space}
+",
+        inner = N - 2,
+        last_off = (N - 1) * 4,
+        n = N,
+        expected = expected as i64,
+        in_words = words(&input),
+        space = N * 4,
+    );
+    Workload::new("median", source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_functional;
+
+    #[test]
+    fn median_passes_self_check() {
+        assert_eq!(run_functional(&median()), 1);
+    }
+}

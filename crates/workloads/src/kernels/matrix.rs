@@ -1,0 +1,211 @@
+//! Matrix kernels: `mm` (dense matrix multiply) and `spmv` (CSR sparse
+//! matrix-vector product), riscv-tests style. RV32I has no hardware
+//! multiplier, so both use a shift-add `mul` subroutine.
+
+use crate::workload::{words, Lcg, Workload};
+
+const MUL_SUB: &str = "
+# a0 = a1 * a2 (shift-add; clobbers t0, a1, a2)
+softmul:
+    li   a0, 0
+sm_loop:
+    andi t0, a2, 1
+    beqz t0, sm_skip
+    add  a0, a0, a1
+sm_skip:
+    slli a1, a1, 1
+    srli a2, a2, 1
+    bnez a2, sm_loop
+    ret
+";
+
+/// 8×8 dense matrix multiply with checksum self-check.
+pub fn mm() -> Workload {
+    const DIM: usize = 8;
+    let mut g = Lcg::new(0x88);
+    let a: Vec<u32> = (0..DIM * DIM).map(|_| g.next_below(64)).collect();
+    let b: Vec<u32> = (0..DIM * DIM).map(|_| g.next_below(64)).collect();
+    let mut c = vec![0u32; DIM * DIM];
+    for i in 0..DIM {
+        for j in 0..DIM {
+            for k in 0..DIM {
+                c[i * DIM + j] =
+                    c[i * DIM + j].wrapping_add(a[i * DIM + k].wrapping_mul(b[k * DIM + j]));
+            }
+        }
+    }
+    let expected = c.iter().fold(0u32, |s, &v| s.wrapping_add(v));
+
+    let source = format!(
+        "_start:
+    li   sp, {sp_top}
+    li   s0, 0            # i
+    li   s11, 0           # checksum
+row:
+    li   s1, 0            # j
+col:
+    li   s2, 0            # k
+    li   s3, 0            # acc
+dot:
+    # a1 = A[i*DIM + k]
+    slli t0, s0, {log_dim}
+    add  t0, t0, s2
+    slli t0, t0, 2
+    la   t1, mat_a
+    add  t0, t0, t1
+    lw   a1, 0(t0)
+    # a2 = B[k*DIM + j]
+    slli t0, s2, {log_dim}
+    add  t0, t0, s1
+    slli t0, t0, 2
+    la   t1, mat_b
+    add  t0, t0, t1
+    lw   a2, 0(t0)
+    call softmul
+    add  s3, s3, a0
+    addi s2, s2, 1
+    li   t0, {dim}
+    blt  s2, t0, dot
+    add  s11, s11, s3     # accumulate checksum directly
+    addi s1, s1, 1
+    li   t0, {dim}
+    blt  s1, t0, col
+    addi s0, s0, 1
+    li   t0, {dim}
+    blt  s0, t0, row
+    li   t0, {expected}
+    beq  s11, t0, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+{mul_sub}
+mat_a:
+{a_words}
+mat_b:
+{b_words}
+",
+        sp_top = 1 << 19,
+        dim = DIM,
+        log_dim = 3,
+        expected = expected as i64,
+        mul_sub = MUL_SUB,
+        a_words = words(&a),
+        b_words = words(&b),
+    );
+    Workload::new("mm", source)
+}
+
+/// CSR sparse matrix-vector product with checksum self-check.
+pub fn spmv() -> Workload {
+    const ROWS: usize = 24;
+    const COLS: usize = 24;
+    let mut g = Lcg::new(0x59);
+
+    // Build a CSR matrix with ~25% density.
+    let mut row_ptr = vec![0u32];
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for _ in 0..ROWS {
+        for c in 0..COLS {
+            if g.next_below(4) == 0 {
+                col_idx.push(c as u32);
+                values.push(g.next_below(100));
+            }
+        }
+        row_ptr.push(col_idx.len() as u32);
+    }
+    let x: Vec<u32> = (0..COLS).map(|_| g.next_below(100)).collect();
+
+    let mut y = [0u32; ROWS];
+    for r in 0..ROWS {
+        for i in row_ptr[r] as usize..row_ptr[r + 1] as usize {
+            y[r] = y[r].wrapping_add(values[i].wrapping_mul(x[col_idx[i] as usize]));
+        }
+    }
+    let expected = y.iter().fold(0u32, |s, &v| s.wrapping_add(v));
+
+    let source = format!(
+        "_start:
+    li   sp, {sp_top}
+    li   s0, 0            # row
+    li   s11, 0           # checksum
+next_row:
+    # bounds: i = row_ptr[r], end = row_ptr[r+1]
+    la   t0, row_ptr
+    slli t1, s0, 2
+    add  t0, t0, t1
+    lw   s1, 0(t0)        # i
+    lw   s2, 4(t0)        # end
+    li   s3, 0            # acc
+row_loop:
+    bge  s1, s2, row_done
+    slli t0, s1, 2
+    la   t1, col_idx
+    add  t1, t1, t0
+    lw   t2, 0(t1)        # column
+    la   t1, vals
+    add  t1, t1, t0
+    lw   a1, 0(t1)        # value
+    slli t2, t2, 2
+    la   t1, vec_x
+    add  t1, t1, t2
+    lw   a2, 0(t1)        # x[col]
+    call softmul
+    add  s3, s3, a0
+    addi s1, s1, 1
+    j    row_loop
+row_done:
+    add  s11, s11, s3
+    addi s0, s0, 1
+    li   t0, {rows}
+    blt  s0, t0, next_row
+    li   t0, {expected}
+    beq  s11, t0, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+{mul_sub}
+row_ptr:
+{rp_words}
+col_idx:
+{ci_words}
+vals:
+{val_words}
+vec_x:
+{x_words}
+",
+        sp_top = 1 << 19,
+        rows = ROWS,
+        expected = expected as i64,
+        mul_sub = MUL_SUB,
+        rp_words = words(&row_ptr),
+        ci_words = words(&col_idx),
+        val_words = words(&values),
+        x_words = words(&x),
+    );
+    Workload::new("spmv", source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_functional;
+
+    #[test]
+    fn mm_passes_self_check() {
+        assert_eq!(run_functional(&mm()), 1);
+    }
+
+    #[test]
+    fn spmv_passes_self_check() {
+        assert_eq!(run_functional(&spmv()), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! The benchmark kernels of the Figure 14 suite.
+
+pub mod dhrystone;
+pub mod filter;
+pub mod matrix;
+pub mod sort;
+pub mod spec_like;
+pub mod towers;
+pub mod vector;

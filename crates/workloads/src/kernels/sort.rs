@@ -1,0 +1,243 @@
+//! Sorting kernels: `qsort` (in-place quicksort with an explicit stack)
+//! and `rsort` (LSD radix sort), riscv-tests style.
+
+use crate::workload::{words, Lcg, Workload};
+
+/// In-place quicksort (Lomuto partition, explicit work stack), verified by
+/// an in-assembly sortedness + checksum pass.
+pub fn qsort() -> Workload {
+    const N: usize = 64;
+    let mut g = Lcg::new(0x9507);
+    let data: Vec<u32> = (0..N).map(|_| g.next_below(100_000)).collect();
+    let checksum = data.iter().fold(0u32, |s, &v| s.wrapping_add(v));
+
+    // Registers: s0 = array base, stack of (lo, hi) index pairs kept on sp.
+    let source = format!(
+        "_start:
+    la   s0, q_data
+    li   sp, {sp_top}
+    # push (0, n-1)
+    addi sp, sp, -8
+    li   t0, 0
+    sw   t0, 0(sp)
+    li   t0, {hi0}
+    sw   t0, 4(sp)
+work:
+    li   t0, {sp_top}
+    beq  sp, t0, verify      # stack empty -> done
+    lw   s1, 0(sp)           # lo
+    lw   s2, 4(sp)           # hi
+    addi sp, sp, 8
+    bge  s1, s2, work        # segment of <= 1 element
+    # partition: pivot = a[hi]
+    slli t0, s2, 2
+    add  t0, t0, s0
+    lw   s3, 0(t0)           # pivot value
+    mv   s4, s1              # i = lo (store index)
+    mv   s5, s1              # j = lo (scan index)
+scan:
+    bge  s5, s2, place_pivot
+    slli t0, s5, 2
+    add  t0, t0, s0
+    lw   t1, 0(t0)           # a[j]
+    bgt  t1, s3, no_swap
+    # swap a[i], a[j]
+    slli t2, s4, 2
+    add  t2, t2, s0
+    lw   t3, 0(t2)
+    sw   t1, 0(t2)
+    sw   t3, 0(t0)
+    addi s4, s4, 1
+no_swap:
+    addi s5, s5, 1
+    j    scan
+place_pivot:
+    # swap a[i], a[hi]
+    slli t0, s4, 2
+    add  t0, t0, s0
+    slli t1, s2, 2
+    add  t1, t1, s0
+    lw   t2, 0(t0)
+    lw   t3, 0(t1)
+    sw   t3, 0(t0)
+    sw   t2, 0(t1)
+    # push (lo, i-1) and (i+1, hi)
+    addi t4, s4, -1
+    blt  t4, s1, skip_left
+    addi sp, sp, -8
+    sw   s1, 0(sp)
+    sw   t4, 4(sp)
+skip_left:
+    addi t4, s4, 1
+    bgt  t4, s2, work
+    addi sp, sp, -8
+    sw   t4, 0(sp)
+    sw   s2, 4(sp)
+    j    work
+verify:
+    la   s0, q_data
+    li   s1, {n_minus_1}
+    li   a0, 0               # checksum
+    lw   t0, 0(s0)
+    add  a0, a0, t0
+chk:
+    lw   t0, 0(s0)
+    lw   t1, 4(s0)
+    bgt  t0, t1, fail        # must be non-decreasing
+    add  a0, a0, t1
+    addi s0, s0, 4
+    addi s1, s1, -1
+    bnez s1, chk
+    li   t2, {checksum}
+    beq  a0, t2, pass
+fail:
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+q_data:
+{data_words}
+",
+        sp_top = 1 << 19,
+        hi0 = N - 1,
+        n_minus_1 = N - 1,
+        checksum = checksum as i64,
+        data_words = words(&data),
+    );
+    Workload::new("qsort", source)
+}
+
+/// LSD radix sort, 8 bits per pass over 16-bit keys (two counting passes),
+/// verified like `qsort`.
+pub fn rsort() -> Workload {
+    const N: usize = 64;
+    let mut g = Lcg::new(0x4450);
+    let data: Vec<u32> = (0..N).map(|_| g.next_below(1 << 16)).collect();
+    let checksum = data.iter().fold(0u32, |s, &v| s.wrapping_add(v));
+
+    // Two passes: digit = (key >> shift) & 0xff; counting sort into the
+    // scratch buffer, then swap roles.
+    let source = format!(
+        "_start:
+    li   s10, 0              # shift = 0, then 8
+    la   s0, r_src           # current source
+    la   s1, r_dst           # current destination
+radix_pass:
+    # zero the 256 counters
+    la   t0, r_count
+    li   t1, 256
+zc: sw   zero, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, zc
+    # count digits
+    mv   t0, s0
+    li   t1, {n}
+count:
+    lw   t2, 0(t0)
+    srl  t3, t2, s10
+    andi t3, t3, 255
+    slli t3, t3, 2
+    la   t4, r_count
+    add  t4, t4, t3
+    lw   t5, 0(t4)
+    addi t5, t5, 1
+    sw   t5, 0(t4)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, count
+    # prefix sums -> start offsets
+    la   t0, r_count
+    li   t1, 256
+    li   t2, 0               # running total
+prefix:
+    lw   t3, 0(t0)
+    sw   t2, 0(t0)
+    add  t2, t2, t3
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, prefix
+    # scatter
+    mv   t0, s0
+    li   t1, {n}
+scatter:
+    lw   t2, 0(t0)
+    srl  t3, t2, s10
+    andi t3, t3, 255
+    slli t3, t3, 2
+    la   t4, r_count
+    add  t4, t4, t3
+    lw   t5, 0(t4)           # output index
+    addi t6, t5, 1
+    sw   t6, 0(t4)
+    slli t5, t5, 2
+    add  t5, t5, s1
+    sw   t2, 0(t5)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, scatter
+    # next pass: swap src/dst, shift += 8
+    mv   t0, s0
+    mv   s0, s1
+    mv   s1, t0
+    addi s10, s10, 8
+    li   t1, 16
+    blt  s10, t1, radix_pass
+    # two passes done; sorted data is back in r_src
+    la   s0, r_src
+    li   s1, {n_minus_1}
+    li   a0, 0
+    lw   t0, 0(s0)
+    add  a0, a0, t0
+chk:
+    lw   t0, 0(s0)
+    lw   t1, 4(s0)
+    bgt  t0, t1, fail
+    add  a0, a0, t1
+    addi s0, s0, 4
+    addi s1, s1, -1
+    bnez s1, chk
+    li   t2, {checksum}
+    beq  a0, t2, pass
+fail:
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+r_src:
+{data_words}
+r_dst:
+    .space {space}
+r_count:
+    .space 1024
+",
+        n = N,
+        n_minus_1 = N - 1,
+        checksum = checksum as i64,
+        data_words = words(&data),
+        space = N * 4,
+    );
+    Workload::new("rsort", source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_functional;
+
+    #[test]
+    fn qsort_passes_self_check() {
+        assert_eq!(run_functional(&qsort()), 1);
+    }
+
+    #[test]
+    fn rsort_passes_self_check() {
+        assert_eq!(run_functional(&rsort()), 1);
+    }
+}

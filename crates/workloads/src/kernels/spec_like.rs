@@ -1,0 +1,342 @@
+//! Synthetic stand-ins for the four SPEC CPU 2006 workloads the paper
+//! could run (429.mcf, 458.sjeng, 462.libquantum, 999.specrand).
+//!
+//! We cannot ship SPEC sources or binaries; these original kernels
+//! reproduce the *register-dependency patterns* that make each workload's
+//! CPI behave the way it does on the SFQ pipeline: mcf is dominated by
+//! pointer-chasing loads whose address depends on the previous load (long
+//! RAW chains), sjeng by data-dependent branches over a search tree,
+//! libquantum by long streaming passes of independent bitwise updates, and
+//! specrand by a tight LCG recurrence.
+
+use crate::workload::{words, Lcg, Workload};
+
+/// mcf-like: pointer chasing over a shuffled singly-linked ring with cost
+/// accumulation — every load address depends on the previous load.
+pub fn mcf_like() -> Workload {
+    const NODES: usize = 128;
+    const STEPS: u32 = 1500;
+    let mut g = Lcg::new(0x429);
+
+    // A random permutation cycle: next[i] gives the following node.
+    let mut perm: Vec<usize> = (0..NODES).collect();
+    for i in (1..NODES).rev() {
+        let j = g.next_below(i as u32 + 1) as usize;
+        perm.swap(i, j);
+    }
+    let mut next = vec![0u32; NODES];
+    for w in 0..NODES {
+        next[perm[w]] = perm[(w + 1) % NODES] as u32;
+    }
+    let costs: Vec<u32> = (0..NODES).map(|_| g.next_below(1000)).collect();
+
+    // Golden walk.
+    let mut node = perm[0] as u32;
+    let mut acc = 0u32;
+    for _ in 0..STEPS {
+        acc = acc.wrapping_add(costs[node as usize]);
+        node = next[node as usize];
+    }
+    let expected = acc;
+
+    let source = format!(
+        "_start:
+    li   s0, {start}      # current node
+    li   s1, {steps}
+    li   s2, 0            # cost accumulator
+    la   s3, next_tbl
+    la   s4, cost_tbl
+walk:
+    slli t0, s0, 2
+    add  t1, s4, t0
+    lw   t2, 0(t1)        # cost[node]
+    add  s2, s2, t2
+    add  t1, s3, t0
+    lw   s0, 0(t1)        # node = next[node]  (RAW chain)
+    addi s1, s1, -1
+    bnez s1, walk
+    li   t0, {expected}
+    beq  s2, t0, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+next_tbl:
+{next_words}
+cost_tbl:
+{cost_words}
+",
+        start = perm[0],
+        steps = STEPS,
+        expected = expected as i64,
+        next_words = words(&next),
+        cost_words = words(&costs),
+    );
+    Workload::new("429.mcf", source)
+}
+
+/// sjeng-like: branchy evaluation over a precomputed game tree — nested
+/// data-dependent branches pick a child by score comparison.
+pub fn sjeng_like() -> Workload {
+    const NODES: usize = 255; // complete binary tree of depth 8
+    const PLIES: u32 = 400;
+    let mut g = Lcg::new(0x458);
+    let scores: Vec<u32> = (0..NODES).map(|_| g.next_below(4096)).collect();
+
+    // Golden model: repeated descents from the root; at each node pick the
+    // child by comparing child scores, accumulating a branchy hash.
+    let mut acc = 0u32;
+    let mut salt = 1u32;
+    for _ in 0..PLIES {
+        let mut n = 0usize;
+        while 2 * n + 2 < NODES {
+            let l = scores[2 * n + 1].wrapping_add(salt & 0xff);
+            let r = scores[2 * n + 2];
+            if l > r {
+                n = 2 * n + 1;
+                acc = acc.wrapping_add(l);
+            } else {
+                n = 2 * n + 2;
+                acc = acc.wrapping_sub(r) ^ 0x5a;
+            }
+        }
+        salt = salt.wrapping_mul(Lcg::A).wrapping_add(Lcg::C);
+        acc = acc.wrapping_add(salt >> 24);
+    }
+    let expected = acc;
+
+    let source = format!(
+        "_start:
+    li   s1, {plies}
+    li   s2, 0            # acc
+    li   s3, 1            # salt
+    la   s4, score_tbl
+    li   s5, {limit}      # 2*n+2 < NODES bound
+ply:
+    li   s0, 0            # node = root
+descend:
+    slli t0, s0, 1
+    addi t1, t0, 2        # 2n+2
+    bge  t1, s5, leaf_chk
+    addi t2, t0, 1        # 2n+1
+    slli t3, t2, 2
+    add  t3, t3, s4
+    lw   t4, 0(t3)        # scores[2n+1]
+    andi t5, s3, 255
+    add  t4, t4, t5       # l = score + (salt & 0xff)
+    slli t3, t1, 2
+    add  t3, t3, s4
+    lw   t6, 0(t3)        # r = scores[2n+2]
+    ble  t4, t6, go_right
+    mv   s0, t2
+    add  s2, s2, t4
+    j    descend
+go_right:
+    mv   s0, t1
+    sub  s2, s2, t6
+    xori s2, s2, 0x5a
+    j    descend
+leaf_chk:
+    # salt = salt * A + C  (software multiply by constant via shift-add)
+    li   a1, {lcg_a}
+    mv   a2, s3
+    li   a0, 0
+salt_mul:
+    andi t0, a2, 1
+    beqz t0, salt_skip
+    add  a0, a0, a1
+salt_skip:
+    slli a1, a1, 1
+    srli a2, a2, 1
+    bnez a2, salt_mul
+    li   t0, {lcg_c}
+    add  s3, a0, t0
+    srli t0, s3, 24
+    add  s2, s2, t0
+    addi s1, s1, -1
+    bnez s1, ply
+    li   t0, {expected}
+    beq  s2, t0, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+score_tbl:
+{score_words}
+",
+        plies = PLIES,
+        limit = NODES,
+        lcg_a = Lcg::A,
+        lcg_c = Lcg::C as i64,
+        expected = expected as i64,
+        score_words = words(&scores),
+    );
+    Workload::new("458.sjeng", source)
+}
+
+/// libquantum-like: streaming passes over a register array applying
+/// Toffoli/CNOT-style bitwise updates — long runs of independent
+/// load-modify-store operations.
+pub fn libquantum_like() -> Workload {
+    const QSTATES: usize = 192;
+    const PASSES: u32 = 12;
+    let mut g = Lcg::new(0x462);
+    let init: Vec<u32> = (0..QSTATES).map(|_| g.next_u32()).collect();
+
+    // Golden: each pass applies cnot(control=bit p, target=bit (p+7)&31)
+    // and a phase-ish xor.
+    let mut state = init.clone();
+    for p in 0..PASSES {
+        let cbit = p % 32;
+        let tbit = (p + 7) % 32;
+        for s in state.iter_mut() {
+            if *s >> cbit & 1 == 1 {
+                *s ^= 1 << tbit;
+            }
+            *s = s.wrapping_add(0x9e37);
+        }
+    }
+    let expected = state.iter().fold(0u32, |s, &v| s.wrapping_add(v));
+
+    let source = format!(
+        "_start:
+    li   s0, 0            # pass
+passes:
+    # control/target masks for this pass
+    andi t0, s0, 31
+    li   t1, 1
+    sll  s2, t1, t0       # control mask
+    addi t0, s0, 7
+    andi t0, t0, 31
+    sll  s3, t1, t0       # target mask
+    la   s4, qstate
+    li   s5, {n}
+apply:
+    lw   t2, 0(s4)
+    and  t3, t2, s2
+    beqz t3, no_flip
+    xor  t2, t2, s3
+no_flip:
+    li   t3, 0x9e37
+    add  t2, t2, t3
+    sw   t2, 0(s4)
+    addi s4, s4, 4
+    addi s5, s5, -1
+    bnez s5, apply
+    addi s0, s0, 1
+    li   t0, {passes}
+    blt  s0, t0, passes
+    # checksum
+    la   s4, qstate
+    li   s5, {n}
+    li   a0, 0
+cks:
+    lw   t2, 0(s4)
+    add  a0, a0, t2
+    addi s4, s4, 4
+    addi s5, s5, -1
+    bnez s5, cks
+    li   t0, {expected}
+    beq  a0, t0, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+qstate:
+{state_words}
+",
+        n = QSTATES,
+        passes = PASSES,
+        expected = expected as i64,
+        state_words = words(&init),
+    );
+    Workload::new("462.libquantum", source)
+}
+
+/// specrand: the pure LCG recurrence — the tightest possible RAW chain.
+pub fn specrand() -> Workload {
+    const DRAWS: u32 = 1200;
+    let mut state = 0x999u32;
+    let mut acc = 0u32;
+    for _ in 0..DRAWS {
+        state = state.wrapping_mul(Lcg::A).wrapping_add(Lcg::C);
+        acc = acc.wrapping_add(state >> 16);
+    }
+    let expected = acc;
+
+    let source = format!(
+        "_start:
+    li   s0, 0x999        # state
+    li   s1, {draws}
+    li   s2, 0            # acc
+draw:
+    # state = state * A + C by shift-add
+    li   a1, {lcg_a}
+    mv   a2, s0
+    li   a0, 0
+rmul:
+    andi t0, a2, 1
+    beqz t0, rskip
+    add  a0, a0, a1
+rskip:
+    slli a1, a1, 1
+    srli a2, a2, 1
+    bnez a2, rmul
+    li   t0, {lcg_c}
+    add  s0, a0, t0
+    srli t0, s0, 16
+    add  s2, s2, t0
+    addi s1, s1, -1
+    bnez s1, draw
+    li   t0, {expected}
+    beq  s2, t0, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+",
+        draws = DRAWS,
+        lcg_a = Lcg::A,
+        lcg_c = Lcg::C as i64,
+        expected = expected as i64,
+    );
+    Workload::new("999.specrand", source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_functional;
+
+    #[test]
+    fn mcf_like_passes_self_check() {
+        assert_eq!(run_functional(&mcf_like()), 1);
+    }
+
+    #[test]
+    fn sjeng_like_passes_self_check() {
+        assert_eq!(run_functional(&sjeng_like()), 1);
+    }
+
+    #[test]
+    fn libquantum_like_passes_self_check() {
+        assert_eq!(run_functional(&libquantum_like()), 1);
+    }
+
+    #[test]
+    fn specrand_passes_self_check() {
+        assert_eq!(run_functional(&specrand()), 1);
+    }
+}

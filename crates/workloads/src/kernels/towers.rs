@@ -1,0 +1,60 @@
+//! `towers`: recursive Towers of Hanoi (riscv-tests style).
+
+use crate::workload::Workload;
+
+/// Solves 7-disc Towers of Hanoi recursively, counting moves; checks the
+/// count equals `2^7 - 1 = 127`. Exercises the call stack and a deep chain
+//  of dependent call/return sequences.
+pub fn towers() -> Workload {
+    const DISCS: u32 = 7;
+    let expected = (1u32 << DISCS) - 1;
+
+    // hanoi(n) { if n == 0 return; hanoi(n-1); moves++; hanoi(n-1); }
+    let source = format!(
+        "_start:
+    li   sp, {sp_top}
+    li   s0, 0            # move counter
+    li   a0, {discs}
+    call hanoi
+    li   t0, {expected}
+    beq  s0, t0, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+hanoi:
+    beqz a0, hret
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   a0, 4(sp)
+    addi a0, a0, -1
+    call hanoi            # move n-1 to spare
+    addi s0, s0, 1        # move the base disc
+    lw   a0, 4(sp)
+    addi a0, a0, -1
+    call hanoi            # move n-1 onto it
+    lw   ra, 0(sp)
+    addi sp, sp, 8
+hret:
+    ret
+",
+        sp_top = 1 << 19,
+        discs = DISCS,
+        expected = expected,
+    );
+    Workload::new("towers", source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_functional;
+
+    #[test]
+    fn towers_passes_self_check() {
+        assert_eq!(run_functional(&towers()), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Streaming vector kernels: `vvadd` and `multiply` (riscv-tests style).
+
+use crate::workload::{words, Lcg, Workload};
+
+/// Element-wise vector add with checksum self-check.
+pub fn vvadd() -> Workload {
+    const N: u32 = 96;
+    let mut g = Lcg::new(0xbeef);
+    let a: Vec<u32> = (0..N).map(|_| g.next_below(10_000)).collect();
+    let b: Vec<u32> = (0..N).map(|_| g.next_below(10_000)).collect();
+    let expected: u32 = a.iter().zip(&b).map(|(x, y)| x.wrapping_add(*y)).fold(0u32, |s, v| {
+        s.wrapping_add(v)
+    });
+
+    let source = format!(
+        "_start:
+    la   t0, vec_a
+    la   t1, vec_b
+    la   t2, vec_c
+    li   t3, {n}
+loop:
+    lw   t4, 0(t0)
+    lw   t5, 0(t1)
+    add  t6, t4, t5
+    sw   t6, 0(t2)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, 4
+    addi t3, t3, -1
+    bnez t3, loop
+    # checksum pass
+    la   t2, vec_c
+    li   t3, {n}
+    li   a0, 0
+sum:
+    lw   t4, 0(t2)
+    add  a0, a0, t4
+    addi t2, t2, 4
+    addi t3, t3, -1
+    bnez t3, sum
+    li   t5, {expected}
+    beq  a0, t5, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+vec_a:
+{a_words}
+vec_b:
+{b_words}
+vec_c:
+    .space {space}
+",
+        n = N,
+        expected = expected as i64,
+        a_words = words(&a),
+        b_words = words(&b),
+        space = N * 4,
+    );
+    Workload::new("vvadd", source)
+}
+
+/// Software multiply (shift-add) over random pairs, checksum-checked —
+/// RV32I has no `mul`, matching the paper's ISA limitations.
+pub fn multiply() -> Workload {
+    const N: u32 = 48;
+    let mut g = Lcg::new(0xa11ce);
+    let a: Vec<u32> = (0..N).map(|_| g.next_below(1 << 12)).collect();
+    let b: Vec<u32> = (0..N).map(|_| g.next_below(1 << 12)).collect();
+    let expected = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| x.wrapping_mul(*y))
+        .fold(0u32, |s, v| s.wrapping_add(v));
+
+    let source = format!(
+        "_start:
+    la   s0, mul_a
+    la   s1, mul_b
+    li   s2, {n}
+    li   s3, 0            # checksum
+outer:
+    lw   a1, 0(s0)        # multiplicand
+    lw   a2, 0(s1)        # multiplier
+    li   a3, 0            # product
+mul_loop:
+    andi t0, a2, 1
+    beqz t0, no_add
+    add  a3, a3, a1
+no_add:
+    slli a1, a1, 1
+    srli a2, a2, 1
+    bnez a2, mul_loop
+    add  s3, s3, a3
+    addi s0, s0, 4
+    addi s1, s1, 4
+    addi s2, s2, -1
+    bnez s2, outer
+    li   t1, {expected}
+    beq  s3, t1, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+mul_a:
+{a_words}
+mul_b:
+{b_words}
+",
+        n = N,
+        expected = expected as i64,
+        a_words = words(&a),
+        b_words = words(&b),
+    );
+    Workload::new("multiply", source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_functional;
+
+    #[test]
+    fn vvadd_passes_self_check() {
+        assert_eq!(run_functional(&vvadd()), 1);
+    }
+
+    #[test]
+    fn multiply_passes_self_check() {
+        assert_eq!(run_functional(&multiply()), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # sfq-workloads — the benchmark suite for the HiPerRF evaluation
+//!
+//! RV32I kernels standing in for the paper's Figure 14 benchmarks: the
+//! riscv-tests kernels (vvadd, multiply, median, qsort, rsort, towers, mm,
+//! spmv, a dhrystone-like mixed kernel) and synthetic equivalents of the
+//! four SPEC CPU 2006 workloads the paper ran (429.mcf, 458.sjeng,
+//! 462.libquantum, 999.specrand). Every kernel self-checks and exits with
+//! code 1 on success, so functional regressions in the toolchain or the
+//! pipeline simulator are caught immediately.
+//!
+//! ```
+//! use sfq_workloads::suite;
+//!
+//! let all = suite();
+//! assert!(all.iter().any(|w| w.name == "towers"));
+//! ```
+
+pub mod kernels;
+pub mod testutil;
+pub mod workload;
+
+pub use workload::{Lcg, Workload, PASS};
+
+/// The full Figure 14 benchmark suite, in the paper's display order.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        kernels::towers::towers(),
+        kernels::vector::vvadd(),
+        kernels::vector::multiply(),
+        kernels::matrix::mm(),
+        kernels::dhrystone::dhrystone(),
+        kernels::filter::median(),
+        kernels::sort::qsort(),
+        kernels::sort::rsort(),
+        kernels::matrix::spmv(),
+        kernels::spec_like::mcf_like(),
+        kernels::spec_like::sjeng_like(),
+        kernels::spec_like::libquantum_like(),
+        kernels::spec_like::specrand(),
+    ]
+}

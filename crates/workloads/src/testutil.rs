@@ -1,0 +1,23 @@
+//! Test helpers shared by the kernel self-check tests.
+
+use sfq_riscv::asm::assemble;
+use sfq_riscv::exec::Cpu;
+use sfq_riscv::mem::Memory;
+
+use crate::workload::Workload;
+
+/// Assembles and runs a workload on the functional simulator, returning
+/// the exit code.
+///
+/// # Panics
+///
+/// Panics if the workload fails to assemble or faults.
+pub fn run_functional(w: &Workload) -> u32 {
+    let prog = assemble(&w.source, 0)
+        .unwrap_or_else(|e| panic!("workload `{}` failed to assemble: {e}", w.name));
+    let mut mem = Memory::new(w.mem_size);
+    mem.load_image(prog.base, &prog.words);
+    let mut cpu = Cpu::new(prog.symbol("_start").unwrap_or(0));
+    cpu.run(&mut mem, w.budget)
+        .unwrap_or_else(|e| panic!("workload `{}` faulted: {e}", w.name))
+}

@@ -1,0 +1,35 @@
+//! Quickstart: the HiPerRF mechanism in thirty lines.
+//!
+//! Builds a pulse-level 4×4-bit HiPerRF, writes a value, and shows that
+//! reads are restoring: the HC-DRO cells are *destructive* (each fluxon
+//! can only be popped once), yet the LoopBuffer recycles every readout
+//! back into the source register.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hiperrf::config::RfGeometry;
+use hiperrf::hiperrf_rf::HiPerRf;
+
+fn main() {
+    let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
+    println!("built a 4x4-bit HiPerRF: {} cells, {} JJs", rf.census().total_cells(), rf.census().jj_total());
+
+    rf.write(1, 0b1011);
+    println!("wrote 0b1011 into r1; cells now hold {:#06b}", rf.peek(1));
+
+    for i in 1..=3 {
+        let v = rf.read(1);
+        println!(
+            "read #{i}: got {v:#06b}; after the loopback write the cells hold {:#06b}",
+            rf.peek(1)
+        );
+        assert_eq!(v, 0b1011);
+        assert_eq!(rf.peek(1), 0b1011, "the loopback must restore the register");
+    }
+
+    rf.write(1, 0b0100);
+    println!("overwrote with 0b0100; read back {:#06b}", rf.read(1));
+
+    assert!(rf.violations().is_empty(), "no timing violations in any operation");
+    println!("no setup/hold/re-arm violations recorded — done.");
+}

@@ -1,0 +1,90 @@
+//! Full Figure 14 sweep as a test: every workload in the suite must pass
+//! its self-check under every register-file design, with the paper's CPI
+//! ordering holding benchmark by benchmark.
+
+use hiperrf::delay::RfDesign;
+use hiperrf_bench::figure14::{average_overheads, figure14, PAPER_AVG_OVERHEAD};
+use sfq_cpu::{GateLevelCpu, PipelineConfig};
+use sfq_riscv::asm::assemble;
+use sfq_riscv::exec::Cpu;
+use sfq_riscv::mem::Memory;
+use sfq_workloads::{suite, PASS};
+
+#[test]
+fn every_workload_passes_on_every_design() {
+    for w in suite() {
+        let prog = assemble(&w.source, 0)
+            .unwrap_or_else(|e| panic!("{} failed to assemble: {e}", w.name));
+        for design in RfDesign::ALL {
+            let mut cpu = GateLevelCpu::new(design, PipelineConfig::sodor());
+            let out = cpu
+                .run(&prog, w.mem_size, w.budget)
+                .unwrap_or_else(|e| panic!("{} faulted on {design:?}: {e}", w.name));
+            assert_eq!(out.exit_code, PASS, "{} self-check on {design:?}", w.name);
+        }
+    }
+}
+
+#[test]
+fn pipeline_and_functional_models_agree() {
+    // Pipeline timing must not change architectural results.
+    for w in suite() {
+        let prog = assemble(&w.source, 0).expect("assembles");
+        let mut mem = Memory::new(w.mem_size);
+        mem.load_image(prog.base, &prog.words);
+        let mut cpu = Cpu::new(0);
+        let functional = cpu.run(&mut mem, w.budget).expect("functional run");
+
+        let mut gate = GateLevelCpu::new(RfDesign::HiPerRf, PipelineConfig::sodor());
+        let timed = gate.run(&prog, w.mem_size, w.budget).expect("timed run");
+        assert_eq!(functional, timed.exit_code, "{}", w.name);
+        assert_eq!(cpu.retired, timed.stats.retired, "{} retired count", w.name);
+    }
+}
+
+#[test]
+fn figure14_full_suite_shape() {
+    let rows = figure14();
+    assert_eq!(rows.len(), 13, "the Figure 14 suite has thirteen benchmarks");
+
+    for row in &rows {
+        assert!(
+            row.overhead[0] > row.overhead[1] && row.overhead[1] >= row.overhead[2],
+            "per-benchmark ordering violated: {row:?}"
+        );
+        assert!(row.overhead[0] > 0.05 && row.overhead[0] < 0.20, "{row:?}");
+    }
+
+    // Average CPI near the paper's ~30 gate cycles.
+    let avg_cpi: f64 = rows.iter().map(|r| r.baseline_cpi).sum::<f64>() / rows.len() as f64;
+    assert!((20.0..40.0).contains(&avg_cpi), "average baseline CPI {avg_cpi}");
+
+    // Averages within a few points of the paper's 9.8 / 3.6 / 2.3.
+    let avg = average_overheads(&rows);
+    assert!((avg[0] - PAPER_AVG_OVERHEAD[0]).abs() < 0.04, "HiPerRF {avg:?}");
+    assert!((avg[1] - PAPER_AVG_OVERHEAD[1]).abs() < 0.03, "dual {avg:?}");
+    assert!((avg[2] - PAPER_AVG_OVERHEAD[2]).abs() < 0.03, "ideal {avg:?}");
+
+    // The ideal compiler never does worse than the real banked schedule.
+    for row in &rows {
+        assert!(row.overhead[2] <= row.overhead[1] + 1e-12, "{row:?}");
+    }
+}
+
+#[test]
+fn mcf_is_raw_bound_and_libquantum_is_not() {
+    // The stand-ins must reproduce the dependency character of their
+    // originals: pointer chasing (mcf) stalls on RAW far more than the
+    // streaming bit kernel (libquantum), relative to work done.
+    let stats_for = |name: &str| {
+        let w = suite().into_iter().find(|w| w.name == name).expect("workload exists");
+        let prog = assemble(&w.source, 0).expect("assembles");
+        let mut cpu = GateLevelCpu::new(RfDesign::NdroBaseline, PipelineConfig::sodor());
+        cpu.run(&prog, w.mem_size, w.budget).expect("runs").stats
+    };
+    let mcf = stats_for("429.mcf");
+    let libq = stats_for("462.libquantum");
+    let mcf_raw = mcf.raw_stall_cycles as f64 / mcf.retired as f64;
+    let libq_raw = libq.raw_stall_cycles as f64 / libq.retired as f64;
+    assert!(mcf_raw > libq_raw, "mcf {mcf_raw:.1} vs libquantum {libq_raw:.1}");
+}

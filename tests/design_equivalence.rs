@@ -1,0 +1,114 @@
+//! Cross-crate integration tests: all three structural register files are
+//! functionally equivalent storage, and their netlists instantiate exactly
+//! the cells the closed-form budgets claim.
+
+use hiperrf::banked::DualBankRf;
+use hiperrf::budget::{dual_banked_budget, hiperrf_budget, ndro_rf_budget};
+use hiperrf::config::RfGeometry;
+use hiperrf::hiperrf_rf::HiPerRf;
+use hiperrf::ndro_rf::NdroRf;
+use sfq_workloads::Lcg;
+
+/// Drives all three structural designs through the same random operation
+/// sequence and checks them against a plain `Vec<u64>` model.
+#[test]
+fn random_op_sequences_match_reference_model() {
+    let g = RfGeometry::paper_4x4();
+    let mut ndro = NdroRf::new(g);
+    let mut hi = HiPerRf::new(g);
+    let mut dual = DualBankRf::new(g);
+    let mut model = vec![0u64; g.registers()];
+    let mut rng = Lcg::new(0xfeed);
+
+    for step in 0..60 {
+        let reg = rng.next_below(g.registers() as u32) as usize;
+        if rng.next_below(2) == 0 {
+            let value = u64::from(rng.next_below(16));
+            ndro.write(reg, value);
+            hi.write(reg, value);
+            dual.write(reg, value);
+            model[reg] = value;
+        } else {
+            let want = model[reg];
+            assert_eq!(ndro.read(reg), want, "NDRO mismatch at step {step}");
+            assert_eq!(hi.read(reg), want, "HiPerRF mismatch at step {step}");
+            assert_eq!(dual.read(reg), want, "dual-banked mismatch at step {step}");
+        }
+    }
+    assert!(ndro.violations().is_empty());
+    assert!(hi.violations().is_empty());
+    assert!(dual.violations().is_empty());
+}
+
+#[test]
+fn hiperrf_survives_long_read_storms() {
+    // Hammer one register with reads: every one must be restored.
+    let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
+    rf.write(3, 0b1110);
+    for i in 0..25 {
+        assert_eq!(rf.read(3), 0b1110, "read {i}");
+    }
+    assert_eq!(rf.peek(3), 0b1110);
+    assert!(rf.violations().is_empty());
+}
+
+#[test]
+fn wide_registers_round_trip() {
+    // A 4-register, 16-bit-wide file (8 HC columns per register).
+    let g = RfGeometry::new(4, 16).expect("valid");
+    let mut rf = HiPerRf::new(g);
+    for (reg, value) in [(0usize, 0xffffu64), (1, 0xa5a5), (2, 0x0001), (3, 0x8000)] {
+        rf.write(reg, value);
+    }
+    for (reg, value) in [(0usize, 0xffffu64), (1, 0xa5a5), (2, 0x0001), (3, 0x8000)] {
+        assert_eq!(rf.read(reg), value, "register {reg}");
+    }
+}
+
+#[test]
+fn structural_census_equals_budget_at_nonsquare_geometries() {
+    for g in [
+        RfGeometry::new(8, 8).expect("valid"),
+        RfGeometry::new(8, 16).expect("valid"),
+        RfGeometry::new(16, 8).expect("valid"),
+    ] {
+        assert_eq!(
+            NdroRf::new(g).census(),
+            ndro_rf_budget(g).census(),
+            "NDRO census at {g}"
+        );
+        assert_eq!(
+            HiPerRf::new(g).census(),
+            hiperrf_budget(g).census(),
+            "HiPerRF census at {g}"
+        );
+        assert_eq!(
+            DualBankRf::new(g).census(),
+            dual_banked_budget(g).census(),
+            "dual census at {g}"
+        );
+    }
+}
+
+#[test]
+fn structural_32x32_census_matches_budget() {
+    // The full paper-size file: ~17k cells; build and census once.
+    let g = RfGeometry::paper_32x32();
+    let rf = HiPerRf::new(g);
+    assert_eq!(rf.census(), hiperrf_budget(g).census());
+    assert_eq!(rf.census().jj_total(), hiperrf_budget(g).jj_total());
+}
+
+#[test]
+fn dual_bank_parity_routing() {
+    // Paper §V-B: odd registers in bank 0. Values must not leak across
+    // parity classes.
+    let mut rf = DualBankRf::new(RfGeometry::paper_16x16());
+    for reg in 0..16 {
+        rf.write(reg, (reg as u64) << 4 | 0xf);
+    }
+    // Read evens then odds; all intact.
+    for reg in (0..16).step_by(2).chain((1..16).step_by(2)) {
+        assert_eq!(rf.read(reg), (reg as u64) << 4 | 0xf, "register {reg}");
+    }
+}

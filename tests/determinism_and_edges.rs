@@ -1,0 +1,120 @@
+//! Determinism and edge-case coverage: identical runs must produce
+//! identical pulse traces (the simulator is a model, not a Monte Carlo),
+//! power-on reset must fully clear every stateful cell, and the
+//! full-size 32×32 structural HiPerRF must round-trip values.
+
+use hiperrf::config::RfGeometry;
+use hiperrf::hiperrf_rf::HiPerRf;
+use sfq_cells::builder::CircuitBuilder;
+use sfq_cells::composite::{build_hc_clk, build_hc_write};
+use sfq_cells::storage::HcDro;
+use sfq_sim::netlist::Pin;
+use sfq_sim::prelude::*;
+
+fn run_once() -> Vec<Time> {
+    let mut b = CircuitBuilder::new();
+    let w = build_hc_write(&mut b);
+    let cell = b.hcdro();
+    let clk = build_hc_clk(&mut b);
+    b.connect(w.output, Pin::new(cell, HcDro::D));
+    b.connect(clk.output, Pin::new(cell, HcDro::CLK));
+    let mut sim = Simulator::new(b.finish());
+    let probe = sim.probe(Pin::new(cell, HcDro::Q), "q");
+    sim.inject(w.b0, Time::ZERO);
+    sim.inject(w.b1, Time::ZERO);
+    sim.inject(clk.input, Time::from_ps(100.0));
+    sim.run();
+    sim.probe_trace(probe).pulses().to_vec()
+}
+
+#[test]
+fn identical_runs_produce_identical_traces() {
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 3, "value 3 pops three fluxons");
+}
+
+#[test]
+fn power_on_reset_clears_every_stateful_cell() {
+    use sfq_cells::counter::CounterBit;
+    use sfq_cells::logic::{AndGate, Dand, NotGate};
+    use sfq_cells::storage::{Dro, Ndro, Ndroc};
+    use sfq_sim::component::Component;
+
+    let cells: Vec<Box<dyn Component>> = vec![
+        Box::new(Dro::new()),
+        Box::new(HcDro::new()),
+        Box::new(Ndro::holding()),
+        Box::new(Ndroc::new()),
+        Box::new(CounterBit::new()),
+        Box::new(Dand::new()),
+        Box::new(AndGate::new()),
+        Box::new(NotGate::new()),
+    ];
+    let mut netlist = Netlist::new();
+    let ids: Vec<_> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| netlist.add(format!("c{i}"), c))
+        .collect();
+    let mut sim = Simulator::new(netlist);
+    // Poke state into everything via pin 0.
+    for &id in &ids {
+        sim.inject(Pin::new(id, 0), Time::from_ps(1.0));
+    }
+    sim.run();
+    for &id in &ids {
+        sim.netlist_mut().component_mut(id).power_on_reset();
+        let stored = sim.netlist().component(id).stored();
+        assert!(
+            stored.is_none() || stored == Some(0),
+            "{} not cleared: {stored:?}",
+            sim.netlist().label(id)
+        );
+    }
+}
+
+#[test]
+fn full_size_structural_hiperrf_round_trips() {
+    // The paper-size 32×32 file: ~17k cells, full pulse-level operation.
+    let mut rf = HiPerRf::new(RfGeometry::paper_32x32());
+    let values = [0xdead_beefu64, 0x0000_0001, 0x8000_0000, 0xffff_ffff, 0x1234_5678];
+    for (i, &v) in values.iter().enumerate() {
+        rf.write(i * 7 % 32, v);
+    }
+    for (i, &v) in values.iter().enumerate() {
+        assert_eq!(rf.read(i * 7 % 32), v, "register {}", i * 7 % 32);
+    }
+    assert!(rf.violations().is_empty());
+}
+
+#[test]
+fn assembler_accepts_bare_memory_operands() {
+    use sfq_riscv::asm::assemble;
+    // `lw a0, (t0)` — offsetless memory operand.
+    let prog = assemble("lw a0, (t0)\nsw a0, (t1)", 0).expect("assembles");
+    assert_eq!(prog.words.len(), 2);
+}
+
+#[test]
+fn simulator_handles_simultaneous_events_deterministically() {
+    // Two pulses injected at the identical instant must be processed in
+    // injection order (the seq tiebreaker), run after run.
+    let observed: Vec<Vec<Time>> = (0..3)
+        .map(|_| {
+            let mut b = CircuitBuilder::new();
+            let m = b.merger();
+            let mut sim = Simulator::new(b.finish());
+            let p = sim.probe(Pin::new(m, sfq_cells::transport::Merger::OUT), "out");
+            sim.inject(Pin::new(m, sfq_cells::transport::Merger::IN_A), Time::from_ps(5.0));
+            sim.inject(Pin::new(m, sfq_cells::transport::Merger::IN_B), Time::from_ps(5.0));
+            sim.run();
+            sim.probe_trace(p).pulses().to_vec()
+        })
+        .collect();
+    assert_eq!(observed[0], observed[1]);
+    assert_eq!(observed[1], observed[2]);
+    // Coincident pulses: the second dissipates in the merger dead zone.
+    assert_eq!(observed[0].len(), 1);
+}

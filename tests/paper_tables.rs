@@ -1,0 +1,117 @@
+//! Integration tests asserting the reproduction tracks every table and
+//! figure of the paper within the documented tolerances.
+
+use hiperrf::budget::{dual_banked_budget, hiperrf_budget, ndro_rf_budget, paper as t12};
+use hiperrf::config::RfGeometry;
+use hiperrf::delay::{
+    loopback_latency_ps, paper as t34, readout_delay_ps, readout_delay_with_wires_ps, RfDesign,
+};
+use hiperrf_bench::figure14::{average_overheads, run_workload, PAPER_AVG_OVERHEAD};
+use sfq_chip::sodor::{chip_budget, PAPER_BASELINE_CHIP_JJ, PAPER_HIPERRF_CHIP_JJ};
+use sfq_workloads::suite;
+
+fn rel_err(ours: f64, paper: f64) -> f64 {
+    (ours - paper).abs() / paper
+}
+
+#[test]
+fn table1_jj_counts_within_5_percent() {
+    for (i, g) in RfGeometry::paper_sizes().iter().enumerate() {
+        assert!(rel_err(ndro_rf_budget(*g).jj_total() as f64, t12::JJ_NDRO[i] as f64) < 0.01);
+        assert!(rel_err(hiperrf_budget(*g).jj_total() as f64, t12::JJ_HIPERRF[i] as f64) < 0.05);
+        assert!(rel_err(dual_banked_budget(*g).jj_total() as f64, t12::JJ_DUAL[i] as f64) < 0.02);
+    }
+}
+
+#[test]
+fn table1_headline_savings() {
+    // Paper abstract: 56.1% JJ reduction at 32×32 (43.93% of baseline).
+    let g = RfGeometry::paper_32x32();
+    let frac = hiperrf_budget(g).jj_total() as f64 / ndro_rf_budget(g).jj_total() as f64;
+    assert!((frac - 0.4393).abs() < 0.02, "fraction of baseline was {frac:.4}");
+}
+
+#[test]
+fn table2_power_within_10_percent() {
+    for (i, g) in RfGeometry::paper_sizes().iter().enumerate() {
+        assert!(rel_err(ndro_rf_budget(*g).static_power_uw(), t12::POWER_NDRO[i]) < 0.04);
+        assert!(rel_err(hiperrf_budget(*g).static_power_uw(), t12::POWER_HIPERRF[i]) < 0.02);
+        assert!(rel_err(dual_banked_budget(*g).static_power_uw(), t12::POWER_DUAL[i]) < 0.10);
+    }
+}
+
+#[test]
+fn table2_headline_power_saving() {
+    // Paper abstract: 46.2% static-power reduction at 32×32.
+    let g = RfGeometry::paper_32x32();
+    let frac = hiperrf_budget(g).static_power_uw() / ndro_rf_budget(g).static_power_uw();
+    assert!((frac - 0.5385).abs() < 0.02, "fraction of baseline power was {frac:.4}");
+}
+
+#[test]
+fn table3_readout_delays_exact() {
+    for (i, g) in RfGeometry::paper_sizes().iter().enumerate() {
+        assert!((readout_delay_ps(RfDesign::NdroBaseline, *g) - t34::READOUT_NDRO[i]).abs() < 0.05);
+        assert!((readout_delay_ps(RfDesign::HiPerRf, *g) - t34::READOUT_HIPERRF[i]).abs() < 0.05);
+        assert!((readout_delay_ps(RfDesign::DualBanked, *g) - t34::READOUT_DUAL[i]).abs() < 0.05);
+    }
+}
+
+#[test]
+fn table4_wire_delays() {
+    let g = RfGeometry::paper_32x32();
+    let designs = [RfDesign::NdroBaseline, RfDesign::HiPerRf, RfDesign::DualBanked];
+    for (d, paper) in designs.iter().zip(t34::READOUT_WIRES) {
+        assert!((readout_delay_with_wires_ps(*d, g) - paper).abs() < 0.1, "{d:?}");
+    }
+    let lb_hi = loopback_latency_ps(RfDesign::HiPerRf, g).expect("loopback exists");
+    let lb_dual = loopback_latency_ps(RfDesign::DualBanked, g).expect("loopback exists");
+    assert!(rel_err(lb_hi, t34::LOOPBACK_WIRES[0]) < 0.02);
+    assert!(rel_err(lb_dual, t34::LOOPBACK_WIRES[1]) < 0.02);
+}
+
+#[test]
+fn full_chip_reduction_matches_paper_band() {
+    let base = chip_budget(RfDesign::NdroBaseline);
+    let hi = chip_budget(RfDesign::HiPerRf);
+    assert_eq!(base.total_jj(), PAPER_BASELINE_CHIP_JJ);
+    let paper = 1.0 - PAPER_HIPERRF_CHIP_JJ as f64 / PAPER_BASELINE_CHIP_JJ as f64;
+    assert!((hi.reduction_vs(&base) - paper).abs() < 0.01);
+}
+
+#[test]
+fn figure14_shape_on_three_benchmarks() {
+    // A fast subset; the full suite runs in `cross_design_workloads`.
+    let rows: Vec<_> = suite()
+        .into_iter()
+        .filter(|w| ["towers", "429.mcf", "999.specrand"].contains(&w.name))
+        .map(|w| run_workload(&w))
+        .collect();
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        // Ordering per benchmark: HiPerRF > dual >= ideal >= ~0.
+        assert!(row.overhead[0] > row.overhead[1], "{row:?}");
+        assert!(row.overhead[1] >= row.overhead[2], "{row:?}");
+        assert!(row.overhead[2] > -0.005, "{row:?}");
+        // Baseline CPI in the paper's band (~30 gate cycles).
+        assert!(row.baseline_cpi > 15.0 && row.baseline_cpi < 45.0, "{row:?}");
+    }
+    let avg = average_overheads(&rows);
+    // Within a few points of the paper's averages.
+    assert!((avg[0] - PAPER_AVG_OVERHEAD[0]).abs() < 0.05, "HiPerRF avg {avg:?}");
+    assert!((avg[1] - PAPER_AVG_OVERHEAD[1]).abs() < 0.03, "dual avg {avg:?}");
+    assert!((avg[2] - PAPER_AVG_OVERHEAD[2]).abs() < 0.03, "ideal avg {avg:?}");
+}
+
+#[test]
+fn advantage_grows_with_register_count() {
+    let mut prev_saving = -1.0;
+    for regs in [4usize, 8, 16, 32, 64, 128, 256] {
+        let g = RfGeometry::new(regs, 32).expect("valid");
+        let saving =
+            1.0 - hiperrf_budget(g).jj_total() as f64 / ndro_rf_budget(g).jj_total() as f64;
+        assert!(saving > prev_saving, "saving must grow with size ({regs} regs)");
+        prev_saving = saving;
+    }
+    assert!(prev_saving > 0.59, "large files save ~60%: {prev_saving}");
+}

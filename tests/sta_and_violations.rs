@@ -1,0 +1,130 @@
+//! Static timing analysis over the real register-file netlists, and
+//! failure-injection tests proving the violation checkers catch bad
+//! timing (silence must mean correct, not unchecked).
+
+use std::collections::HashSet;
+
+use hiperrf::config::RfGeometry;
+use hiperrf::demux::{build_demux, sel_head_start};
+use hiperrf::hc_rf::build_hc_rf;
+use sfq_cells::builder::CircuitBuilder;
+use sfq_cells::sta::{arrival_times, StaError};
+use sfq_cells::storage::HcDro;
+use sfq_cells::timing::NDROC_PROP_PS;
+use sfq_sim::netlist::Pin;
+use sfq_sim::prelude::*;
+
+#[test]
+fn sta_confirms_demux_traverse_latency() {
+    // The enable path through an L-level NDROC tree is L x 24 ps; the STA
+    // over the built netlist must agree with the closed-form model.
+    for levels in 1..=5usize {
+        let mut b = CircuitBuilder::new();
+        let demux = build_demux(&mut b, levels);
+        let netlist = b.finish();
+        let times =
+            arrival_times(&netlist, &[demux.enable], &HashSet::new()).expect("demux is acyclic");
+        // The leaf NDROCs see the enable after (levels-1) stages; their
+        // outputs land one more stage later, so the critical arrival at a
+        // component input is (levels-1) * prop.
+        let expected = (levels as f64 - 1.0) * NDROC_PROP_PS;
+        let cp = times.critical_path_ps().expect("reachable");
+        assert!((cp - expected).abs() < 1e-9, "levels {levels}: cp {cp} vs {expected}");
+    }
+}
+
+#[test]
+fn sta_detects_hiperrf_loopback_cycle() {
+    // The HiPerRF netlist contains the loopback feedback; STA without a
+    // cut must refuse rather than loop or lie.
+    let mut b = CircuitBuilder::new();
+    let ports = build_hc_rf(&mut b, RfGeometry::paper_4x4());
+    let netlist = b.finish();
+    let err = arrival_times(&netlist, &[ports.read_enable], &HashSet::new()).unwrap_err();
+    assert!(matches!(err, StaError::UncutCycle { .. }));
+}
+
+#[test]
+fn sta_with_loopbuffer_cut_bounds_read_path() {
+    // Cutting at the LoopBuffer NDROs (the architectural loop-breaking
+    // point) makes the read path analyzable; its critical path must sit in
+    // the same band as the Table III model (which also counts the serial
+    // HC pulse tail that STA's single-pulse view does not see).
+    let g = RfGeometry::paper_4x4();
+    let mut b = CircuitBuilder::new();
+    let ports = build_hc_rf(&mut b, g);
+    let netlist = b.finish();
+    // Cut at every LoopBuffer NDRO: find them by census walk (kind ndro).
+    let cuts: HashSet<_> = netlist
+        .iter()
+        .filter(|(_, _, c)| c.kind() == "ndro")
+        .map(|(id, _, _)| id)
+        .collect();
+    let times = arrival_times(&netlist, &[ports.read_enable], &cuts).expect("cut breaks the loop");
+    let cp = times.critical_path_ps().expect("read path reachable");
+    let model = hiperrf::delay::readout_delay_ps(hiperrf::delay::RfDesign::HiPerRf, g);
+    assert!(cp > 0.3 * model && cp < 1.2 * model, "sta {cp} vs model {model}");
+}
+
+#[test]
+fn injected_fast_enables_trip_the_rearm_checker() {
+    // Drive a demux with enables closer than the 53 ps re-arm interval:
+    // the NDROC checker must flag every early enable.
+    let mut b = CircuitBuilder::new();
+    let demux = build_demux(&mut b, 2);
+    let mut sim = Simulator::new(b.finish());
+    demux.select_and_fire(&mut sim, 1, Time::from_ps(0.0), Time::from_ps(20.0));
+    sim.run();
+    // Second enable only 30 ps later — below NDROC_REARM_PS.
+    sim.inject(demux.enable, sim.now() + Duration::from_ps(5.0));
+    sim.run();
+    assert!(
+        sim.violations().iter().any(|v| v.kind == "re-arm"),
+        "expected a re-arm violation, got {:?}",
+        sim.violations()
+    );
+}
+
+#[test]
+fn injected_fast_writes_trip_the_hold_checker() {
+    let mut b = CircuitBuilder::new();
+    let cell = b.hcdro();
+    let mut sim = Simulator::new(b.finish());
+    // Three pulses 4 ps apart: two hold violations.
+    for k in 0..3 {
+        sim.inject(Pin::new(cell, HcDro::D), Time::from_ps(4.0 * k as f64));
+    }
+    sim.run();
+    let holds = sim.violations().iter().filter(|v| v.kind == "hold").count();
+    assert_eq!(holds, 2);
+    // The fluxons still landed (marginal but counted).
+    assert_eq!(sim.netlist().component(cell).stored(), Some(3));
+}
+
+#[test]
+fn clean_operations_record_no_violations() {
+    // The inverse of the injection tests: a full legal op sequence on the
+    // structural HiPerRF must end with an empty violation log.
+    let mut rf = hiperrf::HiPerRf::new(RfGeometry::paper_16x16());
+    for r in 0..16 {
+        rf.write(r, (r as u64).wrapping_mul(0x2f) & 0xffff);
+    }
+    for r in 0..16 {
+        let _ = rf.read(r);
+    }
+    assert!(rf.violations().is_empty(), "{:?}", rf.violations());
+}
+
+#[test]
+fn demux_head_start_is_sufficient_at_every_depth() {
+    // The driver's select head start must beat the enable to the deepest
+    // level; otherwise selection bits arrive late and reads mis-route.
+    for levels in 1..=5usize {
+        let hs = sel_head_start(levels);
+        // Deepest SEL fan: ~(levels + 2) splitter stages at 3 ps.
+        // Enable reaches the deepest level after (levels-1) x 24 ps + hs.
+        let sel_arrival = hs.as_ps() - 1.0; // injected at op start
+        let _ = sel_arrival;
+        assert!(hs.as_ps() > 3.0 * levels as f64, "levels {levels}");
+    }
+}
