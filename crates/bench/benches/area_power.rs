@@ -1,58 +1,34 @@
-//! Criterion bench: Table I / Table II generation.
+//! Micro-bench: Table I / Table II generation.
 //!
 //! Measures the closed-form budget computation and the structural netlist
 //! census that validates it — the machinery behind the paper's JJ-count
 //! and static-power tables.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hiperrf::budget::{dual_banked_budget, hiperrf_budget, ndro_rf_budget};
 use hiperrf::config::RfGeometry;
 use hiperrf::hiperrf_rf::HiPerRf;
-use sfq_cells::Census;
+use hiperrf_bench::microbench::{bench, group};
 use std::hint::black_box;
 
-fn budgets(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_budgets");
+fn main() {
+    group("table1_budgets");
     for geometry in RfGeometry::paper_sizes() {
-        group.bench_with_input(
-            BenchmarkId::new("all_designs", geometry.to_string()),
-            &geometry,
-            |b, &g| {
-                b.iter(|| {
-                    let a = ndro_rf_budget(black_box(g)).jj_total();
-                    let h = hiperrf_budget(black_box(g)).jj_total();
-                    let d = dual_banked_budget(black_box(g)).jj_total();
-                    black_box((a, h, d))
-                })
-            },
-        );
+        bench(&format!("all_designs/{geometry}"), || {
+            let a = ndro_rf_budget(black_box(geometry)).jj_total();
+            let h = hiperrf_budget(black_box(geometry)).jj_total();
+            let d = dual_banked_budget(black_box(geometry)).jj_total();
+            (a, h, d)
+        });
     }
-    group.finish();
-}
 
-fn structural_census(c: &mut Criterion) {
-    let mut group = c.benchmark_group("structural_census");
-    group.sample_size(10);
+    group("structural_census");
     for geometry in [RfGeometry::paper_4x4(), RfGeometry::paper_16x16()] {
-        group.bench_with_input(
-            BenchmarkId::new("build_and_census", geometry.to_string()),
-            &geometry,
-            |b, &g| {
-                b.iter(|| {
-                    let rf = HiPerRf::new(black_box(g));
-                    black_box(rf.census().jj_total())
-                })
-            },
-        );
+        bench(&format!("build_and_census/{geometry}"), || {
+            let rf = HiPerRf::new(black_box(geometry));
+            rf.census().jj_total()
+        });
     }
     // Census alone over a prebuilt 32×32 netlist.
     let rf = HiPerRf::new(RfGeometry::paper_32x32());
-    group.bench_function("census_only_32x32", |b| {
-        b.iter(|| black_box(rf.census().jj_total()))
-    });
-    let _ = Census::default();
-    group.finish();
+    bench("census_only_32x32", || rf.census().jj_total());
 }
-
-criterion_group!(benches, budgets, structural_census);
-criterion_main!(benches);

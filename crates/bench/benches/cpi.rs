@@ -1,47 +1,31 @@
-//! Criterion bench: Figure 14 generation.
+//! Micro-bench: Figure 14 generation.
 //!
 //! Measures the gate-level pipeline simulator's throughput per register-
 //! file design on representative workloads, and a full single-benchmark
 //! Figure 14 column.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hiperrf::delay::RfDesign;
 use hiperrf_bench::figure14::run_workload;
+use hiperrf_bench::microbench::{bench, group};
 use sfq_cpu::{GateLevelCpu, PipelineConfig};
 use sfq_riscv::asm::assemble;
 use sfq_workloads::kernels::{spec_like::specrand, towers::towers, vector::vvadd};
 use std::hint::black_box;
 
-fn pipeline_per_design(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_sim");
+fn main() {
+    group("pipeline_sim");
     let w = towers();
     let prog = assemble(&w.source, 0).expect("assembles");
     for design in RfDesign::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("towers", format!("{design:?}")),
-            &design,
-            |b, &d| {
-                b.iter(|| {
-                    let mut cpu = GateLevelCpu::new(d, PipelineConfig::sodor());
-                    let out = cpu.run(black_box(&prog), w.mem_size, w.budget).expect("runs");
-                    black_box(out.stats.cpi())
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn figure14_columns(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure14_column");
-    group.sample_size(10);
-    for w in [vvadd(), specrand()] {
-        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
-            b.iter(|| black_box(run_workload(w)))
+        bench(&format!("towers/{design:?}"), || {
+            let mut cpu = GateLevelCpu::new(design, PipelineConfig::sodor());
+            let out = cpu.run(black_box(&prog), w.mem_size, w.budget).expect("runs");
+            out.stats.cpi()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, pipeline_per_design, figure14_columns);
-criterion_main!(benches);
+    group("figure14_column");
+    for w in [vvadd(), specrand()] {
+        bench(w.name, || black_box(run_workload(&w)));
+    }
+}

@@ -1,67 +1,54 @@
-//! Criterion bench: the pulse-level structural register files.
+//! Micro-bench: the pulse-level structural register files.
 //!
 //! Measures event-simulation throughput for the operations behind the
 //! paper's functional verification: restoring reads on HiPerRF (the
 //! loopback mechanism), baseline NDRO reads, and HC round trips.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hiperrf::banked::DualBankRf;
 use hiperrf::config::RfGeometry;
 use hiperrf::hiperrf_rf::HiPerRf;
 use hiperrf::ndro_rf::NdroRf;
+use hiperrf_bench::microbench::{bench, group};
 use std::hint::black_box;
 
-fn hiperrf_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hiperrf_structural");
-    group.sample_size(20);
-    group.bench_function("restoring_read_4x4", |b| {
+fn main() {
+    group("hiperrf_structural");
+    {
         let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
         rf.write(2, 0b1010);
-        b.iter(|| black_box(rf.read(2)))
-    });
-    group.bench_function("write_4x4", |b| {
+        bench("restoring_read_4x4", || black_box(rf.read(2)));
+    }
+    {
         let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
         let mut v = 0u64;
-        b.iter(|| {
+        bench("write_4x4", || {
             v = (v + 1) & 0xf;
             rf.write(1, black_box(v));
-        })
-    });
-    group.bench_function("restoring_read_16x16", |b| {
+        });
+    }
+    {
         let mut rf = HiPerRf::new(RfGeometry::paper_16x16());
         rf.write(7, 0xabcd);
-        b.iter(|| black_box(rf.read(7)))
-    });
-    group.finish();
-}
+        bench("restoring_read_16x16", || black_box(rf.read(7)));
+    }
 
-fn baseline_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ndro_structural");
-    group.sample_size(20);
-    group.bench_function("read_4x4", |b| {
+    group("ndro_structural");
+    {
         let mut rf = NdroRf::new(RfGeometry::paper_4x4());
         rf.write(2, 0b0110);
-        b.iter(|| black_box(rf.read(2)))
-    });
-    group.bench_function("read_16x16", |b| {
+        bench("read_4x4", || black_box(rf.read(2)));
+    }
+    {
         let mut rf = NdroRf::new(RfGeometry::paper_16x16());
         rf.write(9, 0x1234);
-        b.iter(|| black_box(rf.read(9)))
-    });
-    group.finish();
-}
+        bench("read_16x16", || black_box(rf.read(9)));
+    }
 
-fn banked_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dual_banked_structural");
-    group.sample_size(20);
-    group.bench_function("read_pair_4x4", |b| {
+    group("dual_banked_structural");
+    {
         let mut rf = DualBankRf::new(RfGeometry::paper_4x4());
         rf.write(2, 0b0011);
         rf.write(3, 0b1100);
-        b.iter(|| black_box(rf.read_pair(3, 2)))
-    });
-    group.finish();
+        bench("read_pair_4x4", || black_box(rf.read_pair(3, 2)));
+    }
 }
-
-criterion_group!(benches, hiperrf_ops, baseline_ops, banked_ops);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion bench: the RISC-V toolchain substrate (assembler, codec,
+//! Micro-bench: the RISC-V toolchain substrate (assembler, codec,
 //! functional executor) and the event-driven pulse simulator kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hiperrf_bench::microbench::bench;
 use sfq_cells::builder::CircuitBuilder;
 use sfq_cells::composite::build_hc_clk;
 use sfq_riscv::asm::assemble;
@@ -13,56 +13,36 @@ use sfq_sim::prelude::*;
 use sfq_workloads::kernels::sort::qsort;
 use std::hint::black_box;
 
-fn assembler(c: &mut Criterion) {
+fn main() {
     let w = qsort();
-    c.bench_function("assemble_qsort", |b| {
-        b.iter(|| black_box(assemble(black_box(&w.source), 0).expect("assembles")))
-    });
-}
+    bench("assemble_qsort", || assemble(black_box(&w.source), 0).expect("assembles"));
 
-fn codec(c: &mut Criterion) {
-    let w = qsort();
     let prog = assemble(&w.source, 0).expect("assembles");
     // Only true instruction words round-trip; data words may not decode.
     let words: Vec<u32> = prog.words.iter().copied().filter(|&w| decode(w).is_ok()).collect();
-    c.bench_function("decode_encode_round_trip", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for &w in &words {
-                acc ^= encode(decode(black_box(w)).expect("decodes"));
-            }
-            black_box(acc)
-        })
+    bench("decode_encode_round_trip", || {
+        let mut acc = 0u32;
+        for &w in &words {
+            acc ^= encode(decode(black_box(w)).expect("decodes"));
+        }
+        acc
+    });
+
+    bench("functional_qsort", || {
+        let mut mem = Memory::new(w.mem_size);
+        mem.load_image(prog.base, &prog.words);
+        let mut cpu = Cpu::new(0);
+        cpu.run(&mut mem, w.budget).expect("runs")
+    });
+
+    let mut builder = CircuitBuilder::new();
+    let ports = build_hc_clk(&mut builder);
+    let mut sim = Simulator::new(builder.finish());
+    let mut t = Time::from_ps(10.0);
+    bench("hc_clk_pulse_tripling", || {
+        sim.inject(ports.input, t);
+        let stats = sim.run();
+        t = sim.now() + Duration::from_ps(100.0);
+        stats.emitted
     });
 }
-
-fn functional_exec(c: &mut Criterion) {
-    let w = qsort();
-    let prog = assemble(&w.source, 0).expect("assembles");
-    c.bench_function("functional_qsort", |b| {
-        b.iter(|| {
-            let mut mem = Memory::new(w.mem_size);
-            mem.load_image(prog.base, &prog.words);
-            let mut cpu = Cpu::new(0);
-            black_box(cpu.run(&mut mem, w.budget).expect("runs"))
-        })
-    });
-}
-
-fn pulse_kernel(c: &mut Criterion) {
-    c.bench_function("hc_clk_pulse_tripling", |b| {
-        let mut builder = CircuitBuilder::new();
-        let ports = build_hc_clk(&mut builder);
-        let mut sim = Simulator::new(builder.finish());
-        let mut t = Time::from_ps(10.0);
-        b.iter(|| {
-            sim.inject(ports.input, t);
-            let stats = sim.run();
-            t = sim.now() + Duration::from_ps(100.0);
-            black_box(stats.emitted)
-        })
-    });
-}
-
-criterion_group!(benches, assembler, codec, functional_exec, pulse_kernel);
-criterion_main!(benches);

@@ -59,7 +59,7 @@ pub fn margins_report() -> String {
         w.width_ps()
     );
     for jitter in [2.0, 6.0, 12.0, 24.0] {
-        let r = monte_carlo_jitter(g, jitter, 40);
+        let r = monte_carlo_jitter(g, jitter, 40, 0x5f0a);
         let _ = writeln!(
             out,
             "uniform ±{jitter:>4.1} ps injection jitter: {:>5.1}% of writes land correctly",

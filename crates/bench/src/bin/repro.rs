@@ -10,8 +10,12 @@
 //! repro figure15     Loopback-path placement report (Fig. 15 stand-in)
 //! repro timing       Control timing diagrams (Figs. 8, 11, 12)
 //! repro ablations    Design-space ablations beyond the paper
+//! repro margins      Variation-aware margin tables + yield curves
+//! repro faults       Fault-injection demonstrations
 //! repro all          Everything above, in order
 //! ```
+//!
+//! `margins` and `faults` accept `--smoke` for the fast CI path.
 
 use hiperrf::budget::{hiperrf_budget, ndro_rf_budget};
 use hiperrf::config::RfGeometry;
@@ -24,6 +28,7 @@ use hiperrf_bench::figure14::{average_overheads, figure14, render as render_fig1
 use hiperrf_bench::reports::{
     budget_breakdown_report, render_table1, render_table2, render_table3, table4_report,
 };
+use hiperrf_bench::robustness::{faults_report, margins_table};
 use hiperrf_bench::timing_diagrams::all_diagrams;
 use sfq_cells::spec::CellKind;
 use sfq_chip::pnr;
@@ -180,7 +185,7 @@ fn ablations_report() -> String {
     out
 }
 
-fn run(section: &str) -> bool {
+fn run(section: &str, smoke: bool) -> bool {
     match section {
         "table1" => print!("{}", render_table1()),
         "table2" => print!("{}", render_table2()),
@@ -202,13 +207,15 @@ fn run(section: &str) -> bool {
         "figure15" => print!("{}", figure15_report()),
         "timing" => print!("{}", all_diagrams()),
         "ablations" => print!("{}", ablations_report()),
+        "margins" => print!("{}", margins_table(smoke)),
+        "faults" => print!("{}", faults_report(smoke)),
         "all" => {
             for s in [
                 "table1", "table2", "table3", "table4", "budget", "figure14", "chip",
-                "figure15", "timing", "ablations",
+                "figure15", "timing", "ablations", "margins", "faults",
             ]
             {
-                run(s);
+                run(s, smoke);
                 println!();
             }
         }
@@ -218,11 +225,15 @@ fn run(section: &str) -> bool {
 }
 
 fn main() {
-    let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    if !run(&section) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let section =
+        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
+    if !run(&section, smoke) {
         eprintln!(
             "unknown section `{section}`; expected one of: table1 table2 table3 table4 \
-             budget figure14 chip figure15 timing ablations all"
+             budget figure14 chip figure15 timing ablations margins faults all \
+             (margins/faults accept --smoke)"
         );
         std::process::exit(2);
     }

@@ -1,15 +1,19 @@
 //! # hiperrf-bench — reproduction harness for every table and figure
 //!
 //! The `repro` binary regenerates the paper's evaluation artifacts
-//! (Tables I–IV, Figure 14, the full-chip result, and the Fig. 15
-//! loopback report); the Criterion benches under `benches/` measure the
-//! simulator substrate itself. This library holds the shared report
+//! (Tables I–IV, Figure 14, the full-chip result, the Fig. 15 loopback
+//! report, and the robustness margin/fault reports); the dependency-free
+//! micro-benches under `benches/` (non-default `bench` feature) measure
+//! the simulator substrate itself. This library holds the shared report
 //! builders so the binary, the benches, and the integration tests all
 //! compute tables the same way.
 
 pub mod ablations;
 pub mod figure14;
+#[cfg(feature = "bench")]
+pub mod microbench;
 pub mod reports;
+pub mod robustness;
 pub mod timing_diagrams;
 
 pub use figure14::{figure14, Figure14Row};

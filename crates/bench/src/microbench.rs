@@ -1,0 +1,62 @@
+//! Dependency-free micro-benchmark harness (non-default `bench` feature).
+//!
+//! The workspace builds offline, so instead of criterion the benches under
+//! `benches/` use this ~40-line `std::time` harness: calibrate a batch
+//! size until one batch takes long enough to time reliably, then keep the
+//! best of a few batches (the minimum is the least noisy estimator for a
+//! deterministic workload). Run with
+//! `cargo bench -p hiperrf-bench --features bench`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Smallest batch duration we trust `Instant` to time (well above timer
+/// granularity on every platform the workspace targets).
+const MIN_BATCH: Duration = Duration::from_millis(20);
+
+/// Batches measured after calibration; the best one is reported.
+const BATCHES: u32 = 3;
+
+/// Measures `f` and prints one aligned result line.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let mut iters: u64 = 1;
+    let mut elapsed = run_batch(iters, &mut f);
+    // Double the batch until it is long enough to time; the cap keeps a
+    // sub-nanosecond body from calibrating forever.
+    while elapsed < MIN_BATCH && iters < 1 << 24 {
+        iters *= 2;
+        elapsed = run_batch(iters, &mut f);
+    }
+    let mut best = elapsed;
+    for _ in 1..BATCHES {
+        best = best.min(run_batch(iters, &mut f));
+    }
+    let per_iter = best.as_secs_f64() / iters as f64;
+    println!("{name:<48} {:>12}/iter  ({iters} iters/batch)", format_secs(per_iter));
+}
+
+fn run_batch<T>(iters: u64, f: &mut impl FnMut() -> T) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed()
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Prints a section header so multi-group benches read like the old
+/// criterion output.
+pub fn group(title: &str) {
+    println!("\n-- {title} --");
+}

@@ -12,7 +12,7 @@ use sfq_sim::netlist::{ComponentId, Netlist, Pin};
 use sfq_sim::time::Duration;
 
 use crate::counter::CounterBit;
-use crate::logic::{AndGate, Dand, NotGate};
+use crate::logic::{AndGate, Dand, NotGate, SyncSampler};
 use crate::storage::{Dro, HcDro, Ndro, Ndroc};
 use crate::transport::{Jtl, Merger, Splitter};
 
@@ -139,6 +139,11 @@ impl CircuitBuilder {
     /// Adds a clocked NOT gate.
     pub fn not_gate(&mut self) -> ComponentId {
         self.add("not", Box::new(NotGate::new()))
+    }
+
+    /// Adds a clocked sampling element (margin-engine reference cell).
+    pub fn sync_sampler(&mut self) -> ComponentId {
+        self.add("sync", Box::new(SyncSampler::new()))
     }
 
     /// Adds a counter bit.

@@ -9,7 +9,7 @@
 use sfq_sim::component::{Component, PulseContext};
 use sfq_sim::time::{Duration, Time};
 
-use crate::timing::{DAND_DELAY_PS, DAND_WINDOW_PS};
+use crate::timing::{DAND_DELAY_PS, DAND_WINDOW_PS, SYNC_HOLD_PS, SYNC_SETUP_PS, SYNC_TRACK_PS};
 
 /// Per-gate propagation delay of clocked gates (CLK → OUT), ps.
 pub const CLOCKED_GATE_DELAY_PS: f64 = 6.0;
@@ -207,6 +207,97 @@ impl Component for XorGate {
     }
 }
 
+/// Clocked sampling element — the margin engine's *clocked baseline*
+/// reference for the §II-D comparison.
+///
+/// Pins: input `D = 0`, `CLK = 1`; output `OUT = 0`.
+///
+/// Models the timing discipline of a globally-clocked capture point: a data
+/// pulse is sampled by a clock pulse iff it arrives at least
+/// [`SYNC_SETUP_PS`] before the edge and no more than
+/// [`SYNC_SETUP_PS`]` + `[`SYNC_TRACK_PS`] before it (dynamic retention —
+/// a generic clocked sampler holds its input for only a few ps, unlike the
+/// DAND whose engineered 8 ps hold window is what makes the clock-less
+/// port possible). Data falling inside the setup/hold aperture around the
+/// edge records a `setup` violation (metastable capture); under the
+/// `Degrade` policy the capture produces nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SyncSampler {
+    pending_d: Option<Time>,
+    last_clk: Option<Time>,
+}
+
+impl SyncSampler {
+    /// Data input pin.
+    pub const D: u8 = 0;
+    /// Clock input pin.
+    pub const CLK: u8 = 1;
+    /// Output pin.
+    pub const OUT: u8 = 0;
+
+    /// Creates an idle sampler.
+    pub fn new() -> Self {
+        SyncSampler::default()
+    }
+}
+
+impl Component for SyncSampler {
+    fn kind(&self) -> &'static str {
+        "sync"
+    }
+
+    fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+        match pin {
+            Self::D => {
+                if let Some(tc) = self.last_clk {
+                    // Data racing in just after an edge is a hold upset.
+                    if now.abs_diff(tc) <= Duration::from_ps(SYNC_HOLD_PS)
+                        && ctx.violation_degrades(
+                            now,
+                            "setup",
+                            format!("data {} after the clock edge, hold is {SYNC_HOLD_PS}ps",
+                                now.abs_diff(tc)),
+                        )
+                    {
+                        return; // degraded: the racing pulse is destroyed
+                    }
+                }
+                self.pending_d = Some(now);
+            }
+            Self::CLK => {
+                self.last_clk = Some(now);
+                if let Some(td) = self.pending_d.take() {
+                    let lead = now.abs_diff(td);
+                    if lead < Duration::from_ps(SYNC_SETUP_PS) {
+                        // Inside the aperture: metastable capture.
+                        if ctx.violation_degrades(
+                            now,
+                            "setup",
+                            format!("data leads the clock by {lead}, setup is {SYNC_SETUP_PS}ps"),
+                        ) {
+                            return; // degraded: no clean output forms
+                        }
+                    } else if lead > Duration::from_ps(SYNC_SETUP_PS + SYNC_TRACK_PS) {
+                        // Dynamic retention expired; the datum decayed.
+                        return;
+                    }
+                    ctx.emit_after(Self::OUT, now, Duration::from_ps(CLOCKED_GATE_DELAY_PS));
+                }
+            }
+            other => ctx.violation(now, "pin", format!("sync has no input pin {other}")),
+        }
+    }
+
+    fn power_on_reset(&mut self) {
+        self.pending_d = None;
+        self.last_clk = None;
+    }
+
+    fn propagation_delay(&self) -> Option<Duration> {
+        Some(Duration::from_ps(CLOCKED_GATE_DELAY_PS))
+    }
+}
+
 /// Clocked NOT gate: emits on CLK iff no input pulse was latched
 /// (costs 10 JJs, paper §III-A).
 ///
@@ -358,6 +449,49 @@ mod tests {
         sim.run();
         assert_eq!(sim.probe_trace(p).len(), 1);
         assert_eq!(sim.probe_trace(p).pulses()[0], Time::from_ps(10.0 + CLOCKED_GATE_DELAY_PS));
+    }
+
+    #[test]
+    fn sync_sampler_captures_in_its_window() {
+        let (mut sim, id) = single(Box::new(SyncSampler::new()));
+        let p = sim.probe(Pin::new(id, SyncSampler::OUT), "out");
+        // Data 5 ps before the edge: inside [setup, setup+track] = [3, 7].
+        sim.inject(Pin::new(id, SyncSampler::D), Time::from_ps(10.0));
+        sim.inject(Pin::new(id, SyncSampler::CLK), Time::from_ps(15.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 1);
+        assert!(sim.violations().is_empty());
+    }
+
+    #[test]
+    fn sync_sampler_misses_stale_data() {
+        let (mut sim, id) = single(Box::new(SyncSampler::new()));
+        let p = sim.probe(Pin::new(id, SyncSampler::OUT), "out");
+        // Data 12 ps before the edge: dynamic retention (7 ps) expired.
+        sim.inject(Pin::new(id, SyncSampler::D), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, SyncSampler::CLK), Time::from_ps(12.0));
+        sim.run();
+        assert!(sim.probe_trace(p).is_empty());
+        assert!(sim.violations().is_empty(), "a decayed datum is a miss, not a violation");
+    }
+
+    #[test]
+    fn sync_sampler_setup_violation_degrades_to_nothing() {
+        use sfq_sim::violation::ViolationPolicy;
+        for (policy, expect_out) in
+            [(ViolationPolicy::Record, 1), (ViolationPolicy::Degrade, 0)]
+        {
+            let (mut sim, id) = single(Box::new(SyncSampler::new()));
+            sim.set_violation_policy(policy);
+            let p = sim.probe(Pin::new(id, SyncSampler::OUT), "out");
+            // Data only 1 ps before the edge: inside the 3 ps setup aperture.
+            sim.inject(Pin::new(id, SyncSampler::D), Time::from_ps(10.0));
+            sim.inject(Pin::new(id, SyncSampler::CLK), Time::from_ps(11.0));
+            sim.run();
+            assert_eq!(sim.violations().len(), 1, "{policy:?}");
+            assert_eq!(sim.violations()[0].kind, "setup");
+            assert_eq!(sim.probe_trace(p).len(), expect_out, "{policy:?}");
+        }
     }
 
     #[test]

@@ -15,7 +15,8 @@ use sfq_sim::component::{Component, PulseContext};
 use sfq_sim::time::{Duration, Time};
 
 use crate::timing::{
-    DRO_CLK_TO_OUT_PS, HCDRO_CAPACITY, HCDRO_CLK_TO_OUT_PS, HCDRO_PULSE_SEP_PS, NDRO_CLK_TO_OUT_PS,
+    DRO_CLK_TO_OUT_PS, HCDRO_CAPACITY, HCDRO_CLK_TO_OUT_PS, HCDRO_HARD_SEP_PS, HCDRO_PULSE_SEP_PS,
+    NDRO_CLK_TO_OUT_PS,
     NDROC_PROP_PS, NDROC_REARM_PS,
 };
 
@@ -83,7 +84,10 @@ impl Component for Dro {
 ///
 /// Successive pulses on either input must be separated by at least the
 /// HC-DRO setup/hold window (10 ps); closer spacing records a timing
-/// violation (the pulse is still counted, modelling marginal operation).
+/// violation. Under [`ViolationPolicy::Record`](sfq_sim::violation::ViolationPolicy)
+/// the pulse is still counted (marginal operation); under `Degrade` the
+/// offending pulse is lost in the storage loop — a write does not add its
+/// fluxon and a read does not pop one.
 #[derive(Debug, Clone)]
 pub struct HcDro {
     count: u8,
@@ -121,18 +125,35 @@ impl HcDro {
         self.capacity
     }
 
-    fn check_sep(last: &mut Option<Time>, now: Time, what: &str, ctx: &mut PulseContext<'_>) {
+    /// Checks inter-pulse spacing; returns `true` if the pulse must be
+    /// dropped (violation under the `Degrade` policy).
+    fn check_sep(last: &mut Option<Time>, now: Time, what: &str, ctx: &mut PulseContext<'_>) -> bool {
+        let mut degrade = false;
         if let Some(prev) = *last {
             let sep = now.abs_diff(prev);
             if sep < Duration::from_ps(HCDRO_PULSE_SEP_PS) {
-                ctx.violation(
-                    now,
-                    "hold",
-                    format!("hc-dro {what} pulses {sep} apart, need {HCDRO_PULSE_SEP_PS}ps"),
-                );
+                // Design-rule separation violated; the pulse is only
+                // physically lost once the guard band is exhausted too.
+                if sep < Duration::from_ps(HCDRO_HARD_SEP_PS) {
+                    degrade = ctx.violation_degrades(
+                        now,
+                        "hold",
+                        format!("hc-dro {what} pulses {sep} apart, need {HCDRO_PULSE_SEP_PS}ps"),
+                    );
+                } else {
+                    ctx.violation(
+                        now,
+                        "hold",
+                        format!(
+                            "hc-dro {what} pulses {sep} apart inside the design-rule \
+                             {HCDRO_PULSE_SEP_PS}ps (guard band holds)"
+                        ),
+                    );
+                }
             }
         }
         *last = Some(now);
+        degrade
     }
 }
 
@@ -150,13 +171,17 @@ impl Component for HcDro {
     fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
         match pin {
             Self::D => {
-                Self::check_sep(&mut self.last_d, now, "write", ctx);
+                if Self::check_sep(&mut self.last_d, now, "write", ctx) {
+                    return; // degraded: the fluxon is lost in the junction
+                }
                 if self.count < self.capacity {
                     self.count += 1;
                 } // else: dissipated, the loop is full.
             }
             Self::CLK => {
-                Self::check_sep(&mut self.last_clk, now, "read", ctx);
+                if Self::check_sep(&mut self.last_clk, now, "read", ctx) {
+                    return; // degraded: nothing pops
+                }
                 if self.count > 0 {
                     self.count -= 1;
                     ctx.emit_after(Self::Q, now, Duration::from_ps(HCDRO_CLK_TO_OUT_PS));
@@ -250,6 +275,9 @@ impl Component for Ndro {
 ///
 /// Successive CLK (enable) pulses must be at least the re-arm time apart
 /// (53 ps, paper §III-E); closer spacing records a `re-arm` violation.
+/// Under the `Degrade` policy the not-yet-re-armed cell routes the enable
+/// to *neither* output — the pulse vanishes rather than misroutes, which is
+/// what the un-recovered junctions of a real NDROC do.
 #[derive(Debug, Clone, Default)]
 pub struct Ndroc {
     stored: bool,
@@ -286,12 +314,18 @@ impl Component for Ndroc {
             Self::CLK => {
                 if let Some(prev) = self.last_clk {
                     let sep = now.abs_diff(prev);
-                    if sep < Duration::from_ps(NDROC_REARM_PS) {
-                        ctx.violation(
+                    if sep < Duration::from_ps(NDROC_REARM_PS)
+                        && ctx.violation_degrades(
                             now,
                             "re-arm",
                             format!("ndroc enables {sep} apart, need {NDROC_REARM_PS}ps"),
-                        );
+                        )
+                    {
+                        // Degraded: the enable is lost in the un-recovered
+                        // junctions; it routes to neither output. The cell
+                        // still saw the pulse for re-arm bookkeeping.
+                        self.last_clk = Some(now);
+                        return;
                     }
                 }
                 self.last_clk = Some(now);
@@ -476,6 +510,54 @@ mod tests {
         sim.run();
         // Two selected reads, third goes to the complement.
         assert_eq!(sim.probe_trace(p0).len(), 2);
+    }
+
+    #[test]
+    fn hcdro_degrade_loses_the_close_fluxon() {
+        use sfq_sim::violation::ViolationPolicy;
+        let (mut sim, id) = single(Box::new(HcDro::new()));
+        sim.set_violation_policy(ViolationPolicy::Degrade);
+        sim.inject(Pin::new(id, HcDro::D), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, HcDro::D), Time::from_ps(4.0)); // violates, lost
+        sim.inject(Pin::new(id, HcDro::D), Time::from_ps(20.0));
+        sim.run();
+        assert_eq!(sim.violations().len(), 1);
+        assert_eq!(sim.netlist().component(id).stored(), Some(2), "middle fluxon lost");
+        assert_eq!(sim.degraded_drops(), 1);
+    }
+
+    #[test]
+    fn hcdro_degrade_read_pops_nothing() {
+        use sfq_sim::violation::ViolationPolicy;
+        let (mut sim, id) = single(Box::new(HcDro::new()));
+        sim.set_violation_policy(ViolationPolicy::Degrade);
+        let p = sim.probe(Pin::new(id, HcDro::Q), "q");
+        sim.inject(Pin::new(id, HcDro::D), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, HcDro::D), Time::from_ps(10.0));
+        sim.inject(Pin::new(id, HcDro::CLK), Time::from_ps(100.0));
+        sim.inject(Pin::new(id, HcDro::CLK), Time::from_ps(104.0)); // violates, lost
+        sim.run();
+        assert_eq!(sim.probe_trace(p).len(), 1, "violated pop emits nothing");
+        assert_eq!(sim.netlist().component(id).stored(), Some(1), "count untouched");
+    }
+
+    #[test]
+    fn ndroc_degrade_routes_to_neither_output() {
+        use sfq_sim::violation::ViolationPolicy;
+        let (mut sim, id) = single(Box::new(Ndroc::new()));
+        sim.set_violation_policy(ViolationPolicy::Degrade);
+        let p0 = sim.probe(Pin::new(id, Ndroc::OUT0), "o0");
+        let p1 = sim.probe(Pin::new(id, Ndroc::OUT1), "o1");
+        sim.inject(Pin::new(id, Ndroc::SET), Time::from_ps(0.0));
+        sim.inject(Pin::new(id, Ndroc::CLK), Time::from_ps(10.0));
+        sim.inject(Pin::new(id, Ndroc::CLK), Time::from_ps(40.0)); // 30 ps < 53 ps
+        sim.run();
+        assert_eq!(sim.violations().len(), 1);
+        assert_eq!(sim.violations()[0].kind, "re-arm");
+        // The violated enable is *dropped*, not misrouted: exactly one
+        // pulse total, from the first (clean) enable.
+        assert_eq!(sim.probe_trace(p0).len(), 1);
+        assert_eq!(sim.probe_trace(p1).len(), 0);
     }
 
     #[test]

@@ -53,6 +53,13 @@ pub const HCDRO_CLK_TO_OUT_PS: f64 = 5.0;
 pub const HCDRO_PULSE_SEP_PS: f64 = 10.0;
 /// Maximum fluxons a 2-bit HC-DRO cell can hold (paper §II-D).
 pub const HCDRO_CAPACITY: u8 = 3;
+/// Physical misbehavior threshold of the HC-DRO (ps): below this
+/// separation a pulse is actually lost in the junctions. Not printed in
+/// the paper — inferred. [`HCDRO_PULSE_SEP_PS`] is the *design-rule*
+/// separation (the spacing the HC-CLK/HC-WRITE serializers generate); the
+/// gap between the two is the cell's guard band, which is what the margin
+/// engine's delay-variation sweeps consume before data is corrupted.
+pub const HCDRO_HARD_SEP_PS: f64 = 7.0;
 
 /// Dynamic-AND coincidence window: both inputs must arrive within this hold
 /// window for an output pulse (paper §III-C, \[13\]).
@@ -63,6 +70,25 @@ pub const DAND_DELAY_PS: f64 = 4.0;
 /// Critical time from a register RESET pulse to the first data pulse on its
 /// input (paper §III-E).
 pub const RESET_TO_WRITE_PS: f64 = 10.0;
+
+/// Clocked sampling element: minimum data-before-clock setup time (ps).
+///
+/// Not printed in the paper; inferred as typical of RSFQ clocked-gate
+/// apertures (a few ps) from behavioral SFQ gate-modeling practice. Used
+/// only by the margin engine's *clocked baseline* reference port — the
+/// discipline a globally-clocked write port must meet, against which the
+/// clock-less DAND window (§II-D) is compared.
+pub const SYNC_SETUP_PS: f64 = 3.0;
+/// Clocked sampling element: dynamic tracking window (ps) — how much
+/// earlier than `clk - SYNC_SETUP_PS` the data pulse may arrive and still
+/// be sampled. Unlike the DAND, whose \[13\] design engineers a wide 8 ps
+/// hold window precisely so the port can be clock-less, a generic clocked
+/// sampler retains its input for only a few ps.
+pub const SYNC_TRACK_PS: f64 = 4.0;
+/// Clocked sampling element: hold margin after the clock edge (ps). Data
+/// arriving inside `(clk - SYNC_SETUP_PS, clk + SYNC_HOLD_PS]` is a setup
+/// violation (metastable capture).
+pub const SYNC_HOLD_PS: f64 = 2.0;
 
 /// Counter bit (T-flip-flop based, used by HC-READ) toggle → carry delay.
 pub const COUNTER_CARRY_PS: f64 = 4.0;

@@ -12,10 +12,11 @@
 
 use sfq_cells::transport::Splitter;
 use sfq_cells::{Census, CircuitBuilder};
+use sfq_sim::fault::FaultPlan;
 use sfq_sim::netlist::Pin;
 use sfq_sim::simulator::Simulator;
 use sfq_sim::time::{Duration, Time};
-use sfq_sim::violation::Violation;
+use sfq_sim::violation::{Violation, ViolationPolicy};
 
 use crate::config::RfGeometry;
 use crate::hc_rf::{build_hc_rf, HcBank};
@@ -136,6 +137,21 @@ impl DualBankRf {
         self.sim.violations()
     }
 
+    /// Sets how the simulator reacts to timing violations.
+    pub fn set_violation_policy(&mut self, policy: ViolationPolicy) {
+        self.sim.set_violation_policy(policy);
+    }
+
+    /// Installs a fault plan (seeded delay variation / pulse faults).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.sim.set_fault_plan(plan);
+    }
+
+    /// Pulses destroyed by the `Degrade` policy so far.
+    pub fn degraded_drops(&self) -> u64 {
+        self.sim.degraded_drops()
+    }
+
     fn advance(&mut self, bank: usize) {
         self.banks[bank].finish_op(&mut self.sim);
         self.cursor = self.sim.now() + Duration::from_ps(OP_GAP_PS);
@@ -182,6 +198,16 @@ impl DualBankRf {
     ///
     /// Panics if `reg` is out of range or `value` does not fit the width.
     pub fn write(&mut self, reg: usize, value: u64) {
+        self.write_skewed(reg, value, 0.0);
+    }
+
+    /// Writes a register with a deliberate data-vs-enable skew (ps) on the
+    /// HC-WRITE phase — margin-engine hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range or `value` does not fit the width.
+    pub fn write_skewed(&mut self, reg: usize, value: u64, skew_ps: f64) {
         let w = self.geometry.width();
         assert!(reg < self.geometry.registers(), "register {reg} out of range");
         assert!(w == 64 || value < (1u64 << w), "value {value:#x} exceeds {w}-bit width");
@@ -190,7 +216,7 @@ impl DualBankRf {
         self.banks[bank].erase_op(&mut self.sim, index_in_bank(reg), t);
         self.advance(bank);
         let t = self.cursor;
-        self.banks[bank].write_op(&mut self.sim, index_in_bank(reg), value, t);
+        self.banks[bank].write_op_skewed(&mut self.sim, index_in_bank(reg), value, t, skew_ps);
         self.advance(bank);
     }
 

@@ -2,9 +2,10 @@
 //! (paper §IV).
 
 use sfq_cells::{Census, CircuitBuilder};
+use sfq_sim::fault::FaultPlan;
 use sfq_sim::simulator::Simulator;
 use sfq_sim::time::{Duration, Time};
-use sfq_sim::violation::Violation;
+use sfq_sim::violation::{Violation, ViolationPolicy};
 
 use crate::config::RfGeometry;
 use crate::hc_rf::{build_hc_rf, HcBank};
@@ -62,6 +63,21 @@ impl HiPerRf {
         self.sim.violations()
     }
 
+    /// Sets how the simulator reacts to timing violations.
+    pub fn set_violation_policy(&mut self, policy: ViolationPolicy) {
+        self.sim.set_violation_policy(policy);
+    }
+
+    /// Installs a fault plan (seeded delay variation / pulse faults).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.sim.set_fault_plan(plan);
+    }
+
+    /// Pulses destroyed by the `Degrade` policy so far.
+    pub fn degraded_drops(&self) -> u64 {
+        self.sim.degraded_drops()
+    }
+
     fn advance(&mut self) {
         self.bank.finish_op(&mut self.sim);
         self.cursor = self.sim.now() + Duration::from_ps(OP_GAP_PS);
@@ -87,6 +103,16 @@ impl HiPerRf {
     ///
     /// Panics if `reg` is out of range or `value` does not fit the width.
     pub fn write(&mut self, reg: usize, value: u64) {
+        self.write_skewed(reg, value, 0.0);
+    }
+
+    /// Writes a register with a deliberate data-vs-enable skew (ps) on the
+    /// HC-WRITE phase — margin-engine hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range or `value` does not fit the width.
+    pub fn write_skewed(&mut self, reg: usize, value: u64, skew_ps: f64) {
         let w = self.geometry.width();
         assert!(reg < self.geometry.registers(), "register {reg} out of range");
         assert!(w == 64 || value < (1u64 << w), "value {value:#x} exceeds {w}-bit width");
@@ -94,7 +120,7 @@ impl HiPerRf {
         self.bank.erase_op(&mut self.sim, reg, t);
         self.advance();
         let t = self.cursor;
-        self.bank.write_op(&mut self.sim, reg, value, t);
+        self.bank.write_op_skewed(&mut self.sim, reg, value, t, skew_ps);
         self.advance();
     }
 

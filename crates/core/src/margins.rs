@@ -1,25 +1,81 @@
-//! Timing-margin analysis of the HiPerRF write path.
+//! Variation-aware timing-margin engine (paper §II-D, §III-E, §VI-C).
 //!
-//! The paper (§II-D) argues HC-DRO cells can be built robustly with
-//! careful inductor sizing, and its clock-less port design leans on the
-//! dynamic-AND coincidence window to gate data into cells without a
-//! distributed clock. This module quantifies how much timing slack the
-//! design actually has:
+//! The paper argues HC-DRO cells can be built robustly with careful
+//! inductor sizing, and its clock-less port design leans on the dynamic-AND
+//! coincidence window to gate data into cells without a distributed clock.
+//! This module quantifies how much timing slack each design actually has:
 //!
-//! * [`write_skew_window`] sweeps a deliberate skew between the data train
-//!   and the tripled write enable at the DAND gates and reports the range
-//!   over which writes still land correctly — the usable coincidence
-//!   window (nominally ±[`DAND_WINDOW_PS`](sfq_cells::timing::DAND_WINDOW_PS)).
+//! * [`design_skew_window`] sweeps a deliberate skew between the data train
+//!   and the write enable at the gates of each structural design and
+//!   reports the range over which writes still land correctly — the usable
+//!   coincidence window (nominally
+//!   ±[`DAND_WINDOW_PS`](sfq_cells::timing::DAND_WINDOW_PS) for the
+//!   clock-less ports).
+//! * [`clocked_reference_window`] measures the same sweep against a
+//!   globally-clocked sampling element ([`SyncSampler`]) — the discipline a
+//!   clocked write port would impose. Its narrow aperture is the §II-D
+//!   argument for the clock-less port made quantitative.
+//! * [`critical_sigma`] bisects the largest per-cell delay variation
+//!   (σ as a fraction of nominal, applied through the simulator's
+//!   [`FaultPlan`]) a design survives under the `Degrade` violation policy.
+//! * [`yield_curve`] turns per-trial critical σ values into a Monte Carlo
+//!   yield curve (pass fraction vs σ) that is monotone non-increasing by
+//!   construction.
+//! * [`min_enable_spacing_ps`] and [`min_hc_train_sep_ps`] recover the
+//!   calibrated 53 ps NDROC re-arm and 10 ps HC-DRO pulse-separation
+//!   constants from behavioural bisection — the margin engine agreeing
+//!   with the timing model is a consistency check on both.
 //! * [`monte_carlo_jitter`] applies random per-operation injection jitter
 //!   and reports the pass fraction — a crude stand-in for the paper's
 //!   device-margin simulations in JoSim.
 
-use sfq_sim::time::{Duration, Time};
-
-use crate::config::RfGeometry;
-use crate::hc_rf::{build_hc_rf, HcBank};
+use sfq_cells::logic::SyncSampler;
+use sfq_cells::storage::HcDro;
+use sfq_cells::timing::{SYNC_SETUP_PS, SYNC_TRACK_PS};
 use sfq_cells::CircuitBuilder;
+use sfq_sim::fault::FaultPlan;
+use sfq_sim::netlist::Pin;
+use sfq_sim::rng::Rng64;
 use sfq_sim::simulator::Simulator;
+use sfq_sim::time::{Duration, Time};
+use sfq_sim::violation::ViolationPolicy;
+
+use crate::banked::DualBankRf;
+use crate::config::RfGeometry;
+use crate::demux::{build_demux, sel_head_start};
+use crate::hiperrf_rf::HiPerRf;
+use crate::ndro_rf::NdroRf;
+
+/// The structural register-file designs the margin engine can build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// Baseline clock-less NDRO register file (paper §III).
+    NdroBaseline,
+    /// Single-bank HiPerRF (paper §IV).
+    HiPerRf,
+    /// Dual-banked HiPerRF (paper §V).
+    DualBanked,
+}
+
+impl Design {
+    /// All structural designs, in paper order.
+    pub const ALL: [Design; 3] = [Design::NdroBaseline, Design::HiPerRf, Design::DualBanked];
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::NdroBaseline => "NDRO baseline",
+            Design::HiPerRf => "HiPerRF",
+            Design::DualBanked => "dual-banked",
+        }
+    }
+}
+
+impl std::fmt::Display for Design {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Result of a skew sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,48 +95,119 @@ impl SkewWindow {
     }
 }
 
-fn skewed_write_succeeds(geometry: RfGeometry, skew_ps: f64) -> bool {
-    let mut b = CircuitBuilder::new();
-    let ports = build_hc_rf(&mut b, geometry);
-    let mut sim = Simulator::new(b.finish());
-    let bank = HcBank::new(&mut sim, ports);
-    let mut t = Time::from_ps(10.0);
-    // Write a worst-case pattern (all cells at value 3) with the skew and
-    // verify storage landed; then read it back cleanly.
-    let all_ones = if geometry.width() == 64 { u64::MAX } else { (1u64 << geometry.width()) - 1 };
-    bank.write_op_skewed(&mut sim, 1, all_ones, t, skew_ps);
-    bank.finish_op(&mut sim);
-    if bank.peek(&sim, 1) != all_ones {
-        return false;
+/// Worst-case all-ones pattern for a geometry.
+fn all_ones(geometry: RfGeometry) -> u64 {
+    if geometry.width() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << geometry.width()) - 1
     }
-    t = sim.now() + Duration::from_ps(400.0);
-    let got = bank.read_op(&mut sim, 1, t);
-    bank.finish_op(&mut sim);
-    got == all_ones && sim.violations().is_empty()
 }
 
-/// Sweeps data-vs-enable skew over `[-limit, +limit]` ps in `step` steps
-/// and reports the contiguous window around zero where writes succeed.
+/// Runs one skewed write + read round trip on `design` and reports whether
+/// it landed cleanly (value correct, no timing violations).
+fn design_write_succeeds(design: Design, geometry: RfGeometry, skew_ps: f64) -> bool {
+    let value = all_ones(geometry);
+    match design {
+        Design::NdroBaseline => {
+            let mut rf = NdroRf::new(geometry);
+            rf.write_skewed(1, value, skew_ps);
+            if rf.peek(1) != value {
+                return false;
+            }
+            rf.read(1) == value && rf.violations().is_empty()
+        }
+        Design::HiPerRf => {
+            let mut rf = HiPerRf::new(geometry);
+            rf.write_skewed(1, value, skew_ps);
+            if rf.peek(1) != value {
+                return false;
+            }
+            rf.read(1) == value && rf.violations().is_empty()
+        }
+        Design::DualBanked => {
+            let mut rf = DualBankRf::new(geometry);
+            rf.write_skewed(1, value, skew_ps);
+            if rf.peek(1) != value {
+                return false;
+            }
+            rf.read(1) == value && rf.violations().is_empty()
+        }
+    }
+}
+
+/// Sweeps `ok(skew)` over `[-limit, +limit]` ps in `step` steps and
+/// reports the contiguous window around zero where it holds.
+fn sweep_window(mut ok: impl FnMut(f64) -> bool, limit_ps: f64, step_ps: f64) -> SkewWindow {
+    assert!(ok(0.0), "nominal (zero-skew) case must succeed");
+    let mut min_ok = 0.0;
+    let mut max_ok = 0.0;
+    let mut skew = step_ps;
+    while skew <= limit_ps && ok(skew) {
+        max_ok = skew;
+        skew += step_ps;
+    }
+    skew = step_ps;
+    while skew <= limit_ps && ok(-skew) {
+        min_ok = -skew;
+        skew += step_ps;
+    }
+    SkewWindow { min_ok_ps: min_ok, max_ok_ps: max_ok, step_ps }
+}
+
+/// Sweeps data-vs-enable skew for one structural design and reports the
+/// contiguous window around zero where writes succeed.
 ///
 /// # Panics
 ///
 /// Panics if the nominal (zero-skew) write fails — that would be a design
 /// bug, not a margin result.
+pub fn design_skew_window(
+    design: Design,
+    geometry: RfGeometry,
+    limit_ps: f64,
+    step_ps: f64,
+) -> SkewWindow {
+    sweep_window(|s| design_write_succeeds(design, geometry, s), limit_ps, step_ps)
+}
+
+/// [`design_skew_window`] for the single-bank HiPerRF — kept as the
+/// historical entry point of this module.
+///
+/// # Panics
+///
+/// Panics if the nominal (zero-skew) write fails.
 pub fn write_skew_window(geometry: RfGeometry, limit_ps: f64, step_ps: f64) -> SkewWindow {
-    assert!(skewed_write_succeeds(geometry, 0.0), "nominal write must succeed");
-    let mut min_ok = 0.0;
-    let mut max_ok = 0.0;
-    let mut skew = step_ps;
-    while skew <= limit_ps && skewed_write_succeeds(geometry, skew) {
-        max_ok = skew;
-        skew += step_ps;
-    }
-    skew = step_ps;
-    while skew <= limit_ps && skewed_write_succeeds(geometry, -skew) {
-        min_ok = -skew;
-        skew += step_ps;
-    }
-    SkewWindow { min_ok_ps: min_ok, max_ok_ps: max_ok, step_ps }
+    design_skew_window(Design::HiPerRf, geometry, limit_ps, step_ps)
+}
+
+/// One capture attempt against the clocked sampling element: data nominally
+/// centred in the sampler's aperture, displaced by `skew_ps`.
+fn clocked_capture_succeeds(skew_ps: f64) -> bool {
+    let mut b = CircuitBuilder::new();
+    let s = b.sync_sampler();
+    let mut sim = Simulator::new(b.finish());
+    sim.set_violation_policy(ViolationPolicy::Degrade);
+    let p = sim.probe(Pin::new(s, SyncSampler::OUT), "q");
+    let t_clk = 40.0;
+    let nominal = t_clk - SYNC_SETUP_PS - SYNC_TRACK_PS / 2.0;
+    sim.inject(Pin::new(s, SyncSampler::D), Time::from_ps((nominal + skew_ps).max(0.0)));
+    sim.inject(Pin::new(s, SyncSampler::CLK), Time::from_ps(t_clk));
+    sim.run();
+    sim.probe_trace(p).len() == 1 && sim.violations().is_empty()
+}
+
+/// Skew window of the *clocked baseline* reference: a [`SyncSampler`]
+/// capturing a data pulse against a distributed clock edge. This is the
+/// timing discipline a globally-clocked write port would impose on every
+/// bit — compare with [`design_skew_window`] to quantify the §II-D claim
+/// that the clock-less DAND port has the wider usable window.
+///
+/// # Panics
+///
+/// Panics if the nominal (centred) capture fails.
+pub fn clocked_reference_window(limit_ps: f64, step_ps: f64) -> SkewWindow {
+    sweep_window(clocked_capture_succeeds, limit_ps, step_ps)
 }
 
 /// Result of a jitter Monte Carlo.
@@ -92,6 +219,8 @@ pub struct JitterReport {
     pub passed: u32,
     /// Peak jitter magnitude applied (ps, uniform in `[-j, +j]`).
     pub jitter_ps: f64,
+    /// RNG seed the trial skews were drawn from.
+    pub seed: u64,
 }
 
 impl JitterReport {
@@ -101,26 +230,260 @@ impl JitterReport {
     }
 }
 
-/// Runs `trials` write+read round trips, each with an independent uniform
-/// skew in `[-jitter_ps, +jitter_ps]` drawn from a deterministic LCG.
-pub fn monte_carlo_jitter(geometry: RfGeometry, jitter_ps: f64, trials: u32) -> JitterReport {
-    let mut state = 0x2468_ace1u32;
+/// Runs `trials` write+read round trips on the single-bank HiPerRF, each
+/// with an independent uniform skew in `[-jitter_ps, +jitter_ps]` drawn
+/// from a [`Rng64`] seeded with `seed`. The same seed always reproduces
+/// the same pass fraction.
+pub fn monte_carlo_jitter(
+    geometry: RfGeometry,
+    jitter_ps: f64,
+    trials: u32,
+    seed: u64,
+) -> JitterReport {
+    let mut rng = Rng64::new(seed);
     let mut passed = 0;
     for _ in 0..trials {
-        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
-        let unit = f64::from(state >> 8) / f64::from(1u32 << 24); // [0,1)
-        let skew = (unit * 2.0 - 1.0) * jitter_ps;
-        if skewed_write_succeeds(geometry, skew) {
+        let skew = (rng.next_f64() * 2.0 - 1.0) * jitter_ps;
+        if design_write_succeeds(Design::HiPerRf, geometry, skew) {
             passed += 1;
         }
     }
-    JitterReport { trials, passed, jitter_ps }
+    JitterReport { trials, passed, jitter_ps, seed }
+}
+
+/// Deterministic nonzero soak pattern for a register.
+fn soak_pattern(geometry: RfGeometry, reg: usize) -> u64 {
+    0x9e37_79b9_7f4a_7c15u64.wrapping_mul(reg as u64 + 1) & all_ones(geometry)
+}
+
+/// Common driver interface the soak harness needs.
+trait Soakable {
+    fn soak_write(&mut self, reg: usize, value: u64);
+    fn soak_read(&mut self, reg: usize) -> u64;
+}
+
+impl Soakable for NdroRf {
+    fn soak_write(&mut self, reg: usize, value: u64) {
+        self.write(reg, value);
+    }
+    fn soak_read(&mut self, reg: usize) -> u64 {
+        self.read(reg)
+    }
+}
+
+impl Soakable for HiPerRf {
+    fn soak_write(&mut self, reg: usize, value: u64) {
+        self.write(reg, value);
+    }
+    fn soak_read(&mut self, reg: usize) -> u64 {
+        self.read(reg)
+    }
+}
+
+impl Soakable for DualBankRf {
+    fn soak_write(&mut self, reg: usize, value: u64) {
+        self.write(reg, value);
+    }
+    fn soak_read(&mut self, reg: usize) -> u64 {
+        self.read(reg)
+    }
+}
+
+fn run_soak(rf: &mut impl Soakable, geometry: RfGeometry) -> bool {
+    for r in 0..geometry.registers() {
+        rf.soak_write(r, soak_pattern(geometry, r));
+    }
+    (0..geometry.registers()).all(|r| rf.soak_read(r) == soak_pattern(geometry, r))
+}
+
+/// Runs a write-all/read-all soak of `design` under the `Degrade`
+/// violation policy with per-cell bounded-Gaussian delay variation of
+/// fractional width `sigma` (seeded by `seed`). Returns whether every
+/// register read back its written pattern.
+///
+/// The per-component Gaussian draws are fixed by the seed and scaled by
+/// `sigma`, so for a fixed seed the outcome is (near-)monotone in `sigma`
+/// and [`critical_sigma`]'s bisection is well posed.
+pub fn soak_passes(design: Design, geometry: RfGeometry, sigma: f64, seed: u64) -> bool {
+    let plan = FaultPlan::new(seed).with_delay_sigma(sigma);
+    match design {
+        Design::NdroBaseline => {
+            let mut rf = NdroRf::new(geometry);
+            rf.set_violation_policy(ViolationPolicy::Degrade);
+            rf.set_fault_plan(plan);
+            run_soak(&mut rf, geometry)
+        }
+        Design::HiPerRf => {
+            let mut rf = HiPerRf::new(geometry);
+            rf.set_violation_policy(ViolationPolicy::Degrade);
+            rf.set_fault_plan(plan);
+            run_soak(&mut rf, geometry)
+        }
+        Design::DualBanked => {
+            let mut rf = DualBankRf::new(geometry);
+            rf.set_violation_policy(ViolationPolicy::Degrade);
+            rf.set_fault_plan(plan);
+            run_soak(&mut rf, geometry)
+        }
+    }
+}
+
+/// Upper end of the σ search range: a 50% fractional delay spread is far
+/// beyond fabrication reality and no design survives it.
+const SIGMA_MAX: f64 = 0.5;
+/// Bisection refinement steps (resolution ≈ `SIGMA_MAX / 2^ITERS`).
+const SIGMA_ITERS: u32 = 8;
+
+/// Bisects the largest delay-variation σ at which [`soak_passes`] for this
+/// seed. Returns `0.0` if even the nominal soak fails (a design bug) and
+/// [`SIGMA_MAX`] if the design survives the whole search range.
+pub fn critical_sigma(design: Design, geometry: RfGeometry, seed: u64) -> f64 {
+    if !soak_passes(design, geometry, 0.0, seed) {
+        return 0.0;
+    }
+    if soak_passes(design, geometry, SIGMA_MAX, seed) {
+        return SIGMA_MAX;
+    }
+    let (mut lo, mut hi) = (0.0f64, SIGMA_MAX);
+    for _ in 0..SIGMA_ITERS {
+        let mid = (lo + hi) / 2.0;
+        if soak_passes(design, geometry, mid, seed) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// A Monte Carlo yield curve: pass fraction as a function of delay σ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldCurve {
+    /// Design the curve describes.
+    pub design: Design,
+    /// Trials behind each point.
+    pub trials: u32,
+    /// Seed the per-trial variation draws descend from.
+    pub seed: u64,
+    /// `(sigma, pass_fraction)` points, in the caller's σ order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Monte Carlo yield vs delay-variation σ.
+///
+/// Each trial draws an independent variation pattern (seed forked per
+/// trial) and bisects its critical σ; the yield at a given σ is then the
+/// fraction of trials whose critical σ is at least that large. Because
+/// every trial contributes a single threshold, the curve is monotone
+/// non-increasing in σ *by construction*, and the same `seed` always
+/// reproduces the same curve.
+pub fn yield_curve(
+    design: Design,
+    geometry: RfGeometry,
+    sigmas: &[f64],
+    trials: u32,
+    seed: u64,
+) -> YieldCurve {
+    let criticals: Vec<f64> = (0..trials)
+        .map(|i| {
+            let trial_seed = Rng64::fork(seed, u64::from(i)).next_u64();
+            critical_sigma(design, geometry, trial_seed)
+        })
+        .collect();
+    let points = sigmas
+        .iter()
+        .map(|&s| {
+            let passing = criticals.iter().filter(|&&c| c >= s).count();
+            (s, passing as f64 / f64::from(trials.max(1)))
+        })
+        .collect();
+    YieldCurve { design, trials, seed, points }
+}
+
+/// Bisects the smallest `x` in `(lo, hi]` for which `pass(x)` holds,
+/// assuming `pass` is monotone (fails at `lo`, holds at `hi`).
+fn bisect_min_pass(mut pass: impl FnMut(f64) -> bool, mut lo: f64, mut hi: f64, iters: u32) -> f64 {
+    debug_assert!(!pass(lo), "lower bound must fail");
+    debug_assert!(pass(hi), "upper bound must pass");
+    for _ in 0..iters {
+        let mid = (lo + hi) / 2.0;
+        if pass(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Behaviourally recovers the minimum spacing between two enable pulses
+/// through a `levels`-deep NDROC demux (ps): under the `Degrade` policy a
+/// too-close second enable is destroyed by the re-arming NDROC, so the
+/// bisection finds the spacing at which both enables reach the selected
+/// leaf. Expect the calibrated 53 ps re-arm time
+/// ([`NDROC_REARM_PS`](sfq_cells::timing::NDROC_REARM_PS)) independent of
+/// depth.
+pub fn min_enable_spacing_ps(levels: usize) -> f64 {
+    let pass = |gap_ps: f64| -> bool {
+        let mut b = CircuitBuilder::new();
+        let d = build_demux(&mut b, levels);
+        let mut sim = Simulator::new(b.finish());
+        sim.set_violation_policy(ViolationPolicy::Degrade);
+        let probe = sim.probe(d.outputs[0], "leaf0");
+        let t = Time::from_ps(10.0);
+        // Address 0 needs no SET pulses; fire the enable twice, `gap` apart.
+        let t_en = t + sel_head_start(levels);
+        d.select_and_fire(&mut sim, 0, t, t_en);
+        sim.inject(d.enable, t_en + Duration::from_ps(gap_ps));
+        sim.run();
+        sim.probe_trace(probe).len() == 2
+    };
+    bisect_min_pass(pass, 1.0, 120.0, 12)
+}
+
+/// Behaviourally recovers the separation below which an HC-DRO actually
+/// *loses* a write pulse (ps): under `Degrade` a second fluxon inside the
+/// hard threshold is destroyed, so the bisection finds the spacing at
+/// which both are stored. Expect the cell's physical threshold
+/// ([`HCDRO_HARD_SEP_PS`](sfq_cells::timing::HCDRO_HARD_SEP_PS)).
+pub fn min_hc_train_sep_ps() -> f64 {
+    let pass = |gap_ps: f64| -> bool {
+        let mut b = CircuitBuilder::new();
+        let cell = b.hcdro();
+        let mut sim = Simulator::new(b.finish());
+        sim.set_violation_policy(ViolationPolicy::Degrade);
+        sim.inject(Pin::new(cell, HcDro::D), Time::from_ps(10.0));
+        sim.inject(Pin::new(cell, HcDro::D), Time::from_ps(10.0 + gap_ps));
+        sim.run();
+        sim.netlist().component(cell).stored() == Some(2)
+    };
+    bisect_min_pass(pass, 1.0, 40.0, 12)
+}
+
+/// Behaviourally recovers the *design-rule* HC-DRO pulse separation (ps):
+/// the smallest spacing that records no violation at all under the
+/// `Record` policy. Expect the calibrated 10 ps
+/// ([`HCDRO_PULSE_SEP_PS`](sfq_cells::timing::HCDRO_PULSE_SEP_PS)); the
+/// gap down to [`min_hc_train_sep_ps`] is the cell's guard band.
+pub fn min_hc_clean_sep_ps() -> f64 {
+    let pass = |gap_ps: f64| -> bool {
+        let mut b = CircuitBuilder::new();
+        let cell = b.hcdro();
+        let mut sim = Simulator::new(b.finish());
+        sim.inject(Pin::new(cell, HcDro::D), Time::from_ps(10.0));
+        sim.inject(Pin::new(cell, HcDro::D), Time::from_ps(10.0 + gap_ps));
+        sim.run();
+        sim.violations().is_empty()
+    };
+    bisect_min_pass(pass, 1.0, 40.0, 12)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sfq_cells::timing::DAND_WINDOW_PS;
+    use sfq_cells::timing::{
+        DAND_WINDOW_PS, HCDRO_HARD_SEP_PS, HCDRO_PULSE_SEP_PS, NDROC_REARM_PS,
+    };
 
     #[test]
     fn window_brackets_the_dand_spec() {
@@ -135,15 +498,102 @@ mod tests {
     }
 
     #[test]
+    fn every_design_has_a_usable_window() {
+        for design in Design::ALL {
+            let w = design_skew_window(design, RfGeometry::paper_4x4(), 12.0, 2.0);
+            assert!(w.width_ps() >= 4.0, "{design}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn clockless_port_beats_the_clocked_reference() {
+        // The §II-D claim, quantified: the DAND-gated clock-less write
+        // port tolerates more data-vs-enable skew than a clocked sampler
+        // tolerates data-vs-clock skew.
+        let clocked = clocked_reference_window(12.0, 1.0);
+        let hiperrf = design_skew_window(Design::HiPerRf, RfGeometry::paper_4x4(), 12.0, 1.0);
+        assert!(
+            hiperrf.width_ps() > clocked.width_ps(),
+            "HiPerRF {hiperrf:?} vs clocked {clocked:?}"
+        );
+    }
+
+    #[test]
     fn small_jitter_yields_fully() {
-        let r = monte_carlo_jitter(RfGeometry::paper_4x4(), 2.0, 20);
+        let r = monte_carlo_jitter(RfGeometry::paper_4x4(), 2.0, 20, 7);
         assert_eq!(r.yield_fraction(), 1.0, "{r:?}");
     }
 
     #[test]
     fn huge_jitter_fails_sometimes() {
-        let r = monte_carlo_jitter(RfGeometry::paper_4x4(), 30.0, 20);
+        let r = monte_carlo_jitter(RfGeometry::paper_4x4(), 30.0, 20, 7);
         assert!(r.yield_fraction() < 1.0, "{r:?}");
         assert!(r.passed > 0, "some trials must still land near zero skew: {r:?}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_jitter_verdict() {
+        let a = monte_carlo_jitter(RfGeometry::paper_4x4(), 12.0, 10, 42);
+        let b = monte_carlo_jitter(RfGeometry::paper_4x4(), 12.0, 10, 42);
+        assert_eq!(a, b);
+        let c = monte_carlo_jitter(RfGeometry::paper_4x4(), 12.0, 10, 43);
+        assert_eq!(c.trials, a.trials); // different seed may (and usually
+                                        // does) change `passed`, but must
+                                        // still be a full run
+    }
+
+    #[test]
+    fn nominal_soak_passes_everywhere() {
+        for design in Design::ALL {
+            assert!(
+                soak_passes(design, RfGeometry::paper_4x4(), 0.0, 1),
+                "{design} fails its nominal soak"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_sigma_is_positive_and_finite() {
+        for design in Design::ALL {
+            let c = critical_sigma(design, RfGeometry::paper_4x4(), 11);
+            assert!(c > 0.0, "{design}: no variation tolerance at all");
+            assert!(c < SIGMA_MAX, "{design}: survives implausible variation");
+        }
+    }
+
+    #[test]
+    fn yield_curve_is_monotone_non_increasing() {
+        let sigmas = [0.0, 0.02, 0.05, 0.1, 0.3];
+        let curve = yield_curve(Design::HiPerRf, RfGeometry::paper_4x4(), &sigmas, 4, 99);
+        assert_eq!(curve.points.len(), sigmas.len());
+        assert_eq!(curve.points[0].1, 1.0, "every trial passes at sigma 0: {curve:?}");
+        for pair in curve.points.windows(2) {
+            assert!(pair[1].1 <= pair[0].1, "{curve:?}");
+        }
+    }
+
+    #[test]
+    fn enable_spacing_recovers_the_rearm_constant() {
+        for levels in 1..=2 {
+            let m = min_enable_spacing_ps(levels);
+            assert!(
+                (m - NDROC_REARM_PS).abs() < 0.1,
+                "levels {levels}: measured {m} ps, calibrated {NDROC_REARM_PS} ps"
+            );
+        }
+    }
+
+    #[test]
+    fn hc_train_sep_recovers_the_calibrated_constants() {
+        let hard = min_hc_train_sep_ps();
+        assert!(
+            (hard - HCDRO_HARD_SEP_PS).abs() < 0.1,
+            "measured {hard} ps, hard threshold {HCDRO_HARD_SEP_PS} ps"
+        );
+        let clean = min_hc_clean_sep_ps();
+        assert!(
+            (clean - HCDRO_PULSE_SEP_PS).abs() < 0.1,
+            "measured {clean} ps, design rule {HCDRO_PULSE_SEP_PS} ps"
+        );
     }
 }

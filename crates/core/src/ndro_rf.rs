@@ -12,10 +12,11 @@ use sfq_cells::timing::{
     DAND_DELAY_PS, MERGER_DELAY_PS, NDRO_CLK_TO_OUT_PS, NDROC_PROP_PS, SPLITTER_DELAY_PS,
 };
 use sfq_cells::{CircuitBuilder, Census};
+use sfq_sim::fault::FaultPlan;
 use sfq_sim::netlist::{ComponentId, Pin};
 use sfq_sim::simulator::{ProbeId, Simulator};
 use sfq_sim::time::{Duration, Time};
-use sfq_sim::violation::Violation;
+use sfq_sim::violation::{Violation, ViolationPolicy};
 
 use crate::config::RfGeometry;
 use crate::demux::{build_demux, sel_head_start, Demux};
@@ -150,6 +151,21 @@ impl NdroRf {
         self.sim.violations()
     }
 
+    /// Sets how the simulator reacts to timing violations.
+    pub fn set_violation_policy(&mut self, policy: ViolationPolicy) {
+        self.sim.set_violation_policy(policy);
+    }
+
+    /// Installs a fault plan (seeded delay variation / pulse faults).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.sim.set_fault_plan(plan);
+    }
+
+    /// Pulses destroyed by the `Degrade` policy so far.
+    pub fn degraded_drops(&self) -> u64 {
+        self.sim.degraded_drops()
+    }
+
     fn end_op(&mut self) {
         let t = self.sim.now() + Duration::from_ps(20.0);
         self.read_demux.clear(&mut self.sim, t);
@@ -188,6 +204,17 @@ impl NdroRf {
     ///
     /// Panics if `reg` is out of range or `value` does not fit the width.
     pub fn write(&mut self, reg: usize, value: u64) {
+        self.write_skewed(reg, value, 0.0);
+    }
+
+    /// Writes a register with a deliberate skew (ps) added to the data
+    /// train's arrival at the DAND gates — margin-engine hook mirroring
+    /// [`HcBank::write_op_skewed`](crate::hc_rf::HcBank::write_op_skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range or `value` does not fit the width.
+    pub fn write_skewed(&mut self, reg: usize, value: u64, skew_ps: f64) {
         let w = self.geometry.width();
         assert!(reg < self.geometry.registers(), "register {reg} out of range");
         assert!(w == 64 || value < (1u64 << w), "value {value:#x} exceeds {w}-bit width");
@@ -203,7 +230,8 @@ impl NdroRf {
         let t = self.cursor;
         self.write_demux.select_and_fire(&mut self.sim, reg, t, t + hs);
         let t_wen_at_dand = t + hs + Duration::from_ps(self.enable_to_gate_ps());
-        let t_data = t_wen_at_dand - Duration::from_ps(self.data_to_gate_ps());
+        let aligned_ps = t_wen_at_dand.as_ps() - self.data_to_gate_ps() + skew_ps;
+        let t_data = Time::from_ps(aligned_ps.max(0.0));
         for (bit, &pin) in self.data_in.iter().enumerate() {
             if value >> bit & 1 == 1 {
                 self.sim.inject(pin, t_data);

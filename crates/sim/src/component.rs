@@ -3,17 +3,22 @@
 use std::fmt::Debug;
 
 use crate::time::{Duration, Time};
-use crate::violation::Violation;
+use crate::violation::{Violation, ViolationPolicy};
 
 /// Context handed to a component while it processes an incoming pulse.
 ///
 /// The component uses it to emit pulses on its own output pins (after an
-/// internal delay) and to report timing violations.
+/// internal delay) and to report timing violations. The simulator, not the
+/// cell, owns the [`ViolationPolicy`]: a cell that can degrade asks
+/// [`PulseContext::violation_degrades`] whether the offending pulse should
+/// be dropped and acts accordingly.
 #[derive(Debug)]
 pub struct PulseContext<'a> {
     pub(crate) emitted: &'a mut Vec<(u8, Time)>,
     pub(crate) violations: &'a mut Vec<Violation>,
     pub(crate) component_label: &'a str,
+    pub(crate) policy: ViolationPolicy,
+    pub(crate) degraded_drops: &'a mut u64,
 }
 
 impl<'a> PulseContext<'a> {
@@ -37,6 +42,29 @@ impl<'a> PulseContext<'a> {
             kind,
             detail,
         });
+    }
+
+    /// Records a timing violation and reports whether the active
+    /// [`ViolationPolicy`] wants the offending pulse *degraded* (dropped).
+    ///
+    /// Cells with a physical failure mode call this instead of
+    /// [`PulseContext::violation`]: when it returns `true` the cell must
+    /// skip the state update and emissions the pulse would normally cause
+    /// (the marginal pulse is lost in the junction, as in a real circuit).
+    #[must_use]
+    pub fn violation_degrades(&mut self, now: Time, kind: &'static str, detail: String) -> bool {
+        self.violation(now, kind, detail);
+        if self.policy == ViolationPolicy::Degrade {
+            *self.degraded_drops += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The violation policy active for this run.
+    pub fn policy(&self) -> ViolationPolicy {
+        self.policy
     }
 }
 
@@ -92,15 +120,27 @@ mod tests {
         }
     }
 
+    fn ctx_over<'a>(
+        emitted: &'a mut Vec<(u8, Time)>,
+        violations: &'a mut Vec<Violation>,
+        degraded: &'a mut u64,
+        policy: ViolationPolicy,
+    ) -> PulseContext<'a> {
+        PulseContext {
+            emitted,
+            violations,
+            component_label: "cell7",
+            policy,
+            degraded_drops: degraded,
+        }
+    }
+
     #[test]
     fn context_emit_collects() {
         let mut emitted = Vec::new();
         let mut violations = Vec::new();
-        let mut ctx = PulseContext {
-            emitted: &mut emitted,
-            violations: &mut violations,
-            component_label: "e0",
-        };
+        let mut degraded = 0;
+        let mut ctx = ctx_over(&mut emitted, &mut violations, &mut degraded, ViolationPolicy::Record);
         Echo.pulse(2, Time::from_ps(5.0), &mut ctx);
         assert_eq!(emitted, vec![(2, Time::from_ps(6.0))]);
         assert!(violations.is_empty());
@@ -110,15 +150,31 @@ mod tests {
     fn context_violation_records_label() {
         let mut emitted = Vec::new();
         let mut violations = Vec::new();
-        let mut ctx = PulseContext {
-            emitted: &mut emitted,
-            violations: &mut violations,
-            component_label: "cell7",
-        };
+        let mut degraded = 0;
+        let mut ctx = ctx_over(&mut emitted, &mut violations, &mut degraded, ViolationPolicy::Record);
         ctx.violation(Time::from_ps(1.0), "hold", "too close".to_string());
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].cell, "cell7");
         assert_eq!(violations[0].kind, "hold");
+    }
+
+    #[test]
+    fn violation_degrades_follows_policy() {
+        let mut emitted = Vec::new();
+        let mut violations = Vec::new();
+        let mut degraded = 0;
+        for (policy, expect_drop) in [
+            (ViolationPolicy::Record, false),
+            (ViolationPolicy::FailFast, false),
+            (ViolationPolicy::Degrade, true),
+        ] {
+            let mut ctx = ctx_over(&mut emitted, &mut violations, &mut degraded, policy);
+            let drop = ctx.violation_degrades(Time::from_ps(1.0), "re-arm", "x".to_string());
+            assert_eq!(drop, expect_drop, "{policy:?}");
+        }
+        // Every call records the violation; only Degrade counted a drop.
+        assert_eq!(violations.len(), 3);
+        assert_eq!(degraded, 1);
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes how a run deviates from the ideal circuit:
+//!
+//! * **pin faults** — drop or duplicate the N-th pulse delivered to a named
+//!   input pin (modelling a missing or doubled fluxon);
+//! * **spurious pulses** — extra stimuli injected at chosen times
+//!   (modelling flux trapping / noise-induced switching);
+//! * **delay variation** — every component instance gets a persistent
+//!   multiplicative delay factor drawn from a bounded Gaussian
+//!   (σ as a fraction of nominal), modelling per-device process variation.
+//!
+//! All randomness derives from the plan's single `u64` seed via
+//! [`Rng64::fork`], keyed by component index — so the perturbation of a
+//! given cell never depends on event order, and identical seed + plan
+//! reproduce identical traces, violations, and yield numbers.
+//!
+//! Install a plan with
+//! [`Simulator::set_fault_plan`](crate::simulator::Simulator::set_fault_plan).
+
+use std::collections::HashMap;
+
+use crate::netlist::{ComponentId, Pin};
+use crate::rng::Rng64;
+use crate::time::{Duration, Time};
+
+/// What to do to a counted pulse delivery on a pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PinAction {
+    /// Swallow the pulse.
+    Drop,
+    /// Deliver it, plus an echo after the offset.
+    Duplicate(Duration),
+}
+
+/// A deterministic fault-injection plan (builder-style).
+///
+/// # Examples
+///
+/// ```
+/// use sfq_sim::fault::FaultPlan;
+/// use sfq_sim::netlist::{ComponentId, Pin};
+/// use sfq_sim::time::Duration;
+///
+/// let pin = Pin::new(ComponentId::from_index(0), 0);
+/// let plan = FaultPlan::new(0xfeed)
+///     .drop_nth(pin, 1)
+///     .duplicate_nth(pin, 3, Duration::from_ps(2.0))
+///     .with_delay_sigma(0.05);
+/// assert_eq!(plan.seed(), 0xfeed);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    delay_sigma: f64,
+    /// `(pin, one-based delivery ordinal) -> action`.
+    pin_faults: HashMap<(Pin, u64), PinAction>,
+    spurious: Vec<(Pin, Time)>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the given randomness seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, delay_sigma: 0.0, pin_faults: HashMap::new(), spurious: Vec::new() }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Per-instance delay variation, σ as a fraction of nominal delay.
+    pub fn delay_sigma(&self) -> f64 {
+        self.delay_sigma
+    }
+
+    /// Drops the `nth` (1-based) pulse delivered to `pin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nth` is zero.
+    #[must_use]
+    pub fn drop_nth(mut self, pin: Pin, nth: u64) -> Self {
+        assert!(nth >= 1, "pulse ordinals are 1-based");
+        self.pin_faults.insert((pin, nth), PinAction::Drop);
+        self
+    }
+
+    /// Duplicates the `nth` (1-based) pulse delivered to `pin`: the
+    /// original is delivered and an echo follows `offset` later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nth` is zero.
+    #[must_use]
+    pub fn duplicate_nth(mut self, pin: Pin, nth: u64, offset: Duration) -> Self {
+        assert!(nth >= 1, "pulse ordinals are 1-based");
+        self.pin_faults.insert((pin, nth), PinAction::Duplicate(offset));
+        self
+    }
+
+    /// Adds a spurious stimulus pulse on `pin` at absolute time `at`.
+    #[must_use]
+    pub fn spurious(mut self, pin: Pin, at: Time) -> Self {
+        self.spurious.push((pin, at));
+        self
+    }
+
+    /// Sets bounded-Gaussian per-instance delay variation (σ as a fraction
+    /// of nominal, e.g. `0.05` for 5 %). Draws are clamped to ±3σ and the
+    /// resulting factor floors at 0.05× so delays stay positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_frac` is negative or not finite.
+    #[must_use]
+    pub fn with_delay_sigma(mut self, sigma_frac: f64) -> Self {
+        assert!(sigma_frac.is_finite() && sigma_frac >= 0.0, "σ must be a non-negative fraction");
+        self.delay_sigma = sigma_frac;
+        self
+    }
+
+    /// The planned spurious pulses.
+    pub fn spurious_pulses(&self) -> &[(Pin, Time)] {
+        &self.spurious
+    }
+}
+
+/// Runtime state of an installed plan: delivery counters, the delay-factor
+/// cache, and applied-fault tallies.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    deliveries: HashMap<Pin, u64>,
+    factors: HashMap<ComponentId, f64>,
+    pub(crate) dropped: u64,
+    pub(crate) duplicated: u64,
+}
+
+/// What the simulator should do with one pulse delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DeliveryFault {
+    pub(crate) drop: bool,
+    pub(crate) echo_after: Option<Duration>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            deliveries: HashMap::new(),
+            factors: HashMap::new(),
+            dropped: 0,
+            duplicated: 0,
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counts a delivery on `pin` and returns the planned deviation, if any.
+    pub(crate) fn on_delivery(&mut self, pin: Pin) -> DeliveryFault {
+        let n = self.deliveries.entry(pin).or_insert(0);
+        *n += 1;
+        match self.plan.pin_faults.get(&(pin, *n)) {
+            Some(PinAction::Drop) => {
+                self.dropped += 1;
+                DeliveryFault { drop: true, echo_after: None }
+            }
+            Some(PinAction::Duplicate(off)) => {
+                self.duplicated += 1;
+                DeliveryFault { drop: false, echo_after: Some(*off) }
+            }
+            None => DeliveryFault { drop: false, echo_after: None },
+        }
+    }
+
+    /// The persistent delay factor of a component instance. Derived from
+    /// `fork(seed, component index)`, so it is independent of event order.
+    pub(crate) fn delay_factor(&mut self, id: ComponentId) -> f64 {
+        if self.plan.delay_sigma == 0.0 {
+            return 1.0;
+        }
+        let sigma = self.plan.delay_sigma;
+        *self.factors.entry(id).or_insert_with(|| {
+            let g = Rng64::fork(self.plan.seed, id.index() as u64).gaussian_clamped(3.0);
+            (1.0 + sigma * g).max(0.05)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pin(i: usize, p: u8) -> Pin {
+        Pin::new(ComponentId::from_index(i), p)
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let plan = FaultPlan::new(1)
+            .drop_nth(pin(0, 0), 2)
+            .duplicate_nth(pin(0, 1), 1, Duration::from_ps(3.0))
+            .spurious(pin(1, 0), Time::from_ps(5.0))
+            .with_delay_sigma(0.1);
+        assert_eq!(plan.delay_sigma(), 0.1);
+        assert_eq!(plan.spurious_pulses().len(), 1);
+    }
+
+    #[test]
+    fn delivery_counting_is_per_pin_and_one_based() {
+        let plan = FaultPlan::new(0).drop_nth(pin(0, 0), 2);
+        let mut st = FaultState::new(plan);
+        assert!(!st.on_delivery(pin(0, 0)).drop, "1st delivery passes");
+        assert!(!st.on_delivery(pin(0, 1)).drop, "other pin not counted");
+        assert!(st.on_delivery(pin(0, 0)).drop, "2nd delivery dropped");
+        assert!(!st.on_delivery(pin(0, 0)).drop, "3rd passes again");
+        assert_eq!(st.dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_echoes_once() {
+        let plan = FaultPlan::new(0).duplicate_nth(pin(2, 0), 1, Duration::from_ps(4.0));
+        let mut st = FaultState::new(plan);
+        let f = st.on_delivery(pin(2, 0));
+        assert_eq!(f.echo_after, Some(Duration::from_ps(4.0)));
+        assert!(!f.drop);
+        assert_eq!(st.on_delivery(pin(2, 0)).echo_after, None);
+        assert_eq!(st.duplicated, 1);
+    }
+
+    #[test]
+    fn delay_factors_are_stable_and_seeded() {
+        let mut a = FaultState::new(FaultPlan::new(9).with_delay_sigma(0.1));
+        let mut b = FaultState::new(FaultPlan::new(9).with_delay_sigma(0.1));
+        let id = ComponentId::from_index(7);
+        let f = a.delay_factor(id);
+        assert_eq!(f, a.delay_factor(id), "factor is persistent");
+        assert_eq!(f, b.delay_factor(id), "same seed, same factor");
+        assert!(f > 0.0 && (f - 1.0).abs() <= 0.3 + 1e-12, "bounded: {f}");
+        let mut c = FaultState::new(FaultPlan::new(10).with_delay_sigma(0.1));
+        assert_ne!(f, c.delay_factor(id), "different seed, different factor");
+    }
+
+    #[test]
+    fn zero_sigma_means_unit_factors() {
+        let mut st = FaultState::new(FaultPlan::new(1));
+        assert_eq!(st.delay_factor(ComponentId::from_index(3)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zeroth_pulse_is_rejected() {
+        let _ = FaultPlan::new(0).drop_nth(pin(0, 0), 0);
+    }
+}

@@ -20,7 +20,14 @@
 //!   implements.
 //! - [`simulator`]: the event queue, stimulus injection, probes.
 //! - [`trace`]: pulse traces and ASCII waveform rendering.
-//! - [`violation`]: timing-violation records.
+//! - [`violation`]: timing-violation records and the
+//!   [`ViolationPolicy`](violation::ViolationPolicy) that gives them
+//!   consequences (`Record` / `FailFast` / `Degrade`).
+//! - [`fault`]: seeded deterministic fault injection
+//!   ([`FaultPlan`](fault::FaultPlan): pin drops/duplicates, spurious
+//!   pulses, per-instance Gaussian delay variation).
+//! - [`rng`]: the self-contained SplitMix64 generator behind all
+//!   randomness (explicit seeds only).
 //!
 //! ## Example
 //!
@@ -36,7 +43,9 @@
 //! live in the `sfq-cells` crate, which builds on this one.
 
 pub mod component;
+pub mod fault;
 pub mod netlist;
+pub mod rng;
 pub mod simulator;
 pub mod time;
 pub mod trace;
@@ -46,9 +55,11 @@ pub mod violation;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::component::{Component, PulseContext};
+    pub use crate::fault::FaultPlan;
     pub use crate::netlist::{ComponentId, Netlist, Pin, Wire};
+    pub use crate::rng::Rng64;
     pub use crate::simulator::{ProbeId, RunStats, Simulator};
     pub use crate::time::{Duration, Time};
     pub use crate::trace::PulseTrace;
-    pub use crate::violation::Violation;
+    pub use crate::violation::{SimError, Violation, ViolationPolicy};
 }

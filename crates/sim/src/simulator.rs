@@ -10,10 +10,11 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::component::PulseContext;
+use crate::fault::{FaultPlan, FaultState};
 use crate::netlist::{Netlist, Pin};
 use crate::time::{Duration, Time};
 use crate::trace::PulseTrace;
-use crate::violation::Violation;
+use crate::violation::{SimError, Violation, ViolationPolicy};
 
 /// Identifier of a probe attached to an output pin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -72,6 +73,10 @@ pub struct Simulator {
     violations: Vec<Violation>,
     /// Hard cap on processed events per `run` to catch runaway feedback.
     event_budget: u64,
+    policy: ViolationPolicy,
+    /// Pulses dropped by cells under [`ViolationPolicy::Degrade`].
+    degraded_drops: u64,
+    fault: Option<FaultState>,
 }
 
 impl Simulator {
@@ -89,7 +94,50 @@ impl Simulator {
             probe_records: Vec::new(),
             violations: Vec::new(),
             event_budget: Self::DEFAULT_EVENT_BUDGET,
+            policy: ViolationPolicy::Record,
+            degraded_drops: 0,
+            fault: None,
         }
+    }
+
+    /// Sets the violation policy for subsequent runs.
+    pub fn set_violation_policy(&mut self, policy: ViolationPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active violation policy.
+    pub fn violation_policy(&self) -> ViolationPolicy {
+        self.policy
+    }
+
+    /// Pulses dropped so far by cells degrading under
+    /// [`ViolationPolicy::Degrade`].
+    pub fn degraded_drops(&self) -> u64 {
+        self.degraded_drops
+    }
+
+    /// Installs a fault plan: schedules its spurious pulses now and applies
+    /// its pin faults and delay variation to all subsequent deliveries.
+    /// Replaces any previously installed plan (counters reset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spurious pulse is planned before the current time.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for &(pin, at) in plan.spurious_pulses() {
+            self.inject(pin, at);
+        }
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| f.plan())
+    }
+
+    /// `(dropped, duplicated)` pulse counts applied by the fault plan.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        self.fault.as_ref().map_or((0, 0), |f| (f.dropped, f.duplicated))
     }
 
     /// Sets the per-run event budget (runaway-feedback guard).
@@ -167,18 +215,35 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the event budget is exhausted, which indicates an
-    /// oscillating feedback loop in the netlist.
+    /// Panics if the event budget is exhausted (an oscillating feedback
+    /// loop in the netlist), or if the [`ViolationPolicy::FailFast`] policy
+    /// stops the run — use [`Simulator::try_run`] to handle that case.
     pub fn run(&mut self) -> RunStats {
-        self.run_until(None)
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs until the queue is empty or the next event is later than `deadline`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Simulator::run`].
     pub fn run_for(&mut self, deadline: Time) -> RunStats {
+        self.try_run_for(deadline).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs until the event queue is empty. Under
+    /// [`ViolationPolicy::FailFast`], stops at the first violation and
+    /// returns it as [`SimError::FailFast`].
+    pub fn try_run(&mut self) -> Result<RunStats, SimError> {
+        self.run_until(None)
+    }
+
+    /// [`Simulator::try_run`] with a deadline.
+    pub fn try_run_for(&mut self, deadline: Time) -> Result<RunStats, SimError> {
         self.run_until(Some(deadline))
     }
 
-    fn run_until(&mut self, deadline: Option<Time>) -> RunStats {
+    fn run_until(&mut self, deadline: Option<Time>) -> Result<RunStats, SimError> {
         let mut stats = RunStats::default();
         let mut emitted_buf: Vec<(u8, Time)> = Vec::new();
         let mut processed: u64 = 0;
@@ -195,9 +260,23 @@ impl Simulator {
                 "event budget exhausted ({processed} events): runaway feedback loop?"
             );
             self.now = ev.time;
-            stats.delivered += 1;
             stats.last_event = Some(ev.time);
 
+            // Planned pin faults act on the delivery, before the cell sees
+            // the pulse.
+            if let Some(fault) = self.fault.as_mut() {
+                let f = fault.on_delivery(ev.target);
+                if let Some(offset) = f.echo_after {
+                    let seq = self.next_seq();
+                    self.push(Event { time: ev.time + offset, seq, target: ev.target });
+                }
+                if f.drop {
+                    continue;
+                }
+            }
+            stats.delivered += 1;
+
+            let violations_before = self.violations.len();
             emitted_buf.clear();
             {
                 let label = &self.netlist.label(ev.target.component).to_string();
@@ -205,13 +284,30 @@ impl Simulator {
                     emitted: &mut emitted_buf,
                     violations: &mut self.violations,
                     component_label: label,
+                    policy: self.policy,
+                    degraded_drops: &mut self.degraded_drops,
                 };
                 self.netlist
                     .component_mut(ev.target.component)
                     .pulse(ev.target.index, ev.time, &mut ctx);
             }
 
+            // Per-instance delay variation scales the emitting cell's
+            // internal delay (the lag between the delivery and each
+            // emission); wire delays stay nominal.
+            let factor = self
+                .fault
+                .as_mut()
+                .map_or(1.0, |f| f.delay_factor(ev.target.component));
+
             for &(out_pin, at) in emitted_buf.iter() {
+                let at = if factor != 1.0 {
+                    let lag_fs = at.as_fs().saturating_sub(ev.time.as_fs());
+                    let scaled = (lag_fs as f64 * factor).round().max(0.0) as u64;
+                    Time::from_fs(ev.time.as_fs() + scaled)
+                } else {
+                    at
+                };
                 stats.emitted += 1;
                 let source = Pin::new(ev.target.component, out_pin);
                 if let Some(ids) = self.probes.get(&source) {
@@ -226,8 +322,14 @@ impl Simulator {
                     self.push(Event { time: at + delay, seq, target: to });
                 }
             }
+
+            if self.policy == ViolationPolicy::FailFast
+                && self.violations.len() > violations_before
+            {
+                return Err(SimError::FailFast(self.violations[violations_before].clone()));
+            }
         }
-        stats
+        Ok(stats)
     }
 
     fn push(&mut self, ev: Event) {
@@ -359,5 +461,134 @@ mod tests {
         sim.run();
         assert_eq!(sim.probe_trace(p1).len(), 1);
         assert_eq!(sim.probe_trace(p2).len(), 1);
+    }
+
+    /// Repeater with a 10 ps minimum spacing; closer pulses violate and,
+    /// under Degrade, are lost.
+    #[derive(Debug, Default)]
+    struct Spaced {
+        last: Option<Time>,
+    }
+    impl Component for Spaced {
+        fn kind(&self) -> &'static str {
+            "spaced"
+        }
+        fn pulse(&mut self, _pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+            if let Some(prev) = self.last {
+                if now.abs_diff(prev) < Duration::from_ps(10.0)
+                    && ctx.violation_degrades(now, "hold", "too close".to_string())
+                {
+                    return;
+                }
+            }
+            self.last = Some(now);
+            ctx.emit_after(0, now, Duration::from_ps(1.0));
+        }
+    }
+
+    fn spaced_sim() -> (Simulator, Pin, crate::simulator::ProbeId) {
+        let mut n = Netlist::new();
+        let id = n.add("s", Box::new(Spaced::default()) as _);
+        let mut sim = Simulator::new(n);
+        let probe = sim.probe(Pin::new(id, 0), "q");
+        (sim, Pin::new(id, 0), probe)
+    }
+
+    #[test]
+    fn record_policy_keeps_marginal_pulse() {
+        let (mut sim, pin, probe) = spaced_sim();
+        sim.inject(pin, Time::from_ps(0.0));
+        sim.inject(pin, Time::from_ps(4.0));
+        sim.run();
+        assert_eq!(sim.violations().len(), 1);
+        assert_eq!(sim.probe_trace(probe).len(), 2, "Record: pulse still acts");
+        assert_eq!(sim.degraded_drops(), 0);
+    }
+
+    #[test]
+    fn degrade_policy_drops_marginal_pulse() {
+        let (mut sim, pin, probe) = spaced_sim();
+        sim.set_violation_policy(ViolationPolicy::Degrade);
+        sim.inject(pin, Time::from_ps(0.0));
+        sim.inject(pin, Time::from_ps(4.0));
+        sim.run();
+        assert_eq!(sim.violations().len(), 1, "still recorded");
+        assert_eq!(sim.probe_trace(probe).len(), 1, "Degrade: pulse lost");
+        assert_eq!(sim.degraded_drops(), 1);
+    }
+
+    #[test]
+    fn fail_fast_stops_with_first_violation() {
+        let (mut sim, pin, probe) = spaced_sim();
+        sim.set_violation_policy(ViolationPolicy::FailFast);
+        sim.inject(pin, Time::from_ps(0.0));
+        sim.inject(pin, Time::from_ps(4.0));
+        sim.inject(pin, Time::from_ps(6.0));
+        let err = sim.try_run().unwrap_err();
+        let SimError::FailFast(v) = err;
+        assert_eq!(v.kind, "hold");
+        assert_eq!(v.at, Time::from_ps(4.0));
+        // The run stopped before processing the third stimulus.
+        assert_eq!(sim.probe_trace(probe).len(), 2);
+        assert_eq!(sim.violations().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fail-fast")]
+    fn run_panics_on_fail_fast() {
+        let (mut sim, pin, _probe) = spaced_sim();
+        sim.set_violation_policy(ViolationPolicy::FailFast);
+        sim.inject(pin, Time::from_ps(0.0));
+        sim.inject(pin, Time::from_ps(4.0));
+        sim.run();
+    }
+
+    #[test]
+    fn fault_plan_drops_and_duplicates() {
+        use crate::fault::FaultPlan;
+        let (mut sim, first, last) = chain(2);
+        let probe = sim.probe(last, "end");
+        // Drop the 1st delivery on the first repeater's input, duplicate
+        // the 2nd.
+        let plan = FaultPlan::new(0)
+            .drop_nth(first, 1)
+            .duplicate_nth(first, 2, Duration::from_ps(20.0));
+        sim.set_fault_plan(plan);
+        sim.inject(first, Time::from_ps(0.0));
+        sim.inject(first, Time::from_ps(100.0));
+        sim.run();
+        // Stimulus 1 dropped; stimulus 2 delivered plus an echo.
+        assert_eq!(sim.probe_trace(probe).len(), 2);
+        assert_eq!(sim.fault_counts(), (1, 1));
+    }
+
+    #[test]
+    fn spurious_pulses_inject_at_plan_install() {
+        use crate::fault::FaultPlan;
+        let (mut sim, first, last) = chain(2);
+        let probe = sim.probe(last, "end");
+        sim.set_fault_plan(FaultPlan::new(0).spurious(first, Time::from_ps(7.0)));
+        sim.run();
+        assert_eq!(sim.probe_trace(probe).len(), 1);
+    }
+
+    #[test]
+    fn delay_sigma_perturbs_reproducibly() {
+        use crate::fault::FaultPlan;
+        let run_with_seed = |seed: u64| {
+            let (mut sim, first, last) = chain(4);
+            let probe = sim.probe(last, "end");
+            sim.set_fault_plan(FaultPlan::new(seed).with_delay_sigma(0.2));
+            sim.inject(first, Time::from_ps(0.0));
+            sim.run();
+            sim.probe_trace(probe).pulses().to_vec()
+        };
+        let a = run_with_seed(1);
+        assert_eq!(a, run_with_seed(1), "same seed, identical trace");
+        assert_ne!(a, run_with_seed(2), "different seed perturbs differently");
+        // Nominal arrival is 5.5 ps; 20 % σ must move it but not wildly.
+        let at = a[0].as_ps();
+        assert!(at > 2.0 && at < 12.0, "arrival {at}");
+        assert_ne!(a[0], Time::from_ps(5.5));
     }
 }

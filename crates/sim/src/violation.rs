@@ -1,4 +1,4 @@
-//! Timing-violation records.
+//! Timing-violation records and the policies that give them consequences.
 //!
 //! SFQ cells have setup, hold, and critical-time requirements (for example
 //! the NDROC demux element of the paper needs 53 ps between successive
@@ -6,10 +6,52 @@
 //! report violations through
 //! [`PulseContext::violation`](crate::component::PulseContext::violation);
 //! the simulator collects them so drivers and tests can assert clean runs.
+//!
+//! A [`ViolationPolicy`] decides what a violation *does*: under
+//! [`ViolationPolicy::Record`] it is a log entry only, under
+//! [`ViolationPolicy::FailFast`] the run stops with a [`SimError`], and
+//! under [`ViolationPolicy::Degrade`] the violated cell misbehaves — the
+//! offending pulse is dropped, which is how a real JJ circuit fails
+//! (a re-arm-violated NDROC routes to neither output, a hold-violated
+//! HC-DRO loses the fluxon).
 
 use std::fmt;
 
 use crate::time::Time;
+
+/// What the simulator does when a cell reports a timing violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViolationPolicy {
+    /// Record the violation and continue; the marginal pulse still takes
+    /// effect (optimistic, the historical behavior).
+    #[default]
+    Record,
+    /// Stop the run at the first violation and return it as an error from
+    /// [`Simulator::try_run`](crate::simulator::Simulator::try_run).
+    FailFast,
+    /// The violated cell misbehaves: the offending pulse is dropped rather
+    /// than taking effect (pessimistic-realistic; what the margin engine
+    /// uses to find the edge of correct operation).
+    Degrade,
+}
+
+/// Error returned by the fallible run methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The [`ViolationPolicy::FailFast`] policy stopped the run; carries
+    /// the first violation observed.
+    FailFast(Violation),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::FailFast(v) => write!(f, "fail-fast on first violation: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// A single recorded timing violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,5 +88,23 @@ mod tests {
         assert!(s.contains("ndroc3"));
         assert!(s.contains("re-arm"));
         assert!(s.contains("12.500ps"));
+    }
+
+    #[test]
+    fn default_policy_is_record() {
+        assert_eq!(ViolationPolicy::default(), ViolationPolicy::Record);
+    }
+
+    #[test]
+    fn sim_error_displays_the_violation() {
+        let v = Violation {
+            at: Time::from_ps(1.0),
+            cell: "c".to_string(),
+            kind: "hold",
+            detail: "d".to_string(),
+        };
+        let e = SimError::FailFast(v);
+        assert!(e.to_string().contains("fail-fast"));
+        assert!(e.to_string().contains("hold"));
     }
 }

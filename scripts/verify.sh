@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the cheap robustness regression gates.
+#
+# Everything here runs offline: no network, no external crates. The
+# `--smoke` report paths use tiny geometries and trial counts so a full
+# run stays in CI budget while still exercising the fault-injection and
+# margin layers end to end (their shape assertions run inside the report
+# builders, so a regression panics the binary).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== clippy (deny warnings, all targets incl. benches) =="
+cargo clippy --workspace --all-targets --features bench -- -D warnings
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== robustness smoke reports =="
+cargo run -q --release -p hiperrf-bench --bin repro -- margins --smoke
+cargo run -q --release -p hiperrf-bench --bin repro -- faults --smoke
+
+echo "verify: OK"

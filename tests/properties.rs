@@ -1,4 +1,6 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized property tests over the core invariants, driven by the
+//! in-repo deterministic [`Rng64`] (the workspace builds offline, so no
+//! proptest):
 //!
 //! * RV32I encode/decode round trip for arbitrary instructions;
 //! * HC-DRO write/pop conservation for arbitrary pulse trains;
@@ -6,12 +8,14 @@
 //!   operation sequences, with reads always restoring;
 //! * the hazard-tracked architectural model never loses data under legal
 //!   schedules.
+//!
+//! Every test fixes its seed, so a failure reproduces exactly; the case
+//! counts match what the old proptest configs ran.
 
 use hiperrf::arch::{ArchRf, LOOPBACK_RF_CYCLES};
 use hiperrf::config::RfGeometry;
 use hiperrf::delay::RfDesign;
 use hiperrf::hiperrf_rf::HiPerRf;
-use proptest::prelude::*;
 use sfq_cells::builder::CircuitBuilder;
 use sfq_cells::storage::HcDro;
 use sfq_riscv::decode::decode;
@@ -20,201 +24,202 @@ use sfq_riscv::isa::{AluImmOp, AluOp, BranchCond, Instr, LoadWidth, Reg, StoreWi
 use sfq_sim::netlist::Pin;
 use sfq_sim::prelude::*;
 
-fn reg_strategy() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+fn random_reg(rng: &mut Rng64) -> Reg {
+    Reg::new(rng.next_below(32) as u8)
 }
 
-fn instr_strategy() -> impl Strategy<Value = Instr> {
-    let imm12 = -2048i32..=2047;
-    let upper = (0u32..=0xf_ffff).prop_map(|v| v << 12);
-    let branch_off = (-2048i32..=2047).prop_map(|v| v * 2);
-    let jal_off = (-262_144i32..=262_143).prop_map(|v| v * 2);
-    prop_oneof![
-        (reg_strategy(), upper.clone()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (reg_strategy(), upper).prop_map(|(rd, imm)| Instr::Auipc { rd, imm }),
-        (reg_strategy(), jal_off).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-        (reg_strategy(), reg_strategy(), imm12.clone())
-            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
-        (
-            prop_oneof![
-                Just(BranchCond::Eq),
-                Just(BranchCond::Ne),
-                Just(BranchCond::Lt),
-                Just(BranchCond::Ge),
-                Just(BranchCond::Ltu),
-                Just(BranchCond::Geu)
-            ],
-            reg_strategy(),
-            reg_strategy(),
-            branch_off
-        )
-            .prop_map(|(cond, rs1, rs2, offset)| Instr::Branch { cond, rs1, rs2, offset }),
-        (
-            prop_oneof![
-                Just(LoadWidth::B),
-                Just(LoadWidth::H),
-                Just(LoadWidth::W),
-                Just(LoadWidth::Bu),
-                Just(LoadWidth::Hu)
-            ],
-            reg_strategy(),
-            reg_strategy(),
-            imm12.clone()
-        )
-            .prop_map(|(width, rd, rs1, offset)| Instr::Load { width, rd, rs1, offset }),
-        (
-            prop_oneof![Just(StoreWidth::B), Just(StoreWidth::H), Just(StoreWidth::W)],
-            reg_strategy(),
-            reg_strategy(),
-            imm12.clone()
-        )
-            .prop_map(|(width, rs2, rs1, offset)| Instr::Store { width, rs2, rs1, offset }),
-        (
-            prop_oneof![
-                Just(AluImmOp::Addi),
-                Just(AluImmOp::Slti),
-                Just(AluImmOp::Sltiu),
-                Just(AluImmOp::Xori),
-                Just(AluImmOp::Ori),
-                Just(AluImmOp::Andi)
-            ],
-            reg_strategy(),
-            reg_strategy(),
-            imm12
-        )
-            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
-        (
-            prop_oneof![Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai)],
-            reg_strategy(),
-            reg_strategy(),
-            0i32..=31
-        )
-            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
-        (
-            prop_oneof![
-                Just(AluOp::Add),
-                Just(AluOp::Sub),
-                Just(AluOp::Sll),
-                Just(AluOp::Slt),
-                Just(AluOp::Sltu),
-                Just(AluOp::Xor),
-                Just(AluOp::Srl),
-                Just(AluOp::Sra),
-                Just(AluOp::Or),
-                Just(AluOp::And)
-            ],
-            reg_strategy(),
-            reg_strategy(),
-            reg_strategy()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
-        Just(Instr::Fence),
-        Just(Instr::Ecall),
-        Just(Instr::Ebreak),
-    ]
+/// Uniform `i32` in `[lo, hi]`.
+fn random_range(rng: &mut Rng64, lo: i32, hi: i32) -> i32 {
+    lo + rng.next_below((hi - lo + 1) as usize) as i32
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn random_instr(rng: &mut Rng64) -> Instr {
+    let imm12 = |rng: &mut Rng64| random_range(rng, -2048, 2047);
+    let upper = |rng: &mut Rng64| (rng.next_below(0x10_0000) as u32) << 12;
+    match rng.next_below(12) {
+        0 => Instr::Lui { rd: random_reg(rng), imm: upper(rng) },
+        1 => Instr::Auipc { rd: random_reg(rng), imm: upper(rng) },
+        2 => Instr::Jal { rd: random_reg(rng), offset: random_range(rng, -262_144, 262_143) * 2 },
+        3 => Instr::Jalr { rd: random_reg(rng), rs1: random_reg(rng), offset: imm12(rng) },
+        4 => {
+            let cond = [
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Lt,
+                BranchCond::Ge,
+                BranchCond::Ltu,
+                BranchCond::Geu,
+            ][rng.next_below(6)];
+            Instr::Branch {
+                cond,
+                rs1: random_reg(rng),
+                rs2: random_reg(rng),
+                offset: imm12(rng) * 2,
+            }
+        }
+        5 => {
+            let width = [LoadWidth::B, LoadWidth::H, LoadWidth::W, LoadWidth::Bu, LoadWidth::Hu]
+                [rng.next_below(5)];
+            Instr::Load { width, rd: random_reg(rng), rs1: random_reg(rng), offset: imm12(rng) }
+        }
+        6 => {
+            let width = [StoreWidth::B, StoreWidth::H, StoreWidth::W][rng.next_below(3)];
+            Instr::Store { width, rs2: random_reg(rng), rs1: random_reg(rng), offset: imm12(rng) }
+        }
+        7 => {
+            let op = [
+                AluImmOp::Addi,
+                AluImmOp::Slti,
+                AluImmOp::Sltiu,
+                AluImmOp::Xori,
+                AluImmOp::Ori,
+                AluImmOp::Andi,
+            ][rng.next_below(6)];
+            Instr::AluImm { op, rd: random_reg(rng), rs1: random_reg(rng), imm: imm12(rng) }
+        }
+        8 => {
+            let op = [AluImmOp::Slli, AluImmOp::Srli, AluImmOp::Srai][rng.next_below(3)];
+            Instr::AluImm {
+                op,
+                rd: random_reg(rng),
+                rs1: random_reg(rng),
+                imm: random_range(rng, 0, 31),
+            }
+        }
+        9 => {
+            let op = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Sll,
+                AluOp::Slt,
+                AluOp::Sltu,
+                AluOp::Xor,
+                AluOp::Srl,
+                AluOp::Sra,
+                AluOp::Or,
+                AluOp::And,
+            ][rng.next_below(10)];
+            Instr::Alu { op, rd: random_reg(rng), rs1: random_reg(rng), rs2: random_reg(rng) }
+        }
+        10 => Instr::Fence,
+        _ => [Instr::Ecall, Instr::Ebreak][rng.next_below(2)],
+    }
+}
 
-    #[test]
-    fn encode_decode_round_trip(instr in instr_strategy()) {
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = Rng64::new(0x0e1c_0de5);
+    for case in 0..512 {
+        let instr = random_instr(&mut rng);
         let word = encode(instr);
         let back = decode(word).expect("every encoded instruction decodes");
-        prop_assert_eq!(back, instr);
+        assert_eq!(back, instr, "case {case}: word {word:#010x}");
     }
+}
 
-    #[test]
-    fn disassemble_assemble_round_trip(instr in instr_strategy()) {
-        // Branch/jump targets print as numeric offsets, which the
-        // assembler re-resolves to the identical encoding.
+#[test]
+fn disassemble_assemble_round_trip() {
+    // Branch/jump targets print as numeric offsets, which the assembler
+    // re-resolves to the identical encoding.
+    let mut rng = Rng64::new(0xd15a_53b1);
+    for _ in 0..512 {
+        let instr = random_instr(&mut rng);
         let text = sfq_riscv::disasm::disassemble(instr);
         let prog = sfq_riscv::asm::assemble(&text, 0)
             .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
-        prop_assert_eq!(prog.words.len(), 1, "`{}` expanded unexpectedly", text);
-        prop_assert_eq!(prog.words[0], encode(instr), "`{}`", text);
-    }
-
-    #[test]
-    fn hcdro_conserves_fluxons(writes in 0u8..6, reads in 0u8..6) {
-        // Writing w pulses and clocking r times pops min(min(w, 3), r)
-        // pulses and leaves the rest stored.
-        let mut b = CircuitBuilder::new();
-        let cell = b.hcdro();
-        let mut sim = Simulator::new(b.finish());
-        let probe = sim.probe(Pin::new(cell, HcDro::Q), "q");
-        for i in 0..writes {
-            sim.inject(Pin::new(cell, HcDro::D), Time::from_ps(10.0 * f64::from(i)));
-        }
-        for i in 0..reads {
-            sim.inject(Pin::new(cell, HcDro::CLK), Time::from_ps(200.0 + 10.0 * f64::from(i)));
-        }
-        sim.run();
-        let stored_in = writes.min(3);
-        let popped = stored_in.min(reads);
-        prop_assert_eq!(sim.probe_trace(probe).len(), popped as usize);
-        prop_assert_eq!(
-            sim.netlist().component(cell).stored(),
-            Some(stored_in - popped)
-        );
-        prop_assert!(sim.violations().is_empty());
+        assert_eq!(prog.words.len(), 1, "`{text}` expanded unexpectedly");
+        assert_eq!(prog.words[0], encode(instr), "`{text}`");
     }
 }
 
-proptest! {
-    // Structural simulations are slower; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn hcdro_conserves_fluxons() {
+    // Writing w pulses and clocking r times pops min(min(w, 3), r) pulses
+    // and leaves the rest stored. Exhaustive over the old strategy's
+    // domain (writes, reads in 0..6).
+    for writes in 0u8..6 {
+        for reads in 0u8..6 {
+            let mut b = CircuitBuilder::new();
+            let cell = b.hcdro();
+            let mut sim = Simulator::new(b.finish());
+            let probe = sim.probe(Pin::new(cell, HcDro::Q), "q");
+            for i in 0..writes {
+                sim.inject(Pin::new(cell, HcDro::D), Time::from_ps(10.0 * f64::from(i)));
+            }
+            for i in 0..reads {
+                sim.inject(Pin::new(cell, HcDro::CLK), Time::from_ps(200.0 + 10.0 * f64::from(i)));
+            }
+            sim.run();
+            let stored_in = writes.min(3);
+            let popped = stored_in.min(reads);
+            assert_eq!(sim.probe_trace(probe).len(), popped as usize, "w={writes} r={reads}");
+            assert_eq!(
+                sim.netlist().component(cell).stored(),
+                Some(stored_in - popped),
+                "w={writes} r={reads}"
+            );
+            assert!(sim.violations().is_empty(), "w={writes} r={reads}");
+        }
+    }
+}
 
-    #[test]
-    fn structural_hiperrf_matches_array_model(
-        ops in proptest::collection::vec((0usize..4, 0u64..16, prop::bool::ANY), 1..14)
-    ) {
+#[test]
+fn structural_hiperrf_matches_array_model() {
+    // Structural simulations are slower; fewer cases (matches the old
+    // 12-case proptest config).
+    for case in 0..12u64 {
+        let mut rng = Rng64::fork(0x57a7_e5e1, case);
         let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
         let mut model = [0u64; 4];
-        for (reg, value, is_write) in ops {
-            if is_write {
+        let ops = 1 + rng.next_below(13);
+        for _ in 0..ops {
+            let reg = rng.next_below(4);
+            let value = rng.next_u64() & 0xf;
+            if rng.next_u64() & 1 == 0 {
                 rf.write(reg, value);
                 model[reg] = value;
             } else {
-                prop_assert_eq!(rf.read(reg), model[reg]);
+                assert_eq!(rf.read(reg), model[reg], "case {case}");
                 // Restoring read: storage unchanged afterwards.
-                prop_assert_eq!(rf.peek(reg), model[reg]);
+                assert_eq!(rf.peek(reg), model[reg], "case {case}");
             }
         }
-        prop_assert!(rf.violations().is_empty());
+        assert!(rf.violations().is_empty(), "case {case}: {:?}", rf.violations());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn arch_model_never_loses_data_under_legal_schedule(
-        ops in proptest::collection::vec((0usize..32, 0u64..u64::MAX, prop::bool::ANY), 1..64)
-    ) {
-        // A legal scheduler waits out the loopback window between port
-        // accesses; under that discipline no hazard can fire and values
-        // are preserved.
+#[test]
+fn arch_model_never_loses_data_under_legal_schedule() {
+    // A legal scheduler waits out the loopback window between port
+    // accesses; under that discipline no hazard can fire and values are
+    // preserved.
+    let mut rng = Rng64::new(0xa2c4_0de1);
+    for case in 0..256 {
         let mut rf = ArchRf::new(RfDesign::HiPerRf, RfGeometry::paper_32x32());
         let mut model = [0u64; 32];
-        for (reg, value, is_write) in ops {
+        let ops = 1 + rng.next_below(63);
+        for _ in 0..ops {
+            let reg = rng.next_below(32);
+            let value = rng.next_u64();
             rf.advance(LOOPBACK_RF_CYCLES);
-            if is_write {
+            if rng.next_u64() & 1 == 0 {
                 rf.write(reg, value).expect("legal schedule never trips hazards");
                 model[reg] = value;
             } else {
                 let got = rf.read(reg).expect("legal schedule never trips hazards");
-                prop_assert_eq!(got, model[reg]);
+                assert_eq!(got, model[reg], "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn arch_model_rejects_rapid_rereads(reg in 0usize..32) {
+#[test]
+fn arch_model_rejects_rapid_rereads() {
+    for reg in 0usize..32 {
         let mut rf = ArchRf::new(RfDesign::DualBanked, RfGeometry::paper_32x32());
         rf.write(reg, 7).expect("first write is legal");
         rf.advance(LOOPBACK_RF_CYCLES);
         rf.read(reg).expect("first read is legal");
-        prop_assert!(rf.read(reg).is_err(), "same-cycle re-read must be a RAR hazard");
+        assert!(rf.read(reg).is_err(), "same-cycle re-read must be a RAR hazard");
     }
 }

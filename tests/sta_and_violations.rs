@@ -116,6 +116,78 @@ fn clean_operations_record_no_violations() {
 }
 
 #[test]
+fn fail_fast_returns_the_first_violation() {
+    // Under FailFast the run must stop at the first violation and hand it
+    // back in the error — not panic, not keep simulating.
+    let mut b = CircuitBuilder::new();
+    let cell = b.hcdro();
+    let mut sim = Simulator::new(b.finish());
+    sim.set_violation_policy(ViolationPolicy::FailFast);
+    sim.inject(Pin::new(cell, HcDro::D), Time::from_ps(0.0));
+    sim.inject(Pin::new(cell, HcDro::D), Time::from_ps(4.0)); // hold violation
+    sim.inject(Pin::new(cell, HcDro::D), Time::from_ps(8.0)); // never reached cleanly
+    let err = sim.try_run().expect_err("fail-fast must error");
+    let SimError::FailFast(v) = err;
+    assert_eq!(v.kind, "hold");
+    assert_eq!(
+        &v,
+        sim.violations().first().expect("violation recorded"),
+        "the error must carry the first recorded violation"
+    );
+}
+
+#[test]
+fn degrade_on_ndroc_rearm_loses_the_pulse_without_misrouting() {
+    // The paper's NDROC demux element: a too-early re-fire inside the
+    // 53 ps re-arm window must produce a *missing* pulse at the selected
+    // leaf, never a pulse at a wrong leaf.
+    let mut b = CircuitBuilder::new();
+    let demux = build_demux(&mut b, 2);
+    let mut sim = Simulator::new(b.finish());
+    sim.set_violation_policy(ViolationPolicy::Degrade);
+    let probes: Vec<_> = demux
+        .outputs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| sim.probe(p, format!("leaf{i}")))
+        .collect();
+    demux.select_and_fire(&mut sim, 2, Time::from_ps(0.0), Time::from_ps(20.0));
+    sim.inject(demux.enable, Time::from_ps(40.0)); // 20 ps later: violates re-arm
+    sim.run();
+    let counts: Vec<_> = probes.iter().map(|&p| sim.probe_trace(p).len()).collect();
+    assert_eq!(counts, vec![0, 0, 1, 0], "second enable must vanish, not misroute");
+    assert!(sim.violations().iter().any(|v| v.kind == "re-arm"));
+    assert!(sim.degraded_drops() >= 1);
+}
+
+#[test]
+fn record_policy_is_byte_identical_to_the_default() {
+    // `Record` is the historical behavior; setting it explicitly must not
+    // perturb a single pulse time relative to an untouched simulator.
+    let run = |set_policy: bool| {
+        let mut b = CircuitBuilder::new();
+        let demux = build_demux(&mut b, 2);
+        let mut sim = Simulator::new(b.finish());
+        if set_policy {
+            sim.set_violation_policy(ViolationPolicy::Record);
+        }
+        let probes: Vec<_> = demux
+            .outputs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| sim.probe(p, format!("leaf{i}")))
+            .collect();
+        demux.select_and_fire(&mut sim, 3, Time::from_ps(0.0), Time::from_ps(20.0));
+        sim.inject(demux.enable, Time::from_ps(40.0)); // marginal re-fire
+        sim.run();
+        let traces: Vec<Vec<Time>> =
+            probes.iter().map(|&p| sim.probe_trace(p).pulses().to_vec()).collect();
+        (traces, sim.violations().to_vec())
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
 fn demux_head_start_is_sufficient_at_every_depth() {
     // The driver's select head start must beat the enable to the deepest
     // level; otherwise selection bits arrive late and reads mis-route.
