@@ -7,6 +7,7 @@
 use hiperrf::budget::{dual_banked_budget, hiperrf_budget, ndro_rf_budget};
 use hiperrf::config::RfGeometry;
 use hiperrf::hiperrf_rf::HiPerRf;
+use hiperrf::RegisterFile;
 use hiperrf_bench::microbench::{bench, group};
 use std::hint::black_box;
 

@@ -19,7 +19,9 @@ fn main() {
     for design in RfDesign::ALL {
         bench(&format!("towers/{design:?}"), || {
             let mut cpu = GateLevelCpu::new(design, PipelineConfig::sodor());
-            let out = cpu.run(black_box(&prog), w.mem_size, w.budget).expect("runs");
+            let out = cpu
+                .run(black_box(&prog), w.mem_size, w.budget)
+                .expect("runs");
             out.stats.cpi()
         });
     }

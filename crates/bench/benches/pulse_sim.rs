@@ -6,6 +6,7 @@
 
 use hiperrf::banked::DualBankRf;
 use hiperrf::config::RfGeometry;
+use hiperrf::harness::RegisterFile;
 use hiperrf::hiperrf_rf::HiPerRf;
 use hiperrf::ndro_rf::NdroRf;
 use hiperrf_bench::microbench::{bench, group};

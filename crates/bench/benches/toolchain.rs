@@ -15,11 +15,18 @@ use std::hint::black_box;
 
 fn main() {
     let w = qsort();
-    bench("assemble_qsort", || assemble(black_box(&w.source), 0).expect("assembles"));
+    bench("assemble_qsort", || {
+        assemble(black_box(&w.source), 0).expect("assembles")
+    });
 
     let prog = assemble(&w.source, 0).expect("assembles");
     // Only true instruction words round-trip; data words may not decode.
-    let words: Vec<u32> = prog.words.iter().copied().filter(|&w| decode(w).is_ok()).collect();
+    let words: Vec<u32> = prog
+        .words
+        .iter()
+        .copied()
+        .filter(|&w| decode(w).is_ok())
+        .collect();
     bench("decode_encode_round_trip", || {
         let mut acc = 0u32;
         for &w in &words {

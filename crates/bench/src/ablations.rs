@@ -48,7 +48,10 @@ pub fn shift_register_report() -> String {
 pub fn margins_report() -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "-- write-path timing margins (4x4 structural HiPerRF) --");
+    let _ = writeln!(
+        out,
+        "-- write-path timing margins (4x4 structural HiPerRF) --"
+    );
     let g = RfGeometry::paper_4x4();
     let w = write_skew_window(g, 16.0, 1.0);
     let _ = writeln!(
@@ -120,7 +123,11 @@ pub fn schedule_report() -> String {
         out,
         "-- compiler ablation: RAW-spreading schedule on HiPerRF (§VI-B) --"
     );
-    let _ = writeln!(out, "{:<16} {:>10} {:>10} {:>8} {:>7}", "benchmark", "CPI", "CPI sched", "delta", "moved");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>10} {:>8} {:>7}",
+        "benchmark", "CPI", "CPI sched", "delta", "moved"
+    );
     let rows = schedule_ablation(RfDesign::HiPerRf);
     let mut before = 0.0;
     let mut after = 0.0;
@@ -203,24 +210,32 @@ pub fn bank_allocation_report() -> String {
 pub fn memory_latency_report() -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "-- 77 K memory latency sensitivity (towers + 429.mcf) --");
+    let _ = writeln!(
+        out,
+        "-- 77 K memory latency sensitivity (towers + 429.mcf) --"
+    );
     let _ = writeln!(
         out,
         "{:>12} {:>10} {:>10} {:>10}",
         "mem gates", "base CPI", "HiPerRF%", "dual%"
     );
-    let picks: Vec<_> =
-        suite().into_iter().filter(|w| ["towers", "429.mcf"].contains(&w.name)).collect();
+    let picks: Vec<_> = suite()
+        .into_iter()
+        .filter(|w| ["towers", "429.mcf"].contains(&w.name))
+        .collect();
     for mem_latency in [4u64, 12, 24, 48] {
         let mut cfg = PipelineConfig::sodor();
         cfg.mem_latency = mem_latency;
         let mut cpis = [0.0f64; 3];
         for w in &picks {
             let prog = assemble(&w.source, 0).expect("assembles");
-            for (slot, design) in
-                [RfDesign::NdroBaseline, RfDesign::HiPerRf, RfDesign::DualBanked]
-                    .iter()
-                    .enumerate()
+            for (slot, design) in [
+                RfDesign::NdroBaseline,
+                RfDesign::HiPerRf,
+                RfDesign::DualBanked,
+            ]
+            .iter()
+            .enumerate()
             {
                 let mut cpu = GateLevelCpu::new(*design, cfg);
                 let out = cpu.run(&prog, w.mem_size, w.budget).expect("runs");
@@ -253,7 +268,10 @@ pub fn energy_report() -> String {
     use sfq_chip::energy::{chip_static_power_uw, static_energy_fj};
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "-- application-level static energy (chip power x run time) --");
+    let _ = writeln!(
+        out,
+        "-- application-level static energy (chip power x run time) --"
+    );
     let _ = writeln!(
         out,
         "chip static power: baseline {:.2} mW, HiPerRF {:.2} mW, dual {:.2} mW",
@@ -271,8 +289,13 @@ pub fn energy_report() -> String {
     for w in &rows {
         let prog = assemble(&w.source, 0).expect("assembles");
         let mut pj = [0.0f64; 3];
-        for (slot, design) in
-            [RfDesign::NdroBaseline, RfDesign::HiPerRf, RfDesign::DualBanked].iter().enumerate()
+        for (slot, design) in [
+            RfDesign::NdroBaseline,
+            RfDesign::HiPerRf,
+            RfDesign::DualBanked,
+        ]
+        .iter()
+        .enumerate()
         {
             let mut cpu = GateLevelCpu::new(*design, PipelineConfig::sodor());
             let out = cpu.run(&prog, w.mem_size, w.budget).expect("runs");
@@ -366,7 +389,10 @@ mod tests {
         let report = energy_report();
         assert!(report.contains("TOTAL"));
         // The net HiPerRF energy delta must be negative (a saving).
-        let net_line = report.lines().find(|l| l.contains("net:")).expect("net line");
+        let net_line = report
+            .lines()
+            .find(|l| l.contains("net:"))
+            .expect("net line");
         assert!(net_line.contains("HiPerRF -"), "{net_line}");
     }
 
@@ -382,6 +408,9 @@ mod tests {
                 helped += 1;
             }
         }
-        assert!(helped >= 3, "scheduling should help several benchmarks, helped {helped}");
+        assert!(
+            helped >= 3,
+            "scheduling should help several benchmarks, helped {helped}"
+        );
     }
 }

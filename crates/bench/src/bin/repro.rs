@@ -12,14 +12,17 @@
 //! repro ablations    Design-space ablations beyond the paper
 //! repro margins      Variation-aware margin tables + yield curves
 //! repro faults       Fault-injection demonstrations
+//! repro designs      Registry smoke matrix: every design, built + driven
 //! repro all          Everything above, in order
 //! ```
 //!
-//! `margins` and `faults` accept `--smoke` for the fast CI path.
+//! `margins`, `faults`, and `designs` accept `--smoke` for the fast CI
+//! path.
 
-use hiperrf::budget::{hiperrf_budget, ndro_rf_budget};
+use hiperrf::budget::{hiperrf_budget, ndro_rf_budget, structural_budget};
 use hiperrf::config::RfGeometry;
 use hiperrf::delay::{readout_delay_ps, RfDesign};
+use hiperrf::designs::registry;
 use hiperrf_bench::ablations::{
     bank_allocation_report, energy_report, margins_report, memory_latency_report,
     prediction_report, schedule_report, shift_register_report,
@@ -41,7 +44,11 @@ fn chip_report() -> String {
     let base = chip_budget(RfDesign::NdroBaseline);
     let hi = chip_budget(RfDesign::HiPerRf);
     let dual = chip_budget(RfDesign::DualBanked);
-    let _ = writeln!(out, "{:<16} {:>12} {:>12} {:>12}", "component", "baseline", "HiPerRF", "dual");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>12}",
+        "component", "baseline", "HiPerRF", "dual"
+    );
     for i in 0..base.components.len() {
         let _ = writeln!(
             out,
@@ -76,7 +83,10 @@ fn figure15_report() -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let g = RfGeometry::paper_32x32();
-    let _ = writeln!(out, "== Fig. 15 stand-in: placed loopback path (32x32 HiPerRF) ==");
+    let _ = writeln!(
+        out,
+        "== Fig. 15 stand-in: placed loopback path (32x32 HiPerRF) =="
+    );
     let stats = pnr::wire_stats();
     let _ = writeln!(
         out,
@@ -85,7 +95,11 @@ fn figure15_report() -> String {
     );
     let _ = writeln!(out, "{:<42} {:>10} {:>10}", "segment", "µm", "ps");
     for seg in pnr::loopback_path(g) {
-        let _ = writeln!(out, "{:<42} {:>10.0} {:>10.2}", seg.name, seg.length_um, seg.delay_ps);
+        let _ = writeln!(
+            out,
+            "{:<42} {:>10.0} {:>10.2}",
+            seg.name, seg.length_um, seg.delay_ps
+        );
     }
     let _ = writeln!(
         out,
@@ -102,15 +116,28 @@ fn ablations_report() -> String {
 
     // 1. Register-file size sweep: the paper's claim that HiPerRF's
     // advantage grows with size.
-    let _ = writeln!(out, "\n-- size sweep (width 32): JJ saving and delay overhead --");
-    let _ = writeln!(out, "{:>10} {:>12} {:>14}", "registers", "JJ saving", "delay overhead");
+    let _ = writeln!(
+        out,
+        "\n-- size sweep (width 32): JJ saving and delay overhead --"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>14}",
+        "registers", "JJ saving", "delay overhead"
+    );
     for regs in [4usize, 8, 16, 32, 64, 128, 256] {
         let g = RfGeometry::new(regs, 32).expect("valid");
-        let saving = 1.0 - hiperrf_budget(g).jj_total() as f64 / ndro_rf_budget(g).jj_total() as f64;
+        let saving =
+            1.0 - hiperrf_budget(g).jj_total() as f64 / ndro_rf_budget(g).jj_total() as f64;
         let overhead = readout_delay_ps(RfDesign::HiPerRf, g)
             / readout_delay_ps(RfDesign::NdroBaseline, g)
             - 1.0;
-        let _ = writeln!(out, "{regs:>10} {:>11.1}% {:>13.1}%", saving * 100.0, overhead * 100.0);
+        let _ = writeln!(
+            out,
+            "{regs:>10} {:>11.1}% {:>13.1}%",
+            saving * 100.0,
+            overhead * 100.0
+        );
     }
 
     // 2. HC-DRO capacity: generalize the cell to 1/2/4 bits and rebuild
@@ -161,7 +188,11 @@ fn ablations_report() -> String {
     let single = hiperrf_budget(g).jj_total();
     let dual = hiperrf::budget::dual_banked_budget(g).jj_total();
     let _ = writeln!(out, "1 bank:  {single:>6} JJs");
-    let _ = writeln!(out, "2 banks: {dual:>6} JJs (+{:.1}%)", 100.0 * (dual as f64 / single as f64 - 1.0));
+    let _ = writeln!(
+        out,
+        "2 banks: {dual:>6} JJs (+{:.1}%)",
+        100.0 * (dual as f64 / single as f64 - 1.0)
+    );
     let quad = 4 * hiperrf_budget(RfGeometry::new(8, 32).expect("valid")).jj_total() + 3 * 32;
     let _ = writeln!(
         out,
@@ -182,6 +213,47 @@ fn ablations_report() -> String {
     let _ = writeln!(out, "{}", memory_latency_report());
     let _ = writeln!(out, "{}", energy_report());
     let _ = writeln!(out, "{}", prediction_report());
+    out
+}
+
+/// The registry smoke matrix: builds every registered design at each
+/// geometry, drives it through a write/read round trip behind the
+/// `RegisterFile` trait, and checks its elaborated census against the
+/// structural budget.
+fn designs_report(smoke: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== Design registry smoke matrix ==");
+    let sizes: &[RfGeometry] = if smoke {
+        &[RfGeometry::paper_4x4()]
+    } else {
+        &[RfGeometry::paper_4x4(), RfGeometry::paper_16x16()]
+    };
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>8} {:>10} {:>12}",
+        "design", "size", "JJs", "power/µW", "round trip"
+    );
+    for design in registry() {
+        for &g in sizes {
+            let mut rf = design.build(g);
+            rf.write(1, 0b101);
+            let ok = rf.peek(1) == 0b101 && rf.read(1) == 0b101 && rf.violations().is_empty();
+            assert!(ok, "{design} at {g}: round trip failed");
+            let census = rf.census();
+            let budget = structural_budget(design, g);
+            assert_eq!(census, budget.census(), "{design} at {g}: census drift");
+            let _ = writeln!(
+                out,
+                "{:<16} {:>12} {:>8} {:>10.1} {:>12}",
+                design.label(),
+                format!("{g}"),
+                census.jj_total(),
+                census.static_power_uw(),
+                "ok"
+            );
+        }
+    }
     out
 }
 
@@ -209,12 +281,23 @@ fn run(section: &str, smoke: bool) -> bool {
         "ablations" => print!("{}", ablations_report()),
         "margins" => print!("{}", margins_table(smoke)),
         "faults" => print!("{}", faults_report(smoke)),
+        "designs" => print!("{}", designs_report(smoke)),
         "all" => {
             for s in [
-                "table1", "table2", "table3", "table4", "budget", "figure14", "chip",
-                "figure15", "timing", "ablations", "margins", "faults",
-            ]
-            {
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "budget",
+                "figure14",
+                "chip",
+                "figure15",
+                "timing",
+                "ablations",
+                "margins",
+                "faults",
+                "designs",
+            ] {
                 run(s, smoke);
                 println!();
             }
@@ -227,13 +310,16 @@ fn run(section: &str, smoke: bool) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let section =
-        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
+    let section = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
     if !run(&section, smoke) {
         eprintln!(
             "unknown section `{section}`; expected one of: table1 table2 table3 table4 \
-             budget figure14 chip figure15 timing ablations margins faults all \
-             (margins/faults accept --smoke)"
+             budget figure14 chip figure15 timing ablations margins faults designs all \
+             (margins/faults/designs accept --smoke)"
         );
         std::process::exit(2);
     }

@@ -36,13 +36,21 @@ pub fn run_workload(w: &Workload) -> Figure14Row {
         let out = cpu
             .run(&prog, w.mem_size, w.budget)
             .unwrap_or_else(|e| panic!("{} faulted on {design:?}: {e}", w.name));
-        assert_eq!(out.exit_code, PASS, "{} failed self-check on {design:?}", w.name);
+        assert_eq!(
+            out.exit_code, PASS,
+            "{} failed self-check on {design:?}",
+            w.name
+        );
         cpis.push(out.stats.cpi());
     }
     Figure14Row {
         name: w.name,
         baseline_cpi: cpis[0],
-        overhead: [cpis[1] / cpis[0] - 1.0, cpis[2] / cpis[0] - 1.0, cpis[3] / cpis[0] - 1.0],
+        overhead: [
+            cpis[1] / cpis[0] - 1.0,
+            cpis[2] / cpis[0] - 1.0,
+            cpis[3] / cpis[0] - 1.0,
+        ],
     }
 }
 
@@ -77,7 +85,12 @@ pub fn render(rows: &[Figure14Row]) -> String {
         let bars: String = row
             .overhead
             .iter()
-            .map(|o| format!("[{:<24}]", "#".repeat(((o * 200.0).round() as usize).min(24))))
+            .map(|o| {
+                format!(
+                    "[{:<24}]",
+                    "#".repeat(((o * 200.0).round() as usize).min(24))
+                )
+            })
             .collect::<Vec<_>>()
             .join(" ");
         let _ = writeln!(
@@ -133,8 +146,16 @@ mod tests {
     #[test]
     fn averages_are_means() {
         let rows = vec![
-            Figure14Row { name: "a", baseline_cpi: 1.0, overhead: [0.1, 0.0, 0.0] },
-            Figure14Row { name: "b", baseline_cpi: 1.0, overhead: [0.3, 0.1, 0.0] },
+            Figure14Row {
+                name: "a",
+                baseline_cpi: 1.0,
+                overhead: [0.1, 0.0, 0.0],
+            },
+            Figure14Row {
+                name: "b",
+                baseline_cpi: 1.0,
+                overhead: [0.3, 0.1, 0.0],
+            },
         ];
         let avg = average_overheads(&rows);
         assert!((avg[0] - 0.2).abs() < 1e-12);

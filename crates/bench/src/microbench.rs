@@ -32,7 +32,10 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
         best = best.min(run_batch(iters, &mut f));
     }
     let per_iter = best.as_secs_f64() / iters as f64;
-    println!("{name:<48} {:>12}/iter  ({iters} iters/batch)", format_secs(per_iter));
+    println!(
+        "{name:<48} {:>12}/iter  ({iters} iters/batch)",
+        format_secs(per_iter)
+    );
 }
 
 fn run_batch<T>(iters: u64, f: &mut impl FnMut() -> T) -> Duration {

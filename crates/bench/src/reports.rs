@@ -1,9 +1,15 @@
 //! Report builders for Tables I–IV: paper-vs-measured rows plus plain-text
 //! rendering.
+//!
+//! The JJ and power tables (I and II) are computed by elaborating each
+//! registered design and walking its netlist scopes
+//! ([`hiperrf::budget::structural_budget`]); the closed-form budgets are
+//! cross-check assertions, not the source of the report.
 
-use hiperrf::budget::{dual_banked_budget, hiperrf_budget, ndro_rf_budget, paper as budget_paper};
+use hiperrf::budget::{paper as budget_paper, structural_budget};
 use hiperrf::config::RfGeometry;
 use hiperrf::delay::{paper as delay_paper, readout_delay_ps, RfDesign};
+use hiperrf::designs::Design;
 use sfq_chip::pnr;
 
 /// A measured-vs-paper value for one design at one geometry.
@@ -55,64 +61,71 @@ fn render(title: &str, unit: &str, rows: &[TableRow], baseline_idx: usize) -> St
             pct
         );
     }
-    let _ = writeln!(out, "(values in {unit}; p: columns are the paper's Table values)");
+    let _ = writeln!(
+        out,
+        "(values in {unit}; p: columns are the paper's Table values)"
+    );
     out
 }
 
-/// A named per-geometry metric with its paper reference values.
-type JjRowSpec = (&'static str, fn(RfGeometry) -> u64, [u64; 3]);
-/// Floating-point variant of [`JjRowSpec`].
-type PowerRowSpec = (&'static str, fn(RfGeometry) -> f64, [f64; 3]);
+/// The three designs with Table I/II rows, with their paper reference
+/// columns. The shift register is registered but has no paper table row.
+const TABLED_DESIGNS: [(Design, &str, [u64; 3], [f64; 3]); 3] = [
+    (
+        Design::NdroBaseline,
+        "NDRO RF (Baseline Design)",
+        budget_paper::JJ_NDRO,
+        budget_paper::POWER_NDRO,
+    ),
+    (
+        Design::HiPerRf,
+        "HiPerRF",
+        budget_paper::JJ_HIPERRF,
+        budget_paper::POWER_HIPERRF,
+    ),
+    (
+        Design::DualBanked,
+        "Dual-banked HiPerRF",
+        budget_paper::JJ_DUAL,
+        budget_paper::POWER_DUAL,
+    ),
+];
 
-/// Table I: total JJ count per design and geometry.
+/// Table I: total JJ count per design and geometry, counted over the
+/// elaborated netlists.
 pub fn table1() -> Vec<TableRow> {
     let sizes = RfGeometry::paper_sizes();
-    let builders: [JjRowSpec; 3] = [
-        (
-            "NDRO RF (Baseline Design)",
-            |g| ndro_rf_budget(g).jj_total(),
-            budget_paper::JJ_NDRO,
-        ),
-        ("HiPerRF", |g| hiperrf_budget(g).jj_total(), budget_paper::JJ_HIPERRF),
-        ("Dual-banked HiPerRF", |g| dual_banked_budget(g).jj_total(), budget_paper::JJ_DUAL),
-    ];
-    builders
+    TABLED_DESIGNS
         .iter()
-        .map(|(name, f, paper)| TableRow {
+        .map(|&(design, name, jj_paper, _)| TableRow {
             design: name,
             cells: sizes
                 .iter()
-                .zip(paper)
-                .map(|(g, &p)| TableCell { ours: f(*g) as f64, paper: p as f64 })
+                .zip(jj_paper)
+                .map(|(&g, p)| TableCell {
+                    ours: structural_budget(design, g).jj_total() as f64,
+                    paper: p as f64,
+                })
                 .collect(),
         })
         .collect()
 }
 
-/// Table II: static power (µW) per design and geometry.
+/// Table II: static power (µW) per design and geometry, summed over the
+/// cells of the elaborated netlists.
 pub fn table2() -> Vec<TableRow> {
     let sizes = RfGeometry::paper_sizes();
-    let builders: [PowerRowSpec; 3] = [
-        (
-            "NDRO RF (Baseline Design)",
-            |g| ndro_rf_budget(g).static_power_uw(),
-            budget_paper::POWER_NDRO,
-        ),
-        ("HiPerRF", |g| hiperrf_budget(g).static_power_uw(), budget_paper::POWER_HIPERRF),
-        (
-            "Dual-banked HiPerRF",
-            |g| dual_banked_budget(g).static_power_uw(),
-            budget_paper::POWER_DUAL,
-        ),
-    ];
-    builders
+    TABLED_DESIGNS
         .iter()
-        .map(|(name, f, paper)| TableRow {
+        .map(|&(design, name, _, power_paper)| TableRow {
             design: name,
             cells: sizes
                 .iter()
-                .zip(paper)
-                .map(|(g, &p)| TableCell { ours: f(*g), paper: p })
+                .zip(power_paper)
+                .map(|(&g, p)| TableCell {
+                    ours: structural_budget(design, g).static_power_uw(),
+                    paper: p,
+                })
                 .collect(),
         })
         .collect()
@@ -122,9 +135,17 @@ pub fn table2() -> Vec<TableRow> {
 pub fn table3() -> Vec<TableRow> {
     let sizes = RfGeometry::paper_sizes();
     let rows: [(&'static str, RfDesign, [f64; 3]); 3] = [
-        ("NDRO RF (Baseline Design)", RfDesign::NdroBaseline, delay_paper::READOUT_NDRO),
+        (
+            "NDRO RF (Baseline Design)",
+            RfDesign::NdroBaseline,
+            delay_paper::READOUT_NDRO,
+        ),
         ("HiPerRF", RfDesign::HiPerRf, delay_paper::READOUT_HIPERRF),
-        ("Dual-banked HiPerRF", RfDesign::DualBanked, delay_paper::READOUT_DUAL),
+        (
+            "Dual-banked HiPerRF",
+            RfDesign::DualBanked,
+            delay_paper::READOUT_DUAL,
+        ),
     ];
     rows.iter()
         .map(|(name, design, paper)| TableRow {
@@ -132,7 +153,10 @@ pub fn table3() -> Vec<TableRow> {
             cells: sizes
                 .iter()
                 .zip(paper)
-                .map(|(g, &p)| TableCell { ours: readout_delay_ps(*design, *g), paper: p })
+                .map(|(g, &p)| TableCell {
+                    ours: readout_delay_ps(*design, *g),
+                    paper: p,
+                })
                 .collect(),
         })
         .collect()
@@ -168,7 +192,11 @@ pub fn table4_report() -> String {
     );
     for (i, r) in rows.iter().enumerate() {
         let lb = r.loopback_ps.map_or("-".to_string(), |v| format!("{v:.1}"));
-        let lb_paper = if i == 0 { "-".to_string() } else { format!("{}", paper_loopback[i - 1]) };
+        let lb_paper = if i == 0 {
+            "-".to_string()
+        } else {
+            format!("{}", paper_loopback[i - 1])
+        };
         let _ = writeln!(
             out,
             "{:<28} {:>12.1} {:>10.1} {:>14} {:>10}",
@@ -183,23 +211,28 @@ pub fn table4_report() -> String {
 }
 
 /// Per-section JJ breakdown of every design at 32×32: where the JJs go.
+///
+/// Every registered design's breakdown comes from walking its elaborated
+/// netlist; the multi-ported projection has no structural model and stays
+/// closed-form.
 pub fn budget_breakdown_report() -> String {
     use hiperrf::budget::{multi_port_hiperrf_budget, RfBudget};
-    use hiperrf::shift_rf::shift_rf_budget;
     use std::fmt::Write as _;
     let g = RfGeometry::paper_32x32();
-    let budgets: Vec<RfBudget> = vec![
-        ndro_rf_budget(g),
-        hiperrf_budget(g),
-        dual_banked_budget(g),
-        shift_rf_budget(g),
-        multi_port_hiperrf_budget(g, 2),
-    ];
+    let mut budgets: Vec<RfBudget> = hiperrf::designs::registry()
+        .map(|d| structural_budget(d, g))
+        .collect();
+    budgets.push(multi_port_hiperrf_budget(g, 2));
     let mut out = String::new();
     let _ = writeln!(out, "== JJ budget breakdown (32x32) ==");
     for b in budgets {
         let total = b.jj_total();
-        let _ = writeln!(out, "\n{} — {total} JJs, {:.1} µW", b.design, b.static_power_uw());
+        let _ = writeln!(
+            out,
+            "\n{} — {total} JJs, {:.1} µW",
+            b.design,
+            b.static_power_uw()
+        );
         for section in &b.sections {
             let jj = section.census.jj_total();
             let _ = writeln!(
@@ -228,6 +261,32 @@ mod tests {
     }
 
     #[test]
+    fn table2_rows_within_tolerance() {
+        for row in table2() {
+            for cell in &row.cells {
+                assert!(cell.rel_err() < 0.10, "{}: {:?}", row.design, cell);
+            }
+        }
+    }
+
+    #[test]
+    fn tables_cross_check_against_closed_form() {
+        // The reports are structural; the closed-form budgets must agree.
+        use hiperrf::budget::closed_form_budget;
+        for &(design, ..) in &TABLED_DESIGNS {
+            for g in RfGeometry::paper_sizes() {
+                let s = structural_budget(design, g);
+                let c = closed_form_budget(design, g);
+                assert_eq!(s.jj_total(), c.jj_total(), "{design} {g}");
+                assert!(
+                    (s.static_power_uw() - c.static_power_uw()).abs() < 1e-9,
+                    "{design} {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn table3_exact() {
         for row in table3() {
             for cell in &row.cells {
@@ -239,7 +298,13 @@ mod tests {
     #[test]
     fn budget_breakdown_covers_all_designs() {
         let r = budget_breakdown_report();
-        for needle in ["NDRO RF", "HiPerRF", "Dual-banked", "Shift-register", "Multi-ported"] {
+        for needle in [
+            "NDRO RF",
+            "HiPerRF",
+            "Dual-banked",
+            "Shift-register",
+            "Multi-ported",
+        ] {
             assert!(r.contains(needle), "missing {needle} in:\n{r}");
         }
         assert!(r.contains("storage"));
@@ -247,7 +312,12 @@ mod tests {
 
     #[test]
     fn rendered_tables_contain_designs() {
-        for text in [render_table1(), render_table2(), render_table3(), table4_report()] {
+        for text in [
+            render_table1(),
+            render_table2(),
+            render_table3(),
+            table4_report(),
+        ] {
             assert!(text.contains("HiPerRF"), "{text}");
             assert!(text.contains("Baseline"), "{text}");
         }

@@ -16,14 +16,13 @@ use std::fmt::Write as _;
 
 use hiperrf::config::RfGeometry;
 use hiperrf::demux::{build_demux, sel_head_start};
+use hiperrf::harness::RegisterFile;
 use hiperrf::hiperrf_rf::HiPerRf;
 use hiperrf::margins::{
     clocked_reference_window, critical_sigma, design_skew_window, min_enable_spacing_ps,
     min_hc_clean_sep_ps, min_hc_train_sep_ps, soak_passes, yield_curve, Design,
 };
-use sfq_cells::timing::{
-    HCDRO_HARD_SEP_PS, HCDRO_PULSE_SEP_PS, NDROC_REARM_PS, SYNC_TRACK_PS,
-};
+use sfq_cells::timing::{HCDRO_HARD_SEP_PS, HCDRO_PULSE_SEP_PS, NDROC_REARM_PS, SYNC_TRACK_PS};
 use sfq_cells::CircuitBuilder;
 use sfq_sim::prelude::*;
 
@@ -52,11 +51,21 @@ pub fn margins_table(smoke: bool) -> String {
     let levels: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 3] };
 
     let mut out = String::new();
-    let _ = writeln!(out, "== Variation-aware margins (4x4, seed {REPORT_SEED:#x}) ==");
+    let _ = writeln!(
+        out,
+        "== Variation-aware margins (4x4, seed {REPORT_SEED:#x}) =="
+    );
 
     // 1. Write-path skew windows, clock-less designs vs clocked reference.
-    let _ = writeln!(out, "\n-- data-vs-enable skew windows (step {step:.0} ps) --");
-    let _ = writeln!(out, "{:<18} {:>9} {:>9} {:>9}", "write port", "min ps", "max ps", "width");
+    let _ = writeln!(
+        out,
+        "\n-- data-vs-enable skew windows (step {step:.0} ps) --"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>9} {:>9} {:>9}",
+        "write port", "min ps", "max ps", "width"
+    );
     let mut windows = Vec::new();
     for design in Design::ALL {
         let w = design_skew_window(design, g, 12.0, step);
@@ -80,7 +89,11 @@ pub fn margins_table(smoke: bool) -> String {
         clocked.width_ps(),
         SYNC_TRACK_PS
     );
-    let hiperrf_w = &windows.iter().find(|(d, _)| *d == Design::HiPerRf).expect("present").1;
+    let hiperrf_w = &windows
+        .iter()
+        .find(|(d, _)| *d == Design::HiPerRf)
+        .expect("present")
+        .1;
     assert!(
         hiperrf_w.width_ps() > clocked.width_ps(),
         "§II-D shape violated: clock-less HiPerRF window {hiperrf_w:?} \
@@ -108,8 +121,14 @@ pub fn margins_table(smoke: bool) -> String {
     }
     let hard = min_hc_train_sep_ps();
     let clean = min_hc_clean_sep_ps();
-    assert!((hard - HCDRO_HARD_SEP_PS).abs() < 0.1, "HC hard threshold mismatch: {hard} ps");
-    assert!((clean - HCDRO_PULSE_SEP_PS).abs() < 0.1, "HC design rule mismatch: {clean} ps");
+    assert!(
+        (hard - HCDRO_HARD_SEP_PS).abs() < 0.1,
+        "HC hard threshold mismatch: {hard} ps"
+    );
+    assert!(
+        (clean - HCDRO_PULSE_SEP_PS).abs() < 0.1,
+        "HC design rule mismatch: {clean} ps"
+    );
     let _ = writeln!(
         out,
         "hc-dro pulse loss below:     {hard:>6.1} ps  (hard threshold {HCDRO_HARD_SEP_PS} ps)"
@@ -120,13 +139,24 @@ pub fn margins_table(smoke: bool) -> String {
     );
 
     // 3. Critical delay variation and Monte Carlo yield per design.
-    let _ = writeln!(out, "\n-- delay variation tolerance (Degrade policy soak) --");
+    let _ = writeln!(
+        out,
+        "\n-- delay variation tolerance (Degrade policy soak) --"
+    );
     for design in Design::ALL {
         let c = critical_sigma(design, g, REPORT_SEED);
         assert!(c > 0.0, "{design}: no variation tolerance at all");
-        let _ = writeln!(out, "{:<18} critical sigma {:>5.1}%", design.label(), c * 100.0);
+        let _ = writeln!(
+            out,
+            "{:<18} critical sigma {:>5.1}%",
+            design.label(),
+            c * 100.0
+        );
     }
-    let _ = writeln!(out, "\n-- Monte Carlo yield vs sigma ({trials} trials/design) --");
+    let _ = writeln!(
+        out,
+        "\n-- Monte Carlo yield vs sigma ({trials} trials/design) --"
+    );
     let mut header = format!("{:<18}", "design");
     for &s in sigmas {
         let _ = write!(header, " {:>7.0}%", s * 100.0);
@@ -140,7 +170,10 @@ pub fn margins_table(smoke: bool) -> String {
                 "{design}: yield not monotone non-increasing: {curve:?}"
             );
         }
-        assert!((curve.points[0].1 - 1.0).abs() < f64::EPSILON, "{design}: yield(0) != 1");
+        assert!(
+            (curve.points[0].1 - 1.0).abs() < f64::EPSILON,
+            "{design}: yield(0) != 1"
+        );
         let mut row = format!("{:<18}", design.label());
         for &(_, y) in &curve.points {
             let _ = write!(row, " {:>7.0}%", y * 100.0);
@@ -160,14 +193,23 @@ fn demux_fault_run(
     let d = build_demux(&mut b, 2);
     let mut sim = Simulator::new(b.finish());
     sim.set_violation_policy(policy);
-    let probes: Vec<_> =
-        d.outputs.iter().enumerate().map(|(i, &p)| sim.probe(p, format!("leaf{i}"))).collect();
+    let probes: Vec<_> = d
+        .outputs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| sim.probe(p, format!("leaf{i}")))
+        .collect();
     sim.set_fault_plan(plan(d.enable));
     let t = Time::from_ps(10.0);
     d.select_and_fire(&mut sim, 0, t, t + sel_head_start(2));
     sim.run();
     let leaves = probes.iter().map(|&p| sim.probe_trace(p).len()).collect();
-    (leaves, sim.violations().len(), sim.degraded_drops(), sim.fault_counts())
+    (
+        leaves,
+        sim.violations().len(),
+        sim.degraded_drops(),
+        sim.fault_counts(),
+    )
 }
 
 /// Fault-injection demonstration report: pulse drops, duplications,
@@ -185,7 +227,11 @@ pub fn faults_report(smoke: bool) -> String {
     let (leaves, _, _, counts) = demux_fault_run(ViolationPolicy::Record, |enable| {
         FaultPlan::new(REPORT_SEED).drop_nth(enable, 1)
     });
-    assert_eq!(leaves, vec![0, 0, 0, 0], "dropped enable must reach no leaf");
+    assert_eq!(
+        leaves,
+        vec![0, 0, 0, 0],
+        "dropped enable must reach no leaf"
+    );
     let _ = writeln!(
         out,
         "\ndrop 1st enable delivery:      leaves {leaves:?}, faults applied {counts:?}"
@@ -195,12 +241,23 @@ pub fn faults_report(smoke: bool) -> String {
     // re-arm. Under Record the duplicate routes again (2 pulses at the
     // leaf); under Degrade the violated NDROC destroys it — the demux
     // drops, it never misroutes.
-    let dup = |enable| FaultPlan::new(REPORT_SEED).duplicate_nth(enable, 1, Duration::from_ps(20.0));
+    let dup =
+        |enable| FaultPlan::new(REPORT_SEED).duplicate_nth(enable, 1, Duration::from_ps(20.0));
     let (rec_leaves, rec_viol, _, _) = demux_fault_run(ViolationPolicy::Record, dup);
     let (deg_leaves, deg_viol, deg_drops, _) = demux_fault_run(ViolationPolicy::Degrade, dup);
-    assert_eq!(rec_leaves[0], 2, "Record: duplicate still routes: {rec_leaves:?}");
-    assert_eq!(deg_leaves, vec![1, 0, 0, 0], "Degrade: duplicate dropped, not misrouted");
-    assert!(rec_viol > 0 && deg_viol > 0, "re-arm violation must be recorded either way");
+    assert_eq!(
+        rec_leaves[0], 2,
+        "Record: duplicate still routes: {rec_leaves:?}"
+    );
+    assert_eq!(
+        deg_leaves,
+        vec![1, 0, 0, 0],
+        "Degrade: duplicate dropped, not misrouted"
+    );
+    assert!(
+        rec_viol > 0 && deg_viol > 0,
+        "re-arm violation must be recorded either way"
+    );
     assert!(deg_drops > 0, "Degrade must account the destroyed pulse");
     let _ = writeln!(
         out,
@@ -216,7 +273,11 @@ pub fn faults_report(smoke: bool) -> String {
     let (sp_leaves, _, _, _) = demux_fault_run(ViolationPolicy::Record, |enable| {
         FaultPlan::new(REPORT_SEED).spurious(enable, Time::from_ps(400.0))
     });
-    assert_eq!(sp_leaves, vec![2, 0, 0, 0], "spurious enable reuses the stale selection");
+    assert_eq!(
+        sp_leaves,
+        vec![2, 0, 0, 0],
+        "spurious enable reuses the stale selection"
+    );
     let _ = writeln!(
         out,
         "spurious enable at 400 ps:     leaves {sp_leaves:?} (stale selection reused)"
@@ -224,8 +285,15 @@ pub fn faults_report(smoke: bool) -> String {
 
     // 4. Seeded delay variation on a full HiPerRF soak.
     let g = RfGeometry::paper_4x4();
-    let sigmas: &[f64] = if smoke { &[0.02, 0.10] } else { &[0.02, 0.05, 0.10, 0.20] };
-    let _ = writeln!(out, "\n-- HiPerRF write-all/read-all soak under delay variation --");
+    let sigmas: &[f64] = if smoke {
+        &[0.02, 0.10]
+    } else {
+        &[0.02, 0.05, 0.10, 0.20]
+    };
+    let _ = writeln!(
+        out,
+        "\n-- HiPerRF write-all/read-all soak under delay variation --"
+    );
     for &sigma in sigmas {
         let passed = soak_passes(Design::HiPerRf, g, sigma, REPORT_SEED);
         let mut rf = HiPerRf::new(g);
@@ -254,7 +322,10 @@ pub fn faults_report(smoke: bool) -> String {
     };
     let a = spot(REPORT_SEED);
     let b = spot(REPORT_SEED);
-    assert_eq!(a, b, "same seed must reproduce values, violations and drops exactly");
+    assert_eq!(
+        a, b,
+        "same seed must reproduce values, violations and drops exactly"
+    );
     let _ = writeln!(
         out,
         "\nreproducibility: two seeded runs agree exactly ({} violations, {} drops)",

@@ -31,7 +31,12 @@ pub fn ndro_rf_diagram() -> String {
     }
     format!(
         "== Fig. 8 stand-in: NDRO RF control timing (53 ps cycles) ==\n{}",
-        render_waveforms(&[reset, wen, ren], Time::ZERO, Duration::from_ps(RF_CYCLE_PS / 4.0), 28)
+        render_waveforms(
+            &[reset, wen, ren],
+            Time::ZERO,
+            Duration::from_ps(RF_CYCLE_PS / 4.0),
+            28
+        )
     )
 }
 
@@ -86,13 +91,23 @@ pub fn dual_banked_diagram() -> String {
     }
     format!(
         "== Fig. 12 stand-in: dual-banked HiPerRF control timing ==\n{}",
-        render_waveforms(&[wb, ren0, ren1], Time::ZERO, Duration::from_ps(RF_CYCLE_PS / 4.0), 28)
+        render_waveforms(
+            &[wb, ren0, ren1],
+            Time::ZERO,
+            Duration::from_ps(RF_CYCLE_PS / 4.0),
+            28
+        )
     )
 }
 
 /// All three diagrams concatenated.
 pub fn all_diagrams() -> String {
-    format!("{}\n{}\n{}", ndro_rf_diagram(), hiperrf_diagram(), dual_banked_diagram())
+    format!(
+        "{}\n{}\n{}",
+        ndro_rf_diagram(),
+        hiperrf_diagram(),
+        dual_banked_diagram()
+    )
 }
 
 #[cfg(test)]

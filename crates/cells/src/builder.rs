@@ -16,11 +16,16 @@ use crate::logic::{AndGate, Dand, NotGate, SyncSampler};
 use crate::storage::{Dro, HcDro, Ndro, Ndroc};
 use crate::transport::{Jtl, Merger, Splitter};
 
-/// Builder over a netlist with a hierarchical label prefix.
+/// Builder over a netlist with hierarchical instance scopes.
+///
+/// Scopes live on the [`Netlist`] itself: every cell added between
+/// [`CircuitBuilder::push_scope`] and the matching
+/// [`CircuitBuilder::pop_scope`] lands in that named region, so structural
+/// analyses can later attribute it via
+/// [`Netlist::scope_of`]/[`Netlist::iter_scope`].
 #[derive(Debug)]
 pub struct CircuitBuilder {
     netlist: Netlist,
-    prefix: Vec<String>,
     counter: u64,
 }
 
@@ -33,7 +38,10 @@ impl Default for CircuitBuilder {
 impl CircuitBuilder {
     /// Creates a builder over an empty netlist.
     pub fn new() -> Self {
-        CircuitBuilder { netlist: Netlist::new(), prefix: Vec::new(), counter: 0 }
+        CircuitBuilder {
+            netlist: Netlist::new(),
+            counter: 0,
+        }
     }
 
     /// Finishes building and returns the netlist.
@@ -46,18 +54,18 @@ impl CircuitBuilder {
         &self.netlist
     }
 
-    /// Pushes a label scope (e.g. `"readport"`); labels of cells added
-    /// until the matching [`CircuitBuilder::pop_scope`] are prefixed.
+    /// Opens an instance scope (e.g. `"readport"`); cells added until the
+    /// matching [`CircuitBuilder::pop_scope`] belong to it.
     pub fn push_scope(&mut self, scope: impl Into<String>) {
-        self.prefix.push(scope.into());
+        self.netlist.push_scope(scope);
     }
 
-    /// Pops the innermost label scope.
+    /// Closes the innermost instance scope.
     pub fn pop_scope(&mut self) {
-        self.prefix.pop();
+        self.netlist.pop_scope();
     }
 
-    /// Runs `f` inside a label scope.
+    /// Runs `f` inside an instance scope.
     pub fn scoped<R>(&mut self, scope: impl Into<String>, f: impl FnOnce(&mut Self) -> R) -> R {
         self.push_scope(scope);
         let r = f(self);
@@ -68,14 +76,10 @@ impl CircuitBuilder {
     fn label(&mut self, kind: &str) -> String {
         let n = self.counter;
         self.counter += 1;
-        if self.prefix.is_empty() {
-            format!("{kind}{n}")
-        } else {
-            format!("{}/{kind}{n}", self.prefix.join("/"))
-        }
+        format!("{kind}{n}")
     }
 
-    /// Adds an arbitrary component.
+    /// Adds an arbitrary component in the current scope.
     pub fn add(&mut self, kind_label: &str, c: Box<dyn Component>) -> ComponentId {
         let label = self.label(kind_label);
         self.netlist.add(label, c)
@@ -225,8 +229,10 @@ mod tests {
         assert_eq!(leaves.len(), 5);
         // 4 splitters for 5 leaves.
         let mut sim = Simulator::new(b.finish());
-        let probes: Vec<_> =
-            leaves.iter().map(|&p| sim.probe(p, format!("leaf{}", p.index))).collect();
+        let probes: Vec<_> = leaves
+            .iter()
+            .map(|&p| sim.probe(p, format!("leaf{}", p.index)))
+            .collect();
         sim.inject(Pin::new(src, Jtl::IN), Time::ZERO);
         sim.run();
         for p in probes {
@@ -275,5 +281,22 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let id = b.scoped("rf", |b| b.scoped("readport", |b| b.ndroc()));
         assert!(b.netlist().label(id).starts_with("rf/readport/ndroc"));
+    }
+
+    #[test]
+    fn scopes_recorded_on_netlist() {
+        let mut b = CircuitBuilder::new();
+        let id = b.scoped("rf", |b| b.scoped("readport", |b| b.ndroc()));
+        let outside = b.jtl();
+        let n = b.finish();
+        assert_eq!(n.scope_of(id), "rf/readport");
+        assert_eq!(n.scope_of(outside), "");
+        assert_eq!(n.iter_scope("rf").count(), 1);
+        assert_eq!(n.iter_scope("rf/readport").count(), 1);
+        assert_eq!(
+            n.iter_scope("readport").count(),
+            0,
+            "scope paths are rooted"
+        );
     }
 }

@@ -43,7 +43,10 @@ pub fn build_hc_clk(b: &mut CircuitBuilder) -> HcClkPorts {
         let m_mid = b.merger();
         let m_final = b.merger();
         // Branch 1: straight to the final merger -> first pulse.
-        b.connect(Pin::new(s1, Splitter::OUT0), Pin::new(m_final, Merger::IN_A));
+        b.connect(
+            Pin::new(s1, Splitter::OUT0),
+            Pin::new(m_final, Merger::IN_A),
+        );
         // Branch 2: +10 ps via tuned JTLs -> second and third pulses.
         // Second pulse path adds (s2 + m_mid) stages relative to the first,
         // so its JTL makes the net offset exactly one pulse separation.
@@ -56,7 +59,10 @@ pub fn build_hc_clk(b: &mut CircuitBuilder) -> HcClkPorts {
         let j2 = b.jtl_with_delay(Duration::from_ps(HCDRO_PULSE_SEP_PS));
         b.connect(Pin::new(s2, Splitter::OUT1), Pin::new(j2, Jtl::IN));
         b.connect(Pin::new(j2, Jtl::OUT), Pin::new(m_mid, Merger::IN_B));
-        b.connect(Pin::new(m_mid, Merger::OUT), Pin::new(m_final, Merger::IN_B));
+        b.connect(
+            Pin::new(m_mid, Merger::OUT),
+            Pin::new(m_final, Merger::IN_B),
+        );
         HcClkPorts {
             input: Pin::new(s1, Splitter::IN),
             output: Pin::new(m_final, Merger::OUT),
@@ -141,13 +147,28 @@ pub fn build_hc_read(b: &mut CircuitBuilder) -> HcReadPorts {
     b.scoped("hcread", |b| {
         let cb0 = b.counter_bit();
         let cb1 = b.counter_bit();
-        b.connect(Pin::new(cb0, CounterBit::CARRY), Pin::new(cb1, CounterBit::IN));
+        b.connect(
+            Pin::new(cb0, CounterBit::CARRY),
+            Pin::new(cb1, CounterBit::IN),
+        );
         let s_read = b.splitter();
-        b.connect(Pin::new(s_read, Splitter::OUT0), Pin::new(cb0, CounterBit::READ));
-        b.connect(Pin::new(s_read, Splitter::OUT1), Pin::new(cb1, CounterBit::READ));
+        b.connect(
+            Pin::new(s_read, Splitter::OUT0),
+            Pin::new(cb0, CounterBit::READ),
+        );
+        b.connect(
+            Pin::new(s_read, Splitter::OUT1),
+            Pin::new(cb1, CounterBit::READ),
+        );
         let s_reset = b.splitter();
-        b.connect(Pin::new(s_reset, Splitter::OUT0), Pin::new(cb0, CounterBit::RESET));
-        b.connect(Pin::new(s_reset, Splitter::OUT1), Pin::new(cb1, CounterBit::RESET));
+        b.connect(
+            Pin::new(s_reset, Splitter::OUT0),
+            Pin::new(cb0, CounterBit::RESET),
+        );
+        b.connect(
+            Pin::new(s_reset, Splitter::OUT1),
+            Pin::new(cb1, CounterBit::RESET),
+        );
         HcReadPorts {
             input: Pin::new(cb0, CounterBit::IN),
             read: Pin::new(s_read, Splitter::IN),
@@ -198,7 +219,11 @@ mod tests {
             }
             sim.run();
             let pulses = sim.probe_trace(p).pulses().to_vec();
-            assert_eq!(pulses.len() as u8, value, "value {value} must map to {value} pulses");
+            assert_eq!(
+                pulses.len() as u8,
+                value,
+                "value {value} must map to {value} pulses"
+            );
             // All pulses land on 10 ps-separated slots.
             for w in pulses.windows(2) {
                 assert_eq!((w[1] - w[0]).as_ps(), HCDRO_PULSE_SEP_PS);
@@ -221,7 +246,11 @@ mod tests {
             sim.run();
             let b0 = sim.probe_trace(p0).len() as u8;
             let b1 = sim.probe_trace(p1).len() as u8;
-            assert_eq!(b0 + 2 * b1, count, "decoded value mismatch for count {count}");
+            assert_eq!(
+                b0 + 2 * b1,
+                count,
+                "decoded value mismatch for count {count}"
+            );
         }
     }
 
@@ -266,10 +295,12 @@ mod tests {
             sim.inject(clk.input, Time::from_ps(100.0));
             sim.inject(r.read, Time::from_ps(200.0));
             sim.run();
-            let decoded =
-                sim.probe_trace(p0).len() as u8 + 2 * sim.probe_trace(p1).len() as u8;
+            let decoded = sim.probe_trace(p0).len() as u8 + 2 * sim.probe_trace(p1).len() as u8;
             assert_eq!(decoded, value, "round trip failed for {value}");
-            assert!(sim.violations().is_empty(), "round trip for {value} violated timing");
+            assert!(
+                sim.violations().is_empty(),
+                "round trip for {value} violated timing"
+            );
         }
     }
 }

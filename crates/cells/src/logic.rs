@@ -37,7 +37,12 @@ impl Dand {
         Dand::default()
     }
 
-    fn try_fire(&mut self, now: Time, other: &mut Option<Time>, ctx: &mut PulseContext<'_>) -> bool {
+    fn try_fire(
+        &mut self,
+        now: Time,
+        other: &mut Option<Time>,
+        ctx: &mut PulseContext<'_>,
+    ) -> bool {
         if let Some(t) = *other {
             if now.abs_diff(t) <= Duration::from_ps(DAND_WINDOW_PS) {
                 *other = None;
@@ -118,7 +123,11 @@ impl AndGate {
 
     /// Creates a clocked AND gate.
     pub fn new() -> Self {
-        AndGate { a: false, b: false, f: GateFn::And }
+        AndGate {
+            a: false,
+            b: false,
+            f: GateFn::And,
+        }
     }
 }
 
@@ -181,7 +190,11 @@ impl XorGate {
 
     /// Creates a clocked XOR gate.
     pub fn new() -> Self {
-        XorGate(AndGate { a: false, b: false, f: GateFn::Xor })
+        XorGate(AndGate {
+            a: false,
+            b: false,
+            f: GateFn::Xor,
+        })
     }
 }
 
@@ -255,8 +268,10 @@ impl Component for SyncSampler {
                         && ctx.violation_degrades(
                             now,
                             "setup",
-                            format!("data {} after the clock edge, hold is {SYNC_HOLD_PS}ps",
-                                now.abs_diff(tc)),
+                            format!(
+                                "data {} after the clock edge, hold is {SYNC_HOLD_PS}ps",
+                                now.abs_diff(tc)
+                            ),
                         )
                     {
                         return; // degraded: the racing pulse is destroyed
@@ -367,7 +382,10 @@ mod tests {
         sim.inject(Pin::new(id, Dand::A), Time::from_ps(0.0));
         sim.inject(Pin::new(id, Dand::B), Time::from_ps(3.0));
         sim.run();
-        assert_eq!(sim.probe_trace(p).pulses(), &[Time::from_ps(3.0 + DAND_DELAY_PS)]);
+        assert_eq!(
+            sim.probe_trace(p).pulses(),
+            &[Time::from_ps(3.0 + DAND_DELAY_PS)]
+        );
     }
 
     #[test]
@@ -448,7 +466,10 @@ mod tests {
         sim.inject(Pin::new(id, NotGate::CLK), Time::from_ps(30.0));
         sim.run();
         assert_eq!(sim.probe_trace(p).len(), 1);
-        assert_eq!(sim.probe_trace(p).pulses()[0], Time::from_ps(10.0 + CLOCKED_GATE_DELAY_PS));
+        assert_eq!(
+            sim.probe_trace(p).pulses()[0],
+            Time::from_ps(10.0 + CLOCKED_GATE_DELAY_PS)
+        );
     }
 
     #[test]
@@ -472,15 +493,16 @@ mod tests {
         sim.inject(Pin::new(id, SyncSampler::CLK), Time::from_ps(12.0));
         sim.run();
         assert!(sim.probe_trace(p).is_empty());
-        assert!(sim.violations().is_empty(), "a decayed datum is a miss, not a violation");
+        assert!(
+            sim.violations().is_empty(),
+            "a decayed datum is a miss, not a violation"
+        );
     }
 
     #[test]
     fn sync_sampler_setup_violation_degrades_to_nothing() {
         use sfq_sim::violation::ViolationPolicy;
-        for (policy, expect_out) in
-            [(ViolationPolicy::Record, 1), (ViolationPolicy::Degrade, 0)]
-        {
+        for (policy, expect_out) in [(ViolationPolicy::Record, 1), (ViolationPolicy::Degrade, 0)] {
             let (mut sim, id) = single(Box::new(SyncSampler::new()));
             sim.set_violation_policy(policy);
             let p = sim.probe(Pin::new(id, SyncSampler::OUT), "out");

@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use sfq_sim::component::Component;
 use sfq_sim::netlist::Netlist;
 
 /// The cell kinds of the library.
@@ -137,7 +138,11 @@ pub struct CellSpec {
 
 impl CellSpec {
     const fn new(kind: CellKind, jj_count: u64, static_power_uw: f64) -> Self {
-        CellSpec { kind, jj_count, static_power_uw }
+        CellSpec {
+            kind,
+            jj_count,
+            static_power_uw,
+        }
     }
 }
 
@@ -152,8 +157,21 @@ impl Census {
     /// Builds a census by walking a netlist and classifying each component
     /// by its `kind()` name.
     pub fn of(netlist: &Netlist) -> Census {
+        Census::of_components(netlist.iter().map(|(_, _, c)| c))
+    }
+
+    /// Builds a census of one instance-scope subtree (see
+    /// [`Netlist::iter_scope`]) — the structural basis for per-section
+    /// JJ/power budgets derived from the elaborated netlist.
+    pub fn of_scope(netlist: &Netlist, scope: &str) -> Census {
+        Census::of_components(netlist.iter_scope(scope).map(|(_, _, c)| c))
+    }
+
+    /// Builds a census over any stream of components (e.g. a scope-filtered
+    /// iteration).
+    pub fn of_components<'a>(components: impl IntoIterator<Item = &'a dyn Component>) -> Census {
         let mut census = Census::default();
-        for (_, _, comp) in netlist.iter() {
+        for comp in components {
             match CellKind::from_name(comp.kind()) {
                 Some(kind) => *census.counts.entry(kind).or_insert(0) += 1,
                 None => census.unknown += 1,
@@ -198,7 +216,10 @@ impl Census {
 
     /// Total static power in µW.
     pub fn static_power_uw(&self) -> f64 {
-        self.counts.iter().map(|(k, n)| k.static_power_uw() * *n as f64).sum()
+        self.counts
+            .iter()
+            .map(|(k, n)| k.static_power_uw() * *n as f64)
+            .sum()
     }
 
     /// Iterates `(kind, count)` pairs in display order.
@@ -209,7 +230,11 @@ impl Census {
 
 impl fmt::Display for Census {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<12} {:>8} {:>10} {:>12}", "cell", "count", "JJs", "power/µW")?;
+        writeln!(
+            f,
+            "{:<12} {:>8} {:>10} {:>12}",
+            "cell", "count", "JJs", "power/µW"
+        )?;
         for (kind, n) in self.iter() {
             writeln!(
                 f,

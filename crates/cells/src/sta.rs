@@ -27,7 +27,10 @@ impl std::fmt::Display for StaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StaError::UncutCycle { witness } => {
-                write!(f, "netlist cycle through {witness} not covered by the cut set")
+                write!(
+                    f,
+                    "netlist cycle through {witness} not covered by the cut set"
+                )
             }
         }
     }
@@ -36,9 +39,14 @@ impl std::fmt::Display for StaError {
 impl std::error::Error for StaError {}
 
 /// Worst-case arrival times per component (input reference), in ps.
+///
+/// Carries the real [`ComponentId`]s of the analysed netlist so that
+/// endpoints are reported as ids obtained from that netlist, never
+/// reconstructed from raw indices.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrivalTimes {
     arrivals: Vec<Option<f64>>,
+    ids: Vec<ComponentId>,
 }
 
 impl ArrivalTimes {
@@ -49,19 +57,23 @@ impl ArrivalTimes {
 
     /// The overall critical-path delay (latest arrival anywhere).
     pub fn critical_path_ps(&self) -> Option<f64> {
-        self.arrivals.iter().flatten().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.arrivals
+            .iter()
+            .flatten()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Components whose arrival equals the critical path (within 1 fs).
     pub fn critical_endpoints(&self) -> Vec<ComponentId> {
-        let Some(cp) = self.critical_path_ps() else { return Vec::new() };
+        let Some(cp) = self.critical_path_ps() else {
+            return Vec::new();
+        };
         self.arrivals
             .iter()
             .enumerate()
             .filter(|(_, a)| a.is_some_and(|v| (v - cp).abs() < 1e-3))
-            .map(|(i, _)| ComponentId::from_index(i))
+            .map(|(i, _)| self.ids[i])
             .collect()
     }
 }
@@ -79,6 +91,7 @@ pub fn arrival_times(
     cuts: &HashSet<ComponentId>,
 ) -> Result<ArrivalTimes, StaError> {
     let n = netlist.component_count();
+    let ids: Vec<ComponentId> = netlist.iter().map(|(id, _, _)| id).collect();
     let mut arrivals: Vec<Option<f64>> = vec![None; n];
     for pin in starts {
         let slot = &mut arrivals[pin.component.index()];
@@ -88,7 +101,9 @@ pub fn arrival_times(
     // Collect edges once: (src component, dst component, delay ps).
     let mut edges: Vec<(usize, usize, f64)> = Vec::new();
     for (id, _, comp) in netlist.iter() {
-        let Some(cell_delay) = comp.propagation_delay() else { continue };
+        let Some(cell_delay) = comp.propagation_delay() else {
+            continue;
+        };
         if cuts.contains(&id) {
             continue;
         }
@@ -119,15 +134,15 @@ pub fn arrival_times(
             }
         }
         if changed.is_none() {
-            return Ok(ArrivalTimes { arrivals });
+            return Ok(ArrivalTimes { arrivals, ids });
         }
         if _round == n {
             return Err(StaError::UncutCycle {
-                witness: ComponentId::from_index(changed.expect("changed in final round")),
+                witness: ids[changed.expect("changed in final round")],
             });
         }
     }
-    Ok(ArrivalTimes { arrivals })
+    Ok(ArrivalTimes { arrivals, ids })
 }
 
 /// Convenience: the worst-case delay from `start` to a specific component.
@@ -165,7 +180,11 @@ mod tests {
         let a = b.jtl_with_delay(Duration::from_ps(2.0));
         let c = b.jtl_with_delay(Duration::from_ps(5.0));
         let d = b.jtl_with_delay(Duration::from_ps(1.5));
-        b.connect_delayed(Pin::new(a, Jtl::OUT), Pin::new(c, Jtl::IN), Duration::from_ps(0.5));
+        b.connect_delayed(
+            Pin::new(a, Jtl::OUT),
+            Pin::new(c, Jtl::IN),
+            Duration::from_ps(0.5),
+        );
         b.connect(Pin::new(c, Jtl::OUT), Pin::new(d, Jtl::IN));
         let netlist = b.finish();
 
@@ -190,10 +209,22 @@ mod tests {
         let fast = b.jtl_with_delay(Duration::from_ps(1.0));
         let slow = b.jtl_with_delay(Duration::from_ps(9.0));
         let m = b.merger();
-        b.connect(Pin::new(s, crate::transport::Splitter::OUT0), Pin::new(fast, Jtl::IN));
-        b.connect(Pin::new(s, crate::transport::Splitter::OUT1), Pin::new(slow, Jtl::IN));
-        b.connect(Pin::new(fast, Jtl::OUT), Pin::new(m, crate::transport::Merger::IN_A));
-        b.connect(Pin::new(slow, Jtl::OUT), Pin::new(m, crate::transport::Merger::IN_B));
+        b.connect(
+            Pin::new(s, crate::transport::Splitter::OUT0),
+            Pin::new(fast, Jtl::IN),
+        );
+        b.connect(
+            Pin::new(s, crate::transport::Splitter::OUT1),
+            Pin::new(slow, Jtl::IN),
+        );
+        b.connect(
+            Pin::new(fast, Jtl::OUT),
+            Pin::new(m, crate::transport::Merger::IN_A),
+        );
+        b.connect(
+            Pin::new(slow, Jtl::OUT),
+            Pin::new(m, crate::transport::Merger::IN_B),
+        );
         let netlist = b.finish();
         let times = arrival_times(
             &netlist,

@@ -16,8 +16,7 @@ use sfq_sim::time::{Duration, Time};
 
 use crate::timing::{
     DRO_CLK_TO_OUT_PS, HCDRO_CAPACITY, HCDRO_CLK_TO_OUT_PS, HCDRO_HARD_SEP_PS, HCDRO_PULSE_SEP_PS,
-    NDRO_CLK_TO_OUT_PS,
-    NDROC_PROP_PS, NDROC_REARM_PS,
+    NDROC_PROP_PS, NDROC_REARM_PS, NDRO_CLK_TO_OUT_PS,
 };
 
 /// Destructive-readout cell (one fluxon).
@@ -117,7 +116,12 @@ impl HcDro {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: u8) -> Self {
         assert!(capacity >= 1, "capacity must be at least one fluxon");
-        HcDro { count: 0, capacity, last_d: None, last_clk: None }
+        HcDro {
+            count: 0,
+            capacity,
+            last_d: None,
+            last_clk: None,
+        }
     }
 
     /// The fluxon capacity of this instance.
@@ -127,7 +131,12 @@ impl HcDro {
 
     /// Checks inter-pulse spacing; returns `true` if the pulse must be
     /// dropped (violation under the `Degrade` policy).
-    fn check_sep(last: &mut Option<Time>, now: Time, what: &str, ctx: &mut PulseContext<'_>) -> bool {
+    fn check_sep(
+        last: &mut Option<Time>,
+        now: Time,
+        what: &str,
+        ctx: &mut PulseContext<'_>,
+    ) -> bool {
         let mut degrade = false;
         if let Some(prev) = *last {
             let sep = now.abs_diff(prev);
@@ -383,7 +392,11 @@ mod tests {
         sim.inject(Pin::new(id, Dro::CLK), Time::from_ps(30.0));
         sim.inject(Pin::new(id, Dro::CLK), Time::from_ps(90.0));
         sim.run();
-        assert_eq!(sim.probe_trace(p).len(), 1, "a DRO holds at most one fluxon");
+        assert_eq!(
+            sim.probe_trace(p).len(),
+            1,
+            "a DRO holds at most one fluxon"
+        );
     }
 
     #[test]
@@ -394,7 +407,10 @@ mod tests {
             sim.inject(Pin::new(id, HcDro::D), Time::from_ps(10.0 * i as f64));
         }
         for i in 0..4 {
-            sim.inject(Pin::new(id, HcDro::CLK), Time::from_ps(100.0 + 10.0 * i as f64));
+            sim.inject(
+                Pin::new(id, HcDro::CLK),
+                Time::from_ps(100.0 + 10.0 * i as f64),
+            );
         }
         sim.run();
         // Three pulses out; the fourth clock finds an empty loop.
@@ -410,7 +426,10 @@ mod tests {
             sim.inject(Pin::new(id, HcDro::D), Time::from_ps(10.0 * i as f64));
         }
         for i in 0..5 {
-            sim.inject(Pin::new(id, HcDro::CLK), Time::from_ps(200.0 + 10.0 * i as f64));
+            sim.inject(
+                Pin::new(id, HcDro::CLK),
+                Time::from_ps(200.0 + 10.0 * i as f64),
+            );
         }
         sim.run();
         assert_eq!(sim.probe_trace(p).len(), 3, "capacity is three fluxons");
@@ -444,7 +463,10 @@ mod tests {
         let p = sim.probe(Pin::new(id, Ndro::OUT), "out");
         sim.inject(Pin::new(id, Ndro::SET), Time::from_ps(0.0));
         for i in 0..5 {
-            sim.inject(Pin::new(id, Ndro::CLK), Time::from_ps(20.0 + 60.0 * i as f64));
+            sim.inject(
+                Pin::new(id, Ndro::CLK),
+                Time::from_ps(20.0 + 60.0 * i as f64),
+            );
         }
         sim.run();
         assert_eq!(sim.probe_trace(p).len(), 5);
@@ -522,7 +544,11 @@ mod tests {
         sim.inject(Pin::new(id, HcDro::D), Time::from_ps(20.0));
         sim.run();
         assert_eq!(sim.violations().len(), 1);
-        assert_eq!(sim.netlist().component(id).stored(), Some(2), "middle fluxon lost");
+        assert_eq!(
+            sim.netlist().component(id).stored(),
+            Some(2),
+            "middle fluxon lost"
+        );
         assert_eq!(sim.degraded_drops(), 1);
     }
 
@@ -538,7 +564,11 @@ mod tests {
         sim.inject(Pin::new(id, HcDro::CLK), Time::from_ps(104.0)); // violates, lost
         sim.run();
         assert_eq!(sim.probe_trace(p).len(), 1, "violated pop emits nothing");
-        assert_eq!(sim.netlist().component(id).stored(), Some(1), "count untouched");
+        assert_eq!(
+            sim.netlist().component(id).stored(),
+            Some(1),
+            "count untouched"
+        );
     }
 
     #[test]

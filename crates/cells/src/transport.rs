@@ -173,7 +173,10 @@ mod tests {
         sim.run();
         assert_eq!(sim.probe_trace(p0).len(), 1);
         assert_eq!(sim.probe_trace(p1).len(), 1);
-        assert_eq!(sim.probe_trace(p0).pulses()[0], Time::from_ps(SPLITTER_DELAY_PS));
+        assert_eq!(
+            sim.probe_trace(p0).pulses()[0],
+            Time::from_ps(SPLITTER_DELAY_PS)
+        );
     }
 
     #[test]

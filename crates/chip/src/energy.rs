@@ -8,9 +8,10 @@
 //! energy* effect of HiPerRF — it burns less static power but runs ~10%
 //! longer, so the win depends on the register file's share of chip power.
 
-use hiperrf::budget::{dual_banked_budget, hiperrf_budget, ndro_rf_budget};
+use hiperrf::budget::structural_budget;
 use hiperrf::config::RfGeometry;
 use hiperrf::delay::RfDesign;
+use hiperrf::designs::Design;
 
 use crate::sodor::rest_of_core;
 
@@ -22,16 +23,10 @@ pub fn area_mm2(jj: u64) -> f64 {
     jj as f64 / JJ_PER_CM2 * 100.0
 }
 
-/// The register file's static power for a design at 32×32 (µW).
+/// The register file's static power for a design at 32×32 (µW), summed
+/// over the cells of the elaborated netlist.
 pub fn rf_static_power_uw(design: RfDesign) -> f64 {
-    let g = RfGeometry::paper_32x32();
-    match design {
-        RfDesign::NdroBaseline => ndro_rf_budget(g).static_power_uw(),
-        RfDesign::HiPerRf => hiperrf_budget(g).static_power_uw(),
-        RfDesign::DualBanked | RfDesign::DualBankedIdeal => {
-            dual_banked_budget(g).static_power_uw()
-        }
-    }
+    structural_budget(Design::from_arch(design), RfGeometry::paper_32x32()).static_power_uw()
 }
 
 /// Whole-chip static power (µW): rest-of-core at the library's mean
@@ -56,11 +51,26 @@ mod tests {
 
     #[test]
     fn rf_area_saving_matches_jj_saving() {
-        let base = area_mm2(ndro_rf_budget(RfGeometry::paper_32x32()).jj_total());
-        let hi = area_mm2(hiperrf_budget(RfGeometry::paper_32x32()).jj_total());
+        let g = RfGeometry::paper_32x32();
+        let base = area_mm2(structural_budget(Design::NdroBaseline, g).jj_total());
+        let hi = area_mm2(structural_budget(Design::HiPerRf, g).jj_total());
         // ~0.37 mm² -> ~0.16 mm² at 10^7 JJ/cm².
         assert!(base > 0.3 && base < 0.45, "{base}");
         assert!(hi / base < 0.5);
+    }
+
+    #[test]
+    fn structural_power_matches_closed_form() {
+        let g = RfGeometry::paper_32x32();
+        for d in [
+            RfDesign::NdroBaseline,
+            RfDesign::HiPerRf,
+            RfDesign::DualBanked,
+        ] {
+            let closed =
+                hiperrf::budget::closed_form_budget(Design::from_arch(d), g).static_power_uw();
+            assert!((rf_static_power_uw(d) - closed).abs() < 1e-9, "{d:?}");
+        }
     }
 
     #[test]

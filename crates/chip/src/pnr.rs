@@ -11,10 +11,10 @@
 //! loopback report).
 
 use hiperrf::config::RfGeometry;
-use hiperrf::delay::{
-    loopback_latency_ps, readout_delay_ps, readout_delay_with_wires_ps, RfDesign,
-};
-use sfq_cells::timing::{MEAN_HOP_UM, PTL_PS_PER_100UM};
+use hiperrf::delay::{loopback_latency_ps, readout_delay_ps, RfDesign};
+use hiperrf::designs::Design;
+use sfq_cells::spec::{CellKind, Census};
+use sfq_cells::timing::{MEAN_HOP_UM, PTL_HOP_PS, PTL_PS_PER_100UM};
 
 /// The paper's longest loopback-path wire delay (ps, Fig. 15 discussion).
 pub const PAPER_LONGEST_LOOPBACK_WIRE_PS: f64 = 4.6;
@@ -32,7 +32,11 @@ pub struct WireSegment {
 
 impl WireSegment {
     fn new(name: &'static str, length_um: f64) -> Self {
-        WireSegment { name, length_um, delay_ps: length_um * PTL_PS_PER_100UM / 100.0 }
+        WireSegment {
+            name,
+            length_um,
+            delay_ps: length_um * PTL_PS_PER_100UM / 100.0,
+        }
     }
 }
 
@@ -73,7 +77,45 @@ pub fn loopback_wire_delay_ps(geometry: RfGeometry) -> f64 {
 
 /// The longest single wire on the loopback path (ps).
 pub fn longest_loopback_wire_ps(geometry: RfGeometry) -> f64 {
-    loopback_path(geometry).iter().map(|s| s.delay_ps).fold(0.0, f64::max)
+    loopback_path(geometry)
+        .iter()
+        .map(|s| s.delay_ps)
+        .fold(0.0, f64::max)
+}
+
+/// Wire-hop count on the critical read path, *measured from the
+/// elaborated netlist* rather than tabulated: the design is built, and its
+/// hierarchical scopes are walked to recover the placed stage counts —
+/// three hops per decoder level (NDROC, output-merger stage, inter-stage
+/// link) with the decoder depth taken from the NDROC tree in the read
+/// scope, plus the LoopBuffer latch and its output splitter, the HC-READ
+/// counter depth, and the bank-output merge where the structure has them.
+///
+/// [`hiperrf::delay::readout_hops`] is the closed-form cross-check; tests
+/// assert the two agree at every paper size.
+pub fn structural_readout_hops(design: RfDesign, geometry: RfGeometry) -> u32 {
+    let rf = Design::from_arch(design).build(geometry);
+    let netlist = rf.netlist();
+    let banked = netlist.top_scopes().contains(&"bank0");
+    let (read, output) = if banked {
+        ("bank0/read", "bank0/output")
+    } else {
+        ("read", "output")
+    };
+    // Decoder depth: a binary NDROC tree has 2^levels - 1 nodes.
+    let ndrocs = Census::of_scope(netlist, read).count(CellKind::Ndroc);
+    let levels = (ndrocs + 1).ilog2();
+    let out = Census::of_scope(netlist, output);
+    // LoopBuffer stage: the NDRO latch plus its placed output splitter.
+    let loopbuffer_ndros = out.count(CellKind::Ndro);
+    let loopbuffer = if loopbuffer_ndros > 0 { 2 } else { 0 };
+    // HC-READ serial decode: counter-bit depth per column (the LoopBuffer
+    // has one NDRO per column, so the ratio is the per-column depth).
+    let counter_depth = out
+        .count(CellKind::CounterBit)
+        .checked_div(loopbuffer_ndros)
+        .unwrap_or(0) as u32;
+    3 * levels + loopbuffer + counter_depth + u32::from(banked)
 }
 
 /// A row of the Table IV report.
@@ -89,17 +131,26 @@ pub struct Table4Row {
     pub loopback_ps: Option<f64>,
 }
 
-/// Regenerates Table IV for a geometry.
+/// Regenerates Table IV for a geometry, with the wire-hop counts measured
+/// from the elaborated netlists ([`structural_readout_hops`]).
 pub fn table4(geometry: RfGeometry) -> Vec<Table4Row> {
-    [RfDesign::NdroBaseline, RfDesign::HiPerRf, RfDesign::DualBanked]
-        .iter()
-        .map(|&design| Table4Row {
+    [
+        RfDesign::NdroBaseline,
+        RfDesign::HiPerRf,
+        RfDesign::DualBanked,
+    ]
+    .iter()
+    .map(|&design| {
+        let readout_ps = readout_delay_ps(design, geometry);
+        let hops = structural_readout_hops(design, geometry);
+        Table4Row {
             design,
-            readout_ps: readout_delay_ps(design, geometry),
-            readout_with_wires_ps: readout_delay_with_wires_ps(design, geometry),
+            readout_ps,
+            readout_with_wires_ps: readout_ps + f64::from(hops) * PTL_HOP_PS,
             loopback_ps: loopback_latency_ps(design, geometry),
-        })
-        .collect()
+        }
+    })
+    .collect()
 }
 
 /// Mean wire statistics from the placement model.
@@ -113,7 +164,10 @@ pub struct WireStats {
 
 /// The paper's placement statistics.
 pub fn wire_stats() -> WireStats {
-    WireStats { mean_hop_um: MEAN_HOP_UM, mean_hop_ps: MEAN_HOP_UM * PTL_PS_PER_100UM / 100.0 }
+    WireStats {
+        mean_hop_um: MEAN_HOP_UM,
+        mean_hop_ps: MEAN_HOP_UM * PTL_PS_PER_100UM / 100.0,
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +177,10 @@ mod tests {
     #[test]
     fn longest_loopback_wire_matches_paper() {
         let longest = longest_loopback_wire_ps(RfGeometry::paper_32x32());
-        assert!((longest - PAPER_LONGEST_LOOPBACK_WIRE_PS).abs() < 1e-9, "{longest}");
+        assert!(
+            (longest - PAPER_LONGEST_LOOPBACK_WIRE_PS).abs() < 1e-9,
+            "{longest}"
+        );
     }
 
     #[test]
@@ -159,5 +216,46 @@ mod tests {
         let small = loopback_wire_delay_ps(RfGeometry::paper_4x4());
         let large = loopback_wire_delay_ps(RfGeometry::paper_32x32());
         assert!(small < large);
+    }
+
+    #[test]
+    fn structural_hops_match_closed_form_everywhere() {
+        for g in RfGeometry::paper_sizes() {
+            for d in [
+                RfDesign::NdroBaseline,
+                RfDesign::HiPerRf,
+                RfDesign::DualBanked,
+            ] {
+                assert_eq!(
+                    structural_readout_hops(d, g),
+                    hiperrf::delay::readout_hops(d, g.demux_levels()),
+                    "{d:?} at {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structural_hops_give_paper_table4_readout() {
+        // 15 / 19 / 17 hops at 32×32 per the paper's placement discussion,
+        // recovered from the netlists and matching Table IV exactly.
+        let g = RfGeometry::paper_32x32();
+        let hops: Vec<u32> = [
+            RfDesign::NdroBaseline,
+            RfDesign::HiPerRf,
+            RfDesign::DualBanked,
+        ]
+        .iter()
+        .map(|&d| structural_readout_hops(d, g))
+        .collect();
+        assert_eq!(hops, vec![15, 19, 17]);
+        for (row, want) in table4(g).iter().zip(hiperrf::delay::paper::READOUT_WIRES) {
+            assert!(
+                (row.readout_with_wires_ps - want).abs() < 0.1,
+                "{:?}: got {}, want {want}",
+                row.design,
+                row.readout_with_wires_ps
+            );
+        }
     }
 }

@@ -13,9 +13,10 @@
 //! wiring into the decode stage and its enable distribution), which the
 //! paper's totals imply is worth ~2.2 kJJ beyond the register file itself.
 
-use hiperrf::budget::{dual_banked_budget, hiperrf_budget, ndro_rf_budget};
+use hiperrf::budget::structural_budget;
 use hiperrf::config::RfGeometry;
 use hiperrf::delay::RfDesign;
+use hiperrf::designs::Design;
 
 /// Paper-reported total JJ count of the Sodor core with the baseline
 /// NDRO register file.
@@ -62,14 +63,21 @@ impl ChipBudget {
 /// split across ALU / CSR / control / front end follows the proportions a
 /// Sodor synthesis yields (the ALU and front end dominate).
 pub fn rest_of_core() -> Vec<CoreComponent> {
-    let rf = ndro_rf_budget(RfGeometry::paper_32x32()).jj_total();
+    let rf = rf_jj(RfDesign::NdroBaseline);
     let rest_total = PAPER_BASELINE_CHIP_JJ - rf;
     // Proportional split (sums to 1000 mills).
-    let mills: [(&str, u64); 4] =
-        [("alu", 305), ("csr", 140), ("control path", 270), ("front end", 285)];
+    let mills: [(&str, u64); 4] = [
+        ("alu", 305),
+        ("csr", 140),
+        ("control path", 270),
+        ("front end", 285),
+    ];
     let mut parts: Vec<CoreComponent> = mills
         .iter()
-        .map(|&(name, m)| CoreComponent { name, jj: rest_total * m / 1000 })
+        .map(|&(name, m)| CoreComponent {
+            name,
+            jj: rest_total * m / 1000,
+        })
         .collect();
     // Put rounding residue into the front end.
     let assigned: u64 = parts.iter().map(|c| c.jj).sum();
@@ -77,15 +85,10 @@ pub fn rest_of_core() -> Vec<CoreComponent> {
     parts
 }
 
-/// The register-file JJ count for a design at 32×32 (our calibrated
-/// budgets).
+/// The register-file JJ count for a design at 32×32, counted over the
+/// cells of the elaborated netlist.
 pub fn rf_jj(design: RfDesign) -> u64 {
-    let g = RfGeometry::paper_32x32();
-    match design {
-        RfDesign::NdroBaseline => ndro_rf_budget(g).jj_total(),
-        RfDesign::HiPerRf => hiperrf_budget(g).jj_total(),
-        RfDesign::DualBanked | RfDesign::DualBankedIdeal => dual_banked_budget(g).jj_total(),
-    }
+    structural_budget(Design::from_arch(design), RfGeometry::paper_32x32()).jj_total()
 }
 
 /// Builds the whole-chip budget for a register-file design.
@@ -98,7 +101,10 @@ pub fn chip_budget(design: RfDesign) -> ChipBudget {
     } else {
         rf_jj(design).saturating_sub(INTEGRATION_SAVINGS_JJ)
     };
-    components.push(CoreComponent { name: "register file", jj: rf });
+    components.push(CoreComponent {
+        name: "register file",
+        jj: rf,
+    });
     ChipBudget { design, components }
 }
 
@@ -119,8 +125,7 @@ mod tests {
         let reduction = hi.reduction_vs(&base);
         // Paper: 16.3%.
         assert!((reduction - 0.163).abs() < 0.01, "reduction {reduction:.4}");
-        let paper_reduction =
-            1.0 - PAPER_HIPERRF_CHIP_JJ as f64 / PAPER_BASELINE_CHIP_JJ as f64;
+        let paper_reduction = 1.0 - PAPER_HIPERRF_CHIP_JJ as f64 / PAPER_BASELINE_CHIP_JJ as f64;
         assert!((reduction - paper_reduction).abs() < 0.01);
     }
 
@@ -140,6 +145,19 @@ mod tests {
             if x.name != "register file" {
                 assert_eq!(x, y);
             }
+        }
+    }
+
+    #[test]
+    fn structural_rf_jj_matches_closed_form() {
+        let g = RfGeometry::paper_32x32();
+        for d in [
+            RfDesign::NdroBaseline,
+            RfDesign::HiPerRf,
+            RfDesign::DualBanked,
+        ] {
+            let closed = hiperrf::budget::closed_form_budget(Design::from_arch(d), g).jj_total();
+            assert_eq!(rf_jj(d), closed, "{d:?}");
         }
     }
 

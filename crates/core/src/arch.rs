@@ -46,7 +46,10 @@ impl fmt::Display for HazardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HazardError::ReadDuringLoopback { reg, ready_at } => {
-                write!(f, "register x{reg} is mid-loopback, readable at cycle {ready_at}")
+                write!(
+                    f,
+                    "register x{reg} is mid-loopback, readable at cycle {ready_at}"
+                )
             }
             HazardError::OutOfRange { reg } => write!(f, "register index {reg} out of range"),
         }
@@ -129,7 +132,10 @@ impl ArchRf {
         self.check(reg)?;
         if self.destructive() {
             if self.now < self.ready_at[reg] {
-                return Err(HazardError::ReadDuringLoopback { reg, ready_at: self.ready_at[reg] });
+                return Err(HazardError::ReadDuringLoopback {
+                    reg,
+                    ready_at: self.ready_at[reg],
+                });
             }
             self.ready_at[reg] = self.now + LOOPBACK_RF_CYCLES;
         }
@@ -157,7 +163,10 @@ impl ArchRf {
         self.check(reg)?;
         if self.destructive() {
             if self.now < self.ready_at[reg] {
-                return Err(HazardError::ReadDuringLoopback { reg, ready_at: self.ready_at[reg] });
+                return Err(HazardError::ReadDuringLoopback {
+                    reg,
+                    ready_at: self.ready_at[reg],
+                });
             }
             // Erase read occupies this cycle; the new value lands next cycle.
             self.ready_at[reg] = self.now + 1;
@@ -196,8 +205,10 @@ mod tests {
         assert_eq!(rf.read(3).unwrap(), 9);
         // Second read in the same cycle: fluxons are in flight.
         let err = rf.read(3).unwrap_err();
-        assert!(matches!(err, HazardError::ReadDuringLoopback { reg: 3, ready_at }
-            if ready_at == rf.now() + LOOPBACK_RF_CYCLES));
+        assert!(
+            matches!(err, HazardError::ReadDuringLoopback { reg: 3, ready_at }
+            if ready_at == rf.now() + LOOPBACK_RF_CYCLES)
+        );
     }
 
     #[test]
@@ -218,7 +229,10 @@ mod tests {
         rf.write(2, 1).unwrap();
         rf.advance(2);
         let _ = rf.read(2).unwrap();
-        assert!(rf.write(2, 9).is_err(), "erase read collides with the loopback");
+        assert!(
+            rf.write(2, 9).is_err(),
+            "erase read collides with the loopback"
+        );
         rf.advance(LOOPBACK_RF_CYCLES);
         rf.write(2, 9).unwrap();
         rf.advance(2);
@@ -238,7 +252,10 @@ mod tests {
     #[test]
     fn out_of_range_is_reported() {
         let mut rf = hc();
-        assert!(matches!(rf.read(99), Err(HazardError::OutOfRange { reg: 99 })));
+        assert!(matches!(
+            rf.read(99),
+            Err(HazardError::OutOfRange { reg: 99 })
+        ));
         assert!(rf.write(99, 0).is_err());
     }
 

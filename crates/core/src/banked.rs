@@ -11,18 +11,14 @@
 //! latency advantage in Table III comes from.
 
 use sfq_cells::transport::Splitter;
-use sfq_cells::{Census, CircuitBuilder};
-use sfq_sim::fault::FaultPlan;
+use sfq_cells::CircuitBuilder;
 use sfq_sim::netlist::Pin;
 use sfq_sim::simulator::Simulator;
-use sfq_sim::time::{Duration, Time};
-use sfq_sim::violation::{Violation, ViolationPolicy};
+use sfq_sim::time::Duration;
 
 use crate::config::RfGeometry;
+use crate::harness::{RegisterFile, RfHarness, OP_GAP_PS};
 use crate::hc_rf::{build_hc_rf, HcBank};
-
-/// Gap between driver operations (ps).
-const OP_GAP_PS: f64 = 400.0;
 
 /// Which bank a register lives in (paper §V-B: odd register numbers are
 /// bank 0).
@@ -46,6 +42,7 @@ pub fn index_in_bank(reg: usize) -> usize {
 /// ```
 /// use hiperrf::banked::DualBankRf;
 /// use hiperrf::config::RfGeometry;
+/// use hiperrf::RegisterFile;
 ///
 /// let mut rf = DualBankRf::new(RfGeometry::paper_4x4());
 /// rf.write(3, 0b0110);
@@ -53,10 +50,8 @@ pub fn index_in_bank(reg: usize) -> usize {
 /// ```
 #[derive(Debug)]
 pub struct DualBankRf {
-    geometry: RfGeometry,
-    sim: Simulator,
+    h: RfHarness,
     banks: [HcBank; 2],
-    cursor: Time,
 }
 
 impl DualBankRf {
@@ -119,56 +114,15 @@ impl DualBankRf {
             bank.extra_enable_ps = sfq_cells::timing::SPLITTER_DELAY_PS;
             bank.extra_data_ps = sfq_cells::timing::SPLITTER_DELAY_PS;
         }
-        DualBankRf { geometry, sim, banks: [bank0, bank1], cursor: Time::from_ps(10.0) }
-    }
-
-    /// The (whole-file) geometry.
-    pub fn geometry(&self) -> RfGeometry {
-        self.geometry
-    }
-
-    /// Cell census of the built netlist.
-    pub fn census(&self) -> Census {
-        Census::of(self.sim.netlist())
-    }
-
-    /// Timing violations recorded so far.
-    pub fn violations(&self) -> &[Violation] {
-        self.sim.violations()
-    }
-
-    /// Sets how the simulator reacts to timing violations.
-    pub fn set_violation_policy(&mut self, policy: ViolationPolicy) {
-        self.sim.set_violation_policy(policy);
-    }
-
-    /// Installs a fault plan (seeded delay variation / pulse faults).
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.sim.set_fault_plan(plan);
-    }
-
-    /// Pulses destroyed by the `Degrade` policy so far.
-    pub fn degraded_drops(&self) -> u64 {
-        self.sim.degraded_drops()
+        DualBankRf {
+            h: RfHarness::new(geometry, sim),
+            banks: [bank0, bank1],
+        }
     }
 
     fn advance(&mut self, bank: usize) {
-        self.banks[bank].finish_op(&mut self.sim);
-        self.cursor = self.sim.now() + Duration::from_ps(OP_GAP_PS);
-    }
-
-    /// Reads a register (restoring).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is out of range.
-    pub fn read(&mut self, reg: usize) -> u64 {
-        assert!(reg < self.geometry.registers(), "register {reg} out of range");
-        let bank = bank_of(reg);
-        let t = self.cursor;
-        let v = self.banks[bank].read_op(&mut self.sim, index_in_bank(reg), t);
-        self.advance(bank);
-        v
+        self.banks[bank].finish_op(self.h.sim_mut());
+        self.h.advance_cursor();
     }
 
     /// Reads two registers in *different banks* concurrently — the banked
@@ -178,51 +132,57 @@ impl DualBankRf {
     ///
     /// Panics if the registers are in the same bank or out of range.
     pub fn read_pair(&mut self, reg_a: usize, reg_b: usize) -> (u64, u64) {
-        assert!(reg_a < self.geometry.registers() && reg_b < self.geometry.registers());
+        self.h.assert_reg(reg_a);
+        self.h.assert_reg(reg_b);
         let (ba, bb) = (bank_of(reg_a), bank_of(reg_b));
         assert_ne!(ba, bb, "read_pair needs registers in different banks");
-        let t = self.cursor;
+        let t = self.h.cursor();
         // Fire both banks in the same operation window. Reads must be
         // collected per bank because probes are shared per column set.
-        let va = self.banks[ba].read_op(&mut self.sim, index_in_bank(reg_a), t);
-        self.banks[ba].finish_op(&mut self.sim);
-        let t2 = self.sim.now() + Duration::from_ps(OP_GAP_PS);
-        let vb = self.banks[bb].read_op(&mut self.sim, index_in_bank(reg_b), t2);
+        let va = self.banks[ba].read_op(self.h.sim_mut(), index_in_bank(reg_a), t);
+        self.banks[ba].finish_op(self.h.sim_mut());
+        let t2 = self.h.sim().now() + Duration::from_ps(OP_GAP_PS);
+        let vb = self.banks[bb].read_op(self.h.sim_mut(), index_in_bank(reg_b), t2);
         self.advance(bb);
         (va, vb)
     }
+}
 
-    /// Writes a register (erase read, then HC-WRITE).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is out of range or `value` does not fit the width.
-    pub fn write(&mut self, reg: usize, value: u64) {
-        self.write_skewed(reg, value, 0.0);
+impl RegisterFile for DualBankRf {
+    fn harness(&self) -> &RfHarness {
+        &self.h
     }
 
-    /// Writes a register with a deliberate data-vs-enable skew (ps) on the
-    /// HC-WRITE phase — margin-engine hook.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is out of range or `value` does not fit the width.
-    pub fn write_skewed(&mut self, reg: usize, value: u64, skew_ps: f64) {
-        let w = self.geometry.width();
-        assert!(reg < self.geometry.registers(), "register {reg} out of range");
-        assert!(w == 64 || value < (1u64 << w), "value {value:#x} exceeds {w}-bit width");
+    fn harness_mut(&mut self) -> &mut RfHarness {
+        &mut self.h
+    }
+
+    /// Reads a register (restoring).
+    fn read(&mut self, reg: usize) -> u64 {
+        self.h.assert_reg(reg);
         let bank = bank_of(reg);
-        let t = self.cursor;
-        self.banks[bank].erase_op(&mut self.sim, index_in_bank(reg), t);
+        let t = self.h.cursor();
+        let v = self.banks[bank].read_op(self.h.sim_mut(), index_in_bank(reg), t);
         self.advance(bank);
-        let t = self.cursor;
-        self.banks[bank].write_op_skewed(&mut self.sim, index_in_bank(reg), value, t, skew_ps);
+        v
+    }
+
+    /// Writes a register (erase read, then HC-WRITE) with a deliberate
+    /// data-vs-enable skew (ps) on the HC-WRITE phase.
+    fn write_skewed(&mut self, reg: usize, value: u64, skew_ps: f64) {
+        self.h.assert_write(reg, value);
+        let bank = bank_of(reg);
+        let t = self.h.cursor();
+        self.banks[bank].erase_op(self.h.sim_mut(), index_in_bank(reg), t);
+        self.advance(bank);
+        let t = self.h.cursor();
+        self.banks[bank].write_op_skewed(self.h.sim_mut(), index_in_bank(reg), value, t, skew_ps);
         self.advance(bank);
     }
 
     /// Peeks stored register contents without disturbing state.
-    pub fn peek(&self, reg: usize) -> u64 {
-        self.banks[bank_of(reg)].peek(&self.sim, index_in_bank(reg))
+    fn peek(&self, reg: usize) -> u64 {
+        self.banks[bank_of(reg)].peek(self.h.sim(), index_in_bank(reg))
     }
 }
 
@@ -247,7 +207,11 @@ mod tests {
             rf.write(reg, (0b0110 + reg as u64) & 0xf);
             assert_eq!(rf.read(reg), (0b0110 + reg as u64) & 0xf, "reg {reg}");
         }
-        assert!(rf.violations().is_empty(), "violations: {:?}", rf.violations());
+        assert!(
+            rf.violations().is_empty(),
+            "violations: {:?}",
+            rf.violations()
+        );
     }
 
     #[test]

@@ -1,9 +1,12 @@
-//! Closed-form JJ / power budgets for the three register-file designs.
+//! JJ / power budgets for the register-file designs, derived two ways.
 //!
-//! These budgets enumerate, section by section, exactly the cells that the
-//! structural netlist builders instantiate (integration tests assert the
-//! two censuses are identical). They regenerate the paper's Table I (JJ
-//! count) and Table II (static power).
+//! [`structural_budget`] is the source of truth: it elaborates a design's
+//! netlist and walks its hierarchical instance scopes, grouping every cell
+//! into a named section. The closed-form budgets below enumerate the same
+//! cells analytically, section by section, and tests assert the two
+//! derivations are *identical* — the formulas cross-check the structure
+//! and vice versa. Both regenerate the paper's Table I (JJ count) and
+//! Table II (static power).
 //!
 //! Terminology: `n` = registers, `w` = bits per register, `c = w/2` HC-DRO
 //! columns, `L = log2(n)` demux levels.
@@ -11,6 +14,7 @@
 use sfq_cells::{CellKind, Census};
 
 use crate::config::RfGeometry;
+use crate::designs::Design;
 
 /// One named section of a design budget (e.g. `"read port"`).
 #[derive(Debug, Clone, PartialEq)]
@@ -68,7 +72,10 @@ fn demux_reset_splitters(n: usize) -> u64 {
 fn demux_census(n: usize, levels: usize) -> Census {
     let mut c = Census::default();
     c.add(CellKind::Ndroc, (n - 1) as u64);
-    c.add(CellKind::Splitter, demux_sel_splitters(n, levels) + demux_reset_splitters(n));
+    c.add(
+        CellKind::Splitter,
+        demux_sel_splitters(n, levels) + demux_reset_splitters(n),
+    );
     c
 }
 
@@ -130,11 +137,26 @@ pub fn ndro_rf_budget(geometry: RfGeometry) -> RfBudget {
         design: "NDRO RF (baseline)",
         geometry,
         sections: vec![
-            BudgetSection { name: "storage", census: storage },
-            BudgetSection { name: "read port", census: read_port },
-            BudgetSection { name: "reset port", census: reset_port },
-            BudgetSection { name: "write port", census: write_port },
-            BudgetSection { name: "output port", census: output_port },
+            BudgetSection {
+                name: "storage",
+                census: storage,
+            },
+            BudgetSection {
+                name: "read port",
+                census: read_port,
+            },
+            BudgetSection {
+                name: "reset port",
+                census: reset_port,
+            },
+            BudgetSection {
+                name: "write port",
+                census: write_port,
+            },
+            BudgetSection {
+                name: "output port",
+                census: output_port,
+            },
         ],
     }
 }
@@ -182,10 +204,22 @@ pub fn hiperrf_budget(geometry: RfGeometry) -> RfBudget {
         design: "HiPerRF",
         geometry,
         sections: vec![
-            BudgetSection { name: "storage", census: storage },
-            BudgetSection { name: "read port", census: read_port },
-            BudgetSection { name: "write port", census: write_port },
-            BudgetSection { name: "output port", census: output_port },
+            BudgetSection {
+                name: "storage",
+                census: storage,
+            },
+            BudgetSection {
+                name: "read port",
+                census: read_port,
+            },
+            BudgetSection {
+                name: "write port",
+                census: write_port,
+            },
+            BudgetSection {
+                name: "output port",
+                census: output_port,
+            },
         ],
     }
 }
@@ -194,7 +228,9 @@ pub fn hiperrf_budget(geometry: RfGeometry) -> RfBudget {
 /// the port-interface fan-out (data-bit splitters to both banks, read-SEL
 /// conditioning taps, enable taps).
 pub fn dual_banked_budget(geometry: RfGeometry) -> RfBudget {
-    let bank = geometry.bank_geometry().expect("dual-banked needs >= 4 registers");
+    let bank = geometry
+        .bank_geometry()
+        .expect("dual-banked needs >= 4 registers");
     let w = geometry.width();
     let levels = geometry.demux_levels();
 
@@ -223,9 +259,16 @@ pub fn dual_banked_budget(geometry: RfGeometry) -> RfBudget {
     // enable.
     let mut interface = Census::default();
     interface.add(CellKind::Splitter, w as u64 + 2 * (levels - 1) as u64 + 2);
-    sections.push(BudgetSection { name: "bank interface", census: interface });
+    sections.push(BudgetSection {
+        name: "bank interface",
+        census: interface,
+    });
 
-    RfBudget { design: "Dual-banked HiPerRF", geometry, sections }
+    RfBudget {
+        design: "Dual-banked HiPerRF",
+        geometry,
+        sections,
+    }
 }
 
 /// Budget for a hypothetical monolithic multi-ported HiPerRF with
@@ -243,7 +286,10 @@ pub fn dual_banked_budget(geometry: RfGeometry) -> RfBudget {
 ///
 /// Panics if `read_ports` is zero.
 pub fn multi_port_hiperrf_budget(geometry: RfGeometry, read_ports: usize) -> RfBudget {
-    assert!(read_ports >= 1, "a register file needs at least one read port");
+    assert!(
+        read_ports >= 1,
+        "a register file needs at least one read port"
+    );
     let n = geometry.registers();
     let c = geometry.hc_columns();
     let base = hiperrf_budget(geometry);
@@ -257,9 +303,13 @@ pub fn multi_port_hiperrf_budget(geometry: RfGeometry, read_ports: usize) -> RfB
     // its loopback), and the whole output port (merger trees, LoopBuffer,
     // HC-READ).
     let per_port: Vec<Census> = sections[1..4].iter().map(|s| s.census.clone()).collect();
-    for (i, name) in ["extra read ports", "extra write ports", "extra output ports"]
-        .iter()
-        .enumerate()
+    for (i, name) in [
+        "extra read ports",
+        "extra write ports",
+        "extra output ports",
+    ]
+    .iter()
+    .enumerate()
     {
         let mut census = Census::default();
         for _ in 0..extra {
@@ -272,9 +322,131 @@ pub fn multi_port_hiperrf_budget(geometry: RfGeometry, read_ports: usize) -> RfB
     let mut plumbing = Census::default();
     plumbing.add(CellKind::Splitter, (n * c) as u64 * extra);
     plumbing.add(CellKind::Merger, 2 * (n * c) as u64 * extra);
-    sections.push(BudgetSection { name: "cross-port cell plumbing", census: plumbing });
+    sections.push(BudgetSection {
+        name: "cross-port cell plumbing",
+        census: plumbing,
+    });
 
-    RfBudget { design: "Multi-ported HiPerRF", geometry, sections }
+    RfBudget {
+        design: "Multi-ported HiPerRF",
+        geometry,
+        sections,
+    }
+}
+
+/// The closed-form budget of a registered design — the analytic
+/// cross-check for [`structural_budget`].
+pub fn closed_form_budget(design: Design, geometry: RfGeometry) -> RfBudget {
+    match design {
+        Design::NdroBaseline => ndro_rf_budget(geometry),
+        Design::HiPerRf => hiperrf_budget(geometry),
+        Design::DualBanked => dual_banked_budget(geometry),
+        Design::ShiftRegister => crate::shift_rf::shift_rf_budget(geometry),
+    }
+}
+
+/// Maps a HiPerRF-bank scope's leading segment to its budget section.
+fn hc_section(segment: &str) -> Option<&'static str> {
+    if segment.starts_with("reg") {
+        return Some("storage");
+    }
+    match segment {
+        "read" => Some("read port"),
+        // The datapath (HC-WRITE serializers, loopback join, W_DATA fan)
+        // is part of the write port in the paper's accounting.
+        "write" | "datapath" => Some("write port"),
+        "output" => Some("output port"),
+        _ => None,
+    }
+}
+
+/// Maps an elaborated-netlist scope path to the budget section its cells
+/// belong to.
+///
+/// # Panics
+///
+/// Panics on a scope no section claims — a new builder region must be
+/// assigned a section here before structural budgets cover it.
+fn section_of(design: Design, scope: &str) -> &'static str {
+    let mut segments = scope.split('/');
+    let head = segments.next().unwrap_or("");
+    let section = match design {
+        Design::NdroBaseline => {
+            if head.starts_with("reg") {
+                Some("storage")
+            } else {
+                match head {
+                    "read" => Some("read port"),
+                    "reset" => Some("reset port"),
+                    "write" => Some("write port"),
+                    "output" => Some("output port"),
+                    _ => None,
+                }
+            }
+        }
+        Design::HiPerRf => hc_section(head),
+        Design::DualBanked => match head {
+            "interface" => Some("bank interface"),
+            "bank0" => segments.next().and_then(hc_section).and_then(|s| match s {
+                "storage" => Some("bank0 storage"),
+                "read port" => Some("bank0 read port"),
+                "write port" => Some("bank0 write port"),
+                "output port" => Some("bank0 output port"),
+                _ => None,
+            }),
+            "bank1" => segments.next().and_then(hc_section).and_then(|s| match s {
+                "storage" => Some("bank1 storage"),
+                "read port" => Some("bank1 read port"),
+                "write port" => Some("bank1 write port"),
+                "output port" => Some("bank1 output port"),
+                _ => None,
+            }),
+            _ => None,
+        },
+        Design::ShiftRegister => {
+            if head.starts_with("ring") {
+                match segments.next() {
+                    Some("bits") => Some("storage"),
+                    _ => Some("ring plumbing"),
+                }
+            } else {
+                match head {
+                    // Recirculation-gate SET/RESET distribution belongs to
+                    // the rings it controls.
+                    "gating" => Some("ring plumbing"),
+                    "clock" | "wdata" => Some("ports"),
+                    _ => None,
+                }
+            }
+        }
+    };
+    section.unwrap_or_else(|| panic!("unmapped scope {scope:?} for design {design}"))
+}
+
+/// Derives a design's budget from its *elaborated netlist*: builds the
+/// structural model, walks every component's hierarchical scope, and
+/// groups cells into sections (in first-appearance order, which the
+/// builders lay out to match the closed-form section order).
+///
+/// This is the structure-derived source of truth behind the Table I / II
+/// reports; [`closed_form_budget`] is its analytic cross-check.
+pub fn structural_budget(design: Design, geometry: RfGeometry) -> RfBudget {
+    let rf = design.build(geometry);
+    let netlist = rf.netlist();
+    let mut sections: Vec<BudgetSection> = Vec::new();
+    for (id, _, component) in netlist.iter() {
+        let name = section_of(design, netlist.scope_of(id));
+        let census = Census::of_components([component]);
+        match sections.iter_mut().find(|s| s.name == name) {
+            Some(s) => s.census.merge(&census),
+            None => sections.push(BudgetSection { name, census }),
+        }
+    }
+    RfBudget {
+        design: closed_form_budget(design, geometry).design,
+        geometry,
+        sections,
+    }
 }
 
 /// Paper-reported reference values for Tables I and II.
@@ -353,7 +525,10 @@ mod tests {
         let g4 = RfGeometry::paper_4x4();
         let saving4 =
             1.0 - hiperrf_budget(g4).jj_total() as f64 / ndro_rf_budget(g4).jj_total() as f64;
-        assert!(saving4 < 0.2, "4x4 saving should be small, got {saving4:.3}");
+        assert!(
+            saving4 < 0.2,
+            "4x4 saving should be small, got {saving4:.3}"
+        );
     }
 
     #[test]
@@ -371,11 +546,17 @@ mod tests {
                 "baseline power {g}"
             );
             assert!(
-                rel_err(hiperrf_budget(*g).static_power_uw(), paper::POWER_HIPERRF[i]) < 0.02,
+                rel_err(
+                    hiperrf_budget(*g).static_power_uw(),
+                    paper::POWER_HIPERRF[i]
+                ) < 0.02,
                 "hiperrf power {g}"
             );
             assert!(
-                rel_err(dual_banked_budget(*g).static_power_uw(), paper::POWER_DUAL[i]) < 0.10,
+                rel_err(
+                    dual_banked_budget(*g).static_power_uw(),
+                    paper::POWER_DUAL[i]
+                ) < 0.10,
                 "dual power {g}"
             );
         }
@@ -407,7 +588,10 @@ mod tests {
         // per-cell terms do not capture. Either way the conclusion stands:
         assert!((2.2..3.2).contains(&ratio), "2R2W ratio {ratio:.2}");
         let banked = dual_banked_budget(g).jj_total() as f64;
-        assert!(banked < 0.5 * two_port, "banking must be far cheaper than true 2R2W");
+        assert!(
+            banked < 0.5 * two_port,
+            "banking must be far cheaper than true 2R2W"
+        );
     }
 
     #[test]
@@ -431,5 +615,57 @@ mod tests {
         assert_eq!(demux_sel_splitters(32, 5), 26);
         assert_eq!(demux_sel_splitters(4, 2), 1);
         assert_eq!(demux_reset_splitters(32), 30);
+    }
+
+    #[test]
+    fn structural_budget_equals_closed_form_section_by_section() {
+        // The tie between the two derivations: walking the elaborated
+        // netlist's scopes must reproduce the analytic budget exactly —
+        // same sections, same order, same per-section censuses.
+        for design in crate::designs::registry() {
+            for g in [RfGeometry::paper_4x4(), RfGeometry::paper_16x16()] {
+                let structural = structural_budget(design, g);
+                let closed = closed_form_budget(design, g);
+                assert_eq!(structural, closed, "{design} at {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn structural_jj_tracks_table1() {
+        // Table I from the elaborated netlists, not the formulas.
+        for (i, g) in RfGeometry::paper_sizes().iter().enumerate() {
+            let pairs = [
+                (Design::NdroBaseline, paper::JJ_NDRO[i], 0.01),
+                (Design::HiPerRf, paper::JJ_HIPERRF[i], 0.05),
+                (Design::DualBanked, paper::JJ_DUAL[i], 0.02),
+            ];
+            for (design, paper, tol) in pairs {
+                let ours = structural_budget(design, *g).jj_total();
+                assert!(
+                    rel_err(ours as f64, paper as f64) < tol,
+                    "{design} {g}: structural {ours} vs paper {paper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structural_power_tracks_table2() {
+        // Table II from the elaborated netlists, not the formulas.
+        for (i, g) in RfGeometry::paper_sizes().iter().enumerate() {
+            let pairs = [
+                (Design::NdroBaseline, paper::POWER_NDRO[i], 0.04),
+                (Design::HiPerRf, paper::POWER_HIPERRF[i], 0.02),
+                (Design::DualBanked, paper::POWER_DUAL[i], 0.10),
+            ];
+            for (design, paper, tol) in pairs {
+                let ours = structural_budget(design, *g).static_power_uw();
+                assert!(
+                    rel_err(ours, paper) < tol,
+                    "{design} {g}: structural {ours:.2} µW vs paper {paper} µW"
+                );
+            }
+        }
     }
 }

@@ -86,26 +86,50 @@ pub fn hiperrf_budget_with_cell_bits(geometry: RfGeometry, bits: u32) -> RfBudge
     // HC-WRITE generalization: serializing `bits` parallel bits into up to
     // `pulses` slots needs ~(pulses - 1) delay JTLs, (bits - 1) splitters
     // and (pulses - 1) mergers per column.
-    write_port.add(CellKind::Jtl, c as u64 * u64::from(pulses.saturating_sub(1)));
-    write_port.add(CellKind::Splitter, c as u64 * u64::from(bits.saturating_sub(1)));
-    write_port.add(CellKind::Merger, c as u64 * u64::from(pulses.saturating_sub(1)));
+    write_port.add(
+        CellKind::Jtl,
+        c as u64 * u64::from(pulses.saturating_sub(1)),
+    );
+    write_port.add(
+        CellKind::Splitter,
+        c as u64 * u64::from(bits.saturating_sub(1)),
+    );
+    write_port.add(
+        CellKind::Merger,
+        c as u64 * u64::from(pulses.saturating_sub(1)),
+    );
     write_port.add(CellKind::Merger, c as u64); // loopback join
     write_port.add(CellKind::Splitter, (c * (n - 1)) as u64);
 
     let mut output_port = Census::default();
     output_port.add(CellKind::Merger, ((n - 1) * c) as u64);
     output_port.add(CellKind::Ndro, c as u64);
-    output_port.add(CellKind::Splitter, c as u64 + 2 * c.saturating_sub(1) as u64 * 2);
+    output_port.add(
+        CellKind::Splitter,
+        c as u64 + 2 * c.saturating_sub(1) as u64 * 2,
+    );
     output_port.merge(&hc_read_census(c as u64, pulses));
 
     RfBudget {
         design: "HiPerRF (generalized cell)",
         geometry,
         sections: vec![
-            BudgetSection { name: "storage", census: storage },
-            BudgetSection { name: "read port", census: read_port },
-            BudgetSection { name: "write port", census: write_port },
-            BudgetSection { name: "output port", census: output_port },
+            BudgetSection {
+                name: "storage",
+                census: storage,
+            },
+            BudgetSection {
+                name: "read port",
+                census: read_port,
+            },
+            BudgetSection {
+                name: "write port",
+                census: write_port,
+            },
+            BudgetSection {
+                name: "output port",
+                census: output_port,
+            },
         ],
     }
 }
@@ -160,7 +184,10 @@ mod tests {
         let generalized = hiperrf_budget_with_cell_bits(g, 2).jj_total();
         let paper_design = hiperrf_budget(g).jj_total();
         let err = (generalized as f64 - paper_design as f64).abs() / paper_design as f64;
-        assert!(err < 0.03, "generalized {generalized} vs design {paper_design}");
+        assert!(
+            err < 0.03,
+            "generalized {generalized} vs design {paper_design}"
+        );
     }
 
     #[test]
@@ -181,7 +208,10 @@ mod tests {
         let sweep = capacity_sweep(RfGeometry::paper_32x32());
         let at = |bits| sweep.iter().find(|p| p.bits == bits).expect("point exists");
         assert!(at(2).jj_total < at(1).jj_total, "{sweep:?}");
-        assert!(at(4).jj_total > at(2).jj_total, "machinery must overtake: {sweep:?}");
+        assert!(
+            at(4).jj_total > at(2).jj_total,
+            "machinery must overtake: {sweep:?}"
+        );
         for pair in sweep.windows(2) {
             assert!(pair[1].readout_ps >= pair[0].readout_ps, "{pair:?}");
         }
@@ -194,6 +224,9 @@ mod tests {
         let g = RfGeometry::paper_32x32();
         let one = hiperrf_budget_with_cell_bits(g, 1).jj_total();
         let two = hiperrf_budget_with_cell_bits(g, 2).jj_total();
-        assert!(two < one, "dual-bit cells must beat single-bit: {two} vs {one}");
+        assert!(
+            two < one,
+            "dual-bit cells must beat single-bit: {two} vs {one}"
+        );
     }
 }

@@ -67,17 +67,26 @@ impl RfGeometry {
 
     /// The paper's 4×4-bit geometry.
     pub fn paper_4x4() -> Self {
-        RfGeometry { registers: 4, width: 4 }
+        RfGeometry {
+            registers: 4,
+            width: 4,
+        }
     }
 
     /// The paper's 16×16-bit geometry.
     pub fn paper_16x16() -> Self {
-        RfGeometry { registers: 16, width: 16 }
+        RfGeometry {
+            registers: 16,
+            width: 16,
+        }
     }
 
     /// The paper's 32×32-bit geometry (the RISC-V register file).
     pub fn paper_32x32() -> Self {
-        RfGeometry { registers: 32, width: 32 }
+        RfGeometry {
+            registers: 32,
+            width: 32,
+        }
     }
 
     /// All three geometries of the paper's evaluation tables.
@@ -154,7 +163,10 @@ mod tests {
 
     #[test]
     fn rejects_odd_width() {
-        assert!(matches!(RfGeometry::new(32, 31), Err(GeometryError::WidthNotEven(31))));
+        assert!(matches!(
+            RfGeometry::new(32, 31),
+            Err(GeometryError::WidthNotEven(31))
+        ));
         assert!(RfGeometry::new(32, 0).is_err());
     }
 

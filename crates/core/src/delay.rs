@@ -17,7 +17,7 @@
 //! gate-to-gate hop (262 µm mean PTL wire at 1 ps/100 µm, paper §VI-C).
 
 use sfq_cells::timing::{
-    HCDRO_CLK_TO_OUT_PS, HCDRO_PULSE_SEP_PS, MERGER_DELAY_PS, NDRO_CLK_TO_OUT_PS, NDROC_PROP_PS,
+    HCDRO_CLK_TO_OUT_PS, HCDRO_PULSE_SEP_PS, MERGER_DELAY_PS, NDROC_PROP_PS, NDRO_CLK_TO_OUT_PS,
     PTL_HOP_PS, RF_CYCLE_PS, SPLITTER_DELAY_PS,
 };
 
@@ -40,8 +40,12 @@ pub enum RfDesign {
 
 impl RfDesign {
     /// All four designs in the paper's reporting order.
-    pub const ALL: [RfDesign; 4] =
-        [RfDesign::NdroBaseline, RfDesign::HiPerRf, RfDesign::DualBanked, RfDesign::DualBankedIdeal];
+    pub const ALL: [RfDesign; 4] = [
+        RfDesign::NdroBaseline,
+        RfDesign::HiPerRf,
+        RfDesign::DualBanked,
+        RfDesign::DualBankedIdeal,
+    ];
 
     /// Display name matching the paper's tables.
     pub fn name(self) -> &'static str {
@@ -78,8 +82,9 @@ pub const BANK_OUTPUT_PS: f64 = 4.5;
 
 /// Post-place-and-route wire hop counts on the critical read path for the
 /// 32×32 configuration (paper §VI-C); scaled by demux level for other
-/// sizes.
-fn readout_hops(design: RfDesign, levels: usize) -> u32 {
+/// sizes. Closed form — `sfq_chip::pnr::structural_readout_hops` derives
+/// the same counts from the elaborated netlist and asserts agreement.
+pub fn readout_hops(design: RfDesign, levels: usize) -> u32 {
     match design {
         RfDesign::NdroBaseline => (3 * levels) as u32, // 15 at L=5
         RfDesign::HiPerRf => (3 * levels + 4) as u32,  // 19 at L=5
@@ -176,7 +181,11 @@ mod tests {
     #[test]
     fn table4_readout_with_wires() {
         let g = RfGeometry::paper_32x32();
-        let designs = [RfDesign::NdroBaseline, RfDesign::HiPerRf, RfDesign::DualBanked];
+        let designs = [
+            RfDesign::NdroBaseline,
+            RfDesign::HiPerRf,
+            RfDesign::DualBanked,
+        ];
         for (d, want) in designs.iter().zip(paper::READOUT_WIRES) {
             let got = readout_delay_with_wires_ps(*d, g);
             assert!((got - want).abs() < 0.1, "{d:?}: got {got}, want {want}");
@@ -188,7 +197,10 @@ mod tests {
         let g = RfGeometry::paper_32x32();
         let hi = loopback_latency_ps(RfDesign::HiPerRf, g).unwrap();
         let dual = loopback_latency_ps(RfDesign::DualBanked, g).unwrap();
-        assert!((hi - paper::LOOPBACK_WIRES[0]).abs() / paper::LOOPBACK_WIRES[0] < 0.02, "{hi}");
+        assert!(
+            (hi - paper::LOOPBACK_WIRES[0]).abs() / paper::LOOPBACK_WIRES[0] < 0.02,
+            "{hi}"
+        );
         assert!(
             (dual - paper::LOOPBACK_WIRES[1]).abs() / paper::LOOPBACK_WIRES[1] < 0.02,
             "{dual}"

@@ -212,7 +212,10 @@ mod tests {
                 sim.run();
                 t = sim.now() + Duration::from_ps(300.0);
             }
-            assert!(sim.violations().is_empty(), "levels {levels} had violations");
+            assert!(
+                sim.violations().is_empty(),
+                "levels {levels} had violations"
+            );
         }
     }
 

@@ -1,0 +1,209 @@
+//! Shared driver plumbing for every register-file variant.
+//!
+//! Each structural register file owns an event [`Simulator`], a driver
+//! cursor that spaces operations far enough apart for every cell to settle,
+//! and the violation/fault knobs of the underlying engine. [`RfHarness`]
+//! centralises that state so the variants only implement their ports, and
+//! the [`RegisterFile`] trait exposes the common driver surface (read /
+//! write / peek plus the shared knobs) so analyses like the margin engine,
+//! the soak harness, and the repro reports work over any registered design
+//! (see [`crate::designs`]).
+
+use sfq_cells::Census;
+use sfq_sim::fault::FaultPlan;
+use sfq_sim::netlist::Netlist;
+use sfq_sim::simulator::Simulator;
+use sfq_sim::time::{Duration, Time};
+use sfq_sim::violation::{Violation, ViolationPolicy};
+
+use crate::config::RfGeometry;
+
+/// Default gap between driver operations (ps). Far above the 53 ps NDROC
+/// re-arm time: the functional drivers run operations to completion rather
+/// than pipelining them (pipelined scheduling is modelled architecturally
+/// in `schedule`).
+pub const OP_GAP_PS: f64 = 400.0;
+
+/// Start time of the first driver operation (ps).
+const FIRST_OP_PS: f64 = 10.0;
+
+/// The simulator-ownership and operation-cursor state shared by every
+/// structural register-file driver.
+#[derive(Debug)]
+pub struct RfHarness {
+    geometry: RfGeometry,
+    sim: Simulator,
+    cursor: Time,
+    op_gap: Duration,
+}
+
+impl RfHarness {
+    /// Wraps a freshly built simulator with the default operation gap.
+    pub fn new(geometry: RfGeometry, sim: Simulator) -> Self {
+        Self::with_op_gap(geometry, sim, OP_GAP_PS)
+    }
+
+    /// Wraps a simulator with an explicit inter-operation gap (ps) for
+    /// drivers whose settle time differs from the default.
+    pub fn with_op_gap(geometry: RfGeometry, sim: Simulator, op_gap_ps: f64) -> Self {
+        RfHarness {
+            geometry,
+            sim,
+            cursor: Time::from_ps(FIRST_OP_PS),
+            op_gap: Duration::from_ps(op_gap_ps),
+        }
+    }
+
+    /// The geometry of the register file.
+    pub fn geometry(&self) -> RfGeometry {
+        self.geometry
+    }
+
+    /// The wrapped simulator.
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// The wrapped simulator, mutably.
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// The elaborated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.sim.netlist()
+    }
+
+    /// Start time for the next driver operation.
+    pub fn cursor(&self) -> Time {
+        self.cursor
+    }
+
+    /// Moves the cursor one operation gap past the simulator's current
+    /// time; drivers call this after every completed operation.
+    pub fn advance_cursor(&mut self) {
+        self.cursor = self.sim.now() + self.op_gap;
+    }
+
+    /// Cell census of the elaborated netlist.
+    pub fn census(&self) -> Census {
+        Census::of(self.sim.netlist())
+    }
+
+    /// Timing violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        self.sim.violations()
+    }
+
+    /// Sets how the simulator reacts to timing violations.
+    pub fn set_violation_policy(&mut self, policy: ViolationPolicy) {
+        self.sim.set_violation_policy(policy);
+    }
+
+    /// Installs a fault plan (seeded delay variation / pulse faults).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.sim.set_fault_plan(plan);
+    }
+
+    /// Pulses destroyed by the `Degrade` policy so far.
+    pub fn degraded_drops(&self) -> u64 {
+        self.sim.degraded_drops()
+    }
+
+    /// Panics if `reg` is out of range for the geometry.
+    pub fn assert_reg(&self, reg: usize) {
+        assert!(
+            reg < self.geometry.registers(),
+            "register {reg} out of range"
+        );
+    }
+
+    /// Panics if `reg` is out of range or `value` does not fit the width.
+    pub fn assert_write(&self, reg: usize, value: u64) {
+        self.assert_reg(reg);
+        let w = self.geometry.width();
+        assert!(
+            w == 64 || value < (1u64 << w),
+            "value {value:#x} exceeds {w}-bit width"
+        );
+    }
+}
+
+/// The common driver surface of every structural register-file design.
+///
+/// Required methods are the design-specific port protocols; everything
+/// else (plain writes, census, violation policy, fault injection) is
+/// provided through the design's [`RfHarness`]. The trait is object-safe:
+/// [`crate::designs::Design::build`] hands out `Box<dyn RegisterFile>` so
+/// analyses can be written once for every registered design.
+pub trait RegisterFile {
+    /// The shared harness state.
+    fn harness(&self) -> &RfHarness;
+
+    /// The shared harness state, mutably.
+    fn harness_mut(&mut self) -> &mut RfHarness;
+
+    /// Reads a register through the port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range.
+    fn read(&mut self, reg: usize) -> u64;
+
+    /// Writes a register with a deliberate skew (ps, may be negative) on
+    /// the data train's arrival at the write gates — the margin-engine
+    /// hook for mapping each design's coincidence window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range or `value` does not fit the width.
+    fn write_skewed(&mut self, reg: usize, value: u64, skew_ps: f64);
+
+    /// Peeks stored register contents without a (state-disturbing) port
+    /// access.
+    fn peek(&self, reg: usize) -> u64;
+
+    /// Writes a register with nominal timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range or `value` does not fit the width.
+    fn write(&mut self, reg: usize, value: u64) {
+        self.write_skewed(reg, value, 0.0);
+    }
+
+    /// The geometry of this register file.
+    fn geometry(&self) -> RfGeometry {
+        self.harness().geometry()
+    }
+
+    /// The elaborated netlist.
+    fn netlist(&self) -> &Netlist {
+        self.harness().netlist()
+    }
+
+    /// Cell census of the elaborated netlist.
+    fn census(&self) -> Census {
+        self.harness().census()
+    }
+
+    /// Timing violations recorded so far.
+    fn violations(&self) -> &[Violation] {
+        self.harness().violations()
+    }
+
+    /// Sets how the simulator reacts to timing violations.
+    fn set_violation_policy(&mut self, policy: ViolationPolicy) {
+        self.harness_mut().set_violation_policy(policy);
+    }
+
+    /// Installs a fault plan (seeded delay variation / pulse faults).
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.harness_mut().set_fault_plan(plan);
+    }
+
+    /// Pulses destroyed by the `Degrade` policy so far.
+    fn degraded_drops(&self) -> u64 {
+        self.harness().degraded_drops()
+    }
+}

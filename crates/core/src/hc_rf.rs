@@ -23,7 +23,7 @@ use sfq_cells::composite::{build_hc_clk, build_hc_read, build_hc_write};
 use sfq_cells::logic::Dand;
 use sfq_cells::storage::{HcDro, Ndro};
 use sfq_cells::timing::{
-    HCDRO_CLK_TO_OUT_PS, MERGER_DELAY_PS, NDRO_CLK_TO_OUT_PS, NDROC_PROP_PS, SPLITTER_DELAY_PS,
+    HCDRO_CLK_TO_OUT_PS, MERGER_DELAY_PS, NDROC_PROP_PS, NDRO_CLK_TO_OUT_PS, SPLITTER_DELAY_PS,
 };
 use sfq_cells::transport::Merger;
 use sfq_cells::CircuitBuilder;
@@ -156,9 +156,15 @@ pub fn build_hc_rf(b: &mut CircuitBuilder, geometry: RfGeometry) -> HcRfPorts {
         lb_set_pins.push(Pin::new(lb, Ndro::SET));
         lb_reset_pins.push(Pin::new(lb, Ndro::RESET));
         let split = b.splitter();
-        b.connect(Pin::new(lb, Ndro::OUT), Pin::new(split, sfq_cells::transport::Splitter::IN));
+        b.connect(
+            Pin::new(lb, Ndro::OUT),
+            Pin::new(split, sfq_cells::transport::Splitter::IN),
+        );
         let reader = build_hc_read(b);
-        b.connect(Pin::new(split, sfq_cells::transport::Splitter::OUT0), reader.input);
+        b.connect(
+            Pin::new(split, sfq_cells::transport::Splitter::OUT0),
+            reader.input,
+        );
         b.connect(
             Pin::new(split, sfq_cells::transport::Splitter::OUT1),
             join_loopback_in[col],
@@ -226,7 +232,13 @@ impl HcBank {
             .enumerate()
             .map(|(i, &p)| sim.probe(p, format!("B1[{i}]")))
             .collect();
-        HcBank { ports, b0_probes, b1_probes, extra_enable_ps: 0.0, extra_data_ps: 0.0 }
+        HcBank {
+            ports,
+            b0_probes,
+            b1_probes,
+            extra_enable_ps: 0.0,
+            extra_data_ps: 0.0,
+        }
     }
 
     fn levels(&self) -> usize {
@@ -285,7 +297,13 @@ impl HcBank {
         // Arm the LoopBuffer for restoration.
         sim.inject(self.ports.lb_set, t);
         // Fire the read port.
-        self.fire(sim, &self.ports.read_sel.clone(), self.ports.read_enable, reg, t);
+        self.fire(
+            sim,
+            &self.ports.read_sel.clone(),
+            self.ports.read_enable,
+            reg,
+            t,
+        );
         // Re-arm the write port at the same register so the loopback train
         // meets the tripled write enable at the DAND gates. Both ports share
         // the same enable-path latency, so the write enable simply lags the
@@ -316,7 +334,13 @@ impl HcBank {
     /// reset-port-free erase, §IV-B "Write operation").
     pub fn erase_op(&self, sim: &mut Simulator, reg: usize, t: Time) {
         sim.inject(self.ports.lb_reset, t);
-        self.fire(sim, &self.ports.read_sel.clone(), self.ports.read_enable, reg, t);
+        self.fire(
+            sim,
+            &self.ports.read_sel.clone(),
+            self.ports.read_enable,
+            reg,
+            t,
+        );
         sim.run();
     }
 
@@ -336,7 +360,13 @@ impl HcBank {
         t: Time,
         skew_ps: f64,
     ) {
-        self.fire(sim, &self.ports.write_sel.clone(), self.ports.write_enable, reg, t);
+        self.fire(
+            sim,
+            &self.ports.write_sel.clone(),
+            self.ports.write_enable,
+            reg,
+            t,
+        );
         // Align the HC-WRITE output train with the tripled write enable at
         // the DAND gates.
         let t_gate = t + Duration::from_ps(self.head_start_ps() + self.enable_to_cell_ps());

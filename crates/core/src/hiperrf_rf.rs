@@ -1,17 +1,12 @@
 //! The single-bank HiPerRF register file with its functional driver
 //! (paper §IV).
 
-use sfq_cells::{Census, CircuitBuilder};
-use sfq_sim::fault::FaultPlan;
+use sfq_cells::CircuitBuilder;
 use sfq_sim::simulator::Simulator;
-use sfq_sim::time::{Duration, Time};
-use sfq_sim::violation::{Violation, ViolationPolicy};
 
 use crate::config::RfGeometry;
+use crate::harness::{RegisterFile, RfHarness};
 use crate::hc_rf::{build_hc_rf, HcBank};
-
-/// Gap between driver operations (ps); see `ndro_rf` for rationale.
-const OP_GAP_PS: f64 = 400.0;
 
 /// A runnable HiPerRF register file with its simulator.
 ///
@@ -24,6 +19,7 @@ const OP_GAP_PS: f64 = 400.0;
 /// ```
 /// use hiperrf::config::RfGeometry;
 /// use hiperrf::hiperrf_rf::HiPerRf;
+/// use hiperrf::RegisterFile;
 ///
 /// let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
 /// rf.write(1, 0b1001);
@@ -32,10 +28,8 @@ const OP_GAP_PS: f64 = 400.0;
 /// ```
 #[derive(Debug)]
 pub struct HiPerRf {
-    geometry: RfGeometry,
-    sim: Simulator,
+    h: RfHarness,
     bank: HcBank,
-    cursor: Time,
 }
 
 impl HiPerRf {
@@ -45,88 +39,53 @@ impl HiPerRf {
         let ports = build_hc_rf(&mut b, geometry);
         let mut sim = Simulator::new(b.finish());
         let bank = HcBank::new(&mut sim, ports);
-        HiPerRf { geometry, sim, bank, cursor: Time::from_ps(10.0) }
-    }
-
-    /// The geometry of this register file.
-    pub fn geometry(&self) -> RfGeometry {
-        self.geometry
-    }
-
-    /// Cell census of the built netlist.
-    pub fn census(&self) -> Census {
-        Census::of(self.sim.netlist())
-    }
-
-    /// Timing violations recorded so far.
-    pub fn violations(&self) -> &[Violation] {
-        self.sim.violations()
-    }
-
-    /// Sets how the simulator reacts to timing violations.
-    pub fn set_violation_policy(&mut self, policy: ViolationPolicy) {
-        self.sim.set_violation_policy(policy);
-    }
-
-    /// Installs a fault plan (seeded delay variation / pulse faults).
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.sim.set_fault_plan(plan);
-    }
-
-    /// Pulses destroyed by the `Degrade` policy so far.
-    pub fn degraded_drops(&self) -> u64 {
-        self.sim.degraded_drops()
+        HiPerRf {
+            h: RfHarness::new(geometry, sim),
+            bank,
+        }
     }
 
     fn advance(&mut self) {
-        self.bank.finish_op(&mut self.sim);
-        self.cursor = self.sim.now() + Duration::from_ps(OP_GAP_PS);
+        self.bank.finish_op(self.h.sim_mut());
+        self.h.advance_cursor();
+    }
+}
+
+impl RegisterFile for HiPerRf {
+    fn harness(&self) -> &RfHarness {
+        &self.h
+    }
+
+    fn harness_mut(&mut self) -> &mut RfHarness {
+        &mut self.h
     }
 
     /// Reads a register. The value is restored via the loopback write.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is out of range.
-    pub fn read(&mut self, reg: usize) -> u64 {
-        assert!(reg < self.geometry.registers(), "register {reg} out of range");
-        let t = self.cursor;
-        let v = self.bank.read_op(&mut self.sim, reg, t);
+    fn read(&mut self, reg: usize) -> u64 {
+        self.h.assert_reg(reg);
+        let t = self.h.cursor();
+        let v = self.bank.read_op(self.h.sim_mut(), reg, t);
         self.advance();
         v
     }
 
-    /// Writes a register: an erase read (LoopBuffer reset) followed by an
-    /// HC-WRITE of the new value.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is out of range or `value` does not fit the width.
-    pub fn write(&mut self, reg: usize, value: u64) {
-        self.write_skewed(reg, value, 0.0);
-    }
-
-    /// Writes a register with a deliberate data-vs-enable skew (ps) on the
-    /// HC-WRITE phase — margin-engine hook.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is out of range or `value` does not fit the width.
-    pub fn write_skewed(&mut self, reg: usize, value: u64, skew_ps: f64) {
-        let w = self.geometry.width();
-        assert!(reg < self.geometry.registers(), "register {reg} out of range");
-        assert!(w == 64 || value < (1u64 << w), "value {value:#x} exceeds {w}-bit width");
-        let t = self.cursor;
-        self.bank.erase_op(&mut self.sim, reg, t);
+    /// Writes a register — an erase read (LoopBuffer reset) followed by an
+    /// HC-WRITE of the new value — with a deliberate data-vs-enable skew
+    /// (ps) on the HC-WRITE phase.
+    fn write_skewed(&mut self, reg: usize, value: u64, skew_ps: f64) {
+        self.h.assert_write(reg, value);
+        let t = self.h.cursor();
+        self.bank.erase_op(self.h.sim_mut(), reg, t);
         self.advance();
-        let t = self.cursor;
-        self.bank.write_op_skewed(&mut self.sim, reg, value, t, skew_ps);
+        let t = self.h.cursor();
+        self.bank
+            .write_op_skewed(self.h.sim_mut(), reg, value, t, skew_ps);
         self.advance();
     }
 
     /// Peeks stored register contents without disturbing state.
-    pub fn peek(&self, reg: usize) -> u64 {
-        self.bank.peek(&self.sim, reg)
+    fn peek(&self, reg: usize) -> u64 {
+        self.bank.peek(self.h.sim(), reg)
     }
 }
 
@@ -140,7 +99,11 @@ mod tests {
         rf.write(2, 0b0110);
         assert_eq!(rf.peek(2), 0b0110);
         assert_eq!(rf.read(2), 0b0110);
-        assert!(rf.violations().is_empty(), "violations: {:?}", rf.violations());
+        assert!(
+            rf.violations().is_empty(),
+            "violations: {:?}",
+            rf.violations()
+        );
     }
 
     #[test]

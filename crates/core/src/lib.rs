@@ -14,9 +14,15 @@
 //! * **Structural models** — full pulse-level netlists built from the
 //!   `sfq-cells` library, runnable on the `sfq-sim` event simulator:
 //!   [`ndro_rf::NdroRf`] (the clock-less baseline of paper §III),
-//!   [`hiperrf_rf::HiPerRf`] (§IV), and [`banked::DualBankRf`] (§V).
+//!   [`hiperrf_rf::HiPerRf`] (§IV), [`banked::DualBankRf`] (§V), and
+//!   [`shift_rf::ShiftRegisterRf`] (the related-work baseline of §VII).
 //!   Reads on the HC designs physically pop fluxons and restore them via
 //!   the loopback path.
+//! * **One design layer** — every variant implements the
+//!   [`RegisterFile`] trait on top of a shared [`harness::RfHarness`]
+//!   (simulator ownership, operation cursor, violation policy, fault
+//!   plans), and [`designs::registry`] enumerates them so analyses and
+//!   reports are generic over designs instead of naming concrete types.
 //! * **Closed-form budgets** — [`budget`] enumerates every cell of each
 //!   design and regenerates the paper's Table I (JJ count) and Table II
 //!   (static power); integration tests assert the structural netlists
@@ -33,6 +39,7 @@
 //! ```
 //! use hiperrf::config::RfGeometry;
 //! use hiperrf::hiperrf_rf::HiPerRf;
+//! use hiperrf::RegisterFile;
 //!
 //! // A 4-register × 4-bit HiPerRF, simulated pulse by pulse.
 //! let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
@@ -40,6 +47,19 @@
 //! assert_eq!(rf.read(1), 0b1001);
 //! // The read was destructive in the cells, but the loopback restored it:
 //! assert_eq!(rf.read(1), 0b1001);
+//! ```
+//!
+//! The same program, generic over every registered design:
+//!
+//! ```
+//! use hiperrf::config::RfGeometry;
+//! use hiperrf::designs::registry;
+//!
+//! for design in registry() {
+//!     let mut rf = design.build(RfGeometry::paper_4x4());
+//!     rf.write(1, 0b1001);
+//!     assert_eq!(rf.read(1), 0b1001, "{design}");
+//! }
 //! ```
 
 pub mod arch;
@@ -49,7 +69,9 @@ pub mod capacity;
 pub mod config;
 pub mod delay;
 pub mod demux;
+pub mod designs;
 pub mod fabric;
+pub mod harness;
 pub mod hc_rf;
 pub mod hiperrf_rf;
 pub mod margins;
@@ -61,6 +83,8 @@ pub use arch::ArchRf;
 pub use banked::DualBankRf;
 pub use config::RfGeometry;
 pub use delay::RfDesign;
+pub use designs::Design;
+pub use harness::{RegisterFile, RfHarness};
 pub use hiperrf_rf::HiPerRf;
 pub use ndro_rf::NdroRf;
 pub use schedule::RfSchedule;

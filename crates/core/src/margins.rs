@@ -40,42 +40,15 @@ use sfq_sim::simulator::Simulator;
 use sfq_sim::time::{Duration, Time};
 use sfq_sim::violation::ViolationPolicy;
 
-use crate::banked::DualBankRf;
 use crate::config::RfGeometry;
 use crate::demux::{build_demux, sel_head_start};
-use crate::hiperrf_rf::HiPerRf;
-use crate::ndro_rf::NdroRf;
+use crate::harness::RegisterFile;
 
-/// The structural register-file designs the margin engine can build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Design {
-    /// Baseline clock-less NDRO register file (paper §III).
-    NdroBaseline,
-    /// Single-bank HiPerRF (paper §IV).
-    HiPerRf,
-    /// Dual-banked HiPerRF (paper §V).
-    DualBanked,
-}
-
-impl Design {
-    /// All structural designs, in paper order.
-    pub const ALL: [Design; 3] = [Design::NdroBaseline, Design::HiPerRf, Design::DualBanked];
-
-    /// Short human-readable label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Design::NdroBaseline => "NDRO baseline",
-            Design::HiPerRf => "HiPerRF",
-            Design::DualBanked => "dual-banked",
-        }
-    }
-}
-
-impl std::fmt::Display for Design {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
+// The margin engine predates the design registry; its `Design` enum moved
+// there and is re-exported for compatibility. Every routine below builds
+// designs through [`crate::designs::registry`]'s trait objects, so a newly
+// registered design is margin-swept with no changes here.
+pub use crate::designs::Design;
 
 /// Result of a skew sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,32 +81,12 @@ fn all_ones(geometry: RfGeometry) -> u64 {
 /// it landed cleanly (value correct, no timing violations).
 fn design_write_succeeds(design: Design, geometry: RfGeometry, skew_ps: f64) -> bool {
     let value = all_ones(geometry);
-    match design {
-        Design::NdroBaseline => {
-            let mut rf = NdroRf::new(geometry);
-            rf.write_skewed(1, value, skew_ps);
-            if rf.peek(1) != value {
-                return false;
-            }
-            rf.read(1) == value && rf.violations().is_empty()
-        }
-        Design::HiPerRf => {
-            let mut rf = HiPerRf::new(geometry);
-            rf.write_skewed(1, value, skew_ps);
-            if rf.peek(1) != value {
-                return false;
-            }
-            rf.read(1) == value && rf.violations().is_empty()
-        }
-        Design::DualBanked => {
-            let mut rf = DualBankRf::new(geometry);
-            rf.write_skewed(1, value, skew_ps);
-            if rf.peek(1) != value {
-                return false;
-            }
-            rf.read(1) == value && rf.violations().is_empty()
-        }
+    let mut rf = design.build(geometry);
+    rf.write_skewed(1, value, skew_ps);
+    if rf.peek(1) != value {
+        return false;
     }
+    rf.read(1) == value && rf.violations().is_empty()
 }
 
 /// Sweeps `ok(skew)` over `[-limit, +limit]` ps in `step` steps and
@@ -152,7 +105,11 @@ fn sweep_window(mut ok: impl FnMut(f64) -> bool, limit_ps: f64, step_ps: f64) ->
         min_ok = -skew;
         skew += step_ps;
     }
-    SkewWindow { min_ok_ps: min_ok, max_ok_ps: max_ok, step_ps }
+    SkewWindow {
+        min_ok_ps: min_ok,
+        max_ok_ps: max_ok,
+        step_ps,
+    }
 }
 
 /// Sweeps data-vs-enable skew for one structural design and reports the
@@ -168,7 +125,11 @@ pub fn design_skew_window(
     limit_ps: f64,
     step_ps: f64,
 ) -> SkewWindow {
-    sweep_window(|s| design_write_succeeds(design, geometry, s), limit_ps, step_ps)
+    sweep_window(
+        |s| design_write_succeeds(design, geometry, s),
+        limit_ps,
+        step_ps,
+    )
 }
 
 /// [`design_skew_window`] for the single-bank HiPerRF — kept as the
@@ -191,7 +152,10 @@ fn clocked_capture_succeeds(skew_ps: f64) -> bool {
     let p = sim.probe(Pin::new(s, SyncSampler::OUT), "q");
     let t_clk = 40.0;
     let nominal = t_clk - SYNC_SETUP_PS - SYNC_TRACK_PS / 2.0;
-    sim.inject(Pin::new(s, SyncSampler::D), Time::from_ps((nominal + skew_ps).max(0.0)));
+    sim.inject(
+        Pin::new(s, SyncSampler::D),
+        Time::from_ps((nominal + skew_ps).max(0.0)),
+    );
     sim.inject(Pin::new(s, SyncSampler::CLK), Time::from_ps(t_clk));
     sim.run();
     sim.probe_trace(p).len() == 1 && sim.violations().is_empty()
@@ -248,7 +212,12 @@ pub fn monte_carlo_jitter(
             passed += 1;
         }
     }
-    JitterReport { trials, passed, jitter_ps, seed }
+    JitterReport {
+        trials,
+        passed,
+        jitter_ps,
+        seed,
+    }
 }
 
 /// Deterministic nonzero soak pattern for a register.
@@ -256,44 +225,11 @@ fn soak_pattern(geometry: RfGeometry, reg: usize) -> u64 {
     0x9e37_79b9_7f4a_7c15u64.wrapping_mul(reg as u64 + 1) & all_ones(geometry)
 }
 
-/// Common driver interface the soak harness needs.
-trait Soakable {
-    fn soak_write(&mut self, reg: usize, value: u64);
-    fn soak_read(&mut self, reg: usize) -> u64;
-}
-
-impl Soakable for NdroRf {
-    fn soak_write(&mut self, reg: usize, value: u64) {
-        self.write(reg, value);
-    }
-    fn soak_read(&mut self, reg: usize) -> u64 {
-        self.read(reg)
-    }
-}
-
-impl Soakable for HiPerRf {
-    fn soak_write(&mut self, reg: usize, value: u64) {
-        self.write(reg, value);
-    }
-    fn soak_read(&mut self, reg: usize) -> u64 {
-        self.read(reg)
-    }
-}
-
-impl Soakable for DualBankRf {
-    fn soak_write(&mut self, reg: usize, value: u64) {
-        self.write(reg, value);
-    }
-    fn soak_read(&mut self, reg: usize) -> u64 {
-        self.read(reg)
-    }
-}
-
-fn run_soak(rf: &mut impl Soakable, geometry: RfGeometry) -> bool {
+fn run_soak(rf: &mut dyn RegisterFile, geometry: RfGeometry) -> bool {
     for r in 0..geometry.registers() {
-        rf.soak_write(r, soak_pattern(geometry, r));
+        rf.write(r, soak_pattern(geometry, r));
     }
-    (0..geometry.registers()).all(|r| rf.soak_read(r) == soak_pattern(geometry, r))
+    (0..geometry.registers()).all(|r| rf.read(r) == soak_pattern(geometry, r))
 }
 
 /// Runs a write-all/read-all soak of `design` under the `Degrade`
@@ -305,27 +241,10 @@ fn run_soak(rf: &mut impl Soakable, geometry: RfGeometry) -> bool {
 /// `sigma`, so for a fixed seed the outcome is (near-)monotone in `sigma`
 /// and [`critical_sigma`]'s bisection is well posed.
 pub fn soak_passes(design: Design, geometry: RfGeometry, sigma: f64, seed: u64) -> bool {
-    let plan = FaultPlan::new(seed).with_delay_sigma(sigma);
-    match design {
-        Design::NdroBaseline => {
-            let mut rf = NdroRf::new(geometry);
-            rf.set_violation_policy(ViolationPolicy::Degrade);
-            rf.set_fault_plan(plan);
-            run_soak(&mut rf, geometry)
-        }
-        Design::HiPerRf => {
-            let mut rf = HiPerRf::new(geometry);
-            rf.set_violation_policy(ViolationPolicy::Degrade);
-            rf.set_fault_plan(plan);
-            run_soak(&mut rf, geometry)
-        }
-        Design::DualBanked => {
-            let mut rf = DualBankRf::new(geometry);
-            rf.set_violation_policy(ViolationPolicy::Degrade);
-            rf.set_fault_plan(plan);
-            run_soak(&mut rf, geometry)
-        }
-    }
+    let mut rf = design.build(geometry);
+    rf.set_violation_policy(ViolationPolicy::Degrade);
+    rf.set_fault_plan(FaultPlan::new(seed).with_delay_sigma(sigma));
+    run_soak(rf.as_mut(), geometry)
 }
 
 /// Upper end of the σ search range: a 50% fractional delay spread is far
@@ -397,7 +316,12 @@ pub fn yield_curve(
             (s, passing as f64 / f64::from(trials.max(1)))
         })
         .collect();
-    YieldCurve { design, trials, seed, points }
+    YieldCurve {
+        design,
+        trials,
+        seed,
+        points,
+    }
 }
 
 /// Bisects the smallest `x` in `(lo, hi]` for which `pass(x)` holds,
@@ -528,7 +452,10 @@ mod tests {
     fn huge_jitter_fails_sometimes() {
         let r = monte_carlo_jitter(RfGeometry::paper_4x4(), 30.0, 20, 7);
         assert!(r.yield_fraction() < 1.0, "{r:?}");
-        assert!(r.passed > 0, "some trials must still land near zero skew: {r:?}");
+        assert!(
+            r.passed > 0,
+            "some trials must still land near zero skew: {r:?}"
+        );
     }
 
     #[test]
@@ -566,7 +493,10 @@ mod tests {
         let sigmas = [0.0, 0.02, 0.05, 0.1, 0.3];
         let curve = yield_curve(Design::HiPerRf, RfGeometry::paper_4x4(), &sigmas, 4, 99);
         assert_eq!(curve.points.len(), sigmas.len());
-        assert_eq!(curve.points[0].1, 1.0, "every trial passes at sigma 0: {curve:?}");
+        assert_eq!(
+            curve.points[0].1, 1.0,
+            "every trial passes at sigma 0: {curve:?}"
+        );
         for pair in curve.points.windows(2) {
             assert!(pair[1].1 <= pair[0].1, "{curve:?}");
         }

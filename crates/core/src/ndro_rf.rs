@@ -9,30 +9,22 @@
 use sfq_cells::logic::Dand;
 use sfq_cells::storage::Ndro;
 use sfq_cells::timing::{
-    DAND_DELAY_PS, MERGER_DELAY_PS, NDRO_CLK_TO_OUT_PS, NDROC_PROP_PS, SPLITTER_DELAY_PS,
+    DAND_DELAY_PS, MERGER_DELAY_PS, NDROC_PROP_PS, NDRO_CLK_TO_OUT_PS, SPLITTER_DELAY_PS,
 };
-use sfq_cells::{CircuitBuilder, Census};
-use sfq_sim::fault::FaultPlan;
+use sfq_cells::CircuitBuilder;
 use sfq_sim::netlist::{ComponentId, Pin};
 use sfq_sim::simulator::{ProbeId, Simulator};
 use sfq_sim::time::{Duration, Time};
-use sfq_sim::violation::{Violation, ViolationPolicy};
 
 use crate::config::RfGeometry;
 use crate::demux::{build_demux, sel_head_start, Demux};
 use crate::fabric::{broadcast_depth, broadcast_to, merge_depth};
-
-/// Gap between driver operations (ps). Far above the 53 ps NDROC re-arm
-/// time: the functional driver runs operations to completion rather than
-/// pipelining them (pipelined scheduling is modelled architecturally in
-/// `schedule`).
-const OP_GAP_PS: f64 = 400.0;
+use crate::harness::{RegisterFile, RfHarness};
 
 /// A runnable baseline NDRO register file with its simulator.
 #[derive(Debug)]
 pub struct NdroRf {
-    geometry: RfGeometry,
-    sim: Simulator,
+    h: RfHarness,
     read_demux: Demux,
     reset_demux: Demux,
     write_demux: Demux,
@@ -42,7 +34,6 @@ pub struct NdroRf {
     out_probes: Vec<ProbeId>,
     /// NDRO cells, `[register][bit]`.
     cells: Vec<Vec<ComponentId>>,
-    cursor: Time,
 }
 
 impl NdroRf {
@@ -91,7 +82,10 @@ impl NdroRf {
                 let input = broadcast_to(b, &gates);
                 b.connect(d.outputs[r], input);
                 for bit in 0..w {
-                    b.connect(Pin::new(dands[r][bit], Dand::OUT), Pin::new(cells[r][bit], Ndro::SET));
+                    b.connect(
+                        Pin::new(dands[r][bit], Dand::OUT),
+                        Pin::new(cells[r][bit], Ndro::SET),
+                    );
                 }
             }
             // W_DATA fan-out: bit -> all registers' DAND B pins.
@@ -124,72 +118,74 @@ impl NdroRf {
             .collect();
 
         NdroRf {
-            geometry,
-            sim,
+            h: RfHarness::new(geometry, sim),
             read_demux,
             reset_demux,
             write_demux,
             data_in,
             out_probes,
             cells,
-            cursor: Time::from_ps(10.0),
         }
     }
 
-    /// The geometry of this register file.
-    pub fn geometry(&self) -> RfGeometry {
-        self.geometry
-    }
-
-    /// Cell census of the built netlist.
-    pub fn census(&self) -> Census {
-        Census::of(self.sim.netlist())
-    }
-
-    /// Timing violations recorded so far.
-    pub fn violations(&self) -> &[Violation] {
-        self.sim.violations()
-    }
-
-    /// Sets how the simulator reacts to timing violations.
-    pub fn set_violation_policy(&mut self, policy: ViolationPolicy) {
-        self.sim.set_violation_policy(policy);
-    }
-
-    /// Installs a fault plan (seeded delay variation / pulse faults).
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.sim.set_fault_plan(plan);
-    }
-
-    /// Pulses destroyed by the `Degrade` policy so far.
-    pub fn degraded_drops(&self) -> u64 {
-        self.sim.degraded_drops()
-    }
-
     fn end_op(&mut self) {
-        let t = self.sim.now() + Duration::from_ps(20.0);
-        self.read_demux.clear(&mut self.sim, t);
-        self.reset_demux.clear(&mut self.sim, t);
-        self.write_demux.clear(&mut self.sim, t);
-        self.sim.run();
-        self.cursor = self.sim.now() + Duration::from_ps(OP_GAP_PS);
+        let t = self.h.sim().now() + Duration::from_ps(20.0);
+        self.read_demux.clear(self.h.sim_mut(), t);
+        self.reset_demux.clear(self.h.sim_mut(), t);
+        self.write_demux.clear(self.h.sim_mut(), t);
+        self.h.sim_mut().run();
+        self.h.advance_cursor();
+    }
+
+    /// Enable-path latency from demux enable injection to the DAND gate
+    /// inputs (ps).
+    fn enable_to_gate_ps(&self) -> f64 {
+        self.h.geometry().demux_levels() as f64 * NDROC_PROP_PS
+            + broadcast_depth(self.h.geometry().width()) as f64 * SPLITTER_DELAY_PS
+    }
+
+    /// Data-path latency from a W_DATA pin to the DAND gate inputs (ps).
+    fn data_to_gate_ps(&self) -> f64 {
+        broadcast_depth(self.h.geometry().registers()) as f64 * SPLITTER_DELAY_PS
+    }
+
+    /// The modelled logical readout latency (ps): demux traverse + read
+    /// fan + cell readout + output merger tree. Matches the measured pulse
+    /// arrival in the structural simulation.
+    pub fn readout_path_ps(&self) -> f64 {
+        self.h.geometry().demux_levels() as f64 * NDROC_PROP_PS
+            + broadcast_depth(self.h.geometry().width()) as f64 * SPLITTER_DELAY_PS
+            + NDRO_CLK_TO_OUT_PS
+            + merge_depth(self.h.geometry().registers()) as f64 * MERGER_DELAY_PS
+    }
+
+    /// DAND gating slack available to the driver (ps) — documentation aid.
+    pub fn gate_window_ps(&self) -> f64 {
+        DAND_DELAY_PS
+    }
+}
+
+impl RegisterFile for NdroRf {
+    fn harness(&self) -> &RfHarness {
+        &self.h
+    }
+
+    fn harness_mut(&mut self) -> &mut RfHarness {
+        &mut self.h
     }
 
     /// Reads a register (non-destructive).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is out of range.
-    pub fn read(&mut self, reg: usize) -> u64 {
-        assert!(reg < self.geometry.registers(), "register {reg} out of range");
-        self.sim.clear_all_probes();
-        let t = self.cursor;
-        let hs = sel_head_start(self.geometry.demux_levels());
-        self.read_demux.select_and_fire(&mut self.sim, reg, t, t + hs);
-        self.sim.run();
+    fn read(&mut self, reg: usize) -> u64 {
+        self.h.assert_reg(reg);
+        self.h.sim_mut().clear_all_probes();
+        let t = self.h.cursor();
+        let hs = sel_head_start(self.h.geometry().demux_levels());
+        self.read_demux
+            .select_and_fire(self.h.sim_mut(), reg, t, t + hs);
+        self.h.sim_mut().run();
         let mut value = 0u64;
         for (bit, &p) in self.out_probes.iter().enumerate() {
-            if !self.sim.probe_trace(p).is_empty() {
+            if !self.h.sim().probe_trace(p).is_empty() {
                 value |= 1 << bit;
             }
         }
@@ -197,86 +193,46 @@ impl NdroRf {
         value
     }
 
-    /// Writes a register: a reset operation through the reset port followed
-    /// by a gated write through the write port (paper §III-D).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is out of range or `value` does not fit the width.
-    pub fn write(&mut self, reg: usize, value: u64) {
-        self.write_skewed(reg, value, 0.0);
-    }
-
-    /// Writes a register with a deliberate skew (ps) added to the data
-    /// train's arrival at the DAND gates — margin-engine hook mirroring
-    /// [`HcBank::write_op_skewed`](crate::hc_rf::HcBank::write_op_skewed).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is out of range or `value` does not fit the width.
-    pub fn write_skewed(&mut self, reg: usize, value: u64, skew_ps: f64) {
-        let w = self.geometry.width();
-        assert!(reg < self.geometry.registers(), "register {reg} out of range");
-        assert!(w == 64 || value < (1u64 << w), "value {value:#x} exceeds {w}-bit width");
+    /// Writes a register — a reset operation through the reset port
+    /// followed by a gated write through the write port (paper §III-D) —
+    /// with a deliberate skew (ps) added to the data train's arrival at
+    /// the DAND gates.
+    fn write_skewed(&mut self, reg: usize, value: u64, skew_ps: f64) {
+        self.h.assert_write(reg, value);
 
         // Phase 1: reset the destination register.
-        let t = self.cursor;
-        let hs = sel_head_start(self.geometry.demux_levels());
-        self.reset_demux.select_and_fire(&mut self.sim, reg, t, t + hs);
-        self.sim.run();
+        let t = self.h.cursor();
+        let hs = sel_head_start(self.h.geometry().demux_levels());
+        self.reset_demux
+            .select_and_fire(self.h.sim_mut(), reg, t, t + hs);
+        self.h.sim_mut().run();
         self.end_op();
 
         // Phase 2: write-enable + data, aligned at the DANDs.
-        let t = self.cursor;
-        self.write_demux.select_and_fire(&mut self.sim, reg, t, t + hs);
+        let t = self.h.cursor();
+        self.write_demux
+            .select_and_fire(self.h.sim_mut(), reg, t, t + hs);
         let t_wen_at_dand = t + hs + Duration::from_ps(self.enable_to_gate_ps());
         let aligned_ps = t_wen_at_dand.as_ps() - self.data_to_gate_ps() + skew_ps;
         let t_data = Time::from_ps(aligned_ps.max(0.0));
         for (bit, &pin) in self.data_in.iter().enumerate() {
             if value >> bit & 1 == 1 {
-                self.sim.inject(pin, t_data);
+                self.h.sim_mut().inject(pin, t_data);
             }
         }
-        self.sim.run();
+        self.h.sim_mut().run();
         self.end_op();
     }
 
     /// Peeks stored register contents without a (state-disturbing) read.
-    pub fn peek(&self, reg: usize) -> u64 {
+    fn peek(&self, reg: usize) -> u64 {
         let mut v = 0u64;
         for (bit, &cell) in self.cells[reg].iter().enumerate() {
-            if self.sim.netlist().component(cell).stored() == Some(1) {
+            if self.h.netlist().component(cell).stored() == Some(1) {
                 v |= 1 << bit;
             }
         }
         v
-    }
-
-    /// Enable-path latency from demux enable injection to the DAND gate
-    /// inputs (ps).
-    fn enable_to_gate_ps(&self) -> f64 {
-        self.geometry.demux_levels() as f64 * NDROC_PROP_PS
-            + broadcast_depth(self.geometry.width()) as f64 * SPLITTER_DELAY_PS
-    }
-
-    /// Data-path latency from a W_DATA pin to the DAND gate inputs (ps).
-    fn data_to_gate_ps(&self) -> f64 {
-        broadcast_depth(self.geometry.registers()) as f64 * SPLITTER_DELAY_PS
-    }
-
-    /// The modelled logical readout latency (ps): demux traverse + read
-    /// fan + cell readout + output merger tree. Matches the measured pulse
-    /// arrival in the structural simulation.
-    pub fn readout_path_ps(&self) -> f64 {
-        self.geometry.demux_levels() as f64 * NDROC_PROP_PS
-            + broadcast_depth(self.geometry.width()) as f64 * SPLITTER_DELAY_PS
-            + NDRO_CLK_TO_OUT_PS
-            + merge_depth(self.geometry.registers()) as f64 * MERGER_DELAY_PS
-    }
-
-    /// DAND gating slack available to the driver (ps) — documentation aid.
-    pub fn gate_window_ps(&self) -> f64 {
-        DAND_DELAY_PS
     }
 }
 

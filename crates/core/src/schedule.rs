@@ -20,7 +20,7 @@
 //! One RF cycle (53 ps NDROC re-arm) spans two 28 ps gate cycles of the
 //! synthesized Sodor pipeline (paper §VI-B).
 
-use sfq_cells::timing::{GATE_CYCLE_PS, GATE_CYCLES_PER_RF_CYCLE};
+use sfq_cells::timing::{GATE_CYCLES_PER_RF_CYCLE, GATE_CYCLE_PS};
 
 use crate::banked::bank_of;
 use crate::config::RfGeometry;
@@ -77,8 +77,7 @@ impl RfSchedule {
     /// Gate cycles a just-read register stays unavailable while its
     /// loopback write restores it (`None` for the baseline).
     pub fn loopback_gate_cycles(&self) -> Option<u64> {
-        loopback_latency_ps(self.design, self.geometry)
-            .map(|ps| (ps / GATE_CYCLE_PS).ceil() as u64)
+        loopback_latency_ps(self.design, self.geometry).map(|ps| (ps / GATE_CYCLE_PS).ceil() as u64)
     }
 
     /// Whether the write port can internally forward a value to a read in
@@ -175,8 +174,12 @@ mod tests {
 
     #[test]
     fn loopback_cycles() {
-        let hi = RfSchedule::new(RfDesign::HiPerRf, g()).loopback_gate_cycles().unwrap();
-        let dual = RfSchedule::new(RfDesign::DualBanked, g()).loopback_gate_cycles().unwrap();
+        let hi = RfSchedule::new(RfDesign::HiPerRf, g())
+            .loopback_gate_cycles()
+            .unwrap();
+        let dual = RfSchedule::new(RfDesign::DualBanked, g())
+            .loopback_gate_cycles()
+            .unwrap();
         assert_eq!(hi, 4); // 108.6 ps
         assert_eq!(dual, 4); // 94.7 ps
     }

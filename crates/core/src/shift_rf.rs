@@ -17,25 +17,32 @@
 use sfq_cells::logic::Dand;
 use sfq_cells::storage::{Dro, Ndro};
 use sfq_cells::timing::{
-    DRO_CLK_TO_OUT_PS, NDRO_CLK_TO_OUT_PS, NDROC_PROP_PS, RF_CYCLE_PS, SPLITTER_DELAY_PS,
+    DRO_CLK_TO_OUT_PS, NDROC_PROP_PS, NDRO_CLK_TO_OUT_PS, RF_CYCLE_PS, SPLITTER_DELAY_PS,
 };
 use sfq_cells::transport::{Merger, Splitter};
 use sfq_cells::{CellKind, Census, CircuitBuilder};
 use sfq_sim::netlist::{ComponentId, Pin};
 use sfq_sim::simulator::{ProbeId, Simulator};
 use sfq_sim::time::{Duration, Time};
-use sfq_sim::violation::Violation;
 
 use crate::budget::{BudgetSection, RfBudget};
 use crate::config::RfGeometry;
 use crate::demux::{build_demux, sel_head_start, Demux};
 use crate::fabric::broadcast_to;
+use crate::harness::{RegisterFile, RfHarness};
 
 /// Spacing between successive shift-clock pulses in the functional driver
-/// (ps). Must exceed the ring settle time (DRO pop, splitter, NDRO gate,
-/// merger: ~24 ps); the *hardware* burst rate through the NDROC demux is
-/// one pulse per 53 ps cycle, which is what the delay model charges.
-const SHIFT_STEP_PS: f64 = 30.0;
+/// (ps). Must exceed both the ring settle time (DRO pop, splitter, NDRO
+/// gate, merger: ~24 ps) and the 53 ps NDROC re-arm time of the demux the
+/// bursts route through — the same one-pulse-per-cycle rate the delay
+/// model charges. (A tighter spacing shifts correctly in simulation but
+/// records a re-arm violation on every demux stage.)
+const SHIFT_STEP_PS: f64 = 60.0;
+
+/// Gap between driver operations (ps). The shift driver clears only two
+/// demuxes per operation, so it settles faster than the default harness
+/// gap.
+const SHIFT_OP_GAP_PS: f64 = 300.0;
 
 /// Closed-form budget for an `n × w` shift-register file.
 ///
@@ -68,9 +75,18 @@ pub fn shift_rf_budget(geometry: RfGeometry) -> RfBudget {
         design: "Shift-register RF (Fujiwara-style)",
         geometry,
         sections: vec![
-            BudgetSection { name: "storage", census: storage },
-            BudgetSection { name: "ring plumbing", census: ring },
-            BudgetSection { name: "ports", census: ports },
+            BudgetSection {
+                name: "storage",
+                census: storage,
+            },
+            BudgetSection {
+                name: "ring plumbing",
+                census: ring,
+            },
+            BudgetSection {
+                name: "ports",
+                census: ports,
+            },
         ],
     }
 }
@@ -88,8 +104,7 @@ pub fn shift_rf_readout_ps(geometry: RfGeometry) -> f64 {
 /// A runnable structural shift-register file.
 #[derive(Debug)]
 pub struct ShiftRegisterRf {
-    geometry: RfGeometry,
-    sim: Simulator,
+    h: RfHarness,
     clock_demux: Demux,
     write_demux: Demux,
     /// Per-register recirculation-gate SET/RESET broadcast inputs.
@@ -101,7 +116,6 @@ pub struct ShiftRegisterRf {
     out_probes: Vec<ProbeId>,
     /// Ring cells `[register][position]`; position `w-1` is the head.
     cells: Vec<Vec<ComponentId>>,
-    cursor: Time,
 }
 
 impl ShiftRegisterRf {
@@ -122,17 +136,25 @@ impl ShiftRegisterRf {
 
         for r in 0..n {
             b.push_scope(format!("ring{r}"));
-            let ring: Vec<ComponentId> = (0..w).map(|_| b.dro()).collect();
+            // The storage cells live in their own sub-scope so structural
+            // budgets can split them from the ring plumbing.
+            let ring: Vec<ComponentId> = b.scoped("bits", |b| (0..w).map(|_| b.dro()).collect());
             // Shift chain: cell i -> cell i+1.
             for i in 0..w - 1 {
                 b.connect(Pin::new(ring[i], Dro::Q), Pin::new(ring[i + 1], Dro::D));
             }
             // Head -> splitter -> (external out, recirculation gate).
             let head_split = b.splitter();
-            b.connect(Pin::new(ring[w - 1], Dro::Q), Pin::new(head_split, Splitter::IN));
+            b.connect(
+                Pin::new(ring[w - 1], Dro::Q),
+                Pin::new(head_split, Splitter::IN),
+            );
             out_pins.push(Pin::new(head_split, Splitter::OUT0));
             let gate = b.ndro();
-            b.connect(Pin::new(head_split, Splitter::OUT1), Pin::new(gate, Ndro::CLK));
+            b.connect(
+                Pin::new(head_split, Splitter::OUT1),
+                Pin::new(gate, Ndro::CLK),
+            );
             gate_sets.push(Pin::new(gate, Ndro::SET));
             gate_resets.push(Pin::new(gate, Ndro::RESET));
             // Tail merger: recirculation | gated write data -> cell 0.
@@ -173,10 +195,11 @@ impl ShiftRegisterRf {
             .iter()
             .map(|p| Pin::new(p.component, Dand::B))
             .collect();
-        let data_in = broadcast_to(&mut b, &b_pins);
+        let data_in = b.scoped("wdata", |b| broadcast_to(b, &b_pins));
 
-        let gate_set = broadcast_to(&mut b, &gate_sets);
-        let gate_reset = broadcast_to(&mut b, &gate_resets);
+        let (gate_set, gate_reset) = b.scoped("gating", |b| {
+            (broadcast_to(b, &gate_sets), broadcast_to(b, &gate_resets))
+        });
 
         let mut sim = Simulator::new(b.finish());
         let out_probes = out_pins
@@ -186,8 +209,7 @@ impl ShiftRegisterRf {
             .collect();
 
         ShiftRegisterRf {
-            geometry,
-            sim,
+            h: RfHarness::with_op_gap(geometry, sim, SHIFT_OP_GAP_PS),
             clock_demux,
             write_demux,
             gate_set,
@@ -195,79 +217,83 @@ impl ShiftRegisterRf {
             data_in,
             out_probes,
             cells,
-            cursor: Time::from_ps(10.0),
         }
-    }
-
-    /// The geometry.
-    pub fn geometry(&self) -> RfGeometry {
-        self.geometry
-    }
-
-    /// Cell census of the netlist.
-    pub fn census(&self) -> Census {
-        Census::of(self.sim.netlist())
-    }
-
-    /// Timing violations recorded so far.
-    pub fn violations(&self) -> &[Violation] {
-        self.sim.violations()
-    }
-
-    /// Peeks the stored word (bit `i` in ring position `i`).
-    pub fn peek(&self, reg: usize) -> u64 {
-        let mut v = 0u64;
-        for (i, &cell) in self.cells[reg].iter().enumerate() {
-            if self.sim.netlist().component(cell).stored() == Some(1) {
-                v |= 1 << i;
-            }
-        }
-        v
     }
 
     fn finish(&mut self) {
-        let t = self.sim.now() + Duration::from_ps(20.0);
-        self.clock_demux.clear(&mut self.sim, t);
-        self.write_demux.clear(&mut self.sim, t);
-        self.sim.run();
-        self.cursor = self.sim.now() + Duration::from_ps(300.0);
+        let t = self.h.sim().now() + Duration::from_ps(20.0);
+        self.clock_demux.clear(self.h.sim_mut(), t);
+        self.write_demux.clear(self.h.sim_mut(), t);
+        self.h.sim_mut().run();
+        self.h.advance_cursor();
+    }
+
+    /// Injects the demux select pulses for `reg` into `demux` at `t`.
+    fn select(&mut self, which: WhichDemux, reg: usize, t: Time) {
+        let levels = self.h.geometry().demux_levels();
+        let sel = match which {
+            WhichDemux::Clock => self.clock_demux.sel_set.clone(),
+            WhichDemux::Write => self.write_demux.sel_set.clone(),
+        };
+        for (level, &pin) in sel.iter().enumerate() {
+            if (reg >> (levels - 1 - level)) & 1 == 1 {
+                self.h.sim_mut().inject(pin, t);
+            }
+        }
+    }
+
+    fn clock_tree_depth_ps(&self) -> f64 {
+        crate::fabric::broadcast_depth(self.h.geometry().width()) as f64 * SPLITTER_DELAY_PS
+    }
+}
+
+#[derive(Clone, Copy)]
+enum WhichDemux {
+    Clock,
+    Write,
+}
+
+impl RegisterFile for ShiftRegisterRf {
+    fn harness(&self) -> &RfHarness {
+        &self.h
+    }
+
+    fn harness_mut(&mut self) -> &mut RfHarness {
+        &mut self.h
     }
 
     /// Reads `reg` bit-serially over one full rotation (restoring).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is out of range.
-    pub fn read(&mut self, reg: usize) -> u64 {
-        assert!(reg < self.geometry.registers(), "register {reg} out of range");
-        let w = self.geometry.width();
-        self.sim.clear_all_probes();
-        let t = self.cursor;
+    fn read(&mut self, reg: usize) -> u64 {
+        self.h.assert_reg(reg);
+        let w = self.h.geometry().width();
+        self.h.sim_mut().clear_all_probes();
+        let t = self.h.cursor();
         // Arm recirculation.
-        self.sim.inject(self.gate_set, t);
+        let gate_set = self.gate_set;
+        self.h.sim_mut().inject(gate_set, t);
         // Route the clock burst to the selected ring.
-        let hs = sel_head_start(self.geometry.demux_levels());
-        for (level, &pin) in self.clock_demux.sel_set.clone().iter().enumerate() {
-            if (reg >> (self.geometry.demux_levels() - 1 - level)) & 1 == 1 {
-                self.sim.inject(pin, t);
-            }
-        }
+        let hs = sel_head_start(self.h.geometry().demux_levels());
+        self.select(WhichDemux::Clock, reg, t);
         let first_clk = t + hs;
         for k in 0..w {
-            self.sim.inject(self.clock_demux.enable, first_clk + Duration::from_ps(SHIFT_STEP_PS * k as f64));
+            let enable = self.clock_demux.enable;
+            self.h.sim_mut().inject(
+                enable,
+                first_clk + Duration::from_ps(SHIFT_STEP_PS * k as f64),
+            );
         }
-        self.sim.run();
+        self.h.sim_mut().run();
         // Decode: shift k emits the head bit of rotation step k, i.e. bit
         // w-1-k of the stored word. Pulses arrive one demux traverse +
         // exit path after each clock.
         let exit = Duration::from_ps(
-            self.geometry.demux_levels() as f64 * NDROC_PROP_PS
+            self.h.geometry().demux_levels() as f64 * NDROC_PROP_PS
                 + self.clock_tree_depth_ps()
                 + DRO_CLK_TO_OUT_PS
                 + SPLITTER_DELAY_PS,
         );
         let mut value = 0u64;
-        let trace = self.sim.probe_trace(self.out_probes[reg]).clone();
+        let trace = self.h.sim().probe_trace(self.out_probes[reg]).clone();
         for k in 0..w {
             let slot = first_clk + Duration::from_ps(SHIFT_STEP_PS * k as f64) + exit;
             let lo = slot - Duration::from_ps(SHIFT_STEP_PS / 2.0);
@@ -280,71 +306,73 @@ impl ShiftRegisterRf {
         value
     }
 
-    fn clock_tree_depth_ps(&self) -> f64 {
-        crate::fabric::broadcast_depth(self.geometry.width()) as f64 * SPLITTER_DELAY_PS
-    }
-
-    /// Writes `value`: flush (rotation with recirculation disarmed), then
-    /// shift the new bits in serially, MSB first.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is out of range or `value` does not fit.
-    pub fn write(&mut self, reg: usize, value: u64) {
-        let w = self.geometry.width();
-        assert!(reg < self.geometry.registers(), "register {reg} out of range");
-        assert!(w == 64 || value < (1u64 << w), "value {value:#x} exceeds {w}-bit width");
+    /// Writes `value` — a flush rotation with recirculation disarmed, then
+    /// the new bits shifted in serially, MSB first — with a deliberate skew
+    /// (ps) on the serial data train's arrival at the tail DAND gates.
+    fn write_skewed(&mut self, reg: usize, value: u64, skew_ps: f64) {
+        self.h.assert_write(reg, value);
+        let w = self.h.geometry().width();
+        let levels = self.h.geometry().demux_levels();
 
         // Phase 1: flush — clock one rotation with the gate disarmed.
-        let t = self.cursor;
-        self.sim.inject(self.gate_reset, t);
-        let hs = sel_head_start(self.geometry.demux_levels());
-        let levels = self.geometry.demux_levels();
-        for (level, &pin) in self.clock_demux.sel_set.clone().iter().enumerate() {
-            if (reg >> (levels - 1 - level)) & 1 == 1 {
-                self.sim.inject(pin, t);
-            }
-        }
+        let t = self.h.cursor();
+        let gate_reset = self.gate_reset;
+        self.h.sim_mut().inject(gate_reset, t);
+        let hs = sel_head_start(levels);
+        self.select(WhichDemux::Clock, reg, t);
         let first = t + hs;
         for k in 0..w {
-            self.sim.inject(self.clock_demux.enable, first + Duration::from_ps(SHIFT_STEP_PS * k as f64));
+            let enable = self.clock_demux.enable;
+            self.h
+                .sim_mut()
+                .inject(enable, first + Duration::from_ps(SHIFT_STEP_PS * k as f64));
         }
-        self.sim.run();
+        self.h.sim_mut().run();
         self.finish();
 
         // Phase 2: shift in the new word, MSB first, so after w shifts bit
         // i sits in position i. Each injected bit needs a shift clock and
         // a write-enable pulse through the write demux, aligned at the
         // tail DAND.
-        let t = self.cursor;
-        for (level, &pin) in self.clock_demux.sel_set.clone().iter().enumerate() {
-            if (reg >> (levels - 1 - level)) & 1 == 1 {
-                self.sim.inject(pin, t);
-            }
-        }
-        for (level, &pin) in self.write_demux.sel_set.clone().iter().enumerate() {
-            if (reg >> (levels - 1 - level)) & 1 == 1 {
-                self.sim.inject(pin, t);
-            }
-        }
+        let t = self.h.cursor();
+        self.select(WhichDemux::Clock, reg, t);
+        self.select(WhichDemux::Write, reg, t);
         let first = t + hs;
         // Data must land in the tail *between* shift clocks: inject the
         // write-enable so the gated bit arrives half a step after each
-        // shift clock has moved the ring.
+        // shift clock has moved the ring. The margin skew displaces the
+        // serial data train against that write enable.
         let wen_to_gate = levels as f64 * NDROC_PROP_PS;
-        let data_to_gate =
-            crate::fabric::broadcast_depth(self.geometry.registers()) as f64 * SPLITTER_DELAY_PS;
+        let data_to_gate = crate::fabric::broadcast_depth(self.h.geometry().registers()) as f64
+            * SPLITTER_DELAY_PS;
         for k in 0..w {
             let step = Duration::from_ps(SHIFT_STEP_PS * k as f64);
-            self.sim.inject(self.clock_demux.enable, first + step);
+            let clock_enable = self.clock_demux.enable;
+            let write_enable = self.write_demux.enable;
+            self.h.sim_mut().inject(clock_enable, first + step);
             let t_gate = first + step + Duration::from_ps(wen_to_gate + SHIFT_STEP_PS / 2.0);
-            self.sim.inject(self.write_demux.enable, t_gate - Duration::from_ps(wen_to_gate));
+            self.h
+                .sim_mut()
+                .inject(write_enable, t_gate - Duration::from_ps(wen_to_gate));
             if (value >> (w - 1 - k)) & 1 == 1 {
-                self.sim.inject(self.data_in, t_gate - Duration::from_ps(data_to_gate));
+                let t_data = Time::from_ps((t_gate.as_ps() - data_to_gate + skew_ps).max(0.0));
+                let data_in = self.data_in;
+                self.h.sim_mut().inject(data_in, t_data);
             }
         }
-        self.sim.run();
+        self.h.sim_mut().run();
         self.finish();
+    }
+
+    /// Peeks the stored word (bit `i` in ring position `i`).
+    fn peek(&self, reg: usize) -> u64 {
+        let mut v = 0u64;
+        for (i, &cell) in self.cells[reg].iter().enumerate() {
+            if self.h.netlist().component(cell).stored() == Some(1) {
+                v |= 1 << i;
+            }
+        }
+        v
     }
 }
 
@@ -416,8 +444,23 @@ mod tests {
     }
 
     #[test]
+    fn nominal_ops_record_no_violations() {
+        let mut rf = ShiftRegisterRf::new(RfGeometry::paper_4x4());
+        rf.write(3, 0b1011);
+        assert_eq!(rf.read(3), 0b1011);
+        assert!(
+            rf.violations().is_empty(),
+            "violations: {:?}",
+            rf.violations()
+        );
+    }
+
+    #[test]
     fn census_matches_budget() {
-        for g in [RfGeometry::paper_4x4(), RfGeometry::new(8, 8).expect("valid")] {
+        for g in [
+            RfGeometry::paper_4x4(),
+            RfGeometry::new(8, 8).expect("valid"),
+        ] {
             let rf = ShiftRegisterRf::new(g);
             assert_eq!(rf.census(), shift_rf_budget(g).census(), "{g}");
         }

@@ -1,0 +1,173 @@
+//! Trait-level conformance suite for the design registry.
+//!
+//! Every design enumerated by [`hiperrf::designs::registry`] is driven
+//! purely through the [`RegisterFile`] trait — no concrete types — so a
+//! new variant only has to implement the trait and register itself to be
+//! held to the same contract:
+//!
+//! * write/read round trips for every register,
+//! * destructive reads restore the stored value (peek after read),
+//! * peeking never perturbs stored state or port behaviour,
+//! * fault-plan replay is deterministic under a fixed seed,
+//! * violation-policy behaviour: clean runs stay clean under `Degrade`,
+//!   `Record` never destroys pulses, and every `Degrade` drop is
+//!   explained by a recorded violation.
+
+use hiperrf::config::RfGeometry;
+use hiperrf::designs::{registry, Design};
+use sfq_sim::prelude::*;
+
+fn small() -> RfGeometry {
+    RfGeometry::paper_4x4()
+}
+
+/// A width-fitting value that differs per register.
+fn pattern(reg: usize, width: usize) -> u64 {
+    (reg as u64).wrapping_mul(0b1011).wrapping_add(0b0101) & ((1u64 << width) - 1)
+}
+
+#[test]
+fn write_read_round_trips_every_register() {
+    for design in registry() {
+        let mut rf = design.build(small());
+        let g = rf.geometry();
+        for reg in 0..g.registers() {
+            rf.write(reg, pattern(reg, g.width()));
+        }
+        for reg in 0..g.registers() {
+            assert_eq!(rf.read(reg), pattern(reg, g.width()), "{design} r{reg}");
+        }
+        assert!(
+            rf.violations().is_empty(),
+            "{design}: {:?}",
+            rf.violations()
+        );
+    }
+}
+
+#[test]
+fn destructive_reads_are_restored() {
+    // HC-DRO pops destroy the stored fluxons; the LoopBuffer must put
+    // them back. Non-destructive designs must trivially hold the value.
+    for design in registry() {
+        let mut rf = design.build(small());
+        rf.write(2, 0b1101);
+        for i in 0..5 {
+            assert_eq!(rf.read(2), 0b1101, "{design} read {i}");
+            assert_eq!(rf.peek(2), 0b1101, "{design} state after read {i}");
+        }
+        assert!(rf.violations().is_empty(), "{design}");
+    }
+}
+
+#[test]
+fn peek_does_not_perturb_state() {
+    for design in registry() {
+        let mut rf = design.build(small());
+        rf.write(1, 0b0111);
+        rf.write(3, 0b1000);
+        for _ in 0..50 {
+            assert_eq!(rf.peek(1), 0b0111, "{design}");
+            assert_eq!(rf.peek(3), 0b1000, "{design}");
+        }
+        // Ports still behave after heavy peeking.
+        assert_eq!(rf.read(1), 0b0111, "{design}");
+        assert_eq!(rf.read(3), 0b1000, "{design}");
+        assert!(rf.violations().is_empty(), "{design}");
+    }
+}
+
+#[test]
+fn skewless_skewed_write_equals_plain_write() {
+    for design in registry() {
+        let mut a = design.build(small());
+        let mut b = design.build(small());
+        a.write(1, 0b1001);
+        b.write_skewed(1, 0b1001, 0.0);
+        assert_eq!(a.peek(1), b.peek(1), "{design}");
+        assert_eq!(a.read(1), b.read(1), "{design}");
+    }
+}
+
+/// One seeded soak under a violation policy; returns everything an
+/// identical replay must reproduce.
+fn faulted_soak(
+    design: Design,
+    policy: ViolationPolicy,
+    seed: u64,
+    sigma: f64,
+) -> (Vec<u64>, usize, u64) {
+    let mut rf = design.build(small());
+    rf.set_violation_policy(policy);
+    rf.set_fault_plan(FaultPlan::new(seed).with_delay_sigma(sigma));
+    let g = rf.geometry();
+    let mut reads = Vec::new();
+    for reg in 0..g.registers() {
+        rf.write(reg, pattern(reg, g.width()));
+    }
+    for reg in 0..g.registers() {
+        reads.push(rf.read(reg));
+    }
+    (reads, rf.violations().len(), rf.degraded_drops())
+}
+
+#[test]
+fn fault_plan_replay_is_deterministic() {
+    for design in registry() {
+        for sigma in [0.02, 0.08] {
+            let a = faulted_soak(design, ViolationPolicy::Degrade, 0x5EED_CAFE, sigma);
+            let b = faulted_soak(design, ViolationPolicy::Degrade, 0x5EED_CAFE, sigma);
+            assert_eq!(a, b, "{design} at sigma {sigma}: replay diverged");
+        }
+    }
+}
+
+#[test]
+fn violation_policies_behave_as_documented() {
+    // Record never destroys pulses; Degrade only drops a pulse when it
+    // also records the violation that caused the drop.
+    for design in registry() {
+        for seed in [1u64, 2, 3] {
+            let (_, _, record_drops) = faulted_soak(design, ViolationPolicy::Record, seed, 0.12);
+            assert_eq!(
+                record_drops, 0,
+                "{design} seed {seed}: Record dropped pulses"
+            );
+            let (_, violations, drops) = faulted_soak(design, ViolationPolicy::Degrade, seed, 0.12);
+            if drops > 0 {
+                assert!(violations > 0, "{design} seed {seed}: unexplained drops");
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_sigma_degrade_runs_stay_clean() {
+    for design in registry() {
+        let (reads, violations, drops) = faulted_soak(design, ViolationPolicy::Degrade, 7, 0.0);
+        let g = small();
+        for (reg, &read) in reads.iter().enumerate() {
+            assert_eq!(read, pattern(reg, g.width()), "{design} r{reg}");
+        }
+        assert_eq!(violations, 0, "{design}");
+        assert_eq!(drops, 0, "{design}");
+    }
+}
+
+#[test]
+fn census_matches_structural_budget() {
+    for design in registry() {
+        let rf = design.build(small());
+        let budget = hiperrf::budget::structural_budget(design, small());
+        assert_eq!(rf.census(), budget.census(), "{design}");
+    }
+}
+
+#[test]
+fn arch_mapping_round_trips() {
+    for design in registry() {
+        if let Some(arch) = design.arch_design() {
+            assert_eq!(Design::from_arch(arch), design, "{design}");
+        }
+    }
+}

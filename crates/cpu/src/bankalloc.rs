@@ -126,18 +126,56 @@ fn rename(i: Instr, f: impl Fn(Reg) -> Reg) -> Instr {
         Instr::Lui { rd, imm } => Instr::Lui { rd: f(rd), imm },
         Instr::Auipc { rd, imm } => Instr::Auipc { rd: f(rd), imm },
         Instr::Jal { rd, offset } => Instr::Jal { rd: f(rd), offset },
-        Instr::Jalr { rd, rs1, offset } => Instr::Jalr { rd: f(rd), rs1: f(rs1), offset },
-        Instr::Branch { cond, rs1, rs2, offset } => {
-            Instr::Branch { cond, rs1: f(rs1), rs2: f(rs2), offset }
-        }
-        Instr::Load { width, rd, rs1, offset } => {
-            Instr::Load { width, rd: f(rd), rs1: f(rs1), offset }
-        }
-        Instr::Store { width, rs2, rs1, offset } => {
-            Instr::Store { width, rs2: f(rs2), rs1: f(rs1), offset }
-        }
-        Instr::AluImm { op, rd, rs1, imm } => Instr::AluImm { op, rd: f(rd), rs1: f(rs1), imm },
-        Instr::Alu { op, rd, rs1, rs2 } => Instr::Alu { op, rd: f(rd), rs1: f(rs1), rs2: f(rs2) },
+        Instr::Jalr { rd, rs1, offset } => Instr::Jalr {
+            rd: f(rd),
+            rs1: f(rs1),
+            offset,
+        },
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => Instr::Branch {
+            cond,
+            rs1: f(rs1),
+            rs2: f(rs2),
+            offset,
+        },
+        Instr::Load {
+            width,
+            rd,
+            rs1,
+            offset,
+        } => Instr::Load {
+            width,
+            rd: f(rd),
+            rs1: f(rs1),
+            offset,
+        },
+        Instr::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => Instr::Store {
+            width,
+            rs2: f(rs2),
+            rs1: f(rs1),
+            offset,
+        },
+        Instr::AluImm { op, rd, rs1, imm } => Instr::AluImm {
+            op,
+            rd: f(rd),
+            rs1: f(rs1),
+            imm,
+        },
+        Instr::Alu { op, rd, rs1, rs2 } => Instr::Alu {
+            op,
+            rd: f(rd),
+            rs1: f(rs1),
+            rs2: f(rs2),
+        },
         other @ (Instr::Fence | Instr::Ecall | Instr::Ebreak) => other,
     }
 }
@@ -202,7 +240,10 @@ mod tests {
             let prog = assemble(&src, 0).expect("assembles");
             let (fixed, stats) = allocate_banks(&prog);
             assert_eq!(exit_code(&prog), exit_code(&fixed), "{name}");
-            assert!(stats.conflicts_after <= stats.conflicts_before, "{name}: {stats:?}");
+            assert!(
+                stats.conflicts_after <= stats.conflicts_before,
+                "{name}: {stats:?}"
+            );
         }
     }
 
@@ -236,7 +277,10 @@ mod tests {
         let dual_naive = run(&prog, RfDesign::DualBanked);
         let dual_alloc = run(&fixed, RfDesign::DualBanked);
         let ideal = run(&prog, RfDesign::DualBankedIdeal);
-        assert!(dual_alloc < dual_naive, "allocation must help: {dual_alloc} vs {dual_naive}");
+        assert!(
+            dual_alloc < dual_naive,
+            "allocation must help: {dual_alloc} vs {dual_naive}"
+        );
         assert!(
             dual_alloc - ideal < (dual_naive - ideal) * 0.5,
             "allocation should close most of the ideal gap: naive {dual_naive}, alloc {dual_alloc}, ideal {ideal}"

@@ -49,7 +49,10 @@ impl PipelineConfig {
 
     /// The Sodor configuration with not-taken branch prediction enabled.
     pub fn sodor_with_prediction() -> Self {
-        PipelineConfig { predict_not_taken: true, ..Self::sodor() }
+        PipelineConfig {
+            predict_not_taken: true,
+            ..Self::sodor()
+        }
     }
 
     /// The modelled wall-clock duration of one run, in picoseconds.

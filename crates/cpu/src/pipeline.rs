@@ -86,7 +86,10 @@ impl GateLevelCpu {
     /// Creates a CPU around a register-file design (32×32 RF geometry).
     pub fn new(design: RfDesign, config: PipelineConfig) -> Self {
         let geometry = RfGeometry::paper_32x32();
-        GateLevelCpu { schedule: RfSchedule::new(design, geometry), config }
+        GateLevelCpu {
+            schedule: RfSchedule::new(design, geometry),
+            config,
+        }
     }
 
     /// The register-file design being simulated.
@@ -158,11 +161,16 @@ impl GateLevelCpu {
                 StepOutcome::Halted(code) => {
                     stats.retired = cpu.retired;
                     stats.gate_cycles = last_wb.max(fetch_ready);
-                    return Ok(RunOutcome { exit_code: code, stats });
+                    return Ok(RunOutcome {
+                        exit_code: code,
+                        stats,
+                    });
                 }
             };
             if cpu.retired > budget {
-                return Err(RunError::Exec(ExecError::Timeout { executed: cpu.retired }));
+                return Err(RunError::Exec(ExecError::Timeout {
+                    executed: cpu.retired,
+                }));
             }
 
             // --- Timing model for this instruction ---
@@ -187,7 +195,11 @@ impl GateLevelCpu {
                 t = fetch_ready;
             }
             let t_raw = src_idx.iter().map(|&r| value_ready[r]).max().unwrap_or(0);
-            let t_loop = src_idx.iter().map(|&r| loopback_ready[r]).max().unwrap_or(0);
+            let t_loop = src_idx
+                .iter()
+                .map(|&r| loopback_ready[r])
+                .max()
+                .unwrap_or(0);
             if t_raw > t {
                 stats.raw_stall_cycles += t_raw - t;
                 t = t_raw;
@@ -221,15 +233,26 @@ impl GateLevelCpu {
             // Operand availability: the last source read fires at its
             // schedule slot, then the readout path delivers the operand.
             let gather = self.schedule.operand_gather_gate_cycles(&src_idx);
-            let t_op = if src_idx.is_empty() { t_rf } else { t_rf + gather + readout };
-            let mem_extra = if instr.is_memory() { self.config.mem_latency } else { 0 };
+            let t_op = if src_idx.is_empty() {
+                t_rf
+            } else {
+                t_rf + gather + readout
+            };
+            let mem_extra = if instr.is_memory() {
+                self.config.mem_latency
+            } else {
+                0
+            };
             let t_ex_done = t_op + self.config.ex_depth + mem_extra;
             let t_wb = t_ex_done + self.config.wb_gates;
 
             if let Some(rd) = instr.rd() {
                 let r = rd.index();
-                value_ready[r] =
-                    if forwarding { t_wb } else { t_wb + self.config.no_forward_penalty };
+                value_ready[r] = if forwarding {
+                    t_wb
+                } else {
+                    t_wb + self.config.no_forward_penalty
+                };
                 // The write's erase read happens before the new value
                 // lands, so no restore is in flight afterwards; the
                 // register is readable as soon as the value is.
@@ -251,7 +274,13 @@ impl GateLevelCpu {
             last_wb = last_wb.max(t_wb);
 
             if let Some(t) = trace.as_deref_mut() {
-                t.push(InstrTiming { pc: pc_before, instr, t_rf, t_op, t_wb });
+                t.push(InstrTiming {
+                    pc: pc_before,
+                    instr,
+                    t_rf,
+                    t_op,
+                    t_wb,
+                });
             }
         }
     }
@@ -386,7 +415,9 @@ mod tests {
         let prog = assemble(DEP_CHAIN, 0).expect("assembles");
         let mut cpu = GateLevelCpu::new(RfDesign::HiPerRf, PipelineConfig::sodor());
         let mut trace = Vec::new();
-        let out = cpu.run_traced(&prog, 1 << 20, 10_000, &mut trace).expect("runs");
+        let out = cpu
+            .run_traced(&prog, 1 << 20, 10_000, &mut trace)
+            .expect("runs");
         // The halting ecall is not traced; everything else is.
         assert_eq!(trace.len() as u64, out.stats.retired - 1);
         for rec in &trace {
@@ -425,7 +456,12 @@ mod tests {
             cpu.run(&prog, 1 << 20, 100_000).expect("runs").stats
         };
         assert!(pred.control_stall_cycles < base.control_stall_cycles);
-        assert!(pred.cpi() < base.cpi(), "pred {} base {}", pred.cpi(), base.cpi());
+        assert!(
+            pred.cpi() < base.cpi(),
+            "pred {} base {}",
+            pred.cpi(),
+            base.cpi()
+        );
     }
 
     #[test]

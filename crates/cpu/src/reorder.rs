@@ -52,8 +52,10 @@ pub fn spread_raw_dependencies(program: &Program) -> (Program, ReorderStats) {
     let flush = |range: std::ops::Range<usize>, words: &mut Vec<u32>, stats: &mut ReorderStats| {
         if range.len() >= 3 {
             stats.blocks += 1;
-            let instrs: Vec<Instr> =
-                range.clone().map(|i| decode(words[i]).expect("block is decodable")).collect();
+            let instrs: Vec<Instr> = range
+                .clone()
+                .map(|i| decode(words[i]).expect("block is decodable"))
+                .collect();
             let order = schedule_block(&instrs);
             for (slot, &src) in order.iter().enumerate() {
                 if src != slot {
@@ -156,7 +158,10 @@ fn schedule_block(instrs: &[Instr]) -> Vec<usize> {
             if preds[i].iter().any(|&p| sched_slot[p].is_none()) {
                 continue;
             }
-            let latest = preds[i].iter().map(|&p| sched_slot[p].expect("scheduled")).max();
+            let latest = preds[i]
+                .iter()
+                .map(|&p| sched_slot[p].expect("scheduled"))
+                .max();
             let key = latest.map_or(0, |l| l + 1);
             if best.is_none_or(|(bk, bi)| key < bk || (key == bk && i < bi)) {
                 best = Some((key, i));
@@ -200,7 +205,10 @@ mod tests {
         )
         .expect("assembles");
         let (reordered, stats) = spread_raw_dependencies(&prog);
-        assert!(stats.moved > 0, "independent li's should move between the adds");
+        assert!(
+            stats.moved > 0,
+            "independent li's should move between the adds"
+        );
         assert_eq!(run(&prog).0, run(&reordered).0);
     }
 

@@ -82,9 +82,17 @@ mod tests {
 
     #[test]
     fn cpi_math() {
-        let s = PipelineStats { retired: 10, gate_cycles: 300, ..Default::default() };
+        let s = PipelineStats {
+            retired: 10,
+            gate_cycles: 300,
+            ..Default::default()
+        };
         assert_eq!(s.cpi(), 30.0);
-        let b = PipelineStats { retired: 10, gate_cycles: 200, ..Default::default() };
+        let b = PipelineStats {
+            retired: 10,
+            gate_cycles: 200,
+            ..Default::default()
+        };
         assert!((s.cpi_overhead_vs(&b) - 0.5).abs() < 1e-12);
     }
 
@@ -95,7 +103,11 @@ mod tests {
 
     #[test]
     fn display_contains_cpi() {
-        let s = PipelineStats { retired: 4, gate_cycles: 100, ..Default::default() };
+        let s = PipelineStats {
+            retired: 4,
+            gate_cycles: 100,
+            ..Default::default()
+        };
         assert!(s.to_string().contains("25.00"));
     }
 }

@@ -80,11 +80,25 @@ enum Item {
 
 #[derive(Debug, Clone)]
 enum FixupKind {
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, label: String },
-    Jal { rd: Reg, label: String },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    Jal {
+        rd: Reg,
+        label: String,
+    },
     /// `la rd, label` — expands to `lui + addi` against the absolute address.
-    LaUpper { rd: Reg, label: String },
-    LaLower { rd: Reg, label: String },
+    LaUpper {
+        rd: Reg,
+        label: String,
+    },
+    LaLower {
+        rd: Reg,
+        label: String,
+    },
 }
 
 /// Assembles `source` into a [`Program`] loaded at `base`.
@@ -111,7 +125,10 @@ pub fn assemble(source: &str, base: u32) -> Result<Program, AsmError> {
         while let Some(colon) = rest.find(':') {
             let (label, after) = rest.split_at(colon);
             let label = label.trim();
-            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
             {
                 break;
             }
@@ -147,13 +164,23 @@ pub fn assemble(source: &str, base: u32) -> Result<Program, AsmError> {
                         .ok_or_else(|| err(*line, format!("undefined label `{label}`")))
                 };
                 match kind {
-                    FixupKind::Branch { cond, rs1, rs2, label } => {
+                    FixupKind::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        label,
+                    } => {
                         let target = resolve(label)?;
                         let offset = target.wrapping_sub(pc) as i32;
                         if !(-4096..=4094).contains(&offset) || offset % 2 != 0 {
                             return Err(err(*line, format!("branch offset {offset} out of range")));
                         }
-                        encode(Instr::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, offset })
+                        encode(Instr::Branch {
+                            cond: *cond,
+                            rs1: *rs1,
+                            rs2: *rs2,
+                            offset,
+                        })
                     }
                     FixupKind::Jal { rd, label } => {
                         let target = resolve(label)?;
@@ -163,13 +190,25 @@ pub fn assemble(source: &str, base: u32) -> Result<Program, AsmError> {
                     FixupKind::LaUpper { rd, label } => {
                         let addr = resolve(label)?;
                         let upper = addr.wrapping_add(0x800) & 0xffff_f000;
-                        encode(Instr::Lui { rd: *rd, imm: upper })
+                        encode(Instr::Lui {
+                            rd: *rd,
+                            imm: upper,
+                        })
                     }
                     FixupKind::LaLower { rd, label } => {
                         let addr = resolve(label)?;
                         let lower = (addr & 0xfff) as i32;
-                        let lower = if lower >= 0x800 { lower - 0x1000 } else { lower };
-                        encode(Instr::AluImm { op: AluImmOp::Addi, rd: *rd, rs1: *rd, imm: lower })
+                        let lower = if lower >= 0x800 {
+                            lower - 0x1000
+                        } else {
+                            lower
+                        };
+                        encode(Instr::AluImm {
+                            op: AluImmOp::Addi,
+                            rd: *rd,
+                            rs1: *rd,
+                            imm: lower,
+                        })
                     }
                 }
             }
@@ -177,7 +216,12 @@ pub fn assemble(source: &str, base: u32) -> Result<Program, AsmError> {
         words.push(word);
     }
 
-    Ok(Program { words, kinds, symbols, base })
+    Ok(Program {
+        words,
+        kinds,
+        symbols,
+        base,
+    })
 }
 
 fn parse_int(s: &str) -> Option<i64> {
@@ -219,17 +263,25 @@ fn shamt(s: &str) -> Result<i32, String> {
 /// Parses `offset(base)` memory operands.
 fn mem_operand(s: &str) -> Result<(i32, Reg), String> {
     let s = s.trim();
-    let open = s.find('(').ok_or_else(|| format!("expected offset(reg), got `{s}`"))?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| format!("expected offset(reg), got `{s}`"))?;
     let close = s.rfind(')').ok_or_else(|| format!("missing ) in `{s}`"))?;
     let off_str = &s[..open];
-    let offset = if off_str.trim().is_empty() { 0 } else { imm12(off_str)? };
+    let offset = if off_str.trim().is_empty() {
+        0
+    } else {
+        imm12(off_str)?
+    };
     Ok((offset, reg(&s[open + 1..close])?))
 }
 
 fn is_label(s: &str) -> bool {
     let s = s.trim();
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_' || c == '.')
         && parse_int(s).is_none()
         && Reg::parse(s).is_none()
 }
@@ -249,7 +301,10 @@ fn parse_statement(stmt: &str, line: usize, items: &mut Vec<Item>) -> Result<(),
         if ops.len() == n {
             Ok(())
         } else {
-            Err(format!("`{mnemonic}` expects {n} operands, got {}", ops.len()))
+            Err(format!(
+                "`{mnemonic}` expects {n} operands, got {}",
+                ops.len()
+            ))
         }
     };
 
@@ -283,7 +338,11 @@ fn parse_statement(stmt: &str, line: usize, items: &mut Vec<Item>) -> Result<(),
                 return Err(format!("upper immediate {v} out of 20-bit range"));
             }
             let imm = (v as u32) << 12;
-            push(if mnemonic == "lui" { Instr::Lui { rd, imm } } else { Instr::Auipc { rd, imm } });
+            push(if mnemonic == "lui" {
+                Instr::Lui { rd, imm }
+            } else {
+                Instr::Auipc { rd, imm }
+            });
         }
 
         // ALU register-immediate.
@@ -320,7 +379,12 @@ fn parse_statement(stmt: &str, line: usize, items: &mut Vec<Item>) -> Result<(),
                 "or" => AluOp::Or,
                 _ => AluOp::And,
             };
-            push(Instr::Alu { op, rd: reg(ops[0])?, rs1: reg(ops[1])?, rs2: reg(ops[2])? });
+            push(Instr::Alu {
+                op,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                rs2: reg(ops[2])?,
+            });
         }
 
         // Loads / stores.
@@ -334,7 +398,12 @@ fn parse_statement(stmt: &str, line: usize, items: &mut Vec<Item>) -> Result<(),
                 _ => LoadWidth::Hu,
             };
             let (offset, rs1) = mem_operand(ops[1])?;
-            push(Instr::Load { width, rd: reg(ops[0])?, rs1, offset });
+            push(Instr::Load {
+                width,
+                rd: reg(ops[0])?,
+                rs1,
+                offset,
+            });
         }
         "sb" | "sh" | "sw" => {
             need(2)?;
@@ -344,7 +413,12 @@ fn parse_statement(stmt: &str, line: usize, items: &mut Vec<Item>) -> Result<(),
                 _ => StoreWidth::W,
             };
             let (offset, rs1) = mem_operand(ops[1])?;
-            push(Instr::Store { width, rs2: reg(ops[0])?, rs1, offset });
+            push(Instr::Store {
+                width,
+                rs2: reg(ops[0])?,
+                rs1,
+                offset,
+            });
         }
 
         // Branches (label or numeric offset).
@@ -401,47 +475,97 @@ fn parse_statement(stmt: &str, line: usize, items: &mut Vec<Item>) -> Result<(),
             jal_to(items, line, Reg::RA, ops[0])?;
         }
         "jalr" => match ops.len() {
-            1 => push(Instr::Jalr { rd: Reg::RA, rs1: reg(ops[0])?, offset: 0 }),
-            3 => push(Instr::Jalr { rd: reg(ops[0])?, rs1: reg(ops[1])?, offset: imm12(ops[2])? }),
+            1 => push(Instr::Jalr {
+                rd: Reg::RA,
+                rs1: reg(ops[0])?,
+                offset: 0,
+            }),
+            3 => push(Instr::Jalr {
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                offset: imm12(ops[2])?,
+            }),
             2 => {
                 let (offset, rs1) = mem_operand(ops[1])?;
-                push(Instr::Jalr { rd: reg(ops[0])?, rs1, offset });
+                push(Instr::Jalr {
+                    rd: reg(ops[0])?,
+                    rs1,
+                    offset,
+                });
             }
             n => return Err(format!("`jalr` expects 1-3 operands, got {n}")),
         },
         "jr" => {
             need(1)?;
-            push(Instr::Jalr { rd: Reg::ZERO, rs1: reg(ops[0])?, offset: 0 });
+            push(Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: reg(ops[0])?,
+                offset: 0,
+            });
         }
         "ret" => {
             need(0)?;
-            push(Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+            push(Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            });
         }
 
         // Other pseudos.
         "nop" => {
             need(0)?;
-            push(Instr::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 });
+            push(Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::ZERO,
+                rs1: Reg::ZERO,
+                imm: 0,
+            });
         }
         "mv" => {
             need(2)?;
-            push(Instr::AluImm { op: AluImmOp::Addi, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 0 });
+            push(Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: 0,
+            });
         }
         "not" => {
             need(2)?;
-            push(Instr::AluImm { op: AluImmOp::Xori, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: -1 });
+            push(Instr::AluImm {
+                op: AluImmOp::Xori,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: -1,
+            });
         }
         "neg" => {
             need(2)?;
-            push(Instr::Alu { op: AluOp::Sub, rd: reg(ops[0])?, rs1: Reg::ZERO, rs2: reg(ops[1])? });
+            push(Instr::Alu {
+                op: AluOp::Sub,
+                rd: reg(ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: reg(ops[1])?,
+            });
         }
         "seqz" => {
             need(2)?;
-            push(Instr::AluImm { op: AluImmOp::Sltiu, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 1 });
+            push(Instr::AluImm {
+                op: AluImmOp::Sltiu,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: 1,
+            });
         }
         "snez" => {
             need(2)?;
-            push(Instr::Alu { op: AluOp::Sltu, rd: reg(ops[0])?, rs1: Reg::ZERO, rs2: reg(ops[1])? });
+            push(Instr::Alu {
+                op: AluOp::Sltu,
+                rd: reg(ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: reg(ops[1])?,
+            });
         }
         "li" => {
             need(2)?;
@@ -449,14 +573,24 @@ fn parse_statement(stmt: &str, line: usize, items: &mut Vec<Item>) -> Result<(),
             let v = parse_int(ops[1]).ok_or_else(|| format!("bad immediate `{}`", ops[1]))?;
             let v = v as i32;
             if (-2048..=2047).contains(&v) {
-                push(Instr::AluImm { op: AluImmOp::Addi, rd, rs1: Reg::ZERO, imm: v });
+                push(Instr::AluImm {
+                    op: AluImmOp::Addi,
+                    rd,
+                    rs1: Reg::ZERO,
+                    imm: v,
+                });
             } else {
                 let vu = v as u32;
                 let upper = vu.wrapping_add(0x800) & 0xffff_f000;
                 let lower = (vu.wrapping_sub(upper)) as i32;
                 push(Instr::Lui { rd, imm: upper });
                 if lower != 0 {
-                    push(Instr::AluImm { op: AluImmOp::Addi, rd, rs1: rd, imm: lower });
+                    push(Instr::AluImm {
+                        op: AluImmOp::Addi,
+                        rd,
+                        rs1: rd,
+                        imm: lower,
+                    });
                 }
             }
         }
@@ -464,8 +598,17 @@ fn parse_statement(stmt: &str, line: usize, items: &mut Vec<Item>) -> Result<(),
             need(2)?;
             let rd = reg(ops[0])?;
             let label = ops[1].to_string();
-            items.push(Item::Fixup { line, kind: FixupKind::LaUpper { rd, label: label.clone() } });
-            items.push(Item::Fixup { line, kind: FixupKind::LaLower { rd, label } });
+            items.push(Item::Fixup {
+                line,
+                kind: FixupKind::LaUpper {
+                    rd,
+                    label: label.clone(),
+                },
+            });
+            items.push(Item::Fixup {
+                line,
+                kind: FixupKind::LaLower { rd, label },
+            });
         }
 
         "fence" => push(Instr::Fence),
@@ -488,21 +631,40 @@ fn branch_to(
     if is_label(target) {
         items.push(Item::Fixup {
             line,
-            kind: FixupKind::Branch { cond, rs1, rs2, label: target.to_string() },
+            kind: FixupKind::Branch {
+                cond,
+                rs1,
+                rs2,
+                label: target.to_string(),
+            },
         });
     } else {
         let offset = parse_int(target).ok_or_else(|| format!("bad branch target `{target}`"))?;
-        items.push(Item::Instr(Instr::Branch { cond, rs1, rs2, offset: offset as i32 }));
+        items.push(Item::Instr(Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset: offset as i32,
+        }));
     }
     Ok(())
 }
 
 fn jal_to(items: &mut Vec<Item>, line: usize, rd: Reg, target: &str) -> Result<(), String> {
     if is_label(target) {
-        items.push(Item::Fixup { line, kind: FixupKind::Jal { rd, label: target.to_string() } });
+        items.push(Item::Fixup {
+            line,
+            kind: FixupKind::Jal {
+                rd,
+                label: target.to_string(),
+            },
+        });
     } else {
         let offset = parse_int(target).ok_or_else(|| format!("bad jump target `{target}`"))?;
-        items.push(Item::Instr(Instr::Jal { rd, offset: offset as i32 }));
+        items.push(Item::Instr(Instr::Jal {
+            rd,
+            offset: offset as i32,
+        }));
     }
     Ok(())
 }
@@ -530,8 +692,7 @@ mod tests {
 
     #[test]
     fn labels_and_loops() {
-        let (code, _, _) = run(
-            "    li t0, 0
+        let (code, _, _) = run("    li t0, 0
                  li t1, 10
             loop:
                  addi t0, t0, 3
@@ -539,21 +700,18 @@ mod tests {
                  bnez t1, loop
                  mv a0, t0
                  li a7, 93
-                 ecall",
-        );
+                 ecall");
         assert_eq!(code, 30);
     }
 
     #[test]
     fn li_large_values() {
-        let (code, cpu, _) = run(
-            "li t0, 0x12345678
+        let (code, cpu, _) = run("li t0, 0x12345678
              li t1, -1
              li t2, 0xfffff800
              mv a0, t0
              li a7, 93
-             ecall",
-        );
+             ecall");
         assert_eq!(code, 0x1234_5678);
         assert_eq!(cpu.reg(Reg::parse("t1").unwrap()), u32::MAX);
         assert_eq!(cpu.reg(Reg::parse("t2").unwrap()), 0xffff_f800);
@@ -561,38 +719,33 @@ mod tests {
 
     #[test]
     fn la_and_data_words() {
-        let (code, _, _) = run(
-            "    la t0, data
+        let (code, _, _) = run("    la t0, data
                  lw a0, 0(t0)
                  lw t1, 4(t0)
                  add a0, a0, t1
                  li a7, 93
                  ecall
             data:
-                 .word 40, 2",
-        );
+                 .word 40, 2");
         assert_eq!(code, 42);
     }
 
     #[test]
     fn call_and_ret() {
-        let (code, _, _) = run(
-            "    li a0, 5
+        let (code, _, _) = run("    li a0, 5
                  call double
                  call double
                  li a7, 93
                  ecall
             double:
                  add a0, a0, a0
-                 ret",
-        );
+                 ret");
         assert_eq!(code, 20);
     }
 
     #[test]
     fn branch_pseudos() {
-        let (code, _, _) = run(
-            "    li t0, 3
+        let (code, _, _) = run("    li t0, 3
                  li t1, 5
                  li a0, 0
                  bgt t1, t0, one     # taken
@@ -601,8 +754,7 @@ mod tests {
                  ble t1, t0, two     # not taken
                  addi a0, a0, 10
             two: li a7, 93
-                 ecall",
-        );
+                 ecall");
         assert_eq!(code, 11);
     }
 

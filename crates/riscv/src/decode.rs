@@ -71,12 +71,23 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
     let err = || DecodeError { word, pc: None };
     let opcode = word & 0x7f;
     Ok(match opcode {
-        0b0110111 => Instr::Lui { rd: rd(word), imm: word & 0xffff_f000 },
-        0b0010111 => Instr::Auipc { rd: rd(word), imm: word & 0xffff_f000 },
-        0b1101111 => Instr::Jal { rd: rd(word), offset: imm_j(word) },
-        0b1100111 if funct3(word) == 0 => {
-            Instr::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
-        }
+        0b0110111 => Instr::Lui {
+            rd: rd(word),
+            imm: word & 0xffff_f000,
+        },
+        0b0010111 => Instr::Auipc {
+            rd: rd(word),
+            imm: word & 0xffff_f000,
+        },
+        0b1101111 => Instr::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        },
+        0b1100111 if funct3(word) == 0 => Instr::Jalr {
+            rd: rd(word),
+            rs1: rs1(word),
+            offset: imm_i(word),
+        },
         0b1100011 => {
             let cond = match funct3(word) {
                 0b000 => BranchCond::Eq,
@@ -87,7 +98,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 0b111 => BranchCond::Geu,
                 _ => return Err(err()),
             };
-            Instr::Branch { cond, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) }
+            Instr::Branch {
+                cond,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            }
         }
         0b0000011 => {
             let width = match funct3(word) {
@@ -98,7 +114,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 0b101 => LoadWidth::Hu,
                 _ => return Err(err()),
             };
-            Instr::Load { width, rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+            Instr::Load {
+                width,
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
         }
         0b0100011 => {
             let width = match funct3(word) {
@@ -107,7 +128,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 0b010 => StoreWidth::W,
                 _ => return Err(err()),
             };
-            Instr::Store { width, rs2: rs2(word), rs1: rs1(word), offset: imm_s(word) }
+            Instr::Store {
+                width,
+                rs2: rs2(word),
+                rs1: rs1(word),
+                offset: imm_s(word),
+            }
         }
         0b0010011 => {
             let shamt = (word >> 20 & 0x1f) as i32;
@@ -123,7 +149,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 (0b101, 0b0100000) => (AluImmOp::Srai, shamt),
                 _ => return Err(err()),
             };
-            Instr::AluImm { op, rd: rd(word), rs1: rs1(word), imm }
+            Instr::AluImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            }
         }
         0b0110011 => {
             let op = match (funct3(word), funct7(word)) {
@@ -139,7 +170,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 (0b111, 0b0000000) => AluOp::And,
                 _ => return Err(err()),
             };
-            Instr::Alu { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+            Instr::Alu {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            }
         }
         0b0001111 => Instr::Fence,
         0b1110011 => match word {
@@ -160,17 +196,30 @@ mod tests {
         // addi x1, x0, 5
         assert_eq!(
             decode(0x0050_0093).unwrap(),
-            Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(1), rs1: Reg::ZERO, imm: 5 }
+            Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::new(1),
+                rs1: Reg::ZERO,
+                imm: 5
+            }
         );
         // add x3, x1, x2
         assert_eq!(
             decode(0x0020_81b3).unwrap(),
-            Instr::Alu { op: AluOp::Add, rd: Reg::new(3), rs1: Reg::new(1), rs2: Reg::new(2) }
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::new(3),
+                rs1: Reg::new(1),
+                rs2: Reg::new(2)
+            }
         );
         // lui x5, 0x12345
         assert_eq!(
             decode(0x1234_52b7).unwrap(),
-            Instr::Lui { rd: Reg::new(5), imm: 0x1234_5000 }
+            Instr::Lui {
+                rd: Reg::new(5),
+                imm: 0x1234_5000
+            }
         );
         // ecall
         assert_eq!(decode(0x0000_0073).unwrap(), Instr::Ecall);
@@ -183,12 +232,22 @@ mod tests {
         // addi x1, x0, -1
         assert_eq!(
             decode(0xfff0_0093).unwrap(),
-            Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(1), rs1: Reg::ZERO, imm: -1 }
+            Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::new(1),
+                rs1: Reg::ZERO,
+                imm: -1
+            }
         );
         // lw x6, -8(x2)
         assert_eq!(
             decode(0xff81_2303).unwrap(),
-            Instr::Load { width: LoadWidth::W, rd: Reg::new(6), rs1: Reg::new(2), offset: -8 }
+            Instr::Load {
+                width: LoadWidth::W,
+                rd: Reg::new(6),
+                rs1: Reg::new(2),
+                offset: -8
+            }
         );
     }
 
@@ -198,7 +257,12 @@ mod tests {
         let word = 0x0020_8463; // beq x1, x2, 8
         assert_eq!(
             decode(word).unwrap(),
-            Instr::Branch { cond: BranchCond::Eq, rs1: Reg::new(1), rs2: Reg::new(2), offset: 8 }
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::new(1),
+                rs2: Reg::new(2),
+                offset: 8
+            }
         );
     }
 
@@ -206,7 +270,13 @@ mod tests {
     fn jal_offset_decodes() {
         // jal x0, -4 (an infinite-ish loop back one instruction)
         let word = 0xffdf_f06f;
-        assert_eq!(decode(word).unwrap(), Instr::Jal { rd: Reg::ZERO, offset: -4 });
+        assert_eq!(
+            decode(word).unwrap(),
+            Instr::Jal {
+                rd: Reg::ZERO,
+                offset: -4
+            }
+        );
     }
 
     #[test]

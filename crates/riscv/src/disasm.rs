@@ -15,7 +15,12 @@ pub fn disassemble(instr: Instr) -> String {
         Instr::Auipc { rd, imm } => format!("auipc {rd}, {:#x}", imm >> 12),
         Instr::Jal { rd, offset } => format!("jal {rd}, {offset}"),
         Instr::Jalr { rd, rs1, offset } => format!("jalr {rd}, {rs1}, {offset}"),
-        Instr::Branch { cond, rs1, rs2, offset } => {
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let m = match cond {
                 BranchCond::Eq => "beq",
                 BranchCond::Ne => "bne",
@@ -26,7 +31,12 @@ pub fn disassemble(instr: Instr) -> String {
             };
             format!("{m} {rs1}, {rs2}, {offset}")
         }
-        Instr::Load { width, rd, rs1, offset } => {
+        Instr::Load {
+            width,
+            rd,
+            rs1,
+            offset,
+        } => {
             let m = match width {
                 LoadWidth::B => "lb",
                 LoadWidth::H => "lh",
@@ -36,7 +46,12 @@ pub fn disassemble(instr: Instr) -> String {
             };
             format!("{m} {rd}, {offset}({rs1})")
         }
-        Instr::Store { width, rs2, rs1, offset } => {
+        Instr::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
             let m = match width {
                 StoreWidth::B => "sb",
                 StoreWidth::H => "sh",
@@ -105,26 +120,53 @@ mod tests {
 
     #[test]
     fn renders_common_forms() {
-        let i = Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(10), rs1: Reg::ZERO, imm: -5 };
+        let i = Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::new(10),
+            rs1: Reg::ZERO,
+            imm: -5,
+        };
         assert_eq!(disassemble(i), "addi a0, zero, -5");
-        let i = Instr::Load { width: LoadWidth::W, rd: Reg::new(6), rs1: Reg::SP, offset: -8 };
+        let i = Instr::Load {
+            width: LoadWidth::W,
+            rd: Reg::new(6),
+            rs1: Reg::SP,
+            offset: -8,
+        };
         assert_eq!(disassemble(i), "lw t1, -8(sp)");
-        let i = Instr::Lui { rd: Reg::new(5), imm: 0x1234_5000 };
+        let i = Instr::Lui {
+            rd: Reg::new(5),
+            imm: 0x1234_5000,
+        };
         assert_eq!(disassemble(i), "lui t0, 0x12345");
     }
 
     #[test]
     fn assemble_of_disassembly_round_trips() {
         let originals = [
-            Instr::Alu { op: AluOp::Sub, rd: Reg::new(3), rs1: Reg::new(4), rs2: Reg::new(5) },
-            Instr::Store { width: StoreWidth::H, rs2: Reg::new(7), rs1: Reg::new(8), offset: 20 },
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::new(3),
+                rs1: Reg::new(4),
+                rs2: Reg::new(5),
+            },
+            Instr::Store {
+                width: StoreWidth::H,
+                rs2: Reg::new(7),
+                rs1: Reg::new(8),
+                offset: 20,
+            },
             Instr::Branch {
                 cond: BranchCond::Geu,
                 rs1: Reg::new(1),
                 rs2: Reg::new(2),
                 offset: -16,
             },
-            Instr::Jalr { rd: Reg::RA, rs1: Reg::new(9), offset: 4 },
+            Instr::Jalr {
+                rd: Reg::RA,
+                rs1: Reg::new(9),
+                offset: 4,
+            },
             Instr::Fence,
         ];
         for original in originals {

@@ -45,8 +45,17 @@ pub fn encode(instr: Instr) -> u32 {
         Instr::Lui { rd: d, imm } => 0b0110111 | rd(d) | imm,
         Instr::Auipc { rd: d, imm } => 0b0010111 | rd(d) | imm,
         Instr::Jal { rd: d, offset } => 0b1101111 | rd(d) | enc_j(offset),
-        Instr::Jalr { rd: d, rs1: s1, offset } => 0b1100111 | rd(d) | rs1(s1) | enc_i(offset),
-        Instr::Branch { cond, rs1: s1, rs2: s2, offset } => {
+        Instr::Jalr {
+            rd: d,
+            rs1: s1,
+            offset,
+        } => 0b1100111 | rd(d) | rs1(s1) | enc_i(offset),
+        Instr::Branch {
+            cond,
+            rs1: s1,
+            rs2: s2,
+            offset,
+        } => {
             let f = match cond {
                 BranchCond::Eq => 0b000,
                 BranchCond::Ne => 0b001,
@@ -57,7 +66,12 @@ pub fn encode(instr: Instr) -> u32 {
             };
             0b1100011 | f3(f) | rs1(s1) | rs2(s2) | enc_b(offset)
         }
-        Instr::Load { width, rd: d, rs1: s1, offset } => {
+        Instr::Load {
+            width,
+            rd: d,
+            rs1: s1,
+            offset,
+        } => {
             let f = match width {
                 LoadWidth::B => 0b000,
                 LoadWidth::H => 0b001,
@@ -67,7 +81,12 @@ pub fn encode(instr: Instr) -> u32 {
             };
             0b0000011 | f3(f) | rd(d) | rs1(s1) | enc_i(offset)
         }
-        Instr::Store { width, rs2: s2, rs1: s1, offset } => {
+        Instr::Store {
+            width,
+            rs2: s2,
+            rs1: s1,
+            offset,
+        } => {
             let f = match width {
                 StoreWidth::B => 0b000,
                 StoreWidth::H => 0b001,
@@ -75,7 +94,12 @@ pub fn encode(instr: Instr) -> u32 {
             };
             0b0100011 | f3(f) | rs1(s1) | rs2(s2) | enc_s(offset)
         }
-        Instr::AluImm { op, rd: d, rs1: s1, imm } => {
+        Instr::AluImm {
+            op,
+            rd: d,
+            rs1: s1,
+            imm,
+        } => {
             let (f, word_imm) = match op {
                 AluImmOp::Addi => (0b000, enc_i(imm)),
                 AluImmOp::Slti => (0b010, enc_i(imm)),
@@ -89,7 +113,12 @@ pub fn encode(instr: Instr) -> u32 {
             };
             0b0010011 | f3(f) | rd(d) | rs1(s1) | word_imm
         }
-        Instr::Alu { op, rd: d, rs1: s1, rs2: s2 } => {
+        Instr::Alu {
+            op,
+            rd: d,
+            rs1: s1,
+            rs2: s2,
+        } => {
             let (f, top) = match op {
                 AluOp::Add => (0b000, 0),
                 AluOp::Sub => (0b000, f7(0b0100000)),
@@ -117,30 +146,78 @@ mod tests {
 
     #[test]
     fn encode_matches_known_words() {
-        let i = Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(1), rs1: Reg::ZERO, imm: 5 };
+        let i = Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::new(1),
+            rs1: Reg::ZERO,
+            imm: 5,
+        };
         assert_eq!(encode(i), 0x0050_0093);
-        let i = Instr::Alu { op: AluOp::Add, rd: Reg::new(3), rs1: Reg::new(1), rs2: Reg::new(2) };
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(3),
+            rs1: Reg::new(1),
+            rs2: Reg::new(2),
+        };
         assert_eq!(encode(i), 0x0020_81b3);
     }
 
     #[test]
     fn round_trip_representative_sample() {
         let sample = [
-            Instr::Lui { rd: Reg::new(7), imm: 0xdead_b000 },
-            Instr::Auipc { rd: Reg::new(9), imm: 0x1_2000 },
-            Instr::Jal { rd: Reg::RA, offset: -2048 },
-            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 },
+            Instr::Lui {
+                rd: Reg::new(7),
+                imm: 0xdead_b000,
+            },
+            Instr::Auipc {
+                rd: Reg::new(9),
+                imm: 0x1_2000,
+            },
+            Instr::Jal {
+                rd: Reg::RA,
+                offset: -2048,
+            },
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            },
             Instr::Branch {
                 cond: BranchCond::Geu,
                 rs1: Reg::new(4),
                 rs2: Reg::new(5),
                 offset: -4096,
             },
-            Instr::Branch { cond: BranchCond::Lt, rs1: Reg::new(4), rs2: Reg::new(5), offset: 4094 },
-            Instr::Load { width: LoadWidth::Hu, rd: Reg::new(11), rs1: Reg::SP, offset: 2047 },
-            Instr::Store { width: StoreWidth::B, rs2: Reg::new(12), rs1: Reg::SP, offset: -2048 },
-            Instr::AluImm { op: AluImmOp::Srai, rd: Reg::new(13), rs1: Reg::new(14), imm: 31 },
-            Instr::Alu { op: AluOp::Sub, rd: Reg::new(15), rs1: Reg::new(16), rs2: Reg::new(17) },
+            Instr::Branch {
+                cond: BranchCond::Lt,
+                rs1: Reg::new(4),
+                rs2: Reg::new(5),
+                offset: 4094,
+            },
+            Instr::Load {
+                width: LoadWidth::Hu,
+                rd: Reg::new(11),
+                rs1: Reg::SP,
+                offset: 2047,
+            },
+            Instr::Store {
+                width: StoreWidth::B,
+                rs2: Reg::new(12),
+                rs1: Reg::SP,
+                offset: -2048,
+            },
+            Instr::AluImm {
+                op: AluImmOp::Srai,
+                rd: Reg::new(13),
+                rs1: Reg::new(14),
+                imm: 31,
+            },
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::new(15),
+                rs1: Reg::new(16),
+                rs2: Reg::new(17),
+            },
             Instr::Fence,
             Instr::Ecall,
             Instr::Ebreak,

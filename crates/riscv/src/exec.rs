@@ -40,7 +40,10 @@ impl fmt::Display for ExecError {
                 write!(f, "unknown syscall {number} at pc {pc:#010x}")
             }
             ExecError::Timeout { executed } => {
-                write!(f, "instruction budget exhausted after {executed} instructions")
+                write!(
+                    f,
+                    "instruction budget exhausted after {executed} instructions"
+                )
             }
         }
     }
@@ -90,7 +93,11 @@ impl Default for Cpu {
 impl Cpu {
     /// Creates a CPU with zeroed registers starting at `pc`.
     pub fn new(pc: u32) -> Self {
-        Cpu { regs: [0; 32], pc, retired: 0 }
+        Cpu {
+            regs: [0; 32],
+            pc,
+            retired: 0,
+        }
     }
 
     /// Reads a register (`x0` reads zero).
@@ -112,7 +119,10 @@ impl Cpu {
     /// Decode errors, memory faults, and unknown syscalls.
     pub fn step(&mut self, mem: &mut Memory) -> Result<StepOutcome, ExecError> {
         let word = mem.load_u32(self.pc)?;
-        let instr = decode(word).map_err(|e| DecodeError { pc: Some(self.pc), ..e })?;
+        let instr = decode(word).map_err(|e| DecodeError {
+            pc: Some(self.pc),
+            ..e
+        })?;
         let mut next_pc = self.pc.wrapping_add(4);
         match instr {
             Instr::Lui { rd, imm } => self.set_reg(rd, imm),
@@ -126,7 +136,12 @@ impl Cpu {
                 self.set_reg(rd, self.pc.wrapping_add(4));
                 next_pc = target;
             }
-            Instr::Branch { cond, rs1, rs2, offset } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
                 let taken = match cond {
                     BranchCond::Eq => a == b,
@@ -140,7 +155,12 @@ impl Cpu {
                     next_pc = self.pc.wrapping_add(offset as u32);
                 }
             }
-            Instr::Load { width, rd, rs1, offset } => {
+            Instr::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 let v = match width {
                     LoadWidth::B => mem.load_u8(addr)? as i8 as i32 as u32,
@@ -151,7 +171,12 @@ impl Cpu {
                 };
                 self.set_reg(rd, v);
             }
-            Instr::Store { width, rs2, rs1, offset } => {
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 let v = self.reg(rs2);
                 match width {
@@ -198,7 +223,10 @@ impl Cpu {
                     self.retired += 1;
                     return Ok(StepOutcome::Halted(self.reg(Reg::new(10))));
                 }
-                return Err(ExecError::UnknownSyscall { number, pc: self.pc });
+                return Err(ExecError::UnknownSyscall {
+                    number,
+                    pc: self.pc,
+                });
             }
             Instr::Ebreak => {
                 self.retired += 1;
@@ -241,7 +269,12 @@ mod tests {
     }
 
     fn addi(rd: u8, rs1: u8, imm: i32) -> Instr {
-        Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(rd), rs1: Reg::new(rs1), imm }
+        Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::new(rd),
+            rs1: Reg::new(rs1),
+            imm,
+        }
     }
 
     #[test]
@@ -249,7 +282,12 @@ mod tests {
         let (cpu, _) = run_words(&[
             addi(1, 0, 20),
             addi(2, 0, 22),
-            Instr::Alu { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::new(1), rs2: Reg::new(2) },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::new(10),
+                rs1: Reg::new(1),
+                rs2: Reg::new(2),
+            },
             addi(17, 0, 93),
             Instr::Ecall,
         ]);
@@ -290,9 +328,24 @@ mod tests {
     fn loads_and_stores() {
         let (_, mem) = run_words(&[
             addi(1, 0, -1),
-            Instr::Store { width: StoreWidth::W, rs2: Reg::new(1), rs1: Reg::ZERO, offset: 100 },
-            Instr::Load { width: LoadWidth::Bu, rd: Reg::new(2), rs1: Reg::ZERO, offset: 100 },
-            Instr::Store { width: StoreWidth::H, rs2: Reg::new(2), rs1: Reg::ZERO, offset: 104 },
+            Instr::Store {
+                width: StoreWidth::W,
+                rs2: Reg::new(1),
+                rs1: Reg::ZERO,
+                offset: 100,
+            },
+            Instr::Load {
+                width: LoadWidth::Bu,
+                rd: Reg::new(2),
+                rs1: Reg::ZERO,
+                offset: 100,
+            },
+            Instr::Store {
+                width: StoreWidth::H,
+                rs2: Reg::new(2),
+                rs1: Reg::ZERO,
+                offset: 104,
+            },
             addi(17, 0, 93),
             Instr::Ecall,
         ]);
@@ -304,8 +357,18 @@ mod tests {
     fn signed_load_extends() {
         let (cpu, _) = run_words(&[
             addi(1, 0, -128),
-            Instr::Store { width: StoreWidth::B, rs2: Reg::new(1), rs1: Reg::ZERO, offset: 64 },
-            Instr::Load { width: LoadWidth::B, rd: Reg::new(2), rs1: Reg::ZERO, offset: 64 },
+            Instr::Store {
+                width: StoreWidth::B,
+                rs2: Reg::new(1),
+                rs1: Reg::ZERO,
+                offset: 64,
+            },
+            Instr::Load {
+                width: LoadWidth::B,
+                rd: Reg::new(2),
+                rs1: Reg::ZERO,
+                offset: 64,
+            },
             addi(17, 0, 93),
             Instr::Ecall,
         ]);
@@ -315,12 +378,19 @@ mod tests {
     #[test]
     fn jal_and_jalr() {
         let (cpu, _) = run_words(&[
-            Instr::Jal { rd: Reg::RA, offset: 16 }, // pc 0 -> pc 16, ra = 4
-            addi(17, 0, 93),                        // pc 4 (return target)
-            Instr::Ecall,                           // pc 8
-            addi(5, 0, 111),                        // pc 12: never runs
-            addi(6, 0, 7),                          // pc 16
-            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }, // back to pc 4
+            Instr::Jal {
+                rd: Reg::RA,
+                offset: 16,
+            }, // pc 0 -> pc 16, ra = 4
+            addi(17, 0, 93), // pc 4 (return target)
+            Instr::Ecall,    // pc 8
+            addi(5, 0, 111), // pc 12: never runs
+            addi(6, 0, 7),   // pc 16
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            }, // back to pc 4
         ]);
         assert_eq!(cpu.reg(Reg::new(5)), 0, "skipped instruction must not run");
         assert_eq!(cpu.reg(Reg::new(6)), 7);
@@ -331,9 +401,24 @@ mod tests {
     fn shifts_behave() {
         let (cpu, _) = run_words(&[
             addi(1, 0, -16),
-            Instr::AluImm { op: AluImmOp::Srai, rd: Reg::new(2), rs1: Reg::new(1), imm: 2 },
-            Instr::AluImm { op: AluImmOp::Srli, rd: Reg::new(3), rs1: Reg::new(1), imm: 28 },
-            Instr::AluImm { op: AluImmOp::Slli, rd: Reg::new(4), rs1: Reg::new(1), imm: 1 },
+            Instr::AluImm {
+                op: AluImmOp::Srai,
+                rd: Reg::new(2),
+                rs1: Reg::new(1),
+                imm: 2,
+            },
+            Instr::AluImm {
+                op: AluImmOp::Srli,
+                rd: Reg::new(3),
+                rs1: Reg::new(1),
+                imm: 28,
+            },
+            Instr::AluImm {
+                op: AluImmOp::Slli,
+                rd: Reg::new(4),
+                rs1: Reg::new(1),
+                imm: 1,
+            },
             addi(17, 0, 93),
             Instr::Ecall,
         ]);
@@ -345,8 +430,17 @@ mod tests {
     #[test]
     fn timeout_detected() {
         let mut mem = Memory::new(64);
-        mem.load_image(0, &[encode(Instr::Jal { rd: Reg::ZERO, offset: 0 })]);
+        mem.load_image(
+            0,
+            &[encode(Instr::Jal {
+                rd: Reg::ZERO,
+                offset: 0,
+            })],
+        );
         let mut cpu = Cpu::new(0);
-        assert!(matches!(cpu.run(&mut mem, 100), Err(ExecError::Timeout { executed: 100 })));
+        assert!(matches!(
+            cpu.run(&mut mem, 100),
+            Err(ExecError::Timeout { executed: 100 })
+        ));
     }
 }

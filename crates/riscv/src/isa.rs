@@ -272,7 +272,10 @@ impl Instr {
 
     /// Whether this is a control-flow instruction.
     pub fn is_control_flow(&self) -> bool {
-        matches!(self, Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. })
+        matches!(
+            self,
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. }
+        )
     }
 
     /// Whether this is a memory access.
@@ -317,23 +320,45 @@ mod tests {
 
     #[test]
     fn rd_hides_x0_writes() {
-        let i = Instr::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::new(1), imm: 0 };
+        let i = Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::ZERO,
+            rs1: Reg::new(1),
+            imm: 0,
+        };
         assert_eq!(i.rd(), None);
-        let i = Instr::AluImm { op: AluImmOp::Addi, rd: Reg::new(3), rs1: Reg::new(1), imm: 0 };
+        let i = Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::new(3),
+            rs1: Reg::new(1),
+            imm: 0,
+        };
         assert_eq!(i.rd(), Some(Reg::new(3)));
     }
 
     #[test]
     fn sources_exclude_x0() {
-        let i = Instr::Alu { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::ZERO, rs2: Reg::new(2) };
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::ZERO,
+            rs2: Reg::new(2),
+        };
         assert_eq!(i.sources(), vec![Reg::new(2)]);
-        let i = Instr::Lui { rd: Reg::new(1), imm: 0x1000 };
+        let i = Instr::Lui {
+            rd: Reg::new(1),
+            imm: 0x1000,
+        };
         assert!(i.sources().is_empty());
     }
 
     #[test]
     fn classification() {
-        assert!(Instr::Jal { rd: Reg::ZERO, offset: 8 }.is_control_flow());
+        assert!(Instr::Jal {
+            rd: Reg::ZERO,
+            offset: 8
+        }
+        .is_control_flow());
         assert!(Instr::Load {
             width: LoadWidth::W,
             rd: Reg::new(1),

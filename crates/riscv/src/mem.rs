@@ -17,7 +17,11 @@ pub struct MemFault {
 
 impl fmt::Display for MemFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "memory fault: {}-byte access at {:#010x}", self.size, self.addr)
+        write!(
+            f,
+            "memory fault: {}-byte access at {:#010x}",
+            self.size, self.addr
+        )
     }
 }
 
@@ -32,7 +36,9 @@ pub struct Memory {
 impl Memory {
     /// Creates a zeroed memory of `size` bytes.
     pub fn new(size: usize) -> Self {
-        Memory { bytes: vec![0; size] }
+        Memory {
+            bytes: vec![0; size],
+        }
     }
 
     /// Memory size in bytes.
@@ -42,7 +48,9 @@ impl Memory {
 
     fn check(&self, addr: u32, size: u32) -> Result<usize, MemFault> {
         let a = addr as usize;
-        if a.checked_add(size as usize).is_none_or(|end| end > self.bytes.len()) {
+        if a.checked_add(size as usize)
+            .is_none_or(|end| end > self.bytes.len())
+        {
             return Err(MemFault { addr, size });
         }
         Ok(a)
@@ -123,7 +131,8 @@ impl Memory {
     /// Panics if the image does not fit.
     pub fn load_image(&mut self, base: u32, words: &[u32]) {
         for (i, &w) in words.iter().enumerate() {
-            self.store_u32(base + 4 * i as u32, w).expect("program image must fit in memory");
+            self.store_u32(base + 4 * i as u32, w)
+                .expect("program image must fit in memory");
         }
     }
 }

@@ -140,7 +140,12 @@ mod tests {
         let mut emitted = Vec::new();
         let mut violations = Vec::new();
         let mut degraded = 0;
-        let mut ctx = ctx_over(&mut emitted, &mut violations, &mut degraded, ViolationPolicy::Record);
+        let mut ctx = ctx_over(
+            &mut emitted,
+            &mut violations,
+            &mut degraded,
+            ViolationPolicy::Record,
+        );
         Echo.pulse(2, Time::from_ps(5.0), &mut ctx);
         assert_eq!(emitted, vec![(2, Time::from_ps(6.0))]);
         assert!(violations.is_empty());
@@ -151,7 +156,12 @@ mod tests {
         let mut emitted = Vec::new();
         let mut violations = Vec::new();
         let mut degraded = 0;
-        let mut ctx = ctx_over(&mut emitted, &mut violations, &mut degraded, ViolationPolicy::Record);
+        let mut ctx = ctx_over(
+            &mut emitted,
+            &mut violations,
+            &mut degraded,
+            ViolationPolicy::Record,
+        );
         ctx.violation(Time::from_ps(1.0), "hold", "too close".to_string());
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].cell, "cell7");

@@ -37,12 +37,27 @@ enum PinAction {
 ///
 /// # Examples
 ///
-/// ```
-/// use sfq_sim::fault::FaultPlan;
-/// use sfq_sim::netlist::{ComponentId, Pin};
-/// use sfq_sim::time::Duration;
+/// Pins come from the netlist under test — ids cannot be forged, so plans
+/// always target real components:
 ///
-/// let pin = Pin::new(ComponentId::from_index(0), 0);
+/// ```
+/// use sfq_sim::component::{Component, PulseContext};
+/// use sfq_sim::fault::FaultPlan;
+/// use sfq_sim::netlist::{Netlist, Pin};
+/// use sfq_sim::time::{Duration, Time};
+///
+/// #[derive(Debug)]
+/// struct Sink;
+/// impl Component for Sink {
+///     fn kind(&self) -> &'static str {
+///         "sink"
+///     }
+///     fn pulse(&mut self, _pin: u8, _now: Time, _ctx: &mut PulseContext<'_>) {}
+/// }
+///
+/// let mut netlist = Netlist::new();
+/// let sink = netlist.add("sink", Box::new(Sink));
+/// let pin = Pin::new(sink, 0);
 /// let plan = FaultPlan::new(0xfeed)
 ///     .drop_nth(pin, 1)
 ///     .duplicate_nth(pin, 3, Duration::from_ps(2.0))
@@ -61,7 +76,12 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// Creates an empty plan with the given randomness seed.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, delay_sigma: 0.0, pin_faults: HashMap::new(), spurious: Vec::new() }
+        FaultPlan {
+            seed,
+            delay_sigma: 0.0,
+            pin_faults: HashMap::new(),
+            spurious: Vec::new(),
+        }
     }
 
     /// The plan's seed.
@@ -95,7 +115,8 @@ impl FaultPlan {
     #[must_use]
     pub fn duplicate_nth(mut self, pin: Pin, nth: u64, offset: Duration) -> Self {
         assert!(nth >= 1, "pulse ordinals are 1-based");
-        self.pin_faults.insert((pin, nth), PinAction::Duplicate(offset));
+        self.pin_faults
+            .insert((pin, nth), PinAction::Duplicate(offset));
         self
     }
 
@@ -115,7 +136,10 @@ impl FaultPlan {
     /// Panics if `sigma_frac` is negative or not finite.
     #[must_use]
     pub fn with_delay_sigma(mut self, sigma_frac: f64) -> Self {
-        assert!(sigma_frac.is_finite() && sigma_frac >= 0.0, "σ must be a non-negative fraction");
+        assert!(
+            sigma_frac.is_finite() && sigma_frac >= 0.0,
+            "σ must be a non-negative fraction"
+        );
         self.delay_sigma = sigma_frac;
         self
     }
@@ -166,13 +190,22 @@ impl FaultState {
         match self.plan.pin_faults.get(&(pin, *n)) {
             Some(PinAction::Drop) => {
                 self.dropped += 1;
-                DeliveryFault { drop: true, echo_after: None }
+                DeliveryFault {
+                    drop: true,
+                    echo_after: None,
+                }
             }
             Some(PinAction::Duplicate(off)) => {
                 self.duplicated += 1;
-                DeliveryFault { drop: false, echo_after: Some(*off) }
+                DeliveryFault {
+                    drop: false,
+                    echo_after: Some(*off),
+                }
             }
-            None => DeliveryFault { drop: false, echo_after: None },
+            None => DeliveryFault {
+                drop: false,
+                echo_after: None,
+            },
         }
     }
 
@@ -194,8 +227,10 @@ impl FaultState {
 mod tests {
     use super::*;
 
-    fn pin(i: usize, p: u8) -> Pin {
-        Pin::new(ComponentId::from_index(i), p)
+    // Same-crate tests may build ids directly; external callers obtain
+    // them from a netlist.
+    fn pin(i: u32, p: u8) -> Pin {
+        Pin::new(ComponentId(i), p)
     }
 
     #[test]
@@ -235,7 +270,7 @@ mod tests {
     fn delay_factors_are_stable_and_seeded() {
         let mut a = FaultState::new(FaultPlan::new(9).with_delay_sigma(0.1));
         let mut b = FaultState::new(FaultPlan::new(9).with_delay_sigma(0.1));
-        let id = ComponentId::from_index(7);
+        let id = ComponentId(7);
         let f = a.delay_factor(id);
         assert_eq!(f, a.delay_factor(id), "factor is persistent");
         assert_eq!(f, b.delay_factor(id), "same seed, same factor");
@@ -247,7 +282,7 @@ mod tests {
     #[test]
     fn zero_sigma_means_unit_factors() {
         let mut st = FaultState::new(FaultPlan::new(1));
-        assert_eq!(st.delay_factor(ComponentId::from_index(3)), 1.0);
+        assert_eq!(st.delay_factor(ComponentId(3)), 1.0);
     }
 
     #[test]

@@ -21,19 +21,14 @@ pub struct ComponentId(pub(crate) u32);
 
 impl ComponentId {
     /// Returns the raw index of the component.
+    ///
+    /// Indices are dense (`0..component_count()`), which makes them usable
+    /// as keys into side tables; ids themselves can only be obtained from
+    /// the netlist that owns the component ([`Netlist::add`],
+    /// [`Netlist::iter`], [`Netlist::iter_scope`]), so analyses cannot
+    /// forge an id for a netlist it never came from.
     pub fn index(self) -> usize {
         self.0 as usize
-    }
-
-    /// Reconstructs an id from a raw index (for analyses that iterate
-    /// components by position; the caller is responsible for the index
-    /// belonging to the netlist it came from).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` exceeds `u32::MAX`.
-    pub fn from_index(index: usize) -> Self {
-        ComponentId(u32::try_from(index).expect("component index fits u32"))
     }
 }
 
@@ -81,7 +76,16 @@ pub struct Wire {
     pub delay: Duration,
 }
 
-/// The circuit graph: components plus wiring.
+/// The circuit graph: components plus wiring, organised into hierarchical
+/// instance scopes.
+///
+/// Scopes are `/`-separated instance paths (`bank1/reg3/loopbuf`). During
+/// construction, [`Netlist::push_scope`]/[`Netlist::pop_scope`] maintain a
+/// scope stack; every component added lands in the current scope, and its
+/// stored label is the full path (`scope/name`). Analyses can then walk a
+/// subsystem with [`Netlist::iter_scope`] or attribute any component via
+/// [`Netlist::scope_of`] — the basis for deriving JJ budgets, static power,
+/// and P&R hop counts from the elaborated structure itself.
 ///
 /// # Examples
 ///
@@ -98,7 +102,13 @@ pub struct Wire {
 #[derive(Default)]
 pub struct Netlist {
     components: Vec<Box<dyn Component>>,
+    /// Full hierarchical labels, `scope/name`.
     labels: Vec<String>,
+    /// Scope path of each component (empty string at the root). Index i
+    /// describes component i; `labels[i]` always starts with `scopes[i]`.
+    scopes: Vec<String>,
+    /// Scope stack during construction.
+    scope_stack: Vec<String>,
     /// Fan-out adjacency: (component, output pin) -> destinations.
     wires: HashMap<Pin, Vec<(Pin, Duration)>>,
     wire_count: usize,
@@ -110,11 +120,55 @@ impl Netlist {
         Netlist::default()
     }
 
-    /// Adds a component with a human-readable instance label, returning its id.
-    pub fn add(&mut self, label: impl Into<String>, component: Box<dyn Component>) -> ComponentId {
+    /// Opens an instance scope; components added until the matching
+    /// [`Netlist::pop_scope`] belong to it. Scopes nest: pushing `"reg3"`
+    /// inside `"bank1"` places subsequent components in `bank1/reg3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scope` is empty or contains `/` (paths are built from
+    /// single segments so that scope filtering stays unambiguous).
+    pub fn push_scope(&mut self, scope: impl Into<String>) {
+        let scope = scope.into();
+        assert!(!scope.is_empty(), "scope segment must be non-empty");
+        assert!(
+            !scope.contains('/'),
+            "scope segment must not contain '/': {scope}"
+        );
+        self.scope_stack.push(scope);
+    }
+
+    /// Closes the innermost instance scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop_scope(&mut self) {
+        self.scope_stack
+            .pop()
+            .expect("pop_scope without matching push_scope");
+    }
+
+    /// The current scope path (`""` at the root).
+    pub fn current_scope(&self) -> String {
+        self.scope_stack.join("/")
+    }
+
+    /// Adds a component with a human-readable instance name, returning its
+    /// id. The stored label is the name prefixed with the current scope
+    /// path.
+    pub fn add(&mut self, name: impl Into<String>, component: Box<dyn Component>) -> ComponentId {
         let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
+        let scope = self.current_scope();
+        let name = name.into();
+        let label = if scope.is_empty() {
+            name
+        } else {
+            format!("{scope}/{name}")
+        };
         self.components.push(component);
-        self.labels.push(label.into());
+        self.labels.push(label);
+        self.scopes.push(scope);
         id
     }
 
@@ -139,13 +193,39 @@ impl Netlist {
         self.wire_count
     }
 
-    /// Returns the label of a component.
+    /// Returns the full hierarchical label of a component
+    /// (`scope/.../name`).
     ///
     /// # Panics
     ///
     /// Panics if `id` does not belong to this netlist.
     pub fn label(&self, id: ComponentId) -> &str {
         &self.labels[id.index()]
+    }
+
+    /// Returns the scope path of a component (`""` for root components).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn scope_of(&self, id: ComponentId) -> &str {
+        &self.scopes[id.index()]
+    }
+
+    /// Returns the local instance name of a component (its label with the
+    /// scope path stripped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn name_of(&self, id: ComponentId) -> &str {
+        let label = self.label(id);
+        let scope = self.scope_of(id);
+        if scope.is_empty() {
+            label
+        } else {
+            &label[scope.len() + 1..]
+        }
     }
 
     /// Returns a shared reference to a component.
@@ -172,6 +252,64 @@ impl Netlist {
             .iter()
             .enumerate()
             .map(|(i, c)| (ComponentId(i as u32), self.labels[i].as_str(), c.as_ref()))
+    }
+
+    /// Iterates over the components inside a scope subtree. `path` selects
+    /// the scope itself and everything nested beneath it, segment-wise:
+    /// `"bank1"` matches `bank1` and `bank1/reg3` but not `bank10`. The
+    /// empty path selects every component. Yielded ids are real ids of this
+    /// netlist — callers never reconstruct indices.
+    pub fn iter_scope<'a>(
+        &'a self,
+        path: &'a str,
+    ) -> impl Iterator<Item = (ComponentId, &'a str, &'a dyn Component)> {
+        self.iter()
+            .filter(|(id, _, _)| scope_matches(self.scope_of(*id), path))
+    }
+
+    /// Iterates over components whose scope satisfies a predicate — the
+    /// general form of [`Netlist::iter_scope`] for analyses that group
+    /// scopes by pattern (e.g. every `reg*` region of a register file).
+    pub fn iter_scoped_by<'a, F>(
+        &'a self,
+        mut pred: F,
+    ) -> impl Iterator<Item = (ComponentId, &'a str, &'a dyn Component)>
+    where
+        F: FnMut(&str) -> bool + 'a,
+    {
+        self.iter()
+            .filter(move |(id, _, _)| pred(self.scope_of(*id)))
+    }
+
+    /// The distinct top-level scope segments, in first-appearance order.
+    /// Root components (empty scope) are not represented.
+    pub fn top_scopes(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for scope in &self.scopes {
+            if scope.is_empty() {
+                continue;
+            }
+            let top = scope
+                .split('/')
+                .next()
+                .expect("split yields at least one segment");
+            if !seen.contains(&top) {
+                seen.push(top);
+            }
+        }
+        seen
+    }
+}
+
+/// Returns `true` if `scope` lies in the subtree rooted at `path`
+/// (segment-aware prefix match; the empty path matches everything).
+fn scope_matches(scope: &str, path: &str) -> bool {
+    if path.is_empty() {
+        return true;
+    }
+    match scope.strip_prefix(path) {
+        Some(rest) => rest.is_empty() || rest.starts_with('/'),
+        None => false,
     }
 }
 
@@ -227,5 +365,75 @@ mod tests {
     fn pin_display() {
         let p = Pin::new(ComponentId(3), 1);
         assert_eq!(p.to_string(), "c3.1");
+    }
+
+    #[test]
+    fn scopes_prefix_labels() {
+        let mut n = Netlist::new();
+        let root = n.add("jtl0", Box::new(Dummy));
+        n.push_scope("bank1");
+        n.push_scope("reg3");
+        let cell = n.add("loopbuf", Box::new(Dummy));
+        n.pop_scope();
+        let demux = n.add("ndroc0", Box::new(Dummy));
+        n.pop_scope();
+        assert_eq!(n.label(root), "jtl0");
+        assert_eq!(n.scope_of(root), "");
+        assert_eq!(n.label(cell), "bank1/reg3/loopbuf");
+        assert_eq!(n.scope_of(cell), "bank1/reg3");
+        assert_eq!(n.name_of(cell), "loopbuf");
+        assert_eq!(n.scope_of(demux), "bank1");
+        assert_eq!(n.current_scope(), "");
+    }
+
+    #[test]
+    fn iter_scope_is_segment_aware() {
+        let mut n = Netlist::new();
+        n.push_scope("bank1");
+        let a = n.add("a", Box::new(Dummy));
+        n.push_scope("reg3");
+        let b = n.add("b", Box::new(Dummy));
+        n.pop_scope();
+        n.pop_scope();
+        n.push_scope("bank10");
+        let c = n.add("c", Box::new(Dummy));
+        n.pop_scope();
+
+        let in_bank1: Vec<ComponentId> = n.iter_scope("bank1").map(|(id, _, _)| id).collect();
+        assert_eq!(in_bank1, vec![a, b], "bank10 must not leak into bank1");
+        let all: Vec<ComponentId> = n.iter_scope("").map(|(id, _, _)| id).collect();
+        assert_eq!(all, vec![a, b, c]);
+        let nested: Vec<ComponentId> = n.iter_scope("bank1/reg3").map(|(id, _, _)| id).collect();
+        assert_eq!(nested, vec![b]);
+    }
+
+    #[test]
+    fn iter_scoped_by_groups_regions() {
+        let mut n = Netlist::new();
+        for r in 0..3 {
+            n.push_scope(format!("reg{r}"));
+            n.add("cell", Box::new(Dummy));
+            n.pop_scope();
+        }
+        n.push_scope("readport");
+        n.add("demux", Box::new(Dummy));
+        n.pop_scope();
+        let regs = n.iter_scoped_by(|s| s.starts_with("reg")).count();
+        assert_eq!(regs, 3);
+        assert_eq!(n.top_scopes(), vec!["reg0", "reg1", "reg2", "readport"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop_scope")]
+    fn unbalanced_pop_panics() {
+        let mut n = Netlist::new();
+        n.pop_scope();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain")]
+    fn slash_in_scope_segment_panics() {
+        let mut n = Netlist::new();
+        n.push_scope("a/b");
     }
 }

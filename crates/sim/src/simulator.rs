@@ -137,7 +137,9 @@ impl Simulator {
 
     /// `(dropped, duplicated)` pulse counts applied by the fault plan.
     pub fn fault_counts(&self) -> (u64, u64) {
-        self.fault.as_ref().map_or((0, 0), |f| (f.dropped, f.duplicated))
+        self.fault
+            .as_ref()
+            .map_or((0, 0), |f| (f.dropped, f.duplicated))
     }
 
     /// Sets the per-run event budget (runaway-feedback guard).
@@ -190,15 +192,46 @@ impl Simulator {
         }
     }
 
+    /// Every probe's trace paired with the instance scope of the component
+    /// it observes — ready for
+    /// [`to_vcd_hierarchical`](crate::vcd::to_vcd_hierarchical), which
+    /// renders the scopes as nested `$scope module` blocks.
+    pub fn scoped_traces(&self) -> Vec<(String, PulseTrace)> {
+        let mut scopes = vec![String::new(); self.probe_records.len()];
+        for (pin, ids) in &self.probes {
+            for id in ids {
+                scopes[id.0 as usize] = self.netlist.scope_of(pin.component).to_string();
+            }
+        }
+        scopes
+            .into_iter()
+            .zip(self.probe_records.iter().cloned())
+            .collect()
+    }
+
+    /// Renders every probe as a VCD document whose `$scope module` blocks
+    /// mirror the netlist's instance hierarchy.
+    pub fn to_vcd(&self, top: &str) -> String {
+        crate::vcd::to_vcd_hierarchical(&self.scoped_traces(), top)
+    }
+
     /// Injects an external stimulus pulse into an *input* pin at time `at`.
     ///
     /// # Panics
     ///
     /// Panics if `at` is earlier than the current simulation time.
     pub fn inject(&mut self, pin: Pin, at: Time) {
-        assert!(at >= self.now, "cannot inject into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot inject into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq();
-        self.push(Event { time: at, seq, target: pin });
+        self.push(Event {
+            time: at,
+            seq,
+            target: pin,
+        });
     }
 
     /// Timing violations recorded so far.
@@ -268,7 +301,11 @@ impl Simulator {
                 let f = fault.on_delivery(ev.target);
                 if let Some(offset) = f.echo_after {
                     let seq = self.next_seq();
-                    self.push(Event { time: ev.time + offset, seq, target: ev.target });
+                    self.push(Event {
+                        time: ev.time + offset,
+                        seq,
+                        target: ev.target,
+                    });
                 }
                 if f.drop {
                     continue;
@@ -287,9 +324,11 @@ impl Simulator {
                     policy: self.policy,
                     degraded_drops: &mut self.degraded_drops,
                 };
-                self.netlist
-                    .component_mut(ev.target.component)
-                    .pulse(ev.target.index, ev.time, &mut ctx);
+                self.netlist.component_mut(ev.target.component).pulse(
+                    ev.target.index,
+                    ev.time,
+                    &mut ctx,
+                );
             }
 
             // Per-instance delay variation scales the emitting cell's
@@ -319,14 +358,19 @@ impl Simulator {
                 let dests: Vec<(Pin, Duration)> = self.netlist.fanout(source).to_vec();
                 for (to, delay) in dests {
                     let seq = self.next_seq();
-                    self.push(Event { time: at + delay, seq, target: to });
+                    self.push(Event {
+                        time: at + delay,
+                        seq,
+                        target: to,
+                    });
                 }
             }
 
-            if self.policy == ViolationPolicy::FailFast
-                && self.violations.len() > violations_before
+            if self.policy == ViolationPolicy::FailFast && self.violations.len() > violations_before
             {
-                return Err(SimError::FailFast(self.violations[violations_before].clone()));
+                return Err(SimError::FailFast(
+                    self.violations[violations_before].clone(),
+                ));
             }
         }
         Ok(stats)
@@ -373,7 +417,9 @@ mod tests {
 
     fn chain(len: usize) -> (Simulator, Pin, Pin) {
         let mut n = Netlist::new();
-        let ids: Vec<_> = (0..len).map(|i| n.add(format!("r{i}"), Box::new(Repeater) as _)).collect();
+        let ids: Vec<_> = (0..len)
+            .map(|i| n.add(format!("r{i}"), Box::new(Repeater) as _))
+            .collect();
         for w in ids.windows(2) {
             n.connect(Pin::new(w[0], 0), Pin::new(w[1], 0), Duration::from_ps(0.5));
         }
@@ -544,15 +590,34 @@ mod tests {
     }
 
     #[test]
+    fn scoped_traces_attribute_probes_to_scopes() {
+        let mut n = Netlist::new();
+        n.push_scope("bank0");
+        let a = n.add("r0", Box::new(Repeater) as _);
+        n.pop_scope();
+        let b = n.add("r1", Box::new(Repeater) as _);
+        let mut sim = Simulator::new(n);
+        sim.probe(Pin::new(a, 0), "inner");
+        sim.probe(Pin::new(b, 0), "outer");
+        let scoped = sim.scoped_traces();
+        assert_eq!(scoped[0].0, "bank0");
+        assert_eq!(scoped[0].1.label(), "inner");
+        assert_eq!(scoped[1].0, "");
+        let doc = sim.to_vcd("top");
+        assert!(doc.contains("$scope module bank0 $end"), "{doc}");
+    }
+
+    #[test]
     fn fault_plan_drops_and_duplicates() {
         use crate::fault::FaultPlan;
         let (mut sim, first, last) = chain(2);
         let probe = sim.probe(last, "end");
         // Drop the 1st delivery on the first repeater's input, duplicate
         // the 2nd.
-        let plan = FaultPlan::new(0)
-            .drop_nth(first, 1)
-            .duplicate_nth(first, 2, Duration::from_ps(20.0));
+        let plan =
+            FaultPlan::new(0)
+                .drop_nth(first, 1)
+                .duplicate_nth(first, 2, Duration::from_ps(20.0));
         sim.set_fault_plan(plan);
         sim.inject(first, Time::from_ps(0.0));
         sim.inject(first, Time::from_ps(100.0));

@@ -48,7 +48,10 @@ impl Time {
     ///
     /// Panics if `ps` is negative or not finite.
     pub fn from_ps(ps: f64) -> Self {
-        assert!(ps.is_finite() && ps >= 0.0, "time must be finite and non-negative: {ps}");
+        assert!(
+            ps.is_finite() && ps >= 0.0,
+            "time must be finite and non-negative: {ps}"
+        );
         Time((ps * FS_PER_PS as f64).round() as u64)
     }
 
@@ -89,7 +92,10 @@ impl Duration {
     ///
     /// Panics if `ps` is negative or not finite.
     pub fn from_ps(ps: f64) -> Self {
-        assert!(ps.is_finite() && ps >= 0.0, "duration must be finite and non-negative: {ps}");
+        assert!(
+            ps.is_finite() && ps >= 0.0,
+            "duration must be finite and non-negative: {ps}"
+        );
         Duration((ps * FS_PER_PS as f64).round() as u64)
     }
 

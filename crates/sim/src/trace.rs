@@ -19,7 +19,10 @@ pub struct PulseTrace {
 impl PulseTrace {
     /// Creates an empty trace.
     pub fn new(label: impl Into<String>) -> Self {
-        PulseTrace { label: label.into(), pulses: Vec::new() }
+        PulseTrace {
+            label: label.into(),
+            pulses: Vec::new(),
+        }
     }
 
     /// The trace label.
@@ -55,7 +58,10 @@ impl PulseTrace {
 
     /// Pulses that fall in the half-open window `[from, to)`.
     pub fn pulses_in(&self, from: Time, to: Time) -> impl Iterator<Item = Time> + '_ {
-        self.pulses.iter().copied().filter(move |&t| t >= from && t < to)
+        self.pulses
+            .iter()
+            .copied()
+            .filter(move |&t| t >= from && t < to)
     }
 
     /// Number of pulses in `[from, to)`.
@@ -87,7 +93,12 @@ impl PulseTrace {
 /// assert!(art.contains("REN"));
 /// ```
 pub fn render_waveforms(traces: &[PulseTrace], start: Time, bin: Duration, bins: usize) -> String {
-    let label_w = traces.iter().map(|t| t.label().len()).max().unwrap_or(0).max(4);
+    let label_w = traces
+        .iter()
+        .map(|t| t.label().len())
+        .max()
+        .unwrap_or(0)
+        .max(4);
     let mut out = String::new();
     // Time ruler.
     let _ = write!(out, "{:>label_w$} ", "t/ps");

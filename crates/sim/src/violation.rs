@@ -68,7 +68,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} violation at {}: {}", self.cell, self.kind, self.at, self.detail)
+        write!(
+            f,
+            "[{}] {} violation at {}: {}",
+            self.cell, self.kind, self.at, self.detail
+        )
     }
 }
 

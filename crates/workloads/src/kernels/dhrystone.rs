@@ -34,7 +34,11 @@ pub fn dhrystone() -> Workload {
         }
         acc = acc.wrapping_add(eq).wrapping_add(rec[3]);
         // Branchy selection.
-        acc = if acc & 1 == 0 { acc.wrapping_add(7) } else { acc.wrapping_sub(3) };
+        acc = if acc & 1 == 0 {
+            acc.wrapping_add(7)
+        } else {
+            acc.wrapping_sub(3)
+        };
     }
     let expected = acc.wrapping_add(rec.iter().fold(0u32, |s, &v| s.wrapping_add(v)));
 

@@ -8,9 +8,11 @@ pub fn vvadd() -> Workload {
     let mut g = Lcg::new(0xbeef);
     let a: Vec<u32> = (0..N).map(|_| g.next_below(10_000)).collect();
     let b: Vec<u32> = (0..N).map(|_| g.next_below(10_000)).collect();
-    let expected: u32 = a.iter().zip(&b).map(|(x, y)| x.wrapping_add(*y)).fold(0u32, |s, v| {
-        s.wrapping_add(v)
-    });
+    let expected: u32 = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| x.wrapping_add(*y))
+        .fold(0u32, |s, v| s.wrapping_add(v));
 
     let source = format!(
         "_start:

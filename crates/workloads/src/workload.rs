@@ -35,7 +35,12 @@ pub struct Workload {
 impl Workload {
     /// Creates a workload with default memory and budget.
     pub fn new(name: &'static str, source: String) -> Self {
-        Workload { name, source, mem_size: 1 << 20, budget: 20_000_000 }
+        Workload {
+            name,
+            source,
+            mem_size: 1 << 20,
+            budget: 20_000_000,
+        }
     }
 }
 

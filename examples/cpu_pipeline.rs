@@ -11,7 +11,9 @@ use sfq_riscv::asm::assemble;
 use sfq_workloads::suite;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "towers".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "towers".to_string());
     let suite = suite();
     let Some(w) = suite.iter().find(|w| w.name == which) else {
         eprintln!("unknown benchmark `{which}`; available:");
@@ -22,7 +24,11 @@ fn main() {
     };
 
     let prog = assemble(&w.source, 0).expect("workload assembles");
-    println!("benchmark: {} ({} instruction words)\n", w.name, prog.words.len());
+    println!(
+        "benchmark: {} ({} instruction words)\n",
+        w.name,
+        prog.words.len()
+    );
 
     let mut baseline_cpi = None;
     for design in RfDesign::ALL {

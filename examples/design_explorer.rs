@@ -11,8 +11,17 @@ use hiperrf::delay::{readout_delay_ps, RfDesign};
 fn main() {
     println!(
         "{:>10} {:>9} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7}",
-        "registers", "width", "JJ:base", "JJ:hi", "JJ:dual", "µW:base", "µW:hi", "µW:dual",
-        "ps:base", "ps:hi", "ps:dual"
+        "registers",
+        "width",
+        "JJ:base",
+        "JJ:hi",
+        "JJ:dual",
+        "µW:base",
+        "µW:hi",
+        "µW:dual",
+        "ps:base",
+        "ps:hi",
+        "ps:dual"
     );
     for regs in [4usize, 8, 16, 32, 64, 128] {
         for width in [16usize, 32, 64] {
@@ -42,8 +51,15 @@ fn main() {
         let g = RfGeometry::new(regs, 32).expect("valid geometry");
         let saving =
             1.0 - hiperrf_budget(g).jj_total() as f64 / ndro_rf_budget(g).jj_total() as f64;
-        let verdict = if saving > 0.0 { "HiPerRF wins" } else { "baseline wins" };
-        println!("  {regs:>3} registers: JJ saving {:>6.1}%  -> {verdict}", saving * 100.0);
+        let verdict = if saving > 0.0 {
+            "HiPerRF wins"
+        } else {
+            "baseline wins"
+        };
+        println!(
+            "  {regs:>3} registers: JJ saving {:>6.1}%  -> {verdict}",
+            saving * 100.0
+        );
     }
     println!("\nThe paper's observation holds: overhead circuits (HC-CLK/WRITE/READ,");
     println!("LoopBuffer) amortize with size, so the advantage grows with the file.");

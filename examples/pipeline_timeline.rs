@@ -22,12 +22,21 @@ const PROGRAM: &str = "
 
 fn main() {
     let prog = assemble(PROGRAM, 0).expect("assembles");
-    for design in [RfDesign::NdroBaseline, RfDesign::HiPerRf, RfDesign::DualBanked] {
+    for design in [
+        RfDesign::NdroBaseline,
+        RfDesign::HiPerRf,
+        RfDesign::DualBanked,
+    ] {
         let mut cpu = GateLevelCpu::new(design, PipelineConfig::sodor());
         let mut trace = Vec::new();
-        let out = cpu.run_traced(&prog, 1 << 16, 1000, &mut trace).expect("runs");
+        let out = cpu
+            .run_traced(&prog, 1 << 16, 1000, &mut trace)
+            .expect("runs");
         println!("\n=== {} (CPI {:.2}) ===", design.name(), out.stats.cpi());
-        println!("{:>4} {:>5} {:>5} {:>5}  instruction", "pc", "rf", "op", "wb");
+        println!(
+            "{:>4} {:>5} {:>5} {:>5}  instruction",
+            "pc", "rf", "op", "wb"
+        );
         for rec in &trace {
             println!(
                 "{:>4x} {:>5} {:>5} {:>5}  {}",

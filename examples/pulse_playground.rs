@@ -16,7 +16,10 @@ use sfq_sim::prelude::*;
 use sfq_sim::trace::render_waveforms;
 
 fn main() {
-    let value: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let value: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     assert!(value < 4, "a dual-bit cell stores 0..=3");
 
     let mut b = CircuitBuilder::new();
@@ -42,7 +45,10 @@ fn main() {
         sim.inject(write.b1, Time::ZERO);
     }
     sim.run();
-    println!("wrote {value}: the cell holds {} fluxon(s)", sim.netlist().component(cell).stored().unwrap());
+    println!(
+        "wrote {value}: the cell holds {} fluxon(s)",
+        sim.netlist().component(cell).stored().unwrap()
+    );
 
     // Pop everything with one tripled enable, then latch the counters.
     sim.inject(clk.input, Time::from_ps(100.0));
@@ -62,7 +68,10 @@ fn main() {
         sim.probe_trace(p_b1).clone(),
     ];
     println!("\nwaveforms (5 ps bins; | = one pulse, 2/3 = multiple in a bin):");
-    print!("{}", render_waveforms(&traces, Time::ZERO, Duration::from_ps(5.0), 44));
+    print!(
+        "{}",
+        render_waveforms(&traces, Time::ZERO, Duration::from_ps(5.0), 44)
+    );
     println!("\nviolations: {:?}", sim.violations());
 
     if let Ok(path) = std::env::var("VCD_OUT") {

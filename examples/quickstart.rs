@@ -9,10 +9,15 @@
 
 use hiperrf::config::RfGeometry;
 use hiperrf::hiperrf_rf::HiPerRf;
+use hiperrf::RegisterFile;
 
 fn main() {
     let mut rf = HiPerRf::new(RfGeometry::paper_4x4());
-    println!("built a 4x4-bit HiPerRF: {} cells, {} JJs", rf.census().total_cells(), rf.census().jj_total());
+    println!(
+        "built a 4x4-bit HiPerRF: {} cells, {} JJs",
+        rf.census().total_cells(),
+        rf.census().jj_total()
+    );
 
     rf.write(1, 0b1011);
     println!("wrote 0b1011 into r1; cells now hold {:#06b}", rf.peek(1));
@@ -30,6 +35,21 @@ fn main() {
     rf.write(1, 0b0100);
     println!("overwrote with 0b0100; read back {:#06b}", rf.read(1));
 
-    assert!(rf.violations().is_empty(), "no timing violations in any operation");
-    println!("no setup/hold/re-arm violations recorded — done.");
+    assert!(
+        rf.violations().is_empty(),
+        "no timing violations in any operation"
+    );
+    println!("no setup/hold/re-arm violations recorded.");
+
+    // Every registered design speaks the same `RegisterFile` trait:
+    println!("\nthe whole design registry, driven generically:");
+    for design in hiperrf::designs::registry() {
+        let mut rf = design.build(RfGeometry::paper_4x4());
+        rf.write(2, 0b0110);
+        assert_eq!(rf.read(2), 0b0110);
+        println!(
+            "  {design:<15} {:>5} JJs — write/read round trip ok",
+            rf.census().jj_total()
+        );
+    }
 }

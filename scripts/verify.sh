@@ -10,6 +10,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --release --workspace
 
@@ -22,5 +25,8 @@ cargo test -q --workspace
 echo "== robustness smoke reports =="
 cargo run -q --release -p hiperrf-bench --bin repro -- margins --smoke
 cargo run -q --release -p hiperrf-bench --bin repro -- faults --smoke
+
+echo "== design-registry smoke matrix =="
+cargo run -q --release -p hiperrf-bench --bin repro -- designs --smoke
 
 echo "verify: OK"

@@ -13,8 +13,8 @@ use sfq_workloads::{suite, PASS};
 #[test]
 fn every_workload_passes_on_every_design() {
     for w in suite() {
-        let prog = assemble(&w.source, 0)
-            .unwrap_or_else(|e| panic!("{} failed to assemble: {e}", w.name));
+        let prog =
+            assemble(&w.source, 0).unwrap_or_else(|e| panic!("{} failed to assemble: {e}", w.name));
         for design in RfDesign::ALL {
             let mut cpu = GateLevelCpu::new(design, PipelineConfig::sodor());
             let out = cpu
@@ -45,7 +45,11 @@ fn pipeline_and_functional_models_agree() {
 #[test]
 fn figure14_full_suite_shape() {
     let rows = figure14();
-    assert_eq!(rows.len(), 13, "the Figure 14 suite has thirteen benchmarks");
+    assert_eq!(
+        rows.len(),
+        13,
+        "the Figure 14 suite has thirteen benchmarks"
+    );
 
     for row in &rows {
         assert!(
@@ -57,13 +61,25 @@ fn figure14_full_suite_shape() {
 
     // Average CPI near the paper's ~30 gate cycles.
     let avg_cpi: f64 = rows.iter().map(|r| r.baseline_cpi).sum::<f64>() / rows.len() as f64;
-    assert!((20.0..40.0).contains(&avg_cpi), "average baseline CPI {avg_cpi}");
+    assert!(
+        (20.0..40.0).contains(&avg_cpi),
+        "average baseline CPI {avg_cpi}"
+    );
 
     // Averages within a few points of the paper's 9.8 / 3.6 / 2.3.
     let avg = average_overheads(&rows);
-    assert!((avg[0] - PAPER_AVG_OVERHEAD[0]).abs() < 0.04, "HiPerRF {avg:?}");
-    assert!((avg[1] - PAPER_AVG_OVERHEAD[1]).abs() < 0.03, "dual {avg:?}");
-    assert!((avg[2] - PAPER_AVG_OVERHEAD[2]).abs() < 0.03, "ideal {avg:?}");
+    assert!(
+        (avg[0] - PAPER_AVG_OVERHEAD[0]).abs() < 0.04,
+        "HiPerRF {avg:?}"
+    );
+    assert!(
+        (avg[1] - PAPER_AVG_OVERHEAD[1]).abs() < 0.03,
+        "dual {avg:?}"
+    );
+    assert!(
+        (avg[2] - PAPER_AVG_OVERHEAD[2]).abs() < 0.03,
+        "ideal {avg:?}"
+    );
 
     // The ideal compiler never does worse than the real banked schedule.
     for row in &rows {
@@ -77,7 +93,10 @@ fn mcf_is_raw_bound_and_libquantum_is_not() {
     // originals: pointer chasing (mcf) stalls on RAW far more than the
     // streaming bit kernel (libquantum), relative to work done.
     let stats_for = |name: &str| {
-        let w = suite().into_iter().find(|w| w.name == name).expect("workload exists");
+        let w = suite()
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("workload exists");
         let prog = assemble(&w.source, 0).expect("assembles");
         let mut cpu = GateLevelCpu::new(RfDesign::NdroBaseline, PipelineConfig::sodor());
         cpu.run(&prog, w.mem_size, w.budget).expect("runs").stats
@@ -86,5 +105,8 @@ fn mcf_is_raw_bound_and_libquantum_is_not() {
     let libq = stats_for("462.libquantum");
     let mcf_raw = mcf.raw_stall_cycles as f64 / mcf.retired as f64;
     let libq_raw = libq.raw_stall_cycles as f64 / libq.retired as f64;
-    assert!(mcf_raw > libq_raw, "mcf {mcf_raw:.1} vs libquantum {libq_raw:.1}");
+    assert!(
+        mcf_raw > libq_raw,
+        "mcf {mcf_raw:.1} vs libquantum {libq_raw:.1}"
+    );
 }

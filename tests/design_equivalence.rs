@@ -7,6 +7,7 @@ use hiperrf::budget::{dual_banked_budget, hiperrf_budget, ndro_rf_budget};
 use hiperrf::config::RfGeometry;
 use hiperrf::hiperrf_rf::HiPerRf;
 use hiperrf::ndro_rf::NdroRf;
+use hiperrf::RegisterFile;
 use sfq_workloads::Lcg;
 
 /// Drives all three structural designs through the same random operation

@@ -5,6 +5,7 @@
 
 use hiperrf::config::RfGeometry;
 use hiperrf::hiperrf_rf::HiPerRf;
+use hiperrf::RegisterFile;
 use sfq_cells::builder::CircuitBuilder;
 use sfq_cells::composite::{build_hc_clk, build_hc_write};
 use sfq_cells::storage::HcDro;
@@ -79,7 +80,13 @@ fn power_on_reset_clears_every_stateful_cell() {
 fn full_size_structural_hiperrf_round_trips() {
     // The paper-size 32×32 file: ~17k cells, full pulse-level operation.
     let mut rf = HiPerRf::new(RfGeometry::paper_32x32());
-    let values = [0xdead_beefu64, 0x0000_0001, 0x8000_0000, 0xffff_ffff, 0x1234_5678];
+    let values = [
+        0xdead_beefu64,
+        0x0000_0001,
+        0x8000_0000,
+        0xffff_ffff,
+        0x1234_5678,
+    ];
     for (i, &v) in values.iter().enumerate() {
         rf.write(i * 7 % 32, v);
     }
@@ -107,8 +114,14 @@ fn simulator_handles_simultaneous_events_deterministically() {
             let m = b.merger();
             let mut sim = Simulator::new(b.finish());
             let p = sim.probe(Pin::new(m, sfq_cells::transport::Merger::OUT), "out");
-            sim.inject(Pin::new(m, sfq_cells::transport::Merger::IN_A), Time::from_ps(5.0));
-            sim.inject(Pin::new(m, sfq_cells::transport::Merger::IN_B), Time::from_ps(5.0));
+            sim.inject(
+                Pin::new(m, sfq_cells::transport::Merger::IN_A),
+                Time::from_ps(5.0),
+            );
+            sim.inject(
+                Pin::new(m, sfq_cells::transport::Merger::IN_B),
+                Time::from_ps(5.0),
+            );
             sim.run();
             sim.probe_trace(p).pulses().to_vec()
         })

@@ -18,8 +18,18 @@ fn rel_err(ours: f64, paper: f64) -> f64 {
 fn table1_jj_counts_within_5_percent() {
     for (i, g) in RfGeometry::paper_sizes().iter().enumerate() {
         assert!(rel_err(ndro_rf_budget(*g).jj_total() as f64, t12::JJ_NDRO[i] as f64) < 0.01);
-        assert!(rel_err(hiperrf_budget(*g).jj_total() as f64, t12::JJ_HIPERRF[i] as f64) < 0.05);
-        assert!(rel_err(dual_banked_budget(*g).jj_total() as f64, t12::JJ_DUAL[i] as f64) < 0.02);
+        assert!(
+            rel_err(
+                hiperrf_budget(*g).jj_total() as f64,
+                t12::JJ_HIPERRF[i] as f64
+            ) < 0.05
+        );
+        assert!(
+            rel_err(
+                dual_banked_budget(*g).jj_total() as f64,
+                t12::JJ_DUAL[i] as f64
+            ) < 0.02
+        );
     }
 }
 
@@ -28,7 +38,10 @@ fn table1_headline_savings() {
     // Paper abstract: 56.1% JJ reduction at 32×32 (43.93% of baseline).
     let g = RfGeometry::paper_32x32();
     let frac = hiperrf_budget(g).jj_total() as f64 / ndro_rf_budget(g).jj_total() as f64;
-    assert!((frac - 0.4393).abs() < 0.02, "fraction of baseline was {frac:.4}");
+    assert!(
+        (frac - 0.4393).abs() < 0.02,
+        "fraction of baseline was {frac:.4}"
+    );
 }
 
 #[test]
@@ -45,7 +58,10 @@ fn table2_headline_power_saving() {
     // Paper abstract: 46.2% static-power reduction at 32×32.
     let g = RfGeometry::paper_32x32();
     let frac = hiperrf_budget(g).static_power_uw() / ndro_rf_budget(g).static_power_uw();
-    assert!((frac - 0.5385).abs() < 0.02, "fraction of baseline power was {frac:.4}");
+    assert!(
+        (frac - 0.5385).abs() < 0.02,
+        "fraction of baseline power was {frac:.4}"
+    );
 }
 
 #[test]
@@ -60,9 +76,16 @@ fn table3_readout_delays_exact() {
 #[test]
 fn table4_wire_delays() {
     let g = RfGeometry::paper_32x32();
-    let designs = [RfDesign::NdroBaseline, RfDesign::HiPerRf, RfDesign::DualBanked];
+    let designs = [
+        RfDesign::NdroBaseline,
+        RfDesign::HiPerRf,
+        RfDesign::DualBanked,
+    ];
     for (d, paper) in designs.iter().zip(t34::READOUT_WIRES) {
-        assert!((readout_delay_with_wires_ps(*d, g) - paper).abs() < 0.1, "{d:?}");
+        assert!(
+            (readout_delay_with_wires_ps(*d, g) - paper).abs() < 0.1,
+            "{d:?}"
+        );
     }
     let lb_hi = loopback_latency_ps(RfDesign::HiPerRf, g).expect("loopback exists");
     let lb_dual = loopback_latency_ps(RfDesign::DualBanked, g).expect("loopback exists");
@@ -94,13 +117,25 @@ fn figure14_shape_on_three_benchmarks() {
         assert!(row.overhead[1] >= row.overhead[2], "{row:?}");
         assert!(row.overhead[2] > -0.005, "{row:?}");
         // Baseline CPI in the paper's band (~30 gate cycles).
-        assert!(row.baseline_cpi > 15.0 && row.baseline_cpi < 45.0, "{row:?}");
+        assert!(
+            row.baseline_cpi > 15.0 && row.baseline_cpi < 45.0,
+            "{row:?}"
+        );
     }
     let avg = average_overheads(&rows);
     // Within a few points of the paper's averages.
-    assert!((avg[0] - PAPER_AVG_OVERHEAD[0]).abs() < 0.05, "HiPerRF avg {avg:?}");
-    assert!((avg[1] - PAPER_AVG_OVERHEAD[1]).abs() < 0.03, "dual avg {avg:?}");
-    assert!((avg[2] - PAPER_AVG_OVERHEAD[2]).abs() < 0.03, "ideal avg {avg:?}");
+    assert!(
+        (avg[0] - PAPER_AVG_OVERHEAD[0]).abs() < 0.05,
+        "HiPerRF avg {avg:?}"
+    );
+    assert!(
+        (avg[1] - PAPER_AVG_OVERHEAD[1]).abs() < 0.03,
+        "dual avg {avg:?}"
+    );
+    assert!(
+        (avg[2] - PAPER_AVG_OVERHEAD[2]).abs() < 0.03,
+        "ideal avg {avg:?}"
+    );
 }
 
 #[test]
@@ -110,7 +145,10 @@ fn advantage_grows_with_register_count() {
         let g = RfGeometry::new(regs, 32).expect("valid");
         let saving =
             1.0 - hiperrf_budget(g).jj_total() as f64 / ndro_rf_budget(g).jj_total() as f64;
-        assert!(saving > prev_saving, "saving must grow with size ({regs} regs)");
+        assert!(
+            saving > prev_saving,
+            "saving must grow with size ({regs} regs)"
+        );
         prev_saving = saving;
     }
     assert!(prev_saving > 0.59, "large files save ~60%: {prev_saving}");

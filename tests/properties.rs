@@ -16,6 +16,7 @@ use hiperrf::arch::{ArchRf, LOOPBACK_RF_CYCLES};
 use hiperrf::config::RfGeometry;
 use hiperrf::delay::RfDesign;
 use hiperrf::hiperrf_rf::HiPerRf;
+use hiperrf::RegisterFile;
 use sfq_cells::builder::CircuitBuilder;
 use sfq_cells::storage::HcDro;
 use sfq_riscv::decode::decode;
@@ -37,10 +38,23 @@ fn random_instr(rng: &mut Rng64) -> Instr {
     let imm12 = |rng: &mut Rng64| random_range(rng, -2048, 2047);
     let upper = |rng: &mut Rng64| (rng.next_below(0x10_0000) as u32) << 12;
     match rng.next_below(12) {
-        0 => Instr::Lui { rd: random_reg(rng), imm: upper(rng) },
-        1 => Instr::Auipc { rd: random_reg(rng), imm: upper(rng) },
-        2 => Instr::Jal { rd: random_reg(rng), offset: random_range(rng, -262_144, 262_143) * 2 },
-        3 => Instr::Jalr { rd: random_reg(rng), rs1: random_reg(rng), offset: imm12(rng) },
+        0 => Instr::Lui {
+            rd: random_reg(rng),
+            imm: upper(rng),
+        },
+        1 => Instr::Auipc {
+            rd: random_reg(rng),
+            imm: upper(rng),
+        },
+        2 => Instr::Jal {
+            rd: random_reg(rng),
+            offset: random_range(rng, -262_144, 262_143) * 2,
+        },
+        3 => Instr::Jalr {
+            rd: random_reg(rng),
+            rs1: random_reg(rng),
+            offset: imm12(rng),
+        },
         4 => {
             let cond = [
                 BranchCond::Eq,
@@ -58,13 +72,28 @@ fn random_instr(rng: &mut Rng64) -> Instr {
             }
         }
         5 => {
-            let width = [LoadWidth::B, LoadWidth::H, LoadWidth::W, LoadWidth::Bu, LoadWidth::Hu]
-                [rng.next_below(5)];
-            Instr::Load { width, rd: random_reg(rng), rs1: random_reg(rng), offset: imm12(rng) }
+            let width = [
+                LoadWidth::B,
+                LoadWidth::H,
+                LoadWidth::W,
+                LoadWidth::Bu,
+                LoadWidth::Hu,
+            ][rng.next_below(5)];
+            Instr::Load {
+                width,
+                rd: random_reg(rng),
+                rs1: random_reg(rng),
+                offset: imm12(rng),
+            }
         }
         6 => {
             let width = [StoreWidth::B, StoreWidth::H, StoreWidth::W][rng.next_below(3)];
-            Instr::Store { width, rs2: random_reg(rng), rs1: random_reg(rng), offset: imm12(rng) }
+            Instr::Store {
+                width,
+                rs2: random_reg(rng),
+                rs1: random_reg(rng),
+                offset: imm12(rng),
+            }
         }
         7 => {
             let op = [
@@ -75,7 +104,12 @@ fn random_instr(rng: &mut Rng64) -> Instr {
                 AluImmOp::Ori,
                 AluImmOp::Andi,
             ][rng.next_below(6)];
-            Instr::AluImm { op, rd: random_reg(rng), rs1: random_reg(rng), imm: imm12(rng) }
+            Instr::AluImm {
+                op,
+                rd: random_reg(rng),
+                rs1: random_reg(rng),
+                imm: imm12(rng),
+            }
         }
         8 => {
             let op = [AluImmOp::Slli, AluImmOp::Srli, AluImmOp::Srai][rng.next_below(3)];
@@ -99,7 +133,12 @@ fn random_instr(rng: &mut Rng64) -> Instr {
                 AluOp::Or,
                 AluOp::And,
             ][rng.next_below(10)];
-            Instr::Alu { op, rd: random_reg(rng), rs1: random_reg(rng), rs2: random_reg(rng) }
+            Instr::Alu {
+                op,
+                rd: random_reg(rng),
+                rs1: random_reg(rng),
+                rs2: random_reg(rng),
+            }
         }
         10 => Instr::Fence,
         _ => [Instr::Ecall, Instr::Ebreak][rng.next_below(2)],
@@ -147,12 +186,19 @@ fn hcdro_conserves_fluxons() {
                 sim.inject(Pin::new(cell, HcDro::D), Time::from_ps(10.0 * f64::from(i)));
             }
             for i in 0..reads {
-                sim.inject(Pin::new(cell, HcDro::CLK), Time::from_ps(200.0 + 10.0 * f64::from(i)));
+                sim.inject(
+                    Pin::new(cell, HcDro::CLK),
+                    Time::from_ps(200.0 + 10.0 * f64::from(i)),
+                );
             }
             sim.run();
             let stored_in = writes.min(3);
             let popped = stored_in.min(reads);
-            assert_eq!(sim.probe_trace(probe).len(), popped as usize, "w={writes} r={reads}");
+            assert_eq!(
+                sim.probe_trace(probe).len(),
+                popped as usize,
+                "w={writes} r={reads}"
+            );
             assert_eq!(
                 sim.netlist().component(cell).stored(),
                 Some(stored_in - popped),
@@ -184,7 +230,11 @@ fn structural_hiperrf_matches_array_model() {
                 assert_eq!(rf.peek(reg), model[reg], "case {case}");
             }
         }
-        assert!(rf.violations().is_empty(), "case {case}: {:?}", rf.violations());
+        assert!(
+            rf.violations().is_empty(),
+            "case {case}: {:?}",
+            rf.violations()
+        );
     }
 }
 
@@ -203,7 +253,8 @@ fn arch_model_never_loses_data_under_legal_schedule() {
             let value = rng.next_u64();
             rf.advance(LOOPBACK_RF_CYCLES);
             if rng.next_u64() & 1 == 0 {
-                rf.write(reg, value).expect("legal schedule never trips hazards");
+                rf.write(reg, value)
+                    .expect("legal schedule never trips hazards");
                 model[reg] = value;
             } else {
                 let got = rf.read(reg).expect("legal schedule never trips hazards");
@@ -220,6 +271,9 @@ fn arch_model_rejects_rapid_rereads() {
         rf.write(reg, 7).expect("first write is legal");
         rf.advance(LOOPBACK_RF_CYCLES);
         rf.read(reg).expect("first read is legal");
-        assert!(rf.read(reg).is_err(), "same-cycle re-read must be a RAR hazard");
+        assert!(
+            rf.read(reg).is_err(),
+            "same-cycle re-read must be a RAR hazard"
+        );
     }
 }

@@ -7,6 +7,7 @@ use hiperrf::config::RfGeometry;
 use hiperrf::hiperrf_rf::HiPerRf;
 use hiperrf::margins::{soak_passes, yield_curve, Design};
 use hiperrf::ndro_rf::NdroRf;
+use hiperrf::RegisterFile;
 use hiperrf_bench::robustness::{faults_report, margins_table, REPORT_SEED};
 use sfq_sim::prelude::*;
 
@@ -16,7 +17,13 @@ fn margins_smoke_report_renders_with_all_shape_checks() {
     // (clock-less window wider than clocked, constants recovered, yield
     // monotone), so rendering it is the test.
     let report = margins_table(true);
-    for marker in ["NDRO baseline", "HiPerRF", "dual-banked", "clocked reference", "yield"] {
+    for marker in [
+        "NDRO baseline",
+        "HiPerRF",
+        "dual-banked",
+        "clocked reference",
+        "yield",
+    ] {
         assert!(report.contains(marker), "missing `{marker}` in:\n{report}");
     }
 }
@@ -52,7 +59,10 @@ fn delay_variation_eventually_breaks_every_design() {
     let g = RfGeometry::paper_4x4();
     for design in Design::ALL {
         let broken = (0..4).any(|i| !soak_passes(design, g, 0.5, REPORT_SEED + i));
-        assert!(broken, "{design} soaks clean at sigma 0.5 for every probed seed");
+        assert!(
+            broken,
+            "{design} soaks clean at sigma 0.5 for every probed seed"
+        );
     }
 }
 

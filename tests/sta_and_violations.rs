@@ -7,6 +7,7 @@ use std::collections::HashSet;
 use hiperrf::config::RfGeometry;
 use hiperrf::demux::{build_demux, sel_head_start};
 use hiperrf::hc_rf::build_hc_rf;
+use hiperrf::RegisterFile;
 use sfq_cells::builder::CircuitBuilder;
 use sfq_cells::sta::{arrival_times, StaError};
 use sfq_cells::storage::HcDro;
@@ -29,7 +30,10 @@ fn sta_confirms_demux_traverse_latency() {
         // component input is (levels-1) * prop.
         let expected = (levels as f64 - 1.0) * NDROC_PROP_PS;
         let cp = times.critical_path_ps().expect("reachable");
-        assert!((cp - expected).abs() < 1e-9, "levels {levels}: cp {cp} vs {expected}");
+        assert!(
+            (cp - expected).abs() < 1e-9,
+            "levels {levels}: cp {cp} vs {expected}"
+        );
     }
 }
 
@@ -63,7 +67,10 @@ fn sta_with_loopbuffer_cut_bounds_read_path() {
     let times = arrival_times(&netlist, &[ports.read_enable], &cuts).expect("cut breaks the loop");
     let cp = times.critical_path_ps().expect("read path reachable");
     let model = hiperrf::delay::readout_delay_ps(hiperrf::delay::RfDesign::HiPerRf, g);
-    assert!(cp > 0.3 * model && cp < 1.2 * model, "sta {cp} vs model {model}");
+    assert!(
+        cp > 0.3 * model && cp < 1.2 * model,
+        "sta {cp} vs model {model}"
+    );
 }
 
 #[test]
@@ -155,7 +162,11 @@ fn degrade_on_ndroc_rearm_loses_the_pulse_without_misrouting() {
     sim.inject(demux.enable, Time::from_ps(40.0)); // 20 ps later: violates re-arm
     sim.run();
     let counts: Vec<_> = probes.iter().map(|&p| sim.probe_trace(p).len()).collect();
-    assert_eq!(counts, vec![0, 0, 1, 0], "second enable must vanish, not misroute");
+    assert_eq!(
+        counts,
+        vec![0, 0, 1, 0],
+        "second enable must vanish, not misroute"
+    );
     assert!(sim.violations().iter().any(|v| v.kind == "re-arm"));
     assert!(sim.degraded_drops() >= 1);
 }
@@ -180,8 +191,10 @@ fn record_policy_is_byte_identical_to_the_default() {
         demux.select_and_fire(&mut sim, 3, Time::from_ps(0.0), Time::from_ps(20.0));
         sim.inject(demux.enable, Time::from_ps(40.0)); // marginal re-fire
         sim.run();
-        let traces: Vec<Vec<Time>> =
-            probes.iter().map(|&p| sim.probe_trace(p).pulses().to_vec()).collect();
+        let traces: Vec<Vec<Time>> = probes
+            .iter()
+            .map(|&p| sim.probe_trace(p).pulses().to_vec())
+            .collect();
         (traces, sim.violations().to_vec())
     };
     assert_eq!(run(false), run(true));
