@@ -10,6 +10,7 @@ use hiperrf::harness::RegisterFile;
 use hiperrf::hiperrf_rf::HiPerRf;
 use hiperrf::ndro_rf::NdroRf;
 use hiperrf_bench::microbench::{bench, group};
+use sfq_sim::prelude::SchedulerKind;
 use std::hint::black_box;
 
 fn main() {
@@ -51,5 +52,18 @@ fn main() {
         rf.write(2, 0b0011);
         rf.write(3, 0b1100);
         bench("read_pair_4x4", || black_box(rf.read_pair(3, 2)));
+    }
+
+    // Same restoring-read workload on each event-queue implementation:
+    // the calendar queue's pop is O(events-in-bucket) against the heap's
+    // O(log n), on identical pulse schedules.
+    group("event_schedulers");
+    for kind in SchedulerKind::ALL {
+        let mut rf = HiPerRf::new(RfGeometry::paper_16x16());
+        rf.set_scheduler(kind);
+        rf.write(7, 0xabcd);
+        bench(&format!("restoring_read_16x16/{kind}"), || {
+            black_box(rf.read(7))
+        });
     }
 }

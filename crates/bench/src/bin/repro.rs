@@ -13,11 +13,15 @@
 //! repro margins      Variation-aware margin tables + yield curves
 //! repro faults       Fault-injection demonstrations
 //! repro designs      Registry smoke matrix: every design, built + driven
-//! repro all          Everything above, in order
+//! repro perf         Simulator-core wall clock: schedulers + MC threads
+//! repro all          Everything above, in order, with a phase-time table
 //! ```
 //!
-//! `margins`, `faults`, and `designs` accept `--smoke` for the fast CI
-//! path.
+//! `margins`, `faults`, `designs`, and `perf` accept `--smoke` for the
+//! fast CI path. `--threads N` pins the Monte Carlo worker count for the
+//! process (it sets `HIPERRF_THREADS`); the default is the machine's
+//! available parallelism. Every section prints its wall-clock time, and
+//! `repro all` ends with the per-section timing table.
 
 use hiperrf::budget::{hiperrf_budget, ndro_rf_budget, structural_budget};
 use hiperrf::config::RfGeometry;
@@ -28,8 +32,10 @@ use hiperrf_bench::ablations::{
     prediction_report, schedule_report, shift_register_report,
 };
 use hiperrf_bench::figure14::{average_overheads, figure14, render as render_fig14};
+use hiperrf_bench::perf::{format_duration, perf_report, PhaseTimer};
 use hiperrf_bench::reports::{
-    budget_breakdown_report, render_table1, render_table2, render_table3, table4_report,
+    budget_breakdown_report, render_sim_stats, render_table1, render_table2, render_table3,
+    table4_report,
 };
 use hiperrf_bench::robustness::{faults_report, margins_table};
 use hiperrf_bench::timing_diagrams::all_diagrams;
@@ -231,7 +237,7 @@ fn designs_report(smoke: bool) -> String {
     };
     let _ = writeln!(
         out,
-        "{:<16} {:>12} {:>8} {:>10} {:>12}",
+        "{:<16} {:>12} {:>8} {:>10} {:>12}   scheduler load",
         "design", "size", "JJs", "power/µW", "round trip"
     );
     for design in registry() {
@@ -243,14 +249,20 @@ fn designs_report(smoke: bool) -> String {
             let census = rf.census();
             let budget = structural_budget(design, g);
             assert_eq!(census, budget.census(), "{design} at {g}: census drift");
+            let stats = rf.sim_stats();
+            assert!(
+                stats.events_processed > 0 && stats.peak_queue_depth > 0,
+                "{design} at {g}: the round trip must exercise the scheduler"
+            );
             let _ = writeln!(
                 out,
-                "{:<16} {:>12} {:>8} {:>10.1} {:>12}",
+                "{:<16} {:>12} {:>8} {:>10.1} {:>12}   {}",
                 design.label(),
                 format!("{g}"),
                 census.jj_total(),
                 census.static_power_uw(),
-                "ok"
+                "ok",
+                render_sim_stats(stats)
             );
         }
     }
@@ -282,7 +294,9 @@ fn run(section: &str, smoke: bool) -> bool {
         "margins" => print!("{}", margins_table(smoke)),
         "faults" => print!("{}", faults_report(smoke)),
         "designs" => print!("{}", designs_report(smoke)),
+        "perf" => print!("{}", perf_report(smoke)),
         "all" => {
+            let mut timer = PhaseTimer::new();
             for s in [
                 "table1",
                 "table2",
@@ -297,10 +311,12 @@ fn run(section: &str, smoke: bool) -> bool {
                 "margins",
                 "faults",
                 "designs",
+                "perf",
             ] {
-                run(s, smoke);
+                timer.time(s, || run(s, smoke));
                 println!();
             }
+            print!("{}", timer.render());
         }
         _ => return false,
     }
@@ -310,17 +326,47 @@ fn run(section: &str, smoke: bool) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(threads) = parse_threads(&args) {
+        // `repro --threads N` pins the Monte Carlo worker count for this
+        // process; `par::available_threads` reads the variable back.
+        std::env::set_var(hiperrf::par::THREADS_ENV, threads.to_string());
+    }
     let section = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
+    let start = std::time::Instant::now();
     if !run(&section, smoke) {
         eprintln!(
             "unknown section `{section}`; expected one of: table1 table2 table3 table4 \
-             budget figure14 chip figure15 timing ablations margins faults designs all \
-             (margins/faults/designs accept --smoke)"
+             budget figure14 chip figure15 timing ablations margins faults designs perf all \
+             (margins/faults/designs/perf accept --smoke; --threads N pins MC workers)"
         );
         std::process::exit(2);
     }
+    println!("[{section}: {}]", format_duration(start.elapsed()));
+}
+
+/// Parses `--threads N` / `--threads=N`, exiting with a usage error on a
+/// malformed value.
+fn parse_threads(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--threads" {
+            it.next().cloned()
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        match value.as_deref().map(str::parse::<usize>) {
+            Some(Ok(n)) if n > 0 => return Some(n),
+            _ => {
+                eprintln!("--threads expects a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    None
 }

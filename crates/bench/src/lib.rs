@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod figure14;
 #[cfg(feature = "bench")]
 pub mod microbench;
+pub mod perf;
 pub mod reports;
 pub mod robustness;
 pub mod timing_diagrams;

@@ -1,0 +1,305 @@
+//! `repro perf` — wall-clock instrumentation of the simulator core.
+//!
+//! Two measurements, each doubling as a correctness check:
+//!
+//! * **calendar queue vs reference heap** — the same register-file soak on
+//!   both schedulers must produce identical reads, violations, and event
+//!   counts; the table reports wall clock, events processed, peak queue
+//!   depth, and throughput for each.
+//! * **parallel Monte Carlo scaling** — the same yield/jitter sweep on
+//!   1..N worker threads must produce bit-identical reports; the table
+//!   reports wall clock and speedup vs the sequential run.
+//!
+//! Numbers are honest wall-clock measurements on the machine running the
+//! report (a single-core host shows ~1× thread scaling; the determinism
+//! assertions hold regardless).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use hiperrf::config::RfGeometry;
+use hiperrf::designs::registry;
+use hiperrf::margins::{monte_carlo_jitter_with_threads, yield_curve_with_threads, Design};
+use hiperrf::par;
+use sfq_sim::prelude::SchedulerKind;
+use sfq_sim::simulator::SimStats;
+
+use crate::robustness::REPORT_SEED;
+
+/// Accumulates named wall-clock phases and renders them as a table.
+///
+/// Backs the per-section timing summary that `repro` prints after
+/// multi-phase runs.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimer {
+    /// An empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, records its wall-clock time under `label`, and returns
+    /// its result.
+    pub fn time<T>(&mut self, label: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.phases.push((label.to_string(), start.elapsed()));
+        out
+    }
+
+    /// The recorded `(label, elapsed)` pairs, in execution order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Renders the phases as an aligned wall-clock table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "-- wall-clock per phase --");
+        let _ = writeln!(out, "{:<24} {:>12}", "phase", "wall clock");
+        let total: Duration = self.phases.iter().map(|(_, d)| *d).sum();
+        for (label, elapsed) in &self.phases {
+            let _ = writeln!(out, "{:<24} {:>12}", label, format_duration(*elapsed));
+        }
+        let _ = writeln!(out, "{:<24} {:>12}", "TOTAL", format_duration(total));
+        out
+    }
+}
+
+/// Renders a wall-clock duration with a unit that keeps 3-4 significant
+/// digits.
+pub fn format_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// One scheduler's measurement from the soak workload.
+#[derive(Debug)]
+struct SchedulerRun {
+    kind: SchedulerKind,
+    wall: Duration,
+    stats: SimStats,
+    /// Read-back values + violation count — compared across schedulers.
+    observed: (Vec<u64>, usize),
+}
+
+/// Write-all/read-all soak of one design on one scheduler.
+fn soak_on(design: Design, g: RfGeometry, kind: SchedulerKind, rounds: u32) -> SchedulerRun {
+    let start = Instant::now();
+    let mut rf = design.build(g);
+    rf.set_scheduler(kind);
+    let mask = if g.width() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << g.width()) - 1
+    };
+    let mut reads = Vec::new();
+    for round in 0..rounds {
+        for reg in 0..g.registers() {
+            rf.write(
+                reg,
+                (0x9E37_79B9 ^ (u64::from(round) << 8) ^ reg as u64) & mask,
+            );
+        }
+        for reg in 0..g.registers() {
+            reads.push(rf.read(reg));
+        }
+    }
+    SchedulerRun {
+        kind,
+        wall: start.elapsed(),
+        stats: rf.sim_stats(),
+        observed: (reads, rf.violations().len()),
+    }
+}
+
+/// The scheduler comparison table: every registered design soaked on both
+/// queue implementations, with a cross-scheduler equality assertion.
+fn scheduler_section(smoke: bool) -> String {
+    let g = if smoke {
+        RfGeometry::paper_4x4()
+    } else {
+        RfGeometry::paper_16x16()
+    };
+    let rounds = if smoke { 1 } else { 2 };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- event schedulers: write-all/read-all soak at {g}, {rounds} round(s) --"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:<16} {:>10} {:>10} {:>10} {:>12}",
+        "design", "scheduler", "wall", "events", "peak q", "events/s"
+    );
+    for design in registry() {
+        let runs: Vec<SchedulerRun> = SchedulerKind::ALL
+            .iter()
+            .map(|&kind| soak_on(design, g, kind, rounds))
+            .collect();
+        for pair in runs.windows(2) {
+            assert_eq!(
+                pair[0].observed, pair[1].observed,
+                "{design}: {} and {} disagree on reads/violations",
+                pair[0].kind, pair[1].kind
+            );
+            assert_eq!(
+                pair[0].stats.events_processed, pair[1].stats.events_processed,
+                "{design}: schedulers processed different event counts"
+            );
+        }
+        for run in &runs {
+            let throughput = run.stats.events_processed as f64 / run.wall.as_secs_f64();
+            let _ = writeln!(
+                out,
+                "{:<16} {:<16} {:>10} {:>10} {:>10} {:>12.2e}",
+                design.label(),
+                run.kind.label(),
+                format_duration(run.wall),
+                run.stats.events_processed,
+                run.stats.peak_queue_depth,
+                throughput
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "check: both schedulers agree on every read, violation, and event count"
+    );
+    out
+}
+
+/// The thread-scaling table: the same Monte Carlo sweeps on 1..N worker
+/// threads, with a bit-identity assertion against the sequential run.
+fn threads_section(smoke: bool) -> String {
+    let mut threads: Vec<usize> = vec![1, 2, 4];
+    let avail = par::available_threads();
+    if !threads.contains(&avail) {
+        threads.push(avail);
+        threads.sort_unstable();
+    }
+
+    let (jitter_g, jitter_trials) = if smoke {
+        (RfGeometry::paper_4x4(), 8u32)
+    } else {
+        (RfGeometry::paper_32x32(), 24u32)
+    };
+    let (yield_g, yield_trials) = (RfGeometry::paper_4x4(), if smoke { 4u32 } else { 8 });
+    let sigmas = [0.0, 0.05, 0.10];
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- deterministic parallel Monte Carlo (default worker count {avail}) --"
+    );
+    let _ = writeln!(
+        out,
+        "workload A: jitter MC, {jitter_g} HiPerRF, {jitter_trials} trials"
+    );
+    let _ = writeln!(
+        out,
+        "workload B: yield curve, {yield_g} {}, {yield_trials} trials x {} sigmas",
+        Design::HiPerRf.label(),
+        sigmas.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>14} {:>9} {:>14} {:>9}   bit-identical",
+        "threads", "A wall", "A speed", "B wall", "B speed"
+    );
+
+    let mut baseline: Option<(Duration, Duration)> = None;
+    let mut reference = None;
+    for &t in &threads {
+        let start = Instant::now();
+        let jitter = monte_carlo_jitter_with_threads(jitter_g, 6.0, jitter_trials, REPORT_SEED, t);
+        let jitter_wall = start.elapsed();
+        let start = Instant::now();
+        let curve = yield_curve_with_threads(
+            Design::HiPerRf,
+            yield_g,
+            &sigmas,
+            yield_trials,
+            REPORT_SEED,
+            t,
+        );
+        let yield_wall = start.elapsed();
+
+        match &reference {
+            None => reference = Some((jitter, curve.clone())),
+            Some((j0, c0)) => {
+                assert_eq!(&jitter, j0, "jitter MC differs at {t} threads");
+                assert_eq!(&curve, c0, "yield curve differs at {t} threads");
+            }
+        }
+        let (j_base, y_base) = *baseline.get_or_insert((jitter_wall, yield_wall));
+        let _ = writeln!(
+            out,
+            "{:>8} {:>14} {:>8.2}x {:>14} {:>8.2}x   yes",
+            t,
+            format_duration(jitter_wall),
+            j_base.as_secs_f64() / jitter_wall.as_secs_f64(),
+            format_duration(yield_wall),
+            y_base.as_secs_f64() / yield_wall.as_secs_f64(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "check: every thread count reproduced the 1-thread reports bit for bit"
+    );
+    out
+}
+
+/// The full `repro perf` report.
+///
+/// # Panics
+///
+/// Panics if the schedulers disagree on any observable, or if any thread
+/// count fails to reproduce the sequential Monte Carlo reports exactly.
+pub fn perf_report(smoke: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Simulator-core performance (seed {REPORT_SEED:#x}) =="
+    );
+    let mut timer = PhaseTimer::new();
+    let schedulers = timer.time("schedulers", || scheduler_section(smoke));
+    let threads = timer.time("parallel MC", || threads_section(smoke));
+    let _ = writeln!(out, "\n{schedulers}");
+    let _ = writeln!(out, "{threads}");
+    let _ = write!(out, "{}", timer.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_report_smoke_renders_and_asserts() {
+        let r = perf_report(true);
+        assert!(r.contains("event schedulers"), "{r}");
+        assert!(r.contains("bit for bit"), "{r}");
+        assert!(r.contains("wall-clock per phase"), "{r}");
+    }
+
+    #[test]
+    fn phase_timer_renders_all_phases() {
+        let mut t = PhaseTimer::new();
+        let x = t.time("alpha", || 41 + 1);
+        assert_eq!(x, 42);
+        t.time("beta", || ());
+        let table = t.render();
+        assert!(table.contains("alpha") && table.contains("beta") && table.contains("TOTAL"));
+        assert_eq!(t.phases().len(), 2);
+    }
+}

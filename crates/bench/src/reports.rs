@@ -11,6 +11,16 @@ use hiperrf::config::RfGeometry;
 use hiperrf::delay::{paper as delay_paper, readout_delay_ps, RfDesign};
 use hiperrf::designs::Design;
 use sfq_chip::pnr;
+use sfq_sim::simulator::SimStats;
+
+/// Renders a simulator's cumulative scheduler counters as one compact
+/// report cell: `<events> ev / peak <depth>`.
+pub fn render_sim_stats(stats: SimStats) -> String {
+    format!(
+        "{} ev / peak {}",
+        stats.events_processed, stats.peak_queue_depth
+    )
+}
 
 /// A measured-vs-paper value for one design at one geometry.
 #[derive(Debug, Clone, PartialEq)]

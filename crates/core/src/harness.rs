@@ -12,7 +12,8 @@
 use sfq_cells::Census;
 use sfq_sim::fault::FaultPlan;
 use sfq_sim::netlist::Netlist;
-use sfq_sim::simulator::Simulator;
+use sfq_sim::queue::SchedulerKind;
+use sfq_sim::simulator::{SimStats, Simulator};
 use sfq_sim::time::{Duration, Time};
 use sfq_sim::violation::{Violation, ViolationPolicy};
 
@@ -110,6 +111,28 @@ impl RfHarness {
         self.sim.degraded_drops()
     }
 
+    /// Cumulative scheduler statistics (events processed, peak queue
+    /// depth, simulated time advanced).
+    pub fn sim_stats(&self) -> SimStats {
+        self.sim.stats()
+    }
+
+    /// The event-queue implementation the simulator is running on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.sim.scheduler_kind()
+    }
+
+    /// Switches the event-queue implementation. Only legal while no events
+    /// are in flight — designs are built quiescent, so the differential
+    /// suite calls this right after construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are pending in the queue.
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        self.sim.set_scheduler(kind);
+    }
+
     /// Panics if `reg` is out of range for the geometry.
     pub fn assert_reg(&self, reg: usize) {
         assert!(
@@ -205,5 +228,21 @@ pub trait RegisterFile {
     /// Pulses destroyed by the `Degrade` policy so far.
     fn degraded_drops(&self) -> u64 {
         self.harness().degraded_drops()
+    }
+
+    /// Cumulative scheduler statistics of the underlying simulator.
+    fn sim_stats(&self) -> SimStats {
+        self.harness().sim_stats()
+    }
+
+    /// The event-queue implementation the simulator is running on.
+    fn scheduler_kind(&self) -> SchedulerKind {
+        self.harness().scheduler_kind()
+    }
+
+    /// Switches the event-queue implementation (only while quiescent —
+    /// see [`RfHarness::set_scheduler`]).
+    fn set_scheduler(&mut self, kind: SchedulerKind) {
+        self.harness_mut().set_scheduler(kind);
     }
 }

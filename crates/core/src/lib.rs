@@ -76,6 +76,7 @@ pub mod hc_rf;
 pub mod hiperrf_rf;
 pub mod margins;
 pub mod ndro_rf;
+pub mod par;
 pub mod schedule;
 pub mod shift_rf;
 

@@ -43,6 +43,7 @@ use sfq_sim::violation::ViolationPolicy;
 use crate::config::RfGeometry;
 use crate::demux::{build_demux, sel_head_start};
 use crate::harness::RegisterFile;
+use crate::par;
 
 // The margin engine predates the design registry; its `Design` enum moved
 // there and is re-exported for compatibility. Every routine below builds
@@ -195,26 +196,38 @@ impl JitterReport {
 }
 
 /// Runs `trials` write+read round trips on the single-bank HiPerRF, each
-/// with an independent uniform skew in `[-jitter_ps, +jitter_ps]` drawn
-/// from a [`Rng64`] seeded with `seed`. The same seed always reproduces
-/// the same pass fraction.
+/// with an independent uniform skew in `[-jitter_ps, +jitter_ps]`. Trial
+/// `i` draws from the forked stream `Rng64::fork(seed, i)`, so each trial
+/// is a pure function of `(seed, i)`: the same seed always reproduces the
+/// same pass fraction, for any thread count and any trial execution order.
+///
+/// Runs on [`crate::par::available_threads`] workers; use
+/// [`monte_carlo_jitter_with_threads`] to pin the count.
 pub fn monte_carlo_jitter(
     geometry: RfGeometry,
     jitter_ps: f64,
     trials: u32,
     seed: u64,
 ) -> JitterReport {
-    let mut rng = Rng64::new(seed);
-    let mut passed = 0;
-    for _ in 0..trials {
-        let skew = (rng.next_f64() * 2.0 - 1.0) * jitter_ps;
-        if design_write_succeeds(Design::HiPerRf, geometry, skew) {
-            passed += 1;
-        }
-    }
+    monte_carlo_jitter_with_threads(geometry, jitter_ps, trials, seed, par::available_threads())
+}
+
+/// [`monte_carlo_jitter`] on an explicit number of worker threads. The
+/// report is bit-identical for every `threads` value.
+pub fn monte_carlo_jitter_with_threads(
+    geometry: RfGeometry,
+    jitter_ps: f64,
+    trials: u32,
+    seed: u64,
+    threads: usize,
+) -> JitterReport {
+    let outcomes = par::map_trials(trials, threads, |i| {
+        let skew = (Rng64::fork(seed, u64::from(i)).next_f64() * 2.0 - 1.0) * jitter_ps;
+        design_write_succeeds(Design::HiPerRf, geometry, skew)
+    });
     JitterReport {
         trials,
-        passed,
+        passed: outcomes.into_iter().filter(|&ok| ok).count() as u32,
         jitter_ps,
         seed,
     }
@@ -296,6 +309,11 @@ pub struct YieldCurve {
 /// every trial contributes a single threshold, the curve is monotone
 /// non-increasing in σ *by construction*, and the same `seed` always
 /// reproduces the same curve.
+///
+/// Trials (each a full critical-σ bisection) run on
+/// [`crate::par::available_threads`] workers; use
+/// [`yield_curve_with_threads`] to pin the count. The per-trial seeds are
+/// forked, so the curve is bit-identical for every thread count.
 pub fn yield_curve(
     design: Design,
     geometry: RfGeometry,
@@ -303,12 +321,29 @@ pub fn yield_curve(
     trials: u32,
     seed: u64,
 ) -> YieldCurve {
-    let criticals: Vec<f64> = (0..trials)
-        .map(|i| {
-            let trial_seed = Rng64::fork(seed, u64::from(i)).next_u64();
-            critical_sigma(design, geometry, trial_seed)
-        })
-        .collect();
+    yield_curve_with_threads(
+        design,
+        geometry,
+        sigmas,
+        trials,
+        seed,
+        par::available_threads(),
+    )
+}
+
+/// [`yield_curve`] on an explicit number of worker threads.
+pub fn yield_curve_with_threads(
+    design: Design,
+    geometry: RfGeometry,
+    sigmas: &[f64],
+    trials: u32,
+    seed: u64,
+    threads: usize,
+) -> YieldCurve {
+    let criticals: Vec<f64> = par::map_trials(trials, threads, |i| {
+        let trial_seed = Rng64::fork(seed, u64::from(i)).next_u64();
+        critical_sigma(design, geometry, trial_seed)
+    });
     let points = sigmas
         .iter()
         .map(|&s| {

@@ -1,0 +1,116 @@
+//! Deterministic fork-join parallelism for Monte Carlo trials.
+//!
+//! The margin engine's trials are embarrassingly parallel *and* already
+//! order-independent: every trial derives its own random stream with
+//! [`Rng64::fork`](sfq_sim::rng::Rng64::fork)`(seed, trial_index)` — a pure
+//! function of `(seed, index)`, one SplitMix64 mix of the XORed index — so
+//! trial `i` computes the same result no matter which thread runs it or
+//! how many trials ran before it. [`map_trials`] exploits that: it splits
+//! the index range into contiguous chunks, runs each chunk on a scoped
+//! `std::thread`, and reassembles results *by index*. The output is
+//! therefore bit-identical for any thread count, including 1 — the
+//! thread-invariance suite asserts it.
+//!
+//! Thread count selection ([`available_threads`]): the `HIPERRF_THREADS`
+//! environment variable if set (the `repro --threads` flag sets it for the
+//! process), else [`std::thread::available_parallelism`].
+
+/// Environment variable overriding the default worker-thread count.
+pub const THREADS_ENV: &str = "HIPERRF_THREADS";
+
+/// The default number of worker threads: `HIPERRF_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub fn available_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f(0) .. f(trials - 1)` across up to `threads` scoped threads and
+/// returns the results in index order.
+///
+/// `f` must be a pure function of its index (give each trial its own
+/// forked RNG stream); then the returned vector is bit-identical for every
+/// `threads` value. With `threads <= 1` or a single trial the closure runs
+/// on the calling thread — no spawn overhead on the sequential path.
+pub fn map_trials<T, F>(trials: u32, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u32) -> T + Sync,
+{
+    if threads <= 1 || trials <= 1 {
+        return (0..trials).map(f).collect();
+    }
+    let workers = threads.min(trials as usize);
+    // Contiguous chunks, sized within one of each other so late chunks
+    // cannot starve: the first `rem` chunks get one extra trial.
+    let base = trials / workers as u32;
+    let rem = (trials % workers as u32) as usize;
+    let mut chunks: Vec<std::ops::Range<u32>> = Vec::with_capacity(workers);
+    let mut start = 0u32;
+    for w in 0..workers {
+        let len = base + u32::from(w < rem);
+        chunks.push(start..start + len);
+        start += len;
+    }
+    let f = &f;
+    let mut out: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|range| scope.spawn(move || range.map(f).collect::<Vec<T>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial worker panicked"))
+            .collect()
+    });
+    let mut results = Vec::with_capacity(trials as usize);
+    for chunk in &mut out {
+        results.append(chunk);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let got = map_trials(17, threads, |i| i * i);
+            let want: Vec<u32> = (0..17).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // A forked-stream workload, the shape the margin engine uses.
+        let work = |threads: usize| {
+            map_trials(9, threads, |i| {
+                sfq_sim::rng::Rng64::fork(0xFEED, u64::from(i)).next_u64()
+            })
+        };
+        let sequential = work(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(work(threads), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn handles_more_threads_than_trials() {
+        assert_eq!(map_trials(2, 16, |i| i), vec![0, 1]);
+        assert_eq!(map_trials(0, 4, |i| i), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -11,7 +11,10 @@
 //! * fault-plan replay is deterministic under a fixed seed,
 //! * violation-policy behaviour: clean runs stay clean under `Degrade`,
 //!   `Record` never destroys pulses, and every `Degrade` drop is
-//!   explained by a recorded violation.
+//!   explained by a recorded violation,
+//! * scheduler independence: round trips behave identically on the
+//!   calendar queue and the reference heap, and the scheduler counters
+//!   stay sane (events flow, simulated time never runs backwards).
 
 use hiperrf::config::RfGeometry;
 use hiperrf::designs::{registry, Design};
@@ -151,6 +154,67 @@ fn zero_sigma_degrade_runs_stay_clean() {
         }
         assert_eq!(violations, 0, "{design}");
         assert_eq!(drops, 0, "{design}");
+    }
+}
+
+#[test]
+fn round_trips_hold_on_every_scheduler() {
+    // The same conformance sweep, parametrized over both event-queue
+    // implementations: a design must not care which scheduler it runs on.
+    for design in registry() {
+        let per_kind: Vec<(Vec<u64>, usize, u64)> = SchedulerKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut rf = design.build(small());
+                rf.set_scheduler(kind);
+                assert_eq!(rf.scheduler_kind(), kind, "{design}");
+                let g = rf.geometry();
+                for reg in 0..g.registers() {
+                    rf.write(reg, pattern(reg, g.width()));
+                }
+                let reads = (0..g.registers()).map(|reg| rf.read(reg)).collect();
+                (
+                    reads,
+                    rf.violations().len(),
+                    rf.sim_stats().events_processed,
+                )
+            })
+            .collect();
+        for pair in per_kind.windows(2) {
+            assert_eq!(pair[0], pair[1], "{design}: schedulers disagree");
+        }
+    }
+}
+
+#[test]
+fn sim_stats_are_sane_and_monotone() {
+    for design in registry() {
+        let mut rf = design.build(small());
+        let before = rf.sim_stats();
+        rf.write(1, 0b1010);
+        let after_write = rf.sim_stats();
+        assert!(
+            after_write.events_processed > before.events_processed,
+            "{design}: a write must process events"
+        );
+        assert!(
+            after_write.peak_queue_depth > 0,
+            "{design}: a write must enqueue events"
+        );
+        let _ = rf.read(1);
+        let after_read = rf.sim_stats();
+        assert!(
+            after_read.events_processed > after_write.events_processed,
+            "{design}: a read must process events"
+        );
+        assert!(
+            after_read.sim_time_advanced >= after_write.sim_time_advanced,
+            "{design}: sim time went backwards"
+        );
+        assert!(
+            after_read.peak_queue_depth >= after_write.peak_queue_depth,
+            "{design}: peak queue depth shrank"
+        );
     }
 }
 

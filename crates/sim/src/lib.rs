@@ -18,7 +18,12 @@
 //! - [`netlist`]: the circuit graph of components and delayed wires.
 //! - [`component`]: the [`Component`](component::Component) trait every cell
 //!   implements.
-//! - [`simulator`]: the event queue, stimulus injection, probes.
+//! - [`simulator`]: the event loop, stimulus injection, probes, and the
+//!   [`SimStats`](simulator::SimStats) run counters.
+//! - [`queue`]: the pending-event schedulers — the default bucketed
+//!   calendar queue and the seed `BinaryHeap` reference
+//!   ([`SchedulerKind`](queue::SchedulerKind); the `reference-queue`
+//!   feature flips the default).
 //! - [`trace`]: pulse traces and ASCII waveform rendering.
 //! - [`violation`]: timing-violation records and the
 //!   [`ViolationPolicy`](violation::ViolationPolicy) that gives them
@@ -45,6 +50,7 @@
 pub mod component;
 pub mod fault;
 pub mod netlist;
+pub mod queue;
 pub mod rng;
 pub mod simulator;
 pub mod time;
@@ -57,8 +63,9 @@ pub mod prelude {
     pub use crate::component::{Component, PulseContext};
     pub use crate::fault::FaultPlan;
     pub use crate::netlist::{ComponentId, Netlist, Pin, Wire};
+    pub use crate::queue::SchedulerKind;
     pub use crate::rng::Rng64;
-    pub use crate::simulator::{ProbeId, RunStats, Simulator};
+    pub use crate::simulator::{ProbeId, RunStats, SimStats, Simulator};
     pub use crate::time::{Duration, Time};
     pub use crate::trace::PulseTrace;
     pub use crate::violation::{SimError, Violation, ViolationPolicy};

@@ -5,13 +5,19 @@
 //! drains the queue in strict time order, delivering each pulse to its target
 //! component, which may emit further pulses. Probes attached to output pins
 //! record every pulse that passes them.
+//!
+//! The queue itself is pluggable (see [`crate::queue`]): the default is a
+//! bucketed calendar queue, with the seed `BinaryHeap` kept as a
+//! byte-identical reference scheduler. [`Simulator::stats`] exposes cheap
+//! lifetime counters ([`SimStats`]) so harnesses can report how much work a
+//! run actually did.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use crate::component::PulseContext;
 use crate::fault::{FaultPlan, FaultState};
 use crate::netlist::{Netlist, Pin};
+use crate::queue::{Event, Queue, SchedulerKind};
 use crate::time::{Duration, Time};
 use crate::trace::PulseTrace;
 use crate::violation::{SimError, Violation, ViolationPolicy};
@@ -19,25 +25,6 @@ use crate::violation::{SimError, Violation, ViolationPolicy};
 /// Identifier of a probe attached to an output pin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProbeId(u32);
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
-    time: Time,
-    seq: u64,
-    target: Pin,
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// Outcome summary of a [`Simulator::run`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +35,24 @@ pub struct RunStats {
     pub emitted: u64,
     /// Time of the last processed event, if any event was processed.
     pub last_event: Option<Time>,
+}
+
+/// Cheap lifetime counters of a [`Simulator`], cumulative over every run.
+///
+/// Unlike [`RunStats`] (one `run` call) these survive across calls, so a
+/// driver that issues many operations can report the total simulation work
+/// behind them. Both schedulers produce identical counter values for the
+/// same stimuli — the equivalence suite asserts it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Events popped from the queue (including deliveries a fault plan
+    /// subsequently dropped).
+    pub events_processed: u64,
+    /// Largest number of simultaneously pending events observed.
+    pub peak_queue_depth: usize,
+    /// Total simulation time advanced (the time of the latest processed
+    /// event).
+    pub sim_time_advanced: Duration,
 }
 
 /// Event-driven simulator over a [`Netlist`].
@@ -65,9 +70,10 @@ pub struct RunStats {
 #[derive(Debug)]
 pub struct Simulator {
     netlist: Netlist,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: Queue,
     seq: u64,
     now: Time,
+    stats: SimStats,
     probes: HashMap<Pin, Vec<ProbeId>>,
     probe_records: Vec<PulseTrace>,
     violations: Vec<Violation>,
@@ -83,13 +89,21 @@ impl Simulator {
     /// Default maximum number of events processed by a single `run` call.
     pub const DEFAULT_EVENT_BUDGET: u64 = 50_000_000;
 
-    /// Creates a simulator over a finished netlist.
+    /// Creates a simulator over a finished netlist, using the default
+    /// scheduler (the calendar queue, or the reference heap when the
+    /// `reference-queue` feature is enabled).
     pub fn new(netlist: Netlist) -> Self {
+        Self::with_scheduler(netlist, SchedulerKind::default())
+    }
+
+    /// Creates a simulator on an explicit scheduler.
+    pub fn with_scheduler(netlist: Netlist, scheduler: SchedulerKind) -> Self {
         Simulator {
             netlist,
-            queue: BinaryHeap::new(),
+            queue: Queue::new(scheduler),
             seq: 0,
             now: Time::ZERO,
+            stats: SimStats::default(),
             probes: HashMap::new(),
             probe_records: Vec::new(),
             violations: Vec::new(),
@@ -98,6 +112,33 @@ impl Simulator {
             degraded_drops: 0,
             fault: None,
         }
+    }
+
+    /// The scheduler this simulator runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Swaps the scheduler implementation. Only legal while no events are
+    /// pending, i.e. before the first injection or between fully drained
+    /// runs — which is when harnesses (and the differential test suite)
+    /// want to flip it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are still pending.
+    pub fn set_scheduler(&mut self, scheduler: SchedulerKind) {
+        assert!(
+            self.queue.is_empty(),
+            "cannot switch schedulers with {} event(s) in flight",
+            self.queue.len()
+        );
+        self.queue = Queue::new(scheduler);
+    }
+
+    /// Lifetime counters, cumulative over every run so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
     }
 
     /// Sets the violation policy for subsequent runs.
@@ -280,19 +321,23 @@ impl Simulator {
         let mut stats = RunStats::default();
         let mut emitted_buf: Vec<(u8, Time)> = Vec::new();
         let mut processed: u64 = 0;
-        while let Some(&Reverse(ev)) = self.queue.peek() {
+        while let Some(ev) = self.queue.pop() {
             if let Some(d) = deadline {
                 if ev.time > d {
+                    // Re-seat the event; its key (time, component, seq) is
+                    // unchanged, so the schedule is unaffected.
+                    self.queue.push(ev);
                     break;
                 }
             }
-            self.queue.pop();
             processed += 1;
             assert!(
                 processed <= self.event_budget,
                 "event budget exhausted ({processed} events): runaway feedback loop?"
             );
             self.now = ev.time;
+            self.stats.events_processed += 1;
+            self.stats.sim_time_advanced = ev.time - Time::ZERO;
             stats.last_event = Some(ev.time);
 
             // Planned pin faults act on the delivery, before the cell sees
@@ -377,7 +422,8 @@ impl Simulator {
     }
 
     fn push(&mut self, ev: Event) {
-        self.queue.push(Reverse(ev));
+        self.queue.push(ev);
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len());
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -605,6 +651,124 @@ mod tests {
         assert_eq!(scoped[1].0, "");
         let doc = sim.to_vcd("top");
         assert!(doc.contains("$scope module bank0 $end"), "{doc}");
+    }
+
+    /// Logs every delivery as a pseudo-violation, making delivery order
+    /// observable from outside the netlist.
+    #[derive(Debug)]
+    struct DeliveryLogger;
+    impl Component for DeliveryLogger {
+        fn kind(&self) -> &'static str {
+            "logger"
+        }
+        fn pulse(&mut self, pin: u8, now: Time, ctx: &mut PulseContext<'_>) {
+            ctx.violation(now, "delivered", format!("pin{pin}"));
+        }
+    }
+
+    #[test]
+    fn same_timestamp_pulses_deliver_in_insertion_order() {
+        // Regression for the documented tie-break: at equal times on the
+        // same component, insertion order decides — on both schedulers,
+        // not as an accident of heap internals.
+        use crate::queue::SchedulerKind;
+        for kind in SchedulerKind::ALL {
+            let mut n = Netlist::new();
+            let c = n.add("log", Box::new(DeliveryLogger) as _);
+            let mut sim = Simulator::with_scheduler(n, kind);
+            for pin in [2u8, 0, 1] {
+                sim.inject(Pin::new(c, pin), Time::from_ps(5.0));
+            }
+            sim.run();
+            let order: Vec<&str> = sim.violations().iter().map(|v| v.detail.as_str()).collect();
+            assert_eq!(order, vec!["pin2", "pin0", "pin1"], "{kind}");
+        }
+    }
+
+    #[test]
+    fn same_timestamp_ties_across_components_resolve_by_component_id() {
+        use crate::queue::SchedulerKind;
+        for kind in SchedulerKind::ALL {
+            let mut n = Netlist::new();
+            let first = n.add("log_a", Box::new(DeliveryLogger) as _);
+            let second = n.add("log_b", Box::new(DeliveryLogger) as _);
+            let mut sim = Simulator::with_scheduler(n, kind);
+            // Inject into the later-added component first: at equal times
+            // the lower component id still delivers first.
+            sim.inject(Pin::new(second, 0), Time::from_ps(5.0));
+            sim.inject(Pin::new(first, 0), Time::from_ps(5.0));
+            sim.run();
+            let order: Vec<&str> = sim.violations().iter().map(|v| v.cell.as_str()).collect();
+            assert_eq!(order, vec!["log_a", "log_b"], "{kind}");
+        }
+    }
+
+    #[test]
+    fn schedulers_produce_identical_traces_and_stats() {
+        use crate::queue::SchedulerKind;
+        let run_on = |kind| {
+            let mut n = Netlist::new();
+            let ids: Vec<_> = (0..4)
+                .map(|i| n.add(format!("r{i}"), Box::new(Repeater) as _))
+                .collect();
+            for w in ids.windows(2) {
+                n.connect(Pin::new(w[0], 0), Pin::new(w[1], 0), Duration::from_ps(0.5));
+            }
+            let mut sim = Simulator::with_scheduler(n, kind);
+            assert_eq!(sim.scheduler_kind(), kind);
+            let probe = sim.probe(Pin::new(ids[3], 0), "end");
+            sim.inject(Pin::new(ids[0], 0), Time::from_ps(0.0));
+            sim.inject(Pin::new(ids[0], 0), Time::from_ps(700.0));
+            sim.run();
+            (sim.probe_trace(probe).clone(), sim.stats())
+        };
+        let (heap_trace, heap_stats) = run_on(SchedulerKind::ReferenceHeap);
+        let (wheel_trace, wheel_stats) = run_on(SchedulerKind::CalendarQueue);
+        assert_eq!(heap_trace, wheel_trace);
+        assert_eq!(heap_stats, wheel_stats);
+        assert_eq!(heap_stats.events_processed, 8);
+        assert!(heap_stats.peak_queue_depth >= 1);
+        // Last event: the delivery into r3 (3 internal ps + 3 wire hops
+        // after the 700 ps injection); the final emission queues nothing.
+        assert_eq!(
+            heap_stats.sim_time_advanced,
+            Duration::from_ps(700.0 + 3.0 + 1.5)
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs() {
+        let (mut sim, first, _last) = chain(3);
+        sim.inject(first, Time::from_ps(0.0));
+        sim.run();
+        let after_first = sim.stats();
+        assert_eq!(after_first.events_processed, 3);
+        sim.inject(first, Time::from_ps(500.0));
+        sim.run();
+        let after_second = sim.stats();
+        assert_eq!(after_second.events_processed, 6);
+        assert!(after_second.sim_time_advanced > after_first.sim_time_advanced);
+    }
+
+    #[test]
+    fn set_scheduler_swaps_when_idle() {
+        use crate::queue::SchedulerKind;
+        let (mut sim, first, last) = chain(2);
+        sim.set_scheduler(SchedulerKind::ReferenceHeap);
+        assert_eq!(sim.scheduler_kind(), SchedulerKind::ReferenceHeap);
+        let probe = sim.probe(last, "end");
+        sim.inject(first, Time::ZERO);
+        sim.run();
+        assert_eq!(sim.probe_trace(probe).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot switch schedulers")]
+    fn set_scheduler_rejects_pending_events() {
+        use crate::queue::SchedulerKind;
+        let (mut sim, first, _last) = chain(2);
+        sim.inject(first, Time::from_ps(1.0));
+        sim.set_scheduler(SchedulerKind::ReferenceHeap);
     }
 
     #[test]

@@ -19,8 +19,15 @@ cargo build --release --workspace
 echo "== clippy (deny warnings, all targets incl. benches) =="
 cargo clippy --workspace --all-targets --features bench -- -D warnings
 
-echo "== tests =="
+echo "== tests (default scheduler: calendar queue) =="
 cargo test -q --workspace
+
+echo "== differential + invariance suites (default scheduler: reference heap) =="
+# The `reference-queue` feature only flips which scheduler plain
+# constructors pick — both implementations are always compiled — so the
+# differential suites prove byte-identical behaviour from either default.
+cargo test -q --workspace --features reference-queue \
+    --test sim_equivalence --test thread_invariance --test rf_conformance
 
 echo "== robustness smoke reports =="
 cargo run -q --release -p hiperrf-bench --bin repro -- margins --smoke
@@ -28,5 +35,8 @@ cargo run -q --release -p hiperrf-bench --bin repro -- faults --smoke
 
 echo "== design-registry smoke matrix =="
 cargo run -q --release -p hiperrf-bench --bin repro -- designs --smoke
+
+echo "== simulator-core perf smoke (schedulers + parallel MC) =="
+cargo run -q --release -p hiperrf-bench --bin repro -- perf --smoke --threads 2
 
 echo "verify: OK"
