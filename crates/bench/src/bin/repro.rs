@@ -14,10 +14,11 @@
 //! repro faults       Fault-injection demonstrations
 //! repro designs      Registry smoke matrix: every design, built + driven
 //! repro perf         Simulator-core wall clock: schedulers + MC threads
+//! repro cosim        CPU co-simulation on the pulse-level netlists + fault demo
 //! repro all          Everything above, in order, with a phase-time table
 //! ```
 //!
-//! `margins`, `faults`, `designs`, and `perf` accept `--smoke` for the
+//! `margins`, `faults`, `designs`, `perf`, and `cosim` accept `--smoke` for the
 //! fast CI path. `--threads N` pins the Monte Carlo worker count for the
 //! process (it sets `HIPERRF_THREADS`); the default is the machine's
 //! available parallelism. Every section prints its wall-clock time, and
@@ -31,6 +32,7 @@ use hiperrf_bench::ablations::{
     bank_allocation_report, energy_report, margins_report, memory_latency_report,
     prediction_report, schedule_report, shift_register_report,
 };
+use hiperrf_bench::cosim::{cosim_rows, fault_demo, render as render_cosim};
 use hiperrf_bench::figure14::{average_overheads, figure14, render as render_fig14};
 use hiperrf_bench::perf::{format_duration, perf_report, PhaseTimer};
 use hiperrf_bench::reports::{
@@ -295,6 +297,12 @@ fn run(section: &str, smoke: bool) -> bool {
         "faults" => print!("{}", faults_report(smoke)),
         "designs" => print!("{}", designs_report(smoke)),
         "perf" => print!("{}", perf_report(smoke)),
+        "cosim" => {
+            print!("{}", render_cosim(&cosim_rows(smoke)));
+            if !smoke {
+                print!("{}", fault_demo());
+            }
+        }
         "all" => {
             let mut timer = PhaseTimer::new();
             for s in [
@@ -312,6 +320,7 @@ fn run(section: &str, smoke: bool) -> bool {
                 "faults",
                 "designs",
                 "perf",
+                "cosim",
             ] {
                 timer.time(s, || run(s, smoke));
                 println!();
@@ -340,8 +349,8 @@ fn main() {
     if !run(&section, smoke) {
         eprintln!(
             "unknown section `{section}`; expected one of: table1 table2 table3 table4 \
-             budget figure14 chip figure15 timing ablations margins faults designs perf all \
-             (margins/faults/designs/perf accept --smoke; --threads N pins MC workers)"
+             budget figure14 chip figure15 timing ablations margins faults designs perf cosim all \
+             (margins/faults/designs/perf/cosim accept --smoke; --threads N pins MC workers)"
         );
         std::process::exit(2);
     }

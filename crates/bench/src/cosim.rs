@@ -1,0 +1,243 @@
+//! Co-simulation report: the gate-level CPU driving the pulse-level
+//! register-file netlists.
+//!
+//! Each row runs one miniature self-checking kernel with the CPU's
+//! operand traffic issued through a [`PulseRf`] backend, so every
+//! architectural read pops real fluxons out of the design's netlist and
+//! is checked against the functional RV32I model. For designs with an
+//! analytic port model the same kernel also runs on [`AnalyticRf`] and
+//! the two CPIs are compared — by construction they must agree exactly,
+//! and the table proves it run by run. A final demonstration injects a
+//! seeded [`FaultPlan`] under the `Degrade` policy and shows the
+//! corruption surfacing in the run outcome.
+
+use hiperrf::backend::{PulseRf, RfHealth};
+use hiperrf::designs::{registry, Design};
+use sfq_cpu::{GateLevelCpu, PipelineConfig};
+use sfq_riscv::asm::assemble;
+use sfq_sim::fault::FaultPlan;
+use sfq_sim::violation::ViolationPolicy;
+use sfq_workloads::{cosim_suite, Workload, PASS};
+
+#[cfg(doc)]
+use hiperrf::backend::AnalyticRf;
+
+/// One kernel × design co-simulation result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosimRow {
+    /// Kernel name.
+    pub workload: &'static str,
+    /// The structural design that served the operand traffic.
+    pub design: Design,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Pulse-backend robustness counters for the run.
+    pub health: RfHealth,
+    /// CPI of the pulse-backed run.
+    pub pulse_cpi: f64,
+    /// CPI of the analytic run of the same kernel (`None` for the shift
+    /// register, which has no analytic port model).
+    pub analytic_cpi: Option<f64>,
+    /// Per-access readout latency charged by the backend (gate cycles).
+    pub readout_gate_cycles: u64,
+    /// Mean simulated time one RF operation occupied the pulse engine
+    /// (ps).
+    pub mean_op_occupancy_ps: f64,
+}
+
+impl CosimRow {
+    /// Whether the analytic and pulse timing models agreed exactly
+    /// (vacuously true for designs without an analytic model).
+    pub fn timing_agrees(&self) -> bool {
+        self.analytic_cpi.is_none_or(|a| a == self.pulse_cpi)
+    }
+}
+
+/// Runs one kernel against one design's netlist (and, when it exists,
+/// the analytic model of the same design).
+///
+/// # Panics
+///
+/// Panics if the kernel fails to assemble, faults, or fails its
+/// self-check — any of those is a reproduction bug, not a result.
+pub fn run_cosim(w: &Workload, design: Design) -> CosimRow {
+    let prog =
+        assemble(&w.source, 0).unwrap_or_else(|e| panic!("{} failed to assemble: {e}", w.name));
+    let mut cpu =
+        GateLevelCpu::with_backend(Box::new(PulseRf::new(design)), PipelineConfig::sodor());
+    let out = cpu
+        .run(&prog, w.mem_size, w.budget)
+        .unwrap_or_else(|e| panic!("{} faulted on {design}: {e}", w.name));
+    assert_eq!(
+        out.exit_code, PASS,
+        "{} failed self-check on {design}",
+        w.name
+    );
+    let op_stats = cpu.backend().op_stats();
+
+    let analytic_cpi = design.arch_design().map(|arch| {
+        let mut a = GateLevelCpu::new(arch, PipelineConfig::sodor());
+        let out = a
+            .run(&prog, w.mem_size, w.budget)
+            .unwrap_or_else(|e| panic!("{} faulted analytically on {design}: {e}", w.name));
+        out.stats.cpi()
+    });
+
+    CosimRow {
+        workload: w.name,
+        design,
+        retired: out.stats.retired,
+        health: out.rf,
+        pulse_cpi: out.stats.cpi(),
+        analytic_cpi,
+        readout_gate_cycles: cpu.backend().readout_gate_cycles(),
+        mean_op_occupancy_ps: op_stats.mean_occupancy_ps(),
+    }
+}
+
+/// Runs the co-simulation matrix: every registered design × the
+/// miniature kernel suite (one kernel under `--smoke`).
+pub fn cosim_rows(smoke: bool) -> Vec<CosimRow> {
+    let kernels = cosim_suite();
+    let kernels = if smoke { &kernels[..1] } else { &kernels[..] };
+    let mut rows = Vec::new();
+    for w in kernels {
+        for design in registry() {
+            rows.push(run_cosim(w, design));
+        }
+    }
+    rows
+}
+
+/// Renders the co-simulation matrix as a text table.
+pub fn render(rows: &[CosimRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Co-simulation: gate-level CPU on pulse-level register files =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:<16} {:>7} {:>8} {:>8} {:>9} {:>10} {:>9} {:>11}",
+        "kernel",
+        "design",
+        "retired",
+        "reads",
+        "writes",
+        "mismatch",
+        "pulse CPI",
+        "analytic",
+        "ps/op"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:<16} {:>7} {:>8} {:>8} {:>9} {:>10.2} {:>9} {:>11.0}",
+            r.workload,
+            r.design.label(),
+            r.retired,
+            r.health.reads,
+            r.health.writes,
+            r.health.value_mismatches,
+            r.pulse_cpi,
+            r.analytic_cpi
+                .map_or_else(|| "-".to_string(), |c| format!("{c:.2}")),
+            r.mean_op_occupancy_ps,
+        );
+    }
+    let clean = rows.iter().filter(|r| r.health.is_clean()).count();
+    let agree = rows.iter().filter(|r| r.timing_agrees()).count();
+    let _ = writeln!(
+        out,
+        "{clean}/{} runs clean (no corruption, violations, or drops); \
+         {agree}/{} analytic/pulse CPI agreements",
+        rows.len(),
+        rows.len()
+    );
+    out
+}
+
+/// Demonstrates fault injection surfacing at application level: the same
+/// kernel on a clean HiPerRF netlist and on one with a seeded delay-spread
+/// fault plan under the `Degrade` policy.
+///
+/// # Panics
+///
+/// Panics if the injected faults do *not* alter the run outcome — the
+/// point of the demonstration is that they must.
+pub fn fault_demo() -> String {
+    use std::fmt::Write as _;
+    let w = &cosim_suite()[0];
+    let prog = assemble(&w.source, 0).expect("assembles");
+    let config = PipelineConfig::sodor();
+
+    let mut clean_cpu = GateLevelCpu::with_backend(Box::new(PulseRf::new(Design::HiPerRf)), config);
+    let clean = clean_cpu.run(&prog, w.mem_size, w.budget).expect("runs");
+
+    let mut faulty_cpu =
+        GateLevelCpu::with_backend(Box::new(PulseRf::new(Design::HiPerRf)), config);
+    faulty_cpu.set_violation_policy(ViolationPolicy::Degrade);
+    faulty_cpu.set_fault_plan(FaultPlan::new(0xc0511).with_delay_sigma(0.2));
+    let faulty = faulty_cpu.run(&prog, w.mem_size, w.budget).expect("runs");
+
+    assert!(
+        clean.rf.is_clean(),
+        "clean run must be clean: {:?}",
+        clean.rf
+    );
+    assert_ne!(
+        clean, faulty,
+        "a 20% delay spread under Degrade must alter the outcome"
+    );
+    assert!(
+        !faulty.rf.is_clean(),
+        "injected faults must surface in the health counters: {:?}",
+        faulty.rf
+    );
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- fault injection surfacing in `{}` on HiPerRF (σ = 20%, Degrade) --",
+        w.name
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>8} {:>10} {:>11} {:>7}",
+        "run", "reads", "writes", "mismatch", "violations", "drops"
+    );
+    for (label, h) in [("clean", clean.rf), ("faulty", faulty.rf)] {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>8} {:>10} {:>11} {:>7}",
+            label, h.reads, h.writes, h.value_mismatches, h.violations, h.degraded_drops
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_matrix_is_clean_and_agrees() {
+        let rows = cosim_rows(true);
+        assert_eq!(rows.len(), registry().count());
+        for r in &rows {
+            assert!(
+                r.health.is_clean(),
+                "{} on {}: {:?}",
+                r.workload,
+                r.design,
+                r.health
+            );
+            assert!(r.timing_agrees(), "{} on {}", r.workload, r.design);
+            assert!(r.health.reads > 0 && r.health.writes > 0);
+            assert!(r.mean_op_occupancy_ps > 0.0);
+        }
+        let text = render(&rows);
+        assert!(text.contains("runs clean"));
+    }
+}

@@ -1,7 +1,7 @@
 //! Figure 14: CPI overhead over the NDRO baseline per benchmark.
 
 use hiperrf::delay::RfDesign;
-use sfq_cpu::{GateLevelCpu, PipelineConfig};
+use sfq_cpu::{GateLevelCpu, PipelineConfig, PipelineStats};
 use sfq_riscv::asm::assemble;
 use sfq_workloads::{suite, Workload, PASS};
 
@@ -15,6 +15,9 @@ pub struct Figure14Row {
     /// CPI overhead fractions over the baseline:
     /// `[HiPerRF, dual-banked, dual-banked-ideal]`.
     pub overhead: [f64; 3],
+    /// Full pipeline statistics per design, in [`RfDesign::ALL`] order —
+    /// the stall-cause attribution behind the CPI numbers.
+    pub stats: [PipelineStats; 4],
 }
 
 /// Paper-reported average overheads: HiPerRF 9.8%, dual-banked 3.6%,
@@ -31,7 +34,8 @@ pub fn run_workload(w: &Workload) -> Figure14Row {
     let prog =
         assemble(&w.source, 0).unwrap_or_else(|e| panic!("{} failed to assemble: {e}", w.name));
     let mut cpis = Vec::with_capacity(4);
-    for design in RfDesign::ALL {
+    let mut stats = [PipelineStats::default(); 4];
+    for (design, slot) in RfDesign::ALL.into_iter().zip(&mut stats) {
         let mut cpu = GateLevelCpu::new(design, PipelineConfig::sodor());
         let out = cpu
             .run(&prog, w.mem_size, w.budget)
@@ -42,6 +46,7 @@ pub fn run_workload(w: &Workload) -> Figure14Row {
             w.name
         );
         cpis.push(out.stats.cpi());
+        *slot = out.stats;
     }
     Figure14Row {
         name: w.name,
@@ -51,6 +56,7 @@ pub fn run_workload(w: &Workload) -> Figure14Row {
             cpis[2] / cpis[0] - 1.0,
             cpis[3] / cpis[0] - 1.0,
         ],
+        stats,
     }
 }
 
@@ -113,6 +119,60 @@ pub fn render(rows: &[Figure14Row]) -> String {
         avg[1] * 100.0,
         avg[2] * 100.0
     );
+    let _ = write!(out, "{}", stall_breakdown(rows));
+    out
+}
+
+/// Renders the suite-aggregate stall-cause histogram per design: where
+/// the cycles go, so the CPI differences above are explainable.
+pub fn stall_breakdown(rows: &[Figure14Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n-- stall-cause breakdown (suite aggregate, % of design's total gate cycles) --"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>10} {:>18} {:>16} {:>18}",
+        "design", "gate cycles", "RAW", "loopback-restore", "issue-interval", "control-redirect"
+    );
+    for (i, design) in RfDesign::ALL.into_iter().enumerate() {
+        let mut total = 0u64;
+        let mut cycles = [0u64; 4];
+        let mut events = [0u64; 4];
+        for row in rows {
+            let s = &row.stats[i];
+            total += s.gate_cycles;
+            for (j, bin) in s.stall_histogram().into_iter().enumerate() {
+                cycles[j] += bin.cycles;
+                events[j] += bin.events;
+            }
+        }
+        let pct = |c: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * c as f64 / total as f64
+            }
+        };
+        // Histogram order: RAW, loopback, port (issue interval), control.
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>9.1}% {:>17.1}% {:>15.1}% {:>17.1}%",
+            design.name(),
+            total,
+            pct(cycles[0]),
+            pct(cycles[1]),
+            pct(cycles[2]),
+            pct(cycles[3]),
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>10} {:>18} {:>16} {:>18}",
+            "", "(events)", events[0], events[1], events[2], events[3],
+        );
+    }
     out
 }
 
@@ -137,6 +197,7 @@ mod tests {
             name: "x",
             baseline_cpi: 30.0,
             overhead: [0.1, 0.03, 0.02],
+            stats: [PipelineStats::default(); 4],
         }];
         let text = render(&rows);
         assert!(text.contains("AVERAGE"));
@@ -150,11 +211,13 @@ mod tests {
                 name: "a",
                 baseline_cpi: 1.0,
                 overhead: [0.1, 0.0, 0.0],
+                stats: [PipelineStats::default(); 4],
             },
             Figure14Row {
                 name: "b",
                 baseline_cpi: 1.0,
                 overhead: [0.3, 0.1, 0.0],
+                stats: [PipelineStats::default(); 4],
             },
         ];
         let avg = average_overheads(&rows);

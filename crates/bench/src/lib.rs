@@ -9,6 +9,7 @@
 //! compute tables the same way.
 
 pub mod ablations;
+pub mod cosim;
 pub mod figure14;
 #[cfg(feature = "bench")]
 pub mod microbench;
@@ -17,5 +18,6 @@ pub mod reports;
 pub mod robustness;
 pub mod timing_diagrams;
 
+pub use cosim::{cosim_rows, run_cosim, CosimRow};
 pub use figure14::{figure14, Figure14Row};
 pub use reports::{table1, table2, table3, table4_report, TableRow};

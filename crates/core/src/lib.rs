@@ -63,6 +63,7 @@
 //! ```
 
 pub mod arch;
+pub mod backend;
 pub mod banked;
 pub mod budget;
 pub mod capacity;
@@ -81,6 +82,7 @@ pub mod schedule;
 pub mod shift_rf;
 
 pub use arch::ArchRf;
+pub use backend::{AnalyticRf, PulseRf, RfAccess, RfBackend, RfHealth, RfOpStats};
 pub use banked::DualBankRf;
 pub use config::RfGeometry;
 pub use delay::RfDesign;

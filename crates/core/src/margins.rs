@@ -268,7 +268,7 @@ const SIGMA_ITERS: u32 = 8;
 
 /// Bisects the largest delay-variation σ at which [`soak_passes`] for this
 /// seed. Returns `0.0` if even the nominal soak fails (a design bug) and
-/// [`SIGMA_MAX`] if the design survives the whole search range.
+/// `SIGMA_MAX` (0.5) if the design survives the whole search range.
 pub fn critical_sigma(design: Design, geometry: RfGeometry, seed: u64) -> f64 {
     if !soak_passes(design, geometry, 0.0, seed) {
         return 0.0;

@@ -34,4 +34,4 @@ pub mod stats;
 
 pub use config::PipelineConfig;
 pub use pipeline::{GateLevelCpu, InstrTiming, RunError, RunOutcome};
-pub use stats::PipelineStats;
+pub use stats::{PipelineStats, StallBin, StallKind};

@@ -7,23 +7,33 @@
 //! pipeline, so read-after-write dependencies in a short window stall for
 //! tens of gate cycles — the reason average CPI lands near 30.
 //!
-//! The register-file design plugs in through
-//! [`hiperrf::schedule::RfSchedule`], which contributes:
+//! The register file plugs in through the [`RfBackend`] trait, which
+//! contributes both timing and data:
 //!
 //! * the static issue interval (2 / 3 / 2-or-4 RF cycles, §IV-D, §V-B);
 //! * the post-P&R readout latency (Table IV) on every operand read;
 //! * the loopback-restore window during which a just-read register is
 //!   unreadable (RAR hazards are satisfied by duplicating the readout when
 //!   both sources of one instruction name the same register);
-//! * whether internal write-to-read forwarding exists (baseline only).
+//! * whether internal write-to-read forwarding exists (baseline only);
+//! * the operand *values* themselves — every architectural read and write
+//!   is issued as backend traffic, so the [`hiperrf::PulseRf`] backend
+//!   co-simulates the instruction stream against the structural netlists
+//!   while [`hiperrf::AnalyticRf`] keeps the fast closed-form path.
+//!
+//! The backend's robustness counters (value corruption, timing
+//! violations, degraded pulse drops) are threaded into [`RunOutcome`] so
+//! injected faults surface as application-level degradation.
 
+use hiperrf::backend::{AnalyticRf, RfBackend, RfHealth};
 use hiperrf::config::RfGeometry;
 use hiperrf::delay::RfDesign;
-use hiperrf::schedule::RfSchedule;
 use sfq_riscv::exec::{Cpu, ExecError, StepOutcome};
 use sfq_riscv::isa::Reg;
 use sfq_riscv::mem::Memory;
 use sfq_riscv::Program;
+use sfq_sim::fault::FaultPlan;
+use sfq_sim::violation::ViolationPolicy;
 
 use crate::config::PipelineConfig;
 use crate::stats::PipelineStats;
@@ -58,6 +68,9 @@ pub struct RunOutcome {
     pub exit_code: u32,
     /// Timing statistics.
     pub stats: PipelineStats,
+    /// Register-file robustness counters: value corruption, timing
+    /// violations, and degraded pulse drops observed by the backend.
+    pub rf: RfHealth,
 }
 
 /// Per-instruction timing record from a traced run.
@@ -76,25 +89,63 @@ pub struct InstrTiming {
 }
 
 /// The gate-level pipelined CPU.
-#[derive(Debug)]
 pub struct GateLevelCpu {
-    schedule: RfSchedule,
+    backend: Box<dyn RfBackend>,
     config: PipelineConfig,
 }
 
+impl std::fmt::Debug for GateLevelCpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GateLevelCpu")
+            .field("backend", &self.backend.label())
+            .field("arch_design", &self.backend.arch_design())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
 impl GateLevelCpu {
-    /// Creates a CPU around a register-file design (32×32 RF geometry).
+    /// Creates a CPU around the analytic model of a register-file design
+    /// (32×32 RF geometry) — the fast closed-form path the CPI sweeps use.
     pub fn new(design: RfDesign, config: PipelineConfig) -> Self {
-        let geometry = RfGeometry::paper_32x32();
-        GateLevelCpu {
-            schedule: RfSchedule::new(design, geometry),
+        Self::with_backend(
+            Box::new(AnalyticRf::new(design, RfGeometry::paper_32x32())),
             config,
-        }
+        )
     }
 
-    /// The register-file design being simulated.
-    pub fn design(&self) -> RfDesign {
-        self.schedule.design()
+    /// Creates a CPU around an arbitrary register-file backend — e.g. a
+    /// [`hiperrf::PulseRf`] to co-simulate against a structural netlist.
+    pub fn with_backend(backend: Box<dyn RfBackend>, config: PipelineConfig) -> Self {
+        GateLevelCpu { backend, config }
+    }
+
+    /// The analytic design whose schedule times accesses, if the backend
+    /// has one (`None` for the bit-serial shift register).
+    pub fn arch_design(&self) -> Option<RfDesign> {
+        self.backend.arch_design()
+    }
+
+    /// The register-file backend.
+    pub fn backend(&self) -> &dyn RfBackend {
+        self.backend.as_ref()
+    }
+
+    /// The register-file backend, mutably.
+    pub fn backend_mut(&mut self) -> &mut dyn RfBackend {
+        self.backend.as_mut()
+    }
+
+    /// Sets how the backend reacts to timing violations (meaningful for
+    /// pulse backends only).
+    pub fn set_violation_policy(&mut self, policy: ViolationPolicy) {
+        self.backend.set_violation_policy(policy);
+    }
+
+    /// Installs a seeded fault plan in the backend (meaningful for pulse
+    /// backends only).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.backend.set_fault_plan(plan);
     }
 
     /// Runs `program` to completion (exit ecall) with an instruction
@@ -142,15 +193,19 @@ impl GateLevelCpu {
         let mut stats = PipelineStats::default();
 
         // Timing state (all in gate cycles).
-        let readout = self.schedule.readout_gate_cycles();
-        let loopback = self.schedule.loopback_gate_cycles();
-        let forwarding = self.schedule.supports_internal_forwarding();
+        let readout = self.backend.readout_gate_cycles();
+        let loopback = self.backend.loopback_gate_cycles();
+        let forwarding = self.backend.supports_internal_forwarding();
         let mut value_ready = [0u64; 32]; // producer write-back completion
         let mut loopback_ready = [0u64; 32]; // restore completion per register
         let mut next_port_slot = 0u64; // earliest next RF access
         let mut last_rf = 0u64; // previous instruction's RF access time
         let mut fetch_ready = 0u64; // control-flow redirect barrier
         let mut last_wb = 0u64;
+        // Mirror of the functional model's architectural state *before*
+        // the current instruction — the expectation handed to the backend
+        // on every source read.
+        let mut shadow = [0u32; 32];
 
         loop {
             let pc_before = cpu.pc;
@@ -164,6 +219,7 @@ impl GateLevelCpu {
                     return Ok(RunOutcome {
                         exit_code: code,
                         stats,
+                        rf: self.backend.health(),
                     });
                 }
             };
@@ -184,14 +240,33 @@ impl GateLevelCpu {
             }
             let src_idx: Vec<usize> = srcs.iter().map(|r| r.index()).collect();
 
+            // Issue the operand traffic through the backend: every source
+            // read carries the functional model's pre-step value as the
+            // expectation, and the destination write installs the
+            // post-step value. The analytic backend mirrors; the pulse
+            // backend drives the event simulator.
+            for &r in &src_idx {
+                let _ = self.backend.read(r, shadow[r]);
+            }
+            if let Some(rd) = instr.rd() {
+                let v = cpu.reg(rd);
+                self.backend.write(rd.index(), v);
+                shadow[rd.index()] = v;
+            }
+
             // Earliest time the RF read can fire, with stall attribution.
             // Port pipelining at the baseline two-RF-cycle rate is the
             // no-stall reference; anything beyond it is attributed to its
             // binding constraint.
             let mut t = next_port_slot;
-            stats.port_stall_cycles += next_port_slot.saturating_sub(last_rf + 4);
+            let port_wait = next_port_slot.saturating_sub(last_rf + 4);
+            stats.port_stall_cycles += port_wait;
+            if port_wait > 0 {
+                stats.port_stall_events += 1;
+            }
             if fetch_ready > t {
                 stats.control_stall_cycles += fetch_ready - t;
+                stats.control_stall_events += 1;
                 t = fetch_ready;
             }
             let t_raw = src_idx.iter().map(|&r| value_ready[r]).max().unwrap_or(0);
@@ -202,10 +277,12 @@ impl GateLevelCpu {
                 .unwrap_or(0);
             if t_raw > t {
                 stats.raw_stall_cycles += t_raw - t;
+                stats.raw_stall_events += 1;
                 t = t_raw;
             }
             if t_loop > t {
                 stats.loopback_stall_cycles += t_loop - t;
+                stats.loopback_stall_events += 1;
                 t = t_loop;
             }
             let t_rf = t;
@@ -216,7 +293,7 @@ impl GateLevelCpu {
             debug_assert!(src_idx.iter().all(|&r| t_rf >= loopback_ready[r]));
 
             // Bank-conflict accounting for the dual-banked design.
-            if self.design() == RfDesign::DualBanked
+            if self.backend.arch_design() == Some(RfDesign::DualBanked)
                 && src_idx.len() == 2
                 && hiperrf::banked::bank_of(src_idx[0]) == hiperrf::banked::bank_of(src_idx[1])
             {
@@ -232,7 +309,7 @@ impl GateLevelCpu {
 
             // Operand availability: the last source read fires at its
             // schedule slot, then the readout path delivers the operand.
-            let gather = self.schedule.operand_gather_gate_cycles(&src_idx);
+            let gather = self.backend.operand_gather_gate_cycles(&src_idx);
             let t_op = if src_idx.is_empty() {
                 t_rf
             } else {
@@ -270,7 +347,7 @@ impl GateLevelCpu {
                 fetch_ready = t_ex_done + self.config.redirect_gates;
             }
 
-            next_port_slot = t_rf + self.schedule.issue_interval_gate_cycles(&src_idx);
+            next_port_slot = t_rf + self.backend.issue_interval_gate_cycles(&src_idx);
             last_wb = last_wb.max(t_wb);
 
             if let Some(t) = trace.as_deref_mut() {

@@ -17,6 +17,38 @@ pub enum StallKind {
     Control,
 }
 
+impl StallKind {
+    /// All stall causes, in reporting order.
+    pub const ALL: [StallKind; 4] = [
+        StallKind::Raw,
+        StallKind::Loopback,
+        StallKind::Port,
+        StallKind::Control,
+    ];
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::Raw => "RAW",
+            StallKind::Loopback => "loopback-restore",
+            StallKind::Port => "issue-interval",
+            StallKind::Control => "control-redirect",
+        }
+    }
+}
+
+/// One row of the stall-cause histogram: how many instructions stalled on
+/// a cause and how many gate cycles it cost in total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallBin {
+    /// The binding constraint.
+    pub kind: StallKind,
+    /// Instructions delayed by this cause.
+    pub events: u64,
+    /// Total gate cycles lost to it.
+    pub cycles: u64,
+}
+
 /// Aggregate statistics of one pipeline run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PipelineStats {
@@ -32,6 +64,14 @@ pub struct PipelineStats {
     pub port_stall_cycles: u64,
     /// Gate cycles lost to control-flow resolution.
     pub control_stall_cycles: u64,
+    /// Instructions delayed by a read-after-write wait.
+    pub raw_stall_events: u64,
+    /// Instructions delayed by a loopback restore.
+    pub loopback_stall_events: u64,
+    /// Instructions delayed by port contention.
+    pub port_stall_events: u64,
+    /// Instructions delayed by control-flow resolution.
+    pub control_stall_events: u64,
     /// Dynamic count of instructions whose two sources collided in a bank
     /// (dual-banked design only).
     pub bank_conflicts: u64,
@@ -60,6 +100,32 @@ impl PipelineStats {
     pub fn cpi_overhead_vs(&self, baseline: &PipelineStats) -> f64 {
         self.cpi() / baseline.cpi() - 1.0
     }
+
+    /// The stall-cause histogram: (cause, stalled instructions, gate
+    /// cycles lost) per cause, in [`StallKind::ALL`] order.
+    pub fn stall_histogram(&self) -> [StallBin; 4] {
+        StallKind::ALL.map(|kind| {
+            let (events, cycles) = match kind {
+                StallKind::Raw => (self.raw_stall_events, self.raw_stall_cycles),
+                StallKind::Loopback => (self.loopback_stall_events, self.loopback_stall_cycles),
+                StallKind::Port => (self.port_stall_events, self.port_stall_cycles),
+                StallKind::Control => (self.control_stall_events, self.control_stall_cycles),
+            };
+            StallBin {
+                kind,
+                events,
+                cycles,
+            }
+        })
+    }
+
+    /// Total gate cycles lost to stalls, over all causes.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.raw_stall_cycles
+            + self.loopback_stall_cycles
+            + self.port_stall_cycles
+            + self.control_stall_cycles
+    }
 }
 
 impl fmt::Display for PipelineStats {
@@ -67,10 +133,15 @@ impl fmt::Display for PipelineStats {
         writeln!(f, "retired             {:>12}", self.retired)?;
         writeln!(f, "gate cycles         {:>12}", self.gate_cycles)?;
         writeln!(f, "CPI                 {:>12.2}", self.cpi())?;
-        writeln!(f, "raw stalls          {:>12}", self.raw_stall_cycles)?;
-        writeln!(f, "loopback stalls     {:>12}", self.loopback_stall_cycles)?;
-        writeln!(f, "port stalls         {:>12}", self.port_stall_cycles)?;
-        writeln!(f, "control stalls      {:>12}", self.control_stall_cycles)?;
+        for bin in self.stall_histogram() {
+            writeln!(
+                f,
+                "{:<19} {:>12} cycles / {:>9} events",
+                format!("{} stalls", bin.kind.label()),
+                bin.cycles,
+                bin.events
+            )?;
+        }
         writeln!(f, "bank conflicts      {:>12}", self.bank_conflicts)?;
         write!(f, "rar duplications    {:>12}", self.rar_duplications)
     }

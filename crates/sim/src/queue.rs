@@ -4,7 +4,7 @@
 //! module provides two interchangeable implementations of that priority
 //! queue:
 //!
-//! * [`CalendarQueue`] — a bucketed timing wheel (the default). Simulation
+//! * `CalendarQueue` — a bucketed timing wheel (the default). Simulation
 //!   time is divided into fixed-width picosecond buckets; pushing an event
 //!   indexes straight into its bucket, popping scans forward from the
 //!   current bucket. Events beyond the wheel's horizon wait in an overflow
@@ -13,7 +13,7 @@
 //!   picoseconds, operations hundreds of picoseconds apart) this replaces
 //!   the `O(log n)` binary-heap sift with `O(1)` pushes and short bucket
 //!   scans.
-//! * [`HeapQueue`] — the seed `BinaryHeap` implementation, kept as the
+//! * `HeapQueue` — the seed `BinaryHeap` implementation, kept as the
 //!   differential reference. The `reference-queue` cargo feature makes it
 //!   the default scheduler of [`Simulator::new`](crate::simulator::Simulator::new);
 //!   either way both implementations are always compiled, so equivalence
@@ -25,7 +25,7 @@
 //! `(time, component id, sequence number)`:
 //!
 //! 1. earlier simulation time first;
-//! 2. at equal times, the lower [`ComponentId`] first — simultaneous
+//! 2. at equal times, the lower `ComponentId` first — simultaneous
 //!    pulses deliver in netlist construction order, not in an accident of
 //!    heap layout;
 //! 3. at equal times on the same component, insertion order (the

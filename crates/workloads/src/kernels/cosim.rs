@@ -1,0 +1,190 @@
+//! Miniature self-checking kernels for pulse-level co-simulation.
+//!
+//! Driving the event-driven register-file netlists costs on the order of
+//! half a millisecond of host time per architectural access at the 32×32
+//! geometry, so the Figure 14 suite (tens of thousands of retired
+//! instructions per kernel) is out of reach for routine co-simulation.
+//! These kernels compress the same hazard patterns — dependent ALU
+//! chains, memory round trips, branchy loops — into one to three hundred
+//! retired instructions each, small enough to run against every
+//! structural design in seconds while still exercising reads, writes,
+//! RAR duplication, and loopback restores.
+
+use crate::workload::Workload;
+
+/// Shrinks a workload's memory/budget to co-simulation scale.
+fn cosim(name: &'static str, source: String) -> Workload {
+    let mut w = Workload::new(name, source);
+    w.mem_size = 1 << 16;
+    w.budget = 50_000;
+    w
+}
+
+/// Dependent ALU chain: shift-add multiply of two constants plus logic
+/// ops, every instruction feeding the next (RAW/loopback heavy).
+pub fn cosim_alu() -> Workload {
+    const A: u32 = 201;
+    const B: u32 = 113;
+    let expected = A.wrapping_mul(B) ^ (A.wrapping_mul(B) >> 3);
+    let source = format!(
+        "_start:
+    li   a1, {a}          # multiplicand
+    li   a2, {b}          # multiplier
+    li   a3, 0            # product
+mul_loop:
+    andi t0, a2, 1
+    beqz t0, no_add
+    add  a3, a3, a1
+no_add:
+    slli a1, a1, 1
+    srli a2, a2, 1
+    bnez a2, mul_loop
+    srli t1, a3, 3
+    xor  a0, a3, t1
+    li   t2, {expected}
+    beq  a0, t2, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+",
+        a = A,
+        b = B,
+        expected = expected,
+    );
+    cosim("cosim-alu", source)
+}
+
+/// Memory round trip: store an arithmetic sequence, read it back in
+/// reverse, checksum (load/store traffic plus pointer-increment RAW).
+pub fn cosim_mem() -> Workload {
+    const N: u32 = 12;
+    const STEP: u32 = 37;
+    let vals: Vec<u32> = (0..N).map(|i| 5 + i * STEP).collect();
+    // The kernel folds last-to-first: s = s + (v ^ s).
+    let expected: u32 = vals.iter().rev().fold(0u32, |s, v| s.wrapping_add(*v ^ s));
+    let source = format!(
+        "_start:
+    la   t0, buf
+    li   t1, {n}
+    li   t2, 5
+store:
+    sw   t2, 0(t0)
+    addi t2, t2, {step}
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, store
+    # read back in reverse, folding s = s + (v ^ s)
+    li   t1, {n}
+    li   a0, 0
+load:
+    addi t0, t0, -4
+    lw   t3, 0(t0)
+    xor  t3, t3, a0
+    add  a0, a0, t3
+    addi t1, t1, -1
+    bnez t1, load
+    li   t4, {expected}
+    beq  a0, t4, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+buf:
+    .space {space}
+",
+        n = N,
+        step = STEP,
+        expected = expected,
+        space = N * 4,
+    );
+    cosim("cosim-mem", source)
+}
+
+/// Branchy control flow: a Collatz trajectory with its step count
+/// self-checked (taken/not-taken mix plus a data-dependent loop bound).
+pub fn cosim_branch() -> Workload {
+    const SEED: u32 = 7;
+    let mut n = SEED;
+    let mut steps = 0u32;
+    while n != 1 {
+        n = if n.is_multiple_of(2) {
+            n / 2
+        } else {
+            3 * n + 1
+        };
+        steps += 1;
+    }
+    let source = format!(
+        "_start:
+    li   t0, {seed}       # n
+    li   t1, 0            # steps
+    li   t2, 1
+collatz:
+    beq  t0, t2, done
+    andi t3, t0, 1
+    beqz t3, even
+    add  t4, t0, t0       # 3n + 1, no mul in RV32I
+    add  t0, t4, t0
+    addi t0, t0, 1
+    j    next
+even:
+    srli t0, t0, 1
+next:
+    addi t1, t1, 1
+    j    collatz
+done:
+    li   t5, {steps}
+    beq  t1, t5, pass
+    li   a0, 0
+    li   a7, 93
+    ecall
+pass:
+    li   a0, 1
+    li   a7, 93
+    ecall
+",
+        seed = SEED,
+        steps = steps,
+    );
+    cosim("cosim-branch", source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_functional;
+
+    #[test]
+    fn cosim_kernels_pass_self_checks() {
+        for w in [cosim_alu(), cosim_mem(), cosim_branch()] {
+            assert_eq!(run_functional(&w), 1, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn cosim_kernels_are_small() {
+        use sfq_riscv::asm::assemble;
+        use sfq_riscv::exec::Cpu;
+        use sfq_riscv::mem::Memory;
+        for w in [cosim_alu(), cosim_mem(), cosim_branch()] {
+            let prog = assemble(&w.source, 0).expect("assembles");
+            let mut mem = Memory::new(w.mem_size);
+            mem.load_image(prog.base, &prog.words);
+            let mut cpu = Cpu::new(prog.symbol("_start").unwrap_or(0));
+            cpu.run(&mut mem, w.budget).expect("runs");
+            assert!(
+                cpu.retired <= 400,
+                "{} retired {} — too big for pulse co-sim",
+                w.name,
+                cpu.retired
+            );
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The benchmark kernels of the Figure 14 suite.
 
+pub mod cosim;
 pub mod dhrystone;
 pub mod filter;
 pub mod matrix;

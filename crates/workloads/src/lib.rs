@@ -21,6 +21,18 @@ pub mod workload;
 
 pub use workload::{Lcg, Workload, PASS};
 
+/// The miniature kernels sized for pulse-level co-simulation: the same
+/// hazard patterns as the Figure 14 suite (ALU chains, memory round
+/// trips, branchy loops) compressed into a few hundred retired
+/// instructions so every access can drive the event-driven netlists.
+pub fn cosim_suite() -> Vec<Workload> {
+    vec![
+        kernels::cosim::cosim_alu(),
+        kernels::cosim::cosim_mem(),
+        kernels::cosim::cosim_branch(),
+    ]
+}
+
 /// The full Figure 14 benchmark suite, in the paper's display order.
 pub fn suite() -> Vec<Workload> {
     vec![

@@ -1,0 +1,23 @@
+//! Every kernel in the crate — the full Figure 14 suite and the
+//! miniature co-simulation kernels — must pass its embedded `a0 = 1`
+//! self-check on the functional executor, so workload bugs fail tier-1
+//! instead of polluting the CPI figures.
+
+use sfq_workloads::testutil::run_functional;
+use sfq_workloads::{cosim_suite, suite, PASS};
+
+#[test]
+fn every_figure14_kernel_passes_its_self_check() {
+    let all = suite();
+    assert_eq!(all.len(), 13, "the Figure 14 suite has 13 kernels");
+    for w in &all {
+        assert_eq!(run_functional(w), PASS, "{} failed its self-check", w.name);
+    }
+}
+
+#[test]
+fn every_cosim_kernel_passes_its_self_check() {
+    for w in &cosim_suite() {
+        assert_eq!(run_functional(w), PASS, "{} failed its self-check", w.name);
+    }
+}

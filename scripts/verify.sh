@@ -39,4 +39,10 @@ cargo run -q --release -p hiperrf-bench --bin repro -- designs --smoke
 echo "== simulator-core perf smoke (schedulers + parallel MC) =="
 cargo run -q --release -p hiperrf-bench --bin repro -- perf --smoke --threads 2
 
+echo "== co-simulation smoke (CPU on pulse-level netlists) =="
+cargo run -q --release -p hiperrf-bench --bin repro -- cosim --smoke
+
+echo "== docs (deny rustdoc warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "verify: OK"

@@ -1,0 +1,129 @@
+//! Differential co-simulation suite: the gate-level CPU's operand
+//! traffic driven through the pulse-level netlists of every registered
+//! design, checked against the functional RV32I model and the analytic
+//! timing model.
+//!
+//! Three properties hold run by run:
+//!
+//! 1. every pulse-read value matches the functional model (the netlists
+//!    actually store and restore the architectural state);
+//! 2. analytic and pulse per-access latencies agree with the Table IV
+//!    constants, and whole-run CPI is identical between the backends;
+//! 3. an injected fault plan under the `Degrade` policy demonstrably
+//!    alters the run outcome — corruption is surfaced, not swallowed.
+
+use hiperrf::backend::{AnalyticRf, PulseRf, RfBackend};
+use hiperrf::config::RfGeometry;
+use hiperrf::delay::RfDesign;
+use hiperrf::designs::{registry, Design};
+use hiperrf_bench::cosim::{fault_demo, run_cosim};
+use sfq_workloads::cosim_suite;
+
+#[test]
+fn pulse_values_match_functional_model_on_every_design() {
+    for w in cosim_suite() {
+        for design in registry() {
+            // `run_cosim` asserts the self-check exit code internally.
+            let row = run_cosim(&w, design);
+            assert_eq!(
+                row.health.value_mismatches, 0,
+                "{} on {design}: pulse reads diverged from the functional model",
+                w.name
+            );
+            assert!(
+                row.health.is_clean(),
+                "{} on {design}: {:?}",
+                w.name,
+                row.health
+            );
+            assert!(
+                row.health.reads > 0 && row.health.writes > 0,
+                "{} on {design}: no RF traffic reached the netlist",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn analytic_and_pulse_cpi_agree_exactly() {
+    for w in cosim_suite() {
+        for design in registry().filter(|d| d.arch_design().is_some()) {
+            let row = run_cosim(&w, design);
+            assert_eq!(
+                Some(row.pulse_cpi),
+                row.analytic_cpi,
+                "{} on {design}: analytic and pulse timing diverged",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn per_access_latencies_match_table_iv_constants() {
+    // Table IV post-P&R readout delays at 28 ps gate cycles:
+    // 216.8 ps -> 8, 270.1 ps -> 10, 236.8 ps -> 9.
+    let expected = |d: RfDesign| match d {
+        RfDesign::NdroBaseline => 8,
+        RfDesign::HiPerRf => 10,
+        RfDesign::DualBanked | RfDesign::DualBankedIdeal => 9,
+    };
+    let g = RfGeometry::paper_32x32();
+    for design in registry() {
+        let Some(arch) = design.arch_design() else {
+            continue;
+        };
+        let pulse = PulseRf::new(design);
+        let analytic = AnalyticRf::new(arch, g);
+        assert_eq!(pulse.readout_gate_cycles(), expected(arch), "{design}");
+        assert_eq!(
+            pulse.readout_gate_cycles(),
+            analytic.readout_gate_cycles(),
+            "{design}"
+        );
+        assert_eq!(
+            pulse.loopback_gate_cycles(),
+            analytic.loopback_gate_cycles(),
+            "{design}"
+        );
+        for srcs in [&[][..], &[1][..], &[2, 4][..], &[1, 3][..]] {
+            assert_eq!(
+                pulse.issue_interval_gate_cycles(srcs),
+                analytic.issue_interval_gate_cycles(srcs),
+                "{design} {srcs:?}"
+            );
+            assert_eq!(
+                pulse.operand_gather_gate_cycles(srcs),
+                analytic.operand_gather_gate_cycles(srcs),
+                "{design} {srcs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shift_register_cosimulates_without_analytic_model() {
+    let w = &cosim_suite()[0];
+    let row = run_cosim(w, Design::ShiftRegister);
+    assert_eq!(row.analytic_cpi, None);
+    assert!(row.health.is_clean(), "{:?}", row.health);
+    // Bit-serial access: each op costs a full w-cycle rotation, so the
+    // CPI must sit far above every word-parallel design.
+    let hiperrf = run_cosim(w, Design::HiPerRf);
+    assert!(
+        row.pulse_cpi > 2.0 * hiperrf.pulse_cpi,
+        "shift {} vs HiPerRF {}",
+        row.pulse_cpi,
+        hiperrf.pulse_cpi
+    );
+}
+
+#[test]
+fn fault_plan_alters_run_outcome_under_degrade() {
+    // `fault_demo` panics unless the clean run is clean, the faulty
+    // outcome differs, and the injected faults surface in the health
+    // counters.
+    let report = fault_demo();
+    assert!(report.contains("faulty"));
+}
