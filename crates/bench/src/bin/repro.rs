@@ -13,12 +13,13 @@
 //! repro margins      Variation-aware margin tables + yield curves
 //! repro faults       Fault-injection demonstrations
 //! repro designs      Registry smoke matrix: every design, built + driven
+//! repro lint         Static lint matrix: netlist DRC + min/max-path timing
 //! repro perf         Simulator-core wall clock: schedulers + MC threads
 //! repro cosim        CPU co-simulation on the pulse-level netlists + fault demo
 //! repro all          Everything above, in order, with a phase-time table
 //! ```
 //!
-//! `margins`, `faults`, `designs`, `perf`, and `cosim` accept `--smoke` for the
+//! `margins`, `faults`, `designs`, `lint`, `perf`, and `cosim` accept `--smoke` for the
 //! fast CI path. `--threads N` pins the Monte Carlo worker count for the
 //! process (it sets `HIPERRF_THREADS`); the default is the machine's
 //! available parallelism. Every section prints its wall-clock time, and
@@ -34,6 +35,7 @@ use hiperrf_bench::ablations::{
 };
 use hiperrf_bench::cosim::{cosim_rows, fault_demo, render as render_cosim};
 use hiperrf_bench::figure14::{average_overheads, figure14, render as render_fig14};
+use hiperrf_bench::lint::{lint_detail, lint_matrix};
 use hiperrf_bench::perf::{format_duration, perf_report, PhaseTimer};
 use hiperrf_bench::reports::{
     budget_breakdown_report, render_sim_stats, render_table1, render_table2, render_table3,
@@ -296,6 +298,12 @@ fn run(section: &str, smoke: bool) -> bool {
         "margins" => print!("{}", margins_table(smoke)),
         "faults" => print!("{}", faults_report(smoke)),
         "designs" => print!("{}", designs_report(smoke)),
+        "lint" => {
+            print!("{}", lint_matrix(smoke));
+            if !smoke {
+                print!("{}", lint_detail());
+            }
+        }
         "perf" => print!("{}", perf_report(smoke)),
         "cosim" => {
             print!("{}", render_cosim(&cosim_rows(smoke)));
@@ -319,6 +327,7 @@ fn run(section: &str, smoke: bool) -> bool {
                 "margins",
                 "faults",
                 "designs",
+                "lint",
                 "perf",
                 "cosim",
             ] {
@@ -349,8 +358,9 @@ fn main() {
     if !run(&section, smoke) {
         eprintln!(
             "unknown section `{section}`; expected one of: table1 table2 table3 table4 \
-             budget figure14 chip figure15 timing ablations margins faults designs perf cosim all \
-             (margins/faults/designs/perf/cosim accept --smoke; --threads N pins MC workers)"
+             budget figure14 chip figure15 timing ablations margins faults designs lint perf \
+             cosim all \
+             (margins/faults/designs/lint/perf/cosim accept --smoke; --threads N pins MC workers)"
         );
         std::process::exit(2);
     }

@@ -11,6 +11,7 @@
 pub mod ablations;
 pub mod cosim;
 pub mod figure14;
+pub mod lint;
 #[cfg(feature = "bench")]
 pub mod microbench;
 pub mod perf;

@@ -184,6 +184,21 @@ impl RegisterFile for DualBankRf {
     fn peek(&self, reg: usize) -> u64 {
         self.banks[bank_of(reg)].peek(self.h.sim(), index_in_bank(reg))
     }
+
+    fn lint_ports(&self) -> sfq_lint::LintPorts {
+        // The data inputs are shared interface splitters, so the two
+        // banks' port lists overlap; the lint engine treats the list as a
+        // set.
+        let mut inputs = self.banks[0].ports.lint_inputs();
+        inputs.extend(self.banks[1].ports.lint_inputs());
+        sfq_lint::LintPorts {
+            timing: Some(sfq_lint::TimingSpec {
+                starts: inputs.clone(),
+                issue_period_ps: OP_GAP_PS,
+            }),
+            external_inputs: inputs,
+        }
+    }
 }
 
 #[cfg(test)]

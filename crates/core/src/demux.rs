@@ -68,6 +68,15 @@ impl Demux {
     pub fn clear(&self, sim: &mut Simulator, t: Time) {
         sim.inject(self.reset, t);
     }
+
+    /// Every externally driven input pin of the demux (enable, reset, and
+    /// all select inputs) — the demux's contribution to a design's
+    /// [`sfq_lint::LintPorts`].
+    pub fn lint_inputs(&self) -> Vec<Pin> {
+        let mut pins = vec![self.enable, self.reset];
+        pins.extend(self.sel_set.iter().copied());
+        pins
+    }
 }
 
 /// Builds a `levels`-deep NDROC demux tree with `2^levels` outputs.

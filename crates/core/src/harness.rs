@@ -10,6 +10,7 @@
 //! (see [`crate::designs`]).
 
 use sfq_cells::Census;
+use sfq_lint::{LintPorts, LintReport};
 use sfq_sim::fault::FaultPlan;
 use sfq_sim::netlist::Netlist;
 use sfq_sim::queue::SchedulerKind;
@@ -133,6 +134,30 @@ impl RfHarness {
         self.sim.set_scheduler(kind);
     }
 
+    /// The FailFast lint gate: refuses to simulate a netlist that static
+    /// analysis has proven defective. Called by the provided
+    /// [`RegisterFile::set_violation_policy`] when switching to
+    /// [`ViolationPolicy::FailFast`] — a run that wants to stop at the
+    /// first *dynamic* violation should not start on a netlist with
+    /// *static* errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report contains any error-severity finding.
+    pub fn gate_on_lint(report: &LintReport) {
+        if !report.is_clean() {
+            let first = report
+                .findings
+                .iter()
+                .find(|f| f.severity == sfq_lint::Severity::Error)
+                .expect("unclean report has an error finding");
+            panic!(
+                "lint gate: refusing to simulate a netlist with {} static error(s); first: {first}",
+                report.errors()
+            );
+        }
+    }
+
     /// Panics if `reg` is out of range for the geometry.
     pub fn assert_reg(&self, reg: usize) {
         assert!(
@@ -186,6 +211,11 @@ pub trait RegisterFile {
     /// access.
     fn peek(&self, reg: usize) -> u64;
 
+    /// The external-port context for static analysis: which input pins the
+    /// driver injects into, and the issue schedule the timing rule checks
+    /// against.
+    fn lint_ports(&self) -> LintPorts;
+
     /// Writes a register with nominal timing.
     ///
     /// # Panics
@@ -215,8 +245,20 @@ pub trait RegisterFile {
         self.harness().violations()
     }
 
+    /// Runs every static lint rule over the elaborated netlist.
+    fn lint(&self) -> LintReport {
+        sfq_lint::lint(self.netlist(), &self.lint_ports())
+    }
+
     /// Sets how the simulator reacts to timing violations.
+    ///
+    /// Switching to [`ViolationPolicy::FailFast`] first runs the static
+    /// lint pass and refuses (panics) if the netlist has error-severity
+    /// findings — see [`RfHarness::gate_on_lint`].
     fn set_violation_policy(&mut self, policy: ViolationPolicy) {
+        if policy == ViolationPolicy::FailFast {
+            RfHarness::gate_on_lint(&self.lint());
+        }
         self.harness_mut().set_violation_policy(policy);
     }
 

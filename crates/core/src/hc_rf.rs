@@ -77,6 +77,28 @@ pub struct HcRfPorts {
     pub cells: Vec<Vec<ComponentId>>,
 }
 
+impl HcRfPorts {
+    /// Every externally driven input pin of the bank — its contribution to
+    /// a design's [`sfq_lint::LintPorts`].
+    pub fn lint_inputs(&self) -> Vec<Pin> {
+        let mut pins = vec![
+            self.read_enable,
+            self.read_clear,
+            self.write_enable,
+            self.write_clear,
+            self.lb_set,
+            self.lb_reset,
+            self.hcread_read,
+            self.hcread_reset,
+        ];
+        pins.extend(self.read_sel.iter().copied());
+        pins.extend(self.write_sel.iter().copied());
+        pins.extend(self.data_b0.iter().copied());
+        pins.extend(self.data_b1.iter().copied());
+        pins
+    }
+}
+
 /// Builds one HiPerRF bank into `b`.
 pub fn build_hc_rf(b: &mut CircuitBuilder, geometry: RfGeometry) -> HcRfPorts {
     let n = geometry.registers();

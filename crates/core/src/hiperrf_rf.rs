@@ -87,6 +87,17 @@ impl RegisterFile for HiPerRf {
     fn peek(&self, reg: usize) -> u64 {
         self.bank.peek(self.h.sim(), reg)
     }
+
+    fn lint_ports(&self) -> sfq_lint::LintPorts {
+        let inputs = self.bank.ports.lint_inputs();
+        sfq_lint::LintPorts {
+            timing: Some(sfq_lint::TimingSpec {
+                starts: inputs.clone(),
+                issue_period_ps: crate::harness::OP_GAP_PS,
+            }),
+            external_inputs: inputs,
+        }
+    }
 }
 
 #[cfg(test)]

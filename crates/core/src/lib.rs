@@ -75,6 +75,7 @@ pub mod fabric;
 pub mod harness;
 pub mod hc_rf;
 pub mod hiperrf_rf;
+pub mod lint;
 pub mod margins;
 pub mod ndro_rf;
 pub mod par;

@@ -234,6 +234,20 @@ impl RegisterFile for NdroRf {
         }
         v
     }
+
+    fn lint_ports(&self) -> sfq_lint::LintPorts {
+        let mut inputs = self.read_demux.lint_inputs();
+        inputs.extend(self.reset_demux.lint_inputs());
+        inputs.extend(self.write_demux.lint_inputs());
+        inputs.extend(self.data_in.iter().copied());
+        sfq_lint::LintPorts {
+            timing: Some(sfq_lint::TimingSpec {
+                starts: inputs.clone(),
+                issue_period_ps: crate::harness::OP_GAP_PS,
+            }),
+            external_inputs: inputs,
+        }
+    }
 }
 
 #[cfg(test)]

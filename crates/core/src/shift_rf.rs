@@ -374,6 +374,22 @@ impl RegisterFile for ShiftRegisterRf {
         }
         v
     }
+
+    fn lint_ports(&self) -> sfq_lint::LintPorts {
+        let mut inputs = self.clock_demux.lint_inputs();
+        inputs.extend(self.write_demux.lint_inputs());
+        inputs.extend([self.data_in, self.gate_set, self.gate_reset]);
+        sfq_lint::LintPorts {
+            timing: Some(sfq_lint::TimingSpec {
+                starts: inputs.clone(),
+                // The shift driver pulses the clock demux once per shift
+                // step, so the step — not the operation gap — is the issue
+                // period its 53 ps NDROC re-arm windows must clear.
+                issue_period_ps: SHIFT_STEP_PS,
+            }),
+            external_inputs: inputs,
+        }
+    }
 }
 
 /// Paper-facing comparison row: the shift-register file versus HiPerRF.

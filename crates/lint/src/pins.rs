@@ -1,0 +1,153 @@
+//! Per-kind pin profiles: how many input/output pins each cell has, what
+//! they are called, and which separation windows apply. This mirrors the
+//! pin constants of `sfq-cells` (`Jtl::IN`, `Ndroc::CLK`, …) in a form
+//! the rule engine can index by the component's `kind()` string.
+
+use sfq_cells::timing::{HCDRO_PULSE_SEP_PS, NDROC_REARM_PS};
+
+/// Static pin-count profile of a cell kind.
+#[derive(Debug, Clone, Copy)]
+pub struct PinProfile {
+    /// The `kind()` string of the cell.
+    pub kind: &'static str,
+    /// Number of input pins (indices `0..inputs`).
+    pub inputs: u8,
+    /// Number of output pins (indices `0..outputs`).
+    pub outputs: u8,
+    /// Input pin names, indexed by pin.
+    pub input_names: &'static [&'static str],
+}
+
+const PROFILES: &[PinProfile] = &[
+    PinProfile {
+        kind: "jtl",
+        inputs: 1,
+        outputs: 1,
+        input_names: &["IN"],
+    },
+    PinProfile {
+        kind: "splitter",
+        inputs: 1,
+        outputs: 2,
+        input_names: &["IN"],
+    },
+    PinProfile {
+        kind: "merger",
+        inputs: 2,
+        outputs: 1,
+        input_names: &["IN_A", "IN_B"],
+    },
+    PinProfile {
+        kind: "dro",
+        inputs: 2,
+        outputs: 1,
+        input_names: &["D", "CLK"],
+    },
+    PinProfile {
+        kind: "hcdro",
+        inputs: 2,
+        outputs: 1,
+        input_names: &["D", "CLK"],
+    },
+    PinProfile {
+        kind: "ndro",
+        inputs: 3,
+        outputs: 1,
+        input_names: &["SET", "RESET", "CLK"],
+    },
+    PinProfile {
+        kind: "ndroc",
+        inputs: 3,
+        outputs: 2,
+        input_names: &["SET", "RESET", "CLK"],
+    },
+    PinProfile {
+        kind: "dand",
+        inputs: 2,
+        outputs: 1,
+        input_names: &["A", "B"],
+    },
+    PinProfile {
+        kind: "and",
+        inputs: 3,
+        outputs: 1,
+        input_names: &["A", "B", "CLK"],
+    },
+    PinProfile {
+        kind: "xor",
+        inputs: 3,
+        outputs: 1,
+        input_names: &["A", "B", "CLK"],
+    },
+    PinProfile {
+        kind: "not",
+        inputs: 2,
+        outputs: 1,
+        input_names: &["A", "CLK"],
+    },
+    PinProfile {
+        kind: "sync",
+        inputs: 2,
+        outputs: 1,
+        input_names: &["D", "CLK"],
+    },
+    PinProfile {
+        kind: "counter_bit",
+        inputs: 3,
+        outputs: 2,
+        input_names: &["IN", "READ", "RESET"],
+    },
+];
+
+/// Looks up the pin profile for a cell kind, if it is a library cell.
+pub fn profile_of(kind: &str) -> Option<&'static PinProfile> {
+    PROFILES.iter().find(|p| p.kind == kind)
+}
+
+/// Name of an input pin for diagnostics (`"?"` when out of range or the
+/// kind is unknown).
+pub fn input_pin_name(kind: &str, pin: u8) -> &'static str {
+    profile_of(kind)
+        .and_then(|p| p.input_names.get(pin as usize).copied())
+        .unwrap_or("?")
+}
+
+/// A minimum pulse-separation requirement at one input pin — the static
+/// shadow of a dynamic violation check.
+#[derive(Debug, Clone, Copy)]
+pub struct SeparationWindow {
+    /// The guarded input pin.
+    pub pin: u8,
+    /// Required separation between successive pulses at the pin (ps).
+    pub window_ps: f64,
+    /// The dynamic violation kind this window corresponds to.
+    pub violation_kind: &'static str,
+}
+
+const NDROC_WINDOWS: &[SeparationWindow] = &[SeparationWindow {
+    pin: 2, // Ndroc::CLK
+    window_ps: NDROC_REARM_PS,
+    violation_kind: "re-arm",
+}];
+
+const HCDRO_WINDOWS: &[SeparationWindow] = &[
+    SeparationWindow {
+        pin: 0, // HcDro::D
+        window_ps: HCDRO_PULSE_SEP_PS,
+        violation_kind: "hold",
+    },
+    SeparationWindow {
+        pin: 1, // HcDro::CLK
+        window_ps: HCDRO_PULSE_SEP_PS,
+        violation_kind: "hold",
+    },
+];
+
+/// The separation windows guarding a cell kind's input pins.
+pub fn separation_windows(kind: &str) -> &'static [SeparationWindow] {
+    match kind {
+        "ndroc" => NDROC_WINDOWS,
+        "hcdro" => HCDRO_WINDOWS,
+        _ => &[],
+    }
+}

@@ -173,14 +173,44 @@ impl Netlist {
     }
 
     /// Connects `from` (an output pin) to `to` (an input pin) with `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wire identical to one already present (same `from`,
+    /// `to`, and `delay` — always a construction bug: the duplicate would
+    /// silently double every pulse) and on a zero-delay self-loop (an
+    /// event at the same component and the same instant, which the event
+    /// queue could never drain). Self-loops with positive delay stay
+    /// legal — deliberate feedback uses them.
     pub fn connect(&mut self, from: Pin, to: Pin, delay: Duration) {
-        self.wires.entry(from).or_default().push((to, delay));
+        assert!(
+            !(from.component == to.component && delay == Duration::ZERO),
+            "zero-delay self-loop at {from} -> {to}"
+        );
+        let sinks = self.wires.entry(from).or_default();
+        assert!(
+            !sinks.iter().any(|&(t, d)| t == to && d == delay),
+            "duplicate wire {from} -> {to} ({} ps)",
+            delay.as_ps()
+        );
+        sinks.push((to, delay));
         self.wire_count += 1;
     }
 
     /// Returns the destinations of an output pin.
     pub fn fanout(&self, from: Pin) -> &[(Pin, Duration)] {
         self.wires.get(&from).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over every wire in the netlist, in unspecified order —
+    /// the raw material for static analyses (DRC walks the full wire set,
+    /// not just the fanout of known pins).
+    pub fn wires(&self) -> impl Iterator<Item = Wire> + '_ {
+        self.wires.iter().flat_map(|(&from, sinks)| {
+            sinks
+                .iter()
+                .map(move |&(to, delay)| Wire { from, to, delay })
+        })
     }
 
     /// Number of components in the netlist.
@@ -359,6 +389,46 @@ mod tests {
         assert_eq!(n.fanout(from).len(), 2);
         assert_eq!(n.wire_count(), 2);
         assert!(n.fanout(Pin::new(b, 0)).is_empty());
+        assert_eq!(n.wires().count(), 2);
+        assert!(n.wires().all(|w| w.from == from));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate wire")]
+    fn duplicate_identical_wire_panics() {
+        let mut n = Netlist::new();
+        let a = n.add("a", Box::new(Dummy));
+        let b = n.add("b", Box::new(Dummy));
+        n.connect(Pin::new(a, 0), Pin::new(b, 0), Duration::from_ps(1.0));
+        n.connect(Pin::new(a, 0), Pin::new(b, 0), Duration::from_ps(1.0));
+    }
+
+    #[test]
+    fn parallel_wires_with_distinct_delays_are_accepted() {
+        // Not identical, so construction lets them through — sfq-lint's
+        // dup-wire rule flags the double driving instead.
+        let mut n = Netlist::new();
+        let a = n.add("a", Box::new(Dummy));
+        let b = n.add("b", Box::new(Dummy));
+        n.connect(Pin::new(a, 0), Pin::new(b, 0), Duration::from_ps(1.0));
+        n.connect(Pin::new(a, 0), Pin::new(b, 0), Duration::from_ps(2.0));
+        assert_eq!(n.fanout(Pin::new(a, 0)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-delay self-loop")]
+    fn zero_delay_self_loop_panics() {
+        let mut n = Netlist::new();
+        let a = n.add("a", Box::new(Dummy));
+        n.connect(Pin::new(a, 0), Pin::new(a, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn delayed_self_loop_is_legal() {
+        let mut n = Netlist::new();
+        let a = n.add("a", Box::new(Dummy));
+        n.connect(Pin::new(a, 0), Pin::new(a, 0), Duration::from_ps(1.0));
+        assert_eq!(n.wire_count(), 1);
     }
 
     #[test]

@@ -36,6 +36,20 @@ cargo run -q --release -p hiperrf-bench --bin repro -- faults --smoke
 echo "== design-registry smoke matrix =="
 cargo run -q --release -p hiperrf-bench --bin repro -- designs --smoke
 
+echo "== static lint matrix (netlist DRC + min/max-path timing) =="
+# lint_matrix asserts every registered design is error-free, so this run
+# doubles as the gate keeping shipped netlists DRC- and timing-clean.
+cargo run -q --release -p hiperrf-bench --bin repro -- lint --smoke
+
+echo "== no new lint suppressions =="
+# The crates carry zero `#[allow(dead_code)]` / `#[allow(unused...)]`
+# attributes; keep it that way rather than silencing what sfq-lint or
+# clippy find.
+if grep -rn --include='*.rs' -E '#\[allow\((dead_code|unused)' crates tests; then
+    echo "error: new #[allow(dead_code/unused...)] suppression found" >&2
+    exit 1
+fi
+
 echo "== simulator-core perf smoke (schedulers + parallel MC) =="
 cargo run -q --release -p hiperrf-bench --bin repro -- perf --smoke --threads 2
 

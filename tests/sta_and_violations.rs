@@ -7,12 +7,13 @@ use std::collections::HashSet;
 use hiperrf::config::RfGeometry;
 use hiperrf::demux::{build_demux, sel_head_start};
 use hiperrf::hc_rf::build_hc_rf;
-use hiperrf::RegisterFile;
+use hiperrf::shift_rf::ShiftRegisterRf;
+use hiperrf::{DualBankRf, RegisterFile};
 use sfq_cells::builder::CircuitBuilder;
-use sfq_cells::sta::{arrival_times, StaError};
+use sfq_cells::sta::{arrival_times, trigger_arrival_times, Sense, StaError};
 use sfq_cells::storage::HcDro;
-use sfq_cells::timing::NDROC_PROP_PS;
-use sfq_sim::netlist::Pin;
+use sfq_cells::timing::{NDROC_PROP_PS, NDROC_REARM_PS};
+use sfq_sim::netlist::{Netlist, Pin};
 use sfq_sim::prelude::*;
 
 #[test]
@@ -34,6 +35,146 @@ fn sta_confirms_demux_traverse_latency() {
             (cp - expected).abs() < 1e-9,
             "levels {levels}: cp {cp} vs {expected}"
         );
+    }
+}
+
+#[test]
+fn demux_min_and_max_paths_both_match_the_closed_form_model() {
+    // The enable tree is a pure fan-out structure: at every component the
+    // earliest and latest trigger arrivals coincide, and both equal the
+    // (levels-1) x 24 ps closed-form traverse model. This is the zero
+    // spread that makes the lint's static separation slack on the demux
+    // exactly `issue_period - NDROC_REARM_PS`.
+    for levels in 1..=5usize {
+        let mut b = CircuitBuilder::new();
+        let demux = build_demux(&mut b, levels);
+        let netlist = b.finish();
+        let no_cuts = HashSet::new();
+        let starts = [demux.enable];
+        let earliest = trigger_arrival_times(&netlist, &starts, &no_cuts, Sense::Earliest)
+            .expect("trigger graph of a tree is acyclic");
+        let latest = trigger_arrival_times(&netlist, &starts, &no_cuts, Sense::Latest)
+            .expect("trigger graph of a tree is acyclic");
+        for (id, label, _) in netlist.iter() {
+            match (earliest.at(id), latest.at(id)) {
+                (Some(e), Some(l)) => {
+                    assert!((e - l).abs() < 1e-9, "levels {levels} {label}: {e} vs {l}");
+                }
+                (None, None) => {}
+                (e, l) => panic!("levels {levels} {label}: reachability differs {e:?}/{l:?}"),
+            }
+        }
+        let expected = (levels as f64 - 1.0) * NDROC_PROP_PS;
+        for times in [&earliest, &latest] {
+            let cp = times.critical_path_ps().expect("reachable");
+            assert!(
+                (cp - expected).abs() < 1e-9,
+                "levels {levels}: cp {cp} vs {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn demux_static_rearm_slack_is_period_minus_window_at_every_depth() {
+    // With zero min/max spread (previous test), the lint's separation
+    // slack on a demux must be exactly `period - 53 ps`, independent of
+    // tree depth.
+    for levels in 1..=4usize {
+        let mut b = CircuitBuilder::new();
+        let demux = build_demux(&mut b, levels);
+        let netlist = b.finish();
+        let ports = sfq_lint::LintPorts {
+            external_inputs: demux.lint_inputs(),
+            timing: Some(sfq_lint::TimingSpec {
+                starts: vec![demux.enable],
+                issue_period_ps: 100.0,
+            }),
+        };
+        let report = sfq_lint::lint(&netlist, &ports);
+        assert!(report.is_clean(), "levels {levels}:\n{report}");
+        let timing = report.timing.expect("timing ran");
+        let worst = timing.worst_slack_ps.expect("NDROC pins checked");
+        assert!(
+            (worst - (100.0 - NDROC_REARM_PS)).abs() < 1e-9,
+            "levels {levels}: worst slack {worst}"
+        );
+        // Every NDROC in the tree carries a guarded CLK pin.
+        assert_eq!(timing.checked_pins, (1 << levels) - 1, "levels {levels}");
+    }
+}
+
+/// Repeatedly runs STA from `start`, feeding each `UncutCycle`'s
+/// suggested cuts back in until the analysis converges; returns the cut
+/// set and the bounded critical path.
+fn cut_until_analyzable(
+    netlist: &Netlist,
+    start: Pin,
+) -> (HashSet<sfq_sim::netlist::ComponentId>, f64) {
+    let mut cuts = HashSet::new();
+    for _ in 0..netlist.component_count() {
+        match arrival_times(netlist, &[start], &cuts) {
+            Ok(times) => {
+                let cp = times.critical_path_ps().expect("start reaches something");
+                return (cuts, cp);
+            }
+            Err(StaError::UncutCycle {
+                witness,
+                suggested_cuts,
+            }) => {
+                assert!(!witness.is_empty(), "a cycle error must carry a witness");
+                assert!(
+                    !suggested_cuts.is_empty(),
+                    "a cycle error must suggest where to cut"
+                );
+                for id in suggested_cuts {
+                    assert!(cuts.insert(id), "suggested cuts must make progress");
+                }
+            }
+        }
+    }
+    panic!("cut suggestions never converged");
+}
+
+#[test]
+fn suggested_cuts_make_banked_and_shift_designs_analyzable() {
+    // Satellite coverage beyond HiPerRF: the dual-bank and shift-register
+    // netlists also contain feedback (loopback per bank, shift rings).
+    // Uncut STA must refuse with a witness, and iterating on the error's
+    // own suggested cuts must converge to a bounded critical path with
+    // every cut placed at a state-holding (or clocked-AND) cell.
+    let banked = DualBankRf::new(RfGeometry::paper_4x4());
+    let shift = ShiftRegisterRf::new(RfGeometry::paper_4x4());
+    let cases: [(&str, &Netlist, Pin); 2] = [
+        (
+            "dual-bank",
+            banked.netlist(),
+            banked.lint_ports().external_inputs[0],
+        ),
+        (
+            "shift",
+            shift.netlist(),
+            shift.lint_ports().external_inputs[0],
+        ),
+    ];
+    for (name, netlist, start) in cases {
+        let uncut = arrival_times(netlist, &[start], &HashSet::new());
+        assert!(
+            matches!(uncut, Err(StaError::UncutCycle { .. })),
+            "{name}: feedback must make uncut STA refuse"
+        );
+        let (cuts, cp) = cut_until_analyzable(netlist, start);
+        assert!(!cuts.is_empty(), "{name}");
+        assert!(cp > 0.0, "{name}: critical path {cp}");
+        for &id in &cuts {
+            let c = netlist.component(id);
+            assert!(
+                c.stored().is_some() || c.kind() == "dand",
+                "{name}: cut at a non-state-holding cell {} ({})",
+                netlist.label(id),
+                c.kind()
+            );
+        }
     }
 }
 
