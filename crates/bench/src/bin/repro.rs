@@ -16,14 +16,22 @@
 //! repro lint         Static lint matrix: netlist DRC + min/max-path timing
 //! repro perf         Simulator-core wall clock: schedulers + MC threads
 //! repro cosim        CPU co-simulation on the pulse-level netlists + fault demo
+//! repro serve        Sim-as-a-service smoke: submit, cache hit, drain
 //! repro all          Everything above, in order, with a phase-time table
 //! ```
 //!
-//! `margins`, `faults`, `designs`, `lint`, `perf`, and `cosim` accept `--smoke` for the
-//! fast CI path. `--threads N` pins the Monte Carlo worker count for the
-//! process (it sets `HIPERRF_THREADS`); the default is the machine's
-//! available parallelism. Every section prints its wall-clock time, and
-//! `repro all` ends with the per-section timing table.
+//! `margins`, `faults`, `designs`, `lint`, `perf`, `cosim`, and `serve`
+//! accept `--smoke` for the fast CI path. `--threads N` pins the Monte
+//! Carlo worker count for the process (it sets `HIPERRF_THREADS`); the
+//! default is the machine's available parallelism. Every section prints
+//! its wall-clock time, and `repro all` ends with the per-section timing
+//! table.
+//!
+//! Sections self-assert; a failed assertion is *contained* per section,
+//! `repro all` keeps going, and the process exits nonzero if anything
+//! failed. `--json` appends one machine-readable line —
+//! `{"ok":…,"sections":[{"name":…,"ok":…,"ms":…,"error":…}]}` — for CI
+//! to parse instead of scraping tables.
 
 use hiperrf::budget::{hiperrf_budget, ndro_rf_budget, structural_budget};
 use hiperrf::config::RfGeometry;
@@ -42,6 +50,7 @@ use hiperrf_bench::reports::{
     table4_report,
 };
 use hiperrf_bench::robustness::{faults_report, margins_table};
+use hiperrf_bench::serve_smoke::serve_report;
 use hiperrf_bench::timing_diagrams::all_diagrams;
 use sfq_cells::spec::CellKind;
 use sfq_chip::pnr;
@@ -273,7 +282,30 @@ fn designs_report(smoke: bool) -> String {
     out
 }
 
-fn run(section: &str, smoke: bool) -> bool {
+/// Every concrete section, in `repro all` order.
+const SECTIONS: [&str; 17] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "budget",
+    "figure14",
+    "chip",
+    "figure15",
+    "timing",
+    "ablations",
+    "margins",
+    "faults",
+    "designs",
+    "lint",
+    "perf",
+    "cosim",
+    "serve",
+];
+
+/// Runs one concrete section's report; any self-assertion failure panics
+/// (the caller contains it).
+fn run_section(section: &str, smoke: bool) {
     match section {
         "table1" => print!("{}", render_table1()),
         "table2" => print!("{}", render_table2()),
@@ -311,39 +343,88 @@ fn run(section: &str, smoke: bool) -> bool {
                 print!("{}", fault_demo());
             }
         }
-        "all" => {
-            let mut timer = PhaseTimer::new();
-            for s in [
-                "table1",
-                "table2",
-                "table3",
-                "table4",
-                "budget",
-                "figure14",
-                "chip",
-                "figure15",
-                "timing",
-                "ablations",
-                "margins",
-                "faults",
-                "designs",
-                "lint",
-                "perf",
-                "cosim",
-            ] {
-                timer.time(s, || run(s, smoke));
-                println!();
-            }
-            print!("{}", timer.render());
-        }
-        _ => return false,
+        "serve" => print!("{}", serve_report(smoke)),
+        // Undocumented: lets tests exercise the containment + exit-code
+        // path without breaking a real section.
+        "selfcheck-fail" => panic!("injected self-check failure"),
+        other => unreachable!("unknown section `{other}` reached run_section"),
     }
-    true
+}
+
+/// One section's outcome for the exit code and the `--json` summary.
+struct SectionOutcome {
+    name: &'static str,
+    ok: bool,
+    ms: u128,
+    error: Option<String>,
+}
+
+/// Best-effort text of a section's panic payload.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one section with panic containment: a failed self-assertion marks
+/// the section failed instead of aborting the run.
+fn run_contained(name: &'static str, smoke: bool) -> SectionOutcome {
+    let start = std::time::Instant::now();
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_section(name, smoke)));
+    let ms = start.elapsed().as_millis();
+    match outcome {
+        Ok(()) => SectionOutcome {
+            name,
+            ok: true,
+            ms,
+            error: None,
+        },
+        Err(payload) => {
+            let error = panic_text(payload);
+            println!("[{name}: FAILED — {error}]");
+            SectionOutcome {
+                name,
+                ok: false,
+                ms,
+                error: Some(error),
+            }
+        }
+    }
+}
+
+/// Renders the machine-readable summary line for `--json`.
+fn json_summary(outcomes: &[SectionOutcome]) -> String {
+    use sfq_serve::json::Json;
+    let sections = outcomes
+        .iter()
+        .map(|o| {
+            let mut fields = vec![
+                ("name", Json::str(o.name)),
+                ("ok", Json::Bool(o.ok)),
+                ("ms", Json::u64(o.ms as u64)),
+            ];
+            if let Some(e) = &o.error {
+                fields.push(("error", Json::str(e.clone())));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(outcomes.iter().all(|o| o.ok))),
+        ("sections", Json::Arr(sections)),
+    ])
+    .to_string()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
     if let Some(threads) = parse_threads(&args) {
         // `repro --threads N` pins the Monte Carlo worker count for this
         // process; `par::available_threads` reads the variable back.
@@ -354,17 +435,45 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
+
     let start = std::time::Instant::now();
-    if !run(&section, smoke) {
+    let outcomes: Vec<SectionOutcome> = if section == "all" {
+        let mut timer = PhaseTimer::new();
+        let mut outcomes = Vec::new();
+        for name in SECTIONS {
+            // Failures are contained per section: the rest of the run
+            // still happens, and the summary names every casualty.
+            timer.time(name, || outcomes.push(run_contained(name, smoke)));
+            println!();
+        }
+        print!("{}", timer.render());
+        outcomes
+    } else if let Some(name) = SECTIONS.iter().find(|&&s| s == section) {
+        vec![run_contained(name, smoke)]
+    } else if section == "selfcheck-fail" {
+        vec![run_contained("selfcheck-fail", smoke)]
+    } else {
         eprintln!(
-            "unknown section `{section}`; expected one of: table1 table2 table3 table4 \
-             budget figure14 chip figure15 timing ablations margins faults designs lint perf \
-             cosim all \
-             (margins/faults/designs/lint/perf/cosim accept --smoke; --threads N pins MC workers)"
+            "unknown section `{section}`; expected one of: {} all \
+             (margins/faults/designs/lint/perf/cosim/serve accept --smoke; \
+             --threads N pins MC workers; --json emits a summary line)",
+            SECTIONS.join(" ")
         );
         std::process::exit(2);
-    }
+    };
+
     println!("[{section}: {}]", format_duration(start.elapsed()));
+    if json {
+        println!("{}", json_summary(&outcomes));
+    }
+    let failed = outcomes.iter().filter(|o| !o.ok).count();
+    if failed > 0 {
+        eprintln!(
+            "repro: {failed} of {} section(s) failed self-assertions",
+            outcomes.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Parses `--threads N` / `--threads=N`, exiting with a usage error on a

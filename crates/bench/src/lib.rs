@@ -17,6 +17,7 @@ pub mod microbench;
 pub mod perf;
 pub mod reports;
 pub mod robustness;
+pub mod serve_smoke;
 pub mod timing_diagrams;
 
 pub use cosim::{cosim_rows, run_cosim, CosimRow};

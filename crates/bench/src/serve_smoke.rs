@@ -1,0 +1,134 @@
+//! `repro serve` — self-driving smoke of the sim-as-a-service layer.
+//!
+//! Starts an in-process [`sfq_serve::Server`] on an ephemeral port and a
+//! throwaway journal, then exercises the full client-visible contract:
+//! submit a margins job and a lint job, wait for both, resubmit the
+//! margins spec and require a cache hit with zero new shard executions,
+//! and drain. Everything is asserted, so a service-layer regression fails
+//! the section (and with it `repro --json` / CI) rather than just
+//! printing odd numbers.
+
+use std::fmt::Write as _;
+
+use sfq_serve::json::Json;
+use sfq_serve::{client, Server, ServerConfig};
+
+fn digest_of(doc: &Json) -> String {
+    doc.get("result")
+        .and_then(|r| r.get("digest"))
+        .and_then(Json::as_str)
+        .expect("terminal job carries a digest")
+        .to_string()
+}
+
+/// Runs the smoke and renders its report. Panics (→ section failure) on
+/// any contract violation.
+pub fn serve_report(smoke: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Sim-as-a-service smoke ==");
+
+    let mut wal = std::env::temp_dir();
+    wal.push(format!("repro-serve-smoke-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let server = Server::start(ServerConfig::new(&wal)).expect("server starts");
+    let addr = server.addr().to_string();
+    let _ = writeln!(out, "server: {addr}  journal: {}", wal.display());
+
+    let trials = if smoke { 4 } else { 16 };
+    let margins_spec = format!(
+        r#"{{"kind":"margins","design":"hiperrf","trials":{trials},"shard_len":2,"seed":"3405691582"}}"#
+    );
+    let lint_spec = r#"{"kind":"lint","design":"hiperrf"}"#;
+
+    // Submit both jobs, then wait — the server overlaps them on its
+    // worker pool.
+    let (status, body) = client::submit(&addr, &margins_spec).expect("submit margins");
+    assert_eq!(status, 202, "margins must queue: {body}");
+    let margins_id = body.get("id").and_then(Json::as_u64).expect("id");
+    let (status, body) = client::submit(&addr, lint_spec).expect("submit lint");
+    assert_eq!(status, 202, "lint must queue: {body}");
+    let lint_id = body.get("id").and_then(Json::as_u64).expect("id");
+
+    let margins = client::wait_for_job(&addr, margins_id, 120_000).expect("margins completes");
+    assert_eq!(
+        margins.get("status").and_then(Json::as_str),
+        Some("done"),
+        "margins job: {margins}"
+    );
+    let lint = client::wait_for_job(&addr, lint_id, 120_000).expect("lint completes");
+    assert_eq!(
+        lint.get("status").and_then(Json::as_str),
+        Some("done"),
+        "lint job: {lint}"
+    );
+    let result = margins.get("result").expect("result");
+    let _ = writeln!(
+        out,
+        "margins job {margins_id}: digest {}  yield {}  events {}",
+        digest_of(&margins),
+        result.get("yield").and_then(Json::as_f64).expect("yield"),
+        result
+            .get("work")
+            .and_then(|w| w.get("events"))
+            .and_then(Json::as_u64)
+            .expect("aggregated event count")
+    );
+    assert_eq!(
+        lint.get("result")
+            .and_then(|r| r.get("clean"))
+            .and_then(Json::as_bool),
+        Some(true),
+        "registered design must lint clean"
+    );
+    let _ = writeln!(
+        out,
+        "lint job {lint_id}: digest {}  clean",
+        digest_of(&lint)
+    );
+
+    // Cache contract: identical spec → HTTP 200, same digest, shard
+    // counter unmoved.
+    let before = client::health(&addr)
+        .expect("health")
+        .get("shards_executed")
+        .and_then(Json::as_u64)
+        .expect("counter");
+    let (status, body) = client::submit(&addr, &margins_spec).expect("resubmit");
+    assert_eq!(status, 200, "identical job must hit the cache: {body}");
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("cached"));
+    assert_eq!(
+        body.get("result")
+            .and_then(|r| r.get("digest"))
+            .and_then(Json::as_str)
+            .expect("digest"),
+        digest_of(&margins),
+        "cache must return the original digest"
+    );
+    let after = client::health(&addr)
+        .expect("health")
+        .get("shards_executed")
+        .and_then(Json::as_u64)
+        .expect("counter");
+    assert_eq!(before, after, "cache hit must execute zero new shards");
+    let _ = writeln!(
+        out,
+        "resubmit: served from cache ({before} shards executed before and after)"
+    );
+
+    server.drain_and_join();
+    let _ = std::fs::remove_file(&wal);
+    let _ = writeln!(out, "drain: clean exit");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_runs_end_to_end() {
+        let report = serve_report(true);
+        assert!(report.contains("served from cache"));
+        assert!(report.contains("drain: clean exit"));
+    }
+}

@@ -177,6 +177,51 @@ impl RfHarness {
     }
 }
 
+/// Aggregate scheduler statistics over a *batch* of register-file runs.
+///
+/// [`SimStats`] is per-[`Simulator`], and batch analyses (margin sweeps,
+/// Monte Carlo yield, the job server's sharded trials) build one simulator
+/// per trial — so per-harness counters alone under-report the work behind
+/// a job. `BatchStats` rolls runs up as they finish: event counts and
+/// simulated time add, peak queue depth takes the max across runs. The
+/// serve layer reports these per job without re-walking any traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Register-file runs absorbed.
+    pub runs: u64,
+    /// Summed/maxed scheduler counters over those runs.
+    pub totals: SimStats,
+}
+
+impl BatchStats {
+    /// An empty roll-up.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one finished run's counters in.
+    pub fn absorb(&mut self, stats: SimStats) {
+        self.runs += 1;
+        self.totals.absorb(stats);
+    }
+
+    /// Folds a finished register file's lifetime counters in.
+    pub fn absorb_rf(&mut self, rf: &dyn RegisterFile) {
+        self.absorb(rf.sim_stats());
+    }
+
+    /// Merges another roll-up (e.g. one per shard) into this one.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.runs += other.runs;
+        self.totals.absorb(other.totals);
+    }
+
+    /// Total events processed across the batch.
+    pub fn events(&self) -> u64 {
+        self.totals.events_processed
+    }
+}
+
 /// The common driver surface of every structural register-file design.
 ///
 /// Required methods are the design-specific port protocols; everything

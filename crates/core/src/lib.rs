@@ -73,8 +73,10 @@ pub mod demux;
 pub mod designs;
 pub mod fabric;
 pub mod harness;
+pub mod hashing;
 pub mod hc_rf;
 pub mod hiperrf_rf;
+pub mod jobs;
 pub mod lint;
 pub mod margins;
 pub mod ndro_rf;
@@ -88,7 +90,7 @@ pub use banked::DualBankRf;
 pub use config::RfGeometry;
 pub use delay::RfDesign;
 pub use designs::Design;
-pub use harness::{RegisterFile, RfHarness};
+pub use harness::{BatchStats, RegisterFile, RfHarness};
 pub use hiperrf_rf::HiPerRf;
 pub use ndro_rf::NdroRf;
 pub use schedule::RfSchedule;

@@ -36,7 +36,7 @@ use sfq_cells::CircuitBuilder;
 use sfq_sim::fault::FaultPlan;
 use sfq_sim::netlist::Pin;
 use sfq_sim::rng::Rng64;
-use sfq_sim::simulator::Simulator;
+use sfq_sim::simulator::{SimStats, Simulator};
 use sfq_sim::time::{Duration, Time};
 use sfq_sim::violation::ViolationPolicy;
 
@@ -81,13 +81,34 @@ fn all_ones(geometry: RfGeometry) -> u64 {
 /// Runs one skewed write + read round trip on `design` and reports whether
 /// it landed cleanly (value correct, no timing violations).
 fn design_write_succeeds(design: Design, geometry: RfGeometry, skew_ps: f64) -> bool {
+    design_write_trial(design, geometry, skew_ps).0
+}
+
+/// [`design_write_succeeds`] plus the run's scheduler counters, so batch
+/// callers can roll up honest per-job event totals.
+fn design_write_trial(design: Design, geometry: RfGeometry, skew_ps: f64) -> (bool, SimStats) {
     let value = all_ones(geometry);
     let mut rf = design.build(geometry);
     rf.write_skewed(1, value, skew_ps);
     if rf.peek(1) != value {
-        return false;
+        return (false, rf.sim_stats());
     }
-    rf.read(1) == value && rf.violations().is_empty()
+    let ok = rf.read(1) == value && rf.violations().is_empty();
+    (ok, rf.sim_stats())
+}
+
+/// One jitter Monte Carlo trial: the pass/fail verdict for trial `i` of
+/// `(seed, jitter_ps)` plus the scheduler counters behind it. A pure
+/// function of its arguments — the unit the job server's shards replay.
+pub fn jitter_trial(
+    design: Design,
+    geometry: RfGeometry,
+    jitter_ps: f64,
+    seed: u64,
+    i: u32,
+) -> (bool, SimStats) {
+    let skew = (Rng64::fork(seed, u64::from(i)).next_f64() * 2.0 - 1.0) * jitter_ps;
+    design_write_trial(design, geometry, skew)
 }
 
 /// Sweeps `ok(skew)` over `[-limit, +limit]` ps in `step` steps and
@@ -222,8 +243,7 @@ pub fn monte_carlo_jitter_with_threads(
     threads: usize,
 ) -> JitterReport {
     let outcomes = par::map_trials(trials, threads, |i| {
-        let skew = (Rng64::fork(seed, u64::from(i)).next_f64() * 2.0 - 1.0) * jitter_ps;
-        design_write_succeeds(Design::HiPerRf, geometry, skew)
+        jitter_trial(Design::HiPerRf, geometry, jitter_ps, seed, i).0
     });
     JitterReport {
         trials,
@@ -254,10 +274,16 @@ fn run_soak(rf: &mut dyn RegisterFile, geometry: RfGeometry) -> bool {
 /// `sigma`, so for a fixed seed the outcome is (near-)monotone in `sigma`
 /// and [`critical_sigma`]'s bisection is well posed.
 pub fn soak_passes(design: Design, geometry: RfGeometry, sigma: f64, seed: u64) -> bool {
+    soak_trial(design, geometry, sigma, seed).0
+}
+
+/// [`soak_passes`] plus the run's scheduler counters.
+pub fn soak_trial(design: Design, geometry: RfGeometry, sigma: f64, seed: u64) -> (bool, SimStats) {
     let mut rf = design.build(geometry);
     rf.set_violation_policy(ViolationPolicy::Degrade);
     rf.set_fault_plan(FaultPlan::new(seed).with_delay_sigma(sigma));
-    run_soak(rf.as_mut(), geometry)
+    let ok = run_soak(rf.as_mut(), geometry);
+    (ok, rf.sim_stats())
 }
 
 /// Upper end of the σ search range: a 50% fractional delay spread is far
@@ -270,22 +296,53 @@ const SIGMA_ITERS: u32 = 8;
 /// seed. Returns `0.0` if even the nominal soak fails (a design bug) and
 /// `SIGMA_MAX` (0.5) if the design survives the whole search range.
 pub fn critical_sigma(design: Design, geometry: RfGeometry, seed: u64) -> f64 {
-    if !soak_passes(design, geometry, 0.0, seed) {
-        return 0.0;
+    critical_sigma_with_stats(design, geometry, seed).0
+}
+
+/// [`critical_sigma`] plus the aggregate scheduler work behind the whole
+/// bisection (one simulator per probed σ), rolled up with
+/// [`crate::harness::BatchStats`].
+pub fn critical_sigma_with_stats(
+    design: Design,
+    geometry: RfGeometry,
+    seed: u64,
+) -> (f64, crate::harness::BatchStats) {
+    let mut batch = crate::harness::BatchStats::new();
+    let mut probe = |sigma: f64| {
+        let (ok, stats) = soak_trial(design, geometry, sigma, seed);
+        batch.absorb(stats);
+        ok
+    };
+    if !probe(0.0) {
+        return (0.0, batch);
     }
-    if soak_passes(design, geometry, SIGMA_MAX, seed) {
-        return SIGMA_MAX;
+    if probe(SIGMA_MAX) {
+        return (SIGMA_MAX, batch);
     }
     let (mut lo, mut hi) = (0.0f64, SIGMA_MAX);
     for _ in 0..SIGMA_ITERS {
         let mid = (lo + hi) / 2.0;
-        if soak_passes(design, geometry, mid, seed) {
+        if probe(mid) {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    lo
+    (lo, batch)
+}
+
+/// One yield-curve Monte Carlo trial: forks the per-trial seed stream and
+/// bisects that trial's critical σ. A pure function of `(design, geometry,
+/// seed, i)` — the unit the job server's shards replay — returning the
+/// critical σ plus the aggregate scheduler work behind the bisection.
+pub fn yield_trial(
+    design: Design,
+    geometry: RfGeometry,
+    seed: u64,
+    i: u32,
+) -> (f64, crate::harness::BatchStats) {
+    let trial_seed = Rng64::fork(seed, u64::from(i)).next_u64();
+    critical_sigma_with_stats(design, geometry, trial_seed)
 }
 
 /// A Monte Carlo yield curve: pass fraction as a function of delay σ.
@@ -341,8 +398,7 @@ pub fn yield_curve_with_threads(
     threads: usize,
 ) -> YieldCurve {
     let criticals: Vec<f64> = par::map_trials(trials, threads, |i| {
-        let trial_seed = Rng64::fork(seed, u64::from(i)).next_u64();
-        critical_sigma(design, geometry, trial_seed)
+        yield_trial(design, geometry, seed, i).0
     });
     let points = sigmas
         .iter()

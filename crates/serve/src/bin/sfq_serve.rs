@@ -1,0 +1,172 @@
+//! `sfq-serve` — run or talk to the simulation job server.
+//!
+//! ```text
+//! sfq-serve run    --wal PATH [--addr 127.0.0.1:0] [--workers N]
+//!                  [--queue-cap N] [--max-attempts N] [--backoff-ms N]
+//!                  [--deadline-ms N] [--shard-delay-ms N] [--addr-file PATH]
+//! sfq-serve submit --addr HOST:PORT --spec JSON
+//! sfq-serve wait   --addr HOST:PORT --id N [--timeout-ms N]
+//! sfq-serve health --addr HOST:PORT
+//! sfq-serve drain  --addr HOST:PORT
+//! ```
+//!
+//! `run` serves until a drain completes (`POST /drain` or `sfq-serve
+//! drain`); `--addr-file` publishes the actual bound address, which is how
+//! scripts cope with ephemeral ports.
+
+use std::process::ExitCode;
+
+use sfq_serve::{client, Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sfq-serve run --wal PATH [--addr A] [--workers N] [--queue-cap N]\n             \
+         [--max-attempts N] [--backoff-ms N] [--deadline-ms N]\n             \
+         [--shard-delay-ms N] [--addr-file PATH]\n  \
+         sfq-serve submit --addr A --spec JSON\n  \
+         sfq-serve wait --addr A --id N [--timeout-ms N]\n  \
+         sfq-serve health --addr A\n  \
+         sfq-serve drain --addr A"
+    );
+    ExitCode::from(2)
+}
+
+/// Pulls `--name value` out of the argument list; errors on unknowns.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Flags(pairs))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} must be a number")),
+        }
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        for (name, _) in &self.0 {
+            if !allowed.contains(&name.as_str()) {
+                return Err(format!("unknown flag --{name}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn run_server(flags: &Flags) -> Result<(), String> {
+    flags.reject_unknown(&[
+        "wal",
+        "addr",
+        "workers",
+        "queue-cap",
+        "max-attempts",
+        "backoff-ms",
+        "deadline-ms",
+        "shard-delay-ms",
+        "addr-file",
+    ])?;
+    let wal = flags.get("wal").ok_or("run requires --wal PATH")?;
+    let mut config = ServerConfig::new(wal);
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.to_string();
+    }
+    config.workers = flags.num("workers", 2)? as usize;
+    config.queue_cap = flags.num("queue-cap", 16)? as usize;
+    config.policy.max_attempts = flags.num("max-attempts", 3)? as u32;
+    config.policy.backoff_ms = flags.num("backoff-ms", 10)?;
+    config.policy.shard_deadline_ms = flags.num("deadline-ms", 60_000)?;
+    config.policy.shard_delay_ms = flags.num("shard-delay-ms", 0)?;
+    config.addr_file = flags.get("addr-file").map(Into::into);
+
+    let server = Server::start(config).map_err(|e| format!("start failed: {e}"))?;
+    eprintln!("sfq-serve listening on {}", server.addr());
+    server.join();
+    eprintln!("sfq-serve drained, exiting");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let outcome: Result<(), String> = match command {
+        "run" => run_server(&flags),
+        "submit" => flags.reject_unknown(&["addr", "spec"]).and_then(|()| {
+            let addr = flags.get("addr").ok_or("submit requires --addr")?;
+            let spec = flags.get("spec").ok_or("submit requires --spec")?;
+            let (status, body) = client::submit(addr, spec).map_err(|e| e.to_string())?;
+            println!("{body}");
+            if status < 400 {
+                Ok(())
+            } else {
+                Err(format!("server answered {status}"))
+            }
+        }),
+        "wait" => flags
+            .reject_unknown(&["addr", "id", "timeout-ms"])
+            .and_then(|()| {
+                let addr = flags.get("addr").ok_or("wait requires --addr")?;
+                let id = flags
+                    .get("id")
+                    .ok_or("wait requires --id")?
+                    .parse::<u64>()
+                    .map_err(|_| "--id must be a number".to_string())?;
+                let timeout = flags.num("timeout-ms", 120_000)?;
+                let doc = client::wait_for_job(addr, id, timeout).map_err(|e| e.to_string())?;
+                println!("{doc}");
+                match doc.get("status").and_then(sfq_serve::Json::as_str) {
+                    Some("done") => Ok(()),
+                    other => Err(format!("job ended as {other:?}")),
+                }
+            }),
+        "health" => flags.reject_unknown(&["addr"]).and_then(|()| {
+            let addr = flags.get("addr").ok_or("health requires --addr")?;
+            let doc = client::health(addr).map_err(|e| e.to_string())?;
+            println!("{doc}");
+            Ok(())
+        }),
+        "drain" => flags.reject_unknown(&["addr"]).and_then(|()| {
+            let addr = flags.get("addr").ok_or("drain requires --addr")?;
+            let doc = client::drain(addr).map_err(|e| e.to_string())?;
+            println!("{doc}");
+            Ok(())
+        }),
+        _ => {
+            return usage();
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Content-addressed result cache.
+//!
+//! Keys are [`crate::job::JobSpec::cache_key`] values: FNV-1a 64 over the
+//! target design's elaborated-netlist digest plus the canonical job
+//! parameters and seed. Two requests with the same key are the same
+//! computation by construction (the engines are deterministic functions of
+//! exactly those inputs), so a hit is served without running a single
+//! simulation event. The cache is rebuilt for free on restart: every
+//! completed job is in the WAL, and replay re-inserts it.
+
+use std::collections::HashMap;
+
+use crate::job::Finished;
+
+/// An in-memory map from content key to finished result.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: HashMap<u64, Finished>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Looks up a key, counting the hit or miss.
+    pub fn lookup(&mut self, key: u64) -> Option<Finished> {
+        match self.entries.get(&key) {
+            Some(f) => {
+                self.hits += 1;
+                Some(f.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a finished result. Last write wins; identical keys carry
+    /// identical results, so overwrites are benign.
+    pub fn insert(&mut self, key: u64, finished: Finished) {
+        self.entries.insert(key, finished);
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hits since startup.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses since startup.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut cache = ResultCache::new();
+        assert!(cache.lookup(7).is_none());
+        cache.insert(
+            7,
+            Finished {
+                result: Json::obj(vec![("ok", Json::Bool(true))]),
+                digest: 0xABCD,
+            },
+        );
+        let hit = cache.lookup(7).expect("hit");
+        assert_eq!(hit.digest, 0xABCD);
+        assert!(cache.lookup(8).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+}

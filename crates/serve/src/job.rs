@@ -1,0 +1,710 @@
+//! Job specifications and their execution engines.
+//!
+//! A [`JobSpec`] names a registered design, a geometry, and the
+//! parameters of one of five job kinds (`simulate` / `margins` / `yield` /
+//! `cosim` / `lint`). Execution is *sharded*: Monte Carlo kinds split
+//! their trial range into contiguous shards
+//! ([`hiperrf::jobs::ShardPlan`]); single-shot kinds are one shard. A
+//! shard's result is a pure function of `(spec, shard index)` — all
+//! randomness flows through `Rng64::fork(seed, trial)` — which is what
+//! lets the WAL resume a half-finished job with bit-identical output.
+//!
+//! Identity is content-addressed: [`JobSpec::cache_key`] digests the
+//! *elaborated netlist* of the target design plus the canonical parameter
+//! serialisation and seed, so identical requests share a cache entry and
+//! any structural change to a design invalidates its cached results.
+
+use hiperrf::config::RfGeometry;
+use hiperrf::designs::Design;
+use hiperrf::harness::BatchStats;
+use hiperrf::hashing::{digest_hex, Fnv64};
+use hiperrf::jobs::{
+    assemble_yield_curve, digest_bools, digest_f64s, jitter_shard, lint_job, soak_job, yield_shard,
+    ShardPlan,
+};
+
+use crate::json::Json;
+
+/// The five job kinds the server executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// One seeded write-all/read-all soak under delay variation.
+    Simulate,
+    /// Jitter Monte Carlo: per-trial skewed round trips.
+    Margins,
+    /// Monte Carlo yield curve: per-trial critical-σ bisection.
+    Yield,
+    /// Gate-level CPU kernels over the design's pulse netlist.
+    Cosim,
+    /// Static netlist DRC + min/max-path timing.
+    Lint,
+}
+
+impl JobKind {
+    /// All kinds, in request-vocabulary order.
+    pub const ALL: [JobKind; 5] = [
+        JobKind::Simulate,
+        JobKind::Margins,
+        JobKind::Yield,
+        JobKind::Cosim,
+        JobKind::Lint,
+    ];
+
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Simulate => "simulate",
+            JobKind::Margins => "margins",
+            JobKind::Yield => "yield",
+            JobKind::Cosim => "cosim",
+            JobKind::Lint => "lint",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<JobKind> {
+        JobKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Parses a design slug (or its display label) into a registry entry.
+pub fn parse_design(s: &str) -> Option<Design> {
+    match s {
+        "ndro" | "ndro-baseline" | "NDRO baseline" => Some(Design::NdroBaseline),
+        "hiperrf" | "HiPerRF" => Some(Design::HiPerRf),
+        "dual" | "dual-banked" => Some(Design::DualBanked),
+        "shift" | "shift-register" => Some(Design::ShiftRegister),
+        _ => None,
+    }
+}
+
+/// The wire slug of a design.
+pub fn design_slug(design: Design) -> &'static str {
+    match design {
+        Design::NdroBaseline => "ndro",
+        Design::HiPerRf => "hiperrf",
+        Design::DualBanked => "dual",
+        Design::ShiftRegister => "shift",
+    }
+}
+
+/// Test-only chaos injection: makes the server's *own* shard execution
+/// panic, to exercise the supervisor's retry path. Not part of the job's
+/// content identity (it does not change the result a successful run
+/// produces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chaos {
+    /// The shard index that misbehaves.
+    pub shard: u32,
+    /// The shard panics on attempts `0..fail_attempts`; a high enough
+    /// value outlasts every retry and fails the job.
+    pub fail_attempts: u32,
+}
+
+/// A fully parsed job request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// What to run.
+    pub kind: JobKind,
+    /// Which registered design.
+    pub design: Design,
+    /// Registers in the geometry.
+    pub registers: usize,
+    /// Bits per register.
+    pub width: usize,
+    /// Monte Carlo trials (margins/yield).
+    pub trials: u32,
+    /// Trials per shard (margins/yield).
+    pub shard_len: u32,
+    /// Root seed; all per-trial randomness forks from it.
+    pub seed: u64,
+    /// Peak jitter magnitude (margins), ps.
+    pub jitter_ps: f64,
+    /// Delay-variation σ (simulate).
+    pub sigma: f64,
+    /// Yield-curve σ sample points (yield).
+    pub sigmas: Vec<f64>,
+    /// Kernel name filter (cosim); empty string runs the whole suite.
+    pub kernel: String,
+    /// Test-only supervisor chaos (see [`Chaos`]).
+    pub chaos: Option<Chaos>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            kind: JobKind::Yield,
+            design: Design::HiPerRf,
+            registers: 4,
+            width: 4,
+            trials: 8,
+            shard_len: 4,
+            seed: 0xC0FF_EE00,
+            jitter_ps: 12.0,
+            sigma: 0.0,
+            sigmas: vec![0.0, 0.02, 0.05, 0.10, 0.20, 0.30],
+            kernel: String::new(),
+            chaos: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parses a request body. Unknown fields are rejected (a typoed
+    /// parameter silently falling back to a default would poison the
+    /// content-addressed cache key's meaning).
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let Json::Obj(pairs) = v else {
+            return Err("job spec must be a JSON object".to_string());
+        };
+        let mut spec = JobSpec::default();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "kind" => {
+                    let name = value.as_str().ok_or("kind must be a string")?;
+                    spec.kind = JobKind::parse(name).ok_or_else(|| {
+                        format!("unknown kind `{name}` (simulate/margins/yield/cosim/lint)")
+                    })?;
+                }
+                "design" => {
+                    let name = value.as_str().ok_or("design must be a string")?;
+                    spec.design = parse_design(name).ok_or_else(|| {
+                        format!("unknown design `{name}` (ndro/hiperrf/dual/shift)")
+                    })?;
+                }
+                "registers" => {
+                    spec.registers = value
+                        .as_u64()
+                        .ok_or("registers must be a non-negative integer")?
+                        as usize;
+                }
+                "width" => {
+                    spec.width = value
+                        .as_u64()
+                        .ok_or("width must be a non-negative integer")?
+                        as usize;
+                }
+                "trials" => {
+                    spec.trials = u32::try_from(value.as_u64().ok_or("trials must be an integer")?)
+                        .map_err(|_| "trials out of range")?;
+                }
+                "shard_len" => {
+                    let len = value.as_u64().ok_or("shard_len must be an integer")?;
+                    spec.shard_len = u32::try_from(len).map_err(|_| "shard_len out of range")?;
+                    if spec.shard_len == 0 {
+                        return Err("shard_len must be positive".to_string());
+                    }
+                }
+                "seed" => {
+                    spec.seed = value
+                        .as_u64()
+                        .ok_or("seed must be a u64 (number or string)")?;
+                }
+                "jitter_ps" => {
+                    spec.jitter_ps = value.as_f64().ok_or("jitter_ps must be a number")?;
+                }
+                "sigma" => {
+                    spec.sigma = value.as_f64().ok_or("sigma must be a number")?;
+                }
+                "sigmas" => {
+                    let arr = value.as_arr().ok_or("sigmas must be an array")?;
+                    spec.sigmas = arr
+                        .iter()
+                        .map(|s| s.as_f64().ok_or("sigmas entries must be numbers"))
+                        .collect::<Result<_, _>>()?;
+                }
+                "kernel" => {
+                    spec.kernel = value.as_str().ok_or("kernel must be a string")?.to_string();
+                }
+                "chaos" => {
+                    let shard = value
+                        .get("shard")
+                        .and_then(Json::as_u64)
+                        .ok_or("chaos.shard must be an integer")?;
+                    let fail = value
+                        .get("fail_attempts")
+                        .and_then(Json::as_u64)
+                        .ok_or("chaos.fail_attempts must be an integer")?;
+                    spec.chaos = Some(Chaos {
+                        shard: shard as u32,
+                        fail_attempts: fail as u32,
+                    });
+                }
+                other => return Err(format!("unknown job field `{other}`")),
+            }
+        }
+        spec.geometry().map_err(|e| e.to_string())?;
+        Ok(spec)
+    }
+
+    /// The requested geometry.
+    pub fn geometry(&self) -> Result<RfGeometry, hiperrf::config::GeometryError> {
+        RfGeometry::new(self.registers, self.width)
+    }
+
+    /// Canonical serialisation of everything that defines the job's
+    /// *content* (chaos excluded: it perturbs execution, never results).
+    /// This is the params half of the cache key, and what the WAL stores.
+    pub fn canonical(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str(self.kind.name())),
+            ("design", Json::str(design_slug(self.design))),
+            ("registers", Json::u64(self.registers as u64)),
+            ("width", Json::u64(self.width as u64)),
+            ("trials", Json::u64(u64::from(self.trials))),
+            ("shard_len", Json::u64(u64::from(self.shard_len))),
+            ("seed", Json::str(self.seed.to_string())),
+            ("jitter_ps", Json::Num(self.jitter_ps)),
+            ("sigma", Json::Num(self.sigma)),
+            (
+                "sigmas",
+                Json::Arr(self.sigmas.iter().map(|&s| Json::Num(s)).collect()),
+            ),
+            ("kernel", Json::str(self.kernel.clone())),
+        ])
+    }
+
+    /// Re-parses a WAL-stored canonical spec (plus optional chaos, which
+    /// `canonical` never writes).
+    pub fn from_canonical(v: &Json) -> Result<JobSpec, String> {
+        JobSpec::from_json(v)
+    }
+
+    /// The content-addressed cache key: FNV-1a 64 over the elaborated
+    /// netlist digest of `(design, geometry)` and the canonical params
+    /// (which include kind and seed).
+    pub fn cache_key(&self, netlist_digest: u64) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(netlist_digest);
+        h.write_str(&self.canonical().to_string());
+        h.finish()
+    }
+
+    /// The shard plan: Monte Carlo kinds shard their trials; single-shot
+    /// kinds are one shard.
+    pub fn shard_count(&self) -> u32 {
+        match self.kind {
+            JobKind::Margins | JobKind::Yield => {
+                ShardPlan::new(self.trials, self.shard_len).shard_count()
+            }
+            JobKind::Simulate | JobKind::Cosim | JobKind::Lint => 1,
+        }
+    }
+}
+
+/// Serialises a [`BatchStats`] roll-up for a shard or job record.
+fn stats_json(stats: &BatchStats) -> Json {
+    Json::obj(vec![
+        ("runs", Json::u64(stats.runs)),
+        ("events", Json::u64(stats.totals.events_processed)),
+        (
+            "peak_queue_depth",
+            Json::u64(stats.totals.peak_queue_depth as u64),
+        ),
+        (
+            "sim_time_ps",
+            Json::Num(stats.totals.sim_time_advanced.as_ps()),
+        ),
+    ])
+}
+
+/// Reads a stats object back into a [`BatchStats`] (for WAL-replayed
+/// shards). Missing fields count as zero — stats are reporting, not
+/// content.
+fn stats_from_json(v: &Json) -> BatchStats {
+    let mut b = BatchStats::new();
+    b.runs = v.get("runs").and_then(Json::as_u64).unwrap_or(0);
+    b.totals.events_processed = v.get("events").and_then(Json::as_u64).unwrap_or(0);
+    b.totals.peak_queue_depth = v
+        .get("peak_queue_depth")
+        .and_then(Json::as_u64)
+        .unwrap_or(0) as usize;
+    b
+}
+
+/// Executes one shard. Pure in `(spec, shard)` — `attempt` only feeds the
+/// chaos hook, which panics instead of changing results.
+///
+/// # Panics
+///
+/// Panics when the spec's [`Chaos`] targets this shard and attempt —
+/// that is the supervisor-containment test hook — or on internal engine
+/// bugs (which the supervisor also contains).
+pub fn run_shard(spec: &JobSpec, shard: u32, attempt: u32) -> Json {
+    if let Some(chaos) = spec.chaos {
+        assert!(
+            !(chaos.shard == shard && attempt < chaos.fail_attempts),
+            "chaos: injected panic on shard {shard} attempt {attempt}"
+        );
+    }
+    let geometry = spec.geometry().expect("validated at admission");
+    match spec.kind {
+        JobKind::Yield => {
+            let plan = ShardPlan::new(spec.trials, spec.shard_len);
+            let out = yield_shard(spec.design, geometry, spec.seed, plan.range(shard));
+            Json::obj(vec![
+                (
+                    "criticals",
+                    Json::Arr(out.criticals.iter().map(|&c| Json::Num(c)).collect()),
+                ),
+                ("stats", stats_json(&out.stats)),
+            ])
+        }
+        JobKind::Margins => {
+            let plan = ShardPlan::new(spec.trials, spec.shard_len);
+            let out = jitter_shard(
+                spec.design,
+                geometry,
+                spec.jitter_ps,
+                spec.seed,
+                plan.range(shard),
+            );
+            Json::obj(vec![
+                (
+                    "passes",
+                    Json::Arr(out.passes.iter().map(|&p| Json::Bool(p)).collect()),
+                ),
+                ("stats", stats_json(&out.stats)),
+            ])
+        }
+        JobKind::Simulate => {
+            let out = soak_job(spec.design, geometry, spec.sigma, spec.seed);
+            Json::obj(vec![
+                ("ok", Json::Bool(out.ok)),
+                ("stats", stats_json(&out.stats)),
+            ])
+        }
+        JobKind::Lint => {
+            let s = lint_job(spec.design, geometry);
+            Json::obj(vec![
+                ("clean", Json::Bool(s.clean)),
+                ("errors", Json::u64(s.errors as u64)),
+                ("warnings", Json::u64(s.warnings as u64)),
+                ("infos", Json::u64(s.infos as u64)),
+                ("jj_total", Json::u64(s.jj_total)),
+                (
+                    "worst_slack_ps",
+                    s.worst_slack_ps.map_or(Json::Null, Json::Num),
+                ),
+            ])
+        }
+        JobKind::Cosim => run_cosim_shard(spec),
+    }
+}
+
+/// Runs the cosim kernel suite (filtered by `spec.kernel`) on the design's
+/// pulse netlist, checking every architectural access against the
+/// functional RV32I model exactly like `repro cosim` does.
+fn run_cosim_shard(spec: &JobSpec) -> Json {
+    use hiperrf::backend::PulseRf;
+    use sfq_cpu::{GateLevelCpu, PipelineConfig};
+    use sfq_riscv::asm::assemble;
+    use sfq_workloads::{cosim_suite, PASS};
+
+    let suite = cosim_suite();
+    let kernels: Vec<_> = suite
+        .iter()
+        .filter(|w| spec.kernel.is_empty() || w.name == spec.kernel)
+        .collect();
+    assert!(
+        !kernels.is_empty(),
+        "no cosim kernel matches `{}`",
+        spec.kernel
+    );
+    let rows = kernels
+        .iter()
+        .map(|w| {
+            let prog = assemble(&w.source, 0).expect("suite kernels assemble");
+            let mut cpu = GateLevelCpu::with_backend(
+                Box::new(PulseRf::new(spec.design)),
+                PipelineConfig::sodor(),
+            );
+            let out = cpu.run(&prog, w.mem_size, w.budget).expect("kernel runs");
+            assert_eq!(out.exit_code, PASS, "{} failed self-check", w.name);
+            Json::obj(vec![
+                ("kernel", Json::str(w.name)),
+                ("retired", Json::u64(out.stats.retired)),
+                ("cpi", Json::Num(out.stats.cpi())),
+                ("clean", Json::Bool(out.rf.is_clean())),
+                ("reads", Json::u64(out.rf.reads)),
+                ("writes", Json::u64(out.rf.writes)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("kernels", Json::Arr(rows))])
+}
+
+/// A finalised job: the assembled result document and its content digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finished {
+    /// The result document served to clients.
+    pub result: Json,
+    /// Digest over the job's value content (not its bookkeeping), hex in
+    /// the result document.
+    pub digest: u64,
+}
+
+/// Extracts shard `i`'s array field as f64s.
+fn shard_f64s(shards: &[Json], field: &str) -> Result<Vec<f64>, String> {
+    let mut out = Vec::new();
+    for s in shards {
+        let arr = s
+            .get(field)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("shard record missing `{field}`"))?;
+        for v in arr {
+            out.push(
+                v.as_f64()
+                    .ok_or_else(|| format!("non-number in `{field}`"))?,
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Assembles a completed job from its in-order shard results. Shard
+/// results may come from live execution or WAL replay — both paths feed
+/// the same reduction, which is why a resumed job's digest is
+/// bit-identical to an uninterrupted run's.
+pub fn finalize(spec: &JobSpec, shards: &[Json]) -> Result<Finished, String> {
+    let mut stats = BatchStats::new();
+    for s in shards {
+        if let Some(sj) = s.get("stats") {
+            stats.merge(&stats_from_json(sj));
+        }
+    }
+    let (digest, payload) = match spec.kind {
+        JobKind::Yield => {
+            let criticals = shard_f64s(shards, "criticals")?;
+            if criticals.len() != spec.trials as usize {
+                return Err(format!(
+                    "assembled {} trials, expected {}",
+                    criticals.len(),
+                    spec.trials
+                ));
+            }
+            let digest = digest_f64s(&criticals);
+            let curve = assemble_yield_curve(&spec.sigmas, &criticals);
+            (
+                digest,
+                vec![
+                    (
+                        "curve",
+                        Json::Arr(
+                            curve
+                                .iter()
+                                .map(|&(s, y)| Json::Arr(vec![Json::Num(s), Json::Num(y)]))
+                                .collect(),
+                        ),
+                    ),
+                    ("trials", Json::u64(u64::from(spec.trials))),
+                ],
+            )
+        }
+        JobKind::Margins => {
+            let mut passes = Vec::new();
+            for s in shards {
+                let arr = s
+                    .get("passes")
+                    .and_then(Json::as_arr)
+                    .ok_or("shard record missing `passes`")?;
+                for v in arr {
+                    passes.push(v.as_bool().ok_or("non-bool in `passes`")?);
+                }
+            }
+            if passes.len() != spec.trials as usize {
+                return Err(format!(
+                    "assembled {} trials, expected {}",
+                    passes.len(),
+                    spec.trials
+                ));
+            }
+            let passed = passes.iter().filter(|&&p| p).count() as u32;
+            let digest = digest_bools(&passes);
+            (
+                digest,
+                vec![
+                    ("trials", Json::u64(u64::from(spec.trials))),
+                    ("passed", Json::u64(u64::from(passed))),
+                    (
+                        "yield",
+                        Json::Num(f64::from(passed) / f64::from(spec.trials.max(1))),
+                    ),
+                ],
+            )
+        }
+        JobKind::Simulate => {
+            let one = shards.first().ok_or("simulate job has one shard")?;
+            let ok = one
+                .get("ok")
+                .and_then(Json::as_bool)
+                .ok_or("missing `ok`")?;
+            (digest_bools(&[ok]), vec![("ok", Json::Bool(ok))])
+        }
+        JobKind::Lint | JobKind::Cosim => {
+            let one = shards.first().ok_or("single-shard job")?.clone();
+            let mut h = Fnv64::new();
+            h.write_str(&one.to_string());
+            let digest = h.finish();
+            let Json::Obj(pairs) = one else {
+                return Err("shard record must be an object".to_string());
+            };
+            (
+                digest,
+                pairs
+                    .iter()
+                    .map(|(k, v)| (leak_key(k), v.clone()))
+                    .collect(),
+            )
+        }
+    };
+    let mut fields = vec![
+        ("kind", Json::str(spec.kind.name())),
+        ("design", Json::str(design_slug(spec.design))),
+        ("digest", Json::str(digest_hex(digest))),
+    ];
+    fields.extend(payload);
+    fields.push(("work", stats_json(&stats)));
+    Ok(Finished {
+        result: Json::obj(fields),
+        digest,
+    })
+}
+
+/// Interns a dynamic result key (`finalize` builds objects from `&str`
+/// pairs; shard-record keys are a tiny closed set, so leaking is bounded).
+fn leak_key(k: &str) -> &'static str {
+    match k {
+        "clean" => "clean",
+        "errors" => "errors",
+        "warnings" => "warnings",
+        "infos" => "infos",
+        "jj_total" => "jj_total",
+        "worst_slack_ps" => "worst_slack_ps",
+        "kernels" => "kernels",
+        "stats" => "stats",
+        "ok" => "ok",
+        _ => Box::leak(k.to_string().into_boxed_str()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_round_trips_and_rejects_unknowns() {
+        let spec = JobSpec::from_json(
+            &Json::parse(
+                r#"{"kind":"yield","design":"hiperrf","trials":6,"shard_len":2,
+                    "seed":"18446744073709551615","sigmas":[0.0,0.1]}"#,
+            )
+            .unwrap(),
+        )
+        .expect("valid spec");
+        assert_eq!(spec.kind, JobKind::Yield);
+        assert_eq!(spec.seed, u64::MAX);
+        assert_eq!(spec.shard_count(), 3);
+        let re = JobSpec::from_canonical(&spec.canonical()).expect("canonical re-parses");
+        assert_eq!(re, spec);
+
+        assert!(JobSpec::from_json(&Json::parse(r#"{"kibd":"yield"}"#).unwrap()).is_err());
+        assert!(JobSpec::from_json(&Json::parse(r#"{"design":"tpu"}"#).unwrap()).is_err());
+        assert!(
+            JobSpec::from_json(&Json::parse(r#"{"registers":3,"width":4}"#).unwrap()).is_err(),
+            "geometry validation applies at admission"
+        );
+    }
+
+    #[test]
+    fn cache_key_separates_params_netlists_and_seeds() {
+        let a = JobSpec::default();
+        let mut b = a.clone();
+        b.seed ^= 1;
+        let mut c = a.clone();
+        c.kind = JobKind::Margins;
+        assert_ne!(a.cache_key(1), a.cache_key(2), "netlist hash matters");
+        assert_ne!(a.cache_key(1), b.cache_key(1), "seed matters");
+        assert_ne!(a.cache_key(1), c.cache_key(1), "kind matters");
+        let mut chaotic = a.clone();
+        chaotic.chaos = Some(Chaos {
+            shard: 0,
+            fail_attempts: 1,
+        });
+        assert_eq!(
+            a.cache_key(1),
+            chaotic.cache_key(1),
+            "chaos is not content-bearing"
+        );
+    }
+
+    #[test]
+    fn sharded_execution_finalises_to_the_engine_result() {
+        let spec = JobSpec {
+            trials: 5,
+            shard_len: 2,
+            sigmas: vec![0.0, 0.05, 0.3],
+            ..JobSpec::default()
+        };
+        let shards: Vec<Json> = (0..spec.shard_count())
+            .map(|s| run_shard(&spec, s, 0))
+            .collect();
+        let fin = finalize(&spec, &shards).expect("finalises");
+        let reference = hiperrf::margins::yield_curve_with_threads(
+            spec.design,
+            spec.geometry().unwrap(),
+            &spec.sigmas,
+            spec.trials,
+            spec.seed,
+            1,
+        );
+        let curve = fin.result.get("curve").and_then(Json::as_arr).unwrap();
+        for (point, (rs, ry)) in curve.iter().zip(reference.points) {
+            let p = point.as_arr().unwrap();
+            assert_eq!(p[0].as_f64(), Some(rs));
+            assert_eq!(p[1].as_f64(), Some(ry));
+        }
+        assert!(
+            fin.result
+                .get("work")
+                .unwrap()
+                .get("events")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn chaos_panics_only_on_its_shard_and_attempts() {
+        let spec = JobSpec {
+            kind: JobKind::Lint,
+            chaos: Some(Chaos {
+                shard: 0,
+                fail_attempts: 2,
+            }),
+            ..JobSpec::default()
+        };
+        assert!(std::panic::catch_unwind(|| run_shard(&spec, 0, 0)).is_err());
+        assert!(std::panic::catch_unwind(|| run_shard(&spec, 0, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| run_shard(&spec, 0, 2)).is_ok());
+    }
+
+    #[test]
+    fn lint_and_simulate_jobs_finalise() {
+        for kind in [JobKind::Lint, JobKind::Simulate] {
+            let spec = JobSpec {
+                kind,
+                ..JobSpec::default()
+            };
+            let shard = run_shard(&spec, 0, 0);
+            let fin = finalize(&spec, &[shard]).expect("finalises");
+            assert_eq!(
+                fin.result.get("kind").and_then(Json::as_str),
+                Some(kind.name())
+            );
+            assert!(fin.result.get("digest").is_some());
+        }
+    }
+}

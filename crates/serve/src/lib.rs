@@ -1,0 +1,50 @@
+//! # sfq-serve — fault-tolerant sim-as-a-service for the HiPerRF engines
+//!
+//! A std-only HTTP/JSON job server that runs the repository's simulation
+//! engines (`simulate` / `margins` / `yield` / `cosim` / `lint`) against
+//! any registered design, built to *survive* rather than merely run:
+//!
+//! - **Crash safety** ([`wal`]): every accepted job and every completed
+//!   shard is appended to a checksummed, fsynced JSONL write-ahead log.
+//!   `kill -9` mid-batch loses at most the shard in flight; restart
+//!   replays the journal and resumes from the last durable shard with a
+//!   final digest bit-identical to an uninterrupted run (shards are pure
+//!   functions of `(spec, shard index)` via `Rng64::fork`).
+//! - **Supervision** ([`supervisor`]): shards run on dedicated threads
+//!   with `catch_unwind` panic containment, per-attempt deadlines, and
+//!   bounded exponential-backoff retry — a poisoned shard fails its job,
+//!   never the process.
+//! - **Backpressure** ([`server`]): admission is a bounded queue; a full
+//!   queue answers `429` with a `Retry-After` hint, and `POST /drain`
+//!   stops admission and completes in-flight work before exit.
+//! - **Content-addressed caching** ([`cache`]): results are keyed on the
+//!   elaborated-netlist digest plus canonical params and seed, so a
+//!   repeated identical job is served with zero new simulation events.
+//!
+//! ```no_run
+//! use sfq_serve::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::new("/tmp/jobs.wal")).unwrap();
+//! let addr = server.addr().to_string();
+//! let (status, body) =
+//!     sfq_serve::client::submit(&addr, r#"{"kind":"lint","design":"hiperrf"}"#).unwrap();
+//! assert_eq!(status, 202);
+//! # let _ = body;
+//! server.drain_and_join();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod server;
+pub mod supervisor;
+pub mod wal;
+
+pub use cache::ResultCache;
+pub use job::{JobKind, JobSpec};
+pub use json::Json;
+pub use server::{Server, ServerConfig};
+pub use supervisor::SupervisorPolicy;
+pub use wal::Wal;

@@ -1,0 +1,209 @@
+//! Shard supervision: panic containment, deadlines, bounded retry.
+//!
+//! Every shard attempt runs on its own dedicated thread so the supervisor
+//! can enforce a wall-clock deadline with `recv_timeout` — std offers no
+//! thread preemption, so a hung attempt is *abandoned* (its eventual send
+//! into a dead channel is a no-op) rather than cancelled. Panics inside
+//! the engines are caught per-attempt with `catch_unwind`; a panic or
+//! timeout costs one attempt and triggers exponential backoff
+//! (`backoff_ms << attempt`) before the next. Only when `max_attempts`
+//! are exhausted does the shard — and with it the job — fail; the server
+//! process never dies with it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use crate::job::{run_shard, JobSpec};
+use crate::json::Json;
+
+/// Retry/timeout policy for shard execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Attempts per shard before the job fails (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff between attempts; doubles each retry.
+    pub backoff_ms: u64,
+    /// Per-attempt wall-clock deadline; 0 disables the deadline.
+    pub shard_deadline_ms: u64,
+    /// Artificial pre-execution delay (test knob: widens the window in
+    /// which a crash test can land `SIGKILL` mid-batch).
+    pub shard_delay_ms: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_attempts: 3,
+            backoff_ms: 10,
+            shard_deadline_ms: 60_000,
+            shard_delay_ms: 0,
+        }
+    }
+}
+
+/// Why a shard failed for good.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    /// The shard that failed.
+    pub shard: u32,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Last attempt's failure, human-readable.
+    pub message: String,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} failed after {} attempts: {}",
+            self.shard, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One attempt: run the shard on a dedicated thread, wait at most the
+/// deadline. `Ok` is the shard result; `Err` describes the panic/timeout.
+fn attempt(
+    spec: &JobSpec,
+    shard: u32,
+    attempt_no: u32,
+    policy: &SupervisorPolicy,
+) -> Result<Json, String> {
+    let (tx, rx) = mpsc::sync_channel::<Result<Json, String>>(1);
+    let spec = spec.clone();
+    let delay = policy.shard_delay_ms;
+    std::thread::spawn(move || {
+        if delay > 0 {
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_shard(&spec, shard, attempt_no)))
+            .map_err(|p| format!("panic: {}", panic_message(p)));
+        // If the supervisor already timed us out, the receiver is gone and
+        // this send fails harmlessly.
+        let _ = tx.send(outcome);
+    });
+    if policy.shard_deadline_ms == 0 {
+        rx.recv()
+            .unwrap_or_else(|_| Err("worker thread vanished".to_string()))
+    } else {
+        match rx.recv_timeout(Duration::from_millis(policy.shard_deadline_ms)) {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(format!(
+                "deadline exceeded ({} ms)",
+                policy.shard_deadline_ms
+            )),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err("worker thread vanished".to_string()),
+        }
+    }
+}
+
+/// Runs one shard under the policy: retries panics and timeouts with
+/// exponential backoff, failing only after `max_attempts`.
+///
+/// # Errors
+///
+/// [`ShardError`] when every attempt panicked or timed out.
+pub fn run_supervised(
+    spec: &JobSpec,
+    shard: u32,
+    policy: &SupervisorPolicy,
+) -> Result<Json, ShardError> {
+    let max = policy.max_attempts.max(1);
+    let mut last = String::new();
+    for n in 0..max {
+        match attempt(spec, shard, n, policy) {
+            Ok(result) => return Ok(result),
+            Err(message) => {
+                last = message;
+                if n + 1 < max {
+                    let backoff = policy.backoff_ms.saturating_mul(1 << n.min(16));
+                    std::thread::sleep(Duration::from_millis(backoff));
+                }
+            }
+        }
+    }
+    Err(ShardError {
+        shard,
+        attempts: max,
+        message: last,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Chaos, JobKind};
+
+    fn lint_spec() -> JobSpec {
+        JobSpec {
+            kind: JobKind::Lint,
+            ..JobSpec::default()
+        }
+    }
+
+    fn fast_policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            max_attempts: 3,
+            backoff_ms: 1,
+            shard_deadline_ms: 30_000,
+            shard_delay_ms: 0,
+        }
+    }
+
+    #[test]
+    fn clean_shard_succeeds_first_try() {
+        let out = run_supervised(&lint_spec(), 0, &fast_policy()).expect("runs");
+        assert_eq!(out.get("clean").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn panicking_shard_is_retried_until_it_heals() {
+        let mut spec = lint_spec();
+        spec.chaos = Some(Chaos {
+            shard: 0,
+            fail_attempts: 2,
+        });
+        // Attempts 0 and 1 panic; attempt 2 succeeds.
+        let out = run_supervised(&spec, 0, &fast_policy()).expect("third attempt succeeds");
+        assert_eq!(out.get("clean").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_shard_not_the_process() {
+        let mut spec = lint_spec();
+        spec.chaos = Some(Chaos {
+            shard: 0,
+            fail_attempts: u32::MAX,
+        });
+        let err = run_supervised(&spec, 0, &fast_policy()).expect_err("must fail");
+        assert_eq!(err.shard, 0);
+        assert_eq!(err.attempts, 3);
+        assert!(err.message.contains("panic"), "message: {}", err.message);
+    }
+
+    #[test]
+    fn deadline_times_out_a_hung_shard() {
+        let mut policy = fast_policy();
+        policy.max_attempts = 2;
+        policy.shard_deadline_ms = 20;
+        policy.shard_delay_ms = 5_000; // every attempt hangs past the deadline
+        let err = run_supervised(&lint_spec(), 0, &policy).expect_err("times out");
+        assert_eq!(err.attempts, 2);
+        assert!(err.message.contains("deadline"), "message: {}", err.message);
+    }
+}

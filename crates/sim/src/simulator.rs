@@ -55,6 +55,19 @@ pub struct SimStats {
     pub sim_time_advanced: Duration,
 }
 
+impl SimStats {
+    /// Folds another simulator's counters into this one: event counts and
+    /// simulated time add, peak queue depth takes the maximum (the
+    /// simulators never share a queue, so their peaks are independent).
+    /// Batch harnesses that build one `Simulator` per trial use this to
+    /// report the aggregate work behind a whole job.
+    pub fn absorb(&mut self, other: SimStats) {
+        self.events_processed += other.events_processed;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.sim_time_advanced += other.sim_time_advanced;
+    }
+}
+
 /// Event-driven simulator over a [`Netlist`].
 ///
 /// # Examples

@@ -56,6 +56,65 @@ cargo run -q --release -p hiperrf-bench --bin repro -- perf --smoke --threads 2
 echo "== co-simulation smoke (CPU on pulse-level netlists) =="
 cargo run -q --release -p hiperrf-bench --bin repro -- cosim --smoke
 
+echo "== sim-as-a-service smoke (submit, cache hit, drain) =="
+cargo run -q --release -p hiperrf-bench --bin repro -- serve --smoke --json
+
+echo "== crash recovery (SIGKILL mid-batch, WAL replay, digest equality) =="
+SERVE_BIN=target/release/sfq-serve
+SERVE_TMP=$(mktemp -d)
+SERVE_SPEC='{"kind":"margins","design":"hiperrf","trials":6,"shard_len":1,"seed":"424242"}'
+
+serve_wait_addr() { # addr-file -> prints address once published
+    for _ in $(seq 200); do
+        [ -s "$1" ] && { cat "$1"; return 0; }
+        sleep 0.05
+    done
+    echo "error: sfq-serve never published its address" >&2
+    return 1
+}
+
+# Uninterrupted baseline digest.
+"$SERVE_BIN" run --wal "$SERVE_TMP/base.wal" --addr 127.0.0.1:0 \
+    --addr-file "$SERVE_TMP/base.addr" 2>/dev/null &
+BASE_PID=$!
+BASE_ADDR=$(serve_wait_addr "$SERVE_TMP/base.addr")
+"$SERVE_BIN" submit --addr "$BASE_ADDR" --spec "$SERVE_SPEC" > /dev/null
+BASE_DIGEST=$("$SERVE_BIN" wait --addr "$BASE_ADDR" --id 1 \
+    | grep -o '"digest":"[0-9a-f]*"' | head -1)
+"$SERVE_BIN" drain --addr "$BASE_ADDR" > /dev/null
+wait "$BASE_PID"
+
+# Crash run: slowed shards so SIGKILL lands mid-batch, then resume on the
+# same journal and require the byte-identical digest.
+"$SERVE_BIN" run --wal "$SERVE_TMP/crash.wal" --addr 127.0.0.1:0 \
+    --addr-file "$SERVE_TMP/crash.addr" --shard-delay-ms 150 2>/dev/null &
+CRASH_PID=$!
+CRASH_ADDR=$(serve_wait_addr "$SERVE_TMP/crash.addr")
+"$SERVE_BIN" submit --addr "$CRASH_ADDR" --spec "$SERVE_SPEC" > /dev/null
+for _ in $(seq 200); do
+    DONE=$("$SERVE_BIN" health --addr "$CRASH_ADDR" 2>/dev/null \
+        | grep -o '"shards_executed":[0-9]*' | grep -o '[0-9]*$' || true)
+    [ "${DONE:-0}" -ge 2 ] && break
+    sleep 0.05
+done
+kill -9 "$CRASH_PID"
+wait "$CRASH_PID" 2>/dev/null || true
+rm -f "$SERVE_TMP/crash.addr"
+"$SERVE_BIN" run --wal "$SERVE_TMP/crash.wal" --addr 127.0.0.1:0 \
+    --addr-file "$SERVE_TMP/crash.addr" 2>/dev/null &
+RESUME_PID=$!
+RESUME_ADDR=$(serve_wait_addr "$SERVE_TMP/crash.addr")
+RESUME_DIGEST=$("$SERVE_BIN" wait --addr "$RESUME_ADDR" --id 1 \
+    | grep -o '"digest":"[0-9a-f]*"' | head -1)
+"$SERVE_BIN" drain --addr "$RESUME_ADDR" > /dev/null
+wait "$RESUME_PID"
+rm -rf "$SERVE_TMP"
+if [ -z "$BASE_DIGEST" ] || [ "$BASE_DIGEST" != "$RESUME_DIGEST" ]; then
+    echo "error: resumed digest (${RESUME_DIGEST:-none}) != uninterrupted digest (${BASE_DIGEST:-none})" >&2
+    exit 1
+fi
+echo "crash recovery: resumed digest matches uninterrupted run ($BASE_DIGEST)"
+
 echo "== docs (deny rustdoc warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
