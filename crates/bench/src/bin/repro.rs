@@ -44,7 +44,7 @@ use hiperrf_bench::ablations::{
 use hiperrf_bench::cosim::{cosim_rows, fault_demo, render as render_cosim};
 use hiperrf_bench::figure14::{average_overheads, figure14, render as render_fig14};
 use hiperrf_bench::lint::{lint_detail, lint_matrix};
-use hiperrf_bench::perf::{format_duration, perf_report, PhaseTimer};
+use hiperrf_bench::perf::{append_trajectory, format_duration, perf_report, PhaseTimer};
 use hiperrf_bench::reports::{
     budget_breakdown_report, render_sim_stats, render_table1, render_table2, render_table3,
     table4_report,
@@ -336,7 +336,12 @@ fn run_section(section: &str, smoke: bool) {
                 print!("{}", lint_detail());
             }
         }
-        "perf" => print!("{}", perf_report(smoke)),
+        "perf" => {
+            let report = perf_report(smoke);
+            print!("{}", report.text);
+            // Machine-readable events/s history: one JSON line per run.
+            append_trajectory(std::path::Path::new("BENCH_perf.json"), &report.trajectory);
+        }
         "cosim" => {
             print!("{}", render_cosim(&cosim_rows(smoke)));
             if !smoke {

@@ -6,6 +6,7 @@
 //! is a T-flip-flop that toggles on every input pulse and emits a carry on
 //! wrap-around, plus a readable/reset-able state.
 
+use sfq_sim::compiled::{CellOp, Lowered};
 use sfq_sim::component::{Component, PulseContext};
 use sfq_sim::time::{Duration, Time};
 
@@ -74,6 +75,22 @@ impl Component for CounterBit {
 
     fn propagation_delay(&self) -> Option<Duration> {
         Some(Duration::from_ps(COUNTER_CARRY_PS))
+    }
+
+    fn lower(&self) -> Option<Lowered> {
+        Some(Lowered {
+            op: CellOp::CounterBit {
+                carry: Duration::from_ps(COUNTER_CARRY_PS),
+                read: Duration::from_ps(COUNTER_READ_PS),
+            },
+            bits: self.state as u8,
+            time_a: None,
+            time_b: None,
+        })
+    }
+
+    fn restore(&mut self, state: &Lowered) {
+        self.state = state.bits != 0;
     }
 }
 

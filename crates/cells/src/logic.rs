@@ -6,6 +6,7 @@
 //! instead fires only when both inputs coincide within a hold window
 //! (paper §III-C), which eliminates clock distribution in the port.
 
+use sfq_sim::compiled::{CellOp, GateFunc, Lowered};
 use sfq_sim::component::{Component, PulseContext};
 use sfq_sim::time::{Duration, Time};
 
@@ -91,6 +92,23 @@ impl Component for Dand {
     fn propagation_delay(&self) -> Option<Duration> {
         Some(Duration::from_ps(DAND_DELAY_PS))
     }
+
+    fn lower(&self) -> Option<Lowered> {
+        Some(Lowered {
+            op: CellOp::Dand {
+                window: Duration::from_ps(DAND_WINDOW_PS),
+                delay: Duration::from_ps(DAND_DELAY_PS),
+            },
+            bits: 0,
+            time_a: self.pending_a,
+            time_b: self.pending_b,
+        })
+    }
+
+    fn restore(&mut self, state: &Lowered) {
+        self.pending_a = state.time_a;
+        self.pending_b = state.time_b;
+    }
 }
 
 /// Clocked two-input gate functions.
@@ -172,6 +190,26 @@ impl Component for AndGate {
     fn propagation_delay(&self) -> Option<Duration> {
         Some(Duration::from_ps(CLOCKED_GATE_DELAY_PS))
     }
+
+    fn lower(&self) -> Option<Lowered> {
+        Some(Lowered {
+            op: CellOp::Gate {
+                func: match self.f {
+                    GateFn::And => GateFunc::And,
+                    GateFn::Xor => GateFunc::Xor,
+                },
+                delay: Duration::from_ps(CLOCKED_GATE_DELAY_PS),
+            },
+            bits: self.a as u8 | (self.b as u8) << 1,
+            time_a: None,
+            time_b: None,
+        })
+    }
+
+    fn restore(&mut self, state: &Lowered) {
+        self.a = state.bits & 1 != 0;
+        self.b = state.bits & 2 != 0;
+    }
 }
 
 /// Clocked XOR gate (same latching discipline as [`AndGate`]).
@@ -217,6 +255,14 @@ impl Component for XorGate {
 
     fn propagation_delay(&self) -> Option<Duration> {
         self.0.propagation_delay()
+    }
+
+    fn lower(&self) -> Option<Lowered> {
+        self.0.lower()
+    }
+
+    fn restore(&mut self, state: &Lowered) {
+        self.0.restore(state);
     }
 }
 
@@ -311,6 +357,25 @@ impl Component for SyncSampler {
     fn propagation_delay(&self) -> Option<Duration> {
         Some(Duration::from_ps(CLOCKED_GATE_DELAY_PS))
     }
+
+    fn lower(&self) -> Option<Lowered> {
+        Some(Lowered {
+            op: CellOp::Sync {
+                setup: Duration::from_ps(SYNC_SETUP_PS),
+                track: Duration::from_ps(SYNC_TRACK_PS),
+                hold: Duration::from_ps(SYNC_HOLD_PS),
+                delay: Duration::from_ps(CLOCKED_GATE_DELAY_PS),
+            },
+            bits: 0,
+            time_a: self.pending_d,
+            time_b: self.last_clk,
+        })
+    }
+
+    fn restore(&mut self, state: &Lowered) {
+        self.pending_d = state.time_a;
+        self.last_clk = state.time_b;
+    }
 }
 
 /// Clocked NOT gate: emits on CLK iff no input pulse was latched
@@ -360,6 +425,21 @@ impl Component for NotGate {
 
     fn propagation_delay(&self) -> Option<Duration> {
         Some(Duration::from_ps(CLOCKED_GATE_DELAY_PS))
+    }
+
+    fn lower(&self) -> Option<Lowered> {
+        Some(Lowered {
+            op: CellOp::Not {
+                delay: Duration::from_ps(CLOCKED_GATE_DELAY_PS),
+            },
+            bits: self.a as u8,
+            time_a: None,
+            time_b: None,
+        })
+    }
+
+    fn restore(&mut self, state: &Lowered) {
+        self.a = state.bits != 0;
     }
 }
 

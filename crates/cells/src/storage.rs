@@ -11,6 +11,7 @@
 //! * **NDROC** is an NDRO with complementary outputs, used as the 1-to-2
 //!   demux element of the clock-less register-file ports (paper §III-A).
 
+use sfq_sim::compiled::{CellOp, Lowered};
 use sfq_sim::component::{Component, PulseContext};
 use sfq_sim::time::{Duration, Time};
 
@@ -73,6 +74,21 @@ impl Component for Dro {
 
     fn propagation_delay(&self) -> Option<Duration> {
         Some(Duration::from_ps(DRO_CLK_TO_OUT_PS))
+    }
+
+    fn lower(&self) -> Option<Lowered> {
+        Some(Lowered {
+            op: CellOp::Dro {
+                q_delay: Duration::from_ps(DRO_CLK_TO_OUT_PS),
+            },
+            bits: self.stored as u8,
+            time_a: None,
+            time_b: None,
+        })
+    }
+
+    fn restore(&mut self, state: &Lowered) {
+        self.stored = state.bits != 0;
     }
 }
 
@@ -213,6 +229,26 @@ impl Component for HcDro {
     fn propagation_delay(&self) -> Option<Duration> {
         Some(Duration::from_ps(HCDRO_CLK_TO_OUT_PS))
     }
+
+    fn lower(&self) -> Option<Lowered> {
+        Some(Lowered {
+            op: CellOp::HcDro {
+                capacity: self.capacity,
+                q_delay: Duration::from_ps(HCDRO_CLK_TO_OUT_PS),
+                sep: Duration::from_ps(HCDRO_PULSE_SEP_PS),
+                hard_sep: Duration::from_ps(HCDRO_HARD_SEP_PS),
+            },
+            bits: self.count,
+            time_a: self.last_d,
+            time_b: self.last_clk,
+        })
+    }
+
+    fn restore(&mut self, state: &Lowered) {
+        self.count = state.bits;
+        self.last_d = state.time_a;
+        self.last_clk = state.time_b;
+    }
 }
 
 /// Non-destructive readout cell (paper §II-E).
@@ -274,6 +310,21 @@ impl Component for Ndro {
 
     fn propagation_delay(&self) -> Option<Duration> {
         Some(Duration::from_ps(NDRO_CLK_TO_OUT_PS))
+    }
+
+    fn lower(&self) -> Option<Lowered> {
+        Some(Lowered {
+            op: CellOp::Ndro {
+                out_delay: Duration::from_ps(NDRO_CLK_TO_OUT_PS),
+            },
+            bits: self.stored as u8,
+            time_a: None,
+            time_b: None,
+        })
+    }
+
+    fn restore(&mut self, state: &Lowered) {
+        self.stored = state.bits != 0;
     }
 }
 
@@ -356,6 +407,23 @@ impl Component for Ndroc {
 
     fn propagation_delay(&self) -> Option<Duration> {
         Some(Duration::from_ps(NDROC_PROP_PS))
+    }
+
+    fn lower(&self) -> Option<Lowered> {
+        Some(Lowered {
+            op: CellOp::Ndroc {
+                prop: Duration::from_ps(NDROC_PROP_PS),
+                rearm: Duration::from_ps(NDROC_REARM_PS),
+            },
+            bits: self.stored as u8,
+            time_a: self.last_clk,
+            time_b: None,
+        })
+    }
+
+    fn restore(&mut self, state: &Lowered) {
+        self.stored = state.bits != 0;
+        self.last_clk = state.time_a;
     }
 }
 

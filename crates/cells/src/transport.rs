@@ -6,6 +6,7 @@
 //! precise pulse separation is required (e.g. the 10 ps spacing inside
 //! HC-CLK and HC-WRITE, paper §IV-A).
 
+use sfq_sim::compiled::{CellOp, Lowered};
 use sfq_sim::component::{Component, PulseContext};
 use sfq_sim::time::{Duration, Time};
 
@@ -61,6 +62,11 @@ impl Component for Jtl {
     fn propagation_delay(&self) -> Option<Duration> {
         Some(self.delay)
     }
+
+    fn lower(&self) -> Option<Lowered> {
+        // Per-instance tuned delay, not the library constant.
+        Some(Lowered::stateless(CellOp::Jtl { delay: self.delay }))
+    }
 }
 
 /// Pulse splitter: input pin 0 → output pins 0 and 1.
@@ -94,6 +100,12 @@ impl Component for Splitter {
 
     fn propagation_delay(&self) -> Option<Duration> {
         Some(Duration::from_ps(SPLITTER_DELAY_PS))
+    }
+
+    fn lower(&self) -> Option<Lowered> {
+        Some(Lowered::stateless(CellOp::Splitter {
+            delay: Duration::from_ps(SPLITTER_DELAY_PS),
+        }))
     }
 }
 
@@ -142,6 +154,22 @@ impl Component for Merger {
 
     fn propagation_delay(&self) -> Option<Duration> {
         Some(Duration::from_ps(MERGER_DELAY_PS))
+    }
+
+    fn lower(&self) -> Option<Lowered> {
+        Some(Lowered {
+            op: CellOp::Merger {
+                dead: Duration::from_ps(MERGER_DEAD_PS),
+                delay: Duration::from_ps(MERGER_DELAY_PS),
+            },
+            bits: 0,
+            time_a: self.last_accepted,
+            time_b: None,
+        })
+    }
+
+    fn restore(&mut self, state: &Lowered) {
+        self.last_accepted = state.time_a;
     }
 }
 

@@ -320,7 +320,7 @@ impl PulseRf {
     }
 
     /// The wrapped structural register file, mutably (fault-pin lookup,
-    /// scheduler switches).
+    /// scheduler and engine switches).
     pub fn rf_mut(&mut self) -> &mut dyn RegisterFile {
         self.rf.as_mut()
     }

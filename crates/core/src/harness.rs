@@ -11,6 +11,7 @@
 
 use sfq_cells::Census;
 use sfq_lint::{LintPorts, LintReport};
+use sfq_sim::compiled::EngineKind;
 use sfq_sim::fault::FaultPlan;
 use sfq_sim::netlist::Netlist;
 use sfq_sim::queue::SchedulerKind;
@@ -132,6 +133,22 @@ impl RfHarness {
     /// Panics if events are pending in the queue.
     pub fn set_scheduler(&mut self, kind: SchedulerKind) {
         self.sim.set_scheduler(kind);
+    }
+
+    /// The execution engine the simulator delivers pulses with.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.sim.engine_kind()
+    }
+
+    /// Switches the execution engine. Only legal while no events are in
+    /// flight — designs are built quiescent, so the differential suite
+    /// calls this right after construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are pending in the queue.
+    pub fn set_engine(&mut self, kind: EngineKind) {
+        self.sim.set_engine(kind);
     }
 
     /// The FailFast lint gate: refuses to simulate a netlist that static
@@ -331,5 +348,16 @@ pub trait RegisterFile {
     /// see [`RfHarness::set_scheduler`]).
     fn set_scheduler(&mut self, kind: SchedulerKind) {
         self.harness_mut().set_scheduler(kind);
+    }
+
+    /// The execution engine the simulator delivers pulses with.
+    fn engine_kind(&self) -> EngineKind {
+        self.harness().engine_kind()
+    }
+
+    /// Switches the execution engine (only while quiescent — see
+    /// [`RfHarness::set_engine`]).
+    fn set_engine(&mut self, kind: EngineKind) {
+        self.harness_mut().set_engine(kind);
     }
 }

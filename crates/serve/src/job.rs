@@ -22,6 +22,7 @@ use hiperrf::jobs::{
     assemble_yield_curve, digest_bools, digest_f64s, jitter_shard, lint_job, soak_job, yield_shard,
     ShardPlan,
 };
+use sfq_sim::compiled::EngineKind;
 
 use crate::json::Json;
 
@@ -126,6 +127,11 @@ pub struct JobSpec {
     pub sigmas: Vec<f64>,
     /// Kernel name filter (cosim); empty string runs the whole suite.
     pub kernel: String,
+    /// Pinned execution engine, `None` = the server's compiled-in
+    /// default. Engines are byte-identical (the differential suite
+    /// asserts it), so like [`Chaos`] this perturbs execution — speed,
+    /// here — never results, and is not content-bearing.
+    pub engine: Option<EngineKind>,
     /// Test-only supervisor chaos (see [`Chaos`]).
     pub chaos: Option<Chaos>,
 }
@@ -144,6 +150,7 @@ impl Default for JobSpec {
             sigma: 0.0,
             sigmas: vec![0.0, 0.02, 0.05, 0.10, 0.20, 0.30],
             kernel: String::new(),
+            engine: None,
             chaos: None,
         }
     }
@@ -216,6 +223,12 @@ impl JobSpec {
                 "kernel" => {
                     spec.kernel = value.as_str().ok_or("kernel must be a string")?.to_string();
                 }
+                "engine" => {
+                    let name = value.as_str().ok_or("engine must be a string")?;
+                    spec.engine = Some(EngineKind::parse(name).ok_or_else(|| {
+                        format!("unknown engine `{name}` (compiled/dyn-interpreter)")
+                    })?);
+                }
                 "chaos" => {
                     let shard = value
                         .get("shard")
@@ -243,8 +256,9 @@ impl JobSpec {
     }
 
     /// Canonical serialisation of everything that defines the job's
-    /// *content* (chaos excluded: it perturbs execution, never results).
-    /// This is the params half of the cache key, and what the WAL stores.
+    /// *content* (chaos and engine excluded: they perturb execution,
+    /// never results). This is the params half of the cache key, and
+    /// what the WAL stores.
     pub fn canonical(&self) -> Json {
         Json::obj(vec![
             ("kind", Json::str(self.kind.name())),
@@ -264,8 +278,8 @@ impl JobSpec {
         ])
     }
 
-    /// Re-parses a WAL-stored canonical spec (plus optional chaos, which
-    /// `canonical` never writes).
+    /// Re-parses a WAL-stored canonical spec (plus optional chaos and
+    /// engine, which `canonical` never writes).
     pub fn from_canonical(v: &Json) -> Result<JobSpec, String> {
         JobSpec::from_json(v)
     }
@@ -331,6 +345,18 @@ fn stats_from_json(v: &Json) -> BatchStats {
 /// that is the supervisor-containment test hook — or on internal engine
 /// bugs (which the supervisor also contains).
 pub fn run_shard(spec: &JobSpec, shard: u32, attempt: u32) -> Json {
+    match spec.engine {
+        // Pin the requested engine for everything this shard builds —
+        // including simulators constructed deep inside Monte Carlo
+        // trials — for the duration of this worker-thread call.
+        Some(kind) => {
+            EngineKind::with_thread_default(kind, || run_shard_inner(spec, shard, attempt))
+        }
+        None => run_shard_inner(spec, shard, attempt),
+    }
+}
+
+fn run_shard_inner(spec: &JobSpec, shard: u32, attempt: u32) -> Json {
     if let Some(chaos) = spec.chaos {
         assert!(
             !(chaos.shard == shard && attempt < chaos.fail_attempts),
@@ -636,6 +662,37 @@ mod tests {
             chaotic.cache_key(1),
             "chaos is not content-bearing"
         );
+        let mut pinned = a.clone();
+        pinned.engine = Some(EngineKind::DynInterpreter);
+        assert_eq!(
+            a.cache_key(1),
+            pinned.cache_key(1),
+            "engine is not content-bearing"
+        );
+    }
+
+    #[test]
+    fn pinned_engines_produce_identical_job_digests() {
+        let spec = JobSpec {
+            trials: 4,
+            shard_len: 2,
+            sigmas: vec![0.0, 0.1],
+            ..JobSpec::default()
+        };
+        let digests: Vec<u64> = EngineKind::ALL
+            .into_iter()
+            .map(|kind| {
+                let pinned = JobSpec {
+                    engine: Some(kind),
+                    ..spec.clone()
+                };
+                let shards: Vec<Json> = (0..pinned.shard_count())
+                    .map(|s| run_shard(&pinned, s, 0))
+                    .collect();
+                finalize(&pinned, &shards).expect("finalises").digest
+            })
+            .collect();
+        assert_eq!(digests[0], digests[1], "engines are byte-identical");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fmt::Debug;
 
+use crate::compiled::Lowered;
 use crate::time::{Duration, Time};
 use crate::violation::{Violation, ViolationPolicy};
 
@@ -16,9 +17,31 @@ use crate::violation::{Violation, ViolationPolicy};
 pub struct PulseContext<'a> {
     pub(crate) emitted: &'a mut Vec<(u8, Time)>,
     pub(crate) violations: &'a mut Vec<Violation>,
-    pub(crate) component_label: &'a str,
+    pub(crate) component_label: CellLabel<'a>,
     pub(crate) policy: ViolationPolicy,
     pub(crate) degraded_drops: &'a mut u64,
+}
+
+/// The delivering cell's label, resolved only if a violation needs it.
+///
+/// Violations are rare; loading the label table on every delivery costs
+/// the compiled hot loop a scattered cache line for a string it almost
+/// never reads. `Lazy` defers that load to the violation path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CellLabel<'a> {
+    /// An already-resolved label (dyn interpreter, unlowered cells).
+    Resolved(&'a str),
+    /// The netlist's label table plus the cell index to resolve on demand.
+    Lazy(&'a [String], u32),
+}
+
+impl CellLabel<'_> {
+    fn as_str(&self) -> &str {
+        match self {
+            CellLabel::Resolved(s) => s,
+            CellLabel::Lazy(labels, cell) => labels[*cell as usize].as_str(),
+        }
+    }
 }
 
 impl<'a> PulseContext<'a> {
@@ -38,7 +61,7 @@ impl<'a> PulseContext<'a> {
     pub fn violation(&mut self, now: Time, kind: &'static str, detail: String) {
         self.violations.push(Violation {
             at: now,
-            cell: self.component_label.to_string(),
+            cell: self.component_label.as_str().to_string(),
             kind,
             detail,
         });
@@ -103,6 +126,31 @@ pub trait Component: Debug {
     fn propagation_delay(&self) -> Option<Duration> {
         None
     }
+
+    /// Lowers the cell into its compiled form — its behavior as a
+    /// [`CellOp`](crate::compiled::CellOp) plus a snapshot of its current
+    /// mutable state — for the compiled execution engine.
+    ///
+    /// `None` (the default) means the cell has no lowering; the compiled
+    /// engine then dispatches it through this boxed implementation, so
+    /// compilation never changes behavior. Implementations must keep the
+    /// lowering exact: the `engine_equivalence` differential suite holds
+    /// both engines to byte-identical observables.
+    fn lower(&self) -> Option<Lowered> {
+        None
+    }
+
+    /// Writes a compiled-engine state snapshot back into the cell.
+    ///
+    /// The compiled engine mutates lowered state in its own dense arrays;
+    /// at the end of every run it restores each touched cell through this
+    /// method so external peeks ([`Component::stored`], test pokes) always
+    /// observe fresh state. `state` uses the same mapping the cell's
+    /// [`Component::lower`] produced. Cells without a lowering are never
+    /// restored (the default is a no-op).
+    fn restore(&mut self, state: &Lowered) {
+        let _ = state;
+    }
 }
 
 #[cfg(test)]
@@ -129,7 +177,7 @@ mod tests {
         PulseContext {
             emitted,
             violations,
-            component_label: "cell7",
+            component_label: CellLabel::Resolved("cell7"),
             policy,
             degraded_drops: degraded,
         }

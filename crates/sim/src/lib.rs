@@ -24,6 +24,10 @@
 //!   calendar queue and the seed `BinaryHeap` reference
 //!   ([`SchedulerKind`](queue::SchedulerKind); the `reference-queue`
 //!   feature flips the default).
+//! - [`compiled`]: the compiled execution engine — a lowering pass that
+//!   flattens the netlist into SoA state with enum-dispatched cell ops
+//!   ([`EngineKind`](compiled::EngineKind); the `reference-engine`
+//!   feature flips the default back to the dyn interpreter).
 //! - [`trace`]: pulse traces and ASCII waveform rendering.
 //! - [`violation`]: timing-violation records and the
 //!   [`ViolationPolicy`](violation::ViolationPolicy) that gives them
@@ -47,6 +51,7 @@
 //! Concrete SFQ cells (DRO, HC-DRO, NDRO, NDROC, splitters, mergers, …)
 //! live in the `sfq-cells` crate, which builds on this one.
 
+pub mod compiled;
 pub mod component;
 pub mod fault;
 pub mod netlist;
@@ -60,6 +65,7 @@ pub mod violation;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
+    pub use crate::compiled::{CellOp, EngineKind, GateFunc, Lowered};
     pub use crate::component::{Component, PulseContext};
     pub use crate::fault::FaultPlan;
     pub use crate::netlist::{ComponentId, Netlist, Pin, Wire};

@@ -233,6 +233,12 @@ impl Netlist {
         &self.labels[id.index()]
     }
 
+    /// The whole label table, indexed by component id — the compiled
+    /// engine borrows it once per delivery for lazy violation labels.
+    pub(crate) fn labels_raw(&self) -> &[String] {
+        &self.labels
+    }
+
     /// Returns the scope path of a component (`""` for root components).
     ///
     /// # Panics
@@ -274,6 +280,22 @@ impl Netlist {
     /// Panics if `id` does not belong to this netlist.
     pub fn component_mut(&mut self, id: ComponentId) -> &mut dyn Component {
         self.components[id.index()].as_mut()
+    }
+
+    /// Returns an exclusive component reference together with its label.
+    ///
+    /// Components and labels live in separate arrays, so the split borrow
+    /// lets the simulator hand a cell its own label (for violation
+    /// records) without cloning the string on every delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn component_and_label_mut(&mut self, id: ComponentId) -> (&mut dyn Component, &str) {
+        (
+            self.components[id.index()].as_mut(),
+            self.labels[id.index()].as_str(),
+        )
     }
 
     /// Iterates over `(id, label, component)` triples.

@@ -14,7 +14,8 @@
 
 use std::collections::HashMap;
 
-use crate::component::PulseContext;
+use crate::compiled::{CompiledNetlist, EngineKind};
+use crate::component::{CellLabel, PulseContext};
 use crate::fault::{FaultPlan, FaultState};
 use crate::netlist::{Netlist, Pin};
 use crate::queue::{Event, Queue, SchedulerKind};
@@ -49,6 +50,13 @@ pub struct SimStats {
     /// subsequently dropped).
     pub events_processed: u64,
     /// Largest number of simultaneously pending events observed.
+    ///
+    /// Definition: the maximum, over every queue insertion (external
+    /// injections and fan-out pushes alike), of the pending-event count
+    /// *after* that insertion. Both engines push the identical event
+    /// sequence and both schedulers count undrained events identically,
+    /// so this figure is comparable across every engine × scheduler
+    /// combination — the equivalence suites assert it.
     pub peak_queue_depth: usize,
     /// Total simulation time advanced (the time of the latest processed
     /// event).
@@ -96,6 +104,14 @@ pub struct Simulator {
     /// Pulses dropped by cells under [`ViolationPolicy::Degrade`].
     degraded_drops: u64,
     fault: Option<FaultState>,
+    engine: EngineKind,
+    /// Lazily compiled execution cache (compiled engine only). Dropped —
+    /// after syncing its state back into the boxed components — whenever
+    /// the netlist or the probe set could change under it.
+    compiled: Option<CompiledNetlist>,
+    /// Reusable per-delivery emission buffer; keeps the hot loop
+    /// allocation-free across runs.
+    emit_scratch: Vec<(u8, Time)>,
 }
 
 impl Simulator {
@@ -104,13 +120,20 @@ impl Simulator {
 
     /// Creates a simulator over a finished netlist, using the default
     /// scheduler (the calendar queue, or the reference heap when the
-    /// `reference-queue` feature is enabled).
+    /// `reference-queue` feature is enabled) and the default engine (the
+    /// compiled engine, or the dyn interpreter when the
+    /// `reference-engine` feature is enabled).
     pub fn new(netlist: Netlist) -> Self {
         Self::with_scheduler(netlist, SchedulerKind::default())
     }
 
-    /// Creates a simulator on an explicit scheduler.
+    /// Creates a simulator on an explicit scheduler and the default engine.
     pub fn with_scheduler(netlist: Netlist, scheduler: SchedulerKind) -> Self {
+        Self::with_engine(netlist, scheduler, EngineKind::default())
+    }
+
+    /// Creates a simulator on an explicit scheduler and engine.
+    pub fn with_engine(netlist: Netlist, scheduler: SchedulerKind, engine: EngineKind) -> Self {
         Simulator {
             netlist,
             queue: Queue::new(scheduler),
@@ -124,6 +147,9 @@ impl Simulator {
             policy: ViolationPolicy::Record,
             degraded_drops: 0,
             fault: None,
+            engine,
+            compiled: None,
+            emit_scratch: Vec::new(),
         }
     }
 
@@ -147,6 +173,39 @@ impl Simulator {
             self.queue.len()
         );
         self.queue = Queue::new(scheduler);
+    }
+
+    /// The execution engine this simulator delivers pulses with.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Swaps the execution engine. Like [`Simulator::set_scheduler`], only
+    /// legal while no events are pending; all accumulated state (cell
+    /// contents, probes, violations, statistics) carries over — both
+    /// engines produce byte-identical observables either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are still pending.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        assert!(
+            self.queue.is_empty(),
+            "cannot switch engines with {} event(s) in flight",
+            self.queue.len()
+        );
+        self.drop_compiled();
+        self.engine = engine;
+    }
+
+    /// Drops the compiled cache (if any), first restoring every touched
+    /// cell's boxed state so nothing is lost. Called before any operation
+    /// that could invalidate the lowering: netlist mutation, probe
+    /// registration, engine swaps.
+    fn drop_compiled(&mut self) {
+        if let Some(mut compiled) = self.compiled.take() {
+            compiled.sync_back(&mut self.netlist);
+        }
     }
 
     /// Lifetime counters, cumulative over every run so far.
@@ -206,8 +265,13 @@ impl Simulator {
         &self.netlist
     }
 
-    /// Returns an exclusive reference to the netlist (for state pokes in tests).
+    /// Returns an exclusive reference to the netlist (for state pokes in
+    /// tests). Invalidates the compiled execution cache — state is synced
+    /// back into the boxed components first and the lowering is redone
+    /// lazily at the next run, so pokes through this reference are always
+    /// observed by either engine.
     pub fn netlist_mut(&mut self) -> &mut Netlist {
+        self.drop_compiled();
         &mut self.netlist
     }
 
@@ -219,6 +283,9 @@ impl Simulator {
     /// Attaches a probe to an *output* pin; every pulse emitted on that pin
     /// is recorded with its timestamp.
     pub fn probe(&mut self, pin: Pin, label: impl Into<String>) -> ProbeId {
+        // The compiled cache's flat probe table is now stale; rebuild
+        // lazily at the next run.
+        self.drop_compiled();
         let id = ProbeId(self.probe_records.len() as u32);
         self.probes.entry(pin).or_default().push(id);
         self.probe_records.push(PulseTrace::new(label));
@@ -331,16 +398,32 @@ impl Simulator {
     }
 
     fn run_until(&mut self, deadline: Option<Time>) -> Result<RunStats, SimError> {
+        match self.engine {
+            EngineKind::Compiled => self.run_until_compiled(deadline),
+            EngineKind::DynInterpreter => self.run_until_dyn(deadline),
+        }
+    }
+
+    /// The dyn-interpreter hot loop: every delivery goes through the boxed
+    /// [`Component::pulse`](crate::component::Component::pulse) virtual
+    /// call and the netlist's hash-map fan-out. Allocation-free in steady
+    /// state: the emission buffer is reused across runs, fan-out slices
+    /// are borrowed (never cloned), and the cell label is handed to the
+    /// pulse context by reference.
+    fn run_until_dyn(&mut self, deadline: Option<Time>) -> Result<RunStats, SimError> {
         let mut stats = RunStats::default();
-        let mut emitted_buf: Vec<(u8, Time)> = Vec::new();
+        let mut emitted_buf = std::mem::take(&mut self.emit_scratch);
         let mut processed: u64 = 0;
-        while let Some(ev) = self.queue.pop() {
+        let result = loop {
+            let Some(ev) = self.queue.pop() else {
+                break Ok(stats);
+            };
             if let Some(d) = deadline {
                 if ev.time > d {
                     // Re-seat the event; its key (time, component, seq) is
                     // unchanged, so the schedule is unaffected.
                     self.queue.push(ev);
-                    break;
+                    break Ok(stats);
                 }
             }
             processed += 1;
@@ -358,12 +441,17 @@ impl Simulator {
             if let Some(fault) = self.fault.as_mut() {
                 let f = fault.on_delivery(ev.target);
                 if let Some(offset) = f.echo_after {
-                    let seq = self.next_seq();
-                    self.push(Event {
-                        time: ev.time + offset,
-                        seq,
-                        target: ev.target,
-                    });
+                    let seq = self.seq;
+                    self.seq += 1;
+                    Self::push_raw(
+                        &mut self.queue,
+                        &mut self.stats,
+                        Event {
+                            time: ev.time + offset,
+                            seq,
+                            target: ev.target,
+                        },
+                    );
                 }
                 if f.drop {
                     continue;
@@ -374,19 +462,15 @@ impl Simulator {
             let violations_before = self.violations.len();
             emitted_buf.clear();
             {
-                let label = &self.netlist.label(ev.target.component).to_string();
+                let (component, label) = self.netlist.component_and_label_mut(ev.target.component);
                 let mut ctx = PulseContext {
                     emitted: &mut emitted_buf,
                     violations: &mut self.violations,
-                    component_label: label,
+                    component_label: CellLabel::Resolved(label),
                     policy: self.policy,
                     degraded_drops: &mut self.degraded_drops,
                 };
-                self.netlist.component_mut(ev.target.component).pulse(
-                    ev.target.index,
-                    ev.time,
-                    &mut ctx,
-                );
+                component.pulse(ev.target.index, ev.time, &mut ctx);
             }
 
             // Per-instance delay variation scales the emitting cell's
@@ -398,13 +482,7 @@ impl Simulator {
                 .map_or(1.0, |f| f.delay_factor(ev.target.component));
 
             for &(out_pin, at) in emitted_buf.iter() {
-                let at = if factor != 1.0 {
-                    let lag_fs = at.as_fs().saturating_sub(ev.time.as_fs());
-                    let scaled = (lag_fs as f64 * factor).round().max(0.0) as u64;
-                    Time::from_fs(ev.time.as_fs() + scaled)
-                } else {
-                    at
-                };
+                let at = scale_emission(at, ev.time, factor);
                 stats.emitted += 1;
                 let source = Pin::new(ev.target.component, out_pin);
                 if let Some(ids) = self.probes.get(&source) {
@@ -412,31 +490,158 @@ impl Simulator {
                         self.probe_records[id.0 as usize].record(at);
                     }
                 }
-                // Fan the pulse out along wires.
-                let dests: Vec<(Pin, Duration)> = self.netlist.fanout(source).to_vec();
-                for (to, delay) in dests {
-                    let seq = self.next_seq();
-                    self.push(Event {
-                        time: at + delay,
-                        seq,
-                        target: to,
-                    });
+                // Fan the pulse out along wires (a borrowed slice — the
+                // queue and netlist are disjoint fields).
+                for &(to, delay) in self.netlist.fanout(source) {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    Self::push_raw(
+                        &mut self.queue,
+                        &mut self.stats,
+                        Event {
+                            time: at + delay,
+                            seq,
+                            target: to,
+                        },
+                    );
                 }
             }
 
             if self.policy == ViolationPolicy::FailFast && self.violations.len() > violations_before
             {
-                return Err(SimError::FailFast(
+                break Err(SimError::FailFast(
                     self.violations[violations_before].clone(),
                 ));
             }
+        };
+        self.emit_scratch = emitted_buf;
+        result
+    }
+
+    /// The compiled hot loop: deliveries dispatch through the lowered
+    /// [`CellOp`](crate::compiled::CellOp) enum over dense SoA state, and
+    /// fan-out/probe lookups index the precomputed flat tables. On every
+    /// exit path the touched cells' state is synced back into the boxed
+    /// components, so between runs both representations agree.
+    fn run_until_compiled(&mut self, deadline: Option<Time>) -> Result<RunStats, SimError> {
+        if self.compiled.is_none() {
+            self.compiled = Some(CompiledNetlist::compile(&self.netlist, &self.probes));
         }
-        Ok(stats)
+        let mut compiled = self.compiled.take().expect("compiled just above");
+        let mut emitted_buf = std::mem::take(&mut self.emit_scratch);
+        let mut stats = RunStats::default();
+        let mut processed: u64 = 0;
+        // Loop-carried counters hoisted out of `self` so they live in
+        // registers across the hot loop; merged back after every exit
+        // path below. The merged values are identical to the dyn
+        // interpreter's per-event updates (the differential suite holds
+        // both engines to the same `SimStats`).
+        let mut seq = self.seq;
+        let mut peak = self.stats.peak_queue_depth;
+        let result = loop {
+            let Some(ev) = self.queue.pop() else {
+                break Ok(stats);
+            };
+            if let Some(d) = deadline {
+                if ev.time > d {
+                    self.queue.push(ev);
+                    break Ok(stats);
+                }
+            }
+            processed += 1;
+            assert!(
+                processed <= self.event_budget,
+                "event budget exhausted ({processed} events): runaway feedback loop?"
+            );
+            self.now = ev.time;
+            stats.last_event = Some(ev.time);
+
+            if let Some(fault) = self.fault.as_mut() {
+                let f = fault.on_delivery(ev.target);
+                if let Some(offset) = f.echo_after {
+                    self.queue.push(Event {
+                        time: ev.time + offset,
+                        seq,
+                        target: ev.target,
+                    });
+                    seq += 1;
+                    peak = peak.max(self.queue.len());
+                }
+                if f.drop {
+                    continue;
+                }
+            }
+            stats.delivered += 1;
+
+            let violations_before = self.violations.len();
+            emitted_buf.clear();
+            compiled.deliver(
+                &mut self.netlist,
+                ev.target,
+                ev.time,
+                &mut emitted_buf,
+                &mut self.violations,
+                self.policy,
+                &mut self.degraded_drops,
+            );
+
+            let factor = self
+                .fault
+                .as_mut()
+                .map_or(1.0, |f| f.delay_factor(ev.target.component));
+
+            for &(out_pin, at) in emitted_buf.iter() {
+                let at = scale_emission(at, ev.time, factor);
+                stats.emitted += 1;
+                let source = Pin::new(ev.target.component, out_pin);
+                // Pins beyond the table stride have no wires and no
+                // probes — nothing to do, exactly like the hash-map miss.
+                let Some(flat) = compiled.flat(source) else {
+                    continue;
+                };
+                for &id in compiled.probes(flat) {
+                    self.probe_records[id.0 as usize].record(at);
+                }
+                for &(to, delay) in compiled.fanout(flat) {
+                    self.queue.push(Event {
+                        time: at + delay,
+                        seq,
+                        target: to,
+                    });
+                    seq += 1;
+                }
+                peak = peak.max(self.queue.len());
+            }
+
+            if self.policy == ViolationPolicy::FailFast && self.violations.len() > violations_before
+            {
+                break Err(SimError::FailFast(
+                    self.violations[violations_before].clone(),
+                ));
+            }
+        };
+        self.seq = seq;
+        self.stats.peak_queue_depth = peak;
+        self.stats.events_processed += processed;
+        if processed > 0 {
+            self.stats.sim_time_advanced = self.now - Time::ZERO;
+        }
+        compiled.sync_back(&mut self.netlist);
+        self.compiled = Some(compiled);
+        self.emit_scratch = emitted_buf;
+        result
     }
 
     fn push(&mut self, ev: Event) {
-        self.queue.push(ev);
-        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len());
+        Self::push_raw(&mut self.queue, &mut self.stats, ev);
+    }
+
+    /// Queue insertion + peak-depth update over split borrows, so the hot
+    /// loops can push while the netlist (or compiled table) is borrowed.
+    #[inline]
+    fn push_raw(queue: &mut Queue, stats: &mut SimStats, ev: Event) {
+        queue.push(ev);
+        stats.peak_queue_depth = stats.peak_queue_depth.max(queue.len());
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -444,6 +649,19 @@ impl Simulator {
         self.seq += 1;
         s
     }
+}
+
+/// Applies a fault plan's per-instance delay factor to one emission: the
+/// lag between the delivery and the emission scales, the delivery time
+/// itself does not (wire delays stay nominal).
+#[inline]
+fn scale_emission(at: Time, delivered: Time, factor: f64) -> Time {
+    if factor == 1.0 {
+        return at;
+    }
+    let lag_fs = at.as_fs().saturating_sub(delivered.as_fs());
+    let scaled = (lag_fs as f64 * factor).round().max(0.0) as u64;
+    Time::from_fs(delivered.as_fs() + scaled)
 }
 
 #[cfg(test)]
@@ -785,6 +1003,101 @@ mod tests {
     }
 
     #[test]
+    fn default_engine_tracks_the_feature() {
+        let expect = if cfg!(feature = "reference-engine") {
+            EngineKind::DynInterpreter
+        } else {
+            EngineKind::Compiled
+        };
+        assert_eq!(EngineKind::default(), expect);
+        let sim = Simulator::new(Netlist::new());
+        assert_eq!(sim.engine_kind(), expect);
+    }
+
+    #[test]
+    fn thread_default_pins_plain_constructors_and_restores() {
+        let pinned = EngineKind::with_thread_default(EngineKind::DynInterpreter, || {
+            Simulator::new(Netlist::new()).engine_kind()
+        });
+        assert_eq!(pinned, EngineKind::DynInterpreter);
+        assert_eq!(EngineKind::default(), {
+            if cfg!(feature = "reference-engine") {
+                EngineKind::DynInterpreter
+            } else {
+                EngineKind::Compiled
+            }
+        });
+        // Restores on unwind too (the job server's chaos hook panics).
+        let _ = std::panic::catch_unwind(|| {
+            EngineKind::with_thread_default(EngineKind::DynInterpreter, || panic!("chaos"))
+        });
+        let expected: EngineKind = Default::default();
+        assert_eq!(Simulator::new(Netlist::new()).engine_kind(), expected);
+    }
+
+    #[test]
+    fn engines_produce_identical_traces_and_stats() {
+        // The chain components have no lowering, so this exercises the
+        // compiled engine's Dyn fallback and flat fan-out tables against
+        // the plain interpreter.
+        let run_on = |engine| {
+            let mut n = Netlist::new();
+            let ids: Vec<_> = (0..4)
+                .map(|i| n.add(format!("r{i}"), Box::new(Repeater) as _))
+                .collect();
+            for w in ids.windows(2) {
+                n.connect(Pin::new(w[0], 0), Pin::new(w[1], 0), Duration::from_ps(0.5));
+            }
+            let mut sim = Simulator::with_engine(n, SchedulerKind::default(), engine);
+            assert_eq!(sim.engine_kind(), engine);
+            let probe = sim.probe(Pin::new(ids[3], 0), "end");
+            sim.inject(Pin::new(ids[0], 0), Time::from_ps(0.0));
+            sim.inject(Pin::new(ids[0], 0), Time::from_ps(700.0));
+            sim.run();
+            (sim.probe_trace(probe).clone(), sim.stats())
+        };
+        let (dyn_trace, dyn_stats) = run_on(EngineKind::DynInterpreter);
+        let (compiled_trace, compiled_stats) = run_on(EngineKind::Compiled);
+        assert_eq!(dyn_trace, compiled_trace);
+        assert_eq!(dyn_stats, compiled_stats);
+    }
+
+    #[test]
+    fn set_engine_swaps_when_idle() {
+        let (mut sim, first, last) = chain(2);
+        for engine in [EngineKind::Compiled, EngineKind::DynInterpreter] {
+            sim.set_engine(engine);
+            assert_eq!(sim.engine_kind(), engine);
+        }
+        let probe = sim.probe(last, "end");
+        sim.inject(first, Time::ZERO);
+        sim.run();
+        assert_eq!(sim.probe_trace(probe).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot switch engines")]
+    fn set_engine_rejects_pending_events() {
+        let (mut sim, first, _last) = chain(2);
+        sim.inject(first, Time::from_ps(1.0));
+        sim.set_engine(EngineKind::Compiled);
+    }
+
+    #[test]
+    fn probe_added_between_runs_reaches_compiled_engine() {
+        // Probe registration invalidates the compiled cache; the rebuilt
+        // flat table must carry the new probe.
+        let (mut sim, first, last) = chain(3);
+        sim.set_engine(EngineKind::Compiled);
+        sim.inject(first, Time::ZERO);
+        sim.run();
+        let probe = sim.probe(last, "late");
+        sim.inject(first, Time::from_ps(500.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(probe).len(), 1);
+    }
+
+    #[test]
     fn fault_plan_drops_and_duplicates() {
         use crate::fault::FaultPlan;
         let (mut sim, first, last) = chain(2);
@@ -832,5 +1145,79 @@ mod tests {
         let at = a[0].as_ps();
         assert!(at > 2.0 && at < 12.0, "arrival {at}");
         assert_ne!(a[0], Time::from_ps(5.5));
+    }
+}
+
+/// Ignored microbenchmark: the per-event floor of each engine on a
+/// workload with no queue pressure (a 256-JTL ring, one pulse in
+/// flight — every event is exactly pop + deliver + one emission + one
+/// push, and the whole working set fits in L1). Run with
+/// `cargo test --release -p sfq-sim ring_throughput -- --ignored --nocapture`;
+/// the soak numbers in `repro perf` sit above this floor by the queue's
+/// bucket handling and the larger netlist's cache footprint.
+#[cfg(test)]
+mod bench {
+    use super::*;
+    use crate::compiled::{CellOp, EngineKind, Lowered};
+    use crate::component::Component;
+    use crate::queue::SchedulerKind;
+    use crate::time::Duration;
+    use std::time::Instant;
+
+    /// A minimal lowerable cell: any input pulse emits on pin 0 after 3 ps.
+    #[derive(Debug)]
+    struct BenchJtl;
+    impl Component for BenchJtl {
+        fn kind(&self) -> &'static str {
+            "bench-jtl"
+        }
+        fn pulse(&mut self, _pin: u8, at: Time, ctx: &mut PulseContext<'_>) {
+            ctx.emit(0, at + Duration::from_ps(3.0));
+        }
+        fn lower(&self) -> Option<Lowered> {
+            Some(Lowered::stateless(CellOp::Jtl {
+                delay: Duration::from_ps(3.0),
+            }))
+        }
+    }
+
+    /// A `len`-cell ring of [`BenchJtl`]s; returns the netlist and the
+    /// input pin that starts the circulation.
+    fn ring(len: usize) -> (Netlist, Pin) {
+        let mut n = Netlist::new();
+        let ids: Vec<_> = (0..len)
+            .map(|i| n.add(format!("j{i}"), Box::new(BenchJtl)))
+            .collect();
+        for i in 0..len {
+            n.connect(
+                Pin::new(ids[i], 0),
+                Pin::new(ids[(i + 1) % len], 1),
+                Duration::from_ps(1.0),
+            );
+        }
+        (n, Pin::new(ids[0], 1))
+    }
+
+    #[test]
+    #[ignore = "wall-clock microbenchmark; run with --ignored --nocapture"]
+    fn ring_throughput() {
+        for engine in [EngineKind::DynInterpreter, EngineKind::Compiled] {
+            let (netlist, first) = ring(256);
+            let mut sim = Simulator::with_engine(netlist, SchedulerKind::CalendarQueue, engine);
+            sim.set_event_budget(u64::MAX);
+            sim.inject(first, Time::from_ps(1.0));
+            // Warm up (and, for the compiled engine, lower the netlist).
+            sim.run_for(Time::from_ps(10_000.0));
+            let n0 = sim.stats().events_processed;
+            let t0 = Instant::now();
+            sim.run_for(Time::from_ps(20_000_000.0));
+            let el = t0.elapsed();
+            let n = sim.stats().events_processed - n0;
+            eprintln!(
+                "{}: {:.1} ns/event ({n} events)",
+                engine.label(),
+                el.as_nanos() as f64 / n as f64
+            );
+        }
     }
 }

@@ -23,11 +23,17 @@ echo "== tests (default scheduler: calendar queue) =="
 cargo test -q --workspace
 
 echo "== differential + invariance suites (default scheduler: reference heap) =="
-# The `reference-queue` feature only flips which scheduler plain
-# constructors pick — both implementations are always compiled — so the
-# differential suites prove byte-identical behaviour from either default.
+# The `reference-queue` / `reference-engine` features only flip which
+# scheduler / execution engine plain constructors pick — both
+# implementations of each are always compiled — so the differential
+# suites prove byte-identical behaviour from any default.
 cargo test -q --workspace --features reference-queue \
-    --test sim_equivalence --test thread_invariance --test rf_conformance
+    --test sim_equivalence --test engine_equivalence \
+    --test thread_invariance --test rf_conformance
+
+echo "== engine differential suite (default engine: dyn interpreter) =="
+cargo test -q --workspace --features reference-engine \
+    --test engine_equivalence --test sim_equivalence --test rf_conformance
 
 echo "== robustness smoke reports =="
 cargo run -q --release -p hiperrf-bench --bin repro -- margins --smoke
@@ -50,7 +56,7 @@ if grep -rn --include='*.rs' -E '#\[allow\((dead_code|unused)' crates tests; the
     exit 1
 fi
 
-echo "== simulator-core perf smoke (schedulers + parallel MC) =="
+echo "== simulator-core perf smoke (engines + schedulers + parallel MC) =="
 cargo run -q --release -p hiperrf-bench --bin repro -- perf --smoke --threads 2
 
 echo "== co-simulation smoke (CPU on pulse-level netlists) =="
