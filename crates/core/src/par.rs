@@ -14,6 +14,12 @@
 //! Thread count selection ([`available_threads`]): the `HIPERRF_THREADS`
 //! environment variable if set (the `repro --threads` flag sets it for the
 //! process), else [`std::thread::available_parallelism`].
+//!
+//! Worker threads inherit the calling thread's pinned engine and
+//! scheduler defaults (`EngineKind::with_thread_default` /
+//! `SchedulerKind::with_thread_default`): the caller's resolved defaults
+//! are re-pinned inside every spawned worker, so pinning around a
+//! `map_trials` call pins every trial, whatever thread runs it.
 
 /// Environment variable overriding the default worker-thread count.
 pub const THREADS_ENV: &str = "HIPERRF_THREADS";
@@ -128,15 +134,28 @@ where
         start += len;
     }
     let guarded = &guarded;
+    // Thread-pinned defaults live in thread-locals, so a freshly spawned
+    // worker would silently fall back to the compile-time defaults and a
+    // caller's `with_thread_default` pin would never reach its trials.
+    // Resolve the calling thread's defaults here and re-pin them inside
+    // every worker; when nothing is pinned this re-applies the
+    // compile-time default, which is an identity.
+    let engine = sfq_sim::compiled::EngineKind::default();
+    let scheduler = sfq_sim::queue::SchedulerKind::default();
     let out: Vec<Result<Vec<T>, TrialPanic>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|range| {
                 scope.spawn(move || {
-                    // Stop the chunk at its first panic: later trials of a
-                    // poisoned chunk are unreachable anyway, and the first
-                    // failing index per chunk is all the reduction needs.
-                    range.map(guarded).collect::<Result<Vec<T>, TrialPanic>>()
+                    sfq_sim::queue::SchedulerKind::with_thread_default(scheduler, || {
+                        sfq_sim::compiled::EngineKind::with_thread_default(engine, || {
+                            // Stop the chunk at its first panic: later
+                            // trials of a poisoned chunk are unreachable
+                            // anyway, and the first failing index per
+                            // chunk is all the reduction needs.
+                            range.map(guarded).collect::<Result<Vec<T>, TrialPanic>>()
+                        })
+                    })
                 })
             })
             .collect();

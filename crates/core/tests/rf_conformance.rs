@@ -13,8 +13,9 @@
 //!   `Record` never destroys pulses, and every `Degrade` drop is
 //!   explained by a recorded violation,
 //! * scheduler independence: round trips behave identically on the
-//!   calendar queue and the reference heap, and the scheduler counters
-//!   stay sane (events flow, simulated time never runs backwards).
+//!   calendar queue, the lane-batched queue, and the reference heap, and
+//!   the scheduler counters stay sane (events flow, simulated time never
+//!   runs backwards, peak queue depth is exact on every scheduler).
 
 use hiperrf::config::RfGeometry;
 use hiperrf::designs::{registry, Design};
@@ -215,6 +216,44 @@ fn sim_stats_are_sane_and_monotone() {
             after_read.peak_queue_depth >= after_write.peak_queue_depth,
             "{design}: peak queue depth shrank"
         );
+    }
+}
+
+#[test]
+fn peak_queue_depth_is_exact_under_lane_batching() {
+    // The lane-batched scheduler spreads pending events over a serving
+    // batch, per-cell self-echo lanes, an insertion buffer, the wheel,
+    // and an overflow heap. `peak_queue_depth` must still count every
+    // pending event exactly — the same number the reference heap (whose
+    // `len()` is trivially exact) reports — and stay monotone within a
+    // run.
+    for design in registry() {
+        let depth_trace = |kind: SchedulerKind| {
+            let mut rf = design.build(small());
+            rf.set_scheduler(kind);
+            let g = rf.geometry();
+            let mut peaks = Vec::new();
+            for reg in 0..g.registers() {
+                rf.write(reg, pattern(reg, g.width()));
+                peaks.push(rf.sim_stats().peak_queue_depth);
+            }
+            for reg in 0..g.registers() {
+                let _ = rf.read(reg);
+                peaks.push(rf.sim_stats().peak_queue_depth);
+            }
+            peaks
+        };
+        let reference = depth_trace(SchedulerKind::ReferenceHeap);
+        let lane = depth_trace(SchedulerKind::LaneBatched);
+        assert_eq!(
+            reference, lane,
+            "{design}: lane-batched peak depth diverged from the heap"
+        );
+        assert!(
+            lane.windows(2).all(|w| w[0] <= w[1]),
+            "{design}: peak depth must be monotone within a run"
+        );
+        assert!(*lane.last().unwrap() > 0, "{design}: no events enqueued");
     }
 }
 

@@ -23,6 +23,7 @@ use hiperrf::jobs::{
     ShardPlan,
 };
 use sfq_sim::compiled::EngineKind;
+use sfq_sim::queue::SchedulerKind;
 
 use crate::json::Json;
 
@@ -132,6 +133,12 @@ pub struct JobSpec {
     /// asserts it), so like [`Chaos`] this perturbs execution — speed,
     /// here — never results, and is not content-bearing.
     pub engine: Option<EngineKind>,
+    /// Pinned event scheduler, `None` = the server's compiled-in
+    /// default. Like [`JobSpec::engine`]: the schedulers are
+    /// byte-identical (the torture and differential suites assert it),
+    /// so this perturbs execution speed, never results, and is not
+    /// content-bearing.
+    pub scheduler: Option<SchedulerKind>,
     /// Test-only supervisor chaos (see [`Chaos`]).
     pub chaos: Option<Chaos>,
 }
@@ -151,6 +158,7 @@ impl Default for JobSpec {
             sigmas: vec![0.0, 0.02, 0.05, 0.10, 0.20, 0.30],
             kernel: String::new(),
             engine: None,
+            scheduler: None,
             chaos: None,
         }
     }
@@ -229,6 +237,15 @@ impl JobSpec {
                         format!("unknown engine `{name}` (compiled/dyn-interpreter)")
                     })?);
                 }
+                "scheduler" => {
+                    let name = value.as_str().ok_or("scheduler must be a string")?;
+                    spec.scheduler = Some(SchedulerKind::parse(name).ok_or_else(|| {
+                        format!(
+                            "unknown scheduler `{name}` \
+                             (calendar-queue/reference-heap/lane-batched)"
+                        )
+                    })?);
+                }
                 "chaos" => {
                     let shard = value
                         .get("shard")
@@ -278,8 +295,8 @@ impl JobSpec {
         ])
     }
 
-    /// Re-parses a WAL-stored canonical spec (plus optional chaos and
-    /// engine, which `canonical` never writes).
+    /// Re-parses a WAL-stored canonical spec (plus optional chaos,
+    /// engine, and scheduler, which `canonical` never writes).
     pub fn from_canonical(v: &Json) -> Result<JobSpec, String> {
         JobSpec::from_json(v)
     }
@@ -345,14 +362,18 @@ fn stats_from_json(v: &Json) -> BatchStats {
 /// that is the supervisor-containment test hook — or on internal engine
 /// bugs (which the supervisor also contains).
 pub fn run_shard(spec: &JobSpec, shard: u32, attempt: u32) -> Json {
-    match spec.engine {
-        // Pin the requested engine for everything this shard builds —
-        // including simulators constructed deep inside Monte Carlo
-        // trials — for the duration of this worker-thread call.
+    // Pin the requested engine and scheduler for everything this shard
+    // builds — including simulators constructed deep inside Monte Carlo
+    // trials — for the duration of this worker-thread call.
+    let engine_pinned = || match spec.engine {
         Some(kind) => {
             EngineKind::with_thread_default(kind, || run_shard_inner(spec, shard, attempt))
         }
         None => run_shard_inner(spec, shard, attempt),
+    };
+    match spec.scheduler {
+        Some(kind) => SchedulerKind::with_thread_default(kind, engine_pinned),
+        None => engine_pinned(),
     }
 }
 
@@ -634,8 +655,20 @@ mod tests {
         let re = JobSpec::from_canonical(&spec.canonical()).expect("canonical re-parses");
         assert_eq!(re, spec);
 
+        let pinned = JobSpec::from_json(
+            &Json::parse(r#"{"kind":"yield","scheduler":"lane-batched","engine":"compiled"}"#)
+                .unwrap(),
+        )
+        .expect("pinned spec parses");
+        assert_eq!(pinned.scheduler, Some(SchedulerKind::LaneBatched));
+        assert_eq!(pinned.engine, Some(EngineKind::Compiled));
+
         assert!(JobSpec::from_json(&Json::parse(r#"{"kibd":"yield"}"#).unwrap()).is_err());
         assert!(JobSpec::from_json(&Json::parse(r#"{"design":"tpu"}"#).unwrap()).is_err());
+        assert!(
+            JobSpec::from_json(&Json::parse(r#"{"scheduler":"splay-tree"}"#).unwrap()).is_err(),
+            "unknown schedulers are rejected at admission"
+        );
         assert!(
             JobSpec::from_json(&Json::parse(r#"{"registers":3,"width":4}"#).unwrap()).is_err(),
             "geometry validation applies at admission"
@@ -668,6 +701,40 @@ mod tests {
             a.cache_key(1),
             pinned.cache_key(1),
             "engine is not content-bearing"
+        );
+        let mut sched = a.clone();
+        sched.scheduler = Some(SchedulerKind::ReferenceHeap);
+        assert_eq!(
+            a.cache_key(1),
+            sched.cache_key(1),
+            "scheduler is not content-bearing"
+        );
+    }
+
+    #[test]
+    fn pinned_schedulers_produce_identical_job_digests() {
+        let spec = JobSpec {
+            trials: 4,
+            shard_len: 2,
+            sigmas: vec![0.0, 0.1],
+            ..JobSpec::default()
+        };
+        let digests: Vec<u64> = SchedulerKind::ALL
+            .into_iter()
+            .map(|kind| {
+                let pinned = JobSpec {
+                    scheduler: Some(kind),
+                    ..spec.clone()
+                };
+                let shards: Vec<Json> = (0..pinned.shard_count())
+                    .map(|s| run_shard(&pinned, s, 0))
+                    .collect();
+                finalize(&pinned, &shards).expect("finalises").digest
+            })
+            .collect();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "schedulers are byte-identical: {digests:?}"
         );
     }
 

@@ -77,14 +77,7 @@ impl EngineKind {
     /// engine for code that builds simulators internally (e.g. Monte
     /// Carlo trials) without threading a parameter through every layer.
     pub fn with_thread_default<R>(kind: EngineKind, f: impl FnOnce() -> R) -> R {
-        struct Restore(Option<EngineKind>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                THREAD_DEFAULT.with(|c| c.set(self.0));
-            }
-        }
-        let _restore = Restore(THREAD_DEFAULT.with(|c| c.replace(Some(kind))));
-        f()
+        crate::pinning::with_override(&THREAD_DEFAULT, kind, f)
     }
 }
 

@@ -21,9 +21,11 @@
 //! - [`simulator`]: the event loop, stimulus injection, probes, and the
 //!   [`SimStats`](simulator::SimStats) run counters.
 //! - [`queue`]: the pending-event schedulers — the default bucketed
-//!   calendar queue and the seed `BinaryHeap` reference
+//!   calendar queue, the lane-batched horizon scheduler, and the seed
+//!   `BinaryHeap` reference
 //!   ([`SchedulerKind`](queue::SchedulerKind); the `reference-queue`
-//!   feature flips the default).
+//!   feature flips the default to the heap, `lane-scheduler` to the
+//!   lane-batched queue).
 //! - [`compiled`]: the compiled execution engine — a lowering pass that
 //!   flattens the netlist into SoA state with enum-dispatched cell ops
 //!   ([`EngineKind`](compiled::EngineKind); the `reference-engine`
@@ -55,6 +57,7 @@ pub mod compiled;
 pub mod component;
 pub mod fault;
 pub mod netlist;
+mod pinning;
 pub mod queue;
 pub mod rng;
 pub mod simulator;

@@ -1,0 +1,37 @@
+//! Thread-pinned defaults for pluggable simulator components.
+//!
+//! Both [`EngineKind`](crate::compiled::EngineKind) and
+//! [`SchedulerKind`](crate::queue::SchedulerKind) expose a
+//! `with_thread_default` that runs a closure with the given kind as the
+//! thread's `Default` — the mechanism a job request uses to pin an engine
+//! or scheduler for code that builds simulators internally (Monte Carlo
+//! trials, replay shards) without threading a parameter through every
+//! layer. This module holds the one shared implementation; each kind owns
+//! its own `thread_local!` slot and passes it in.
+
+use std::cell::Cell;
+use std::thread::LocalKey;
+
+/// Runs `f` with `value` stored in `slot`, restoring the previous
+/// contents afterwards — including on unwind, so a panicking trial can
+/// never leak its pin into the next job on a pooled worker thread.
+pub(crate) fn with_override<T: Copy + 'static, R>(
+    slot: &'static LocalKey<Cell<Option<T>>>,
+    value: T,
+    f: impl FnOnce() -> R,
+) -> R {
+    struct Restore<T: Copy + 'static> {
+        slot: &'static LocalKey<Cell<Option<T>>>,
+        prev: Option<T>,
+    }
+    impl<T: Copy + 'static> Drop for Restore<T> {
+        fn drop(&mut self) {
+            self.slot.with(|c| c.set(self.prev));
+        }
+    }
+    let _restore = Restore {
+        prev: slot.with(|c| c.replace(Some(value))),
+        slot,
+    };
+    f()
+}

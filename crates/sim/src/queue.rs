@@ -1,7 +1,8 @@
-//! Pending-event schedulers: the calendar queue and the reference heap.
+//! Pending-event schedulers: the calendar queue, the lane-batched
+//! horizon queue, and the reference heap.
 //!
 //! The simulator's hot loop is "pop the earliest pending event"; this
-//! module provides two interchangeable implementations of that priority
+//! module provides three interchangeable implementations of that priority
 //! queue:
 //!
 //! * `CalendarQueue` — a bucketed timing wheel (the default). Simulation
@@ -13,15 +14,25 @@
 //!   picoseconds, operations hundreds of picoseconds apart) this replaces
 //!   the `O(log n)` binary-heap sift with `O(1)` pushes and short bucket
 //!   scans.
+//! * `LaneBatchedQueue` — the scheduler-overhaul part-2 design. A much
+//!   smaller wheel (256 × 16 ps, L1-resident) drains a whole same-horizon
+//!   bucket as one ascending-sorted batch served by a cursor, so popping
+//!   is a cursor increment instead of a heap/bucket transaction. Pushes
+//!   landing *inside* the horizon being served bypass the wheel entirely:
+//!   they go to the target cell's small fixed-capacity self-echo lane
+//!   (spilling to a shared insertion buffer) and are lazily sorted and
+//!   merged into the batch at the next pop. See the type docs for the
+//!   invariants.
 //! * `HeapQueue` — the seed `BinaryHeap` implementation, kept as the
 //!   differential reference. The `reference-queue` cargo feature makes it
-//!   the default scheduler of [`Simulator::new`](crate::simulator::Simulator::new);
-//!   either way both implementations are always compiled, so equivalence
-//!   tests can drive the same netlist through both in one process.
+//!   the default scheduler of [`Simulator::new`](crate::simulator::Simulator::new)
+//!   (and `lane-scheduler` selects the lane-batched queue); all three
+//!   implementations are always compiled, so equivalence tests can drive
+//!   the same netlist through every scheduler in one process.
 //!
 //! # Determinism
 //!
-//! Both schedulers order events by the same fully-deterministic key
+//! All schedulers order events by the same fully-deterministic key
 //! `(time, component id, sequence number)`:
 //!
 //! 1. earlier simulation time first;
@@ -32,9 +43,11 @@
 //!    monotonically increasing per-simulator sequence number).
 //!
 //! The sequence number makes the key a *total* order, so "pop the
-//! minimum" has exactly one answer regardless of how either queue stores
-//! its pending events — which is what lets the calendar queue keep its
-//! buckets unsorted and still replay the heap's schedule pulse for pulse.
+//! minimum" has exactly one answer regardless of how a queue stores its
+//! pending events — which is what lets the calendar queue keep its
+//! buckets unsorted, and the lane-batched queue park same-horizon pushes
+//! in per-cell lanes, and still replay the heap's schedule pulse for
+//! pulse.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -53,9 +66,12 @@ pub(crate) struct Event {
     pub target: Pin,
 }
 
+/// The total-order key of an event — see [`Event::key`].
+type EventKey = (Time, crate::netlist::ComponentId, u64);
+
 impl Event {
     /// The total ordering key: `(time, component id, sequence)`.
-    fn key(&self) -> (Time, crate::netlist::ComponentId, u64) {
+    fn key(&self) -> EventKey {
         (self.time, self.target.component, self.seq)
     }
 }
@@ -73,40 +89,75 @@ impl PartialOrd for Event {
 }
 
 /// Which pending-event scheduler a [`Simulator`](crate::simulator::Simulator)
-/// runs on. Both produce byte-identical schedules (see the module docs);
-/// they differ only in speed.
+/// runs on. All three produce byte-identical schedules (see the module
+/// docs); they differ only in speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
-    /// Bucketed calendar queue / timing wheel (the fast path).
+    /// Bucketed calendar queue / timing wheel (the default fast path).
     CalendarQueue,
     /// The seed `BinaryHeap` scheduler (the differential reference).
     ReferenceHeap,
+    /// Lane-batched horizon scheduler: cursor-served sorted batches with
+    /// per-cell self-echo lanes (the part-2 fast path).
+    LaneBatched,
 }
 
 impl SchedulerKind {
-    /// Both schedulers, reference first — the order differential tests
+    /// Every scheduler, reference first — the order differential tests
     /// iterate.
-    pub const ALL: [SchedulerKind; 2] =
-        [SchedulerKind::ReferenceHeap, SchedulerKind::CalendarQueue];
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::ReferenceHeap,
+        SchedulerKind::CalendarQueue,
+        SchedulerKind::LaneBatched,
+    ];
 
     /// Short label for reports.
     pub fn label(self) -> &'static str {
         match self {
             SchedulerKind::CalendarQueue => "calendar-queue",
             SchedulerKind::ReferenceHeap => "reference-heap",
+            SchedulerKind::LaneBatched => "lane-batched",
         }
+    }
+
+    /// Parses a [`label`](SchedulerKind::label) back into a kind.
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        SchedulerKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+
+    /// Runs `f` with `kind` as this thread's default scheduler — what
+    /// [`SchedulerKind::default`] (and hence every plain `Simulator`
+    /// constructor) returns inside `f`. The previous default is restored
+    /// afterwards, including on unwind. This is how a job request pins a
+    /// scheduler for code that builds simulators internally (e.g. Monte
+    /// Carlo trials) without threading a parameter through every layer.
+    pub fn with_thread_default<R>(kind: SchedulerKind, f: impl FnOnce() -> R) -> R {
+        crate::pinning::with_override(&THREAD_DEFAULT, kind, f)
     }
 }
 
+std::thread_local! {
+    static THREAD_DEFAULT: std::cell::Cell<Option<SchedulerKind>> =
+        const { std::cell::Cell::new(None) };
+}
+
 impl Default for SchedulerKind {
-    /// The compiled-in default: the calendar queue, unless the
-    /// `reference-queue` feature selects the seed heap.
+    /// The thread's pinned default if inside
+    /// [`SchedulerKind::with_thread_default`]; otherwise the compiled-in
+    /// default — the calendar queue, unless the `reference-queue` feature
+    /// selects the seed heap or `lane-scheduler` selects the lane-batched
+    /// queue (`reference-queue` wins if both are enabled, so differential
+    /// builds stay anchored to the seed).
     fn default() -> Self {
-        if cfg!(feature = "reference-queue") {
-            SchedulerKind::ReferenceHeap
-        } else {
-            SchedulerKind::CalendarQueue
-        }
+        THREAD_DEFAULT.with(std::cell::Cell::get).unwrap_or({
+            if cfg!(feature = "reference-queue") {
+                SchedulerKind::ReferenceHeap
+            } else if cfg!(feature = "lane-scheduler") {
+                SchedulerKind::LaneBatched
+            } else {
+                SchedulerKind::CalendarQueue
+            }
+        })
     }
 }
 
@@ -307,6 +358,387 @@ impl CalendarQueue {
     }
 }
 
+/// Width of one lane-batched wheel bucket: 16 ps. Wide enough that an
+/// entire delivery burst (SFQ gate and wire delays are a few ps) lands in
+/// one bucket and is served as a single sorted batch, instead of paying a
+/// bucket transition per picosecond the way the 1 ps calendar wheel does.
+const LB_BUCKET_WIDTH_FS: u64 = 16_000;
+
+/// Number of lane-batched wheel buckets (power of two for cheap masking).
+/// 256 × 16 ps ≈ 4.1 ns of horizon — the same span as the calendar
+/// queue's 4096 × 1 ps, but the headers (256 `Vec`s + a 4-word bitmap)
+/// fit in a few cache lines instead of ~100 KiB.
+const LB_NUM_BUCKETS: usize = 256;
+
+/// Words in the lane-batched occupancy bitmap.
+const LB_OCC_WORDS: usize = LB_NUM_BUCKETS / 64;
+
+/// Capacity of one per-cell self-echo lane. Deliveries that land inside
+/// the horizon currently being served are parked on their target cell's
+/// lane (bypassing the wheel); a burst deeper than this spills to the
+/// shared insertion buffer. Public so the torture suite can aim
+/// same-timestamp bursts exactly at the capacity boundary.
+pub const LANE_CAPACITY: usize = 4;
+
+/// One cell's self-echo lane: a fixed-capacity inline buffer.
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    len: u8,
+    slots: [Event; LANE_CAPACITY],
+}
+
+impl Lane {
+    fn empty() -> Self {
+        Lane {
+            len: 0,
+            slots: [Event {
+                time: Time::from_fs(0),
+                seq: 0,
+                target: Pin::new(crate::netlist::ComponentId(0), 0),
+            }; LANE_CAPACITY],
+        }
+    }
+}
+
+/// The lane-batched horizon scheduler ("scheduler overhaul, part 2").
+///
+/// Three ideas on top of the calendar queue, all carried by the same
+/// total event order `(time, component, seq)`:
+///
+/// 1. **Horizon batches.** The first occupied bucket of a small
+///    L1-resident wheel is drained wholesale into `batch`, sorted
+///    *ascending* once, and served through the `pos` cursor — a pop in
+///    steady state is one bounds check and a cursor increment, no heap
+///    sift, no bucket probe.
+/// 2. **Self-echo lanes.** A push whose bucket tick equals the horizon
+///    being served (the common case: a delivering cell emitting its
+///    few-ps fan-out) never touches the wheel. It parks on the target
+///    cell's fixed-capacity [`Lane`]; `active` remembers which lanes are
+///    occupied.
+/// 3. **Insertion buffer + lazy sort.** Lane spill (and lane-ineligible
+///    in-horizon pushes) append to `fresh`. Nothing is ordered at push
+///    time; only the *minimum* newcomer key is tracked (`horizon_min`,
+///    one compare per push). Pops keep serving the batch directly while
+///    its head ranks below every newcomer; only when the cursor crosses
+///    `horizon_min` are the lanes flushed, sorted once, and linearly
+///    merged with the unserved batch tail — so a dense burst pays one
+///    sort+merge per time-crossing, not per pop.
+///
+/// # Invariants
+///
+/// * `batch[pos..]` is sorted ascending by [`Event::key`]; `batch[..pos]`
+///   has already been served. `pos == batch.len()` only transiently —
+///   the batch is cleared the moment the cursor reaches its end.
+/// * Every event in `batch`, any lane, or `fresh` has bucket tick
+///   `== cur_tick`; every event in a wheel bucket or `overflow` is at a
+///   strictly later tick. Hence the head of the merged batch is always
+///   the global minimum, and lane residency can never reorder anything:
+///   ordering is re-established by the lazy sort before any pop.
+/// * `len` counts *every* pending event wherever it is parked, so
+///   [`SimStats`](crate::simulator::SimStats) peak-depth accounting is
+///   byte-identical to the other schedulers.
+/// * A push behind the cursor (deadline-bounded-run re-injection) rebuilds
+///   the whole structure against the rewound window, exactly like the
+///   calendar queue.
+#[derive(Debug)]
+pub(crate) struct LaneBatchedQueue {
+    buckets: Box<[Vec<Event>; LB_NUM_BUCKETS]>,
+    /// One bit per wheel slot: set iff the slot's bucket is non-empty.
+    occupied: [u64; LB_OCC_WORDS],
+    /// Absolute tick (bucket-width multiple) of the horizon being served.
+    cur_tick: u64,
+    /// Events currently seated in wheel buckets.
+    in_wheel: usize,
+    /// Far-future events (tick ≥ `cur_tick + LB_NUM_BUCKETS` at push time).
+    overflow: BinaryHeap<Reverse<Event>>,
+    /// The horizon batch, sorted ascending; served through `pos`.
+    batch: Vec<Event>,
+    /// Cursor into `batch`: next event to serve.
+    pos: usize,
+    /// Insertion buffer for in-horizon pushes that bypassed the wheel.
+    fresh: Vec<Event>,
+    /// Per-cell self-echo lanes, indexed by component id (grown on use).
+    lanes: Vec<Lane>,
+    /// Component ids whose lane is non-empty.
+    active: Vec<u32>,
+    /// The minimum packed key (see [`lb_key`]) across every event parked
+    /// in a lane or `fresh`; `None` iff both are empty. Lets a pop decide
+    /// "serve the batch head" vs "flush first" with one compare.
+    horizon_min: Option<u128>,
+    /// Merge scratch for [`flush_horizon`](Self::flush_horizon)
+    /// (allocation recycled across flushes).
+    scratch: Vec<Event>,
+    /// Total pending events across batch, lanes, fresh, wheel, overflow.
+    len: usize,
+}
+
+fn lb_tick_of(ev: &Event) -> u64 {
+    ev.time.as_fs() / LB_BUCKET_WIDTH_FS
+}
+
+/// The total-order key of `ev`, packed into one `u128` for branchless
+/// compares, valid only among events of the bucket starting at `base`
+/// femtoseconds: time offset within the bucket (< 2^14) above the
+/// component id (32 bits) above the sequence number (64 bits). Identical
+/// order to [`Event::key`] within a bucket — which is the only scope the
+/// lane-batched queue ever sorts or merges in; cross-bucket order is the
+/// wheel's job.
+#[inline]
+fn lb_key(ev: &Event, base: u64) -> u128 {
+    let dt = ev.time.as_fs() - base;
+    debug_assert!(dt < LB_BUCKET_WIDTH_FS, "event outside its bucket");
+    (u128::from(dt) << 96)
+        | (u128::from(ev.target.component.index() as u32) << 64)
+        | u128::from(ev.seq)
+}
+
+impl LaneBatchedQueue {
+    fn new() -> Self {
+        LaneBatchedQueue {
+            buckets: Box::new([const { Vec::new() }; LB_NUM_BUCKETS]),
+            occupied: [0; LB_OCC_WORDS],
+            cur_tick: 0,
+            in_wheel: 0,
+            overflow: BinaryHeap::new(),
+            batch: Vec::new(),
+            pos: 0,
+            fresh: Vec::new(),
+            lanes: Vec::new(),
+            active: Vec::new(),
+            horizon_min: None,
+            scratch: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True while the current horizon still has unserved events parked in
+    /// the batch, a lane, or the insertion buffer.
+    #[inline]
+    fn serving(&self) -> bool {
+        self.pos < self.batch.len() || self.horizon_min.is_some()
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        self.len += 1;
+        let tick = lb_tick_of(&ev);
+        if tick == self.cur_tick && self.serving() {
+            // In-horizon push: bypass the wheel. Park on the target
+            // cell's self-echo lane, spilling to the shared insertion
+            // buffer when the lane is full. Only the running minimum is
+            // maintained — ordering happens lazily at flush time.
+            let key = lb_key(&ev, self.cur_tick * LB_BUCKET_WIDTH_FS);
+            if self.horizon_min.is_none_or(|m| key < m) {
+                self.horizon_min = Some(key);
+            }
+            let c = ev.target.component.index();
+            if c >= self.lanes.len() {
+                self.lanes.resize_with(c + 1, Lane::empty);
+            }
+            let lane = &mut self.lanes[c];
+            if (lane.len as usize) < LANE_CAPACITY {
+                if lane.len == 0 {
+                    self.active.push(c as u32);
+                }
+                lane.slots[lane.len as usize] = ev;
+                lane.len += 1;
+            } else {
+                self.fresh.push(ev);
+            }
+            return;
+        }
+        if tick < self.cur_tick {
+            // Same rare deadline-bounded-run pattern as the calendar
+            // queue: re-seat everything against the rewound window.
+            self.rebuild_at(tick);
+        }
+        self.seat(ev);
+    }
+
+    /// Places an event relative to the current window (wheel or overflow).
+    #[inline]
+    fn seat(&mut self, ev: Event) {
+        let tick = lb_tick_of(&ev);
+        debug_assert!(tick >= self.cur_tick, "event scheduled behind the cursor");
+        if tick < self.cur_tick + LB_NUM_BUCKETS as u64 {
+            let slot = (tick as usize) & (LB_NUM_BUCKETS - 1);
+            self.buckets[slot].push(ev);
+            self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+            self.in_wheel += 1;
+        } else {
+            self.overflow.push(Reverse(ev));
+        }
+    }
+
+    /// Drains every pending event — the unserved batch tail, lanes,
+    /// insertion buffer, wheel, and overflow — and re-seats it against a
+    /// window starting at `new_tick`.
+    fn rebuild_at(&mut self, new_tick: u64) {
+        let mut pending: Vec<Event> = Vec::with_capacity(self.len);
+        pending.extend_from_slice(&self.batch[self.pos..]);
+        self.batch.clear();
+        self.pos = 0;
+        pending.append(&mut self.fresh);
+        for &c in &self.active {
+            let lane = &mut self.lanes[c as usize];
+            pending.extend_from_slice(&lane.slots[..lane.len as usize]);
+            lane.len = 0;
+        }
+        self.active.clear();
+        for bucket in self.buckets.iter_mut() {
+            pending.append(bucket);
+        }
+        pending.extend(self.overflow.drain().map(|Reverse(ev)| ev));
+        self.occupied = [0; LB_OCC_WORDS];
+        self.in_wheel = 0;
+        self.cur_tick = new_tick;
+        self.horizon_min = None;
+        for ev in pending {
+            self.seat(ev);
+        }
+    }
+
+    /// Flushes lanes and the insertion buffer into the unserved tail of
+    /// the batch: one sort of the newcomers, then a linear merge with the
+    /// tail (a pure `extend` when every newcomer ranks past it). Called
+    /// only when the batch head has crossed `horizon_min`, so a dense
+    /// burst pays one sort+merge per crossing, not per pop.
+    fn flush_horizon(&mut self) {
+        self.horizon_min = None;
+        for &c in &self.active {
+            let lane = &mut self.lanes[c as usize];
+            self.fresh
+                .extend_from_slice(&lane.slots[..lane.len as usize]);
+            lane.len = 0;
+        }
+        self.active.clear();
+        let base = self.cur_tick * LB_BUCKET_WIDTH_FS;
+        self.fresh.sort_unstable_by_key(|e| lb_key(e, base));
+        if self.pos == self.batch.len() {
+            // Horizon batch already fully served: the newcomers *are* the
+            // new batch (allocation recycled by the swap).
+            debug_assert!(self.batch.is_empty() && self.pos == 0);
+            std::mem::swap(&mut self.batch, &mut self.fresh);
+            return;
+        }
+        if lb_key(&self.fresh[0], base) >= lb_key(&self.batch[self.batch.len() - 1], base) {
+            self.batch.extend_from_slice(&self.fresh);
+            self.fresh.clear();
+            return;
+        }
+        // Newcomers rank inside the unserved tail (the flush trigger
+        // guarantees at least one outranks the head). Merge the two
+        // sorted runs into scratch and make it the new batch; the served
+        // prefix `batch[..pos]` is dropped in the same move.
+        self.scratch.clear();
+        let tail = &self.batch[self.pos..];
+        let new = &self.fresh[..];
+        self.scratch.reserve(tail.len() + new.len());
+        let (mut i, mut j) = (0, 0);
+        while i < tail.len() && j < new.len() {
+            if lb_key(&tail[i], base) <= lb_key(&new[j], base) {
+                self.scratch.push(tail[i]);
+                i += 1;
+            } else {
+                self.scratch.push(new[j]);
+                j += 1;
+            }
+        }
+        self.scratch.extend_from_slice(&tail[i..]);
+        self.scratch.extend_from_slice(&new[j..]);
+        self.fresh.clear();
+        std::mem::swap(&mut self.batch, &mut self.scratch);
+        self.scratch.clear();
+        self.pos = 0;
+    }
+
+    /// Distance (in slots) from the cursor slot to the first occupied
+    /// slot. Caller guarantees `in_wheel > 0`.
+    #[inline]
+    fn next_occupied_distance(&self, cur_slot: usize) -> usize {
+        let word0 = cur_slot >> 6;
+        let masked = self.occupied[word0] & (u64::MAX << (cur_slot & 63));
+        if masked != 0 {
+            return (word0 << 6 | masked.trailing_zeros() as usize) - cur_slot;
+        }
+        for i in 1..=LB_OCC_WORDS {
+            let w = (word0 + i) & (LB_OCC_WORDS - 1);
+            let bits = self.occupied[w];
+            if bits != 0 {
+                let slot = w << 6 | bits.trailing_zeros() as usize;
+                return (slot + LB_NUM_BUCKETS - cur_slot) & (LB_NUM_BUCKETS - 1);
+            }
+        }
+        unreachable!("in_wheel > 0 but the occupancy bitmap is empty");
+    }
+
+    /// Serves the next batch event — a bounds check and a cursor bump.
+    /// Caller guarantees `pos < batch.len()`.
+    #[inline]
+    fn serve_batch(&mut self) -> Event {
+        let ev = self.batch[self.pos];
+        self.pos += 1;
+        if self.pos == self.batch.len() {
+            self.batch.clear();
+            self.pos = 0;
+        }
+        self.len -= 1;
+        ev
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Event> {
+        if let Some(min) = self.horizon_min {
+            if self.pos < self.batch.len()
+                && lb_key(&self.batch[self.pos], self.cur_tick * LB_BUCKET_WIDTH_FS) < min
+            {
+                // Steady state in a burst: the batch head still outranks
+                // every parked newcomer — serve it without touching them.
+                return Some(self.serve_batch());
+            }
+            // The cursor crossed the earliest newcomer (or the batch ran
+            // out): order the newcomers now, in one sort + merge.
+            self.flush_horizon();
+            return Some(self.serve_batch());
+        }
+        if self.pos < self.batch.len() {
+            return Some(self.serve_batch());
+        }
+        if self.len == 0 {
+            return None;
+        }
+        // Horizon exhausted: advance the wheel to the next occupied
+        // bucket (same migration discipline as the calendar queue).
+        if self.in_wheel == 0 {
+            let Reverse(next) = self.overflow.peek().expect("len > 0");
+            self.cur_tick = lb_tick_of(next);
+        }
+        while let Some(Reverse(ev)) = self.overflow.peek() {
+            if lb_tick_of(ev) >= self.cur_tick + LB_NUM_BUCKETS as u64 {
+                break;
+            }
+            let Reverse(ev) = self.overflow.pop().expect("peeked");
+            self.seat(ev);
+        }
+        let cur_slot = (self.cur_tick as usize) & (LB_NUM_BUCKETS - 1);
+        self.cur_tick += self.next_occupied_distance(cur_slot) as u64;
+        let slot = (self.cur_tick as usize) & (LB_NUM_BUCKETS - 1);
+        let bucket = &mut self.buckets[slot];
+        self.in_wheel -= bucket.len();
+        self.occupied[slot >> 6] &= !(1u64 << (slot & 63));
+        // `batch` is empty here, so the swap recycles both allocations.
+        std::mem::swap(&mut self.batch, bucket);
+        let base = self.cur_tick * LB_BUCKET_WIDTH_FS;
+        self.batch.sort_unstable_by_key(|e| lb_key(e, base));
+        self.pos = 0;
+        Some(self.serve_batch())
+    }
+}
+
 /// The seed scheduler: a plain binary min-heap.
 #[derive(Debug, Default)]
 pub(crate) struct HeapQueue {
@@ -332,6 +764,7 @@ impl HeapQueue {
 pub(crate) enum Queue {
     Wheel(Box<CalendarQueue>),
     Heap(HeapQueue),
+    Lane(Box<LaneBatchedQueue>),
 }
 
 impl Queue {
@@ -339,6 +772,7 @@ impl Queue {
         match kind {
             SchedulerKind::CalendarQueue => Queue::Wheel(Box::new(CalendarQueue::new())),
             SchedulerKind::ReferenceHeap => Queue::Heap(HeapQueue::default()),
+            SchedulerKind::LaneBatched => Queue::Lane(Box::new(LaneBatchedQueue::new())),
         }
     }
 
@@ -346,6 +780,7 @@ impl Queue {
         match self {
             Queue::Wheel(_) => SchedulerKind::CalendarQueue,
             Queue::Heap(_) => SchedulerKind::ReferenceHeap,
+            Queue::Lane(_) => SchedulerKind::LaneBatched,
         }
     }
 
@@ -353,6 +788,7 @@ impl Queue {
         match self {
             Queue::Wheel(q) => q.len(),
             Queue::Heap(q) => q.len(),
+            Queue::Lane(q) => q.len(),
         }
     }
 
@@ -360,18 +796,88 @@ impl Queue {
         self.len() == 0
     }
 
+    #[inline]
     pub fn push(&mut self, ev: Event) {
         match self {
             Queue::Wheel(q) => q.push(ev),
             Queue::Heap(q) => q.push(ev),
+            Queue::Lane(q) => q.push(ev),
         }
     }
 
+    #[inline]
     pub fn pop(&mut self) -> Option<Event> {
         match self {
             Queue::Wheel(q) => q.pop(),
             Queue::Heap(q) => q.pop(),
+            Queue::Lane(q) => q.pop(),
         }
+    }
+}
+
+/// Test-only scripting surface for the scheduler torture suite.
+///
+/// `Event` and `Queue` are crate-private on purpose — simulation code
+/// must go through [`Simulator`](crate::simulator::Simulator) — but the
+/// workspace-level `tests/scheduler_torture.rs` property suite needs to
+/// drive *raw* push/pop interleavings (behind-cursor pushes, wheel
+/// wrap-around, overflow migration, lane-capacity spills) that no
+/// well-formed netlist can produce. This module is that escape hatch: a
+/// replay driver over an opaque op script, exposing only the popped
+/// `(time_fs, component, seq)` triples. Hidden from docs; not a stable
+/// API.
+#[doc(hidden)]
+pub mod torture {
+    use super::{Event, Queue, SchedulerKind};
+    use crate::netlist::{ComponentId, Pin};
+    use crate::time::Time;
+
+    /// The lane-batched scheduler's bucket width, re-exported so the
+    /// torture suite can aim events at bucket boundaries.
+    pub const BUCKET_WIDTH_FS: u64 = super::LB_BUCKET_WIDTH_FS;
+    /// The lane-batched scheduler's wheel span in buckets, re-exported so
+    /// the torture suite can force wrap-around and overflow migration.
+    pub const NUM_BUCKETS: u64 = super::LB_NUM_BUCKETS as u64;
+
+    /// One scripted queue operation.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Op {
+        /// Push an event at `time_fs` targeting input pin 0 of
+        /// `component`. Sequence numbers are assigned in script order.
+        Push { time_fs: u64, component: u32 },
+        /// Pop the current minimum; a pop on an empty queue is a no-op.
+        Pop,
+    }
+
+    /// Replays `script` against a fresh queue of `kind` and returns every
+    /// popped `(time_fs, component, seq)` triple — the scripted pops
+    /// first, then a full drain. Two kinds replaying the same script must
+    /// return identical vectors; that is the torture suite's oracle.
+    pub fn replay(kind: SchedulerKind, script: &[Op]) -> Vec<(u64, u32, u64)> {
+        let mut q = Queue::new(kind);
+        let mut seq = 0u64;
+        let mut out = Vec::new();
+        let drain = |q: &mut Queue, out: &mut Vec<(u64, u32, u64)>, n: usize| {
+            for _ in 0..n {
+                let Some(ev) = q.pop() else { break };
+                out.push((ev.time.as_fs(), ev.target.component.index() as u32, ev.seq));
+            }
+        };
+        for &op in script {
+            match op {
+                Op::Push { time_fs, component } => {
+                    q.push(Event {
+                        time: Time::from_fs(time_fs),
+                        seq,
+                        target: Pin::new(ComponentId(component), 0),
+                    });
+                    seq += 1;
+                }
+                Op::Pop => drain(&mut q, &mut out, 1),
+            }
+        }
+        drain(&mut q, &mut out, usize::MAX);
+        out
     }
 }
 
@@ -399,6 +905,8 @@ mod tests {
     fn default_kind_tracks_the_feature() {
         let expect = if cfg!(feature = "reference-queue") {
             SchedulerKind::ReferenceHeap
+        } else if cfg!(feature = "lane-scheduler") {
+            SchedulerKind::LaneBatched
         } else {
             SchedulerKind::CalendarQueue
         };
@@ -407,24 +915,47 @@ mod tests {
     }
 
     #[test]
-    fn both_queues_pop_in_identical_order() {
+    fn labels_round_trip_through_parse() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::parse("no-such-queue"), None);
+    }
+
+    #[test]
+    fn thread_default_pins_and_restores() {
+        let before = SchedulerKind::default();
+        for kind in SchedulerKind::ALL {
+            SchedulerKind::with_thread_default(kind, || {
+                assert_eq!(SchedulerKind::default(), kind);
+                assert_eq!(Queue::new(SchedulerKind::default()).kind(), kind);
+            });
+        }
+        assert_eq!(SchedulerKind::default(), before);
+    }
+
+    #[test]
+    fn all_queues_pop_in_identical_order() {
         // A mix of same-bucket, cross-bucket, and far-overflow events.
         let script = [
             ev(5.0, 0, 3),
             ev(5.0, 1, 1),
             ev(0.25, 2, 9),
             ev(0.75, 3, 9),
-            ev(9_999.0, 4, 2), // beyond the wheel horizon
+            ev(9_999.0, 4, 2), // beyond both wheel horizons
             ev(5.0, 5, 1),
-            ev(4_100.0, 6, 0), // just past the horizon at push time
+            ev(4_100.0, 6, 0), // just past the horizons at push time
         ];
-        let mut wheel = Queue::new(SchedulerKind::CalendarQueue);
-        let mut heap = Queue::new(SchedulerKind::ReferenceHeap);
+        let mut queues: Vec<Queue> = SchedulerKind::ALL.map(Queue::new).into();
         for e in script {
-            wheel.push(e);
-            heap.push(e);
+            for q in &mut queues {
+                q.push(e);
+            }
         }
-        assert_eq!(drain(&mut wheel), drain(&mut heap));
+        let reference = drain(&mut queues[0]);
+        for q in &mut queues[1..] {
+            assert_eq!(drain(q), reference, "{}", q.kind());
+        }
     }
 
     #[test]
@@ -458,29 +989,56 @@ mod tests {
     fn push_behind_cursor_rebuilds_correctly() {
         // The deadline-bounded-run pattern: pop advances the cursor, the
         // event is reseated, then an earlier stimulus arrives.
-        let mut q = Queue::new(SchedulerKind::CalendarQueue);
-        q.push(ev(10.0, 0, 1));
-        let reseat = q.pop().expect("pending");
-        q.push(reseat);
-        q.push(ev(4.0, 1, 1));
-        q.push(ev(9_999.0, 2, 1)); // far event to exercise overflow re-seating
-        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
-        assert_eq!(seqs, vec![1, 0, 2]);
+        for kind in SchedulerKind::ALL {
+            let mut q = Queue::new(kind);
+            q.push(ev(10.0, 0, 1));
+            let reseat = q.pop().expect("pending");
+            q.push(reseat);
+            q.push(ev(4.0, 1, 1));
+            q.push(ev(9_999.0, 2, 1)); // far event to exercise overflow re-seating
+            let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+            assert_eq!(seqs, vec![1, 0, 2], "{kind}");
+        }
+    }
+
+    #[test]
+    fn lane_capacity_spill_keeps_total_order() {
+        // Same-timestamp burst at one component, deeper than a lane:
+        // the overflow spills to the insertion buffer, and the lazy
+        // sort must still serve everything in seq order. The burst is
+        // pushed mid-serve so the lane path (not the wheel) takes it.
+        let mut q = Queue::new(SchedulerKind::LaneBatched);
+        q.push(ev(1.0, 0, 5));
+        q.push(ev(1.0, 1, 5));
+        let first = q.pop().expect("pending");
+        assert_eq!(first.seq, 0);
+        // Mid-serve: seq 1 is still unserved, so these park on lanes.
+        for seq in 2..(2 + 2 * LANE_CAPACITY as u64) {
+            q.push(ev(1.0, seq, 5));
+        }
+        // Lower component id at the same instant must jump the queue.
+        q.push(ev(1.0, 99, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        let mut expect = vec![99, 1];
+        expect.extend(2..(2 + 2 * LANE_CAPACITY as u64));
+        assert_eq!(order, expect);
     }
 
     #[test]
     fn interleaved_push_pop_matches_heap() {
         // Push/pop interleaving with a seeded pseudo-random script, the
         // way a running simulator uses the queue (pops advance time, new
-        // pushes land at or after the popped time).
+        // pushes land at or after the popped time). The heap is the
+        // oracle; every other scheduler must mirror it pop for pop.
         let mut rng = crate::rng::Rng64::new(0xD1FF);
-        let mut wheel = Queue::new(SchedulerKind::CalendarQueue);
         let mut heap = Queue::new(SchedulerKind::ReferenceHeap);
+        let mut wheel = Queue::new(SchedulerKind::CalendarQueue);
+        let mut lane = Queue::new(SchedulerKind::LaneBatched);
         let mut seq = 0u64;
         let mut now_fs = 0u64;
         let mut popped = Vec::new();
         for _ in 0..2_000 {
-            if wheel.is_empty() || rng.next_f64() < 0.6 {
+            if heap.is_empty() || rng.next_f64() < 0.6 {
                 // Delays from sub-bucket to beyond-horizon scale.
                 let delay_fs = [120, 500, 2_500, 40_000, 5_000_000][rng.next_below(5)]
                     + rng.next_below(997) as u64;
@@ -490,18 +1048,24 @@ mod tests {
                     target: Pin::new(ComponentId(rng.next_below(7) as u32), 0),
                 };
                 seq += 1;
-                wheel.push(e);
                 heap.push(e);
+                wheel.push(e);
+                lane.push(e);
             } else {
-                let a = wheel.pop().expect("non-empty");
-                let b = heap.pop().expect("mirrors wheel");
+                let a = heap.pop().expect("non-empty");
+                let b = wheel.pop().expect("mirrors heap");
+                let c = lane.pop().expect("mirrors heap");
                 assert_eq!(a, b);
+                assert_eq!(a, c);
                 now_fs = a.time.as_fs();
                 popped.push(a);
             }
-            assert_eq!(wheel.len(), heap.len());
+            assert_eq!(heap.len(), wheel.len());
+            assert_eq!(heap.len(), lane.len());
         }
-        assert_eq!(drain(&mut wheel), drain(&mut heap));
+        let reference = drain(&mut heap);
+        assert_eq!(drain(&mut wheel), reference);
+        assert_eq!(drain(&mut lane), reference);
         assert!(popped.windows(2).all(|w| w[0].time <= w[1].time));
     }
 }
@@ -515,7 +1079,11 @@ mod bench {
     #[test]
     #[ignore]
     fn queue_only_throughput() {
-        for kind in [SchedulerKind::CalendarQueue, SchedulerKind::ReferenceHeap] {
+        for kind in [
+            SchedulerKind::CalendarQueue,
+            SchedulerKind::LaneBatched,
+            SchedulerKind::ReferenceHeap,
+        ] {
             let mut q = Queue::new(kind);
             let n: u64 = 2_000_000;
             let t0 = Instant::now();

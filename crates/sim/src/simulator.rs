@@ -1202,22 +1202,25 @@ mod bench {
     #[ignore = "wall-clock microbenchmark; run with --ignored --nocapture"]
     fn ring_throughput() {
         for engine in [EngineKind::DynInterpreter, EngineKind::Compiled] {
-            let (netlist, first) = ring(256);
-            let mut sim = Simulator::with_engine(netlist, SchedulerKind::CalendarQueue, engine);
-            sim.set_event_budget(u64::MAX);
-            sim.inject(first, Time::from_ps(1.0));
-            // Warm up (and, for the compiled engine, lower the netlist).
-            sim.run_for(Time::from_ps(10_000.0));
-            let n0 = sim.stats().events_processed;
-            let t0 = Instant::now();
-            sim.run_for(Time::from_ps(20_000_000.0));
-            let el = t0.elapsed();
-            let n = sim.stats().events_processed - n0;
-            eprintln!(
-                "{}: {:.1} ns/event ({n} events)",
-                engine.label(),
-                el.as_nanos() as f64 / n as f64
-            );
+            for scheduler in [SchedulerKind::CalendarQueue, SchedulerKind::LaneBatched] {
+                let (netlist, first) = ring(256);
+                let mut sim = Simulator::with_engine(netlist, scheduler, engine);
+                sim.set_event_budget(u64::MAX);
+                sim.inject(first, Time::from_ps(1.0));
+                // Warm up (and, for the compiled engine, lower the netlist).
+                sim.run_for(Time::from_ps(10_000.0));
+                let n0 = sim.stats().events_processed;
+                let t0 = Instant::now();
+                sim.run_for(Time::from_ps(20_000_000.0));
+                let el = t0.elapsed();
+                let n = sim.stats().events_processed - n0;
+                eprintln!(
+                    "{} + {}: {:.1} ns/event ({n} events)",
+                    engine.label(),
+                    scheduler.label(),
+                    el.as_nanos() as f64 / n as f64
+                );
+            }
         }
     }
 }

@@ -23,10 +23,10 @@ echo "== tests (default scheduler: calendar queue) =="
 cargo test -q --workspace
 
 echo "== differential + invariance suites (default scheduler: reference heap) =="
-# The `reference-queue` / `reference-engine` features only flip which
-# scheduler / execution engine plain constructors pick — both
-# implementations of each are always compiled — so the differential
-# suites prove byte-identical behaviour from any default.
+# The `reference-queue` / `reference-engine` / `lane-scheduler` features
+# only flip which scheduler / execution engine plain constructors pick —
+# every implementation is always compiled — so the differential suites
+# prove byte-identical behaviour from any default.
 cargo test -q --workspace --features reference-queue \
     --test sim_equivalence --test engine_equivalence \
     --test thread_invariance --test rf_conformance
@@ -34,6 +34,17 @@ cargo test -q --workspace --features reference-queue \
 echo "== engine differential suite (default engine: dyn interpreter) =="
 cargo test -q --workspace --features reference-engine \
     --test engine_equivalence --test sim_equivalence --test rf_conformance
+
+echo "== scheduler torture + three-way differential (default scheduler: lane-batched) =="
+# The torture suite replays seeded raw push/pop scripts (behind-cursor
+# storms, wheel wrap-around, overflow migration, lane-capacity seq ties)
+# against the heap oracle, then drives scheduler-hostile circuits across
+# every scheduler x engine pairing; the perf smoke re-checks the
+# three-scheduler agreement without enforcing throughput floors (smoke
+# soaks are scheduling noise — floors are full-run only).
+cargo test -q --workspace --features lane-scheduler \
+    --test scheduler_torture --test sim_equivalence --test rf_conformance
+cargo test -q --workspace --test scheduler_torture
 
 echo "== robustness smoke reports =="
 cargo run -q --release -p hiperrf-bench --bin repro -- margins --smoke

@@ -1,0 +1,462 @@
+//! Scheduler torture suite — the lock on the lane-batched event core.
+//!
+//! Two layers, both seeded and dependency-free:
+//!
+//! * **raw queue scripts** — property tests replaying randomized and
+//!   targeted push/pop interleavings through the hidden
+//!   [`sfq_sim::queue::torture`] driver. The `ReferenceHeap` is
+//!   correct by construction (a binary heap over the total order), so
+//!   every script's popped `(time, component, seq)` stream from the
+//!   calendar queue and the lane-batched queue must equal the heap's
+//!   byte for byte. Scripts aim at the structures the unit tests can't
+//!   sweep densely: behind-cursor pushes that force wheel rebuilds,
+//!   bucket wrap-around over multiple wheel spans, overflow-heap
+//!   migration, and same-timestamp seq ties right at the self-echo
+//!   lane's capacity boundary.
+//! * **simulator stress circuits** — seeded circuits whose delays are
+//!   drawn to be maximally awkward for a bucketed scheduler (exact
+//!   bucket-width multiples, sub-quantum ties, hops past the wheel
+//!   horizon), run on every scheduler × engine pairing. Traces,
+//!   violations, the exported VCD, and the scheduler counters
+//!   (including peak queue depth) must match exactly.
+
+use hiperrf::config::RfGeometry;
+use hiperrf::designs::registry;
+use sfq_cells::builder::CircuitBuilder;
+use sfq_cells::storage::{Dro, HcDro};
+use sfq_cells::transport::{Jtl, Merger, Splitter};
+use sfq_sim::prelude::*;
+use sfq_sim::queue::torture::{replay, Op, BUCKET_WIDTH_FS, NUM_BUCKETS};
+use sfq_sim::queue::LANE_CAPACITY;
+use sfq_sim::vcd::to_vcd;
+
+/// One full wheel revolution of the lane-batched scheduler, in fs.
+const WHEEL_SPAN_FS: u64 = BUCKET_WIDTH_FS * NUM_BUCKETS;
+
+/// Replays `script` on every scheduler and asserts the popped streams
+/// are identical to the reference heap's.
+fn assert_script_agrees(script: &[Op], what: &str) {
+    let reference = replay(SchedulerKind::ReferenceHeap, script);
+    assert_eq!(
+        reference.len(),
+        script
+            .iter()
+            .filter(|op| matches!(op, Op::Push { .. }))
+            .count(),
+        "{what}: replay must drain every pushed event"
+    );
+    for kind in SchedulerKind::ALL {
+        let got = replay(kind, script);
+        assert_eq!(reference, got, "{what}: {kind:?} diverged from the heap");
+    }
+}
+
+#[test]
+fn random_interleavings_match_reference() {
+    for seed in 0..24u64 {
+        let mut rng = Rng64::fork(0x70C7, seed);
+        let mut script = Vec::new();
+        // The watermark drifts upward so pops keep advancing the cursor;
+        // throwback pushes below it land behind the cursor and force
+        // rebuilds on both bucketed schedulers.
+        let mut watermark = 0u64;
+        for _ in 0..600 {
+            match rng.next_below(10) {
+                // Pops outnumber nothing — about 40% of ops.
+                0..=3 => script.push(Op::Pop),
+                // Near-future push, anywhere in the current wheel span.
+                4..=6 => script.push(Op::Push {
+                    time_fs: watermark + rng.next_u64() % WHEEL_SPAN_FS,
+                    component: (rng.next_u64() % 12) as u32,
+                }),
+                // Far-future push: lands in the overflow heap and has to
+                // migrate back into the wheel when the cursor jumps.
+                7..=8 => script.push(Op::Push {
+                    time_fs: watermark + WHEEL_SPAN_FS + rng.next_u64() % (3 * WHEEL_SPAN_FS),
+                    component: (rng.next_u64() % 12) as u32,
+                }),
+                // Throwback: at or below the watermark, possibly behind
+                // whatever the cursor has advanced to.
+                _ => script.push(Op::Push {
+                    time_fs: rng.next_u64() % (watermark + 1),
+                    component: (rng.next_u64() % 12) as u32,
+                }),
+            }
+            watermark += rng.next_u64() % (BUCKET_WIDTH_FS / 2);
+        }
+        assert_script_agrees(&script, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn behind_cursor_storms_rebuild_identically() {
+    for seed in 0..8u64 {
+        let mut rng = Rng64::fork(0xBEC5, seed);
+        let mut script = Vec::new();
+        for storm in 0..12u64 {
+            let high = (storm + 1) * 7 * WHEEL_SPAN_FS;
+            // Seed a far cluster, pop into it so the cursor lands high…
+            for i in 0..6 {
+                script.push(Op::Push {
+                    time_fs: high + i * BUCKET_WIDTH_FS,
+                    component: (rng.next_u64() % 5) as u32,
+                });
+            }
+            for _ in 0..3 {
+                script.push(Op::Pop);
+            }
+            // …then storm the region far below the cursor, including
+            // exact ties with each other on one component.
+            let low = high.saturating_sub(3 * WHEEL_SPAN_FS);
+            for _ in 0..10 {
+                let t = low + rng.next_u64() % WHEEL_SPAN_FS;
+                script.push(Op::Push {
+                    time_fs: t,
+                    component: 2,
+                });
+                script.push(Op::Push {
+                    time_fs: t,
+                    component: (rng.next_u64() % 5) as u32,
+                });
+                script.push(Op::Pop);
+            }
+        }
+        assert_script_agrees(&script, &format!("behind-cursor storm seed {seed}"));
+    }
+}
+
+#[test]
+fn wheel_wraparound_over_many_revolutions() {
+    for seed in 0..8u64 {
+        let mut rng = Rng64::fork(0x88A9, seed);
+        let mut script = Vec::new();
+        // March just under one bucket per step for several revolutions,
+        // so cur_slot wraps the ring repeatedly while events straddle
+        // bucket boundaries on both sides.
+        let mut t = 0u64;
+        for _ in 0..(4 * NUM_BUCKETS) {
+            let jitter = rng.next_u64() % (2 * BUCKET_WIDTH_FS);
+            script.push(Op::Push {
+                time_fs: t + jitter,
+                component: (rng.next_u64() % 8) as u32,
+            });
+            if rng.next_below(3) != 0 {
+                script.push(Op::Pop);
+            }
+            t += BUCKET_WIDTH_FS - 1;
+        }
+        assert_script_agrees(&script, &format!("wrap-around seed {seed}"));
+    }
+}
+
+#[test]
+fn overflow_migration_preserves_order() {
+    for seed in 0..8u64 {
+        let mut rng = Rng64::fork(0x0F10, seed);
+        let mut script = Vec::new();
+        // Alternate dense in-horizon clusters with clusters 1–4 spans
+        // out (overflow), popping through the migrations. Exact
+        // same-time ties across the horizon boundary included.
+        for wave in 0..10u64 {
+            let base = wave * 2 * WHEEL_SPAN_FS;
+            for _ in 0..8 {
+                script.push(Op::Push {
+                    time_fs: base + rng.next_u64() % WHEEL_SPAN_FS,
+                    component: (rng.next_u64() % 6) as u32,
+                });
+                let k = 1 + rng.next_u64() % 4;
+                script.push(Op::Push {
+                    time_fs: base + k * WHEEL_SPAN_FS,
+                    component: (rng.next_u64() % 6) as u32,
+                });
+            }
+            // A tie exactly on the span boundary, on two components.
+            script.push(Op::Push {
+                time_fs: base + WHEEL_SPAN_FS,
+                component: 1,
+            });
+            script.push(Op::Push {
+                time_fs: base + WHEEL_SPAN_FS,
+                component: 0,
+            });
+            for _ in 0..12 {
+                script.push(Op::Pop);
+            }
+        }
+        assert_script_agrees(&script, &format!("overflow seed {seed}"));
+    }
+}
+
+#[test]
+fn lane_capacity_ties_at_every_boundary() {
+    // Bursts of same-(time, component) events straddling the self-echo
+    // lane's capacity: LANE_CAPACITY - 1 stays in the lane,
+    // LANE_CAPACITY fills it, +1 spills to the insertion buffer, and
+    // the big burst exercises spill plus lazy merge. Each burst is
+    // pushed *mid-serve* (after a pop) so the lane path, not the wheel
+    // path, takes them.
+    let sizes = [
+        LANE_CAPACITY - 1,
+        LANE_CAPACITY,
+        LANE_CAPACITY + 1,
+        2 * LANE_CAPACITY + 3,
+    ];
+    for (round, &burst) in sizes.iter().enumerate() {
+        let mut script = Vec::new();
+        let t0 = (round as u64 + 1) * 5 * BUCKET_WIDTH_FS;
+        // Two seed events in the same bucket; pop one to start serving.
+        script.push(Op::Push {
+            time_fs: t0,
+            component: 9,
+        });
+        script.push(Op::Push {
+            time_fs: t0 + 1,
+            component: 9,
+        });
+        script.push(Op::Pop);
+        // Same-time burst on one component (seq ties), plus one
+        // lower-component event at the same time that must still win.
+        for _ in 0..burst {
+            script.push(Op::Push {
+                time_fs: t0 + 1,
+                component: 9,
+            });
+        }
+        script.push(Op::Push {
+            time_fs: t0 + 1,
+            component: 3,
+        });
+        // Drain across the boundary, then refill the *same* lanes in the
+        // same horizon to catch stale lane state.
+        for _ in 0..burst / 2 {
+            script.push(Op::Pop);
+        }
+        for _ in 0..burst {
+            script.push(Op::Push {
+                time_fs: t0 + 1,
+                component: 9,
+            });
+        }
+        assert_script_agrees(&script, &format!("lane boundary burst {burst}"));
+    }
+}
+
+#[test]
+fn dense_single_timestamp_plateau() {
+    // Every event at one timestamp across many components, pushed and
+    // popped in interleaved waves: the worst case for the insertion
+    // buffer's lazy sort and the lane merge.
+    let mut rng = Rng64::new(0x9_1A7E);
+    let mut script = Vec::new();
+    let t = 13 * BUCKET_WIDTH_FS + 7;
+    script.push(Op::Push {
+        time_fs: t,
+        component: 0,
+    });
+    script.push(Op::Pop);
+    for _ in 0..400 {
+        if rng.next_below(3) == 0 {
+            script.push(Op::Pop);
+        } else {
+            script.push(Op::Push {
+                time_fs: t,
+                component: (rng.next_u64() % 16) as u32,
+            });
+        }
+    }
+    assert_script_agrees(&script, "single-timestamp plateau");
+}
+
+// ---------------------------------------------------------------------
+// Simulator layer: scheduler-hostile circuits on every pairing.
+// ---------------------------------------------------------------------
+
+/// Everything a run exposes to the outside world.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    traces: Vec<PulseTrace>,
+    vcd: String,
+    violations: Vec<Violation>,
+    events_processed: u64,
+    peak_queue_depth: usize,
+}
+
+/// A seeded circuit whose wire delays are chosen to be hostile to a
+/// bucketed scheduler: exact bucket-width multiples (events landing on
+/// bucket boundaries), sub-quantum offsets (dense same-bucket ties),
+/// and hops longer than a full wheel revolution (overflow traffic).
+fn hostile_circuit(seed: u64) -> (Netlist, Vec<Pin>, Vec<Pin>) {
+    let mut rng = Rng64::new(seed);
+    let mut b = CircuitBuilder::new();
+    let inputs: Vec<Pin> = (0..2)
+        .map(|_| {
+            let id = b.jtl();
+            Pin::new(id, Jtl::IN)
+        })
+        .collect();
+    let mut frontier: Vec<Pin> = inputs
+        .iter()
+        .map(|p| Pin::new(p.component, Jtl::OUT))
+        .collect();
+
+    let bucket_ps = BUCKET_WIDTH_FS as f64 / 1000.0;
+    let span_ps = WHEEL_SPAN_FS as f64 / 1000.0;
+    let delay = |rng: &mut Rng64| match rng.next_below(4) {
+        // Exactly on a bucket boundary, 1–8 buckets out.
+        0 => Duration::from_ps(bucket_ps * (1 + rng.next_below(8)) as f64),
+        // Sub-quantum: everything piles into the same bucket.
+        1 => Duration::from_ps(0.001 + rng.next_f64() * 0.1),
+        // Past the wheel horizon: forced through the overflow heap.
+        2 => Duration::from_ps(span_ps * (1.0 + rng.next_f64() * 2.0)),
+        _ => Duration::from_ps(rng.next_f64() * 50.0),
+    };
+    let take = |frontier: &mut Vec<Pin>, rng: &mut Rng64| {
+        let i = rng.next_below(frontier.len());
+        frontier.swap_remove(i)
+    };
+
+    for _ in 0..30 {
+        match rng.next_below(5) {
+            0 => {
+                let id = b.splitter();
+                let from = take(&mut frontier, &mut rng);
+                b.connect_delayed(from, Pin::new(id, Splitter::IN), delay(&mut rng));
+                frontier.push(Pin::new(id, Splitter::OUT0));
+                frontier.push(Pin::new(id, Splitter::OUT1));
+            }
+            1 if frontier.len() >= 2 => {
+                let id = b.merger();
+                let a = take(&mut frontier, &mut rng);
+                let c = take(&mut frontier, &mut rng);
+                b.connect_delayed(a, Pin::new(id, Merger::IN_A), delay(&mut rng));
+                b.connect_delayed(c, Pin::new(id, Merger::IN_B), delay(&mut rng));
+                frontier.push(Pin::new(id, Merger::OUT));
+            }
+            2 if frontier.len() >= 2 => {
+                let id = b.dro();
+                let d = take(&mut frontier, &mut rng);
+                let clk = take(&mut frontier, &mut rng);
+                b.connect_delayed(d, Pin::new(id, Dro::D), delay(&mut rng));
+                b.connect_delayed(clk, Pin::new(id, Dro::CLK), delay(&mut rng));
+                frontier.push(Pin::new(id, Dro::Q));
+            }
+            // Tight HC-DRO so the violation path runs under torture too.
+            3 if frontier.len() >= 2 => {
+                let id = b.hcdro();
+                let d = take(&mut frontier, &mut rng);
+                let clk = take(&mut frontier, &mut rng);
+                b.connect_delayed(d, Pin::new(id, HcDro::D), Duration::from_ps(1.0));
+                b.connect_delayed(clk, Pin::new(id, HcDro::CLK), delay(&mut rng));
+                frontier.push(Pin::new(id, HcDro::Q));
+            }
+            _ => {
+                let id = b.jtl();
+                let from = take(&mut frontier, &mut rng);
+                b.connect_delayed(from, Pin::new(id, Jtl::IN), delay(&mut rng));
+                frontier.push(Pin::new(id, Jtl::OUT));
+            }
+        }
+    }
+    (b.finish(), inputs, frontier)
+}
+
+/// Runs one hostile circuit on one pairing and captures the observables.
+fn run_hostile(seed: u64, scheduler: SchedulerKind, engine: EngineKind) -> Observables {
+    let (netlist, inputs, probes) = hostile_circuit(seed);
+    let mut sim = Simulator::with_engine(netlist, scheduler, engine);
+    let probe_ids: Vec<ProbeId> = probes
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| sim.probe(p, format!("t{i}")))
+        .collect();
+    let mut rng = Rng64::fork(seed, 0x57EB);
+    for burst in 0..24u32 {
+        let pin = inputs[rng.next_below(inputs.len())];
+        // Injection offsets use the same hostile distribution: exact
+        // bucket boundaries, sub-quantum ties, and past-horizon hops.
+        let off = match rng.next_below(3) {
+            0 => Duration::from_fs(BUCKET_WIDTH_FS * (1 + rng.next_u64() % 8)),
+            1 => Duration::from_fs(rng.next_u64() % 32),
+            _ => Duration::from_fs(WHEEL_SPAN_FS + rng.next_u64() % WHEEL_SPAN_FS),
+        };
+        sim.inject(pin, sim.now() + off);
+        if burst % 5 == 4 {
+            // Bounded runs leave events in flight across run boundaries.
+            sim.run_for(sim.now() + Duration::from_fs(WHEEL_SPAN_FS / 2));
+        }
+    }
+    sim.run();
+    let traces: Vec<PulseTrace> = probe_ids
+        .iter()
+        .map(|&id| sim.probe_trace(id).clone())
+        .collect();
+    let vcd = to_vcd(&traces, "torture");
+    let stats = sim.stats();
+    Observables {
+        traces,
+        vcd,
+        violations: sim.violations().to_vec(),
+        events_processed: stats.events_processed,
+        peak_queue_depth: stats.peak_queue_depth,
+    }
+}
+
+#[test]
+fn hostile_circuits_agree_across_all_pairings() {
+    for seed in [0x71AD, 0x71AE, 0x71AF] {
+        let reference = run_hostile(
+            seed,
+            SchedulerKind::ReferenceHeap,
+            EngineKind::DynInterpreter,
+        );
+        assert!(
+            reference.events_processed > 0,
+            "seed {seed:#x} produced no activity"
+        );
+        for scheduler in SchedulerKind::ALL {
+            for engine in EngineKind::ALL {
+                let run = run_hostile(seed, scheduler, engine);
+                assert_eq!(
+                    reference, run,
+                    "seed {seed:#x}: {engine} on {scheduler:?} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn register_file_soak_agrees_on_lane_batching() {
+    // Every registered design, 4×4, write/read sweep: reads and the
+    // scheduler counters must match the reference stack exactly when
+    // the lane-batched core runs under either engine.
+    for design in registry() {
+        let g = RfGeometry::paper_4x4();
+        let run = |scheduler: SchedulerKind, engine: EngineKind| {
+            let mut rf = design.build(g);
+            rf.set_scheduler(scheduler);
+            rf.set_engine(engine);
+            let mut reads = Vec::new();
+            for round in 0..2u64 {
+                for reg in 0..g.registers() {
+                    rf.write(reg, (round * 7 + reg as u64) & 0xF);
+                }
+                for reg in 0..g.registers() {
+                    reads.push(rf.read(reg));
+                }
+            }
+            let stats = rf.sim_stats();
+            (
+                reads,
+                rf.violations().len(),
+                stats.events_processed,
+                stats.peak_queue_depth,
+            )
+        };
+        let reference = run(SchedulerKind::ReferenceHeap, EngineKind::DynInterpreter);
+        for engine in EngineKind::ALL {
+            let got = run(SchedulerKind::LaneBatched, engine);
+            assert_eq!(reference, got, "{design}: lane-batched under {engine}");
+        }
+    }
+}

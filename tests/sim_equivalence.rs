@@ -1,7 +1,8 @@
-//! Differential scheduler harness: the calendar queue must be observably
-//! indistinguishable from the reference `BinaryHeap` scheduler.
+//! Differential scheduler harness: the calendar queue and the
+//! lane-batched horizon queue must be observably indistinguishable from
+//! the reference `BinaryHeap` scheduler.
 //!
-//! Two families of workloads drive both queue implementations:
+//! Two families of workloads drive every queue implementation:
 //!
 //! * **seeded random netlists** — layered transport/storage circuits with
 //!   randomized wire delays (including delays past the calendar wheel's
@@ -148,21 +149,25 @@ fn run_random(seed: u64, kind: SchedulerKind) -> Observables {
 fn random_netlists_match_across_schedulers() {
     for seed in [1u64, 0xBEEF, 0x5EED_5EED, 0xFFFF_FFFF_0000_0001] {
         let heap = run_random(seed, SchedulerKind::ReferenceHeap);
-        let wheel = run_random(seed, SchedulerKind::CalendarQueue);
         assert!(
             heap.events_processed > 0,
             "seed {seed:#x}: workload never touched the queue"
         );
-        assert_eq!(heap, wheel, "seed {seed:#x}");
+        for kind in SchedulerKind::ALL {
+            let got = run_random(seed, kind);
+            assert_eq!(heap, got, "seed {seed:#x} on {kind:?}");
+        }
     }
 }
 
 #[test]
 fn random_netlist_vcd_is_byte_identical() {
     let heap = run_random(0xA5A5, SchedulerKind::ReferenceHeap);
-    let wheel = run_random(0xA5A5, SchedulerKind::CalendarQueue);
     assert!(!heap.vcd.is_empty() && heap.vcd.contains("$var"));
-    assert_eq!(heap.vcd.as_bytes(), wheel.vcd.as_bytes());
+    for kind in SchedulerKind::ALL {
+        let got = run_random(0xA5A5, kind);
+        assert_eq!(heap.vcd.as_bytes(), got.vcd.as_bytes(), "{kind:?}");
+    }
 }
 
 /// Drives one design on one scheduler through a write/read sweep and
@@ -199,9 +204,11 @@ fn every_registered_design_matches_across_schedulers() {
     for design in registry() {
         for g in [RfGeometry::paper_4x4(), RfGeometry::paper_16x16()] {
             let heap = run_design(design, g, SchedulerKind::ReferenceHeap);
-            let wheel = run_design(design, g, SchedulerKind::CalendarQueue);
             assert!(heap.2 > 0, "{design} at {g}: no events processed");
-            assert_eq!(heap, wheel, "{design} at {g}");
+            for kind in SchedulerKind::ALL {
+                let got = run_design(design, g, kind);
+                assert_eq!(heap, got, "{design} at {g} on {kind:?}");
+            }
         }
     }
 }
