@@ -336,6 +336,8 @@ fn stats_json(stats: &BatchStats) -> Json {
             "sim_time_ps",
             Json::Num(stats.totals.sim_time_advanced.as_ps()),
         ),
+        ("slot_bytes", Json::u64(stats.totals.slot_bytes_touched)),
+        ("fanout_rows", Json::u64(stats.totals.fanout_rows_visited)),
     ])
 }
 
@@ -350,6 +352,8 @@ fn stats_from_json(v: &Json) -> BatchStats {
         .get("peak_queue_depth")
         .and_then(Json::as_u64)
         .unwrap_or(0) as usize;
+    b.totals.slot_bytes_touched = v.get("slot_bytes").and_then(Json::as_u64).unwrap_or(0);
+    b.totals.fanout_rows_visited = v.get("fanout_rows").and_then(Json::as_u64).unwrap_or(0);
     b
 }
 

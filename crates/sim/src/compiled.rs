@@ -17,8 +17,14 @@
 //!   several (box pointer, vtable, heap cell, label);
 //! * fan-out is a CSR table: one fused offset array (the fan-out and
 //!   probe ranges of a pin share an entry, halving the offset loads)
-//!   plus packed `(destination pin, delay)` / probe-id arrays, indexed
-//!   by `cell_id * stride + output_pin`;
+//!   plus pre-packed `FanOut` / probe-id arrays, indexed by
+//!   `slot * stride + output_pin`;
+//! * slots and CSR rows are built in [`CellLayout`] order (the
+//!   BFS/affinity placement from [`Netlist::layout`] by default), with a
+//!   dense id→slot remap table, so cells that fire together sit on
+//!   neighbouring cache lines; each `FanOut` row is pre-packed into
+//!   the two words of the future `Event`, so pushing a delivery is two
+//!   adds — no `Pin` re-encoding on the hot path;
 //! * the cell label, needed only by the cold violation path, is resolved
 //!   lazily, so the hot path never touches the label table.
 //!
@@ -36,7 +42,11 @@
 use std::collections::HashMap;
 
 use crate::component::{CellLabel, PulseContext};
+use crate::layout::CellLayout;
 use crate::netlist::{ComponentId, Netlist, Pin};
+use crate::queue::{
+    Event, EVENT_COMPONENT_LIMIT, EVENT_PIN_BITS, EVENT_SEQ_BITS, EVENT_TIME_LIMIT_FS,
+};
 use crate::simulator::ProbeId;
 use crate::time::{Duration, Time};
 
@@ -288,6 +298,80 @@ struct CellSlot {
     stale: bool,
 }
 
+/// Bytes of cell state one delivery touches (a slot line) — the unit of
+/// [`SimStats::slot_bytes_touched`](crate::simulator::SimStats), counted
+/// identically by both engines so the counter stays engine-independent.
+pub(crate) const SLOT_BYTES: u64 = std::mem::size_of::<CellSlot>() as u64;
+
+/// One pre-packed fan-out destination: the two words of the future
+/// [`Event`] that do not depend on the emission, so the hot loop builds a
+/// delivery with two adds instead of re-encoding a `Pin` per push.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FanOut {
+    /// `destination component << 40` — the event's `cs` word minus the
+    /// sequence number.
+    cs_base: u64,
+    /// `wire delay (fs) << 8 | destination pin` — adds directly onto the
+    /// emission's `time_fs << 8`.
+    pin_delay: u64,
+}
+
+impl FanOut {
+    /// Packs a wire destination, checking both fields against the event
+    /// bit widths once at lowering time.
+    fn pack(to: Pin, delay: Duration) -> FanOut {
+        let c = to.component.index() as u64;
+        let d = delay.as_fs();
+        assert!(
+            c < EVENT_COMPONENT_LIMIT,
+            "component id {c} exceeds the 24-bit packed window — widen Event.cs"
+        );
+        assert!(
+            d < EVENT_TIME_LIMIT_FS,
+            "wire delay {d} fs exceeds the 56-bit packed window — widen Event.tp"
+        );
+        FanOut {
+            cs_base: c << EVENT_SEQ_BITS,
+            pin_delay: d << EVENT_PIN_BITS | u64::from(to.index),
+        }
+    }
+
+    /// The delivery event for an emission at `at_fs` femtoseconds with
+    /// sequence number `seq`. The time addition is overflow-checked: a
+    /// simulation running past the 56-bit window panics with a widening
+    /// note instead of wrapping.
+    #[inline]
+    pub(crate) fn event_at(self, at_fs: u64, seq: u64) -> Event {
+        // Both checks are branch-predicted never-taken compares; together
+        // with `checked_add` they make the widening path explicit instead
+        // of wrapping silently.
+        assert!(
+            at_fs < EVENT_TIME_LIMIT_FS,
+            "emission time {at_fs} fs exceeds the 56-bit packed window — widen Event.tp"
+        );
+        debug_assert!(seq < crate::queue::EVENT_SEQ_LIMIT);
+        let tp = (at_fs << EVENT_PIN_BITS)
+            .checked_add(self.pin_delay)
+            .expect("event time exceeds the 56-bit packed window — widen Event.tp");
+        Event::from_words(tp, self.cs_base | seq)
+    }
+
+    /// The destination pin, decoded (tests and cold paths only).
+    #[cfg(test)]
+    pub(crate) fn target(self) -> Pin {
+        Pin::new(
+            ComponentId((self.cs_base >> EVENT_SEQ_BITS) as u32),
+            self.pin_delay as u8,
+        )
+    }
+
+    /// The wire delay, decoded (tests and cold paths only).
+    #[cfg(test)]
+    pub(crate) fn delay(self) -> Duration {
+        Duration::from_fs(self.pin_delay >> EVENT_PIN_BITS)
+    }
+}
+
 /// The compiled form of a netlist: lowered ops and state in dense
 /// cache-line slots, CSR fan-out, and a flat probe table.
 ///
@@ -298,9 +382,17 @@ struct CellSlot {
 /// mutation (peeks, pokes, recompiles) happens against fresh boxes.
 #[derive(Debug)]
 pub(crate) struct CompiledNetlist {
-    /// Per-cell op + state, one cache line each, indexed by cell id.
+    /// Per-cell op + state, one cache line each, indexed by *slot* (the
+    /// [`CellLayout`] placement, not the external cell id).
     slots: Vec<CellSlot>,
-    /// Lowered cells whose slot state advanced past their box since the
+    /// Dense id→slot remap: `slot_of[cell id] = slot`. The one
+    /// translation a delivery performs — events carry external ids so
+    /// the total order stays placement-independent.
+    slot_of: Vec<u32>,
+    /// The inverse map, `cell_of[slot] = cell id`, for table building and
+    /// sync-back.
+    cell_of: Vec<u32>,
+    /// Slots whose state advanced past their boxed component since the
     /// last sync-back (dense list + the per-slot `stale` flag, so the
     /// write-back is O(touched), not O(cells)).
     touched: Vec<u32>,
@@ -309,24 +401,34 @@ pub(crate) struct CompiledNetlist {
     /// stride have no fan-out and no probes, exactly like the hash-map
     /// lookup missing.
     stride: usize,
-    /// Fused CSR offsets, length `cells * stride + 1`: entry `[0]` indexes
-    /// `fan_dests`, entry `[1]` indexes `probe_ids`, so one offset-array
-    /// load yields both ranges of a flat pin.
+    /// Fused CSR offsets, length `cells * stride + 1`, indexed by
+    /// `slot * stride + pin`: entry `[0]` indexes `fan_dests`, entry `[1]`
+    /// indexes `probe_ids`, so one offset-array load yields both ranges
+    /// of a flat pin.
     offsets: Vec<[u32; 2]>,
-    /// Packed fan-out destinations, wire insertion order per source pin.
-    fan_dests: Vec<(Pin, Duration)>,
+    /// Pre-packed fan-out destinations, wire insertion order per source
+    /// pin, rows in slot order.
+    fan_dests: Vec<FanOut>,
     /// Packed probe ids, registration order per source pin.
     probe_ids: Vec<ProbeId>,
 }
 
 impl CompiledNetlist {
     /// Lowers `netlist` (capturing the current state of every component)
-    /// and precomputes the flat fan-out and probe tables.
-    pub(crate) fn compile(netlist: &Netlist, probes: &HashMap<Pin, Vec<ProbeId>>) -> Self {
+    /// into slots placed by `layout`, and precomputes the flat fan-out
+    /// and probe tables in the same order.
+    pub(crate) fn compile(
+        netlist: &Netlist,
+        probes: &HashMap<Pin, Vec<ProbeId>>,
+        layout: &CellLayout,
+    ) -> Self {
         let cells = netlist.component_count();
+        assert_eq!(layout.len(), cells, "layout does not cover this netlist");
         let mut slots = Vec::with_capacity(cells);
-        for (_, _, component) in netlist.iter() {
-            let lowered = component
+        for slot in 0..cells {
+            let id = layout.cell_of(slot);
+            let lowered = netlist
+                .component(id)
                 .lower()
                 .unwrap_or_else(|| Lowered::stateless(CellOp::Dyn));
             slots.push(CellSlot {
@@ -339,6 +441,8 @@ impl CompiledNetlist {
         }
         let mut compiled = CompiledNetlist {
             slots,
+            slot_of: layout.slot_table().to_vec(),
+            cell_of: layout.cell_table().to_vec(),
             touched: Vec::new(),
             stride: 0,
             offsets: Vec::new(),
@@ -368,10 +472,16 @@ impl CompiledNetlist {
         let mut fan_dests = Vec::new();
         let mut probe_ids = Vec::new();
         offsets.push([0u32, 0u32]);
-        for cell in 0..cells {
+        for slot in 0..cells {
+            let cell = self.cell_of[slot];
             for pin in 0..stride {
-                let source = Pin::new(ComponentId(cell as u32), pin as u8);
-                fan_dests.extend_from_slice(netlist.fanout(source));
+                let source = Pin::new(ComponentId(cell), pin as u8);
+                fan_dests.extend(
+                    netlist
+                        .fanout(source)
+                        .iter()
+                        .map(|&(to, delay)| FanOut::pack(to, delay)),
+                );
                 if let Some(ids) = probes.get(&source) {
                     probe_ids.extend_from_slice(ids);
                 }
@@ -391,8 +501,9 @@ impl CompiledNetlist {
     /// leaving box and compiled state in agreement. O(touched); a no-op
     /// when no lowered cell was delivered to since the last sync.
     pub(crate) fn sync_back(&mut self, netlist: &mut Netlist) {
-        for &cell in &self.touched {
-            let s = &mut self.slots[cell as usize];
+        for &slot in &self.touched {
+            let cell = self.cell_of[slot as usize];
+            let s = &mut self.slots[slot as usize];
             s.stale = false;
             let state = Lowered {
                 op: s.op,
@@ -405,20 +516,27 @@ impl CompiledNetlist {
         self.touched.clear();
     }
 
-    /// Flat table index of an output pin, or `None` if the pin lies
-    /// beyond the stride (never wired, never probed).
+    /// The slot holding a cell's state — the delivery-time remap load.
     #[inline]
-    pub(crate) fn flat(&self, source: Pin) -> Option<usize> {
-        let pin = source.index as usize;
+    pub(crate) fn slot_index(&self, cell: usize) -> usize {
+        self.slot_of[cell] as usize
+    }
+
+    /// Flat table index of an output pin on a cell already remapped to
+    /// `slot`, or `None` if the pin lies beyond the stride (never wired,
+    /// never probed).
+    #[inline]
+    pub(crate) fn flat_at(&self, slot: usize, pin: u8) -> Option<usize> {
+        let pin = pin as usize;
         if pin >= self.stride {
             return None;
         }
-        Some(source.component.index() * self.stride + pin)
+        Some(slot * self.stride + pin)
     }
 
     /// Fan-out destinations of a flat source index.
     #[inline]
-    pub(crate) fn fanout(&self, flat: usize) -> &[(Pin, Duration)] {
+    pub(crate) fn fanout(&self, flat: usize) -> &[FanOut] {
         &self.fan_dests[self.offsets[flat][0] as usize..self.offsets[flat + 1][0] as usize]
     }
 
@@ -428,26 +546,44 @@ impl CompiledNetlist {
         &self.probe_ids[self.offsets[flat][1] as usize..self.offsets[flat + 1][1] as usize]
     }
 
-    /// Delivers one pulse to `target` at `now`, mirroring the boxed cell
-    /// models arm for arm (including violation strings, degrade
-    /// decisions, and emission order).
+    /// Software-prefetches the slot line and CSR offset row of `cell`'s
+    /// placement — issued for the *next* event while the current one
+    /// computes, so its state is resident by the time it pops. A miss
+    /// (stale hint, non-x86 target) costs nothing but the dropped hint.
+    #[inline]
+    pub(crate) fn prefetch_cell(&self, cell: usize) {
+        if let Some(&slot) = self.slot_of.get(cell) {
+            let slot = slot as usize;
+            prefetch_read(&raw const self.slots[slot]);
+            if self.stride > 0 {
+                prefetch_read(&raw const self.offsets[slot * self.stride]);
+            }
+        }
+    }
+
+    /// Delivers one pulse at `now` to input `pin` of the cell placed at
+    /// `slot` (external id `cell`, already remapped by the caller so the
+    /// lookup is paid once per event), mirroring the boxed cell models
+    /// arm for arm (including violation strings, degrade decisions, and
+    /// emission order).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn deliver(
         &mut self,
         netlist: &mut Netlist,
-        target: Pin,
+        cell: u32,
+        slot: usize,
+        pin: u8,
         now: Time,
         emitted: &mut Vec<(u8, Time)>,
         violations: &mut Vec<crate::violation::Violation>,
         policy: crate::violation::ViolationPolicy,
         degraded_drops: &mut u64,
     ) {
-        let cell = target.component.index();
-        let pin = target.index;
-        let s = &mut self.slots[cell];
+        debug_assert_eq!(self.cell_of[slot], cell, "slot/cell remap drift");
+        let s = &mut self.slots[slot];
         if matches!(s.op, CellOp::Dyn) {
             // Unlowerable cell: its box stays authoritative.
-            let (component, label) = netlist.component_and_label_mut(target.component);
+            let (component, label) = netlist.component_and_label_mut(ComponentId(cell));
             let mut ctx = PulseContext {
                 emitted,
                 violations,
@@ -460,7 +596,7 @@ impl CompiledNetlist {
         }
         if !s.stale {
             s.stale = true;
-            self.touched.push(cell as u32);
+            self.touched.push(slot as u32);
         }
         // The label is only read when a violation fires, so hand the
         // context a lazy reference instead of loading the label table on
@@ -468,7 +604,7 @@ impl CompiledNetlist {
         let mut ctx = PulseContext {
             emitted,
             violations,
-            component_label: CellLabel::Lazy(netlist.labels_raw(), cell as u32),
+            component_label: CellLabel::Lazy(netlist.labels_raw(), cell),
             policy,
             degraded_drops,
         };
@@ -726,14 +862,65 @@ fn hcdro_sep(
     degrade
 }
 
+/// Issues a read prefetch for the cache line at `p` on targets that have
+/// one; a no-op elsewhere. `_mm_prefetch` is a pure performance hint —
+/// it cannot fault and touches no architectural state — so the `unsafe`
+/// here is only the intrinsic's signature.
+#[inline(always)]
+fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(p.cast::<i8>(), std::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 #[cfg(test)]
 mod layout_tests {
-    use super::CellSlot;
+    use super::*;
 
     #[test]
     fn cell_slot_is_one_cache_line() {
         // The whole point of the packed layout: op + state in 64 bytes.
         assert_eq!(std::mem::size_of::<CellSlot>(), 64);
         assert_eq!(std::mem::align_of::<CellSlot>(), 64);
+        assert_eq!(SLOT_BYTES, 64);
+    }
+
+    #[test]
+    fn fanout_rows_pack_and_decode() {
+        let to = Pin::new(ComponentId(42), 3);
+        let fo = FanOut::pack(to, Duration::from_ps(2.5));
+        assert_eq!(fo.target(), to);
+        assert_eq!(fo.delay(), Duration::from_ps(2.5));
+        let ev = fo.event_at(1_000, 7);
+        assert_eq!(ev.time_fs(), 1_000 + 2_500);
+        assert_eq!(ev.seq(), 7);
+        assert_eq!(ev.target(), to);
+    }
+
+    #[test]
+    #[should_panic(expected = "widen Event.tp")]
+    fn emission_past_the_packed_window_panics() {
+        let fo = FanOut::pack(Pin::new(ComponentId(0), 0), Duration::from_fs(0));
+        // The last representable instant still packs…
+        assert_eq!(
+            fo.event_at(EVENT_TIME_LIMIT_FS - 1, 0).time_fs(),
+            EVENT_TIME_LIMIT_FS - 1
+        );
+        // …one femtosecond past it panics instead of wrapping.
+        let _ = fo.event_at(EVENT_TIME_LIMIT_FS, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "widen Event.tp")]
+    fn wire_delay_overflow_is_checked_at_the_sum() {
+        // Both addends fit their windows individually; the sum does not.
+        let fo = FanOut::pack(
+            Pin::new(ComponentId(0), 0),
+            Duration::from_fs(EVENT_TIME_LIMIT_FS - 1),
+        );
+        let _ = fo.event_at(EVENT_TIME_LIMIT_FS - 1, 0);
     }
 }

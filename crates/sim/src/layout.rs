@@ -1,0 +1,398 @@
+//! Cell placement: the delivery-path memory layout.
+//!
+//! The compiled engine stores per-cell state in a flat `CellSlot` array
+//! and fan-out in a fused CSR, both indexed by *slot*. By default slots
+//! follow construction order (`ComponentId` order), which for the
+//! register-file netlists means a read burst hops between decoder,
+//! storage-loop, and merge-tree cells that sit hundreds of cache lines
+//! apart. A [`CellLayout`] is a permutation of cells onto slots chosen so
+//! that cells which fire together sit together: [`Netlist::layout`]
+//! computes a BFS/affinity order over the netlist graph — seeded at
+//! source cells, visiting each cell's fan-out shortest-delay-first — so
+//! a pulse front walks mostly-forward through the slot array instead of
+//! striding across it.
+//!
+//! # The layout is invisible, by construction
+//!
+//! The permutation is strictly internal to placement. Events carry
+//! external `ComponentId`s, so the total event order
+//! `(time, component, seq)` — and with it traces, VCD dumps, violation
+//! labels, and every `SimStats` counter — is untouched by *any*
+//! permutation, not just the affinity one. The differential suites run
+//! seeded arbitrary permutations against the identity layout to pin that
+//! down, and the `reference-layout` cargo feature keeps the identity
+//! placement (plus no prefetch: the exact part-2 delivery path) as the
+//! escape hatch and perf baseline.
+
+use crate::netlist::{ComponentId, Netlist};
+
+/// Which cell placement a [`Simulator`](crate::simulator::Simulator)
+/// compiles its slot tables with. Both produce byte-identical
+/// observables (see the module docs); they differ only in locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// BFS/affinity order from [`Netlist::layout`] — the default fast
+    /// path, with next-event software prefetch enabled in the serve loop.
+    Affinity,
+    /// Identity placement (slot == component id) with prefetch disabled:
+    /// the part-2 delivery path, kept as the differential baseline.
+    Identity,
+}
+
+impl LayoutKind {
+    /// Every layout, reference first — the order differential tests and
+    /// perf baselines iterate.
+    pub const ALL: [LayoutKind; 2] = [LayoutKind::Identity, LayoutKind::Affinity];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LayoutKind::Affinity => "affinity",
+            LayoutKind::Identity => "identity",
+        }
+    }
+
+    /// Parses a [`label`](LayoutKind::label) back into a kind.
+    pub fn parse(s: &str) -> Option<LayoutKind> {
+        LayoutKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+}
+
+impl Default for LayoutKind {
+    /// The compiled-in default: the affinity layout, unless the
+    /// `reference-layout` feature pins the identity placement.
+    fn default() -> Self {
+        if cfg!(feature = "reference-layout") {
+            LayoutKind::Identity
+        } else {
+            LayoutKind::Affinity
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(self.label())
+    }
+}
+
+/// A bijection between cells (external `ComponentId`s) and slots
+/// (positions in the compiled engine's state tables), stored in both
+/// directions so delivery pays one dense lookup per event and
+/// `sync_back` one per touched slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellLayout {
+    /// `slot_of[cell] = slot`.
+    slot_of: Vec<u32>,
+    /// `cell_of[slot] = cell` (the inverse).
+    cell_of: Vec<u32>,
+}
+
+impl CellLayout {
+    /// The identity placement: slot `i` holds cell `i`.
+    pub fn identity(cells: usize) -> CellLayout {
+        let slot_of: Vec<u32> = (0..cells as u32).collect();
+        CellLayout {
+            cell_of: slot_of.clone(),
+            slot_of,
+        }
+    }
+
+    /// Builds a layout from an explicit cell→slot map.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slot_of` is a permutation of `0..slot_of.len()` —
+    /// a slot assigned twice (or out of range) would silently alias two
+    /// cells' state.
+    pub fn from_permutation(slot_of: Vec<u32>) -> CellLayout {
+        let n = slot_of.len();
+        let mut cell_of = vec![u32::MAX; n];
+        for (cell, &slot) in slot_of.iter().enumerate() {
+            assert!(
+                (slot as usize) < n,
+                "slot {slot} out of range for {n} cells"
+            );
+            assert!(
+                cell_of[slot as usize] == u32::MAX,
+                "slot {slot} assigned to two cells — not a permutation"
+            );
+            cell_of[slot as usize] = cell as u32;
+        }
+        CellLayout { slot_of, cell_of }
+    }
+
+    /// A seeded uniformly-random permutation (Fisher–Yates over
+    /// [`Rng64`](crate::rng::Rng64)) — the differential suites' adversarial
+    /// layout: if observables survive arbitrary placements, they survive
+    /// any placement the affinity pass could produce.
+    pub fn shuffled(cells: usize, seed: u64) -> CellLayout {
+        let mut rng = crate::rng::Rng64::new(seed);
+        let mut slot_of: Vec<u32> = (0..cells as u32).collect();
+        for i in (1..cells).rev() {
+            slot_of.swap(i, rng.next_below(i + 1));
+        }
+        CellLayout::from_permutation(slot_of)
+    }
+
+    /// Number of cells (== number of slots).
+    pub fn len(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// True iff the layout covers zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.slot_of.is_empty()
+    }
+
+    /// True iff this is the identity placement.
+    pub fn is_identity(&self) -> bool {
+        self.slot_of
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| s as usize == i)
+    }
+
+    /// The slot holding `id`'s state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the laid-out netlist.
+    pub fn slot_of(&self, id: ComponentId) -> usize {
+        self.slot_of[id.index()] as usize
+    }
+
+    /// The cell whose state lives in `slot` (the inverse map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn cell_of(&self, slot: usize) -> ComponentId {
+        ComponentId(self.cell_of[slot])
+    }
+
+    /// The raw cell→slot table, for the compiled engine's per-event
+    /// remap load.
+    pub(crate) fn slot_table(&self) -> &[u32] {
+        &self.slot_of
+    }
+
+    /// The raw slot→cell table, for table building and `sync_back`.
+    pub(crate) fn cell_table(&self) -> &[u32] {
+        &self.cell_of
+    }
+}
+
+impl Netlist {
+    /// Computes the BFS/affinity cell layout of this netlist: a pure
+    /// function of the graph (components + wires), independent of labels,
+    /// scopes, or cell internals.
+    ///
+    /// Seeds are the source cells — no incoming wire from another cell —
+    /// in id order (stimulus enters the circuit there, so the pulse front
+    /// starts there too). From each frontier cell the BFS visits fan-out
+    /// destinations shortest-delay-first: a short wire means the
+    /// downstream cell fires within the same burst, so it is pulled into
+    /// an adjacent slot, while long (operation-gap) wires only order what
+    /// is left over. Cells reachable only through cycles are seeded from
+    /// the lowest unvisited id once the frontier drains, so the result is
+    /// always a total permutation.
+    pub fn layout(&self) -> CellLayout {
+        let n = self.component_count();
+        let mut adj: Vec<Vec<(u64, u32)>> = vec![Vec::new(); n];
+        let mut has_input = vec![false; n];
+        for w in self.wires() {
+            let from = w.from.component.index();
+            let to = w.to.component.index();
+            adj[from].push((w.delay.as_fs(), to as u32));
+            if from != to {
+                has_input[to] = true;
+            }
+        }
+        // The wires() iteration order is unspecified (hash map), so sort
+        // each adjacency list into the (delay, destination) visit order —
+        // the layout must be deterministic for a given graph.
+        for out in &mut adj {
+            out.sort_unstable();
+        }
+        let mut cell_of = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        let mut frontier = std::collections::VecDeque::new();
+        for cell in 0..n {
+            if !has_input[cell] {
+                placed[cell] = true;
+                frontier.push_back(cell as u32);
+            }
+        }
+        let mut fallback = 0usize;
+        while cell_of.len() < n {
+            let Some(cell) = frontier.pop_front() else {
+                // Only cycles remain: seed the lowest unplaced id.
+                while placed[fallback] {
+                    fallback += 1;
+                }
+                placed[fallback] = true;
+                frontier.push_back(fallback as u32);
+                continue;
+            };
+            cell_of.push(cell);
+            for &(_, to) in &adj[cell as usize] {
+                if !placed[to as usize] {
+                    placed[to as usize] = true;
+                    frontier.push_back(to);
+                }
+            }
+        }
+        let mut slot_of = vec![0u32; n];
+        for (slot, &cell) in cell_of.iter().enumerate() {
+            slot_of[cell as usize] = slot as u32;
+        }
+        CellLayout { slot_of, cell_of }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Component, PulseContext};
+    use crate::netlist::Pin;
+    use crate::time::{Duration, Time};
+
+    #[derive(Debug)]
+    struct Dummy;
+    impl Component for Dummy {
+        fn kind(&self) -> &'static str {
+            "dummy"
+        }
+        fn pulse(&mut self, _pin: u8, _now: Time, _ctx: &mut PulseContext<'_>) {}
+    }
+
+    fn chain(n: usize) -> Netlist {
+        let mut netlist = Netlist::new();
+        let ids: Vec<ComponentId> = (0..n)
+            .map(|i| netlist.add(format!("c{i}"), Box::new(Dummy)))
+            .collect();
+        for w in ids.windows(2) {
+            netlist.connect(Pin::new(w[0], 0), Pin::new(w[1], 0), Duration::from_ps(3.0));
+        }
+        netlist
+    }
+
+    #[test]
+    fn identity_round_trips() {
+        let l = CellLayout::identity(5);
+        assert_eq!(l.len(), 5);
+        assert!(l.is_identity());
+        for i in 0..5 {
+            assert_eq!(l.slot_of(ComponentId(i as u32)), i);
+            assert_eq!(l.cell_of(i), ComponentId(i as u32));
+        }
+    }
+
+    #[test]
+    fn shuffled_is_a_seeded_bijection() {
+        let a = CellLayout::shuffled(64, 7);
+        let b = CellLayout::shuffled(64, 7);
+        assert_eq!(a, b, "same seed, same permutation");
+        assert_ne!(a, CellLayout::shuffled(64, 8));
+        let mut seen = [false; 64];
+        for slot in 0..64 {
+            let cell = a.cell_of(slot);
+            assert!(!seen[cell.index()]);
+            seen[cell.index()] = true;
+            assert_eq!(a.slot_of(cell), slot);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn duplicate_slot_panics() {
+        let _ = CellLayout::from_permutation(vec![0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slot_panics() {
+        let _ = CellLayout::from_permutation(vec![0, 3]);
+    }
+
+    #[test]
+    fn chain_layout_is_the_identity() {
+        // A forward chain is already in firing order.
+        let l = chain(6).layout();
+        assert!(l.is_identity());
+    }
+
+    #[test]
+    fn layout_follows_firing_order_not_construction_order() {
+        // The chain is constructed backwards (cell 7 feeds 6 feeds … 0),
+        // so construction order is the exact reverse of firing order. The
+        // affinity layout must place the source at slot 0 and walk the
+        // chain forward — and it must be a deterministic bijection.
+        let mut netlist = Netlist::new();
+        let ids: Vec<ComponentId> = (0..8)
+            .map(|i| netlist.add(format!("c{i}"), Box::new(Dummy)))
+            .collect();
+        for i in (1..8).rev() {
+            netlist.connect(
+                Pin::new(ids[i], 0),
+                Pin::new(ids[i - 1], 0),
+                Duration::from_ps(3.0),
+            );
+        }
+        let l = netlist.layout();
+        for (slot, i) in (0..8).rev().enumerate() {
+            assert_eq!(l.slot_of(ids[i]), slot);
+        }
+        assert_eq!(l, netlist.layout(), "layout is deterministic");
+    }
+
+    #[test]
+    fn short_wires_order_the_frontier_first() {
+        // One source fans out over a slow wire to cell 1 and a fast wire
+        // to cell 2: the fast destination must take the earlier slot.
+        let mut netlist = Netlist::new();
+        let s = netlist.add("s", Box::new(Dummy));
+        let slow = netlist.add("slow", Box::new(Dummy));
+        let fast = netlist.add("fast", Box::new(Dummy));
+        netlist.connect(Pin::new(s, 0), Pin::new(slow, 0), Duration::from_ps(9.0));
+        netlist.connect(Pin::new(s, 1), Pin::new(fast, 0), Duration::from_ps(2.0));
+        let l = netlist.layout();
+        assert_eq!(l.slot_of(s), 0);
+        assert_eq!(l.slot_of(fast), 1);
+        assert_eq!(l.slot_of(slow), 2);
+    }
+
+    #[test]
+    fn cycle_only_netlists_still_get_total_layouts() {
+        // Two cells feeding each other: no source cell exists, so the
+        // fallback seeds the lowest id.
+        let mut netlist = Netlist::new();
+        let a = netlist.add("a", Box::new(Dummy));
+        let b = netlist.add("b", Box::new(Dummy));
+        netlist.connect(Pin::new(a, 0), Pin::new(b, 0), Duration::from_ps(3.0));
+        netlist.connect(Pin::new(b, 0), Pin::new(a, 0), Duration::from_ps(3.0));
+        let l = netlist.layout();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.slot_of(a), 0);
+        assert_eq!(l.slot_of(b), 1);
+    }
+
+    #[test]
+    fn default_kind_tracks_the_feature() {
+        let expect = if cfg!(feature = "reference-layout") {
+            LayoutKind::Identity
+        } else {
+            LayoutKind::Affinity
+        };
+        assert_eq!(LayoutKind::default(), expect);
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for kind in LayoutKind::ALL {
+            assert_eq!(LayoutKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(LayoutKind::parse("no-such-layout"), None);
+    }
+}

@@ -52,27 +52,149 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::netlist::Pin;
+use crate::netlist::{ComponentId, Pin};
 use crate::time::Time;
 
-/// A pending pulse delivery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A pending pulse delivery, packed into two machine words (16 bytes —
+/// down from the seed's 24) so every wheel bucket, self-echo lane, sorted
+/// batch, and heap node carries 1.5× more events per cache line.
+///
+/// Packing:
+///
+/// * `tp` = `time_fs << 8 | pin` — 56 bits of femtosecond delivery time
+///   (≈ 72 s of simulated time, ~5 000 000× the longest soak) over the
+///   8-bit input-pin index.
+/// * `cs` = `component << 40 | seq` — the 24-bit *external* component id
+///   (16.7 M cells) over a 40-bit insertion sequence number (the
+///   simulator re-bases `seq` whenever its queue drains, so 2^40 bounds
+///   events *in flight with overlapping lifetimes*, not events ever
+///   simulated).
+///
+/// The packing is chosen so the total order `(time, component, seq)`
+/// falls out of comparing `(tp >> 8, cs)` — `cs` already orders by
+/// component then sequence natively. [`Event::new`] checks every field
+/// against its width and panics with a widening note on overflow; the
+/// compiled engine's pre-packed fan-out path uses `checked_add` for the
+/// same guarantee (see `CompiledNetlist`).
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Event {
-    /// Delivery time.
-    pub time: Time,
-    /// Per-simulator insertion sequence number (unique).
-    pub seq: u64,
-    /// Input pin the pulse is delivered to.
-    pub target: Pin,
+    /// `time_fs << 8 | pin`.
+    tp: u64,
+    /// `component << 40 | seq`.
+    cs: u64,
 }
 
+const _: () = assert!(
+    std::mem::size_of::<Event>() == 16 && std::mem::align_of::<Event>() == 8,
+    "Event must stay two machine words; widen the packing consciously"
+);
+
+/// Bits of `Event.tp` holding the input-pin index (the low byte).
+pub(crate) const EVENT_PIN_BITS: u32 = 8;
+/// Bits of `Event.cs` holding the sequence number (the low 40).
+pub(crate) const EVENT_SEQ_BITS: u32 = 40;
+/// Exclusive upper bound on a packable femtosecond timestamp.
+pub(crate) const EVENT_TIME_LIMIT_FS: u64 = 1 << (64 - EVENT_PIN_BITS);
+/// Exclusive upper bound on a packable component index.
+pub(crate) const EVENT_COMPONENT_LIMIT: u64 = 1 << (64 - EVENT_SEQ_BITS);
+/// Exclusive upper bound on a packable sequence number.
+pub(crate) const EVENT_SEQ_LIMIT: u64 = 1 << EVENT_SEQ_BITS;
+
 /// The total-order key of an event — see [`Event::key`].
-type EventKey = (Time, crate::netlist::ComponentId, u64);
+type EventKey = (u64, u64);
 
 impl Event {
-    /// The total ordering key: `(time, component id, sequence)`.
+    /// Packs a delivery, checking every field against its bit width.
+    #[inline]
+    pub(crate) fn new(time: Time, seq: u64, target: Pin) -> Event {
+        let t = time.as_fs();
+        let c = target.component.index() as u64;
+        assert!(
+            t < EVENT_TIME_LIMIT_FS,
+            "event time {t} fs exceeds the 56-bit packed window — widen Event.tp"
+        );
+        assert!(
+            c < EVENT_COMPONENT_LIMIT,
+            "component id {c} exceeds the 24-bit packed window — widen Event.cs"
+        );
+        assert!(
+            seq < EVENT_SEQ_LIMIT,
+            "sequence {seq} exceeds the 40-bit packed window — widen Event.cs"
+        );
+        Event {
+            tp: t << EVENT_PIN_BITS | u64::from(target.index),
+            cs: c << EVENT_SEQ_BITS | seq,
+        }
+    }
+
+    /// Reassembles an event from pre-packed words (the compiled engine's
+    /// fan-out fast path). Width checks are the caller's job — the fan-out
+    /// tables are validated at lowering time and the time addition is
+    /// `checked_add`-guarded.
+    #[inline]
+    pub(crate) const fn from_words(tp: u64, cs: u64) -> Event {
+        Event { tp, cs }
+    }
+
+    /// Delivery time.
+    #[inline]
+    pub(crate) fn time(&self) -> Time {
+        Time::from_fs(self.tp >> EVENT_PIN_BITS)
+    }
+
+    /// Delivery time in femtoseconds.
+    #[inline]
+    pub(crate) fn time_fs(&self) -> u64 {
+        self.tp >> EVENT_PIN_BITS
+    }
+
+    /// Per-simulator insertion sequence number.
+    #[inline]
+    pub(crate) fn seq(&self) -> u64 {
+        self.cs & (EVENT_SEQ_LIMIT - 1)
+    }
+
+    /// Index of the target component (the external id — layout
+    /// permutations never leak into events, so the total order is
+    /// placement-independent by construction).
+    #[inline]
+    pub(crate) fn component_index(&self) -> usize {
+        (self.cs >> EVENT_SEQ_BITS) as usize
+    }
+
+    /// Target input-pin index on the component.
+    #[inline]
+    pub(crate) fn pin(&self) -> u8 {
+        self.tp as u8
+    }
+
+    /// The target pin, reassembled.
+    #[inline]
+    pub(crate) fn target(&self) -> Pin {
+        Pin::new(ComponentId(self.component_index() as u32), self.pin())
+    }
+
+    /// The `component << 40 | seq` word — the low half of the packed
+    /// total-order key, shared with the lane-batched queue's `u128` keys.
+    #[inline]
+    pub(crate) fn cs_word(&self) -> u64 {
+        self.cs
+    }
+
+    /// The total ordering key: `(time, component id, sequence)` — packed
+    /// as `(tp >> 8, cs)`, which compares identically.
     fn key(&self) -> EventKey {
-        (self.time, self.target.component, self.seq)
+        (self.tp >> EVENT_PIN_BITS, self.cs)
+    }
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Event")
+            .field("time", &self.time())
+            .field("seq", &self.seq())
+            .field("target", &self.target())
+            .finish()
     }
 }
 
@@ -218,7 +340,7 @@ pub(crate) struct CalendarQueue {
 }
 
 fn tick_of(ev: &Event) -> u64 {
-    ev.time.as_fs() / BUCKET_WIDTH_FS
+    ev.time_fs() / BUCKET_WIDTH_FS
 }
 
 impl CalendarQueue {
@@ -391,11 +513,7 @@ impl Lane {
     fn empty() -> Self {
         Lane {
             len: 0,
-            slots: [Event {
-                time: Time::from_fs(0),
-                seq: 0,
-                target: Pin::new(crate::netlist::ComponentId(0), 0),
-            }; LANE_CAPACITY],
+            slots: [Event::from_words(0, 0); LANE_CAPACITY],
         }
     }
 }
@@ -473,23 +591,23 @@ pub(crate) struct LaneBatchedQueue {
 }
 
 fn lb_tick_of(ev: &Event) -> u64 {
-    ev.time.as_fs() / LB_BUCKET_WIDTH_FS
+    ev.time_fs() / LB_BUCKET_WIDTH_FS
 }
 
 /// The total-order key of `ev`, packed into one `u128` for branchless
 /// compares, valid only among events of the bucket starting at `base`
 /// femtoseconds: time offset within the bucket (< 2^14) above the
-/// component id (32 bits) above the sequence number (64 bits). Identical
-/// order to [`Event::key`] within a bucket — which is the only scope the
+/// event's `cs` word — which already packs component id over sequence
+/// number in order (the 16-byte Event packing pays for itself here: the
+/// key is one subtract, one shift, one or). Identical order to
+/// [`Event::key`] within a bucket — which is the only scope the
 /// lane-batched queue ever sorts or merges in; cross-bucket order is the
 /// wheel's job.
 #[inline]
 fn lb_key(ev: &Event, base: u64) -> u128 {
-    let dt = ev.time.as_fs() - base;
+    let dt = ev.time_fs() - base;
     debug_assert!(dt < LB_BUCKET_WIDTH_FS, "event outside its bucket");
-    (u128::from(dt) << 96)
-        | (u128::from(ev.target.component.index() as u32) << 64)
-        | u128::from(ev.seq)
+    (u128::from(dt) << 64) | u128::from(ev.cs_word())
 }
 
 impl LaneBatchedQueue {
@@ -535,7 +653,7 @@ impl LaneBatchedQueue {
             if self.horizon_min.is_none_or(|m| key < m) {
                 self.horizon_min = Some(key);
             }
-            let c = ev.target.component.index();
+            let c = ev.component_index();
             if c >= self.lanes.len() {
                 self.lanes.resize_with(c + 1, Lane::empty);
             }
@@ -813,6 +931,23 @@ impl Queue {
             Queue::Lane(q) => q.pop(),
         }
     }
+
+    /// A cheap hint at the event most likely to pop next, used by the
+    /// serve loop to software-prefetch the next delivery's slot and
+    /// fan-out lines while the current delivery computes. The hint is
+    /// free where the next event is already staged — the lane-batched
+    /// queue's cursor-served sorted batch, the calendar queue's drain
+    /// buffer, the heap's root — and deliberately approximate elsewhere:
+    /// a `None` or a stale hint (e.g. a lane newcomer about to outrank
+    /// the batch head) only costs a missed prefetch, never correctness.
+    #[inline]
+    pub fn peek_hint(&self) -> Option<&Event> {
+        match self {
+            Queue::Wheel(q) => q.drain.last(),
+            Queue::Heap(q) => q.heap.peek().map(|Reverse(ev)| ev),
+            Queue::Lane(q) => q.batch.get(q.pos),
+        }
+    }
 }
 
 /// Test-only scripting surface for the scheduler torture suite.
@@ -849,6 +984,19 @@ pub mod torture {
         Pop,
     }
 
+    /// Builds an event at `time_fs` targeting input pin 0 of
+    /// `component` — the single construction site shared by the replay
+    /// driver, the queue unit tests, and the queue microbench, so a
+    /// change to the `Event` packing is a one-site change for the whole
+    /// test corpus.
+    pub(crate) fn event(time_fs: u64, component: u32, seq: u64) -> Event {
+        Event::new(
+            Time::from_fs(time_fs),
+            seq,
+            Pin::new(ComponentId(component), 0),
+        )
+    }
+
     /// Replays `script` against a fresh queue of `kind` and returns every
     /// popped `(time_fs, component, seq)` triple — the scripted pops
     /// first, then a full drain. Two kinds replaying the same script must
@@ -860,17 +1008,13 @@ pub mod torture {
         let drain = |q: &mut Queue, out: &mut Vec<(u64, u32, u64)>, n: usize| {
             for _ in 0..n {
                 let Some(ev) = q.pop() else { break };
-                out.push((ev.time.as_fs(), ev.target.component.index() as u32, ev.seq));
+                out.push((ev.time_fs(), ev.component_index() as u32, ev.seq()));
             }
         };
         for &op in script {
             match op {
                 Op::Push { time_fs, component } => {
-                    q.push(Event {
-                        time: Time::from_fs(time_fs),
-                        seq,
-                        target: Pin::new(ComponentId(component), 0),
-                    });
+                    q.push(event(time_fs, component, seq));
                     seq += 1;
                 }
                 Op::Pop => drain(&mut q, &mut out, 1),
@@ -884,21 +1028,58 @@ pub mod torture {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::netlist::ComponentId;
 
     fn ev(time_ps: f64, seq: u64, comp: u32) -> Event {
-        Event {
-            time: Time::from_ps(time_ps),
-            seq,
-            target: Pin::new(ComponentId(comp), 0),
-        }
+        torture::event(Time::from_ps(time_ps).as_fs(), comp, seq)
     }
 
     /// Drains a queue and returns the popped `(time, seq)` pairs.
     fn drain(q: &mut Queue) -> Vec<(Time, u64)> {
         std::iter::from_fn(|| q.pop())
-            .map(|e| (e.time, e.seq))
+            .map(|e| (e.time(), e.seq()))
             .collect()
+    }
+
+    #[test]
+    fn event_packing_round_trips_every_field() {
+        let pin = Pin::new(ComponentId((EVENT_COMPONENT_LIMIT - 1) as u32), 0xA5);
+        let e = Event::new(
+            Time::from_fs(EVENT_TIME_LIMIT_FS - 1),
+            EVENT_SEQ_LIMIT - 1,
+            pin,
+        );
+        assert_eq!(e.time_fs(), EVENT_TIME_LIMIT_FS - 1);
+        assert_eq!(e.seq(), EVENT_SEQ_LIMIT - 1);
+        assert_eq!(e.target(), pin);
+        assert_eq!(e.pin(), 0xA5);
+        assert_eq!(e.component_index() as u64, EVENT_COMPONENT_LIMIT - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "56-bit packed window")]
+    fn event_time_overflow_panics_with_widening_note() {
+        let _ = Event::new(
+            Time::from_fs(EVENT_TIME_LIMIT_FS),
+            0,
+            Pin::new(ComponentId(0), 0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "40-bit packed window")]
+    fn event_seq_overflow_panics_with_widening_note() {
+        let _ = Event::new(
+            Time::from_fs(0),
+            EVENT_SEQ_LIMIT,
+            Pin::new(ComponentId(0), 0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "24-bit packed window")]
+    fn event_component_overflow_panics_with_widening_note() {
+        let pin = Pin::new(ComponentId(EVENT_COMPONENT_LIMIT as u32), 0);
+        let _ = Event::new(Time::from_fs(0), 0, pin);
     }
 
     #[test]
@@ -965,7 +1146,7 @@ mod tests {
             q.push(ev(7.0, 10, 4));
             q.push(ev(7.0, 11, 4));
             q.push(ev(7.0, 12, 4));
-            let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+            let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq()).collect();
             assert_eq!(seqs, vec![10, 11, 12], "{kind}");
         }
     }
@@ -979,7 +1160,7 @@ mod tests {
             q.push(ev(7.0, 0, 9));
             q.push(ev(7.0, 1, 2));
             let comps: Vec<u32> = std::iter::from_fn(|| q.pop())
-                .map(|e| e.target.component.index() as u32)
+                .map(|e| e.component_index() as u32)
                 .collect();
             assert_eq!(comps, vec![2, 9], "{kind}");
         }
@@ -996,7 +1177,7 @@ mod tests {
             q.push(reseat);
             q.push(ev(4.0, 1, 1));
             q.push(ev(9_999.0, 2, 1)); // far event to exercise overflow re-seating
-            let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+            let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq()).collect();
             assert_eq!(seqs, vec![1, 0, 2], "{kind}");
         }
     }
@@ -1011,14 +1192,14 @@ mod tests {
         q.push(ev(1.0, 0, 5));
         q.push(ev(1.0, 1, 5));
         let first = q.pop().expect("pending");
-        assert_eq!(first.seq, 0);
+        assert_eq!(first.seq(), 0);
         // Mid-serve: seq 1 is still unserved, so these park on lanes.
         for seq in 2..(2 + 2 * LANE_CAPACITY as u64) {
             q.push(ev(1.0, seq, 5));
         }
         // Lower component id at the same instant must jump the queue.
         q.push(ev(1.0, 99, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq()).collect();
         let mut expect = vec![99, 1];
         expect.extend(2..(2 + 2 * LANE_CAPACITY as u64));
         assert_eq!(order, expect);
@@ -1042,11 +1223,7 @@ mod tests {
                 // Delays from sub-bucket to beyond-horizon scale.
                 let delay_fs = [120, 500, 2_500, 40_000, 5_000_000][rng.next_below(5)]
                     + rng.next_below(997) as u64;
-                let e = Event {
-                    time: Time::from_fs(now_fs + delay_fs),
-                    seq,
-                    target: Pin::new(ComponentId(rng.next_below(7) as u32), 0),
-                };
+                let e = torture::event(now_fs + delay_fs, rng.next_below(7) as u32, seq);
                 seq += 1;
                 heap.push(e);
                 wheel.push(e);
@@ -1057,7 +1234,7 @@ mod tests {
                 let c = lane.pop().expect("mirrors heap");
                 assert_eq!(a, b);
                 assert_eq!(a, c);
-                now_fs = a.time.as_fs();
+                now_fs = a.time_fs();
                 popped.push(a);
             }
             assert_eq!(heap.len(), wheel.len());
@@ -1066,14 +1243,13 @@ mod tests {
         let reference = drain(&mut heap);
         assert_eq!(drain(&mut wheel), reference);
         assert_eq!(drain(&mut lane), reference);
-        assert!(popped.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(popped.windows(2).all(|w| w[0].time() <= w[1].time()));
     }
 }
 
 #[cfg(test)]
 mod bench {
     use super::*;
-    use crate::netlist::ComponentId;
     use std::time::Instant;
 
     #[test]
@@ -1090,20 +1266,16 @@ mod bench {
             let mut now_fs = 0u64;
             let mut seq = 0u64;
             // steady state: 1 in flight, 3ps hops
-            q.push(Event {
-                time: Time::from_fs(0),
-                seq: 0,
-                target: Pin::new(ComponentId(0), 0),
-            });
+            q.push(torture::event(0, 0, 0));
             for _ in 0..n {
                 let ev = q.pop().unwrap();
-                now_fs = ev.time.as_fs();
+                now_fs = ev.time_fs();
                 seq += 1;
-                q.push(Event {
-                    time: Time::from_fs(now_fs + 3_000),
+                q.push(torture::event(
+                    now_fs + 3_000,
+                    ev.component_index() as u32,
                     seq,
-                    target: ev.target,
-                });
+                ));
             }
             let el = t0.elapsed();
             eprintln!(
@@ -1113,21 +1285,17 @@ mod bench {
             // deeper queue: 64 in flight
             let mut q = Queue::new(kind);
             for i in 0..64u64 {
-                q.push(Event {
-                    time: Time::from_fs(i * 500),
-                    seq: i,
-                    target: Pin::new(ComponentId(i as u32), 0),
-                });
+                q.push(torture::event(i * 500, i as u32, i));
             }
             let t0 = Instant::now();
             for _ in 0..n {
                 let ev = q.pop().unwrap();
                 seq += 1;
-                q.push(Event {
-                    time: Time::from_fs(ev.time.as_fs() + 32_000),
+                q.push(torture::event(
+                    ev.time_fs() + 32_000,
+                    ev.component_index() as u32,
                     seq,
-                    target: ev.target,
-                });
+                ));
             }
             let el = t0.elapsed();
             eprintln!(

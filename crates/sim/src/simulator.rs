@@ -14,9 +14,10 @@
 
 use std::collections::HashMap;
 
-use crate::compiled::{CompiledNetlist, EngineKind};
+use crate::compiled::{CompiledNetlist, EngineKind, SLOT_BYTES};
 use crate::component::{CellLabel, PulseContext};
 use crate::fault::{FaultPlan, FaultState};
+use crate::layout::{CellLayout, LayoutKind};
 use crate::netlist::{Netlist, Pin};
 use crate::queue::{Event, Queue, SchedulerKind};
 use crate::time::{Duration, Time};
@@ -61,6 +62,17 @@ pub struct SimStats {
     /// Total simulation time advanced (the time of the latest processed
     /// event).
     pub sim_time_advanced: Duration,
+    /// Bytes of compiled cell state the delivery path touched: one
+    /// 64-byte `CellSlot` line per delivered pulse. Counted identically
+    /// by both engines (the dyn interpreter charges the slot-model cost
+    /// its boxed cells correspond to), so locality work shows up as the
+    /// same byte count moving faster — the equivalence suites assert the
+    /// counter matches across engines, schedulers, and layouts.
+    pub slot_bytes_touched: u64,
+    /// Fan-out CSR rows consulted: one per emission (every emission
+    /// resolves exactly one source pin's fan-out row, hit or miss).
+    /// Engine-independent by the same construction.
+    pub fanout_rows_visited: u64,
 }
 
 impl SimStats {
@@ -73,6 +85,8 @@ impl SimStats {
         self.events_processed += other.events_processed;
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
         self.sim_time_advanced += other.sim_time_advanced;
+        self.slot_bytes_touched += other.slot_bytes_touched;
+        self.fanout_rows_visited += other.fanout_rows_visited;
     }
 }
 
@@ -105,6 +119,15 @@ pub struct Simulator {
     degraded_drops: u64,
     fault: Option<FaultState>,
     engine: EngineKind,
+    /// Cell-placement policy for the compiled engine's slot array
+    /// (affinity BFS order by default, identity under `reference-layout`).
+    /// Purely internal to the lowering: every observable is keyed on
+    /// external [`ComponentId`](crate::netlist::ComponentId)s, so the
+    /// layout can change without changing a single trace byte.
+    layout_kind: LayoutKind,
+    /// Explicit placement override (differential tests drive arbitrary
+    /// seeded permutations through this); wins over `layout_kind`.
+    layout_override: Option<CellLayout>,
     /// Lazily compiled execution cache (compiled engine only). Dropped —
     /// after syncing its state back into the boxed components — whenever
     /// the netlist or the probe set could change under it.
@@ -148,6 +171,8 @@ impl Simulator {
             degraded_drops: 0,
             fault: None,
             engine,
+            layout_kind: LayoutKind::default(),
+            layout_override: None,
             compiled: None,
             emit_scratch: Vec::new(),
         }
@@ -196,6 +221,36 @@ impl Simulator {
         );
         self.drop_compiled();
         self.engine = engine;
+    }
+
+    /// The cell-placement policy the compiled engine lowers with.
+    pub fn layout_kind(&self) -> LayoutKind {
+        self.layout_kind
+    }
+
+    /// Swaps the cell-placement policy. Unlike scheduler/engine swaps this
+    /// is legal at any point: placement is internal to the compiled
+    /// lowering (events carry external component ids), so the cache is
+    /// simply synced back and relowered at the next run with identical
+    /// observables. Clears any [`Simulator::set_cell_layout`] override.
+    pub fn set_layout_kind(&mut self, kind: LayoutKind) {
+        self.drop_compiled();
+        self.layout_kind = kind;
+        self.layout_override = None;
+    }
+
+    /// Pins an explicit cell placement for the compiled lowering,
+    /// overriding [`Simulator::layout_kind`]. The differential suites use
+    /// this to drive seeded arbitrary permutations and assert that every
+    /// observable is byte-identical to the identity placement.
+    ///
+    /// # Panics
+    ///
+    /// The next compiled run panics if the permutation's length does not
+    /// match the netlist's component count.
+    pub fn set_cell_layout(&mut self, layout: CellLayout) {
+        self.drop_compiled();
+        self.layout_override = Some(layout);
     }
 
     /// Drops the compiled cache (if any), first restoring every touched
@@ -348,11 +403,7 @@ impl Simulator {
             self.now
         );
         let seq = self.next_seq();
-        self.push(Event {
-            time: at,
-            seq,
-            target: pin,
-        });
+        self.push(Event::new(at, seq, pin));
     }
 
     /// Timing violations recorded so far.
@@ -398,9 +449,48 @@ impl Simulator {
     }
 
     fn run_until(&mut self, deadline: Option<Time>) -> Result<RunStats, SimError> {
-        match self.engine {
+        let result = match self.engine {
             EngineKind::Compiled => self.run_until_compiled(deadline),
             EngineKind::DynInterpreter => self.run_until_dyn(deadline),
+        };
+        // Re-base the tie-break sequence whenever the queue fully drains:
+        // the packed event's 40-bit seq field then only has to bound
+        // events in flight at once, not the lifetime total. (Order among
+        // co-pending events is unaffected — none survive the drain.)
+        if self.queue.is_empty() {
+            self.seq = 0;
+        }
+        result
+    }
+
+    /// Builds the compiled engine's slot tables (resolving the active
+    /// [`CellLayout`]) if they are not already built. A no-op under the
+    /// dyn interpreter or once compiled.
+    fn ensure_compiled(&mut self) {
+        if self.compiled.is_none() {
+            let layout = match &self.layout_override {
+                Some(layout) => layout.clone(),
+                None => match self.layout_kind {
+                    LayoutKind::Affinity => self.netlist.layout(),
+                    LayoutKind::Identity => CellLayout::identity(self.netlist.component_count()),
+                },
+            };
+            self.compiled = Some(CompiledNetlist::compile(
+                &self.netlist,
+                &self.probes,
+                &layout,
+            ));
+        }
+    }
+
+    /// Pays the lazy one-time setup for the active engine now instead of
+    /// inside the first [`run`](Simulator::run): under the compiled
+    /// engine this computes the cell layout and builds the slot tables.
+    /// Useful to warm a simulator before a latency-sensitive or measured
+    /// run; a no-op under the dyn interpreter or when already prepared.
+    pub fn prepare(&mut self) {
+        if self.engine == EngineKind::Compiled {
+            self.ensure_compiled();
         }
     }
 
@@ -418,8 +508,10 @@ impl Simulator {
             let Some(ev) = self.queue.pop() else {
                 break Ok(stats);
             };
+            let time = ev.time();
+            let target = ev.target();
             if let Some(d) = deadline {
-                if ev.time > d {
+                if time > d {
                     // Re-seat the event; its key (time, component, seq) is
                     // unchanged, so the schedule is unaffected.
                     self.queue.push(ev);
@@ -431,26 +523,22 @@ impl Simulator {
                 processed <= self.event_budget,
                 "event budget exhausted ({processed} events): runaway feedback loop?"
             );
-            self.now = ev.time;
+            self.now = time;
             self.stats.events_processed += 1;
-            self.stats.sim_time_advanced = ev.time - Time::ZERO;
-            stats.last_event = Some(ev.time);
+            self.stats.sim_time_advanced = time - Time::ZERO;
+            stats.last_event = Some(time);
 
             // Planned pin faults act on the delivery, before the cell sees
             // the pulse.
             if let Some(fault) = self.fault.as_mut() {
-                let f = fault.on_delivery(ev.target);
+                let f = fault.on_delivery(target);
                 if let Some(offset) = f.echo_after {
                     let seq = self.seq;
                     self.seq += 1;
                     Self::push_raw(
                         &mut self.queue,
                         &mut self.stats,
-                        Event {
-                            time: ev.time + offset,
-                            seq,
-                            target: ev.target,
-                        },
+                        Event::new(time + offset, seq, target),
                     );
                 }
                 if f.drop {
@@ -458,11 +546,12 @@ impl Simulator {
                 }
             }
             stats.delivered += 1;
+            self.stats.slot_bytes_touched += SLOT_BYTES;
 
             let violations_before = self.violations.len();
             emitted_buf.clear();
             {
-                let (component, label) = self.netlist.component_and_label_mut(ev.target.component);
+                let (component, label) = self.netlist.component_and_label_mut(target.component);
                 let mut ctx = PulseContext {
                     emitted: &mut emitted_buf,
                     violations: &mut self.violations,
@@ -470,7 +559,7 @@ impl Simulator {
                     policy: self.policy,
                     degraded_drops: &mut self.degraded_drops,
                 };
-                component.pulse(ev.target.index, ev.time, &mut ctx);
+                component.pulse(target.index, time, &mut ctx);
             }
 
             // Per-instance delay variation scales the emitting cell's
@@ -479,12 +568,13 @@ impl Simulator {
             let factor = self
                 .fault
                 .as_mut()
-                .map_or(1.0, |f| f.delay_factor(ev.target.component));
+                .map_or(1.0, |f| f.delay_factor(target.component));
 
             for &(out_pin, at) in emitted_buf.iter() {
-                let at = scale_emission(at, ev.time, factor);
+                let at = scale_emission(at, time, factor);
                 stats.emitted += 1;
-                let source = Pin::new(ev.target.component, out_pin);
+                self.stats.fanout_rows_visited += 1;
+                let source = Pin::new(target.component, out_pin);
                 if let Some(ids) = self.probes.get(&source) {
                     for &id in ids {
                         self.probe_records[id.0 as usize].record(at);
@@ -498,11 +588,7 @@ impl Simulator {
                     Self::push_raw(
                         &mut self.queue,
                         &mut self.stats,
-                        Event {
-                            time: at + delay,
-                            seq,
-                            target: to,
-                        },
+                        Event::new(at + delay, seq, to),
                     );
                 }
             }
@@ -524,10 +610,14 @@ impl Simulator {
     /// exit path the touched cells' state is synced back into the boxed
     /// components, so between runs both representations agree.
     fn run_until_compiled(&mut self, deadline: Option<Time>) -> Result<RunStats, SimError> {
-        if self.compiled.is_none() {
-            self.compiled = Some(CompiledNetlist::compile(&self.netlist, &self.probes));
-        }
+        self.ensure_compiled();
         let mut compiled = self.compiled.take().expect("compiled just above");
+        // Prefetching only pays when the slot array is actually
+        // locality-ordered; with the identity placement (the
+        // `reference-layout` differential baseline) the serve loop stays
+        // byte-for-byte the pre-layout delivery path.
+        let want_prefetch =
+            self.layout_override.is_some() || self.layout_kind == LayoutKind::Affinity;
         let mut emitted_buf = std::mem::take(&mut self.emit_scratch);
         let mut stats = RunStats::default();
         let mut processed: u64 = 0;
@@ -538,12 +628,25 @@ impl Simulator {
         // both engines to the same `SimStats`).
         let mut seq = self.seq;
         let mut peak = self.stats.peak_queue_depth;
+        let mut slot_bytes: u64 = 0;
+        let mut fan_rows: u64 = 0;
         let result = loop {
             let Some(ev) = self.queue.pop() else {
                 break Ok(stats);
             };
+            // Warm the next delivery's cache lines (its cell slot and its
+            // flat-table row) while this one is being served. The hint
+            // targets whatever the scheduler will pop next — exact for the
+            // lane batch and the heap, best-effort for the calendar drain.
+            if want_prefetch {
+                if let Some(next) = self.queue.peek_hint() {
+                    compiled.prefetch_cell(next.component_index());
+                }
+            }
+            let time = ev.time();
+            let cell = ev.component_index();
             if let Some(d) = deadline {
-                if ev.time > d {
+                if time > d {
                     self.queue.push(ev);
                     break Ok(stats);
                 }
@@ -553,17 +656,13 @@ impl Simulator {
                 processed <= self.event_budget,
                 "event budget exhausted ({processed} events): runaway feedback loop?"
             );
-            self.now = ev.time;
-            stats.last_event = Some(ev.time);
+            self.now = time;
+            stats.last_event = Some(time);
 
             if let Some(fault) = self.fault.as_mut() {
-                let f = fault.on_delivery(ev.target);
+                let f = fault.on_delivery(ev.target());
                 if let Some(offset) = f.echo_after {
-                    self.queue.push(Event {
-                        time: ev.time + offset,
-                        seq,
-                        target: ev.target,
-                    });
+                    self.queue.push(Event::new(time + offset, seq, ev.target()));
                     seq += 1;
                     peak = peak.max(self.queue.len());
                 }
@@ -572,42 +671,45 @@ impl Simulator {
                 }
             }
             stats.delivered += 1;
+            slot_bytes += SLOT_BYTES;
 
+            // One dense table load translates the event's external cell id
+            // into its layout slot; everything after this line — state,
+            // fan-out, probes — is slot-indexed and pre-packed.
+            let slot = compiled.slot_index(cell);
             let violations_before = self.violations.len();
             emitted_buf.clear();
             compiled.deliver(
                 &mut self.netlist,
-                ev.target,
-                ev.time,
+                cell as u32,
+                slot,
+                ev.pin(),
+                time,
                 &mut emitted_buf,
                 &mut self.violations,
                 self.policy,
                 &mut self.degraded_drops,
             );
 
-            let factor = self
-                .fault
-                .as_mut()
-                .map_or(1.0, |f| f.delay_factor(ev.target.component));
+            let factor = self.fault.as_mut().map_or(1.0, |f| {
+                f.delay_factor(crate::netlist::ComponentId(cell as u32))
+            });
 
             for &(out_pin, at) in emitted_buf.iter() {
-                let at = scale_emission(at, ev.time, factor);
+                let at = scale_emission(at, time, factor);
                 stats.emitted += 1;
-                let source = Pin::new(ev.target.component, out_pin);
+                fan_rows += 1;
                 // Pins beyond the table stride have no wires and no
                 // probes — nothing to do, exactly like the hash-map miss.
-                let Some(flat) = compiled.flat(source) else {
+                let Some(flat) = compiled.flat_at(slot, out_pin) else {
                     continue;
                 };
                 for &id in compiled.probes(flat) {
                     self.probe_records[id.0 as usize].record(at);
                 }
-                for &(to, delay) in compiled.fanout(flat) {
-                    self.queue.push(Event {
-                        time: at + delay,
-                        seq,
-                        target: to,
-                    });
+                let at_fs = at.as_fs();
+                for &fo in compiled.fanout(flat) {
+                    self.queue.push(fo.event_at(at_fs, seq));
                     seq += 1;
                 }
                 peak = peak.max(self.queue.len());
@@ -623,6 +725,8 @@ impl Simulator {
         self.seq = seq;
         self.stats.peak_queue_depth = peak;
         self.stats.events_processed += processed;
+        self.stats.slot_bytes_touched += slot_bytes;
+        self.stats.fanout_rows_visited += fan_rows;
         if processed > 0 {
             self.stats.sim_time_advanced = self.now - Time::ZERO;
         }
@@ -1125,6 +1229,75 @@ mod tests {
         sim.set_fault_plan(FaultPlan::new(0).spurious(first, Time::from_ps(7.0)));
         sim.run();
         assert_eq!(sim.probe_trace(probe).len(), 1);
+    }
+
+    #[test]
+    fn default_layout_tracks_the_feature() {
+        let expect = if cfg!(feature = "reference-layout") {
+            LayoutKind::Identity
+        } else {
+            LayoutKind::Affinity
+        };
+        assert_eq!(LayoutKind::default(), expect);
+        assert_eq!(Simulator::new(Netlist::new()).layout_kind(), expect);
+    }
+
+    #[test]
+    fn layout_choices_produce_identical_observables() {
+        // Placement is internal to the compiled lowering: the BFS affinity
+        // order, the identity order, and an adversarial shuffled override
+        // must all yield byte-identical traces and counters. This is the
+        // unit-sized version of the permutation differential suite.
+        let run_with = |setup: &dyn Fn(&mut Simulator)| {
+            let mut n = Netlist::new();
+            let ids: Vec<_> = (0..6)
+                .map(|i| n.add(format!("r{i}"), Box::new(Repeater) as _))
+                .collect();
+            for w in ids.windows(2) {
+                n.connect(Pin::new(w[0], 0), Pin::new(w[1], 0), Duration::from_ps(0.5));
+            }
+            let mut sim = Simulator::with_engine(n, SchedulerKind::default(), EngineKind::Compiled);
+            setup(&mut sim);
+            let probe = sim.probe(Pin::new(ids[5], 0), "end");
+            sim.inject(Pin::new(ids[0], 0), Time::ZERO);
+            sim.run();
+            (sim.probe_trace(probe).clone(), sim.stats())
+        };
+        let affinity = run_with(&|sim| sim.set_layout_kind(LayoutKind::Affinity));
+        let identity = run_with(&|sim| sim.set_layout_kind(LayoutKind::Identity));
+        let shuffled = run_with(&|sim| sim.set_cell_layout(CellLayout::shuffled(6, 0xBADC0DE)));
+        assert_eq!(affinity, identity);
+        assert_eq!(affinity, shuffled);
+    }
+
+    #[test]
+    fn set_layout_kind_is_legal_between_runs_and_mid_stream() {
+        let (mut sim, first, last) = chain(4);
+        sim.set_engine(EngineKind::Compiled);
+        let probe = sim.probe(last, "end");
+        sim.inject(first, Time::ZERO);
+        sim.run();
+        // Unlike scheduler/engine swaps, a layout swap never needs the
+        // queue empty — but between runs is the common case.
+        sim.set_layout_kind(LayoutKind::Identity);
+        sim.inject(first, Time::from_ps(500.0));
+        sim.run();
+        assert_eq!(sim.probe_trace(probe).len(), 2);
+    }
+
+    #[test]
+    fn delivery_counters_measure_slots_and_rows() {
+        for engine in [EngineKind::DynInterpreter, EngineKind::Compiled] {
+            let (mut sim, first, _last) = chain(4);
+            sim.set_engine(engine);
+            sim.inject(first, Time::ZERO);
+            let run = sim.run();
+            let stats = sim.stats();
+            // One 64-byte slot line per delivery, one CSR row per emission
+            // — identical definitions in both engines.
+            assert_eq!(stats.slot_bytes_touched, run.delivered * 64, "{engine:?}");
+            assert_eq!(stats.fanout_rows_visited, run.emitted, "{engine:?}");
+        }
     }
 
     #[test]

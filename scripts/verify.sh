@@ -46,6 +46,14 @@ cargo test -q --workspace --features lane-scheduler \
     --test scheduler_torture --test sim_equivalence --test rf_conformance
 cargo test -q --workspace --test scheduler_torture
 
+echo "== permutation differential (default placement: identity, no prefetch) =="
+# `reference-layout` pins the identity cell placement (the pre-layout
+# delivery path) as the default; the equivalence suite then drives the
+# BFS affinity layout and seeded arbitrary permutations against it and
+# requires byte-identical traces, violations, stats, and work counters.
+cargo test -q --workspace --features reference-layout \
+    --test engine_equivalence --test sim_equivalence --test rf_conformance
+
 echo "== robustness smoke reports =="
 cargo run -q --release -p hiperrf-bench --bin repro -- margins --smoke
 cargo run -q --release -p hiperrf-bench --bin repro -- faults --smoke
