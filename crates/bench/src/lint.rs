@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 
 use hiperrf::config::RfGeometry;
 use hiperrf::designs::registry;
+use hiperrf::hashing::{design_digest, design_digest_raw, digest_hex};
 use hiperrf::lint::lint_design;
 use sfq_lint::{RuleId, Severity};
 
@@ -35,7 +36,11 @@ pub fn lint_matrix(smoke: bool) -> String {
     for rule in RuleId::ALL {
         let _ = write!(out, " {:>w$}", rule.id(), w = col(rule));
     }
-    let _ = writeln!(out, " {:>7} {:>12} {:>7}", "JJs", "worst slack", "status");
+    let _ = writeln!(
+        out,
+        " {:>7} {:>12} {:>16} {:>7}",
+        "JJs", "worst slack", "typed=raw digest", "status"
+    );
 
     for design in registry() {
         for &g in sizes {
@@ -49,11 +54,23 @@ pub fn lint_matrix(smoke: bool) -> String {
                 let _ = write!(out, " {:>w$}", report.count(rule), w = col(rule));
             }
             let worst = report.timing.as_ref().and_then(|t| t.worst_slack_ps);
+            // The typed elaboration layer must reproduce the raw builders'
+            // netlists exactly; the column doubles as the CI witness.
+            let typed = design_digest(design, g);
+            let raw = design_digest_raw(design, g);
+            assert_eq!(
+                typed,
+                raw,
+                "{design} at {g}: typed digest {} != raw digest {}",
+                digest_hex(typed),
+                digest_hex(raw)
+            );
             let _ = writeln!(
                 out,
-                " {:>7} {:>12} {:>7}",
+                " {:>7} {:>12} {:>16} {:>7}",
                 report.census.jj_total(),
                 worst.map_or_else(|| "-".to_string(), |s| format!("{s:+.1} ps")),
+                digest_hex(typed),
                 "clean"
             );
         }
@@ -64,7 +81,8 @@ pub fn lint_matrix(smoke: bool) -> String {
          feedback loops (HiPerRF loopback, shift rings) and pulse-train pins whose\n\
          within-operation spacing the dynamic checkers guard. Errors would abort\n\
          this report; the budget column cross-checks the lint census against\n\
-         budget::structural_budget."
+         budget::structural_budget, and the typed=raw digest column asserts the\n\
+         typed elaboration layer reproduces the raw builders' netlists exactly."
     );
     out
 }

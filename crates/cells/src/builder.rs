@@ -54,6 +54,12 @@ impl CircuitBuilder {
         &self.netlist
     }
 
+    /// Exclusive access to the netlist under construction — the typed
+    /// layer routes its binds through [`Netlist::try_connect`] here.
+    pub(crate) fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.netlist
+    }
+
     /// Opens an instance scope (e.g. `"readport"`); cells added until the
     /// matching [`CircuitBuilder::pop_scope`] belong to it.
     pub fn push_scope(&mut self, scope: impl Into<String>) {

@@ -20,6 +20,7 @@ use crate::builder::CircuitBuilder;
 use crate::counter::CounterBit;
 use crate::timing::{HCDRO_PULSE_SEP_PS, MERGER_DELAY_PS, SPLITTER_DELAY_PS};
 use crate::transport::{Jtl, Merger, Splitter};
+use crate::typed::{Sink, TypedBuilder, Wire};
 
 /// Ports of an HC-CLK pulse tripler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +67,44 @@ pub fn build_hc_clk(b: &mut CircuitBuilder) -> HcClkPorts {
         HcClkPorts {
             input: Pin::new(s1, Splitter::IN),
             output: Pin::new(m_final, Merger::OUT),
+            first_pulse_delay: Duration::from_ps(SPLITTER_DELAY_PS + MERGER_DELAY_PS),
+        }
+    })
+}
+
+/// Endpoints of a typed HC-CLK pulse tripler (see [`build_hc_clk_typed`]).
+#[derive(Debug)]
+pub struct TypedHcClk<'brand> {
+    /// Enable sink: one pulse goes in here.
+    pub input: Sink<'brand>,
+    /// Train wire: three pulses, [`HCDRO_PULSE_SEP_PS`] apart, come out.
+    pub output: Wire<'brand>,
+    /// Latency from the input pulse to the *first* output pulse.
+    pub first_pulse_delay: Duration,
+}
+
+/// Typed twin of [`build_hc_clk`]: same cells in the same order, so both
+/// elaborations digest identically; the endpoints come back as affine
+/// handles instead of raw pins.
+pub fn build_hc_clk_typed<'b>(b: &mut TypedBuilder<'b>) -> TypedHcClk<'b> {
+    b.scoped("hcclk", |b| {
+        let s1 = b.splitter();
+        let s2 = b.splitter();
+        let m_mid = b.merger();
+        let m_final = b.merger();
+        b.bind(s1.out0, m_final.in_a);
+        let d2 = HCDRO_PULSE_SEP_PS - SPLITTER_DELAY_PS - MERGER_DELAY_PS;
+        let j1 = b.jtl_with_delay(Duration::from_ps(d2));
+        b.bind(s1.out1, j1.input);
+        b.bind(j1.out, s2.input);
+        b.bind(s2.out0, m_mid.in_a);
+        let j2 = b.jtl_with_delay(Duration::from_ps(HCDRO_PULSE_SEP_PS));
+        b.bind(s2.out1, j2.input);
+        b.bind(j2.out, m_mid.in_b);
+        b.bind(m_mid.out, m_final.in_b);
+        TypedHcClk {
+            input: s1.input,
+            output: m_final.out,
             first_pulse_delay: Duration::from_ps(SPLITTER_DELAY_PS + MERGER_DELAY_PS),
         }
     })
@@ -123,6 +162,48 @@ pub fn build_hc_write(b: &mut CircuitBuilder) -> HcWritePorts {
     })
 }
 
+/// Endpoints of a typed HC-WRITE serializer (see [`build_hc_write_typed`]).
+#[derive(Debug)]
+pub struct TypedHcWrite<'brand> {
+    /// LSB sink (contributes one pulse).
+    pub b0: Sink<'brand>,
+    /// MSB sink (contributes two pulses).
+    pub b1: Sink<'brand>,
+    /// Serial pulse-train wire.
+    pub output: Wire<'brand>,
+    /// Latency from an input pulse to the first output slot.
+    pub first_slot_delay: Duration,
+}
+
+/// Typed twin of [`build_hc_write`]: same cells in the same order.
+pub fn build_hc_write_typed<'b>(b: &mut TypedBuilder<'b>) -> TypedHcWrite<'b> {
+    b.scoped("hcwrite", |b| {
+        let m1 = b.merger();
+        let m2 = b.merger();
+        let s = b.splitter();
+        let j0 = b.jtl_with_delay(Duration::from_ps(2.0));
+        b.bind(j0.out, m1.in_a);
+        b.bind(m1.out, m2.in_a);
+        let slot0 = 2.0 + 2.0 * MERGER_DELAY_PS;
+        let j1 = b.jtl_with_delay(Duration::from_ps(
+            slot0 + HCDRO_PULSE_SEP_PS - SPLITTER_DELAY_PS - 2.0 * MERGER_DELAY_PS,
+        ));
+        b.bind(s.out0, j1.input);
+        b.bind(j1.out, m1.in_b);
+        let j2 = b.jtl_with_delay(Duration::from_ps(
+            slot0 + 2.0 * HCDRO_PULSE_SEP_PS - SPLITTER_DELAY_PS - MERGER_DELAY_PS,
+        ));
+        b.bind(s.out1, j2.input);
+        b.bind(j2.out, m2.in_b);
+        TypedHcWrite {
+            b0: j0.input,
+            b1: s.input,
+            output: m2.out,
+            first_slot_delay: Duration::from_ps(slot0),
+        }
+    })
+}
+
 /// Ports of an HC-READ pulse-train decoder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HcReadPorts {
@@ -136,6 +217,11 @@ pub struct HcReadPorts {
     pub b0: Pin,
     /// MSB output pin.
     pub b1: Pin,
+    /// MSB counter carry output. A two-bit counter never overflows on
+    /// legal 0–3 pulse trains, so this pin stays silent; it must still be
+    /// declared as an observation point so `sfq-lint`'s `dropped-wire`
+    /// rule knows it is intentionally unconsumed.
+    pub carry: Pin,
 }
 
 /// Builds an HC-READ circuit (paper Fig. 10c/d): a two-bit counter from two
@@ -175,6 +261,48 @@ pub fn build_hc_read(b: &mut CircuitBuilder) -> HcReadPorts {
             reset: Pin::new(s_reset, Splitter::IN),
             b0: Pin::new(cb0, CounterBit::VALUE),
             b1: Pin::new(cb1, CounterBit::VALUE),
+            carry: Pin::new(cb1, CounterBit::CARRY),
+        }
+    })
+}
+
+/// Endpoints of a typed HC-READ decoder (see [`build_hc_read_typed`]).
+#[derive(Debug)]
+pub struct TypedHcRead<'brand> {
+    /// Serial pulse-train sink.
+    pub input: Sink<'brand>,
+    /// Read-enable sink (latches the counted value onto `b0`/`b1`).
+    pub read: Sink<'brand>,
+    /// Reset sink (clears the counter between operations).
+    pub reset: Sink<'brand>,
+    /// LSB wire.
+    pub b0: Wire<'brand>,
+    /// MSB wire.
+    pub b1: Wire<'brand>,
+    /// MSB counter carry wire — silent on legal 0–3 trains, so callers
+    /// typically [`TypedBuilder::expose`] it as an observation point.
+    pub carry: Wire<'brand>,
+}
+
+/// Typed twin of [`build_hc_read`]: same cells in the same order.
+pub fn build_hc_read_typed<'b>(b: &mut TypedBuilder<'b>) -> TypedHcRead<'b> {
+    b.scoped("hcread", |b| {
+        let cb0 = b.counter_bit();
+        let cb1 = b.counter_bit();
+        b.bind(cb0.carry, cb1.input);
+        let s_read = b.splitter();
+        b.bind(s_read.out0, cb0.read);
+        b.bind(s_read.out1, cb1.read);
+        let s_reset = b.splitter();
+        b.bind(s_reset.out0, cb0.reset);
+        b.bind(s_reset.out1, cb1.reset);
+        TypedHcRead {
+            input: cb0.input,
+            read: s_read.input,
+            reset: s_reset.input,
+            b0: cb0.value,
+            b1: cb1.value,
+            carry: cb1.carry,
         }
     })
 }
@@ -267,6 +395,64 @@ mod tests {
         sim.inject(ports.read, Time::from_ps(100.0));
         sim.run();
         assert_eq!(sim.probe_trace(p0).len() + sim.probe_trace(p1).len(), 0);
+    }
+
+    /// Canonical structural fingerprint: component (kind, label) rows in id
+    /// order plus sorted wire tuples.
+    type Fingerprint = (Vec<(String, String)>, Vec<(usize, u8, usize, u8, u64)>);
+
+    fn fingerprint(n: &sfq_sim::netlist::Netlist) -> Fingerprint {
+        let comps = n
+            .iter()
+            .map(|(_, label, c)| (c.kind().to_string(), label.to_string()))
+            .collect();
+        let mut wires: Vec<_> = n
+            .wires()
+            .map(|w| {
+                (
+                    w.from.component.index(),
+                    w.from.index,
+                    w.to.component.index(),
+                    w.to.index,
+                    w.delay.as_fs(),
+                )
+            })
+            .collect();
+        wires.sort_unstable();
+        (comps, wires)
+    }
+
+    #[test]
+    fn typed_composites_elaborate_identically_to_raw() {
+        use crate::typed::TypedBuilder;
+
+        let mut raw = CircuitBuilder::new();
+        let clk = build_hc_clk(&mut raw);
+        let w = build_hc_write(&mut raw);
+        let r = build_hc_read(&mut raw);
+
+        let (elab, (t_clk_delay, t_w_delay)) = TypedBuilder::elaborate(|b| {
+            let clk = build_hc_clk_typed(b);
+            let w = build_hc_write_typed(b);
+            let r = build_hc_read_typed(b);
+            let _ = b.external(clk.input);
+            let _ = b.expose(clk.output);
+            let _ = b.external(w.b0);
+            let _ = b.external(w.b1);
+            let _ = b.expose(w.output);
+            let _ = b.external(r.input);
+            let _ = b.external(r.read);
+            let _ = b.external(r.reset);
+            let _ = b.expose(r.b0);
+            let _ = b.expose(r.b1);
+            let _ = b.expose(r.carry);
+            (clk.first_pulse_delay, w.first_slot_delay)
+        });
+        elab.assert_total();
+        assert_eq!(fingerprint(raw.netlist()), fingerprint(&elab.netlist));
+        assert_eq!(t_clk_delay, clk.first_pulse_delay);
+        assert_eq!(t_w_delay, w.first_slot_delay);
+        let _ = r;
     }
 
     #[test]

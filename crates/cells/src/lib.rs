@@ -15,6 +15,10 @@
 //! * counting: [`counter::CounterBit`]
 //! * composites: [`composite::build_hc_clk`], [`composite::build_hc_write`],
 //!   [`composite::build_hc_read`]
+//! * typed elaboration: [`typed::TypedBuilder`] — affine [`typed::Wire`] /
+//!   [`typed::Sink`] handles that make SFQ fan-out/fan-in legality a
+//!   compile-time property ([`builder::CircuitBuilder`] stays available as
+//!   the raw escape hatch)
 //!
 //! The [`spec`] module carries the JJ/power database and a census over
 //! netlists; [`timing`] is the single source of truth for every delay.
@@ -49,6 +53,7 @@ pub mod sta;
 pub mod storage;
 pub mod timing;
 pub mod transport;
+pub mod typed;
 
 pub use builder::CircuitBuilder;
 pub use spec::{CellKind, CellSpec, Census};

@@ -11,14 +11,15 @@
 //! latency advantage in Table III comes from.
 
 use sfq_cells::transport::Splitter;
+use sfq_cells::typed::TypedBuilder;
 use sfq_cells::CircuitBuilder;
-use sfq_sim::netlist::Pin;
+use sfq_sim::netlist::{Netlist, Pin};
 use sfq_sim::simulator::Simulator;
 use sfq_sim::time::Duration;
 
 use crate::config::RfGeometry;
 use crate::harness::{RegisterFile, RfHarness, OP_GAP_PS};
-use crate::hc_rf::{build_hc_rf, HcBank};
+use crate::hc_rf::{build_hc_rf, build_hc_rf_typed, HcBank, HcRfPorts, TypedHcRfPorts};
 
 /// Which bank a register lives in (paper §V-B: odd register numbers are
 /// bank 0).
@@ -52,15 +53,94 @@ pub fn index_in_bank(reg: usize) -> usize {
 pub struct DualBankRf {
     h: RfHarness,
     banks: [HcBank; 2],
+    /// Open monitor branches of the interface conditioning taps (declared
+    /// observation points for the `dropped-wire` lint rule).
+    monitor_pins: Vec<Pin>,
 }
 
 impl DualBankRf {
-    /// Builds the banked register file.
+    /// Builds the banked register file through the typed elaboration layer
+    /// (wiring legality by construction).
     ///
     /// # Panics
     ///
     /// Panics if the geometry has fewer than four registers (two per bank).
     pub fn new(geometry: RfGeometry) -> Self {
+        let bank_geom = geometry
+            .bank_geometry()
+            .expect("dual-banked register file needs at least four registers");
+
+        /// Puts a conditioning tap in front of each read-select and the
+        /// read enable, exposing the monitor branch (`OUT1`) as a declared
+        /// observation point.
+        fn tap_bank<'b>(
+            b: &mut TypedBuilder<'b>,
+            mut pt: TypedHcRfPorts<'b>,
+            monitor_pins: &mut Vec<Pin>,
+        ) -> TypedHcRfPorts<'b> {
+            let sels = std::mem::take(&mut pt.read_sel);
+            for sel in sels {
+                let tap = b.splitter();
+                b.bind(tap.out0, sel);
+                pt.read_sel.push(tap.input);
+                monitor_pins.push(b.expose(tap.out1));
+            }
+            let tap = b.splitter();
+            b.bind(tap.out0, pt.read_enable);
+            pt.read_enable = tap.input;
+            monitor_pins.push(b.expose(tap.out1));
+            pt
+        }
+
+        let (elab, (ports0, ports1, monitor_pins)) = TypedBuilder::elaborate(|b| {
+            let mut pt0 = b.scoped("bank0", |b| build_hc_rf_typed(b, bank_geom));
+            let mut pt1 = b.scoped("bank1", |b| build_hc_rf_typed(b, bank_geom));
+
+            // Interface: W_DATA bit splitters feeding both banks' HC-WRITE
+            // inputs, then select/enable conditioning taps.
+            b.push_scope("interface".to_string());
+            let mut data_b0 = Vec::new();
+            let mut data_b1 = Vec::new();
+            let p0_d0 = std::mem::take(&mut pt0.data_b0);
+            let p1_d0 = std::mem::take(&mut pt1.data_b0);
+            let p0_d1 = std::mem::take(&mut pt0.data_b1);
+            let p1_d1 = std::mem::take(&mut pt1.data_b1);
+            for (((d00, d10), d01), d11) in p0_d0.into_iter().zip(p1_d0).zip(p0_d1).zip(p1_d1) {
+                let s0 = b.splitter();
+                b.bind(s0.out0, d00);
+                b.bind(s0.out1, d10);
+                data_b0.push(b.external(s0.input));
+                let s1 = b.splitter();
+                b.bind(s1.out0, d01);
+                b.bind(s1.out1, d11);
+                data_b1.push(b.external(s1.input));
+            }
+            let mut monitor_pins = Vec::new();
+            let pt0 = tap_bank(b, pt0, &mut monitor_pins);
+            let pt1 = tap_bank(b, pt1, &mut monitor_pins);
+            b.pop_scope();
+
+            // Point both banks' data inputs at the shared interface
+            // splitters.
+            let mut ports0 = pt0.externalize(b);
+            let mut ports1 = pt1.externalize(b);
+            ports0.data_b0 = data_b0.clone();
+            ports0.data_b1 = data_b1.clone();
+            ports1.data_b0 = data_b0;
+            ports1.data_b1 = data_b1;
+            (ports0, ports1, monitor_pins)
+        });
+        elab.assert_total();
+        Self::assemble(geometry, elab.netlist, ports0, ports1, monitor_pins)
+    }
+
+    /// Builds the banked register file through the raw [`CircuitBuilder`] —
+    /// the differential oracle the typed path is checked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has fewer than four registers (two per bank).
+    pub fn new_raw(geometry: RfGeometry) -> Self {
         let bank_geom = geometry
             .bank_geometry()
             .expect("dual-banked register file needs at least four registers");
@@ -87,15 +167,18 @@ impl DualBankRf {
         }
         // Select-conditioning taps on the read-port select bits and enable
         // taps on the read enables (monitor branch left open).
+        let mut monitor_pins = Vec::new();
         for ports in [&mut ports0, &mut ports1] {
             for sel in &mut ports.read_sel {
                 let tap = b.splitter();
                 b.connect(Pin::new(tap, Splitter::OUT0), *sel);
                 *sel = Pin::new(tap, Splitter::IN);
+                monitor_pins.push(Pin::new(tap, Splitter::OUT1));
             }
             let tap = b.splitter();
             b.connect(Pin::new(tap, Splitter::OUT0), ports.read_enable);
             ports.read_enable = Pin::new(tap, Splitter::IN);
+            monitor_pins.push(Pin::new(tap, Splitter::OUT1));
         }
         b.pop_scope();
 
@@ -105,7 +188,17 @@ impl DualBankRf {
         ports1.data_b0 = data_b0;
         ports1.data_b1 = data_b1;
 
-        let mut sim = Simulator::new(b.finish());
+        Self::assemble(geometry, b.finish(), ports0, ports1, monitor_pins)
+    }
+
+    fn assemble(
+        geometry: RfGeometry,
+        netlist: Netlist,
+        ports0: HcRfPorts,
+        ports1: HcRfPorts,
+        monitor_pins: Vec<Pin>,
+    ) -> Self {
+        let mut sim = Simulator::new(netlist);
         let mut bank0 = HcBank::new(&mut sim, ports0);
         let mut bank1 = HcBank::new(&mut sim, ports1);
         // Interface delays: one splitter stage on the read-enable/select
@@ -117,6 +210,7 @@ impl DualBankRf {
         DualBankRf {
             h: RfHarness::new(geometry, sim),
             banks: [bank0, bank1],
+            monitor_pins,
         }
     }
 
@@ -191,12 +285,16 @@ impl RegisterFile for DualBankRf {
         // set.
         let mut inputs = self.banks[0].ports.lint_inputs();
         inputs.extend(self.banks[1].ports.lint_inputs());
+        let mut outputs = self.banks[0].ports.lint_outputs();
+        outputs.extend(self.banks[1].ports.lint_outputs());
+        outputs.extend(self.monitor_pins.iter().copied());
         sfq_lint::LintPorts {
             timing: Some(sfq_lint::TimingSpec {
                 starts: inputs.clone(),
                 issue_period_ps: OP_GAP_PS,
             }),
             external_inputs: inputs,
+            external_outputs: outputs,
         }
     }
 }

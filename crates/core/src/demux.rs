@@ -9,6 +9,7 @@
 
 use sfq_cells::storage::Ndroc;
 use sfq_cells::timing::{NDROC_PROP_PS, SPLITTER_DELAY_PS};
+use sfq_cells::typed::{Sink, TypedBuilder, Wire};
 use sfq_cells::CircuitBuilder;
 use sfq_sim::netlist::Pin;
 use sfq_sim::simulator::Simulator;
@@ -169,6 +170,172 @@ pub fn build_demux(b: &mut CircuitBuilder, levels: usize) -> Demux {
     })
 }
 
+/// Typed twin of [`Demux`]: the same NDROC tree with its select-protocol
+/// endpoints as affine handles. Produced by [`build_demux_typed`]; the
+/// caller consumes [`TypedDemux::take_outputs`] (routing each decoded
+/// address somewhere) and then [`TypedDemux::into_ports`] to externalize
+/// the control inputs and recover the driver-facing [`Demux`].
+#[derive(Debug)]
+pub struct TypedDemux<'brand> {
+    /// Enable sink: the pulse that traverses the tree (root CLK).
+    pub enable: Sink<'brand>,
+    /// Per-level SET sinks (index 0 = root/MSB).
+    pub sel_set: Vec<Sink<'brand>>,
+    /// Broadcast RESET sink clearing every NDROC in the tree.
+    pub reset: Sink<'brand>,
+    /// Output wires, indexed by decoded address.
+    pub outputs: Vec<Wire<'brand>>,
+    out_pins: Vec<Pin>,
+    levels: usize,
+}
+
+impl<'brand> TypedDemux<'brand> {
+    /// Number of tree levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Takes the output wires (leaving the struct with an empty list) so
+    /// the caller can route them while keeping the control sinks in place.
+    pub fn take_outputs(&mut self) -> Vec<Wire<'brand>> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Externalizes the control sinks (enable, selects, reset) and returns
+    /// the Pin-level [`Demux`] for the functional drivers. The output
+    /// wires must already have been taken and consumed; any still held are
+    /// dropped here and will surface in the elaboration ledger.
+    pub fn into_ports(self, b: &mut TypedBuilder<'brand>) -> Demux {
+        let TypedDemux {
+            enable,
+            sel_set,
+            reset,
+            outputs,
+            out_pins,
+            levels,
+        } = self;
+        drop(outputs);
+        Demux {
+            enable: b.external(enable),
+            sel_set: sel_set.into_iter().map(|s| b.external(s)).collect(),
+            reset: b.external(reset),
+            outputs: out_pins,
+            levels,
+        }
+    }
+}
+
+/// Typed twin of [`build_demux`]: same cells, labels, and scopes in the
+/// same order, so raw and typed elaborations digest identically — but the
+/// tree's wiring legality (every NDROC output consumed exactly once, every
+/// SET/CLK/RESET driven exactly once) is enforced by construction.
+///
+/// # Panics
+///
+/// Panics if `levels` is zero.
+pub fn build_demux_typed<'b>(b: &mut TypedBuilder<'b>, levels: usize) -> TypedDemux<'b> {
+    assert!(levels >= 1, "demux needs at least one level");
+    b.scoped("demux", |b| {
+        // Per-node endpoint slots, level by level: level i has 2^i nodes.
+        struct Node<'b> {
+            set: Option<Sink<'b>>,
+            reset: Option<Sink<'b>>,
+            clk: Option<Sink<'b>>,
+            out0: Option<Wire<'b>>,
+            out1: Option<Wire<'b>>,
+        }
+        let mut level_nodes: Vec<Vec<Node<'b>>> = Vec::with_capacity(levels);
+        for i in 0..levels {
+            level_nodes.push(
+                (0..1usize << i)
+                    .map(|_| {
+                        let n = b.ndroc();
+                        Node {
+                            set: Some(n.set),
+                            reset: Some(n.reset),
+                            clk: Some(n.clk),
+                            out0: Some(n.out0),
+                            out1: Some(n.out1),
+                        }
+                    })
+                    .collect(),
+            );
+        }
+
+        // Wire enables: node (i, j)'s OUT1 (bit 0) feeds child (i+1, 2j),
+        // OUT0 (bit 1) feeds (i+1, 2j+1).
+        for i in 0..levels - 1 {
+            let (upper, lower) = level_nodes.split_at_mut(i + 1);
+            let parents = &mut upper[i];
+            let kids = &mut lower[0];
+            for (j, parent) in parents.iter_mut().enumerate() {
+                let out1 = parent.out1.take().expect("parent OUT1 unconsumed");
+                let clk0 = kids[2 * j].clk.take().expect("kid CLK unconsumed");
+                b.bind(out1, clk0);
+                let out0 = parent.out0.take().expect("parent OUT0 unconsumed");
+                let clk1 = kids[2 * j + 1].clk.take().expect("kid CLK unconsumed");
+                b.bind(out0, clk1);
+            }
+        }
+
+        // Leaf outputs, indexed by address (MSB at root, OUT0 = bit 1).
+        let last_level = levels - 1;
+        let mut outputs = Vec::with_capacity(level_nodes[last_level].len() * 2);
+        for node in &mut level_nodes[last_level] {
+            outputs.push(node.out1.take().expect("leaf OUT1 unconsumed")); // bit 0
+            outputs.push(node.out0.take().expect("leaf OUT0 unconsumed")); // bit 1
+        }
+        let out_pins: Vec<Pin> = outputs.iter().map(|w| w.pin()).collect();
+
+        // SEL distribution, mirroring the raw builder's tree shapes.
+        let mut sel_set = Vec::with_capacity(levels);
+        for nodes in level_nodes.iter_mut() {
+            if nodes.len() == 1 {
+                sel_set.push(nodes[0].set.take().expect("root SET unconsumed"));
+            } else {
+                let root_split = b.splitter();
+                let half = nodes.len() / 2;
+                let left = b.fork(root_split.out0, half);
+                let right = b.fork(root_split.out1, nodes.len() - half);
+                for (node, leaf) in nodes.iter_mut().zip(left.into_iter().chain(right)) {
+                    let set = node.set.take().expect("SET unconsumed");
+                    b.bind(leaf, set);
+                }
+                sel_set.push(root_split.input);
+            }
+        }
+
+        // Broadcast RESET to all NDROCs.
+        let mut resets: Vec<Sink<'b>> = level_nodes
+            .iter_mut()
+            .flatten()
+            .map(|n| n.reset.take().expect("RESET unconsumed"))
+            .collect();
+        let reset = if resets.len() == 1 {
+            resets.pop().expect("single reset")
+        } else {
+            let root_split = b.splitter();
+            let half = resets.len() / 2;
+            let left = b.fork(root_split.out0, half);
+            let right = b.fork(root_split.out1, resets.len() - half);
+            for (sink, leaf) in resets.into_iter().zip(left.into_iter().chain(right)) {
+                b.bind(leaf, sink);
+            }
+            root_split.input
+        };
+
+        let enable = level_nodes[0][0].clk.take().expect("root CLK unconsumed");
+        TypedDemux {
+            enable,
+            sel_set,
+            reset,
+            outputs,
+            out_pins,
+            levels,
+        }
+    })
+}
+
 /// Suggested SET-to-enable head start for drivers (ps): covers the deepest
 /// splitter-tree fan so select bits land before the enable arrives.
 pub fn sel_head_start_ps(levels: usize) -> f64 {
@@ -257,6 +424,57 @@ mod tests {
         sim.inject(d.enable, sim.now() + Duration::from_ps(100.0));
         sim.run();
         assert_eq!(sim.probe_trace(probes[3]).len(), 1);
+    }
+
+    #[test]
+    fn typed_demux_elaborates_identically_to_raw() {
+        use sfq_cells::typed::TypedBuilder;
+
+        type Fingerprint = (Vec<(String, String)>, Vec<(usize, u8, usize, u8, u64)>);
+        fn fingerprint(n: &sfq_sim::netlist::Netlist) -> Fingerprint {
+            let comps = n
+                .iter()
+                .map(|(_, label, c)| (c.kind().to_string(), label.to_string()))
+                .collect();
+            let mut wires: Vec<_> = n
+                .wires()
+                .map(|w| {
+                    (
+                        w.from.component.index(),
+                        w.from.index,
+                        w.to.component.index(),
+                        w.to.index,
+                        w.delay.as_fs(),
+                    )
+                })
+                .collect();
+            wires.sort_unstable();
+            (comps, wires)
+        }
+
+        for levels in 1..=4 {
+            let mut b = CircuitBuilder::new();
+            let raw = build_demux(&mut b, levels);
+            let raw_net = b.finish();
+
+            let (elab, (typed_ports, typed_outs)) = TypedBuilder::elaborate(|b| {
+                let mut d = build_demux_typed(b, levels);
+                let outs: Vec<Pin> = d.take_outputs().into_iter().map(|w| b.expose(w)).collect();
+                (d.into_ports(b), outs)
+            });
+            elab.assert_total();
+
+            assert_eq!(
+                fingerprint(&raw_net),
+                fingerprint(&elab.netlist),
+                "levels {levels}"
+            );
+            assert_eq!(raw.enable, typed_ports.enable, "levels {levels}");
+            assert_eq!(raw.sel_set, typed_ports.sel_set, "levels {levels}");
+            assert_eq!(raw.reset, typed_ports.reset, "levels {levels}");
+            assert_eq!(raw.outputs, typed_ports.outputs, "levels {levels}");
+            assert_eq!(raw.outputs, typed_outs, "levels {levels}");
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Small wiring helpers shared by the register-file builders.
 
+use sfq_cells::typed::{Sink, TypedBuilder};
 use sfq_cells::CircuitBuilder;
 use sfq_sim::netlist::Pin;
 
@@ -29,6 +30,29 @@ pub fn broadcast_to(b: &mut CircuitBuilder, targets: &[Pin]) -> Pin {
             Pin::new(root, sfq_cells::transport::Splitter::IN)
         }
     }
+}
+
+/// Typed twin of [`broadcast_to`]: consumes the target sinks and returns
+/// the broadcast root as a new sink. Same cells in the same order, so raw
+/// and typed elaborations digest identically.
+///
+/// # Panics
+///
+/// Panics if `targets` is empty.
+pub fn broadcast_to_typed<'b>(b: &mut TypedBuilder<'b>, targets: Vec<Sink<'b>>) -> Sink<'b> {
+    assert!(!targets.is_empty(), "broadcast needs at least one target");
+    if targets.len() == 1 {
+        let mut targets = targets;
+        return targets.pop().expect("single target");
+    }
+    let root = b.splitter();
+    let half = targets.len() / 2;
+    let left = b.fork(root.out0, half);
+    let right = b.fork(root.out1, targets.len() - half);
+    for (leaf, target) in left.into_iter().chain(right).zip(targets) {
+        b.bind(leaf, target);
+    }
+    root.input
 }
 
 /// Depth in splitter stages of a balanced broadcast over `leaves` targets

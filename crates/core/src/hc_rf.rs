@@ -19,21 +19,25 @@
 //! the read port doubles as the reset port and the dedicated reset port of
 //! the baseline disappears (paper §IV-C).
 
-use sfq_cells::composite::{build_hc_clk, build_hc_read, build_hc_write};
+use sfq_cells::composite::{
+    build_hc_clk, build_hc_clk_typed, build_hc_read, build_hc_read_typed, build_hc_write,
+    build_hc_write_typed,
+};
 use sfq_cells::logic::Dand;
 use sfq_cells::storage::{HcDro, Ndro};
 use sfq_cells::timing::{
     HCDRO_CLK_TO_OUT_PS, MERGER_DELAY_PS, NDROC_PROP_PS, NDRO_CLK_TO_OUT_PS, SPLITTER_DELAY_PS,
 };
 use sfq_cells::transport::Merger;
+use sfq_cells::typed::{Sink, TypedBuilder, Wire};
 use sfq_cells::CircuitBuilder;
 use sfq_sim::netlist::{ComponentId, Pin};
 use sfq_sim::simulator::{ProbeId, Simulator};
 use sfq_sim::time::{Duration, Time};
 
 use crate::config::RfGeometry;
-use crate::demux::{build_demux, sel_head_start_ps};
-use crate::fabric::{broadcast_depth, broadcast_to, merge_depth};
+use crate::demux::{build_demux, build_demux_typed, sel_head_start_ps};
+use crate::fabric::{broadcast_depth, broadcast_to, broadcast_to_typed, merge_depth};
 
 /// Latency of HC-CLK from input to its first output pulse (ps).
 const HC_CLK_FIRST_PS: f64 = SPLITTER_DELAY_PS + MERGER_DELAY_PS;
@@ -73,6 +77,9 @@ pub struct HcRfPorts {
     pub hcread_b0: Vec<Pin>,
     /// Per-column HC-READ MSB outputs.
     pub hcread_b1: Vec<Pin>,
+    /// Per-column HC-READ counter carry outputs (silent by design, but
+    /// declared so the `dropped-wire` lint knows they are intentional).
+    pub carries: Vec<Pin>,
     /// Storage cells, `[register][column]`.
     pub cells: Vec<Vec<ComponentId>>,
 }
@@ -95,6 +102,16 @@ impl HcRfPorts {
         pins.extend(self.write_sel.iter().copied());
         pins.extend(self.data_b0.iter().copied());
         pins.extend(self.data_b1.iter().copied());
+        pins
+    }
+
+    /// Every externally observed output pin of the bank (HC-READ decoder
+    /// outputs and the silent counter carries) — its contribution to a
+    /// design's [`sfq_lint::LintPorts::external_outputs`].
+    pub fn lint_outputs(&self) -> Vec<Pin> {
+        let mut pins = self.hcread_b0.clone();
+        pins.extend(self.hcread_b1.iter().copied());
+        pins.extend(self.carries.iter().copied());
         pins
     }
 }
@@ -169,6 +186,7 @@ pub fn build_hc_rf(b: &mut CircuitBuilder, geometry: RfGeometry) -> HcRfPorts {
     let mut hcread_reset_pins = Vec::with_capacity(c);
     let mut hcread_b0 = Vec::with_capacity(c);
     let mut hcread_b1 = Vec::with_capacity(c);
+    let mut carries = Vec::with_capacity(c);
     b.push_scope("output".to_string());
     for col in 0..c {
         let inputs: Vec<_> = (0..n).map(|r| Pin::new(cells[r][col], HcDro::Q)).collect();
@@ -195,6 +213,7 @@ pub fn build_hc_rf(b: &mut CircuitBuilder, geometry: RfGeometry) -> HcRfPorts {
         hcread_reset_pins.push(reader.reset);
         hcread_b0.push(reader.b0);
         hcread_b1.push(reader.b1);
+        carries.push(reader.carry);
     }
     let lb_set = broadcast_to(b, &lb_set_pins);
     let lb_reset = broadcast_to(b, &lb_reset_pins);
@@ -218,6 +237,249 @@ pub fn build_hc_rf(b: &mut CircuitBuilder, geometry: RfGeometry) -> HcRfPorts {
         data_b1,
         hcread_b0,
         hcread_b1,
+        carries,
+        cells,
+    }
+}
+
+/// Typed twin of [`HcRfPorts`]: the bank's external endpoints as affine
+/// handles, so a wrapper (the dual-banked interface) can keep wiring them
+/// without leaving the typed layer. Convert to the driver-facing
+/// [`HcRfPorts`] with [`TypedHcRfPorts::externalize`] once every endpoint
+/// is truly external.
+#[derive(Debug)]
+pub struct TypedHcRfPorts<'brand> {
+    /// Bank geometry.
+    pub geometry: RfGeometry,
+    /// Read-port select sinks (MSB first).
+    pub read_sel: Vec<Sink<'brand>>,
+    /// Read-port enable sink.
+    pub read_enable: Sink<'brand>,
+    /// Read-demux NDROC reset broadcast sink.
+    pub read_clear: Sink<'brand>,
+    /// Write-port select sinks (MSB first).
+    pub write_sel: Vec<Sink<'brand>>,
+    /// Write-port enable sink.
+    pub write_enable: Sink<'brand>,
+    /// Write-demux NDROC reset broadcast sink.
+    pub write_clear: Sink<'brand>,
+    /// LoopBuffer SET broadcast sink.
+    pub lb_set: Sink<'brand>,
+    /// LoopBuffer RESET broadcast sink.
+    pub lb_reset: Sink<'brand>,
+    /// HC-READ latch broadcast sink.
+    pub hcread_read: Sink<'brand>,
+    /// HC-READ counter reset broadcast sink.
+    pub hcread_reset: Sink<'brand>,
+    /// Per-column HC-WRITE LSB sinks.
+    pub data_b0: Vec<Sink<'brand>>,
+    /// Per-column HC-WRITE MSB sinks.
+    pub data_b1: Vec<Sink<'brand>>,
+    /// Per-column HC-READ LSB output wires.
+    pub hcread_b0: Vec<Wire<'brand>>,
+    /// Per-column HC-READ MSB output wires.
+    pub hcread_b1: Vec<Wire<'brand>>,
+    /// Per-column HC-READ counter carry wires (silent by design).
+    pub carries: Vec<Wire<'brand>>,
+    /// Storage cells, `[register][column]`.
+    pub cells: Vec<Vec<ComponentId>>,
+}
+
+impl<'brand> TypedHcRfPorts<'brand> {
+    /// Declares every remaining endpoint external — inputs driven by the
+    /// simulator, outputs observed by probes — and returns the Pin-level
+    /// ports for the [`HcBank`] driver.
+    pub fn externalize(self, b: &mut TypedBuilder<'brand>) -> HcRfPorts {
+        HcRfPorts {
+            geometry: self.geometry,
+            read_sel: self.read_sel.into_iter().map(|s| b.external(s)).collect(),
+            read_enable: b.external(self.read_enable),
+            read_clear: b.external(self.read_clear),
+            write_sel: self.write_sel.into_iter().map(|s| b.external(s)).collect(),
+            write_enable: b.external(self.write_enable),
+            write_clear: b.external(self.write_clear),
+            lb_set: b.external(self.lb_set),
+            lb_reset: b.external(self.lb_reset),
+            hcread_read: b.external(self.hcread_read),
+            hcread_reset: b.external(self.hcread_reset),
+            data_b0: self.data_b0.into_iter().map(|s| b.external(s)).collect(),
+            data_b1: self.data_b1.into_iter().map(|s| b.external(s)).collect(),
+            hcread_b0: self.hcread_b0.into_iter().map(|w| b.expose(w)).collect(),
+            hcread_b1: self.hcread_b1.into_iter().map(|w| b.expose(w)).collect(),
+            carries: self.carries.into_iter().map(|w| b.expose(w)).collect(),
+            cells: self.cells,
+        }
+    }
+}
+
+/// Typed twin of [`build_hc_rf`]: identical cells, labels, scopes, and
+/// creation order (so raw and typed banks digest identically), with the
+/// bank's internal wiring legality enforced by construction.
+pub fn build_hc_rf_typed<'b>(b: &mut TypedBuilder<'b>, geometry: RfGeometry) -> TypedHcRfPorts<'b> {
+    let n = geometry.registers();
+    let c = geometry.hc_columns();
+    let levels = geometry.demux_levels();
+
+    // Storage. Endpoint slots are Option-wrapped so later sections can
+    // consume each cell's CLK/D/Q exactly once.
+    struct CellSlot<'b> {
+        clk: Option<Sink<'b>>,
+        d: Option<Sink<'b>>,
+        q: Option<Wire<'b>>,
+    }
+    let mut cells: Vec<Vec<ComponentId>> = Vec::with_capacity(n);
+    let mut cell_slots: Vec<Vec<CellSlot<'b>>> = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut row_ids = Vec::with_capacity(c);
+        let mut row_slots = Vec::with_capacity(c);
+        b.scoped(format!("reg{r}"), |b| {
+            for _ in 0..c {
+                let cell = b.hcdro();
+                row_ids.push(cell.id);
+                row_slots.push(CellSlot {
+                    clk: Some(cell.clk),
+                    d: Some(cell.d),
+                    q: Some(cell.q),
+                });
+            }
+        });
+        cells.push(row_ids);
+        cell_slots.push(row_slots);
+    }
+
+    // Read port: demux -> HC-CLK per register -> column broadcast -> CLK.
+    let (read_enable, read_sel, read_clear) = b.scoped("read", |b| {
+        let mut d = build_demux_typed(b, levels);
+        for (r, out) in d.take_outputs().into_iter().enumerate() {
+            let clk = build_hc_clk_typed(b);
+            b.bind(out, clk.input);
+            let targets: Vec<Sink<'b>> = cell_slots[r]
+                .iter_mut()
+                .map(|s| s.clk.take().expect("cell CLK unconsumed"))
+                .collect();
+            let fan = broadcast_to_typed(b, targets);
+            b.bind(clk.output, fan);
+        }
+        (d.enable, d.sel_set, d.reset)
+    });
+
+    // Write port: demux -> HC-CLK per register -> DAND gate broadcast.
+    struct DandSlot<'b> {
+        a: Option<Sink<'b>>,
+        b: Option<Sink<'b>>,
+        out: Option<Wire<'b>>,
+    }
+    let mut dand_slots: Vec<Vec<DandSlot<'b>>> = Vec::with_capacity(n);
+    let (write_enable, write_sel, write_clear) = b.scoped("write", |b| {
+        let mut d = build_demux_typed(b, levels);
+        for _ in 0..n {
+            dand_slots.push(
+                (0..c)
+                    .map(|_| {
+                        let g = b.dand();
+                        DandSlot {
+                            a: Some(g.a),
+                            b: Some(g.b),
+                            out: Some(g.out),
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        for (r, out) in d.take_outputs().into_iter().enumerate() {
+            let clk = build_hc_clk_typed(b);
+            b.bind(out, clk.input);
+            let gates: Vec<Sink<'b>> = dand_slots[r]
+                .iter_mut()
+                .map(|g| g.a.take().expect("gate A unconsumed"))
+                .collect();
+            let fan = broadcast_to_typed(b, gates);
+            b.bind(clk.output, fan);
+            for (gate, cell) in dand_slots[r].iter_mut().zip(cell_slots[r].iter_mut()) {
+                let g_out = gate.out.take().expect("gate OUT unconsumed");
+                let d_in = cell.d.take().expect("cell D unconsumed");
+                b.bind(g_out, d_in);
+            }
+        }
+        (d.enable, d.sel_set, d.reset)
+    });
+
+    // Data path per column: HC-WRITE -> join merger (with loopback) ->
+    // register broadcast -> DAND data inputs.
+    let mut data_b0 = Vec::with_capacity(c);
+    let mut data_b1 = Vec::with_capacity(c);
+    let mut join_loopback_in: Vec<Sink<'b>> = Vec::with_capacity(c);
+    b.push_scope("datapath".to_string());
+    for col in 0..c {
+        let w = build_hc_write_typed(b);
+        data_b0.push(w.b0);
+        data_b1.push(w.b1);
+        let join = b.merger();
+        b.bind(w.output, join.in_a);
+        join_loopback_in.push(join.in_b);
+        let targets: Vec<Sink<'b>> = dand_slots
+            .iter_mut()
+            .map(|row| row[col].b.take().expect("gate B unconsumed"))
+            .collect();
+        let fan = broadcast_to_typed(b, targets);
+        b.bind(join.out, fan);
+    }
+    b.pop_scope();
+
+    // Output port: column merger trees -> LoopBuffer -> split into HC-READ
+    // and loopback.
+    let mut lb_set_sinks = Vec::with_capacity(c);
+    let mut lb_reset_sinks = Vec::with_capacity(c);
+    let mut hcread_read_sinks = Vec::with_capacity(c);
+    let mut hcread_reset_sinks = Vec::with_capacity(c);
+    let mut hcread_b0 = Vec::with_capacity(c);
+    let mut hcread_b1 = Vec::with_capacity(c);
+    let mut carries = Vec::with_capacity(c);
+    b.push_scope("output".to_string());
+    for (col, loopback) in join_loopback_in.into_iter().enumerate() {
+        let inputs: Vec<Wire<'b>> = cell_slots
+            .iter_mut()
+            .map(|row| row[col].q.take().expect("cell Q unconsumed"))
+            .collect();
+        let merged = b.join(inputs);
+        let lb = b.ndro();
+        b.bind(merged, lb.clk);
+        lb_set_sinks.push(lb.set);
+        lb_reset_sinks.push(lb.reset);
+        let split = b.splitter();
+        b.bind(lb.out, split.input);
+        let reader = build_hc_read_typed(b);
+        b.bind(split.out0, reader.input);
+        b.bind(split.out1, loopback);
+        hcread_read_sinks.push(reader.read);
+        hcread_reset_sinks.push(reader.reset);
+        hcread_b0.push(reader.b0);
+        hcread_b1.push(reader.b1);
+        carries.push(reader.carry);
+    }
+    let lb_set = broadcast_to_typed(b, lb_set_sinks);
+    let lb_reset = broadcast_to_typed(b, lb_reset_sinks);
+    let hcread_read = broadcast_to_typed(b, hcread_read_sinks);
+    let hcread_reset = broadcast_to_typed(b, hcread_reset_sinks);
+    b.pop_scope();
+
+    TypedHcRfPorts {
+        geometry,
+        read_sel,
+        read_enable,
+        read_clear,
+        write_sel,
+        write_enable,
+        write_clear,
+        lb_set,
+        lb_reset,
+        hcread_read,
+        hcread_reset,
+        data_b0,
+        data_b1,
+        hcread_b0,
+        hcread_b1,
+        carries,
         cells,
     }
 }
@@ -426,5 +688,66 @@ impl HcBank {
             v |= count << (2 * col);
         }
         v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Fingerprint = (Vec<(String, String)>, Vec<(usize, u8, usize, u8, u64)>);
+
+    fn fingerprint(n: &sfq_sim::netlist::Netlist) -> Fingerprint {
+        let comps = n
+            .iter()
+            .map(|(_, label, c)| (c.kind().to_string(), label.to_string()))
+            .collect();
+        let mut wires: Vec<_> = n
+            .wires()
+            .map(|w| {
+                (
+                    w.from.component.index(),
+                    w.from.index,
+                    w.to.component.index(),
+                    w.to.index,
+                    w.delay.as_fs(),
+                )
+            })
+            .collect();
+        wires.sort_unstable();
+        (comps, wires)
+    }
+
+    #[test]
+    fn typed_bank_elaborates_identically_to_raw() {
+        for g in [RfGeometry::paper_4x4(), RfGeometry::paper_16x16()] {
+            let mut b = CircuitBuilder::new();
+            let raw_ports = build_hc_rf(&mut b, g);
+            let raw_net = b.finish();
+
+            let (elab, typed_ports) = TypedBuilder::elaborate(|b| {
+                let pt = build_hc_rf_typed(b, g);
+                pt.externalize(b)
+            });
+            elab.assert_total();
+
+            assert_eq!(fingerprint(&raw_net), fingerprint(&elab.netlist), "{g}");
+            assert_eq!(raw_ports.read_sel, typed_ports.read_sel, "{g}");
+            assert_eq!(raw_ports.read_enable, typed_ports.read_enable, "{g}");
+            assert_eq!(raw_ports.read_clear, typed_ports.read_clear, "{g}");
+            assert_eq!(raw_ports.write_sel, typed_ports.write_sel, "{g}");
+            assert_eq!(raw_ports.write_enable, typed_ports.write_enable, "{g}");
+            assert_eq!(raw_ports.write_clear, typed_ports.write_clear, "{g}");
+            assert_eq!(raw_ports.lb_set, typed_ports.lb_set, "{g}");
+            assert_eq!(raw_ports.lb_reset, typed_ports.lb_reset, "{g}");
+            assert_eq!(raw_ports.hcread_read, typed_ports.hcread_read, "{g}");
+            assert_eq!(raw_ports.hcread_reset, typed_ports.hcread_reset, "{g}");
+            assert_eq!(raw_ports.data_b0, typed_ports.data_b0, "{g}");
+            assert_eq!(raw_ports.data_b1, typed_ports.data_b1, "{g}");
+            assert_eq!(raw_ports.hcread_b0, typed_ports.hcread_b0, "{g}");
+            assert_eq!(raw_ports.hcread_b1, typed_ports.hcread_b1, "{g}");
+            assert_eq!(raw_ports.carries, typed_ports.carries, "{g}");
+            assert_eq!(raw_ports.cells, typed_ports.cells, "{g}");
+        }
     }
 }

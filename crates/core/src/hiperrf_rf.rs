@@ -1,12 +1,14 @@
 //! The single-bank HiPerRF register file with its functional driver
 //! (paper §IV).
 
+use sfq_cells::typed::TypedBuilder;
 use sfq_cells::CircuitBuilder;
+use sfq_sim::netlist::Netlist;
 use sfq_sim::simulator::Simulator;
 
 use crate::config::RfGeometry;
 use crate::harness::{RegisterFile, RfHarness};
-use crate::hc_rf::{build_hc_rf, HcBank};
+use crate::hc_rf::{build_hc_rf, build_hc_rf_typed, HcBank, HcRfPorts};
 
 /// A runnable HiPerRF register file with its simulator.
 ///
@@ -33,11 +35,25 @@ pub struct HiPerRf {
 }
 
 impl HiPerRf {
-    /// Builds the register file and wraps it in a simulator.
+    /// Builds the register file through the typed elaboration layer
+    /// (wiring legality by construction) and wraps it in a simulator.
     pub fn new(geometry: RfGeometry) -> Self {
+        let (elab, ports) =
+            TypedBuilder::elaborate(|b| build_hc_rf_typed(b, geometry).externalize(b));
+        elab.assert_total();
+        Self::with_netlist(geometry, elab.netlist, ports)
+    }
+
+    /// Builds the register file through the raw [`CircuitBuilder`] — the
+    /// differential oracle the typed path is checked against.
+    pub fn new_raw(geometry: RfGeometry) -> Self {
         let mut b = CircuitBuilder::new();
         let ports = build_hc_rf(&mut b, geometry);
-        let mut sim = Simulator::new(b.finish());
+        Self::with_netlist(geometry, b.finish(), ports)
+    }
+
+    fn with_netlist(geometry: RfGeometry, netlist: Netlist, ports: HcRfPorts) -> Self {
+        let mut sim = Simulator::new(netlist);
         let bank = HcBank::new(&mut sim, ports);
         HiPerRf {
             h: RfHarness::new(geometry, sim),
@@ -96,6 +112,7 @@ impl RegisterFile for HiPerRf {
                 issue_period_ps: crate::harness::OP_GAP_PS,
             }),
             external_inputs: inputs,
+            external_outputs: self.bank.ports.lint_outputs(),
         }
     }
 }

@@ -11,14 +11,15 @@ use sfq_cells::storage::Ndro;
 use sfq_cells::timing::{
     DAND_DELAY_PS, MERGER_DELAY_PS, NDROC_PROP_PS, NDRO_CLK_TO_OUT_PS, SPLITTER_DELAY_PS,
 };
+use sfq_cells::typed::{Sink, TypedBuilder, Wire};
 use sfq_cells::CircuitBuilder;
-use sfq_sim::netlist::{ComponentId, Pin};
+use sfq_sim::netlist::{ComponentId, Netlist, Pin};
 use sfq_sim::simulator::{ProbeId, Simulator};
 use sfq_sim::time::{Duration, Time};
 
 use crate::config::RfGeometry;
-use crate::demux::{build_demux, sel_head_start, Demux};
-use crate::fabric::{broadcast_depth, broadcast_to, merge_depth};
+use crate::demux::{build_demux, build_demux_typed, sel_head_start, Demux};
+use crate::fabric::{broadcast_depth, broadcast_to, broadcast_to_typed, merge_depth};
 use crate::harness::{RegisterFile, RfHarness};
 
 /// A runnable baseline NDRO register file with its simulator.
@@ -30,6 +31,8 @@ pub struct NdroRf {
     write_demux: Demux,
     /// Per-bit W_DATA inputs.
     data_in: Vec<Pin>,
+    /// Per-bit R_DATA output pins (probe pads).
+    out_pins: Vec<Pin>,
     /// Per-bit R_DATA probes.
     out_probes: Vec<ProbeId>,
     /// NDRO cells, `[register][bit]`.
@@ -37,8 +40,163 @@ pub struct NdroRf {
 }
 
 impl NdroRf {
-    /// Builds the register file and wraps it in a simulator.
+    /// Builds the register file through the typed elaboration layer
+    /// (wiring legality by construction) and wraps it in a simulator.
     pub fn new(geometry: RfGeometry) -> Self {
+        let n = geometry.registers();
+        let w = geometry.width();
+        let levels = geometry.demux_levels();
+
+        // Per-cell endpoint slots, consumed exactly once by each port.
+        struct CellSlot<'b> {
+            set: Option<Sink<'b>>,
+            reset: Option<Sink<'b>>,
+            clk: Option<Sink<'b>>,
+            out: Option<Wire<'b>>,
+        }
+        struct DandSlot<'b> {
+            a: Option<Sink<'b>>,
+            b: Option<Sink<'b>>,
+            out: Option<Wire<'b>>,
+        }
+
+        let (elab, built) = TypedBuilder::elaborate(|b| {
+            // Storage cells.
+            let mut cells: Vec<Vec<ComponentId>> = Vec::with_capacity(n);
+            let mut slots: Vec<Vec<CellSlot<'_>>> = Vec::with_capacity(n);
+            for r in 0..n {
+                let mut row_ids = Vec::with_capacity(w);
+                let mut row_slots = Vec::with_capacity(w);
+                b.scoped(format!("reg{r}"), |b| {
+                    for _ in 0..w {
+                        let cell = b.ndro();
+                        row_ids.push(cell.id);
+                        row_slots.push(CellSlot {
+                            set: Some(cell.set),
+                            reset: Some(cell.reset),
+                            clk: Some(cell.clk),
+                            out: Some(cell.out),
+                        });
+                    }
+                });
+                cells.push(row_ids);
+                slots.push(row_slots);
+            }
+
+            // Read port.
+            let read_demux = b.scoped("read", |b| {
+                let mut d = build_demux_typed(b, levels);
+                for (row, out) in slots.iter_mut().zip(d.take_outputs()) {
+                    let targets: Vec<Sink<'_>> = row
+                        .iter_mut()
+                        .map(|s| s.clk.take().expect("cell CLK unconsumed"))
+                        .collect();
+                    let input = broadcast_to_typed(b, targets);
+                    b.bind(out, input);
+                }
+                d.into_ports(b)
+            });
+
+            // Reset port (precedes every write, paper §III-B).
+            let reset_demux = b.scoped("reset", |b| {
+                let mut d = build_demux_typed(b, levels);
+                for (row, out) in slots.iter_mut().zip(d.take_outputs()) {
+                    let targets: Vec<Sink<'_>> = row
+                        .iter_mut()
+                        .map(|s| s.reset.take().expect("cell RESET unconsumed"))
+                        .collect();
+                    let input = broadcast_to_typed(b, targets);
+                    b.bind(out, input);
+                }
+                d.into_ports(b)
+            });
+
+            // Write port: demux-gated dynamic ANDs between W_DATA and SET
+            // pins.
+            let (write_demux, data_in) = b.scoped("write", |b| {
+                let mut d = build_demux_typed(b, levels);
+                // One DAND per (register, bit).
+                let mut dands: Vec<Vec<DandSlot<'_>>> = (0..n)
+                    .map(|_| {
+                        (0..w)
+                            .map(|_| {
+                                let g = b.dand();
+                                DandSlot {
+                                    a: Some(g.a),
+                                    b: Some(g.b),
+                                    out: Some(g.out),
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                for (r, out) in d.take_outputs().into_iter().enumerate() {
+                    let gates: Vec<Sink<'_>> = dands[r]
+                        .iter_mut()
+                        .map(|g| g.a.take().expect("gate A unconsumed"))
+                        .collect();
+                    let input = broadcast_to_typed(b, gates);
+                    b.bind(out, input);
+                    for (gate, cell) in dands[r].iter_mut().zip(slots[r].iter_mut()) {
+                        let g_out = gate.out.take().expect("gate OUT unconsumed");
+                        let set = cell.set.take().expect("cell SET unconsumed");
+                        b.bind(g_out, set);
+                    }
+                }
+                // W_DATA fan-out: bit -> all registers' DAND B pins.
+                let data_in: Vec<Pin> = (0..w)
+                    .map(|bit| {
+                        let targets: Vec<Sink<'_>> = dands
+                            .iter_mut()
+                            .map(|row| row[bit].b.take().expect("gate B unconsumed"))
+                            .collect();
+                        let input = broadcast_to_typed(b, targets);
+                        b.external(input)
+                    })
+                    .collect();
+                (d.into_ports(b), data_in)
+            });
+
+            // Output port: per-bit merger tree.
+            let out_pins: Vec<Pin> = b.scoped("output", |b| {
+                (0..w)
+                    .map(|bit| {
+                        let inputs: Vec<Wire<'_>> = slots
+                            .iter_mut()
+                            .map(|row| row[bit].out.take().expect("cell OUT unconsumed"))
+                            .collect();
+                        let root = b.join(inputs);
+                        b.expose(root)
+                    })
+                    .collect()
+            });
+
+            (
+                read_demux,
+                reset_demux,
+                write_demux,
+                data_in,
+                out_pins,
+                cells,
+            )
+        });
+        elab.assert_total();
+        let (read_demux, reset_demux, write_demux, data_in, out_pins, cells) = built;
+        Self::assemble(
+            geometry,
+            elab.netlist,
+            read_demux,
+            reset_demux,
+            write_demux,
+            data_in,
+            out_pins,
+            cells,
+        )
+    }
+
+    /// Builds the register file through the raw [`CircuitBuilder`] — the
+    /// differential oracle the typed path is checked against.
+    pub fn new_raw(geometry: RfGeometry) -> Self {
         let n = geometry.registers();
         let w = geometry.width();
         let levels = geometry.demux_levels();
@@ -110,7 +268,30 @@ impl NdroRf {
                 .collect()
         });
 
-        let mut sim = Simulator::new(b.finish());
+        Self::assemble(
+            geometry,
+            b.finish(),
+            read_demux,
+            reset_demux,
+            write_demux,
+            data_in,
+            out_pins,
+            cells,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal constructor tail shared by both build paths
+    fn assemble(
+        geometry: RfGeometry,
+        netlist: Netlist,
+        read_demux: Demux,
+        reset_demux: Demux,
+        write_demux: Demux,
+        data_in: Vec<Pin>,
+        out_pins: Vec<Pin>,
+        cells: Vec<Vec<ComponentId>>,
+    ) -> Self {
+        let mut sim = Simulator::new(netlist);
         let out_probes = out_pins
             .iter()
             .enumerate()
@@ -123,6 +304,7 @@ impl NdroRf {
             reset_demux,
             write_demux,
             data_in,
+            out_pins,
             out_probes,
             cells,
         }
@@ -246,6 +428,7 @@ impl RegisterFile for NdroRf {
                 issue_period_ps: crate::harness::OP_GAP_PS,
             }),
             external_inputs: inputs,
+            external_outputs: self.out_pins.clone(),
         }
     }
 }

@@ -20,15 +20,16 @@ use sfq_cells::timing::{
     DRO_CLK_TO_OUT_PS, NDROC_PROP_PS, NDRO_CLK_TO_OUT_PS, RF_CYCLE_PS, SPLITTER_DELAY_PS,
 };
 use sfq_cells::transport::{Merger, Splitter};
+use sfq_cells::typed::{Sink, TypedBuilder, Wire};
 use sfq_cells::{CellKind, Census, CircuitBuilder};
-use sfq_sim::netlist::{ComponentId, Pin};
+use sfq_sim::netlist::{ComponentId, Netlist, Pin};
 use sfq_sim::simulator::{ProbeId, Simulator};
 use sfq_sim::time::{Duration, Time};
 
 use crate::budget::{BudgetSection, RfBudget};
 use crate::config::RfGeometry;
-use crate::demux::{build_demux, sel_head_start, Demux};
-use crate::fabric::broadcast_to;
+use crate::demux::{build_demux, build_demux_typed, sel_head_start, Demux};
+use crate::fabric::{broadcast_to, broadcast_to_typed};
 use crate::harness::{RegisterFile, RfHarness};
 
 /// Spacing between successive shift-clock pulses in the functional driver
@@ -112,6 +113,8 @@ pub struct ShiftRegisterRf {
     gate_reset: Pin,
     /// Serial write-data input (broadcast to all tail DANDs).
     data_in: Pin,
+    /// Serial output pins (probe pads), one per register.
+    out_pins: Vec<Pin>,
     /// Serial output probes, one per register.
     out_probes: Vec<ProbeId>,
     /// Ring cells `[register][position]`; position `w-1` is the head.
@@ -119,8 +122,127 @@ pub struct ShiftRegisterRf {
 }
 
 impl ShiftRegisterRf {
-    /// Builds the register file.
+    /// Builds the register file through the typed elaboration layer
+    /// (wiring legality by construction).
     pub fn new(geometry: RfGeometry) -> Self {
+        let n = geometry.registers();
+        let w = geometry.width();
+        let levels = geometry.demux_levels();
+
+        let (elab, built) = TypedBuilder::elaborate(|b| {
+            let mut cells: Vec<Vec<ComponentId>> = Vec::with_capacity(n);
+            let mut gate_set_sinks = Vec::with_capacity(n);
+            let mut gate_reset_sinks = Vec::with_capacity(n);
+            let mut out_pins = Vec::with_capacity(n);
+            let mut tail_data_ins: Vec<Sink<'_>> = Vec::with_capacity(n);
+            let mut clock_roots: Vec<Sink<'_>> = Vec::with_capacity(n);
+
+            for r in 0..n {
+                b.push_scope(format!("ring{r}"));
+                // The storage cells live in their own sub-scope so
+                // structural budgets can split them from the ring plumbing.
+                let mut ring_ids = Vec::with_capacity(w);
+                let mut ds: Vec<Option<Sink<'_>>> = Vec::with_capacity(w);
+                let mut clks: Vec<Sink<'_>> = Vec::with_capacity(w);
+                let mut qs: Vec<Option<Wire<'_>>> = Vec::with_capacity(w);
+                b.scoped("bits", |b| {
+                    for _ in 0..w {
+                        let cell = b.dro();
+                        ring_ids.push(cell.id);
+                        ds.push(Some(cell.d));
+                        clks.push(cell.clk);
+                        qs.push(Some(cell.q));
+                    }
+                });
+                // Shift chain: cell i -> cell i+1.
+                for i in 0..w - 1 {
+                    let q = qs[i].take().expect("ring Q unconsumed");
+                    let d = ds[i + 1].take().expect("ring D unconsumed");
+                    b.bind(q, d);
+                }
+                // Head -> splitter -> (external out, recirculation gate).
+                let head_split = b.splitter();
+                let head_q = qs[w - 1].take().expect("head Q unconsumed");
+                b.bind(head_q, head_split.input);
+                out_pins.push(b.expose(head_split.out0));
+                let gate = b.ndro();
+                b.bind(head_split.out1, gate.clk);
+                gate_set_sinks.push(gate.set);
+                gate_reset_sinks.push(gate.reset);
+                // Tail merger: recirculation | gated write data -> cell 0.
+                let tail = b.merger();
+                b.bind(gate.out, tail.in_a);
+                let tail_d = ds[0].take().expect("tail D unconsumed");
+                b.bind(tail.out, tail_d);
+                tail_data_ins.push(tail.in_b);
+                // Clock broadcast across the ring.
+                clock_roots.push(broadcast_to_typed(b, clks));
+                cells.push(ring_ids);
+                b.pop_scope();
+            }
+
+            // Read-path clock demux: routes shift bursts to the selected
+            // ring.
+            let clock_demux = b.scoped("clock", |b| {
+                let mut d = build_demux_typed(b, levels);
+                for (root, out) in clock_roots.into_iter().zip(d.take_outputs()) {
+                    b.bind(out, root);
+                }
+                d.into_ports(b)
+            });
+            // Write-path demux: routes a write-enable burst that gates
+            // serial data into the selected ring's tail.
+            let mut write_gate_b: Vec<Sink<'_>> = Vec::with_capacity(n);
+            let write_demux = b.scoped("wdata", |b| {
+                let mut d = build_demux_typed(b, levels);
+                for (tail_in, out) in tail_data_ins.into_iter().zip(d.take_outputs()) {
+                    let g = b.dand();
+                    b.bind(out, g.a);
+                    b.bind(g.out, tail_in);
+                    write_gate_b.push(g.b);
+                }
+                d.into_ports(b)
+            });
+            // Serial data broadcast to every write gate's B input.
+            let data_in = b.scoped("wdata", |b| {
+                let root = broadcast_to_typed(b, write_gate_b);
+                b.external(root)
+            });
+
+            let (gate_set, gate_reset) = b.scoped("gating", |b| {
+                let set = broadcast_to_typed(b, gate_set_sinks);
+                let reset = broadcast_to_typed(b, gate_reset_sinks);
+                (b.external(set), b.external(reset))
+            });
+
+            (
+                clock_demux,
+                write_demux,
+                gate_set,
+                gate_reset,
+                data_in,
+                out_pins,
+                cells,
+            )
+        });
+        elab.assert_total();
+        let (clock_demux, write_demux, gate_set, gate_reset, data_in, out_pins, cells) = built;
+        Self::assemble(
+            geometry,
+            elab.netlist,
+            clock_demux,
+            write_demux,
+            gate_set,
+            gate_reset,
+            data_in,
+            out_pins,
+            cells,
+        )
+    }
+
+    /// Builds the register file through the raw [`CircuitBuilder`] — the
+    /// differential oracle the typed path is checked against.
+    pub fn new_raw(geometry: RfGeometry) -> Self {
         let n = geometry.registers();
         let w = geometry.width();
         let levels = geometry.demux_levels();
@@ -201,7 +323,32 @@ impl ShiftRegisterRf {
             (broadcast_to(b, &gate_sets), broadcast_to(b, &gate_resets))
         });
 
-        let mut sim = Simulator::new(b.finish());
+        Self::assemble(
+            geometry,
+            b.finish(),
+            clock_demux,
+            write_demux,
+            gate_set,
+            gate_reset,
+            data_in,
+            out_pins,
+            cells,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal constructor tail shared by both build paths
+    fn assemble(
+        geometry: RfGeometry,
+        netlist: Netlist,
+        clock_demux: Demux,
+        write_demux: Demux,
+        gate_set: Pin,
+        gate_reset: Pin,
+        data_in: Pin,
+        out_pins: Vec<Pin>,
+        cells: Vec<Vec<ComponentId>>,
+    ) -> Self {
+        let mut sim = Simulator::new(netlist);
         let out_probes = out_pins
             .iter()
             .enumerate()
@@ -215,6 +362,7 @@ impl ShiftRegisterRf {
             gate_set,
             gate_reset,
             data_in,
+            out_pins,
             out_probes,
             cells,
         }
@@ -388,6 +536,7 @@ impl RegisterFile for ShiftRegisterRf {
                 issue_period_ps: SHIFT_STEP_PS,
             }),
             external_inputs: inputs,
+            external_outputs: self.out_pins.clone(),
         }
     }
 }

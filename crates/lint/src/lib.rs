@@ -17,6 +17,7 @@
 //! | `dangling-input`   | error    | input pins neither wired nor declared as external ports |
 //! | `undriven-storage` | error    | storage cells with no driven input at all |
 //! | `unreachable`      | error    | components no external input can ever pulse |
+//! | `dropped-wire`     | error    | output pins driving nothing without a declared external output — pulses silently disappearing (the static backstop of the typed builder's endpoint ledger) |
 //! | `cycle`            | error/info | feedback loops, with a witness path and suggested cut set; free-running transport loops are errors, clocked feedback (HiPerRF loopback, shift rings) is informational |
 //! | `timing-slack`     | error/info | static separation slack from min/max-path STA against the NDROC 53 ps re-arm and HC-DRO 10 ps windows |
 //! | `budget`           | error    | lint-walk JJ count / static power diverging from `budget::structural_budget` (appended by [`budget_check`]) |
@@ -57,6 +58,9 @@ pub struct TimingSpec {
 pub struct LintPorts {
     /// Input pins injected from outside the netlist.
     pub external_inputs: Vec<Pin>,
+    /// Output pins observed from outside the netlist (probe pads, monitor
+    /// branches) — exempt from the `dropped-wire` rule.
+    pub external_outputs: Vec<Pin>,
     /// Issue schedule for the separation-slack rule; `None` skips it.
     pub timing: Option<TimingSpec>,
 }

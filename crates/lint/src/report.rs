@@ -26,6 +26,9 @@ pub enum RuleId {
     UndrivenStorage,
     /// Component unreachable from every external input.
     Unreachable,
+    /// Output pin driving nothing without being a declared external
+    /// output — its pulses silently disappear.
+    DroppedWire,
     /// Feedback loop (witness path + suggested cuts).
     Cycle,
     /// Static separation slack against a re-arm/separation window.
@@ -37,7 +40,7 @@ pub enum RuleId {
 impl RuleId {
     /// Every rule, in the order the engine runs them — the column order
     /// of the `repro lint` matrix.
-    pub const ALL: [RuleId; 12] = [
+    pub const ALL: [RuleId; 13] = [
         RuleId::UnknownKind,
         RuleId::PinRange,
         RuleId::DupWire,
@@ -47,6 +50,7 @@ impl RuleId {
         RuleId::DanglingInput,
         RuleId::UndrivenStorage,
         RuleId::Unreachable,
+        RuleId::DroppedWire,
         RuleId::Cycle,
         RuleId::TimingSlack,
         RuleId::Budget,
@@ -64,6 +68,7 @@ impl RuleId {
             RuleId::DanglingInput => "dangling-input",
             RuleId::UndrivenStorage => "undriven-storage",
             RuleId::Unreachable => "unreachable",
+            RuleId::DroppedWire => "dropped-wire",
             RuleId::Cycle => "cycle",
             RuleId::TimingSlack => "timing-slack",
             RuleId::Budget => "budget",

@@ -263,6 +263,41 @@ pub(crate) fn run(netlist: &Netlist, ports: &LintPorts) -> LintReport {
         }
     }
 
+    // dropped-wire: an output pin driving nothing that was not declared an
+    // external output — its pulses silently disappear. This is the static
+    // backstop of the typed builder's endpoint ledger. Components already
+    // carrying a structural error are skipped so each defect keeps mapping
+    // to exactly one rule (an isolated cell is "unreachable", not also
+    // "dropping" every output).
+    let external_outputs: BTreeSet<Pin> = ports.external_outputs.iter().copied().collect();
+    let flagged: HashSet<String> = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error && !f.path.is_empty())
+        .map(|f| f.path.clone())
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        let Some(p) = profiles[i] else { continue };
+        if flagged.contains(netlist.label(id)) {
+            continue;
+        }
+        for pin in 0..p.outputs {
+            let out = Pin::new(id, pin);
+            if sinks.contains_key(&out) || external_outputs.contains(&out) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: RuleId::DroppedWire,
+                severity: Severity::Error,
+                path: netlist.label(id).to_string(),
+                message: format!(
+                    "output pin {pin} drives nothing and is not a declared external \
+                     output — its pulses would silently disappear"
+                ),
+                fix_hint: "consume the output or declare it in LintPorts::external_outputs".into(),
+            });
+        }
+    }
+
     // cycle: every feedback loop gets a witness path. Loops in which each
     // hop enters a *trigger* pin circulate pulses unconditionally (an
     // oscillator — error); loops interrupted by a clocked element are the
@@ -439,6 +474,7 @@ mod tests {
         let start = Pin::new(root, Jtl::IN);
         let ports = LintPorts {
             external_inputs: vec![start, Pin::new(nd, Ndroc::SET), Pin::new(nd, Ndroc::RESET)],
+            external_outputs: vec![Pin::new(nd, Ndroc::OUT0), Pin::new(nd, Ndroc::OUT1)],
             timing: Some(TimingSpec {
                 starts: vec![start],
                 issue_period_ps: 120.0,
@@ -509,6 +545,7 @@ mod tests {
         let start = Pin::new(root, Jtl::IN);
         let ports = LintPorts {
             external_inputs: vec![start, Pin::new(nd, Ndroc::SET), Pin::new(nd, Ndroc::RESET)],
+            external_outputs: vec![Pin::new(nd, Ndroc::OUT0), Pin::new(nd, Ndroc::OUT1)],
             timing: Some(TimingSpec {
                 starts: vec![start],
                 issue_period_ps: 120.0,

@@ -76,6 +76,52 @@ pub struct Wire {
     pub delay: Duration,
 }
 
+/// A wire rejected by [`Netlist::try_connect`].
+///
+/// Construction code reaching for the ergonomic path uses
+/// [`Netlist::connect`], which panics on these — both are always bugs in
+/// hand-written elaborations. Code that *lints* netlists it did not build
+/// (e.g. job-server analyses over hostile or generated inputs) uses
+/// [`Netlist::try_connect`] and converts the error into a finding instead
+/// of tripping a panic path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConnectError {
+    /// A wire identical to one already present (same `from`, `to`, and
+    /// delay) — the duplicate would silently double every pulse.
+    DuplicateWire {
+        /// Source output pin of the rejected wire.
+        from: Pin,
+        /// Destination input pin of the rejected wire.
+        to: Pin,
+        /// Delay of the rejected wire.
+        delay: Duration,
+    },
+    /// A zero-delay wire from a component back to itself — an event at the
+    /// same component and the same instant, which the event queue could
+    /// never drain.
+    ZeroDelaySelfLoop {
+        /// Source output pin of the rejected wire.
+        from: Pin,
+        /// Destination input pin of the rejected wire.
+        to: Pin,
+    },
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectError::DuplicateWire { from, to, delay } => {
+                write!(f, "duplicate wire {from} -> {to} ({} ps)", delay.as_ps())
+            }
+            ConnectError::ZeroDelaySelfLoop { from, to } => {
+                write!(f, "zero-delay self-loop at {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
 /// The circuit graph: components plus wiring, organised into hierarchical
 /// instance scopes.
 ///
@@ -181,20 +227,29 @@ impl Netlist {
     /// silently double every pulse) and on a zero-delay self-loop (an
     /// event at the same component and the same instant, which the event
     /// queue could never drain). Self-loops with positive delay stay
-    /// legal — deliberate feedback uses them.
+    /// legal — deliberate feedback uses them. Analyses over netlists they
+    /// did not build use [`Netlist::try_connect`] instead.
     pub fn connect(&mut self, from: Pin, to: Pin, delay: Duration) {
-        assert!(
-            !(from.component == to.component && delay == Duration::ZERO),
-            "zero-delay self-loop at {from} -> {to}"
-        );
+        if let Err(e) = self.try_connect(from, to, delay) {
+            panic!("{e}");
+        }
+    }
+
+    /// Connects `from` to `to` with `delay`, rejecting the degenerate
+    /// wires [`Netlist::connect`] panics on. On `Err` the netlist is
+    /// unchanged, so lint-style pipelines over hostile or generated
+    /// netlists can record the defect as a finding and keep going.
+    pub fn try_connect(&mut self, from: Pin, to: Pin, delay: Duration) -> Result<(), ConnectError> {
+        if from.component == to.component && delay == Duration::ZERO {
+            return Err(ConnectError::ZeroDelaySelfLoop { from, to });
+        }
         let sinks = self.wires.entry(from).or_default();
-        assert!(
-            !sinks.iter().any(|&(t, d)| t == to && d == delay),
-            "duplicate wire {from} -> {to} ({} ps)",
-            delay.as_ps()
-        );
+        if sinks.iter().any(|&(t, d)| t == to && d == delay) {
+            return Err(ConnectError::DuplicateWire { from, to, delay });
+        }
         sinks.push((to, delay));
         self.wire_count += 1;
+        Ok(())
     }
 
     /// Returns the destinations of an output pin.
@@ -443,6 +498,47 @@ mod tests {
         let mut n = Netlist::new();
         let a = n.add("a", Box::new(Dummy));
         n.connect(Pin::new(a, 0), Pin::new(a, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn try_connect_reports_degenerate_wires_without_mutating() {
+        let mut n = Netlist::new();
+        let a = n.add("a", Box::new(Dummy));
+        let b = n.add("b", Box::new(Dummy));
+        let d = Duration::from_ps(1.0);
+        assert_eq!(n.try_connect(Pin::new(a, 0), Pin::new(b, 0), d), Ok(()));
+        assert_eq!(
+            n.try_connect(Pin::new(a, 0), Pin::new(b, 0), d),
+            Err(ConnectError::DuplicateWire {
+                from: Pin::new(a, 0),
+                to: Pin::new(b, 0),
+                delay: d,
+            })
+        );
+        assert_eq!(
+            n.try_connect(Pin::new(a, 0), Pin::new(a, 1), Duration::ZERO),
+            Err(ConnectError::ZeroDelaySelfLoop {
+                from: Pin::new(a, 0),
+                to: Pin::new(a, 1),
+            })
+        );
+        // Rejected wires leave the netlist untouched.
+        assert_eq!(n.wire_count(), 1);
+        assert_eq!(n.fanout(Pin::new(a, 0)).len(), 1);
+    }
+
+    #[test]
+    fn connect_error_displays_like_the_old_panics() {
+        let a = Pin::new(ComponentId(0), 0);
+        let b = Pin::new(ComponentId(1), 2);
+        let dup = ConnectError::DuplicateWire {
+            from: a,
+            to: b,
+            delay: Duration::from_ps(3.0),
+        };
+        assert_eq!(dup.to_string(), "duplicate wire c0.0 -> c1.2 (3 ps)");
+        let loopback = ConnectError::ZeroDelaySelfLoop { from: a, to: a };
+        assert_eq!(loopback.to_string(), "zero-delay self-loop at c0.0 -> c0.0");
     }
 
     #[test]

@@ -54,6 +54,47 @@ echo "== permutation differential (default placement: identity, no prefetch) =="
 cargo test -q --workspace --features reference-layout \
     --test engine_equivalence --test sim_equivalence --test rf_conformance
 
+echo "== typed-vs-raw differential (digest + observable equality, every design) =="
+# The registry designs elaborate through the typed `sfq_cells::typed` API
+# by default; the `new_raw` constructors keep the original CircuitBuilder
+# wiring as an oracle. These suites require the two paths to agree on the
+# netlist digest and on every simulation observable, and that random typed
+# programs are lint-clean by construction.
+cargo test -q --workspace --test typed_differential --test typed_properties
+
+echo "== no new raw connect call sites in crates/core =="
+# New wiring in hiperrf must go through the typed elaboration layer; raw
+# `.connect(` / `.connect_delayed(` is reserved for the frozen `new_raw`
+# differential oracles and intentional lint/digest fixtures. The per-file
+# budgets below pin those; any count above budget means raw wiring crept
+# into new code — port it to the typed API instead of raising the budget.
+RAW_CONNECT_BUDGET="
+banked.rs=6
+demux.rs=4
+fabric.rs=1
+hashing.rs=1
+hc_rf.rs=11
+lint.rs=1
+ndro_rf.rs=4
+shift_rf.rs=8
+"
+RAW_CONNECT_FAIL=0
+for f in crates/core/src/*.rs; do
+    n=$(grep -cE '\.connect(_delayed)?\(' "$f" || true)
+    base=$(basename "$f")
+    allowed=$(printf '%s\n' "$RAW_CONNECT_BUDGET" | awk -F= -v f="$base" '$1==f{print $2}')
+    allowed=${allowed:-0}
+    if [ "$n" -gt "$allowed" ]; then
+        echo "error: $f has $n raw connect call sites (budget: $allowed)" >&2
+        RAW_CONNECT_FAIL=1
+    fi
+done
+if [ "$RAW_CONNECT_FAIL" -ne 0 ]; then
+    echo "error: new raw connect call sites in crates/core/src — use the typed API" >&2
+    exit 1
+fi
+echo "raw connect call sites within budget"
+
 echo "== robustness smoke reports =="
 cargo run -q --release -p hiperrf-bench --bin repro -- margins --smoke
 cargo run -q --release -p hiperrf-bench --bin repro -- faults --smoke

@@ -64,6 +64,10 @@ impl Fixture {
                 Pin::new(self.nd, Ndroc::SET),
                 Pin::new(self.nd, Ndroc::RESET),
             ],
+            external_outputs: vec![
+                Pin::new(self.nd, Ndroc::OUT0),
+                Pin::new(self.nd, Ndroc::OUT1),
+            ],
             timing: timing.then(|| TimingSpec {
                 starts: vec![Pin::new(self.root, Jtl::IN)],
                 issue_period_ps: 120.0,
@@ -153,6 +157,25 @@ fn an_unwired_clock_fires_the_dangling_input_rule() {
         report.fired_rules(),
         vec![RuleId::DanglingInput],
         "{report}"
+    );
+}
+
+#[test]
+fn an_undeclared_observation_point_fires_the_dropped_wire_rule() {
+    let f = Fixture::new();
+    // Forget to declare the NDROC's complement output as observed: its
+    // pulses would silently disappear, and only dropped-wire may fire.
+    let mut ports = f.ports(false);
+    ports
+        .external_outputs
+        .retain(|&p| p != Pin::new(f.nd, Ndroc::OUT1));
+    let report = lint(&f.b.finish(), &ports);
+    assert_eq!(report.fired_rules(), vec![RuleId::DroppedWire], "{report}");
+    assert_eq!(report.count(RuleId::DroppedWire), 1, "{report}");
+    let finding = &report.findings[0];
+    assert!(
+        finding.message.contains("OUT1") || finding.message.contains("pin 1"),
+        "finding must name the dropped pin: {finding}"
     );
 }
 
@@ -255,15 +278,20 @@ fn random_tree(rng: &mut Rng64) -> (Netlist, LintPorts, Pin) {
     let root = b.jtl();
     let root_in = Pin::new(root, Jtl::IN);
     let mut externals = vec![root_in];
+    // Observation points: every NDROC complement output plus whatever the
+    // frontier leaves open when growth stops.
+    let mut observed: Vec<Pin> = Vec::new();
     let mut frontier = vec![Pin::new(root, Jtl::OUT)];
     let mut ndrocs = 0usize;
-    let grow_ndroc = |b: &mut CircuitBuilder, src: Pin, externals: &mut Vec<Pin>| {
-        let n = b.ndroc();
-        b.connect(src, Pin::new(n, Ndroc::CLK));
-        externals.push(Pin::new(n, Ndroc::SET));
-        externals.push(Pin::new(n, Ndroc::RESET));
-        Pin::new(n, Ndroc::OUT0)
-    };
+    let grow_ndroc =
+        |b: &mut CircuitBuilder, src: Pin, externals: &mut Vec<Pin>, observed: &mut Vec<Pin>| {
+            let n = b.ndroc();
+            b.connect(src, Pin::new(n, Ndroc::CLK));
+            externals.push(Pin::new(n, Ndroc::SET));
+            externals.push(Pin::new(n, Ndroc::RESET));
+            observed.push(Pin::new(n, Ndroc::OUT1));
+            Pin::new(n, Ndroc::OUT0)
+        };
     for _ in 0..3 + rng.next_below(6) {
         let src = frontier.swap_remove(rng.next_below(frontier.len()));
         match rng.next_below(3) {
@@ -279,7 +307,7 @@ fn random_tree(rng: &mut Rng64) -> (Netlist, LintPorts, Pin) {
                 frontier.push(Pin::new(s, Splitter::OUT1));
             }
             _ => {
-                let out = grow_ndroc(&mut b, src, &mut externals);
+                let out = grow_ndroc(&mut b, src, &mut externals, &mut observed);
                 frontier.push(out);
                 ndrocs += 1;
             }
@@ -287,8 +315,10 @@ fn random_tree(rng: &mut Rng64) -> (Netlist, LintPorts, Pin) {
     }
     if ndrocs == 0 {
         let src = frontier.swap_remove(rng.next_below(frontier.len()));
-        grow_ndroc(&mut b, src, &mut externals);
+        let out = grow_ndroc(&mut b, src, &mut externals, &mut observed);
+        observed.push(out);
     }
+    observed.extend(frontier.iter().copied());
     // Straddle the 53 ps re-arm window, staying clear of the boundary.
     let period = if rng.next_below(2) == 0 {
         30.0 + 15.0 * rng.next_f64()
@@ -297,6 +327,7 @@ fn random_tree(rng: &mut Rng64) -> (Netlist, LintPorts, Pin) {
     };
     let ports = LintPorts {
         external_inputs: externals,
+        external_outputs: observed,
         timing: Some(TimingSpec {
             starts: vec![root_in],
             issue_period_ps: period,

@@ -86,6 +86,7 @@ fn demux_static_rearm_slack_is_period_minus_window_at_every_depth() {
         let netlist = b.finish();
         let ports = sfq_lint::LintPorts {
             external_inputs: demux.lint_inputs(),
+            external_outputs: demux.outputs.clone(),
             timing: Some(sfq_lint::TimingSpec {
                 starts: vec![demux.enable],
                 issue_period_ps: 100.0,
